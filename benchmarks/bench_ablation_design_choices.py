@@ -1,0 +1,96 @@
+"""Design-choice ablations (Sections III-A, IV-A, VIII-B).
+
+* Barrett vs Montgomery: Barrett needs no operand transformation — for the
+  streaming NTT workload a Montgomery datapath pays domain conversions at
+  the boundaries (and this reproduction's pure-Python timing shows the
+  same relative shape);
+* dual-port vs single-port banks: II = 1 vs II = 2 against the 2x bank
+  area premium — quantifying the Section VIII-B lesson that exactly three
+  dual-port banks is the sweet spot;
+* shared iNTT twiddles: the permute+negate address transform vs storing a
+  second table (one full bank of savings).
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.core.scaling import dual_port_tradeoff
+from repro.core.timing import TimingModel
+from repro.polymath.modmath import BarrettReducer, MontgomeryReducer
+from repro.polymath.primes import ntt_friendly_prime
+
+Q = ntt_friendly_prime(2**12, 109)
+RNG = random.Random(99)
+OPERANDS = [(RNG.randrange(Q), RNG.randrange(Q)) for _ in range(512)]
+
+
+def test_barrett_multiplier(benchmark):
+    barrett = BarrettReducer(Q)
+
+    def run():
+        acc = 0
+        for a, b in OPERANDS:
+            acc ^= barrett.mulmod(a, b)
+        return acc
+
+    benchmark(run)
+    # correctness cross-check
+    assert all(barrett.mulmod(a, b) == a * b % Q for a, b in OPERANDS[:16])
+
+
+def test_montgomery_multiplier_with_transforms(benchmark):
+    """The apples-to-apples comparison for a streaming workload: operands
+    arrive in normal domain, so Montgomery pays both transformations."""
+    mont = MontgomeryReducer(Q)
+
+    def run():
+        acc = 0
+        for a, b in OPERANDS:
+            acc ^= mont.mulmod_plain(a, b)
+        return acc
+
+    benchmark(run)
+    assert all(mont.mulmod_plain(a, b) == a * b % Q for a, b in OPERANDS[:16])
+
+
+def test_dual_port_tradeoff(benchmark):
+    result = benchmark(dual_port_tradeoff, 3, 4)
+    tm_dp = TimingModel(dual_port_words=8192)
+    tm_sp = TimingModel(dual_port_words=0)  # force II = 2 everywhere
+    rows = [
+        {
+            "layout": "3 DP + 4 SP (fabricated)",
+            "area_mm2": result["area_mm2"],
+            "II": result["butterfly_ii"],
+            "ntt_cycles_2^13": tm_dp.ntt_cycles(2**13),
+        },
+        {
+            "layout": "7 SP (all single-port)",
+            "area_mm2": result["all_single_port_area_mm2"],
+            "II": result["all_single_port_ii"],
+            "ntt_cycles_2^13": tm_sp.ntt_cycles(2**13),
+        },
+    ]
+    print_table("Dual-port vs single-port banks", rows,
+                ["layout", "area_mm2", "II", "ntt_cycles_2^13"])
+    # the fabricated mix trades 1.43x memory area for ~2x NTT throughput
+    assert result["area_mm2"] > result["all_single_port_area_mm2"]
+    assert rows[1]["ntt_cycles_2^13"] > 1.9 * rows[0]["ntt_cycles_2^13"] - 600
+
+
+def test_shared_twiddle_saving(benchmark):
+    """Section VIII-B: one psi table serves NTT and iNTT via the
+    permute+negate transform, saving a full 128 KiB bank."""
+    from repro.core.chip import CoFHEE
+
+    def banks_needed():
+        chip = CoFHEE()
+        twiddle_banks_shared = 1
+        twiddle_banks_separate = 2
+        bank_bytes = chip.memory_map.bank("TWD").bytes
+        return (twiddle_banks_separate - twiddle_banks_shared) * bank_bytes
+
+    saved = benchmark(banks_needed)
+    print(f"\nshared-twiddle saving: {saved // 1024} KiB of SRAM")
+    assert saved == 8192 * 16

@@ -1,0 +1,93 @@
+"""Scalability ablations (Sections VI-B and VIII-A).
+
+* radix-4 / 4-PE variant: ~4x NTT speedup for +1.9 mm^2, "exceeds the
+  performance achieved with 16 threads";
+* split-polynomial parallelism: doubling multiplier pools + dual-port
+  banks approaches 2x throughput (log n - 1 stages at II = 1/2);
+* memory scaling: area linear in n, clock degrading with read latency.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.baselines.software import CpuCostModel
+from repro.bfv.params import BfvParameters
+from repro.core.scaling import (
+    MemoryScaling,
+    RadixConfig,
+    SplitParallelConfig,
+    radix4_speedup,
+)
+from repro.core.timing import TimingModel
+
+
+def test_radix4_speedup(benchmark):
+    speedup = benchmark(radix4_speedup, 2**13)
+    rows = [
+        {
+            "radix": radix,
+            "ntt_cycles": RadixConfig(radix=radix).ntt_cycles(2**13),
+            "speedup": round(
+                TimingModel().ntt_cycles(2**13)
+                / RadixConfig(radix=radix).ntt_cycles(2**13), 2,
+            ),
+            "extra_area_mm2": RadixConfig(radix=radix).extra_area_mm2(),
+        }
+        for radix in (2, 4)
+    ]
+    print_table("Radix-4 (4 PE) scaling, n = 2^13", rows,
+                ["radix", "ntt_cycles", "speedup", "extra_area_mm2"])
+    assert 3.5 < speedup < 4.5  # "performance would increase by ~4x"
+    assert RadixConfig(radix=4).extra_area_mm2() == 1.9
+
+
+def test_radix4_beats_16_threads(benchmark):
+    """Section VI-B: the 4-PE variant exceeds the 16-thread CPU."""
+    params = BfvParameters.from_paper(n=2**13, log_q=218)
+    cpu16_ms = CpuCostModel().ciphertext_mult_ms(params, threads=16)
+    base_ms = benchmark(
+        lambda: TimingModel().ciphertext_mult_cycles(2**13, 2) / 250e3
+    )
+    radix4_ms = base_ms / radix4_speedup(2**13)
+    print(f"\nCPU 16T {cpu16_ms:.3f} ms | CoFHEE {base_ms:.3f} ms | "
+          f"4-PE CoFHEE {radix4_ms:.3f} ms")
+    assert cpu16_ms < base_ms  # 16 threads beat fabricated CoFHEE...
+    assert radix4_ms < cpu16_ms  # ...but not the 4-PE variant
+
+
+def test_split_parallel_throughput(benchmark):
+    gain = benchmark(SplitParallelConfig(pools=2).throughput_gain, 2**13)
+    rows = [
+        {
+            "pools": p,
+            "ntt_cycles": SplitParallelConfig(pools=p).ntt_cycles(2**13),
+            "gain": round(SplitParallelConfig(pools=p).throughput_gain(2**13), 3),
+            "extra_dp_banks": SplitParallelConfig(pools=p).extra_dual_port_banks(),
+        }
+        for p in (1, 2, 4)
+    ]
+    print_table("Split-polynomial scaling, n = 2^13", rows,
+                ["pools", "ntt_cycles", "gain", "extra_dp_banks"])
+    # "Doubling this improves throughput by close to 2x" (< 2 because the
+    # final recombination stage stays II = 1).
+    assert 1.7 < gain < 2.0
+
+
+def test_memory_scaling(benchmark):
+    model = MemoryScaling()
+    rows = benchmark(
+        lambda: [
+            {
+                "n": n,
+                "memory_mm2": round(model.memory_area_mm2(n), 2),
+                "read_ns": round(model.read_latency_ns(n), 2),
+                "clock_mhz": round(model.clock_mhz(n), 1),
+            }
+            for n in (2**13, 2**14, 2**15, 2**16)
+        ]
+    )
+    print_table("Memory scaling with polynomial degree", rows,
+                ["n", "memory_mm2", "read_ns", "clock_mhz"])
+    assert rows[1]["memory_mm2"] == pytest.approx(2 * rows[0]["memory_mm2"],
+                                                  rel=0.01)  # linear
+    assert rows[-1]["clock_mhz"] < rows[0]["clock_mhz"]  # minor clock loss

@@ -1,0 +1,53 @@
+"""Fig. 6: ciphertext multiplication — CoFHEE vs SEAL on the Ryzen CPU.
+
+Regenerates both panels (execution time across thread counts, power) and
+the Section VI-B PDP analysis. The qualitative shape asserted: CoFHEE
+beats single-threaded SEAL ~1.8-1.9x, multi-threaded SEAL eventually
+overtakes one CoFHEE instance, and CoFHEE's PDP is ~2 orders of magnitude
+better.
+"""
+
+from conftest import print_table
+
+from repro.bfv.params import BfvParameters
+from repro.eval.fig6 import crossover_row, fig6_pdp_rows, fig6_rows
+
+COLUMNS = [
+    "n", "log_q", "platform", "threads", "towers",
+    "time_ms", "paper_time_ms", "power_w", "paper_power_w",
+]
+PDP_COLUMNS = [
+    "n", "cpu_pdp_w_ms", "paper_cpu_pdp",
+    "cofhee_pdp_w_ms", "paper_cofhee_pdp", "efficiency_ratio",
+]
+
+
+def test_fig6_time_and_power(benchmark):
+    rows = benchmark(fig6_rows)
+    print_table("Fig. 6: ciphertext-mult time/power", rows, COLUMNS)
+    by_key = {(r["n"], r["platform"], r["threads"]): r for r in rows}
+    for n in (2**12, 2**13):
+        cofhee = by_key[(n, "CoFHEE", 1)]
+        cpu1 = by_key[(n, "CPU (SEAL)", 1)]
+        cpu16 = by_key[(n, "CPU (SEAL)", 16)]
+        # CoFHEE beats 1 thread; 16 threads beat one CoFHEE (paper's shape).
+        assert cofhee["time_ms"] < cpu1["time_ms"]
+        assert cpu16["time_ms"] < cofhee["time_ms"]
+        # Power gap: two orders of magnitude.
+        assert cpu1["power_w"] / cofhee["power_w"] > 50
+
+
+def test_fig6_pdp(benchmark):
+    rows = benchmark(fig6_pdp_rows)
+    print_table("Section VI-B: Power-Delay Product", rows, PDP_COLUMNS)
+    for row in rows:
+        assert row["efficiency_ratio"] > 100  # 2-3 orders of magnitude
+
+
+def test_fig6_crossover(benchmark):
+    params = BfvParameters.from_paper(n=2**13, log_q=218)
+    row = benchmark(crossover_row, params)
+    print_table("Thread crossover vs one CoFHEE", [row],
+                ["n", "cofhee_ms", "crossover_threads"])
+    assert row["crossover_threads"] is not None
+    assert 2 <= row["crossover_threads"] <= 16

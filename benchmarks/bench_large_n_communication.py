@@ -1,0 +1,84 @@
+"""API claims of Section III-C: II and communication across degrees.
+
+* n <= 2^13: fully on-chip at II = 1;
+* n = 2^14: on-chip but through single-port banks, II = 2;
+* n >= 2^15: host-assisted four-step NTT — communication over the 50 MHz
+  SPI dominates ("for larger polynomials the communication costs
+  increase, and the NTT operation becomes more expensive").
+"""
+
+from conftest import print_table
+
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.core.timing import TimingModel
+
+
+def ntt_cost_sweep() -> list[dict[str, object]]:
+    tm = TimingModel()
+    chip = CoFHEE(ChipConfig(fidelity="timing"))
+    driver = CofheeDriver(chip)
+    rows = []
+    for log_n in (12, 13, 14, 15, 16):
+        n = 1 << log_n
+        ii = tm.butterfly_initiation_interval(n)
+        if n <= 2 * tm.dual_port_words:
+            compute_us = tm.cycles_to_us(tm.ntt_cycles(n))
+            io_ms = 0.0
+        else:
+            report = driver.large_ntt_report(n)
+            compute_us = report.latency_us
+            io_ms = report.io_seconds * 1e3
+        rows.append(
+            {
+                "n": f"2^{log_n}",
+                "II": ii,
+                "compute_us": round(compute_us, 1),
+                "host_io_ms": round(io_ms, 3),
+                "io_dominates": io_ms * 1000 > compute_us,
+            }
+        )
+    return rows
+
+
+def test_large_n_sweep(benchmark):
+    rows = benchmark(ntt_cost_sweep)
+    print_table("NTT cost vs polynomial degree (Section III-C)", rows,
+                ["n", "II", "compute_us", "host_io_ms", "io_dominates"])
+    by_n = {r["n"]: r for r in rows}
+    assert by_n["2^13"]["II"] == 1 and by_n["2^13"]["host_io_ms"] == 0
+    assert by_n["2^14"]["II"] == 2 and by_n["2^14"]["host_io_ms"] == 0
+    assert by_n["2^15"]["io_dominates"]
+    assert by_n["2^16"]["io_dominates"]
+
+
+def test_execution_mode_overheads(benchmark):
+    """Section III-I: direct-register mode pays link latency per command;
+    FIFO batches it; CM0 eliminates it for long sequences."""
+    def run():
+        results = {}
+        for mode in ("direct", "fifo", "cm0"):
+            chip = CoFHEE(ChipConfig(fidelity="timing"))
+            driver = CofheeDriver(chip, mode=mode)
+            from repro.polymath.primes import ntt_friendly_prime
+            driver.program(ntt_friendly_prime(2**12, 109), 2**12)
+            cmds = [driver.ntt_command("P0", "P1") for _ in range(16)]
+            report = driver.execute(cmds, label=mode)
+            results[mode] = report
+        return results
+
+    results = benchmark(run)
+    rows = [
+        {
+            "mode": mode,
+            "compute_ms": round(r.compute_seconds * 1e3, 3),
+            "host_io_ms": round(r.io_seconds * 1e3, 3),
+            "total_ms": round(r.total_seconds * 1e3, 3),
+        }
+        for mode, r in results.items()
+    ]
+    print_table("Execution-mode overheads (16 NTT commands)", rows,
+                ["mode", "compute_ms", "host_io_ms", "total_ms"])
+    # Direct mode is the slowest, CM0 the leanest on host IO (paper order).
+    assert results["direct"].io_seconds > results["fifo"].io_seconds
+    assert results["cm0"].io_seconds < results["fifo"].io_seconds

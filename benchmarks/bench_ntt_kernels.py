@@ -1,0 +1,65 @@
+"""NTT kernel microbenchmarks (Section IV-B's complexity argument).
+
+Times the reproduction's reference kernels: the O(n log n) negacyclic NTT
+multiply vs the O(n^2) schoolbook baseline, and the chip-fidelity MDMC
+execution path. Asserts the asymptotic crossover the paper's whole design
+rests on.
+"""
+
+import random
+
+from repro.core.chip import CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.polymath.ntt import NttContext, reference_negacyclic_multiply
+from repro.polymath.primes import ntt_friendly_prime
+
+N = 256
+Q = ntt_friendly_prime(N, 60)
+RNG = random.Random(17)
+A = [RNG.randrange(Q) for _ in range(N)]
+B = [RNG.randrange(Q) for _ in range(N)]
+CTX = NttContext(N, Q)
+
+
+def test_ntt_forward(benchmark):
+    result = benchmark(CTX.forward, A)
+    assert CTX.inverse(result) == A
+
+
+def test_ntt_multiply(benchmark):
+    result = benchmark(CTX.negacyclic_multiply, A, B)
+    assert result == reference_negacyclic_multiply(A, B, Q)
+
+
+def test_schoolbook_multiply(benchmark):
+    benchmark(reference_negacyclic_multiply, A, B, Q)
+
+
+def test_ntt_beats_schoolbook():
+    """The complexity crossover: at n = 256 the NTT path must already win
+    (the paper's O(n^2) -> O(n log n) motivation)."""
+    import time
+
+    start = time.perf_counter()
+    for _ in range(3):
+        CTX.negacyclic_multiply(A, B)
+    ntt_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(3):
+        reference_negacyclic_multiply(A, B, Q)
+    schoolbook_time = time.perf_counter() - start
+    assert ntt_time < schoolbook_time
+
+
+def test_chip_ntt_vector_fidelity(benchmark):
+    """MDMC 'vector' fidelity: full bank-resident execution of one NTT."""
+    chip = CoFHEE()
+    driver = CofheeDriver(chip)
+    driver.program(Q, N)
+    driver.load_polynomial("P0", A)
+
+    def run():
+        return driver.ntt("P0", "P1")
+
+    report = benchmark(run)
+    assert report.cycles == chip.timing.ntt_cycles(N)

@@ -1,0 +1,73 @@
+"""Scheduler and noise-model benchmarks.
+
+* the data-movement layer: how much polynomial load/store time the DMA
+  double-buffering hides for Algorithm 3 (Section III-F's claim that it
+  happens "transparently in the background");
+* the noise model: multiplicative depth vs relinearization digit width at
+  the paper's parameter sets — the trade the Table X per-application digit
+  choices encode.
+"""
+
+from conftest import print_table
+
+from repro.bfv.noise import NoiseModel, security_level_bits
+from repro.bfv.params import BfvParameters
+from repro.core.scheduler import Scheduler, ciphertext_multiply_program
+
+
+def test_dma_overlap_savings(benchmark):
+    def run():
+        return Scheduler(n=8192, num_buffers=6, prefetch=True).compile(
+            ciphertext_multiply_program()
+        )
+
+    sched = benchmark(run)
+    no_pf = Scheduler(n=8192, num_buffers=6, prefetch=False).compile(
+        ciphertext_multiply_program()
+    )
+    rows = [
+        {"config": "with DMA double-buffering",
+         "compute_cc": sched.compute_cycles,
+         "exposed_io_cc": sched.dma_exposed_cycles,
+         "total_cc": sched.total_cycles},
+        {"config": "blocking transfers",
+         "compute_cc": no_pf.compute_cycles,
+         "exposed_io_cc": no_pf.dma_exposed_cycles,
+         "total_cc": no_pf.total_cycles},
+    ]
+    print_table("Algorithm 3 data movement (n = 2^13)", rows,
+                ["config", "compute_cc", "exposed_io_cc", "total_cc"])
+    print(f"hidden fraction: {sched.savings_fraction():.0%}, "
+          f"peak buffers: {sched.peak_buffers}")
+    assert sched.total_cycles < no_pf.total_cycles
+    assert sched.peak_buffers <= 6
+
+
+def test_noise_depth_vs_digit_width(benchmark):
+    params = BfvParameters.from_paper(n=8192, log_q=218)
+    model = NoiseModel(params)
+
+    def run():
+        return {bits: model.multiplicative_depth(bits)
+                for bits in (5, 13, 22, 30, 45)}
+
+    depths = benchmark(run)
+    rows = [{"digit_bits": b, "num_digits": -(-params.log_q // b),
+             "mult_depth": d} for b, d in depths.items()]
+    print_table("Depth vs relin digit width (n=2^13, log q=218)", rows,
+                ["digit_bits", "num_digits", "mult_depth"])
+    # finer digits never reduce achievable depth
+    ordered = [depths[b] for b in sorted(depths)]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_security_of_paper_parameters(benchmark):
+    rows = benchmark(
+        lambda: [
+            {"n": n, "log_q": lq, "security_bits": security_level_bits(n, lq)}
+            for n, lq in ((4096, 109), (8192, 218))
+        ]
+    )
+    print_table("HE-standard security of the evaluation sets", rows,
+                ["n", "log_q", "security_bits"])
+    assert all(r["security_bits"] == 128 for r in rows)  # Section VI-B

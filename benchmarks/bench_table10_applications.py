@@ -1,0 +1,23 @@
+"""Table X: end-to-end applications (CryptoNets, logistic regression).
+
+Prices the Section VI-C operation mixes on both platforms and checks the
+headline speedups (2.23x and 1.46x).
+"""
+
+from conftest import print_table
+
+from repro.eval.table10 import table10_rows
+
+COLUMNS = [
+    "application", "cpu_s", "paper_cpu_s", "cofhee_s", "paper_cofhee_s",
+    "speedup", "paper_speedup",
+]
+
+
+def test_table10(benchmark):
+    rows = benchmark(table10_rows)
+    print_table("Table X: end-to-end applications", rows, COLUMNS)
+    for row in rows:
+        # CoFHEE totals from the simulator within 2% of the silicon estimate.
+        assert abs(row["cofhee_s"] - row["paper_cofhee_s"]) / row["paper_cofhee_s"] < 0.02
+        assert abs(row["speedup"] - row["paper_speedup"]) < 0.05

@@ -1,0 +1,23 @@
+"""Table V: CoFHEE operation latency and power at n = 2^12 and 2^13.
+
+Regenerates the paper's silicon measurements from the cycle-calibrated
+simulator: PolyMul/NTT/iNTT cycles, microseconds at 250 MHz, and
+average/peak power.
+"""
+
+from conftest import print_table
+
+from repro.eval.table5 import table5_rows
+
+COLUMNS = [
+    "n", "op", "cycles", "paper_cycles", "latency_us", "paper_us",
+    "avg_mw", "paper_avg_mw", "peak_mw", "paper_peak_mw",
+]
+
+
+def test_table5(benchmark):
+    rows = benchmark(table5_rows)
+    print_table("Table V: CoFHEE performance/power", rows, COLUMNS)
+    for row in rows:
+        assert abs(row["cycles"] - row["paper_cycles"]) / row["paper_cycles"] < 0.001
+        assert abs(row["avg_mw"] - row["paper_avg_mw"]) / row["paper_avg_mw"] < 0.05

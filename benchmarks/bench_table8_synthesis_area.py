@@ -1,0 +1,28 @@
+"""Table VIII: post-synthesis area and timing of CoFHEE's blocks.
+
+Regenerates the block inventory from the synthesis estimator (SRAM
+bit-area laws, quadratic multiplier law, crossbar port-product law).
+"""
+
+from conftest import print_table
+
+from repro.eval.table8 import table8_rows
+from repro.physical.synthesis import SynthesisEstimator
+
+COLUMNS = ["module", "model_mm2", "paper_mm2", "error_pct", "delay_ns"]
+
+
+def test_table8(benchmark):
+    rows = benchmark(table8_rows)
+    print_table("Table VIII: post-synthesis areas", rows, COLUMNS)
+    for row in rows:
+        assert abs(row["error_pct"]) < 1.0
+    total = next(r for r in rows if r["module"] == "Total")
+    assert abs(total["model_mm2"] - 9.8345) < 0.01
+
+
+def test_memory_dominance(benchmark):
+    fraction = benchmark(SynthesisEstimator().memory_fraction)
+    print(f"\nSRAM fraction of synthesized area: {fraction:.1%}")
+    # "The majority of the available chip area is occupied by the SRAMs."
+    assert fraction > 0.85

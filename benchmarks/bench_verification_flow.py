@@ -1,0 +1,61 @@
+"""Verification-flow benchmarks (Sections III-J and V-F).
+
+Times the pre-silicon regression (vector generation + golden-harness
+replay at bit-exact fidelity) and the post-silicon bring-up ladder, and
+checks the flow-level facts: full pass rate, fault detection, the Nexys 4
+n = 2^12 capacity limit.
+"""
+
+from conftest import print_table
+
+from repro.verification import (
+    FpgaBuild,
+    GoldenHarness,
+    PostSiliconValidator,
+    TestVectorGenerator,
+)
+from repro.verification.fpga import NEXYS4
+
+
+def test_pre_silicon_regression(benchmark):
+    gen = TestVectorGenerator(n=64, coeff_bits=60, seed=7)
+    suite = gen.regression_suite() + gen.directed_corner_vectors()
+
+    def run():
+        return GoldenHarness().run_suite(suite)
+
+    results = benchmark(run)
+    summary = GoldenHarness.summarize(results)
+    rows = [{"vector": r.vector.description, "cycles": r.cycles,
+             "status": "PASS" if r.passed else "FAIL"} for r in results]
+    print_table("Pre-silicon regression (pe fidelity)", rows,
+                ["vector", "cycles", "status"])
+    assert summary["failed"] == 0
+
+
+def test_post_silicon_bringup(benchmark):
+    def run():
+        return PostSiliconValidator().run(smoke_degree=128)
+
+    report = benchmark(run)
+    rows = [{"step": s.name, "status": "PASS" if s.passed else "FAIL",
+             "detail": s.detail} for s in report.steps]
+    print_table("Post-silicon bring-up (Section V-F)", rows,
+                ["step", "status", "detail"])
+    print(f"UART time: {report.uart_seconds * 1e3:.1f} ms")
+    assert report.fully_functional
+
+
+def test_fpga_capacity(benchmark):
+    build = FpgaBuild(NEXYS4, clock_mhz=10.0)
+    max_degree = benchmark(build.max_degree)
+    rows = [
+        {"n": f"2^{d.bit_length() - 1}",
+         "bram_kbits": round(build.total_kbits(d), 1),
+         "fits": build.fits(d)}
+        for d in (2**11, 2**12, 2**13)
+    ]
+    print_table("Nexys 4 capacity (Section III-J)", rows,
+                ["n", "bram_kbits", "fits"])
+    assert max_degree == 2**12  # the paper's FPGA build point
+    assert build.slowdown_vs_silicon() == 25.0  # 10 MHz vs 250 MHz

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one paper table/figure: it benchmarks the harness
+call with pytest-benchmark and prints the model-vs-paper rows so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section end to end.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows: list[dict], columns: list[str]) -> None:
+    """Render rows as a fixed-width table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 1e-2:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,54 @@
+"""NTT cost across polynomial degrees: II transitions and host IO walls.
+
+Sweeps n from 2^10 to 2^16 and shows the three operating regimes of
+Section III-C: fully on-chip at II = 1 (n <= 2^13), single-port II = 2
+(n = 2^14), and host-assisted four-step decomposition where the 50 MHz SPI
+dominates (n >= 2^15). Also prints the Section VIII-A scaling options.
+
+Run:  python examples/ntt_scaling_sweep.py
+"""
+
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.core.scaling import MemoryScaling, RadixConfig, SplitParallelConfig
+from repro.core.timing import TimingModel
+
+
+def main() -> None:
+    tm = TimingModel()
+    driver = CofheeDriver(CoFHEE(ChipConfig(fidelity="timing")))
+
+    print("NTT cost vs polynomial degree (fabricated chip):")
+    print(f"{'n':>8} {'II':>3} {'cycles':>12} {'compute':>12} {'host IO':>12}")
+    for log_n in range(10, 17):
+        n = 1 << log_n
+        ii = tm.butterfly_initiation_interval(n)
+        if n <= 2 * tm.dual_port_words:
+            cycles = tm.ntt_cycles(n)
+            compute_us = tm.cycles_to_us(cycles)
+            io_ms = 0.0
+        else:
+            report = driver.large_ntt_report(n)
+            cycles = report.cycles
+            compute_us = report.latency_us
+            io_ms = report.io_seconds * 1e3
+        io_str = f"{io_ms:9.2f} ms" if io_ms else "   on-chip"
+        print(f"2^{log_n:>6} {ii:>3} {cycles:>12,} {compute_us:>9.1f} us "
+              f"{io_str:>12}")
+
+    print("\nScaling options (Section VIII-A / VI-B), NTT at n = 2^13:")
+    base = tm.ntt_cycles(2**13)
+    radix4 = RadixConfig(radix=4)
+    split2 = SplitParallelConfig(pools=2)
+    mem = MemoryScaling()
+    print(f"  fabricated (radix-2, 1 PE) : {base:>8,} cycles")
+    print(f"  radix-4 (4 PEs, +1.9 mm^2) : {radix4.ntt_cycles(2**13):>8,} "
+          f"cycles ({base / radix4.ntt_cycles(2**13):.2f}x)")
+    print(f"  2 multiplier pools (+2 DP banks): {split2.ntt_cycles(2**13):>8,} "
+          f"cycles ({split2.throughput_gain(2**13):.2f}x)")
+    print(f"  n = 2^14 natively: memory {mem.memory_area_mm2(2**14):.1f} mm^2, "
+          f"clock {mem.clock_mhz(2**14):.0f} MHz")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""The chip's verification lifecycle, end to end (Sections III-J / V-F).
+
+1. pre-silicon: generate test vectors (the paper's Python script) and
+   replay them against the bit-exact datapath like the Verilog testbench;
+2. FPGA prototyping: the scaled-down Nexys 4 build (n = 2^12, 10 MHz);
+3. post-silicon: the bring-up ladder over UART — supplies, chip ID,
+   register walk, DMA loopback, compute smoke tests.
+
+Run:  python examples/silicon_validation_flow.py
+"""
+
+from repro.verification import (
+    FpgaBuild,
+    GoldenHarness,
+    PostSiliconValidator,
+    TestVectorGenerator,
+)
+from repro.verification.fpga import NEXYS4
+
+
+def main() -> None:
+    print("== 1. pre-silicon simulation (Section III-J) ==")
+    gen = TestVectorGenerator(n=64, coeff_bits=60)
+    print(f"derived q = 2kn + 1 = {gen.q} ({gen.q.bit_length()} bits)")
+    suite = gen.regression_suite() + gen.directed_corner_vectors()
+    results = GoldenHarness().run_suite(suite)
+    for r in results:
+        print(f"  {r}")
+    summary = GoldenHarness.summarize(results)
+    print(f"regression: {summary['passed']}/{summary['total']} passed")
+    hex_lines = gen.to_testbench_hex(suite[0])
+    print(f"(testbench export: {len(hex_lines)} hex lines per vector, "
+          f"e.g. {hex_lines[3][:16]}...)")
+
+    print("\n== 2. FPGA prototyping (Digilent Nexys 4) ==")
+    build = FpgaBuild(NEXYS4, clock_mhz=10.0)
+    print(f"device: {NEXYS4.name}, {NEXYS4.bram_kbits} Kb BRAM")
+    for n in (2**12, 2**13):
+        print(f"  n = 2^{n.bit_length() - 1}: needs "
+              f"{build.total_kbits(n):,.0f} Kb -> "
+              f"{'fits' if build.fits(n) else 'does NOT fit'}")
+    print(f"max degree {build.max_degree()} at {build.clock_mhz} MHz "
+          f"({build.slowdown_vs_silicon():.0f}x slower than silicon)")
+
+    print("\n== 3. post-silicon bring-up (Section V-F) ==")
+    report = PostSiliconValidator().run(smoke_degree=256)
+    print(report)
+    print(f"UART time: {report.uart_seconds * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

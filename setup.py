@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs where `wheel` is absent.
+
+All project metadata lives in pyproject.toml; this file only exists so that
+``pip install -e . --no-use-pep517`` works in offline environments whose
+setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

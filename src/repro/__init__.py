@@ -1,0 +1,34 @@
+"""CoFHEE reproduction: a co-processor for FHE execution, in Python.
+
+A complete reproduction of "CoFHEE: A Co-processor for Fully Homomorphic
+Encryption Execution" (DATE 2023, arXiv:2204.08742v3) — the cycle-level
+chip model, the polynomial/NTT/RNS and BFV substrates, the SEAL/CPU and
+related-ASIC baselines, the end-to-end applications, the physical-design
+models, and the verification flow. See README.md for the tour, DESIGN.md
+for the system inventory, and EXPERIMENTS.md for the paper-vs-model record.
+
+The most common entry points are re-exported here::
+
+    from repro import CoFHEE, CofheeDriver            # the chip + host API
+    from repro import Bfv, BfvParameters              # the FHE scheme
+    from repro import NttContext, ntt_friendly_prime  # the math layer
+"""
+
+from repro.bfv import Bfv, BfvParameters
+from repro.core import CoFHEE, CofheeDriver, TimingModel
+from repro.polymath import NttContext, PolynomialRing, RnsBasis, ntt_friendly_prime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bfv",
+    "BfvParameters",
+    "CoFHEE",
+    "CofheeDriver",
+    "NttContext",
+    "PolynomialRing",
+    "RnsBasis",
+    "TimingModel",
+    "__version__",
+    "ntt_friendly_prime",
+]

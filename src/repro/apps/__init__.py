@@ -1,0 +1,28 @@
+"""End-to-end encrypted applications (Section VI-C, Table X).
+
+Two layers per application:
+
+* a **workload model** with the exact operation mixes the paper counts
+  (CryptoNets: 457,550 ct+ct additions, 449,000 ct*pt multiplications,
+  10,200 ct*ct multiplications + relinearizations; logistic regression:
+  168,298 / 49,500 / 128,700), priced per-operation on the CoFHEE
+  simulator and on the calibrated CPU cost table;
+* a **functional miniature** that actually runs the encrypted inference on
+  the reproduction's BFV at reduced scale (SIMD-batched CryptoNets-style
+  CNN; packed-feature logistic regression), validating that the operation
+  mix computes the right thing.
+"""
+
+from repro.apps.costmodel import CofheeAppCost, CpuAppCost, Workload
+from repro.apps.cryptonets import CRYPTONETS_WORKLOAD, MiniCryptoNets
+from repro.apps.logreg import LOGREG_WORKLOAD, MiniLogisticRegression
+
+__all__ = [
+    "CRYPTONETS_WORKLOAD",
+    "CofheeAppCost",
+    "CpuAppCost",
+    "LOGREG_WORKLOAD",
+    "MiniCryptoNets",
+    "MiniLogisticRegression",
+    "Workload",
+]

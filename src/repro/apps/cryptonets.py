@@ -1,0 +1,238 @@
+"""CryptoNets: encrypted neural-network inference (Gilad-Bachrach et al.).
+
+Two artifacts:
+
+* :data:`CRYPTONETS_WORKLOAD` — the Section VI-C operation mix (457,550
+  ct+ct additions, 449,000 ct*pt multiplications, 10,200 ct*ct
+  multiplications each followed by relinearization) priced by the cost
+  models for Table X;
+* :class:`MiniCryptoNets` — a *runnable* CryptoNets-style network on the
+  reproduction's BFV: SIMD batching packs one pixel position across a
+  batch of images into each ciphertext (the original CryptoNets trick), a
+  strided convolution runs as ct*pt multiply-accumulate, the activation is
+  the FHE-friendly square function (ct*ct multiply + relinearization), and
+  dense layers finish the classification. Outputs are verified against the
+  identical plaintext network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.apps.costmodel import Workload
+from repro.bfv import BatchEncoder, Bfv, BfvParameters
+from repro.bfv.scheme import Ciphertext
+
+#: The paper's CryptoNets operation counts (Section VI-C).
+CRYPTONETS_WORKLOAD = Workload(
+    name="CryptoNets",
+    ct_ct_adds=457_550,
+    ct_pt_mults=449_000,
+    ct_ct_mults=10_200,
+    relin_digit_bits=5,  # 22 digits over the 109-bit modulus (deep circuit)
+    paper_cpu_seconds=197.0,
+    paper_cofhee_seconds=88.35,
+)
+
+
+@dataclass
+class NetworkSpec:
+    """Miniature CryptoNets topology (square activations, as in the paper).
+
+    Default: 6x6 input, one 3x3/stride-2 conv with 2 maps, square, dense
+    to 4, square, dense to 2 outputs.
+    """
+
+    image_size: int = 6
+    conv_kernel: int = 3
+    conv_stride: int = 2
+    conv_maps: int = 2
+    hidden: int = 4
+    classes: int = 2
+
+    @property
+    def conv_out(self) -> int:
+        return (self.image_size - self.conv_kernel) // self.conv_stride + 1
+
+    def op_counts(self) -> dict[str, int]:
+        """Homomorphic op mix of one batched inference (all images at once)."""
+        conv_units = self.conv_maps * self.conv_out * self.conv_out
+        k2 = self.conv_kernel * self.conv_kernel
+        flat = conv_units
+        return {
+            "ct_pt_mults": conv_units * k2 + flat * self.hidden
+            + self.hidden * self.classes,
+            "ct_ct_adds": conv_units * (k2 - 1) + conv_units  # conv acc + bias
+            + flat * self.hidden - self.hidden + self.hidden  # dense1
+            + self.hidden * self.classes - self.classes + self.classes,
+            "ct_ct_mults": conv_units + self.hidden,  # two square layers
+        }
+
+
+class MiniCryptoNets:
+    """Runnable encrypted CNN with plaintext-verified outputs.
+
+    Args:
+        params: BFV parameters (use :meth:`BfvParameters.toy` scale).
+        spec: network topology.
+        seed: RNG seed for weights and keys.
+    """
+
+    def __init__(self, params: BfvParameters | None = None,
+                 spec: NetworkSpec | None = None, seed: int = 7):
+        if params is None:
+            # A 20-bit plaintext prime (=== 1 mod 2n) keeps the network's
+            # signed intermediate values inside (-t/2, t/2) so the batched
+            # decode is exact for the default weight/pixel ranges.
+            from repro.polymath.primes import ntt_friendly_prime
+
+            params = BfvParameters.toy(n=16, log_q=120,
+                                       t=ntt_friendly_prime(16, 20))
+        self.params = params
+        self.spec = spec or NetworkSpec()
+        self.bfv = Bfv(self.params, seed=seed)
+        self.encoder = BatchEncoder(self.params)
+        # Deep circuits need fine relin digits, mirroring the workload model.
+        self.keys = self.bfv.keygen(relin_digit_bits=8)
+        rng = random.Random(seed)
+        s = self.spec
+        self.conv_w = [
+            [rng.randint(-2, 2) for _ in range(s.conv_kernel * s.conv_kernel)]
+            for _ in range(s.conv_maps)
+        ]
+        self.conv_b = [rng.randint(-2, 2) for _ in range(s.conv_maps)]
+        flat = s.conv_maps * s.conv_out * s.conv_out
+        self.fc1_w = [[rng.randint(-1, 1) for _ in range(flat)]
+                      for _ in range(s.hidden)]
+        self.fc1_b = [rng.randint(-1, 1) for _ in range(s.hidden)]
+        self.fc2_w = [[rng.randint(-1, 1) for _ in range(s.hidden)]
+                      for _ in range(s.classes)]
+        self.fc2_b = [rng.randint(-1, 1) for _ in range(s.classes)]
+        self.op_log = {"ct_pt_mults": 0, "ct_ct_adds": 0, "ct_ct_mults": 0}
+
+    @property
+    def batch_size(self) -> int:
+        """Images processed per inference (the SIMD slot count)."""
+        return self.encoder.slot_count
+
+    # -- encrypted pipeline ------------------------------------------------
+
+    def encrypt_images(self, images: list[list[int]]) -> list[Ciphertext]:
+        """Pack pixel position p of every image into ciphertext p."""
+        size = self.spec.image_size * self.spec.image_size
+        if any(len(img) != size for img in images):
+            raise ValueError(f"images must have {size} pixels")
+        if len(images) > self.batch_size:
+            raise ValueError(f"batch too large (max {self.batch_size})")
+        cts = []
+        for p in range(size):
+            slots = [img[p] for img in images]
+            cts.append(self.bfv.encrypt(self.encoder.encode(slots),
+                                        self.keys.public))
+        return cts
+
+    def _scale(self, ct: Ciphertext, w: int) -> Ciphertext:
+        self.op_log["ct_pt_mults"] += 1
+        return self.bfv.multiply_scalar(ct, w)
+
+    def _acc(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.op_log["ct_ct_adds"] += 1
+        return self.bfv.add(a, b)
+
+    def _add_bias(self, ct: Ciphertext, b: int) -> Ciphertext:
+        self.op_log["ct_ct_adds"] += 1
+        return self.bfv.add_plain(
+            ct, self.encoder.encode([b] * self.batch_size)
+        )
+
+    def _square(self, ct: Ciphertext) -> Ciphertext:
+        self.op_log["ct_ct_mults"] += 1
+        return self.bfv.relinearize(self.bfv.square(ct), self.keys.relin)
+
+    def infer(self, images: list[list[int]]) -> list[list[int]]:
+        """Encrypted inference; returns per-image class scores (signed)."""
+        s = self.spec
+        cts = self.encrypt_images(images)
+        # Convolution (stride s.conv_stride) + bias.
+        conv_out: list[Ciphertext] = []
+        for m in range(s.conv_maps):
+            for oy in range(s.conv_out):
+                for ox in range(s.conv_out):
+                    acc = None
+                    for ky in range(s.conv_kernel):
+                        for kx in range(s.conv_kernel):
+                            p = ((oy * s.conv_stride + ky) * s.image_size
+                                 + ox * s.conv_stride + kx)
+                            term = self._scale(
+                                cts[p], self.conv_w[m][ky * s.conv_kernel + kx]
+                            )
+                            acc = term if acc is None else self._acc(acc, term)
+                    conv_out.append(self._add_bias(acc, self.conv_b[m]))
+        # Square activation.
+        act1 = [self._square(c) for c in conv_out]
+        # Dense 1 + square.
+        hidden = []
+        for h in range(s.hidden):
+            acc = None
+            for i, c in enumerate(act1):
+                term = self._scale(c, self.fc1_w[h][i])
+                acc = term if acc is None else self._acc(acc, term)
+            hidden.append(self._add_bias(acc, self.fc1_b[h]))
+        act2 = [self._square(c) for c in hidden]
+        # Dense 2 (output scores).
+        scores = []
+        for k in range(s.classes):
+            acc = None
+            for h, c in enumerate(act2):
+                term = self._scale(c, self.fc2_w[k][h])
+                acc = term if acc is None else self._acc(acc, term)
+            scores.append(self._add_bias(acc, self.fc2_b[k]))
+        # Decrypt and unpack per image.
+        decoded = [
+            self.encoder.decode_signed(self.bfv.decrypt(sc, self.keys.secret))
+            for sc in scores
+        ]
+        return [[decoded[k][i] for k in range(s.classes)]
+                for i in range(len(images))]
+
+    # -- plaintext reference -------------------------------------------------
+
+    def infer_plain(self, images: list[list[int]]) -> list[list[int]]:
+        """The identical network on plaintext integers (mod-t semantics
+        avoided: verifies the encrypted path decodes to true values while
+        magnitudes stay within t/2)."""
+        s = self.spec
+        results = []
+        for img in images:
+            conv = []
+            for m in range(s.conv_maps):
+                for oy in range(s.conv_out):
+                    for ox in range(s.conv_out):
+                        acc = 0
+                        for ky in range(s.conv_kernel):
+                            for kx in range(s.conv_kernel):
+                                p = ((oy * s.conv_stride + ky) * s.image_size
+                                     + ox * s.conv_stride + kx)
+                                acc += img[p] * self.conv_w[m][
+                                    ky * s.conv_kernel + kx
+                                ]
+                        conv.append(acc + self.conv_b[m])
+            act1 = [v * v for v in conv]
+            hidden = [
+                sum(w * v for w, v in zip(self.fc1_w[h], act1)) + self.fc1_b[h]
+                for h in range(s.hidden)
+            ]
+            act2 = [v * v for v in hidden]
+            results.append(
+                [
+                    sum(w * v for w, v in zip(self.fc2_w[k], act2))
+                    + self.fc2_b[k]
+                    for k in range(s.classes)
+                ]
+            )
+        return results
+
+    @staticmethod
+    def classify(scores: list[list[int]]) -> list[int]:
+        return [max(range(len(s)), key=lambda k: s[k]) for s in scores]

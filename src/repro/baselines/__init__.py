@@ -1,0 +1,29 @@
+"""Comparison baselines: the SEAL/CPU software stack and related ASICs.
+
+Two baseline families appear in the paper's evaluation:
+
+* :mod:`repro.baselines.software` — Microsoft SEAL 3.7 on an AMD Ryzen 7
+  5800h (Fig. 6): a functional RNS-tower BFV execution plus a calibrated
+  cost model for wall-clock time (with thread scaling) and powertop-style
+  power;
+* :mod:`repro.baselines.related_work` — the ASIC/FPGA designs of Table XI
+  (F1, CraterLake, BTS, ARK, HEAX, Roy) with the technology-normalized
+  NTT-efficiency pipeline.
+"""
+
+from repro.baselines.software import CpuCostModel, SoftwareBfv
+from repro.baselines.related_work import (
+    DESIGNS,
+    DesignRecord,
+    efficiency,
+    table11_rows,
+)
+
+__all__ = [
+    "CpuCostModel",
+    "DESIGNS",
+    "DesignRecord",
+    "SoftwareBfv",
+    "efficiency",
+    "table11_rows",
+]

@@ -1,0 +1,195 @@
+"""Related-work ASIC/FPGA designs and the Table XI normalization pipeline.
+
+Table XI compares the NTT operation (n = 2^13, 128-bit coefficients)
+across designs by a technology- and area-normalized efficiency metric:
+
+    efficiency = 1 / (time_ns * compute_area_mm2)      [NTT ops / ns / mm^2]
+
+with three normalizations applied first:
+
+1. **RNS tower factor** — a design with native coefficient width ``w``
+   needs ``ceil(128 / w)`` tower passes to process 128-bit coefficients
+   (F1's 32-bit datapath: 4 passes; BTS/ARK's 64-bit: 2; CoFHEE: 1);
+2. **technology scaling** — CoFHEE's 55 nm numbers are scaled to the
+   advanced node by the measured Barrett-synthesis factors (area / 16.7,
+   delay / 3.7, Section VII);
+3. **compute-area extraction** — only the NTT-relevant compute area counts
+   (CoFHEE: the PE; F1: PE + register files), excluding the big on-chip
+   memories that serve higher-level operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timing import TimingModel
+from repro.physical.synthesis import SynthesisEstimator
+from repro.physical.tech import barrett_scaling
+
+#: Normalization target: the Table XI footnote's evaluation point.
+NORMALIZED_N = 2**13
+NORMALIZED_COEFF_BITS = 128
+
+
+@dataclass(frozen=True)
+class DesignRecord:
+    """One Table XI row.
+
+    Attributes:
+        name: design name.
+        technology: node string as in the paper.
+        max_n: largest supported polynomial degree.
+        log_q_bits: native coefficient width.
+        area_mm2: total chip area (None for FPGAs).
+        power_w: reported power (None where unavailable).
+        freq_mhz: clock frequency.
+        ntt_cycles: clock cycles for one n = 2^13 NTT (Table XI's column).
+        compute_area_mm2: NTT-relevant compute area used in the efficiency
+            normalization (None for FPGAs, which can't be mapped to mm^2).
+        silicon_proven: fabricated and validated?
+        fpga_resources: LUT/FF/BRAM/DSP string for FPGA designs.
+    """
+
+    name: str
+    technology: str
+    max_n: int
+    log_q_bits: int
+    area_mm2: float | None
+    power_w: float | None
+    freq_mhz: float
+    ntt_cycles: int
+    compute_area_mm2: float | None
+    silicon_proven: bool
+    fpga_resources: str | None = None
+
+    @property
+    def tower_factor(self) -> int:
+        """Passes needed for 128-bit coefficients via RNS."""
+        return -(-NORMALIZED_COEFF_BITS // self.log_q_bits)
+
+    def normalized_time_ns(self) -> float:
+        """One 128-bit-coefficient NTT, after the tower factor."""
+        return self.ntt_cycles / (self.freq_mhz / 1e3) * self.tower_factor
+
+
+def cofhee_record() -> DesignRecord:
+    """CoFHEE's row, built from the reproduction's own models.
+
+    The cycle count is the paper's 53,248 (the pure butterfly count
+    (n/2) log2 n; the +287 of stage overheads is under 0.6 % and the paper
+    tabulates the round number). The compute area is the synthesized PE
+    (Table VIII), which is what divides out in the paper's 4.54e-4 figure.
+    """
+    est = SynthesisEstimator()
+    tm = TimingModel()
+    butterflies = (NORMALIZED_N // 2) * (NORMALIZED_N.bit_length() - 1)
+    assert tm.ntt_cycles(NORMALIZED_N) - butterflies < 300  # overheads only
+    return DesignRecord(
+        name="CoFHEE",
+        technology="ASIC - GF 55nm",
+        max_n=2**14,
+        log_q_bits=128,
+        area_mm2=12.0,
+        power_w=2.3e-2,
+        freq_mhz=250.0,
+        ntt_cycles=butterflies,
+        compute_area_mm2=est.pe_mm2(128),
+        silicon_proven=True,
+    )
+
+
+#: The comparison designs (Table XI). Compute areas for the ASICs are the
+#: PE+RF-class regions derived from each paper's area breakdown, the same
+#: extraction the CoFHEE authors performed.
+DESIGNS: dict[str, DesignRecord] = {
+    "F1": DesignRecord(
+        name="F1", technology="ASIC - GF 14/12nm", max_n=2**14, log_q_bits=32,
+        area_mm2=151.4, power_w=180.4, freq_mhz=1000.0, ntt_cycles=476,
+        compute_area_mm2=7.285, silicon_proven=False,
+    ),
+    "CraterLake": DesignRecord(
+        name="CraterLake", technology="ASIC - 14/12nm", max_n=2**16,
+        log_q_bits=28, area_mm2=472.3, power_w=320.0, freq_mhz=1000.0,
+        ntt_cycles=22, compute_area_mm2=27.89, silicon_proven=False,
+    ),
+    "BTS": DesignRecord(
+        name="BTS", technology="ASIC - 7nm", max_n=2**17, log_q_bits=64,
+        area_mm2=373.6, power_w=163.2, freq_mhz=1200.0, ntt_cycles=554,
+        compute_area_mm2=110.2, silicon_proven=False,
+    ),
+    "ARK": DesignRecord(
+        name="ARK", technology="ASIC - 7nm", max_n=2**16, log_q_bits=64,
+        area_mm2=418.3, power_w=281.3, freq_mhz=1000.0, ntt_cycles=104,
+        compute_area_mm2=49.97, silicon_proven=False,
+    ),
+    "HEAX": DesignRecord(
+        name="HEAX", technology="FPGA - Intel Arria10 GX 1150", max_n=2**14,
+        log_q_bits=27, area_mm2=None, power_w=None, freq_mhz=300.0,
+        ntt_cycles=1536, compute_area_mm2=None, silicon_proven=False,
+        fpga_resources="582148 LUT / 1554005 FF / 3986 BRAM / 2018 DSP",
+    ),
+    "Roy": DesignRecord(
+        name="Roy", technology="Xilinx Zynq UltraScale+ ZCU102", max_n=2**12,
+        log_q_bits=30, area_mm2=None, power_w=None, freq_mhz=200.0,
+        ntt_cycles=16425, compute_area_mm2=None, silicon_proven=False,
+        fpga_resources="63522 LUT / 25622 FF / 400 BRAM / 200 DSP",
+    ),
+}
+
+
+def efficiency(record: DesignRecord) -> float | None:
+    """Normalized NTT ops / ns / mm^2 (None for FPGAs).
+
+    CoFHEE's 55 nm time and area are first mapped to the advanced node by
+    the measured Barrett-scaling factors; the other ASICs already are.
+    """
+    if record.compute_area_mm2 is None:
+        return None
+    time_ns = record.normalized_time_ns()
+    area = record.compute_area_mm2
+    if "55nm" in record.technology:
+        scaling = barrett_scaling()
+        time_ns = scaling.scale_delay(time_ns)
+        area = scaling.scale_area(area)
+    return 1.0 / (time_ns * area)
+
+
+#: Paper Table XI efficiency values for validation.
+TABLE11_PAPER_EFFICIENCY = {
+    "CoFHEE": 4.54e-4,
+    "F1": 7.21e-5,
+    "CraterLake": 3.26e-4,
+    "BTS": 9.83e-6,
+    "ARK": 9.62e-5,
+}
+#: Paper speedups of CoFHEE over each design (Section VII prose).
+PAPER_SPEEDUPS = {"F1": 6.3, "CraterLake": 1.39, "BTS": 46.19, "ARK": 4.72}
+
+
+def table11_rows() -> list[dict[str, object]]:
+    """Table XI with the reproduction's computed efficiencies."""
+    rows = []
+    cofhee = cofhee_record()
+    cofhee_eff = efficiency(cofhee)
+    for record in [cofhee] + list(DESIGNS.values()):
+        eff = efficiency(record)
+        rows.append(
+            {
+                "design": record.name,
+                "technology": record.technology,
+                "max_n": record.max_n,
+                "log_q_bits": record.log_q_bits,
+                "area": record.area_mm2 if record.area_mm2 is not None
+                else record.fpga_resources,
+                "power_w": record.power_w,
+                "freq_mhz": record.freq_mhz,
+                "ntt_cycles": record.ntt_cycles,
+                "tower_factor": record.tower_factor,
+                "efficiency": eff,
+                "paper_efficiency": TABLE11_PAPER_EFFICIENCY.get(record.name),
+                "cofhee_speedup": (cofhee_eff / eff) if eff else None,
+                "paper_speedup": PAPER_SPEEDUPS.get(record.name),
+                "silicon_proven": record.silicon_proven,
+            }
+        )
+    return rows

@@ -1,0 +1,174 @@
+"""The software baseline: SEAL-style RNS BFV on a 64-bit CPU (Fig. 6).
+
+Two layers:
+
+* :class:`SoftwareBfv` executes the *same work* SEAL does functionally:
+  the ciphertext is decomposed into ~55-bit RNS towers (54+55 for
+  log q = 109, 54+54+55+55 for 218) and the Eq. 4 polynomial tensor runs
+  per tower through NTT-domain arithmetic, bit-exact against the chip
+  model's per-tower products.
+* :class:`CpuCostModel` prices that work like the paper's measurement
+  setup (SEAL 3.7, Ryzen 7 5800h @ 3.8 GHz, powertop): per-tower
+  ciphertext-mult time calibrated to the two measured points (1.5 ms for
+  2 towers at n = 2^12; 6.91 ms for 4 towers at n = 2^13), Amdahl-style
+  thread scaling with the diminishing returns Fig. 6 shows, and
+  near-linear power growth with thread count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bfv.params import BfvParameters
+from repro.polymath.ntt import NttContext
+from repro.polymath.rns import RnsBasis
+
+#: The evaluation CPU (Section VI-B).
+CPU_NAME = "AMD Ryzen 7 5800h"
+CPU_TECHNOLOGY = "TSMC 7nm FinFET"
+CPU_FREQ_GHZ = 3.8
+CPU_AREA_MM2 = 180.0
+CPU_THREADS_MAX = 16
+
+
+class SoftwareBfv:
+    """Functional RNS-tower execution of the Eq. 4 ciphertext tensor.
+
+    This is the algorithmic mirror of ``CofheeDriver.ciphertext_multiply``:
+    per tower, 4 forward NTTs, 4 Hadamard products, 1 addition, 3 inverse
+    NTTs — the outputs CRT-recombine to the big-modulus tensor mod q.
+    """
+
+    def __init__(self, basis: RnsBasis, n: int):
+        self.basis = basis
+        self.n = n
+        self._ctx = {q: NttContext(n, q) for q in basis.moduli}
+        self.tower_ops = {"ntt": 0, "intt": 0, "hadamard": 0, "add": 0}
+
+    def ciphertext_multiply(
+        self,
+        ct_a: tuple[Sequence[int], Sequence[int]],
+        ct_b: tuple[Sequence[int], Sequence[int]],
+    ) -> list[list[int]]:
+        """Return the three tensor polynomials mod q (big-modulus form)."""
+        tower_results: list[list[list[int]]] = []
+        for q in self.basis.moduli:
+            ctx = self._ctx[q]
+            a0 = ctx.forward([c % q for c in ct_a[0]])
+            a1 = ctx.forward([c % q for c in ct_a[1]])
+            b0 = ctx.forward([c % q for c in ct_b[0]])
+            b1 = ctx.forward([c % q for c in ct_b[1]])
+            self.tower_ops["ntt"] += 4
+            y0 = [x * y % q for x, y in zip(a0, b0)]
+            y2 = [x * y % q for x, y in zip(a1, b1)]
+            cross1 = [x * y % q for x, y in zip(a0, b1)]
+            cross2 = [x * y % q for x, y in zip(a1, b0)]
+            self.tower_ops["hadamard"] += 4
+            y1 = [(u + v) % q for u, v in zip(cross1, cross2)]
+            self.tower_ops["add"] += 1
+            outs = [ctx.inverse(y0), ctx.inverse(y1), ctx.inverse(y2)]
+            self.tower_ops["intt"] += 3
+            tower_results.append(outs)
+        return [
+            self.basis.reconstruct_poly([tw[j] for tw in tower_results])
+            for j in range(3)
+        ]
+
+
+@dataclass(frozen=True)
+class CpuMeasurement:
+    """One modeled CPU data point (a Fig. 6 bar)."""
+
+    n: int
+    log_q: int
+    towers: int
+    threads: int
+    time_ms: float
+    power_w: float
+
+    @property
+    def pdp_w_ms(self) -> float:
+        return self.power_w * self.time_ms
+
+
+class CpuCostModel:
+    """SEAL-3.7-on-Ryzen calibrated wall-clock/power model.
+
+    Calibration anchors (Section VI-B):
+
+    * (n, log q) = (2^12, 109), 2 towers, 1 thread: **1.5 ms**, **1.48 W**;
+    * (n, log q) = (2^13, 218), 4 towers, 1 thread: **6.91 ms**, **2.3 W**.
+
+    Per-tower ciphertext-mult time follows ``c(n) * n log2 n`` with a weak
+    cache-pressure term in ``c(n)``; threads scale by Amdahl's law with a
+    fitted serial fraction (the paper's "diminishing returns as we add
+    extra threads"); power grows near-linearly in active threads.
+    """
+
+    #: ns per (coefficient x stage) at n = 2^12, from the 1.5 ms anchor:
+    #: 1.5 ms / (2 towers * 4096 * 12).
+    BASE_NS = 15.259
+    #: cache-pressure growth per octave of n, from the 6.91 ms anchor.
+    CACHE_SLOPE = 0.0629
+    #: Amdahl serial fraction (fits the Fig. 6 bar shape).
+    SERIAL_FRACTION = 0.15
+    #: Power split: idle-attributable base + per-thread active power.
+    POWER_BASE_FRACTION = 0.30
+
+    def tower_time_ms(self, n: int) -> float:
+        """Single-thread per-tower Eq. 4 tensor time."""
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"n must be a power of two, got {n}")
+        log_n = n.bit_length() - 1
+        c_ns = self.BASE_NS * (1.0 + self.CACHE_SLOPE * (log_n - 12))
+        return c_ns * n * log_n / 1e6
+
+    def ciphertext_mult_ms(self, params: BfvParameters, threads: int = 1) -> float:
+        """Wall-clock for one big-modulus ciphertext multiplication."""
+        if threads < 1:
+            raise ValueError("thread count must be >= 1")
+        single = params.cpu_tower_count * self.tower_time_ms(params.n)
+        s = self.SERIAL_FRACTION
+        return single * (s + (1.0 - s) / threads)
+
+    def power_w(self, params: BfvParameters, threads: int = 1) -> float:
+        """powertop-style package power attribution."""
+        if threads < 1:
+            raise ValueError("thread count must be >= 1")
+        single = self.single_thread_power_w(params)
+        base = self.POWER_BASE_FRACTION * single
+        per_thread = (1.0 - self.POWER_BASE_FRACTION) * single
+        return base + per_thread * threads
+
+    def single_thread_power_w(self, params: BfvParameters) -> float:
+        """Interpolate the two measured single-thread power points."""
+        log_n = params.n.bit_length() - 1
+        return 1.48 + (2.3 - 1.48) * (log_n - 12)
+
+    def measurement(self, params: BfvParameters, threads: int) -> CpuMeasurement:
+        return CpuMeasurement(
+            n=params.n,
+            log_q=params.log_q,
+            towers=params.cpu_tower_count,
+            threads=threads,
+            time_ms=self.ciphertext_mult_ms(params, threads),
+            power_w=self.power_w(params, threads),
+        )
+
+    def pdp_w_ms(self, params: BfvParameters, threads: int = 1) -> float:
+        """Power-Delay Product — the paper's 2.22 W*ms (n = 2^12) and
+        15.9 W*ms (n = 2^13) single-thread figures."""
+        return self.ciphertext_mult_ms(params, threads) * self.power_w(
+            params, threads
+        )
+
+    def crossover_threads(self, params: BfvParameters,
+                          cofhee_ms: float) -> int | None:
+        """Smallest thread count at which SEAL beats one CoFHEE instance
+        ("to the point of becoming faster than a single instance")."""
+        for threads in range(1, CPU_THREADS_MAX + 1):
+            if self.ciphertext_mult_ms(params, threads) < cofhee_ms:
+                return threads
+        return None

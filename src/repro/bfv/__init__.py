@@ -1,0 +1,43 @@
+"""BFV fully homomorphic encryption scheme (Brakerski/Fan-Vercauteren).
+
+This is the scheme the paper evaluates (Section II-B): plaintexts live in
+``Z_t[x]/(x^n + 1)``, ciphertexts in ``Z_q[x]/(x^n + 1)``, and the
+homomorphic multiplication is the Eq. 4 tensor whose polynomial arithmetic
+CoFHEE accelerates. The implementation is a faithful textbook BFV —
+key generation, encryption (paper Eqs. 2-3), decryption, homomorphic
+add/sub/multiply, relinearization via base-T digit decomposition, SIMD
+batching, and noise-budget tracking — sufficient to run the paper's
+end-to-end applications (CryptoNets-style inference, logistic regression)
+on top of either the software baseline or the chip model.
+"""
+
+from repro.bfv.params import SEAL_PRESETS, BfvParameters
+from repro.bfv.keys import KeySet, PublicKey, RelinKey, SecretKey
+from repro.bfv.scheme import Bfv, Ciphertext
+from repro.bfv.encoder import BatchEncoder, IntegerEncoder
+from repro.bfv.noise import NoiseModel, security_level_bits
+from repro.bfv.rotation import RotationEngine
+from repro.bfv.sampling import (
+    CenteredBinomialSampler,
+    DiscreteGaussianSampler,
+    TernarySampler,
+)
+
+__all__ = [
+    "Bfv",
+    "BatchEncoder",
+    "BfvParameters",
+    "CenteredBinomialSampler",
+    "Ciphertext",
+    "DiscreteGaussianSampler",
+    "IntegerEncoder",
+    "KeySet",
+    "NoiseModel",
+    "PublicKey",
+    "RelinKey",
+    "RotationEngine",
+    "SEAL_PRESETS",
+    "SecretKey",
+    "TernarySampler",
+    "security_level_bits",
+]

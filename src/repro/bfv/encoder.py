@@ -1,0 +1,130 @@
+"""Plaintext encoders: scalar/integer encoding and SIMD batching.
+
+The end-to-end applications (Section VI-C) pack many values per ciphertext:
+CryptoNets batches inference inputs, logistic regression packs feature
+vectors. :class:`BatchEncoder` provides the standard CRT/SIMD packing (the
+plaintext modulus ``t`` is chosen ``t === 1 mod 2n`` so the plaintext ring
+splits into ``n`` independent slots via the same negacyclic NTT the
+ciphertext side uses). :class:`IntegerEncoder` is the simple signed-integer
+polynomial encoding for scalar work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bfv.params import BfvParameters
+from repro.polymath.ntt import NttContext
+from repro.polymath.poly import Polynomial, PolynomialRing
+
+
+class BatchEncoder:
+    """SIMD slot packing over ``Z_t[x]/(x^n+1)`` with ``t === 1 (mod 2n)``.
+
+    Encoding is the *inverse* negacyclic NTT over the plaintext modulus:
+    slot values are the evaluations of the plaintext polynomial at the odd
+    powers of ``psi_t``, so slot-wise add/multiply of encodings matches the
+    ring add/multiply of the underlying polynomials — the property that
+    makes one homomorphic op act on ``n`` data items at once.
+    """
+
+    def __init__(self, params: BfvParameters):
+        if (params.t - 1) % (2 * params.n) != 0:
+            raise ValueError(
+                f"plaintext modulus {params.t} does not support batching for "
+                f"n = {params.n} (need t === 1 mod 2n)"
+            )
+        self.params = params
+        self.ring = PolynomialRing(params.n, params.t)
+        self._ctx = NttContext(params.n, params.t)
+
+    @property
+    def slot_count(self) -> int:
+        return self.params.n
+
+    def encode(self, values: Sequence[int]) -> Polynomial:
+        """Pack up to ``n`` integers (mod t) into a plaintext polynomial."""
+        if len(values) > self.params.n:
+            raise ValueError(f"too many values ({len(values)}) for {self.params.n} slots")
+        slots = [v % self.params.t for v in values]
+        slots += [0] * (self.params.n - len(slots))
+        return self.ring(self._ctx.inverse(slots))
+
+    def decode(self, plaintext: Polynomial) -> list[int]:
+        """Unpack a plaintext polynomial back into its slot values."""
+        if plaintext.ring != self.ring:
+            raise ValueError("plaintext not in the batching ring")
+        return self._ctx.forward(list(plaintext.coeffs))
+
+    def decode_signed(self, plaintext: Polynomial) -> list[int]:
+        """Decode with slots lifted to the symmetric range (-t/2, t/2]."""
+        t = self.params.t
+        half = t // 2
+        return [v - t if v > half else v for v in self.decode(plaintext)]
+
+
+class IntegerEncoder:
+    """Signed integer <-> constant-ish polynomial encoding (base-B digits).
+
+    Encodes an integer as a low-degree polynomial with digits in a small
+    balanced base so that sums/products of a few encodings decode correctly
+    by evaluating at ``x = base``. The scalar weights of the CryptoNets /
+    logistic-regression models are encoded this way (or, for base ``t``,
+    as plain constants — the chip's ``CMODMUL`` path).
+    """
+
+    def __init__(self, params: BfvParameters, base: int = 2):
+        if base < 2:
+            raise ValueError(f"base must be >= 2, got {base}")
+        self.params = params
+        self.base = base
+        self.ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+
+    def encode(self, value: int) -> Polynomial:
+        """Encode a signed integer as balanced base-``base`` digits."""
+        coeffs = [0] * self.params.n
+        v = value
+        i = 0
+        half = self.base // 2
+        while v != 0:
+            if i >= self.params.n:
+                raise ValueError(f"integer {value} too large to encode")
+            digit = v % self.base
+            v //= self.base
+            if digit > half:
+                digit -= self.base
+                v += 1
+            coeffs[i] = digit % self.params.t
+            i += 1
+        return self.ring(coeffs)
+
+    def decode(self, plaintext: Polynomial) -> int:
+        """Decode by evaluating the centered polynomial at ``x = base``."""
+        t = self.params.t
+        half = t // 2
+        acc = 0
+        for c in reversed(plaintext.coeffs):
+            signed = c - t if c > half else c
+            acc = acc * self.base + signed
+        return acc
+
+
+class ScalarEncoder:
+    """Degenerate encoder mapping an integer mod t to a constant polynomial.
+
+    This is the encoding that pairs with the chip's ``CMODMUL`` (constant
+    multiply) instruction: multiplying a ciphertext by a constant plaintext
+    needs no NTT at all.
+    """
+
+    def __init__(self, params: BfvParameters):
+        self.params = params
+        self.ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+
+    def encode(self, value: int) -> Polynomial:
+        return self.ring([value % self.params.t])
+
+    def decode(self, plaintext: Polynomial) -> int:
+        if any(c for c in plaintext.coeffs[1:]):
+            raise ValueError("plaintext is not a constant polynomial")
+        return plaintext.coeffs[0]

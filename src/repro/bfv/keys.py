@@ -1,0 +1,54 @@
+"""BFV key material: secret, public, and relinearization keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.polymath.poly import Polynomial
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """Ternary secret polynomial ``s``."""
+
+    s: Polynomial
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Encryption key ``kp = (kp1, kp2)`` of paper Eqs. 2-3.
+
+    ``kp1 = -(a*s + e) mod q`` and ``kp2 = a`` for uniform ``a`` and small
+    ``e``, so that ``kp1 + kp2*s`` is small.
+    """
+
+    kp1: Polynomial
+    kp2: Polynomial
+
+
+@dataclass(frozen=True)
+class RelinKey:
+    """Relinearization (key-switching) key for ``s**2``, base-T decomposed.
+
+    ``rows[i] = (b_i, a_i)`` with ``b_i = -(a_i*s + e_i) + T**i * s**2``;
+    the digit base is ``T = 2**digit_bits`` and there are
+    ``ceil(log q / digit_bits)`` rows. Smaller digits mean lower noise but
+    more rows — i.e. more NTT work per relinearization, the knob the
+    application cost model (Table X) exposes.
+    """
+
+    rows: tuple[tuple[Polynomial, Polynomial], ...]
+    digit_bits: int
+
+    @property
+    def num_digits(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class KeySet:
+    """Convenience bundle produced by :meth:`repro.bfv.Bfv.keygen`."""
+
+    secret: SecretKey
+    public: PublicKey
+    relin: RelinKey | None = None

@@ -1,0 +1,146 @@
+"""Galois automorphisms and SIMD slot rotation for BFV.
+
+Real CryptoNets-style pipelines need to *sum across slots* (e.g. the dot
+product inside a dense layer), which BFV does with Galois rotations: the
+automorphism ``x -> x^g`` permutes the batching slots, and key switching
+with a Galois key brings the ciphertext back under the original secret.
+The paper's op counts fold these into its ct*ct/relin totals; this module
+supplies the primitive so the functional miniatures can do genuine
+all-slots reductions.
+
+Slot layout: for ``t === 1 (mod 2n)`` the ``n`` slots form two rings of
+``n/2`` (indexed by powers of 3 modulo 2n); ``rotate_rows`` rotates within
+each half and ``rotate_columns`` swaps the halves — SEAL's terminology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bfv.keys import SecretKey
+from repro.bfv.scheme import Bfv, Ciphertext
+from repro.bfv.sampling import sample_uniform
+from repro.polymath.poly import Polynomial
+
+
+@dataclass(frozen=True)
+class GaloisKey:
+    """Key-switching key for one automorphism exponent ``g``."""
+
+    exponent: int
+    rows: tuple[tuple[Polynomial, Polynomial], ...]
+    digit_bits: int
+
+
+def apply_automorphism(poly: Polynomial, exponent: int) -> Polynomial:
+    """Map ``p(x) -> p(x^g)`` in ``Z_q[x]/(x^n + 1)``.
+
+    Monomial ``x^i`` maps to ``x^(i*g mod 2n)`` with a sign flip when the
+    reduced exponent crosses ``n`` (since ``x^n = -1``).
+    """
+    ring = poly.ring
+    n, q = ring.n, ring.q
+    if exponent % 2 == 0 or not 0 < exponent < 2 * n:
+        raise ValueError(f"automorphism exponent must be odd in (0, 2n), got {exponent}")
+    out = [0] * n
+    for i, c in enumerate(poly.coeffs):
+        if not c:
+            continue
+        j = i * exponent % (2 * n)
+        if j < n:
+            out[j] = (out[j] + c) % q
+        else:
+            out[j - n] = (out[j - n] - c) % q
+    return ring(out)
+
+
+class RotationEngine:
+    """Galois-key generation and slot rotation bound to a scheme instance."""
+
+    #: Generator of the slot-permutation group (SEAL's choice).
+    GENERATOR = 3
+
+    def __init__(self, bfv: Bfv, secret: SecretKey, digit_bits: int = 16):
+        self.bfv = bfv
+        self.params = bfv.params
+        self._secret = secret
+        self.digit_bits = digit_bits
+        self._keys: dict[int, GaloisKey] = {}
+
+    # -- key generation -----------------------------------------------------
+
+    def galois_key(self, exponent: int) -> GaloisKey:
+        """Generate (and cache) the key-switching key for ``x -> x^g``.
+
+        Rows satisfy ``b_i = -(a_i s + e_i) + T^i s(x^g)`` so switching a
+        ciphertext that decrypts under ``s(x^g)`` back to ``s``.
+        """
+        if exponent in self._keys:
+            return self._keys[exponent]
+        bfv = self.bfv
+        n, q = self.params.n, self.params.q
+        s_g = apply_automorphism(self._secret.s, exponent)
+        num_digits = -(-q.bit_length() // self.digit_bits)
+        rows = []
+        power = 1
+        for _ in range(num_digits):
+            a_i = bfv.ring(sample_uniform(bfv._rng, n, q))
+            e_i = bfv.ring(bfv._gaussian.sample(n))
+            b_i = -(bfv._exact_mul(a_i, self._secret.s) + e_i) + s_g.scalar_mul(power)
+            rows.append((b_i, a_i))
+            power = (power << self.digit_bits) % q
+        key = GaloisKey(exponent=exponent, rows=tuple(rows),
+                        digit_bits=self.digit_bits)
+        self._keys[exponent] = key
+        return key
+
+    # -- rotation -------------------------------------------------------------
+
+    def apply_galois(self, ct: Ciphertext, exponent: int) -> Ciphertext:
+        """Apply ``x -> x^g`` to a 2-component ciphertext and key-switch."""
+        if ct.size != 2:
+            raise ValueError("rotate a 2-component ciphertext (relinearize first)")
+        key = self.galois_key(exponent)
+        c1g = apply_automorphism(ct.polys[0], exponent)
+        c2g = apply_automorphism(ct.polys[1], exponent)
+        # Key-switch c2g from s(x^g) to s: digit-decompose and fold.
+        digits = self.bfv._decompose_digits(c2g, _as_relin(key))
+        new_c1, new_c2 = c1g, self.bfv.ring.zero()
+        for d, (b_i, a_i) in zip(digits, key.rows):
+            new_c1 = new_c1 + self.bfv._exact_mul(d, b_i)
+            new_c2 = new_c2 + self.bfv._exact_mul(d, a_i)
+        return Ciphertext([new_c1, new_c2], self.params)
+
+    def rotate_rows(self, ct: Ciphertext, steps: int) -> Ciphertext:
+        """Rotate both slot half-rings by ``steps`` positions."""
+        half = self.params.n // 2
+        steps %= half
+        if steps == 0:
+            return ct.copy()
+        exponent = pow(self.GENERATOR, steps, 2 * self.params.n)
+        return self.apply_galois(ct, exponent)
+
+    def rotate_columns(self, ct: Ciphertext) -> Ciphertext:
+        """Swap the two slot half-rings (``g = 2n - 1``)."""
+        return self.apply_galois(ct, 2 * self.params.n - 1)
+
+    def sum_all_slots(self, ct: Ciphertext) -> Ciphertext:
+        """Reduce: every slot ends up holding the sum of all slots.
+
+        log2(n/2) row rotations + one column swap — the dense-layer
+        reduction pattern CryptoNets uses.
+        """
+        half = self.params.n // 2
+        acc = ct
+        step = 1
+        while step < half:
+            acc = self.bfv.add(acc, self.rotate_rows(acc, step))
+            step <<= 1
+        return self.bfv.add(acc, self.rotate_columns(acc))
+
+
+def _as_relin(key: GaloisKey):
+    """Adapter: reuse the scheme's digit decomposition via a RelinKey shim."""
+    from repro.bfv.keys import RelinKey
+
+    return RelinKey(rows=key.rows, digit_bits=key.digit_bits)

@@ -1,0 +1,363 @@
+"""The BFV scheme: keygen, encryption, decryption, homomorphic evaluation.
+
+Implements exactly the operations the paper builds on:
+
+* encryption per Eqs. 2-3 (``c1 = kp1*u + e1 + Delta*m``, ``c2 = kp2*u + e2``);
+* homomorphic multiplication per the Eq. 4 tensor — the polynomial products
+  are computed *over the integers* (centered lift, exact negacyclic product
+  via an auxiliary-prime NTT) and then scaled by ``t/q`` with rounding;
+* relinearization by base-T digit decomposition, whose per-digit NTT work
+  is what makes ``EvalMult`` "the slowest operation" (Section II-C) and the
+  dominant term in the Table X application model.
+
+The scheme is *functional* ground truth: the cycle-level chip model and the
+software-baseline cost model both defer to it for correctness checks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.bfv.keys import KeySet, PublicKey, RelinKey, SecretKey
+from repro.bfv.params import BfvParameters
+from repro.bfv.sampling import DiscreteGaussianSampler, TernarySampler, sample_uniform
+from repro.polymath.ntt import NttContext
+from repro.polymath.poly import Polynomial, PolynomialRing
+from repro.polymath.primes import ntt_friendly_prime
+
+
+@dataclass
+class Ciphertext:
+    """A BFV ciphertext: a list of polynomials over ``Z_q[x]/(x^n+1)``.
+
+    Fresh ciphertexts have two components ``(c1, c2)``; the Eq. 4 tensor
+    yields three ``(cc1, cc2, cc3)`` until relinearization maps it back to
+    two. Decryption of a k-component ciphertext evaluates
+    ``sum_i c_i * s**(i)`` (``i`` from 0).
+    """
+
+    polys: list[Polynomial]
+    params: BfvParameters
+
+    @property
+    def size(self) -> int:
+        return len(self.polys)
+
+    def __iter__(self):
+        return iter(self.polys)
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(list(self.polys), self.params)
+
+
+class Bfv:
+    """BFV scheme instance bound to a parameter set and a seeded RNG.
+
+    Args:
+        params: the BFV parameter set.
+        seed: RNG seed (every experiment in the reproduction is seeded).
+    """
+
+    def __init__(self, params: BfvParameters, seed: int = 0):
+        self.params = params
+        self.ring = PolynomialRing(params.n, params.q, allow_non_ntt=True)
+        self._rng = random.Random(seed)
+        self._ternary = TernarySampler(self._rng)
+        self._gaussian = DiscreteGaussianSampler(self._rng, params.sigma)
+        self._mult_ctx = _ExactMultiplier(params.n, params.q)
+
+    # ------------------------------------------------------------------
+    # Key generation
+    # ------------------------------------------------------------------
+
+    def keygen(self, relin_digit_bits: int | None = 22) -> KeySet:
+        """Generate secret, public, and (optionally) relinearization keys.
+
+        Args:
+            relin_digit_bits: digit width for the relin key's base-T
+                decomposition; ``None`` skips relin-key generation.
+        """
+        n, q = self.params.n, self.params.q
+        s = self.ring(self._ternary.sample(n))
+        a = self.ring(sample_uniform(self._rng, n, q))
+        e = self.ring(self._gaussian.sample(n))
+        kp1 = -(self._exact_mul(a, s) + e)
+        public = PublicKey(kp1=kp1, kp2=a)
+        secret = SecretKey(s=s)
+        relin = None
+        if relin_digit_bits is not None:
+            relin = self._make_relin_key(s, relin_digit_bits)
+        return KeySet(secret=secret, public=public, relin=relin)
+
+    def _make_relin_key(self, s: Polynomial, digit_bits: int) -> RelinKey:
+        if digit_bits < 1:
+            raise ValueError(f"digit_bits must be >= 1, got {digit_bits}")
+        n, q = self.params.n, self.params.q
+        s2 = self._exact_mul(s, s)
+        num_digits = -(-q.bit_length() // digit_bits)
+        rows = []
+        power = 1
+        for _ in range(num_digits):
+            a_i = self.ring(sample_uniform(self._rng, n, q))
+            e_i = self.ring(self._gaussian.sample(n))
+            b_i = -(self._exact_mul(a_i, s) + e_i) + s2.scalar_mul(power)
+            rows.append((b_i, a_i))
+            power = (power << digit_bits) % q
+        return RelinKey(rows=tuple(rows), digit_bits=digit_bits)
+
+    # ------------------------------------------------------------------
+    # Encrypt / decrypt (paper Eqs. 2-3)
+    # ------------------------------------------------------------------
+
+    def encrypt(self, plaintext: Polynomial, public: PublicKey) -> Ciphertext:
+        """Encrypt a plaintext polynomial (coefficients mod t)."""
+        self._check_plaintext(plaintext)
+        n = self.params.n
+        u = self.ring(self._ternary.sample(n))
+        e1 = self.ring(self._gaussian.sample(n))
+        e2 = self.ring(self._gaussian.sample(n))
+        delta_m = self._lift_plaintext(plaintext).scalar_mul(self.params.delta)
+        c1 = self._exact_mul(public.kp1, u) + e1 + delta_m
+        c2 = self._exact_mul(public.kp2, u) + e2
+        return Ciphertext([c1, c2], self.params)
+
+    def encrypt_zero(self, public: PublicKey) -> Ciphertext:
+        """Encrypt the zero polynomial (useful for randomization)."""
+        zero = PolynomialRing(self.params.n, self.params.t, allow_non_ntt=True).zero()
+        return self.encrypt(zero, public)
+
+    def decrypt(self, ct: Ciphertext, secret: SecretKey) -> Polynomial:
+        """Decrypt: ``m = round(t * (sum_i c_i s^i) / q) mod t``."""
+        phase = self._phase(ct, secret)
+        t, q = self.params.t, self.params.q
+        pt_ring = PolynomialRing(self.params.n, t, allow_non_ntt=True)
+        coeffs = []
+        for c in phase.centered():
+            coeffs.append(_round_div(t * c, q) % t)
+        return pt_ring(coeffs)
+
+    def noise_budget(self, ct: Ciphertext, secret: SecretKey) -> int:
+        """Remaining invariant-noise budget in bits (0 = decryption at risk).
+
+        Computed SEAL-style: the budget is ``log2(q / (2t)) - log2 ||w||``
+        where ``w`` is the rounding residue of the phase. It shrinks with
+        every homomorphic operation and reaches 0 right before decryption
+        failures begin.
+        """
+        phase = self._phase(ct, secret)
+        t, q = self.params.t, self.params.q
+        worst = 0
+        for c in phase.centered():
+            m = _round_div(t * c, q)
+            w = abs(t * c - m * q)  # |t*c - round(t*c/q)*q| <= q/2 * t_noise
+            worst = max(worst, w)
+        if worst == 0:
+            return max(0, q.bit_length() - t.bit_length() - 1)
+        budget = (q.bit_length() - 1) - (worst.bit_length() - 1) - 1
+        return max(0, budget)
+
+    def _phase(self, ct: Ciphertext, secret: SecretKey) -> Polynomial:
+        """``sum_i c_i * s**i`` over ``R_q`` (the decryption phase)."""
+        acc = ct.polys[0]
+        s_pow = secret.s
+        for c in ct.polys[1:]:
+            acc = acc + self._exact_mul(c, s_pow)
+            s_pow = self._exact_mul(s_pow, secret.s)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Homomorphic operations
+    # ------------------------------------------------------------------
+
+    def add(self, ca: Ciphertext, cb: Ciphertext) -> Ciphertext:
+        """Homomorphic addition (componentwise, pads to the longer size)."""
+        self._check_pair(ca, cb)
+        size = max(ca.size, cb.size)
+        zero = self.ring.zero()
+        polys = []
+        for i in range(size):
+            pa = ca.polys[i] if i < ca.size else zero
+            pb = cb.polys[i] if i < cb.size else zero
+            polys.append(pa + pb)
+        return Ciphertext(polys, self.params)
+
+    def sub(self, ca: Ciphertext, cb: Ciphertext) -> Ciphertext:
+        """Homomorphic subtraction."""
+        self._check_pair(ca, cb)
+        size = max(ca.size, cb.size)
+        zero = self.ring.zero()
+        polys = []
+        for i in range(size):
+            pa = ca.polys[i] if i < ca.size else zero
+            pb = cb.polys[i] if i < cb.size else zero
+            polys.append(pa - pb)
+        return Ciphertext(polys, self.params)
+
+    def multiply(self, ca: Ciphertext, cb: Ciphertext) -> Ciphertext:
+        """Homomorphic multiplication: the Eq. 4 tensor.
+
+        ``(cc1, cc2, cc3) = round(t/q * (ca1*cb1, ca1*cb2 + ca2*cb1,
+        ca2*cb2))`` with the polynomial products taken over the integers
+        (centered representatives) before scaling.
+        """
+        self._check_pair(ca, cb)
+        if ca.size != 2 or cb.size != 2:
+            raise ValueError("EvalMult expects 2-component ciphertexts; relinearize first")
+        a1, a2 = (p.centered() for p in ca.polys)
+        b1, b2 = (p.centered() for p in cb.polys)
+        m11 = self._mult_ctx.multiply(a1, b1)
+        m12 = self._mult_ctx.multiply(a1, b2)
+        m21 = self._mult_ctx.multiply(a2, b1)
+        m22 = self._mult_ctx.multiply(a2, b2)
+        cross = [x + y for x, y in zip(m12, m21)]
+        t, q = self.params.t, self.params.q
+        scale = lambda vec: self.ring([_round_div(t * c, q) for c in vec])
+        return Ciphertext([scale(m11), scale(cross), scale(m22)], self.params)
+
+    def square(self, ct: Ciphertext) -> Ciphertext:
+        """Homomorphic squaring (saves one integer product vs multiply)."""
+        if ct.size != 2:
+            raise ValueError("square expects a 2-component ciphertext")
+        a1, a2 = (p.centered() for p in ct.polys)
+        m11 = self._mult_ctx.multiply(a1, a1)
+        m12 = self._mult_ctx.multiply(a1, a2)
+        m22 = self._mult_ctx.multiply(a2, a2)
+        cross = [2 * x for x in m12]
+        t, q = self.params.t, self.params.q
+        scale = lambda vec: self.ring([_round_div(t * c, q) for c in vec])
+        return Ciphertext([scale(m11), scale(cross), scale(m22)], self.params)
+
+    def relinearize(self, ct: Ciphertext, relin: RelinKey) -> Ciphertext:
+        """Map a 3-component ciphertext back to 2 components.
+
+        Decomposes ``cc3`` into base-T digits and folds each digit through
+        the corresponding relin-key row — per digit this is one polynomial
+        multiplication pair, i.e. the NTT/Hadamard work the chip-side cost
+        model charges for relinearization.
+        """
+        if ct.size == 2:
+            return ct.copy()
+        if ct.size != 3:
+            raise ValueError(f"relinearize expects size-3 ciphertext, got {ct.size}")
+        c1, c2, c3 = ct.polys
+        digits = self._decompose_digits(c3, relin)
+        new_c1, new_c2 = c1, c2
+        for d, (b_i, a_i) in zip(digits, relin.rows):
+            new_c1 = new_c1 + self._exact_mul(d, b_i)
+            new_c2 = new_c2 + self._exact_mul(d, a_i)
+        return Ciphertext([new_c1, new_c2], self.params)
+
+    def multiply_relin(self, ca: Ciphertext, cb: Ciphertext, relin: RelinKey) -> Ciphertext:
+        """Convenience: Eq. 4 tensor followed by relinearization."""
+        return self.relinearize(self.multiply(ca, cb), relin)
+
+    def add_plain(self, ct: Ciphertext, plaintext: Polynomial) -> Ciphertext:
+        """Add a plaintext polynomial: ``c1 += Delta * m``."""
+        self._check_plaintext(plaintext)
+        delta_m = self._lift_plaintext(plaintext).scalar_mul(self.params.delta)
+        polys = list(ct.polys)
+        polys[0] = polys[0] + delta_m
+        return Ciphertext(polys, self.params)
+
+    def multiply_plain(self, ct: Ciphertext, plaintext: Polynomial) -> Ciphertext:
+        """Multiply by a plaintext polynomial (no tensor, no rescale).
+
+        Each ciphertext component is multiplied by the *centered* plaintext
+        so small-magnitude messages keep noise growth minimal — this is the
+        ``ct*pt`` operation of the Table X application mixes.
+        """
+        self._check_plaintext(plaintext)
+        if all(c == 0 for c in plaintext.coeffs):
+            return Ciphertext([self.ring.zero() for _ in ct.polys], self.params)
+        lifted = self._lift_plaintext(plaintext)
+        polys = [self._exact_mul(p, lifted) for p in ct.polys]
+        return Ciphertext(polys, self.params)
+
+    def multiply_scalar(self, ct: Ciphertext, scalar: int) -> Ciphertext:
+        """Multiply by an integer scalar mod t (chip op ``CMODMUL``)."""
+        s = scalar % self.params.t
+        if s > self.params.t // 2:
+            s -= self.params.t  # centered lift keeps noise small
+        polys = [p.scalar_mul(s) for p in ct.polys]
+        return Ciphertext(polys, self.params)
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext([-p for p in ct.polys], self.params)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _exact_mul(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        """Negacyclic product in ``R_q`` via the exact integer multiplier."""
+        prod = self._mult_ctx.multiply(a.centered(), b.centered())
+        return self.ring(prod)
+
+    def _lift_plaintext(self, plaintext: Polynomial) -> Polynomial:
+        """Centered lift of a mod-t plaintext into ``R_q``."""
+        t = self.params.t
+        half = t // 2
+        coeffs = [c - t if c > half else c for c in plaintext.coeffs]
+        return self.ring(coeffs)
+
+    def _decompose_digits(self, poly: Polynomial, relin: RelinKey) -> list[Polynomial]:
+        """Base-T digit decomposition of every coefficient of ``poly``."""
+        mask = (1 << relin.digit_bits) - 1
+        digit_coeffs: list[list[int]] = [[] for _ in range(relin.num_digits)]
+        for c in poly.coeffs:
+            for i in range(relin.num_digits):
+                digit_coeffs[i].append(c & mask)
+                c >>= relin.digit_bits
+        return [self.ring(dc) for dc in digit_coeffs]
+
+    def _check_pair(self, ca: Ciphertext, cb: Ciphertext) -> None:
+        if ca.params is not cb.params and ca.params != cb.params:
+            raise ValueError("ciphertexts use different parameter sets")
+
+    def _check_plaintext(self, plaintext: Polynomial) -> None:
+        if plaintext.ring.n != self.params.n:
+            raise ValueError(
+                f"plaintext degree {plaintext.ring.n} != scheme degree {self.params.n}"
+            )
+        if plaintext.ring.q != self.params.t:
+            raise ValueError(
+                f"plaintext modulus {plaintext.ring.q} != scheme t {self.params.t}"
+            )
+
+
+class _ExactMultiplier:
+    """Exact negacyclic product of centered integer polynomials.
+
+    Products in ``EvalMult`` must be taken over the integers before the
+    ``t/q`` scaling. Coefficients are bounded by ``n * (q/2)**2``, so an
+    NTT over one auxiliary prime wide enough to hold that bound recovers the
+    exact integer result from its centered residue.
+    """
+
+    def __init__(self, n: int, q: int):
+        self.n = n
+        # bound on |product coefficient|: n * (q/2)^2; need P > 2*bound.
+        bound_bits = 2 * (q.bit_length() - 1) + n.bit_length() + 2
+        self.aux_q = ntt_friendly_prime(n, bound_bits + 2)
+        self.ctx = NttContext(n, self.aux_q)
+
+    def multiply(self, a_centered: list[int], b_centered: list[int]) -> list[int]:
+        """Return the exact integer negacyclic product of centered inputs."""
+        p = self.aux_q
+        fa = self.ctx.forward([x % p for x in a_centered])
+        fb = self.ctx.forward([x % p for x in b_centered])
+        prod = [x * y % p for x, y in zip(fa, fb)]
+        res = self.ctx.inverse(prod)
+        half = p // 2
+        return [c - p if c > half else c for c in res]
+
+
+def _round_div(numerator: int, denominator: int) -> int:
+    """Round-half-away-from-zero integer division (the Eq. 4 rounding)."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    if numerator >= 0:
+        return (2 * numerator + denominator) // (2 * denominator)
+    return -((-2 * numerator + denominator) // (2 * denominator))

@@ -1,0 +1,45 @@
+"""Cycle-level model of the CoFHEE co-processor (the paper's contribution).
+
+The package mirrors Fig. 1 of the paper block-for-block:
+
+* :mod:`repro.core.pe` — the processing element: pipelined Barrett modular
+  multiplier (5-cycle latency, II = 1), 1-cycle modular adder/subtractor,
+  and the radix-2 butterfly mode.
+* :mod:`repro.core.memory` — the 3 dual-port + 5 single-port SRAM banks
+  (1 MB total) with read latency, plus the CM0 instruction memory.
+* :mod:`repro.core.bus` — the AHB-Lite 10x11 crossbar with single and
+  8-beat burst transfers.
+* :mod:`repro.core.mdmc` — the Multiplier Data Mover and Controller state
+  machine that sequences NTT stages, ping-pongs the dual-port banks, and
+  streams pointwise operations.
+* :mod:`repro.core.dma`, :mod:`repro.core.fifo`, :mod:`repro.core.regs`,
+  :mod:`repro.core.cm0`, :mod:`repro.core.interfaces` — DMA engine,
+  32-deep command FIFO, Table II configuration registers, the ARM
+  Cortex-M0 sequencer, and the UART/SPI host links.
+* :mod:`repro.core.chip` / :mod:`repro.core.driver` — the assembled chip
+  and the host-side API with the three execution modes of Section III-I.
+* :mod:`repro.core.timing` / :mod:`repro.core.power` — the calibrated
+  cycle and power models (Table V).
+* :mod:`repro.core.adpll` — behavioral model of the all-digital PLL.
+
+The functional datapath is bit-exact against :mod:`repro.polymath`; the
+cycle accounting reproduces Table V to within 0.02 %.
+"""
+
+from repro.core.chip import CoFHEE
+from repro.core.driver import CofheeDriver, OperationReport
+from repro.core.isa import Command, Opcode
+from repro.core.timing import ClockConfig, TimingModel
+from repro.core.power import PowerModel, PowerReport
+
+__all__ = [
+    "ClockConfig",
+    "CoFHEE",
+    "CofheeDriver",
+    "Command",
+    "Opcode",
+    "OperationReport",
+    "PowerModel",
+    "PowerReport",
+    "TimingModel",
+]

@@ -1,0 +1,129 @@
+"""CoFHEE top level: the assembled chip of Fig. 1.
+
+Composes the SRAM banks, AHB-Lite crossbar, PE, MDMC, DMA, command FIFO,
+configuration registers, ARM Cortex-M0, host links, and the ADPLL into one
+object. The companion :class:`repro.core.driver.CofheeDriver` plays the
+host PC's role (loading polynomials over SPI/UART, issuing commands,
+reading results); the chip object itself only exposes what the silicon
+exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.adpll import Adpll
+from repro.core.bus import AhbLiteBus
+from repro.core.cm0 import CortexM0
+from repro.core.dma import DmaEngine
+from repro.core.errors import ConfigError
+from repro.core.fifo import CommandFifo
+from repro.core.interfaces import SpiLink, UartLink
+from repro.core.mdmc import Mdmc
+from repro.core.memory import MemoryMap
+from repro.core.pe import ProcessingElement
+from repro.core.power import PowerModel
+from repro.core.regs import ConfigRegisters
+from repro.core.timing import ClockConfig, TimingModel
+
+#: Headline implementation facts (abstract / Section V).
+DESIGN_AREA_MM2 = 12.0
+DIE_AREA_MM2 = 15.0  # including seal ring
+TECHNOLOGY = "GF 55nm LPE"
+MAX_NATIVE_N = 2**14
+OPTIMIZED_N = 2**13
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Build-time parameters of a CoFHEE instance.
+
+    The defaults are the fabricated chip; the scalability studies of
+    Section VIII-A instantiate variants (more banks, bigger banks).
+    """
+
+    poly_words: int = 8192  # one n = 2^13 polynomial per bank
+    frequency_hz: float = 250e6
+    fidelity: str = "vector"
+
+
+class CoFHEE:
+    """One CoFHEE co-processor instance."""
+
+    def __init__(self, config: ChipConfig | None = None):
+        self.config = config or ChipConfig()
+        self.clock = ClockConfig(frequency_hz=self.config.frequency_hz)
+        self.timing = TimingModel(self.clock, dual_port_words=self.config.poly_words)
+        self.memory_map = MemoryMap.default(poly_words=self.config.poly_words)
+        self.bus = AhbLiteBus(self.memory_map)
+        self.pe = ProcessingElement()
+        self.mdmc = Mdmc(
+            self.memory_map, self.bus, self.pe, self.timing,
+            fidelity=self.config.fidelity,
+        )
+        self.dma = DmaEngine(self.memory_map, self.bus, self.timing)
+        self.fifo = CommandFifo()
+        self.regs = ConfigRegisters()
+        self.cm0 = CortexM0(self.memory_map.cm0_sram)
+        self.spi = SpiLink()
+        self.uart = UartLink()
+        self.adpll = Adpll()
+        self.power_model = PowerModel(self.clock)
+
+    # ------------------------------------------------------------------
+
+    def configure_modulus(self, q: int, n: int) -> None:
+        """Program Q/N/INV_POLYDEG/BARRETT_CTL registers and the PE.
+
+        Mirrors the silicon bring-up sequence: the host computes the
+        Barrett constants and writes them; the PE consumes them.
+
+        Raises:
+            ConfigError: on out-of-range modulus or non-power-of-two n.
+        """
+        if n < 2 or n & (n - 1):
+            raise ConfigError(f"n must be a power of two, got {n}")
+        if n > MAX_NATIVE_N:
+            raise ConfigError(
+                f"n = {n} exceeds the native maximum {MAX_NATIVE_N}; larger "
+                "degrees need host-assisted decomposition (Section III-C)"
+            )
+        self.regs.program_modulus(q, n)
+        self.pe.configure(q)
+
+    @property
+    def programmed_q(self) -> int:
+        return self.regs.read("Q")
+
+    @property
+    def programmed_n(self) -> int:
+        return self.regs.read("N")
+
+    @property
+    def n_inverse(self) -> int:
+        return self.regs.read("INV_POLYDEG")
+
+    def reset_stats(self) -> None:
+        """Clear every performance counter (between experiments)."""
+        self.memory_map.reset_stats()
+        self.pe.stats.reset()
+        self.bus.stats.reset()
+        self.mdmc.total_cycles = 0
+        self.mdmc.commands_executed = 0
+
+    def inventory(self) -> dict[str, object]:
+        """Datasheet-style summary used by docs and sanity tests."""
+        return {
+            "technology": TECHNOLOGY,
+            "design_area_mm2": DESIGN_AREA_MM2,
+            "die_area_mm2": DIE_AREA_MM2,
+            "frequency_mhz": self.clock.frequency_hz / 1e6,
+            "max_native_n": MAX_NATIVE_N,
+            "optimized_n": OPTIMIZED_N,
+            "max_coeff_bits": 128,
+            "dual_port_banks": len(self.memory_map.dual_port),
+            "single_port_banks": len(self.memory_map.single_port),
+            "data_memory_bytes": self.memory_map.total_data_bytes(),
+            "command_fifo_depth": self.fifo.depth,
+            "bus": self.bus.crossbar_description(),
+        }

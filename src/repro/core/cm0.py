@@ -1,0 +1,123 @@
+"""ARM Cortex-M0 sequencer model — execution mode 3 (Section III-I).
+
+For "faster and flexible sequencing" the chip embeds a 32-bit Cortex-M0
+with dedicated instruction memory: the host compiles a subroutine of
+CoFHEE commands (in embedded C on silicon), preloads it, and triggers
+execution. The model captures what matters architecturally: a *program*
+(command list with simple loop control) stored in the CM0 SRAM, issued to
+the MDMC with small per-command dispatch overhead and no host round-trips
+between commands — the property that makes mode 3 faster than mode 1
+(per-command UART/SPI writes) for long sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import CapacityError, IsaError
+from repro.core.isa import Command
+from repro.core.memory import SramBank
+
+#: Cycles the CM0 spends issuing one command to the MDMC (load registers,
+#: write trigger): a handful of Thumb instructions.
+CM0_DISPATCH_CYCLES = 12
+
+
+@dataclass(frozen=True)
+class LoopMarker:
+    """Program-level repeat of a command block (compiled C ``for`` loop)."""
+
+    count: int
+    body: tuple[Command, ...]
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise IsaError(f"loop count must be >= 1, got {self.count}")
+        if not self.body:
+            raise IsaError("loop body must contain at least one command")
+
+
+@dataclass
+class Cm0Program:
+    """A compiled command subroutine resident in CM0 instruction memory."""
+
+    items: list[Command | LoopMarker] = field(default_factory=list)
+
+    def add(self, command: Command) -> "Cm0Program":
+        self.items.append(command)
+        return self
+
+    def loop(self, count: int, body: list[Command]) -> "Cm0Program":
+        self.items.append(LoopMarker(count=count, body=tuple(body)))
+        return self
+
+    def flatten(self) -> list[Command]:
+        """Unrolled command stream the MDMC will see."""
+        out: list[Command] = []
+        for item in self.items:
+            if isinstance(item, LoopMarker):
+                out.extend(list(item.body) * item.count)
+            else:
+                out.append(item)
+        return out
+
+    @property
+    def stored_words(self) -> int:
+        """Instruction-memory footprint (8 words per command frame plus a
+        loop descriptor word per loop) — loops are stored rolled, which is
+        the point of having a processor instead of a FIFO."""
+        words = 0
+        for item in self.items:
+            if isinstance(item, LoopMarker):
+                words += 1 + 8 * len(item.body)
+            else:
+                words += 8
+        return words
+
+
+class CortexM0:
+    """The embedded sequencer bound to its instruction SRAM."""
+
+    def __init__(self, instruction_memory: SramBank):
+        self.imem = instruction_memory
+        self._program: Cm0Program | None = None
+
+    def load_program(self, program: Cm0Program) -> None:
+        """Preload a compiled subroutine; checks the 4096-word SRAM bound."""
+        if program.stored_words > self.imem.words:
+            raise CapacityError(
+                f"program needs {program.stored_words} words, CM0 SRAM has "
+                f"{self.imem.words}"
+            )
+        # Commit encoded frames into the modeled instruction memory.
+        addr = 0
+        for item in program.items:
+            frames = item.body if isinstance(item, LoopMarker) else (item,)
+            if isinstance(item, LoopMarker):
+                self.imem.write(addr, item.count)
+                addr += 1
+            for cmd in frames:
+                for word in cmd.encode():
+                    self.imem.write(addr, word)
+                    addr += 1
+        self._program = program
+
+    def run(self, issue) -> tuple[int, int]:
+        """Execute the loaded program.
+
+        Args:
+            issue: callable ``(Command) -> cycles`` (the MDMC hook).
+
+        Returns:
+            ``(total_cycles, commands_issued)`` including CM0 dispatch
+            overhead.
+        """
+        if self._program is None:
+            raise IsaError("no program loaded")
+        total = 0
+        count = 0
+        for cmd in self._program.flatten():
+            total += CM0_DISPATCH_CYCLES
+            total += issue(cmd)
+            count += 1
+        return total, count

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the CoFHEE hardware model."""
+
+
+class CofheeError(Exception):
+    """Base class for all chip-model errors."""
+
+
+class MemoryFault(CofheeError):
+    """Out-of-range or misused SRAM access (bad address, port conflict)."""
+
+
+class BusError(CofheeError):
+    """AHB address decode failure or illegal transfer."""
+
+
+class FifoOverflow(CofheeError):
+    """Command written to a full command FIFO."""
+
+
+class ConfigError(CofheeError):
+    """Invalid configuration-register programming (bad modulus, size...)."""
+
+
+class IsaError(CofheeError):
+    """Malformed or unsupported instruction."""
+
+
+class CapacityError(CofheeError):
+    """Operands do not fit on chip for the requested on-chip execution."""

@@ -1,0 +1,84 @@
+"""The 32-deep command FIFO (Section III-I, execution mode 2).
+
+The host preloads a sequence of commands; the FIFO feeds them to the MDMC
+one at a time, in order, and raises an interrupt when the queue drains.
+"This requires less control logic and avoids complicated out-of-order
+executions" — the model therefore enforces strict FIFO order and a
+hard depth of 32.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.errors import FifoOverflow
+from repro.core.isa import Command
+
+#: Fabricated queue depth ("more than sufficient for our target applications").
+FIFO_DEPTH = 32
+
+
+@dataclass
+class FifoStats:
+    pushes: int = 0
+    pops: int = 0
+    high_watermark: int = 0
+    empty_interrupts: int = 0
+
+
+class CommandFifo:
+    """Strictly-ordered command queue with completion interrupt."""
+
+    def __init__(self, depth: int = FIFO_DEPTH):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._queue: deque[Command] = deque()
+        self.stats = FifoStats()
+        self._interrupt_pending = False
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, command: Command) -> None:
+        """Host writes one command (via the ``COMMAND_FIFO`` register).
+
+        Raises:
+            FifoOverflow: if the queue is full — on silicon the host is
+                expected to poll the full flag before writing.
+        """
+        if self.full:
+            raise FifoOverflow(f"command FIFO full (depth {self.depth})")
+        self._queue.append(command)
+        self.stats.pushes += 1
+        self.stats.high_watermark = max(self.stats.high_watermark, len(self._queue))
+
+    def push_all(self, commands: list[Command]) -> None:
+        for c in commands:
+            self.push(c)
+
+    def pop(self) -> Command:
+        """MDMC fetches the next command; raises interrupt on drain."""
+        if not self._queue:
+            raise FifoOverflow("pop from empty command FIFO")
+        cmd = self._queue.popleft()
+        self.stats.pops += 1
+        if not self._queue:
+            self._interrupt_pending = True
+            self.stats.empty_interrupts += 1
+        return cmd
+
+    def take_interrupt(self) -> bool:
+        """Read-and-clear the queue-empty interrupt flag."""
+        pending = self._interrupt_pending
+        self._interrupt_pending = False
+        return pending

@@ -1,0 +1,107 @@
+"""Host communication interfaces: UART and SPI (Section III-H).
+
+CoFHEE talks to its host through a 50 MHz SPI (synthesis-constrained;
+Section III-K) and UARTs (the validation setup runs an FTDI USB-to-UART
+link). These links are slow relative to compute — the reason the paper
+stresses that ciphertext multiplication runs fully on-chip for n <= 2^13
+"without requiring back-and-forth communication to the host", and that for
+larger polynomials "the communication costs increase" (Section III-C).
+
+The models charge wall-clock time per transferred polynomial and expose
+the serialization framing, so the large-n experiments can quantify exactly
+when communication dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.memory import WORD_BITS
+
+
+@dataclass
+class LinkStats:
+    bits_sent: int = 0
+    bits_received: int = 0
+    transactions: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits_sent + self.bits_received
+
+
+class SpiLink:
+    """SPI host link at the synthesis-constrained 50 MHz (Section III-K).
+
+    Single-bit data line; each byte pays one bit of framing overhead for
+    command/address phases amortized over burst transfers.
+    """
+
+    def __init__(self, clock_hz: float = 50e6, framing_overhead: float = 0.02):
+        if clock_hz <= 0:
+            raise ValueError("SPI clock must be positive")
+        self.clock_hz = clock_hz
+        self.framing_overhead = framing_overhead
+        self.stats = LinkStats()
+
+    def transfer_seconds(self, bits: int) -> float:
+        """Wall-clock seconds to move ``bits`` across the link."""
+        if bits < 0:
+            raise ValueError("bit count must be non-negative")
+        return bits * (1.0 + self.framing_overhead) / self.clock_hz
+
+    def send_polynomial(self, n: int, coeff_bits: int = WORD_BITS) -> float:
+        """Host -> chip polynomial download; returns seconds."""
+        bits = n * coeff_bits
+        self.stats.bits_sent += bits
+        self.stats.transactions += 1
+        return self.transfer_seconds(bits)
+
+    def receive_polynomial(self, n: int, coeff_bits: int = WORD_BITS) -> float:
+        """Chip -> host result readback; returns seconds."""
+        bits = n * coeff_bits
+        self.stats.bits_received += bits
+        self.stats.transactions += 1
+        return self.transfer_seconds(bits)
+
+    def register_write(self) -> float:
+        """One 32-bit configuration register write (mode-1 execution cost)."""
+        bits = 8 + 32 + 32  # command byte + address + data
+        self.stats.bits_sent += bits
+        self.stats.transactions += 1
+        return self.transfer_seconds(bits)
+
+
+class UartLink:
+    """UART host link (the validation setup's FTDI USB bridge).
+
+    8N1 framing: 10 line bits per data byte.
+    """
+
+    def __init__(self, baud_rate: int = 921_600):
+        if baud_rate <= 0:
+            raise ValueError("baud rate must be positive")
+        self.baud_rate = baud_rate
+        self.stats = LinkStats()
+
+    def transfer_seconds(self, data_bits: int) -> float:
+        bytes_needed = -(-data_bits // 8)
+        return bytes_needed * 10 / self.baud_rate
+
+    def send_polynomial(self, n: int, coeff_bits: int = WORD_BITS) -> float:
+        bits = n * coeff_bits
+        self.stats.bits_sent += bits
+        self.stats.transactions += 1
+        return self.transfer_seconds(bits)
+
+    def receive_polynomial(self, n: int, coeff_bits: int = WORD_BITS) -> float:
+        bits = n * coeff_bits
+        self.stats.bits_received += bits
+        self.stats.transactions += 1
+        return self.transfer_seconds(bits)
+
+    def register_write(self) -> float:
+        bits = (1 + 4 + 4) * 8  # opcode + address + data bytes
+        self.stats.bits_sent += bits
+        self.stats.transactions += 1
+        return self.transfer_seconds(bits)

@@ -1,0 +1,145 @@
+"""CoFHEE's instruction set (Table I) with command encoding.
+
+Each command names its operand/result memory regions by bus base address —
+the "memory address function [.]" of Table I — plus the scalar inputs the
+operation needs (modulus q is pre-programmed via configuration registers).
+Commands are queued into the 32-deep command FIFO or issued directly by
+register write / the ARM CM0 (the three execution modes of Section III-I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import IsaError
+
+
+class Opcode(Enum):
+    """Table I operations."""
+
+    NTT = "NTT"
+    INTT = "iNTT"
+    PMODADD = "PMODADD"
+    PMODMUL = "PMODMUL"
+    PMODSQR = "PMODSQR"
+    PMODSUB = "PMODSUB"
+    CMODMUL = "CMODMUL"
+    PMUL = "PMUL"
+    MEMCPY = "MEMCPY"
+    MEMCPYR = "MEMCPYR"
+
+    @property
+    def is_compute(self) -> bool:
+        """Compute ops run sequentially on the PE; memory ops may overlap
+        (Section III-B)."""
+        return self not in (Opcode.MEMCPY, Opcode.MEMCPYR)
+
+    @property
+    def needs_y_operand(self) -> bool:
+        return self in (Opcode.PMODADD, Opcode.PMODMUL, Opcode.PMODSUB, Opcode.PMUL)
+
+    @property
+    def needs_twiddles(self) -> bool:
+        return self in (Opcode.NTT, Opcode.INTT)
+
+
+#: Table I operand requirements, for validation: opcode -> required fields.
+_REQUIRED_FIELDS: dict[Opcode, tuple[str, ...]] = {
+    Opcode.NTT: ("n", "x_addr", "twiddle_addr", "out_addr"),
+    Opcode.INTT: ("n", "x_addr", "twiddle_addr", "out_addr"),
+    Opcode.PMODADD: ("n", "x_addr", "y_addr", "out_addr"),
+    Opcode.PMODMUL: ("n", "x_addr", "y_addr", "out_addr"),
+    Opcode.PMODSQR: ("n", "x_addr", "out_addr"),
+    Opcode.PMODSUB: ("n", "x_addr", "y_addr", "out_addr"),
+    Opcode.CMODMUL: ("n", "x_addr", "constant", "out_addr"),
+    Opcode.PMUL: ("n", "x_addr", "y_addr", "out_addr"),
+    Opcode.MEMCPY: ("length", "x_addr", "out_addr"),
+    Opcode.MEMCPYR: ("length", "x_addr", "out_addr"),
+}
+
+
+@dataclass(frozen=True)
+class Command:
+    """One decoded CoFHEE instruction.
+
+    Attributes:
+        opcode: the Table I operation.
+        n: polynomial degree for compute ops.
+        x_addr: source base address (Table I's source ``[x]`` / start).
+        y_addr: second operand base address where applicable.
+        twiddle_addr: twiddle-factor table base for NTT/iNTT.
+        out_addr: destination base address.
+        constant: scalar constant for ``CMODMUL`` (also carries n^-1 for
+            iNTT's final scaling in the fabricated flow).
+        length: word count for memory ops (Table I's delta).
+    """
+
+    opcode: Opcode
+    n: int = 0
+    x_addr: int = 0
+    y_addr: int = 0
+    twiddle_addr: int = 0
+    out_addr: int = 0
+    constant: int = 0
+    length: int = 0
+    tag: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        required = _REQUIRED_FIELDS[self.opcode]
+        if "n" in required and (self.n < 2 or self.n & (self.n - 1)):
+            raise IsaError(
+                f"{self.opcode.value}: n must be a power of two >= 2, got {self.n}"
+            )
+        if "length" in required and self.length < 1:
+            raise IsaError(f"{self.opcode.value}: length must be >= 1")
+        if "constant" in required and self.constant < 0:
+            raise IsaError(f"{self.opcode.value}: constant must be non-negative")
+
+    def encode(self) -> tuple[int, ...]:
+        """Pack into the 32-bit command words written to ``COMMAND_FIFO``.
+
+        Word 0: opcode index (bits 0-7) | log2(n) (bits 8-15).
+        Words 1-4: x, y, twiddle, out base addresses.
+        Words 5-6: constant low/high (split; wide constants are staged in
+        the 128-bit CFG registers on silicon).
+        Word 7: length.
+        """
+        op_index = list(Opcode).index(self.opcode)
+        log_n = self.n.bit_length() - 1 if self.n else 0
+        return (
+            op_index | (log_n << 8),
+            self.x_addr,
+            self.y_addr,
+            self.twiddle_addr,
+            self.out_addr,
+            self.constant & 0xFFFF_FFFF,
+            (self.constant >> 32) & 0xFFFF_FFFF,
+            self.length,
+        )
+
+    @classmethod
+    def decode(cls, words: tuple[int, ...]) -> "Command":
+        """Inverse of :meth:`encode` (lossy for constants over 64 bits,
+        mirroring the staged-register mechanism)."""
+        if len(words) != 8:
+            raise IsaError(f"command frame must be 8 words, got {len(words)}")
+        op_index = words[0] & 0xFF
+        opcodes = list(Opcode)
+        if op_index >= len(opcodes):
+            raise IsaError(f"bad opcode index {op_index}")
+        opcode = opcodes[op_index]
+        log_n = (words[0] >> 8) & 0xFF
+        return cls(
+            opcode=opcode,
+            n=1 << log_n if opcode.is_compute else 0,
+            x_addr=words[1],
+            y_addr=words[2],
+            twiddle_addr=words[3],
+            out_addr=words[4],
+            constant=words[5] | (words[6] << 32),
+            length=words[7],
+        )
+
+    def __str__(self) -> str:
+        return f"{self.opcode.value}(n={self.n or self.length})"

@@ -1,0 +1,366 @@
+"""Multiplier Data Mover and Controller (MDMC) — the chip's sequencer.
+
+Section III-B/G2: the MDMC receives decoded commands (from the command
+FIFO, a direct register write, or the CM0), then drives the address
+generators, the SRAM ports, and the PE. For NTT/iNTT it walks the
+``log2 n`` stages, fetching two coefficients per cycle from one dual-port
+bank and a twiddle factor from the twiddle SRAM, issuing one butterfly per
+cycle (II = 1), storing the pair through the output bank's two ports, and
+swapping input/output banks at every stage boundary. For pointwise
+operations it streams 8-beat AHB bursts. On completion it raises an
+interrupt so the command FIFO can issue the next instruction (Fig. 2).
+
+Three fidelity levels let callers trade speed for detail:
+
+* ``"pe"`` — every butterfly goes through
+  :class:`repro.core.pe.ProcessingElement` (bit-exact Barrett datapath,
+  per-access SRAM statistics). Used by the verification tests.
+* ``"vector"`` (default) — same stage walk and the same bank-resident
+  twiddles, computed with batched modular arithmetic; identical results
+  and cycle counts, ~10x faster.
+* ``"timing"`` — cycle/power accounting only, data untouched. Used by the
+  paper-scale latency benches, where cycle counts are data-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bus import AhbLiteBus
+from repro.core.errors import ConfigError, IsaError
+from repro.core.isa import Command, Opcode
+from repro.core.memory import MemoryMap, SramBank
+from repro.core.pe import ProcessingElement
+from repro.core.timing import TimingModel
+from repro.polymath.bitrev import bit_reverse_indices
+
+FIDELITY_LEVELS = ("pe", "vector", "timing")
+
+
+@dataclass
+class PhaseRecord:
+    """One constant-activity execution phase, consumed by the power model.
+
+    Attributes:
+        kind: activity class (``dit_butterfly``, ``dif_butterfly``,
+            ``const_mult``, ``hadamard``, ``pointwise_add``, ``memcpy``,
+            ``idle``).
+        cycles: duration.
+        n: problem size during the phase (power scales weakly with n).
+    """
+
+    kind: str
+    cycles: int
+    n: int
+
+
+@dataclass
+class ExecutionTrace:
+    """Cycle/phase record of one command or command sequence."""
+
+    cycles: int = 0
+    phases: list[PhaseRecord] = field(default_factory=list)
+    interrupts: int = 0
+
+    def add(self, kind: str, cycles: int, n: int) -> None:
+        self.cycles += cycles
+        self.phases.append(PhaseRecord(kind, cycles, n))
+
+    def extend(self, other: "ExecutionTrace") -> None:
+        self.cycles += other.cycles
+        self.phases.extend(other.phases)
+        self.interrupts += other.interrupts
+
+
+class Mdmc:
+    """The MDMC state machine.
+
+    Args:
+        memory_map: the chip's SRAM banks.
+        bus: AHB crossbar (bursts are accounted through it).
+        pe: the processing element.
+        timing: calibrated cycle model.
+        fidelity: default fidelity level (see module docstring).
+    """
+
+    def __init__(
+        self,
+        memory_map: MemoryMap,
+        bus: AhbLiteBus,
+        pe: ProcessingElement,
+        timing: TimingModel,
+        fidelity: str = "vector",
+    ):
+        if fidelity not in FIDELITY_LEVELS:
+            raise ValueError(f"fidelity must be one of {FIDELITY_LEVELS}")
+        self.memory_map = memory_map
+        self.bus = bus
+        self.pe = pe
+        self.timing = timing
+        self.fidelity = fidelity
+        self.total_cycles = 0
+        self.commands_executed = 0
+
+    # ------------------------------------------------------------------
+    # Command dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, cmd: Command, fidelity: str | None = None) -> ExecutionTrace:
+        """Run one Table I command to completion; returns its trace."""
+        level = fidelity or self.fidelity
+        if level not in FIDELITY_LEVELS:
+            raise ValueError(f"fidelity must be one of {FIDELITY_LEVELS}")
+        trace = ExecutionTrace()
+        handler = {
+            Opcode.NTT: self._run_ntt,
+            Opcode.INTT: self._run_intt,
+            Opcode.PMODADD: self._run_pointwise,
+            Opcode.PMODMUL: self._run_pointwise,
+            Opcode.PMODSQR: self._run_pointwise,
+            Opcode.PMODSUB: self._run_pointwise,
+            Opcode.CMODMUL: self._run_pointwise,
+            Opcode.PMUL: self._run_pointwise,
+            Opcode.MEMCPY: self._run_memcpy,
+            Opcode.MEMCPYR: self._run_memcpy,
+        }[cmd.opcode]
+        handler(cmd, trace, level)
+        trace.interrupts += 1  # completion interrupt to the FIFO (Fig. 2)
+        self.total_cycles += trace.cycles
+        self.commands_executed += 1
+        return trace
+
+    # ------------------------------------------------------------------
+    # NTT / iNTT
+    # ------------------------------------------------------------------
+
+    def _run_ntt(self, cmd: Command, trace: ExecutionTrace, level: str) -> None:
+        n = cmd.n
+        stages = n.bit_length() - 1
+        cycles = self.timing.ntt_cycles(n)
+        per_stage = cycles // stages if stages else cycles
+        if level == "timing":
+            trace.add("dit_butterfly", cycles, n)
+            self._bulk_stats(n, stages)
+            return
+        q = self._modulus()
+        a = self._load_vector(cmd.x_addr, n)
+        twiddles = self._load_vector(cmd.twiddle_addr, n)
+        in_bank, _, _ = self.memory_map.decode(cmd.x_addr)
+        out_bank, _, _ = self.memory_map.decode(cmd.out_addr)
+        # Cooley-Tukey DIT with psi-merged (bit-reversed) twiddles.
+        t = n
+        m = 1
+        while m < n:
+            t >>= 1
+            for i in range(m):
+                j1 = 2 * i * t
+                s = twiddles[m + i]
+                if level == "pe":
+                    for j in range(j1, j1 + t):
+                        a[j], a[j + t] = self.pe.butterfly(a[j], a[j + t], s)
+                else:
+                    for j in range(j1, j1 + t):
+                        u = a[j]
+                        v = a[j + t] * s % q
+                        a[j] = u + v if u + v < q else u + v - q
+                        a[j + t] = u - v if u >= v else u - v + q
+            self._stage_stats(in_bank, out_bank, n, count_pe=(level != "pe"))
+            in_bank, out_bank = out_bank, in_bank  # ping-pong (Section III-G2)
+            m <<= 1
+        self._store_vector(cmd.out_addr, a)
+        trace.add("dit_butterfly", cycles, n)
+
+    def _run_intt(self, cmd: Command, trace: ExecutionTrace, level: str) -> None:
+        n = cmd.n
+        stages = n.bit_length() - 1
+        butterfly_cycles = self.timing.ntt_cycles(n)
+        const_cycles = self.timing.pointwise_cycles(n)
+        if level == "timing":
+            trace.add("dif_butterfly", butterfly_cycles, n)
+            trace.add("const_mult", const_cycles, n)
+            self._bulk_stats(n, stages, extra_pointwise=1)
+            return
+        q = self._modulus()
+        a = self._load_vector(cmd.x_addr, n)
+        # Section VIII-B: "CoFHEE uses the same twiddle factors for both
+        # operations". The inverse twiddles are derived from the forward
+        # (psi-power, bit-reversed) table by address permutation plus
+        # negation: psi^-j = -psi^(n-j) because psi^n = -1, so
+        # I[k] = q - F[brv(n - brv(k))]. The MDMC's address generator and
+        # subtractor implement this with zero extra storage.
+        forward = self._load_vector(cmd.twiddle_addr, n)
+        brv = bit_reverse_indices(n)
+        twiddles = [0] * n
+        twiddles[0] = 1
+        for k in range(1, n):
+            twiddles[k] = (q - forward[brv[n - brv[k]]]) % q
+        in_bank, _, _ = self.memory_map.decode(cmd.x_addr)
+        out_bank, _, _ = self.memory_map.decode(cmd.out_addr)
+        # Gentleman-Sande DIF (Section VI-A's decimation in frequency).
+        t = 1
+        m = n
+        while m > 1:
+            j1 = 0
+            h = m >> 1
+            for i in range(h):
+                s = twiddles[h + i]
+                if level == "pe":
+                    for j in range(j1, j1 + t):
+                        a[j], a[j + t] = self.pe.gs_butterfly(a[j], a[j + t], s)
+                else:
+                    for j in range(j1, j1 + t):
+                        u = a[j]
+                        v = a[j + t]
+                        a[j] = u + v if u + v < q else u + v - q
+                        a[j + t] = (u - v) * s % q
+                j1 += 2 * t
+            self._stage_stats(in_bank, out_bank, n, count_pe=(level != "pe"))
+            in_bank, out_bank = out_bank, in_bank
+            t <<= 1
+            m = h
+        # Final n^-1 constant-multiply pass (INV_POLYDEG register).
+        n_inv = cmd.constant
+        if n_inv == 0:
+            raise ConfigError("iNTT requires n^-1 in the command constant field")
+        if level == "pe":
+            a = [self.pe.mul(x, n_inv) for x in a]
+        else:
+            a = [x * n_inv % q for x in a]
+            self.pe.stats.multiplies += n
+        self._store_vector(cmd.out_addr, a)
+        trace.add("dif_butterfly", butterfly_cycles, n)
+        trace.add("const_mult", const_cycles, n)
+
+    # ------------------------------------------------------------------
+    # Pointwise streams
+    # ------------------------------------------------------------------
+
+    _POINTWISE_PHASE = {
+        Opcode.PMODMUL: "hadamard",
+        Opcode.PMUL: "hadamard",
+        Opcode.PMODSQR: "hadamard",
+        Opcode.PMODADD: "pointwise_add",
+        Opcode.PMODSUB: "pointwise_add",
+        Opcode.CMODMUL: "const_mult",
+    }
+
+    def _run_pointwise(self, cmd: Command, trace: ExecutionTrace, level: str) -> None:
+        n = cmd.n
+        cycles = self.timing.pointwise_cycles(n)
+        phase = self._POINTWISE_PHASE[cmd.opcode]
+        if level == "timing":
+            trace.add(phase, cycles, n)
+            self._bulk_pointwise_stats(cmd.opcode, n)
+            return
+        q = self._modulus()
+        x = self._load_vector(cmd.x_addr, n)
+        if cmd.opcode.needs_y_operand:
+            y = self._load_vector(cmd.y_addr, n)
+        op = cmd.opcode
+        if level == "pe":
+            out = self._pointwise_pe(op, x, y if op.needs_y_operand else None, cmd)
+        else:
+            if op is Opcode.PMODMUL:
+                out = [a * b % q for a, b in zip(x, y)]
+            elif op is Opcode.PMODADD:
+                out = [(a + b) % q for a, b in zip(x, y)]
+            elif op is Opcode.PMODSUB:
+                out = [(a - b) % q for a, b in zip(x, y)]
+            elif op is Opcode.PMODSQR:
+                out = [a * a % q for a in x]
+            elif op is Opcode.CMODMUL:
+                c = cmd.constant % q
+                out = [a * c % q for a in x]
+            elif op is Opcode.PMUL:
+                # plain product: low 128 bits stored (high half to out+n on
+                # silicon; the model keeps full precision words mod 2^128).
+                out = [(a * b) & ((1 << 128) - 1) for a, b in zip(x, y)]
+            else:  # pragma: no cover - dispatch guarantees coverage
+                raise IsaError(f"unhandled pointwise op {op}")
+            self._bulk_pointwise_stats(op, n)
+        self._store_vector(cmd.out_addr, out)
+        trace.add(phase, cycles, n)
+
+    def _pointwise_pe(
+        self, op: Opcode, x: list[int], y: list[int] | None, cmd: Command
+    ) -> list[int]:
+        if op is Opcode.PMODMUL:
+            return [self.pe.mul(a, b) for a, b in zip(x, y)]
+        if op is Opcode.PMODADD:
+            return [self.pe.add(a, b) for a, b in zip(x, y)]
+        if op is Opcode.PMODSUB:
+            return [self.pe.sub(a, b) for a, b in zip(x, y)]
+        if op is Opcode.PMODSQR:
+            return [self.pe.mul(a, a) for a in x]
+        if op is Opcode.CMODMUL:
+            c = cmd.constant
+            return [self.pe.mul(a, c) for a in x]
+        if op is Opcode.PMUL:
+            return [self.pe.mul_plain(a, b) & ((1 << 128) - 1) for a, b in zip(x, y)]
+        raise IsaError(f"unhandled pointwise op {op}")
+
+    # ------------------------------------------------------------------
+    # Memory ops
+    # ------------------------------------------------------------------
+
+    def _run_memcpy(self, cmd: Command, trace: ExecutionTrace, level: str) -> None:
+        length = cmd.length
+        cycles = self.timing.memcpy_cycles(length)
+        if level != "timing":
+            data = self._load_vector(cmd.x_addr, length)
+            if cmd.opcode is Opcode.MEMCPYR:
+                table = bit_reverse_indices(length)
+                data = [data[table[i]] for i in range(length)]
+            self._store_vector(cmd.out_addr, data)
+        trace.add("memcpy", cycles, length)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _modulus(self) -> int:
+        if self.pe._barrett is None:
+            raise ConfigError("modulus not programmed (Q register)")
+        return self.pe.q
+
+    def _load_vector(self, address: int, count: int) -> list[int]:
+        values, _ = self.bus.burst_read(address, count)
+        return values
+
+    def _store_vector(self, address: int, values: list[int]) -> None:
+        self.bus.burst_write(address, values)
+
+    def _stage_stats(
+        self, in_bank: SramBank, out_bank: SramBank, n: int, count_pe: bool
+    ) -> None:
+        """Account one NTT stage's SRAM traffic (and PE ops in vector mode)."""
+        twd = self.memory_map.bank("TWD")
+        in_bank.stats.reads += n  # two coefficients per butterfly
+        twd.stats.reads += n // 2  # one twiddle per butterfly
+        out_bank.stats.writes += n
+        if count_pe:
+            self.pe.stats.multiplies += n // 2
+            self.pe.stats.adds += n // 2
+            self.pe.stats.subs += n // 2
+            self.pe.stats.butterflies += n // 2
+
+    def _bulk_stats(self, n: int, stages: int, extra_pointwise: int = 0) -> None:
+        dp = self.memory_map.dual_port
+        twd = self.memory_map.bank("TWD")
+        dp[0].stats.reads += n * stages // 2
+        dp[1].stats.reads += n * stages // 2
+        dp[0].stats.writes += n * stages // 2
+        dp[1].stats.writes += n * stages // 2
+        twd.stats.reads += (n // 2) * stages
+        self.pe.stats.multiplies += (n // 2) * stages + extra_pointwise * n
+        self.pe.stats.adds += (n // 2) * stages
+        self.pe.stats.subs += (n // 2) * stages
+        self.pe.stats.butterflies += (n // 2) * stages
+
+    def _bulk_pointwise_stats(self, op: Opcode, n: int) -> None:
+        if op in (Opcode.PMODMUL, Opcode.PMUL, Opcode.PMODSQR, Opcode.CMODMUL):
+            self.pe.stats.multiplies += n
+        elif op is Opcode.PMODADD:
+            self.pe.stats.adds += n
+        elif op is Opcode.PMODSUB:
+            self.pe.stats.subs += n

@@ -1,0 +1,173 @@
+"""The Processing Element: Barrett multiplier + adder/subtractor + butterfly.
+
+Section III-E: the PE holds one pipelined Barrett modular multiplier
+(II = 1, 5-cycle latency), a 1-cycle modular adder and subtractor, and the
+multiplexing that composes them into four modes: (1) modular
+multiplication, (2) modular addition, (3) modular subtraction, and (4) the
+radix-2 butterfly (multiply, then add and subtract) that is the atomic unit
+of NTT/iNTT. Maximum native operand width is 128 bits; wider coefficients
+must be RNS-decomposed by the host.
+
+The model is bit-exact (it really runs Barrett reduction, so twiddle/modulus
+programming errors surface as wrong data, like on silicon) and counts unit
+activations for the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.errors import ConfigError
+from repro.core.timing import ADD_LATENCY, MUL_LATENCY
+from repro.polymath.modmath import BarrettReducer, modadd, modsub
+
+#: Native coefficient width (Section III-C).
+MAX_COEFF_BITS = 128
+
+
+class PeMode(Enum):
+    """The PE's four operating modes (Section III-E)."""
+
+    MUL = "modular_multiplication"
+    ADD = "modular_addition"
+    SUB = "modular_subtraction"
+    BUTTERFLY = "butterfly"
+
+
+@dataclass
+class PeStats:
+    """Unit-activation counters feeding the power model."""
+
+    multiplies: int = 0
+    adds: int = 0
+    subs: int = 0
+    butterflies: int = 0
+
+    def reset(self) -> None:
+        self.multiplies = 0
+        self.adds = 0
+        self.subs = 0
+        self.butterflies = 0
+
+
+class ProcessingElement:
+    """One CoFHEE PE (the chip has exactly one; Section VI-B notes four
+    would enable radix-4 butterflies for ~4x NTT throughput).
+
+    The modulus is programmed through :meth:`configure` — the driver's
+    equivalent of writing the ``Q``/``BARRETT_CTL1``/``BARRETT_CTL2``
+    configuration registers.
+    """
+
+    def __init__(self):
+        self._barrett: BarrettReducer | None = None
+        self.stats = PeStats()
+
+    # -- configuration ------------------------------------------------------
+
+    def configure(self, q: int) -> None:
+        """Program the modulus (and derived Barrett constants).
+
+        Raises:
+            ConfigError: if ``q`` exceeds the native 128-bit width.
+        """
+        if q < 2:
+            raise ConfigError(f"modulus must be >= 2, got {q}")
+        if q.bit_length() > MAX_COEFF_BITS:
+            raise ConfigError(
+                f"modulus of {q.bit_length()} bits exceeds the native "
+                f"{MAX_COEFF_BITS}-bit datapath; RNS-decompose on the host"
+            )
+        self._barrett = BarrettReducer(q)
+
+    @property
+    def q(self) -> int:
+        return self._require_config().q
+
+    @property
+    def barrett_k(self) -> int:
+        """Contents of the ``BARRETT_CTL1`` register."""
+        return self._require_config().k
+
+    @property
+    def barrett_mu(self) -> int:
+        """Contents of the ``BARRETT_CTL2`` register."""
+        return self._require_config().mu
+
+    # -- datapath operations -------------------------------------------------
+
+    def mul(self, a: int, b: int) -> int:
+        """Modular multiplication through the Barrett pipeline (5 cycles,
+        II = 1)."""
+        barrett = self._require_config()
+        self.stats.multiplies += 1
+        return barrett.mulmod(a, b)
+
+    def mul_plain(self, a: int, b: int) -> int:
+        """Plain (non-modular) multiplication — the ``PMUL`` instruction.
+
+        The 256-bit product is returned full-width; the MDMC stores the low
+        and high halves to consecutive result words.
+        """
+        self.stats.multiplies += 1
+        return a * b
+
+    def add(self, a: int, b: int) -> int:
+        """Modular addition (1 cycle)."""
+        self.stats.adds += 1
+        return modadd(a % self.q, b % self.q, self.q)
+
+    def sub(self, a: int, b: int) -> int:
+        """Modular subtraction (1 cycle)."""
+        self.stats.subs += 1
+        return modsub(a % self.q, b % self.q, self.q)
+
+    def butterfly(self, u: int, v: int, twiddle: int) -> tuple[int, int]:
+        """Radix-2 Cooley-Tukey butterfly: ``(u + t*v, u - t*v)``.
+
+        One multiply feeding one add and one subtract — mode (4). At II = 1
+        the MDMC issues one butterfly per cycle.
+        """
+        barrett = self._require_config()
+        m = barrett.mulmod(v, twiddle)
+        self.stats.multiplies += 1
+        self.stats.adds += 1
+        self.stats.subs += 1
+        self.stats.butterflies += 1
+        q = barrett.q
+        return modadd(u % q, m, q), modsub(u % q, m, q)
+
+    def gs_butterfly(self, u: int, v: int, twiddle: int) -> tuple[int, int]:
+        """Gentleman-Sande (DIF) butterfly: ``(u + v, (u - v) * t)``.
+
+        Used by the iNTT (Section VI-A's "decimation in frequency
+        operation"); same unit activations as the CT butterfly, with the
+        multiply on the subtractor output.
+        """
+        barrett = self._require_config()
+        q = barrett.q
+        s = modadd(u % q, v % q, q)
+        d = modsub(u % q, v % q, q)
+        m = barrett.mulmod(d, twiddle)
+        self.stats.multiplies += 1
+        self.stats.adds += 1
+        self.stats.subs += 1
+        self.stats.butterflies += 1
+        return s, m
+
+    # -- latency constants ----------------------------------------------------
+
+    @staticmethod
+    def latency(mode: PeMode) -> int:
+        """Cycle latency per Section III-E."""
+        if mode is PeMode.MUL:
+            return MUL_LATENCY
+        if mode in (PeMode.ADD, PeMode.SUB):
+            return ADD_LATENCY
+        return MUL_LATENCY + ADD_LATENCY  # butterfly: multiply then add/sub
+
+    def _require_config(self) -> BarrettReducer:
+        if self._barrett is None:
+            raise ConfigError("PE modulus not configured (write Q register first)")
+        return self._barrett

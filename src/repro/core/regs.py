@@ -1,0 +1,141 @@
+"""General Purpose Configuration registers (Table II).
+
+CoFHEE has 35 configuration registers mapped at 0x4002_0000-0x4002_FFFF
+following the ARM Cortex-M peripheral convention. Table II lists the
+representative subset modeled here: IO pad controls, UART/SPI controls, the
+crypto parameters (Q, N, INV_POLYDEG, BARRETT_CTL1/2), command/FIFO
+triggers, PLL controls, and the chip-ID/debug registers.
+
+Registers are genuinely load-bearing in the model: the driver programs
+Q/N/BARRETT_* and the MDMC reads them back, so a mis-programmed modulus
+produces wrong data exactly as it would on silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+#: Register block base (Section III-A / Table II).
+GPCFG_BASE = 0x4002_0000
+
+#: The chip SIGNATURE register's reset value (chip ID).
+CHIP_SIGNATURE = 0xC0F4_EE01
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Static description of one configuration register."""
+
+    name: str
+    offset: int
+    bits: int
+    description: str
+    reset: int = 0
+
+
+#: Table II register map (offsets follow declaration order, word-aligned;
+#: 128/160-bit registers occupy multiple words on the bus).
+REGISTER_SPECS: tuple[RegisterSpec, ...] = (
+    RegisterSpec("UARTM_TXPAD_CTL", 0x000, 32, "IO pad control for primary UART TX"),
+    RegisterSpec("UARTM_RXPAD_CTL", 0x004, 32, "IO pad control for primary UART RX"),
+    RegisterSpec("UARTS_TXPAD_CTL", 0x008, 32, "IO pad control for secondary UART TX"),
+    RegisterSpec("SPI_MOSI_PAD_CTL", 0x00C, 32, "SPI data in pad control"),
+    RegisterSpec("SPI_MISO_PAD_CTL", 0x010, 32, "SPI data out pad control"),
+    RegisterSpec("SPI_CLK_PAD_CTL", 0x014, 32, "SPI clock pad control"),
+    RegisterSpec("SPI_CSN_PAD_CTL", 0x018, 32, "SPI chip select pad control"),
+    RegisterSpec("HOST_IRQ_PAD_CTL", 0x01C, 32, "IO pad control for Host Interrupt"),
+    RegisterSpec("UARTM_BAUD_CTL", 0x020, 32, "Baud control for primary UART"),
+    RegisterSpec("UARTS_BAUD_CTL", 0x024, 32, "Baud control for secondary UART"),
+    RegisterSpec("UARTM_CTL", 0x028, 32, "Primary UART control"),
+    RegisterSpec("UARTS_CTL", 0x02C, 32, "Secondary UART control"),
+    RegisterSpec("SIGNATURE", 0x030, 32, "Stores Chip ID", reset=CHIP_SIGNATURE),
+    RegisterSpec("Q", 0x040, 128, "Modulus q"),
+    RegisterSpec("N", 0x050, 128, "Polynomial degree n"),
+    RegisterSpec("INV_POLYDEG", 0x060, 128, "n^-1 mod q"),
+    RegisterSpec("BARRETT_CTL1", 0x070, 32, "barrett k = 2*log(q)"),
+    RegisterSpec("BARRETT_CTL2", 0x074, 160, "barrett constant = 2^k / q"),
+    RegisterSpec("FHE_CTL1", 0x090, 32, "Command FIFO select and n"),
+    RegisterSpec("FHE_CTL2", 0x094, 32, "Trigger bits for different commands"),
+    RegisterSpec("FHE_CTL3", 0x098, 32, "Select or bypass PLL clock"),
+    RegisterSpec("PLL_CTL", 0x09C, 32, "Control bits required for the PLL"),
+    RegisterSpec("COMMAND_FIFO", 0x0A0, 32, "Trigger bits for different commands"),
+    RegisterSpec("DBG_REG", 0x0A4, 32, "Debug register"),
+)
+
+#: Total register count on the fabricated chip (Table II shows a subset).
+TOTAL_REGISTER_COUNT = 35
+
+
+class ConfigRegisters:
+    """The GPCFG block: named + address-mapped access with width checks."""
+
+    def __init__(self):
+        self._specs = {spec.name: spec for spec in REGISTER_SPECS}
+        self._by_offset = {spec.offset: spec for spec in REGISTER_SPECS}
+        self._values = {spec.name: spec.reset for spec in REGISTER_SPECS}
+
+    def spec(self, name: str) -> RegisterSpec:
+        if name not in self._specs:
+            raise ConfigError(f"no configuration register named {name!r}")
+        return self._specs[name]
+
+    def read(self, name: str) -> int:
+        return self._values[self.spec(name).name]
+
+    def write(self, name: str, value: int) -> None:
+        spec = self.spec(name)
+        if value < 0 or value.bit_length() > spec.bits:
+            raise ConfigError(
+                f"{name}: value needs {value.bit_length()} bits, register has {spec.bits}"
+            )
+        self._values[name] = value
+
+    # -- bus-mapped access (32-bit word granularity) -----------------------
+
+    def bus_read(self, address: int) -> int:
+        """Read a 32-bit word of the register block at a bus address."""
+        name, word = self._locate(address)
+        return (self._values[name] >> (32 * word)) & 0xFFFF_FFFF
+
+    def bus_write(self, address: int, value: int) -> None:
+        """Write one 32-bit word (wide registers are written word-by-word)."""
+        if value < 0 or value.bit_length() > 32:
+            raise ConfigError("bus writes are 32-bit")
+        name, word = self._locate(address)
+        spec = self._specs[name]
+        mask = 0xFFFF_FFFF << (32 * word)
+        merged = (self._values[name] & ~mask) | (value << (32 * word))
+        if merged.bit_length() > spec.bits:
+            merged &= (1 << spec.bits) - 1
+        self._values[name] = merged
+
+    def _locate(self, address: int) -> tuple[str, int]:
+        if address < GPCFG_BASE or address >= GPCFG_BASE + 0x1_0000:
+            raise ConfigError(f"address {address:#x} outside GPCFG range")
+        offset = address - GPCFG_BASE
+        base = offset & ~0x3
+        # find the register containing this word
+        for spec in REGISTER_SPECS:
+            words = -(-spec.bits // 32)
+            if spec.offset <= base < spec.offset + 4 * words:
+                return spec.name, (base - spec.offset) // 4
+        raise ConfigError(f"no register at offset {offset:#x}")
+
+    # -- crypto-parameter convenience (what the driver programs) ------------
+
+    def program_modulus(self, q: int, n: int) -> None:
+        """Write Q, N, INV_POLYDEG, BARRETT_CTL1/2 for a new modulus."""
+        from repro.polymath.modmath import modinv
+
+        self.write("Q", q)
+        self.write("N", n)
+        self.write("INV_POLYDEG", modinv(n, q))
+        k = 2 * q.bit_length()
+        self.write("BARRETT_CTL1", k)
+        self.write("BARRETT_CTL2", (1 << k) // q)
+
+    def dump(self) -> dict[str, int]:
+        """Snapshot of every modeled register (debug/verification aid)."""
+        return dict(self._values)

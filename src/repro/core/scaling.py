@@ -1,0 +1,158 @@
+"""Scalability and design-choice what-if models (Sections VI-B and VIII-A).
+
+The paper sketches several scaling options for CoFHEE:
+
+* **more PEs / higher radix** (Section VI-B): four PEs allow radix-4
+  butterflies in a pipeline; NTT cycle count is ``(N/radix) *
+  log_radix(N)``, a ~4x speedup for +1.9 mm^2 (three extra PEs at the
+  Table VIII PE area of 0.6394 mm^2 x ...; the paper quotes 1.9 mm^2);
+* **split-polynomial parallelism** (Section VIII-A): doubling the
+  multiplier pool and dual-port memories halves the II for the first
+  ``log n - 1`` stages (two half-size NTTs in parallel) with the last
+  recombination stage still at II = 1;
+* **memory growth**: memory area scales linearly with n, and memory read
+  latency (the critical path) grows with bank size, slightly lowering the
+  clock;
+* **dual-port vs single-port** (Section VIII-B): dual-port banks cost 2x
+  the area of single-port banks of equal capacity but are what makes
+  II = 1 possible.
+
+These models quantify each claim so the ablation benches can print the
+trade-off curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.timing import CMD_DISPATCH, STAGE_OVERHEAD, TimingModel
+
+#: Post-synthesis PE area (Table VIII).
+PE_AREA_MM2 = 0.6394
+#: Incremental area the paper quotes for three additional PEs ("the area
+#: would increase by only 1.9mm^2 for the addition of three additional
+#: PEs") — sub-linear vs 3 x 0.6394 because the multiplier dominates and
+#: control/muxing is shared.
+THREE_EXTRA_PE_MM2 = 1.9
+#: Dual-port SRAM area premium over single-port of equal capacity.
+DUAL_PORT_AREA_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class RadixConfig:
+    """A multi-PE, higher-radix CoFHEE variant."""
+
+    radix: int  # butterfly radix (2 on silicon; 4 with four PEs)
+
+    @property
+    def pe_count(self) -> int:
+        return self.radix // 2 * (self.radix // 2) if self.radix > 2 else 1
+
+    def ntt_cycles(self, n: int) -> int:
+        """Section VI-B's formula: ``(N/radix) * log_radix(N)`` plus the
+        same per-stage overheads as the base design."""
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"n must be a power of two, got {n}")
+        stages = int(round(math.log(n, self.radix)))
+        return (n // self.radix) * stages + STAGE_OVERHEAD * stages + CMD_DISPATCH
+
+    def extra_area_mm2(self) -> float:
+        """Additional silicon over the fabricated single-PE chip."""
+        if self.radix == 2:
+            return 0.0
+        if self.radix == 4:
+            return THREE_EXTRA_PE_MM2
+        # Beyond radix 4, extrapolate the per-PE increment.
+        extra_pes = self.radix * self.radix // 4 - 1
+        return THREE_EXTRA_PE_MM2 / 3 * extra_pes
+
+
+def radix4_speedup(n: int) -> float:
+    """NTT speedup of the 4-PE radix-4 variant over fabricated CoFHEE.
+
+    The paper argues this "exceeds the performance achieved with 16
+    threads" of the Ryzen CPU.
+    """
+    base = TimingModel().ntt_cycles(n)
+    return base / RadixConfig(radix=4).ntt_cycles(n)
+
+
+@dataclass(frozen=True)
+class SplitParallelConfig:
+    """Section VIII-A's split-polynomial scaling: ``pools`` multiplier
+    pools, each with its own pair of dual-port banks."""
+
+    pools: int = 2
+
+    def ntt_cycles(self, n: int) -> int:
+        """First ``log n - 1`` stages run as ``pools`` parallel sub-NTTs
+        (II = 1/pools); the final recombination stage is II = 1."""
+        if self.pools < 1 or self.pools & (self.pools - 1):
+            raise ValueError("pools must be a power of two")
+        if n < 2 * self.pools:
+            raise ValueError("polynomial too small to split")
+        stages = n.bit_length() - 1
+        sub_stages = stages - (self.pools.bit_length() - 1)
+        butterflies = (n // 2) * sub_stages // self.pools  # parallel part
+        final = (n // 2) * (self.pools.bit_length() - 1)  # recombination
+        return butterflies + final + STAGE_OVERHEAD * stages + CMD_DISPATCH
+
+    def throughput_gain(self, n: int) -> float:
+        return TimingModel().ntt_cycles(n) / self.ntt_cycles(n)
+
+    def extra_dual_port_banks(self) -> int:
+        """Each extra pool needs two more dual-port banks."""
+        return 2 * (self.pools - 1)
+
+
+@dataclass(frozen=True)
+class MemoryScaling:
+    """Memory area/latency scaling with polynomial degree (Section VIII-A).
+
+    "CoFHEE needs more area for memories, which increase linearly to the
+    polynomial degree. As the memory size increases, memory read latency
+    increases, which leads to a minor reduction in clock frequency."
+    """
+
+    #: Fabricated data-memory area at n = 2^13 (3 DP + 5 SP banks,
+    #: Table VIII: 5.3506 + 3.2036 + part of CM0 SRAM).
+    base_area_mm2: float = 8.5542
+    base_n: int = 2**13
+    #: Read-latency growth per doubling of bank words (~RC of longer
+    #: bit lines); 4 ns at the base size.
+    base_read_ns: float = 4.0
+    read_ns_per_octave: float = 0.35
+
+    def memory_area_mm2(self, n: int) -> float:
+        return self.base_area_mm2 * n / self.base_n
+
+    def read_latency_ns(self, n: int) -> float:
+        octaves = math.log2(n / self.base_n)
+        return self.base_read_ns + self.read_ns_per_octave * max(0.0, octaves)
+
+    def clock_mhz(self, n: int) -> float:
+        """Memory read path sets the clock (Section III-D)."""
+        return 1e3 / self.read_latency_ns(n)
+
+
+def dual_port_tradeoff(n_banks_dp: int, n_banks_sp: int,
+                       bank_area_sp_mm2: float = 0.8) -> dict[str, float]:
+    """Area/II trade-off of a bank mix (Section VIII-B lesson).
+
+    Returns the memory area of the mix and of the all-single-port
+    alternative, plus the butterfly II each achieves: II = 1 needs at
+    least two dual-port banks (fetch two operands and store two results
+    per cycle); an all-single-port layout runs II = 2 and needs twice the
+    bank count for the same bandwidth.
+    """
+    if n_banks_dp < 0 or n_banks_sp < 0:
+        raise ValueError("bank counts must be non-negative")
+    area = (n_banks_dp * DUAL_PORT_AREA_FACTOR + n_banks_sp) * bank_area_sp_mm2
+    all_sp_area = (n_banks_dp + n_banks_sp) * bank_area_sp_mm2
+    return {
+        "area_mm2": area,
+        "all_single_port_area_mm2": all_sp_area,
+        "butterfly_ii": 1 if n_banks_dp >= 2 else 2,
+        "all_single_port_ii": 2,
+    }

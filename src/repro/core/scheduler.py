@@ -1,0 +1,259 @@
+"""High-level operation scheduler: buffer allocation + DMA overlap.
+
+The paper frames CoFHEE as "a small component in a much bigger design,
+where the larger design will mostly focus on data movement". This module
+is that data-movement layer in miniature: it takes a DAG of polynomial
+operations (NTT, iNTT, pointwise, products of named values), performs
+liveness-based allocation onto the chip's six polynomial buffers, emits
+the Table I command stream, and schedules DMA prefetches of future
+operands into the third dual-port bank so their load time hides behind
+compute (Section III-F) — reporting how many cycles the overlap saved.
+
+The 6-buffer Algorithm 3 schedule hand-written in the driver falls out of
+this allocator automatically, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import CapacityError
+from repro.core.timing import TimingModel
+
+
+class OpKind(Enum):
+    NTT = "ntt"
+    INTT = "intt"
+    HADAMARD = "hadamard"
+    ADD = "add"
+    SUB = "sub"
+    SCALAR_MUL = "scalar_mul"
+    LOAD = "load"  # host -> chip
+    STORE = "store"  # chip -> host
+
+
+@dataclass(frozen=True)
+class Op:
+    """One node of the polynomial-operation DAG.
+
+    Attributes:
+        kind: operation type.
+        output: name of the value produced.
+        inputs: names of the values consumed.
+    """
+
+    kind: OpKind
+    output: str
+    inputs: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        arity = {
+            OpKind.NTT: 1, OpKind.INTT: 1, OpKind.SCALAR_MUL: 1,
+            OpKind.HADAMARD: 2, OpKind.ADD: 2, OpKind.SUB: 2,
+            OpKind.LOAD: 0, OpKind.STORE: 1,
+        }[self.kind]
+        if len(self.inputs) != arity:
+            raise ValueError(
+                f"{self.kind.value} takes {arity} inputs, got {len(self.inputs)}"
+            )
+
+
+@dataclass
+class ScheduledOp:
+    """An op bound to physical buffers, with its cycle cost."""
+
+    op: Op
+    buffers: dict[str, int]  # value name -> buffer index
+    cycles: int
+    dma_exposed_cycles: int = 0
+
+
+@dataclass
+class Schedule:
+    """The compiled program."""
+
+    ops: list[ScheduledOp] = field(default_factory=list)
+    compute_cycles: int = 0
+    dma_hidden_cycles: int = 0
+    dma_exposed_cycles: int = 0
+    peak_buffers: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.dma_exposed_cycles
+
+    def savings_fraction(self) -> float:
+        """Fraction of data-movement cycles hidden behind compute."""
+        moved = self.dma_hidden_cycles + self.dma_exposed_cycles
+        return self.dma_hidden_cycles / moved if moved else 0.0
+
+
+class Scheduler:
+    """Compile an op list (topological order) onto the chip's buffers.
+
+    Args:
+        n: polynomial degree.
+        num_buffers: on-chip polynomial buffers (6 at n = 2^13).
+        timing: cycle model.
+        prefetch: overlap LOAD transfers with preceding compute
+            (the Section III-F double-buffering; requires a spare buffer,
+            which is why the chip has a *third* dual-port bank).
+    """
+
+    def __init__(self, n: int, num_buffers: int = 6,
+                 timing: TimingModel | None = None, prefetch: bool = True):
+        if num_buffers < 2:
+            raise ValueError("need at least two buffers")
+        self.n = n
+        self.num_buffers = num_buffers
+        self.timing = timing or TimingModel()
+        self.prefetch = prefetch
+
+    # ------------------------------------------------------------------
+
+    def compile(self, ops: list[Op]) -> Schedule:
+        """Allocate buffers and cost the program.
+
+        Raises:
+            CapacityError: if live values ever exceed the buffer count.
+            ValueError: on malformed programs (undefined inputs, dead
+                stores...).
+        """
+        self._validate(ops)
+        last_use = self._liveness(ops)
+        free = list(range(self.num_buffers - 1, -1, -1))
+        binding: dict[str, int] = {}
+        schedule = Schedule()
+        live_peak = 0
+        pending_compute_window = 0  # cycles a background load can hide in
+        for index, op in enumerate(ops):
+            # free buffers whose values die before this op
+            for name in [v for v, die in last_use.items() if die < index]:
+                if name in binding:
+                    free.append(binding.pop(name))
+                    del last_use[name]
+            cycles = self._op_cycles(op)
+            exposed = 0
+            if op.kind is OpKind.LOAD:
+                if not free:
+                    raise CapacityError(
+                        f"no free buffer for LOAD {op.output} at op {index}"
+                    )
+                binding[op.output] = free.pop()
+                transfer = self._load_cycles()
+                if self.prefetch:
+                    hidden = min(transfer, pending_compute_window)
+                    pending_compute_window -= hidden
+                    schedule.dma_hidden_cycles += hidden
+                    exposed = transfer - hidden
+                else:
+                    exposed = transfer
+                cycles = 0
+            elif op.kind is OpKind.STORE:
+                transfer = self._load_cycles()
+                if self.prefetch:
+                    hidden = min(transfer, pending_compute_window)
+                    pending_compute_window -= hidden
+                    schedule.dma_hidden_cycles += hidden
+                    exposed = transfer - hidden
+                else:
+                    exposed = transfer
+                cycles = 0
+            else:
+                # in-place if an input dies here (ownership transfers to
+                # the output), else take a free buffer
+                target = None
+                for name in op.inputs:
+                    if last_use.get(name) == index and name in binding:
+                        target = binding.pop(name)
+                        del last_use[name]
+                        break
+                if target is None:
+                    if not free:
+                        raise CapacityError(
+                            f"buffer pressure at op {index} "
+                            f"({op.kind.value} -> {op.output}): "
+                            f"{len(binding)} live values, "
+                            f"{self.num_buffers} buffers"
+                        )
+                    target = free.pop()
+                binding[op.output] = target
+                pending_compute_window += cycles
+            live_peak = max(live_peak, len(binding))
+            schedule.ops.append(
+                ScheduledOp(
+                    op=op,
+                    buffers={name: binding[name]
+                             for name in (*op.inputs, op.output)
+                             if name in binding},
+                    cycles=cycles,
+                    dma_exposed_cycles=exposed,
+                )
+            )
+            schedule.compute_cycles += cycles
+            schedule.dma_exposed_cycles += exposed
+        schedule.peak_buffers = live_peak
+        return schedule
+
+    # ------------------------------------------------------------------
+
+    def _op_cycles(self, op: Op) -> int:
+        if op.kind is OpKind.NTT:
+            return self.timing.ntt_cycles(self.n)
+        if op.kind is OpKind.INTT:
+            return self.timing.intt_cycles(self.n)
+        if op.kind in (OpKind.HADAMARD, OpKind.ADD, OpKind.SUB,
+                       OpKind.SCALAR_MUL):
+            return self.timing.pointwise_cycles(self.n)
+        return 0  # LOAD/STORE costed as DMA transfers
+
+    def _load_cycles(self) -> int:
+        return self.timing.memcpy_cycles(self.n)
+
+    @staticmethod
+    def _liveness(ops: list[Op]) -> dict[str, int]:
+        """Map each value to the index of its last use."""
+        last: dict[str, int] = {}
+        for i, op in enumerate(ops):
+            last[op.output] = max(last.get(op.output, i), i)
+            for name in op.inputs:
+                last[name] = i
+        return last
+
+    @staticmethod
+    def _validate(ops: list[Op]) -> None:
+        defined: set[str] = set()
+        for i, op in enumerate(ops):
+            for name in op.inputs:
+                if name not in defined:
+                    raise ValueError(
+                        f"op {i} ({op.kind.value}) consumes undefined "
+                        f"value {name!r}"
+                    )
+            defined.add(op.output)
+
+
+def ciphertext_multiply_program() -> list[Op]:
+    """Algorithm 3 as a scheduler program (the driver's hand schedule,
+    expressed as a DAG): 4 loads, 4 NTT, 4 Hadamard, 1 add, 3 iNTT,
+    3 stores."""
+    return [
+        Op(OpKind.LOAD, "a0"), Op(OpKind.LOAD, "a1"),
+        Op(OpKind.LOAD, "b0"), Op(OpKind.LOAD, "b1"),
+        Op(OpKind.NTT, "B0", ("b0",)),
+        Op(OpKind.NTT, "A0", ("a0",)),
+        Op(OpKind.HADAMARD, "Y0f", ("A0", "B0")),
+        Op(OpKind.INTT, "y0", ("Y0f",)),
+        Op(OpKind.STORE, "y0_out", ("y0",)),
+        Op(OpKind.NTT, "B1", ("b1",)),
+        Op(OpKind.HADAMARD, "Y01", ("A0", "B1")),
+        Op(OpKind.NTT, "A1", ("a1",)),
+        Op(OpKind.HADAMARD, "Y2f", ("A1", "B1")),
+        Op(OpKind.INTT, "y2", ("Y2f",)),
+        Op(OpKind.STORE, "y2_out", ("y2",)),
+        Op(OpKind.HADAMARD, "Y10", ("A1", "B0")),
+        Op(OpKind.ADD, "Y1f", ("Y01", "Y10")),
+        Op(OpKind.INTT, "y1", ("Y1f",)),
+        Op(OpKind.STORE, "y1_out", ("y1",)),
+    ]

@@ -1,0 +1,34 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes a ``rows()`` (or similarly named) function returning
+structured model-vs-paper records; the ``benchmarks/`` suite prints them
+and EXPERIMENTS.md records them. Keeping the harness in the library (not
+in the bench scripts) makes every reproduced number unit-testable.
+"""
+
+from repro.eval.table5 import table5_rows
+from repro.eval.fig6 import fig6_rows, fig6_pdp_rows
+from repro.eval.table10 import table10_rows
+from repro.eval.table11 import table11_rows
+from repro.eval.table8 import table8_rows
+from repro.eval.physical_tables import (
+    table3_rows,
+    table4_row,
+    table7_rows,
+    table9_rows,
+)
+from repro.eval.adpll_eval import adpll_rows
+
+__all__ = [
+    "adpll_rows",
+    "fig6_pdp_rows",
+    "fig6_rows",
+    "table10_rows",
+    "table11_rows",
+    "table3_rows",
+    "table4_row",
+    "table5_rows",
+    "table7_rows",
+    "table8_rows",
+    "table9_rows",
+]

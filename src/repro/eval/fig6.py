@@ -1,0 +1,109 @@
+"""Fig. 6: ciphertext-multiplication time and power, CoFHEE vs SEAL/CPU.
+
+Reproduces both panels for the two parameter sets (n, log q) = (2^12, 109)
+and (2^13, 218): SEAL single-/multi-threaded on the Ryzen cost model
+versus one CoFHEE instance from the cycle-calibrated simulator, plus the
+Power-Delay-Product analysis of Section VI-B.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.software import CpuCostModel
+from repro.bfv.params import BfvParameters
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver, OperationReport
+from repro.polymath.primes import ntt_friendly_prime
+
+#: Paper reference points (Section VI-B prose + Fig. 6 bars).
+FIG6_PAPER = {
+    (2**12, "CoFHEE"): {"time_ms": 0.84, "power_w": 0.022},
+    (2**12, "CPU-1T"): {"time_ms": 1.5, "power_w": 1.48},
+    (2**13, "CoFHEE"): {"time_ms": 3.58, "power_w": 0.0212},
+    (2**13, "CPU-1T"): {"time_ms": 6.91, "power_w": 2.3},
+}
+THREAD_COUNTS = (1, 4, 16)
+
+
+def cofhee_ciphertext_mult(params: BfvParameters) -> OperationReport:
+    """Run Algorithm 3 per CoFHEE tower on the timing-fidelity simulator."""
+    chip = CoFHEE(ChipConfig(fidelity="timing"))
+    driver = CofheeDriver(chip)
+    q = ntt_friendly_prime(params.n, min(109, params.log_q))
+    reports = []
+    for _ in range(params.cofhee_tower_count):
+        driver.program(q, params.n)
+        report, _ = driver.ciphertext_multiply("P0", "P1", "P2", "P3", "P4", "P5")
+        reports.append(report)
+    return OperationReport.merge("CiphertextMul", reports, chip.power_model)
+
+
+def fig6_rows() -> list[dict[str, object]]:
+    """Both panels: one row per (parameter set, platform/threads)."""
+    cpu = CpuCostModel()
+    rows = []
+    for n, log_q in ((2**12, 109), (2**13, 218)):
+        params = BfvParameters.from_paper(n=n, log_q=log_q)
+        report = cofhee_ciphertext_mult(params)
+        paper = FIG6_PAPER[(n, "CoFHEE")]
+        rows.append(
+            {
+                "n": n, "log_q": log_q, "platform": "CoFHEE", "threads": 1,
+                "towers": params.cofhee_tower_count,
+                "time_ms": round(report.latency_ms, 3),
+                "power_w": round(report.power.avg_mw / 1000, 4),
+                "paper_time_ms": paper["time_ms"],
+                "paper_power_w": paper["power_w"],
+            }
+        )
+        for threads in THREAD_COUNTS:
+            m = cpu.measurement(params, threads)
+            paper_cpu = FIG6_PAPER.get((n, "CPU-1T")) if threads == 1 else None
+            rows.append(
+                {
+                    "n": n, "log_q": log_q, "platform": "CPU (SEAL)",
+                    "threads": threads, "towers": params.cpu_tower_count,
+                    "time_ms": round(m.time_ms, 3),
+                    "power_w": round(m.power_w, 3),
+                    "paper_time_ms": paper_cpu["time_ms"] if paper_cpu else None,
+                    "paper_power_w": paper_cpu["power_w"] if paper_cpu else None,
+                }
+            )
+    return rows
+
+
+def fig6_pdp_rows() -> list[dict[str, object]]:
+    """The Section VI-B PDP analysis: CoFHEE is 2-3 orders of magnitude
+    more efficient (18.5e-3 vs 2.22 W*ms at n = 2^12; 75.9e-3 vs 15.9 at
+    n = 2^13)."""
+    cpu = CpuCostModel()
+    rows = []
+    paper_pdp = {2**12: (2.22, 18.5e-3), 2**13: (15.9, 75.9e-3)}
+    for n, log_q in ((2**12, 109), (2**13, 218)):
+        params = BfvParameters.from_paper(n=n, log_q=log_q)
+        report = cofhee_ciphertext_mult(params)
+        cofhee_pdp = report.power.pdp_w_ms()
+        cpu_pdp = cpu.pdp_w_ms(params, threads=1)
+        paper_cpu, paper_cof = paper_pdp[n]
+        rows.append(
+            {
+                "n": n,
+                "cpu_pdp_w_ms": round(cpu_pdp, 3),
+                "cofhee_pdp_w_ms": round(cofhee_pdp, 5),
+                "efficiency_ratio": round(cpu_pdp / cofhee_pdp, 1),
+                "paper_cpu_pdp": paper_cpu,
+                "paper_cofhee_pdp": paper_cof,
+            }
+        )
+    return rows
+
+
+def crossover_row(params: BfvParameters) -> dict[str, object]:
+    """Threads at which SEAL overtakes one CoFHEE (Fig. 6 discussion)."""
+    cpu = CpuCostModel()
+    report = cofhee_ciphertext_mult(params)
+    threads = cpu.crossover_threads(params, report.latency_ms)
+    return {
+        "n": params.n,
+        "cofhee_ms": round(report.latency_ms, 3),
+        "crossover_threads": threads,
+    }

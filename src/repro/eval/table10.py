@@ -1,0 +1,51 @@
+"""Table X: end-to-end application comparison (CryptoNets, LogReg).
+
+Prices each application's operation mix (Section VI-C) on the CoFHEE
+simulator and on the calibrated CPU cost table, reporting totals and
+speedups against the paper's 197 s -> 88.35 s (2.23x) and
+550.25 s -> 377.6 s (1.46x).
+"""
+
+from __future__ import annotations
+
+from repro.apps.costmodel import CofheeAppCost, CpuAppCost, Workload
+from repro.apps.cryptonets import CRYPTONETS_WORKLOAD
+from repro.apps.logreg import LOGREG_WORKLOAD
+from repro.bfv.params import BfvParameters
+
+#: Both applications run at the (2^12, 109) parameter set (one CoFHEE
+#: tower, two CPU towers).
+APP_N = 2**12
+APP_LOG_Q = 109
+
+WORKLOADS: tuple[Workload, ...] = (CRYPTONETS_WORKLOAD, LOGREG_WORKLOAD)
+
+
+def table10_rows() -> list[dict[str, object]]:
+    """One row per application: itemized model costs vs paper totals."""
+    params = BfvParameters.from_paper(n=APP_N, log_q=APP_LOG_Q)
+    cofhee = CofheeAppCost(params)
+    cpu = CpuAppCost()
+    rows = []
+    for workload in WORKLOADS:
+        c = cofhee.workload_seconds(workload)
+        s = cpu.workload_seconds(workload)
+        rows.append(
+            {
+                "application": workload.name,
+                "cpu_s": round(s["total_s"], 2),
+                "cofhee_s": round(c["total_s"], 2),
+                "speedup": round(s["total_s"] / c["total_s"], 2),
+                "paper_cpu_s": workload.paper_cpu_seconds,
+                "paper_cofhee_s": workload.paper_cofhee_seconds,
+                "paper_speedup": round(workload.paper_speedup, 2),
+                "cofhee_breakdown": {k: round(v, 2) for k, v in c.items()},
+                "op_mix": {
+                    "ct_ct_adds": workload.ct_ct_adds,
+                    "ct_pt_mults": workload.ct_pt_mults,
+                    "ct_ct_mults": workload.ct_ct_mults,
+                    "relin_digit_bits": workload.relin_digit_bits,
+                },
+            }
+        )
+    return rows

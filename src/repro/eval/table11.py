@@ -1,0 +1,9 @@
+"""Table XI: normalized NTT-efficiency comparison against related work.
+
+Thin re-export of :func:`repro.baselines.related_work.table11_rows`, kept
+here so the experiment index has one module per table.
+"""
+
+from repro.baselines.related_work import table11_rows
+
+__all__ = ["table11_rows"]

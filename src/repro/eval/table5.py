@@ -1,0 +1,59 @@
+"""Table V: CoFHEE latency and power for PolyMul/NTT/iNTT at n = 2^12, 2^13.
+
+Runs the chip simulator (timing fidelity — cycle counts are
+data-independent) through the driver for each operation and compares
+cycles, microseconds, and average/peak power against the silicon
+measurements.
+"""
+
+from __future__ import annotations
+
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.polymath.primes import ntt_friendly_prime
+
+#: Silicon measurements (Table V): (cycles, us, avg mW, peak mW).
+TABLE5_PAPER = {
+    (2**12, "PolyMul"): (83_777, 335.1, 22.9, 30.4),
+    (2**12, "NTT"): (24_841, 99.4, 24.5, 30.4),
+    (2**12, "iNTT"): (29_468, 117.9, 19.9, 27.2),
+    (2**13, "PolyMul"): (179_045, 716.2, 21.2, 29.7),
+    (2**13, "NTT"): (53_535, 214.1, 24.4, 29.7),
+    (2**13, "iNTT"): (62_770, 251.1, 18.3, 23.9),
+}
+
+#: Modulus width used for the silicon runs (one native 128-bit tower).
+MODULUS_BITS = 109
+
+
+def table5_rows(degrees: tuple[int, ...] = (2**12, 2**13)) -> list[dict[str, object]]:
+    """Model-vs-paper rows for every (n, operation) pair."""
+    chip = CoFHEE(ChipConfig(fidelity="timing"))
+    driver = CofheeDriver(chip)
+    rows = []
+    for n in degrees:
+        q = ntt_friendly_prime(n, MODULUS_BITS)
+        driver.program(q, n)
+        operations = {
+            "PolyMul": lambda: driver.polynomial_multiply("P0", "P1", "P2"),
+            "NTT": lambda: driver.ntt("P0", "P1"),
+            "iNTT": lambda: driver.intt("P0", "P1"),
+        }
+        for op, run in operations.items():
+            report = run()
+            paper = TABLE5_PAPER.get((n, op))
+            rows.append(
+                {
+                    "n": n,
+                    "op": op,
+                    "cycles": report.cycles,
+                    "latency_us": round(report.latency_us, 1),
+                    "avg_mw": round(report.power.avg_mw, 2),
+                    "peak_mw": round(report.power.peak_mw, 2),
+                    "paper_cycles": paper[0] if paper else None,
+                    "paper_us": paper[1] if paper else None,
+                    "paper_avg_mw": paper[2] if paper else None,
+                    "paper_peak_mw": paper[3] if paper else None,
+                }
+            )
+    return rows

@@ -1,0 +1,9 @@
+"""Table VIII: post-synthesis block areas and delays.
+
+Thin re-export of :func:`repro.physical.synthesis.table8_rows`, kept here
+so the experiment index has one module per table.
+"""
+
+from repro.physical.synthesis import table8_rows
+
+__all__ = ["table8_rows"]

@@ -1,0 +1,50 @@
+"""Physical-design models: synthesis, floorplan, PnR, CTS, vias, power.
+
+The paper is unusual among FHE-accelerator papers in reporting a *complete*
+physical-design story — it is the only silicon-proven design in Table XI.
+This package models each stage of that flow at the level the paper reports
+it: a synthesis-area estimator (Table VIII), the floorplan geometry
+(Table IV, Fig. 3a), place-and-route statistics evolution (Table III),
+clock-tree synthesis quality-of-results (Table IX), redundant-via insertion
+(Table VII), the pad ring, the power grid plan (Section V-B), and the
+technology-scaling factors that underpin the Table XI cross-design
+normalization.
+"""
+
+from repro.physical.tech import (
+    GF55_LPE,
+    GF12,
+    GF7,
+    TSMC7,
+    ScalingFactors,
+    TechNode,
+    barrett_scaling,
+)
+from repro.physical.synthesis import SynthesisEstimator, table8_rows
+from repro.physical.floorplan import Floorplanner, FloorplanResult
+from repro.physical.pnr import PnrFlow, PnrStage
+from repro.physical.cts import ClockTreeSynthesizer, ClockTreeResult
+from repro.physical.vias import RedundantViaModel
+from repro.physical.padring import PadRing
+from repro.physical.powergrid import PowerGridPlan
+
+__all__ = [
+    "ClockTreeResult",
+    "ClockTreeSynthesizer",
+    "Floorplanner",
+    "FloorplanResult",
+    "GF12",
+    "GF55_LPE",
+    "GF7",
+    "PadRing",
+    "PnrFlow",
+    "PnrStage",
+    "PowerGridPlan",
+    "RedundantViaModel",
+    "ScalingFactors",
+    "SynthesisEstimator",
+    "TechNode",
+    "TSMC7",
+    "barrett_scaling",
+    "table8_rows",
+]

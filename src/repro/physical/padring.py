@@ -1,0 +1,117 @@
+"""Pad ring model: the chip's 47 IO pads on four die edges.
+
+Section V-A: inline pads on all four sides, 120 um pad height; Table IX
+counts 26 signal pads, 11 power/ground pads, and 8 PLL bias pads. Two pads
+each exist for VDD/VSS (core) and DVDD/DVSS (IO), and the corner regions
+overlap without DRC issues. The chip is packaged in a 48-pin QFN
+(Section V-F), which bounds the usable pad count.
+
+The model assembles the inventory, checks edge capacity against the die
+perimeter, and assigns pads to edges (PLL pads clustered at the upper
+right corner where the PLL macro sits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PAD_HEIGHT_UM = 120.0
+PAD_PITCH_UM = 90.0
+QFN_PINS = 48
+
+
+@dataclass(frozen=True)
+class Pad:
+    name: str
+    kind: str  # "signal" | "power" | "pll_bias"
+    edge: str  # "N" | "E" | "S" | "W"
+
+
+#: The fabricated pad inventory (Table IX counts; names reconstructed from
+#: the interface list of Sections III-H and Table II).
+SIGNAL_PAD_NAMES = (
+    "UARTM_TX", "UARTM_RX", "UARTS_TX", "UARTS_RX",
+    "SPI_MOSI", "SPI_MISO", "SPI_CLK", "SPI_CSN",
+    "HOST_IRQ", "CLK_REF", "RESET_N",
+    "PLL_CTL0", "PLL_CTL1", "PLL_CTL2", "PLL_CTL3",
+    "DBG0", "DBG1", "DBG2", "DBG3", "DBG4", "DBG5", "DBG6", "DBG7",
+    "BOOT_SEL", "TEST_EN", "COMPUTE_DONE",
+)
+POWER_PAD_NAMES = (
+    "VDD0", "VDD1", "VSS0", "VSS1",
+    "DVDD0", "DVDD1", "DVSS0", "DVSS1",
+    "VDD_PLL", "VSS_PLL", "VSUB",
+)
+PLL_BIAS_PAD_NAMES = (
+    "PLL_IBIAS0", "PLL_IBIAS1", "PLL_VBIAS0", "PLL_VBIAS1",
+    "PLL_VCTRL", "PLL_REF_SEL", "PLL_LOCK", "PLL_TEST",
+)
+#: Two spare pads close the gap between Table IX's 45 categorized pads and
+#: the Section V-A text's "47 digital IO pads including power pads".
+SPARE_PAD_NAMES = ("SPARE0", "SPARE1")
+
+
+class PadRing:
+    """Pad placement and capacity checking for the CoFHEE die."""
+
+    def __init__(self, die_width_um: float = 3660.0,
+                 die_height_um: float = 3842.0):
+        if die_width_um <= 0 or die_height_um <= 0:
+            raise ValueError("die dimensions must be positive")
+        self.die_width_um = die_width_um
+        self.die_height_um = die_height_um
+
+    def edge_capacity(self, edge: str) -> int:
+        """Pads that fit on one edge (corners excluded)."""
+        if edge in ("N", "S"):
+            usable = self.die_width_um - 2 * PAD_HEIGHT_UM
+        elif edge in ("E", "W"):
+            usable = self.die_height_um - 2 * PAD_HEIGHT_UM
+        else:
+            raise ValueError(f"unknown edge {edge!r}")
+        return int(usable // PAD_PITCH_UM)
+
+    def build(self) -> list[Pad]:
+        """Assign the fabricated inventory to edges.
+
+        PLL bias pads cluster on the north-east (the PLL corner,
+        Section V-A); power pads spread across all edges for IR-drop
+        symmetry; signal pads fill the remainder round-robin.
+        """
+        pads: list[Pad] = []
+        for i, name in enumerate(PLL_BIAS_PAD_NAMES):
+            pads.append(Pad(name, "pll_bias", "N" if i < 4 else "E"))
+        edges = ("N", "E", "S", "W")
+        for i, name in enumerate(POWER_PAD_NAMES):
+            pads.append(Pad(name, "power", edges[i % 4]))
+        for i, name in enumerate(SIGNAL_PAD_NAMES):
+            pads.append(Pad(name, "signal", edges[i % 4]))
+        for i, name in enumerate(SPARE_PAD_NAMES):
+            pads.append(Pad(name, "spare", edges[(i + 2) % 4]))
+        self._check_capacity(pads)
+        return pads
+
+    def _check_capacity(self, pads: list[Pad]) -> None:
+        for edge in ("N", "E", "S", "W"):
+            count = sum(1 for p in pads if p.edge == edge)
+            if count > self.edge_capacity(edge):
+                raise ValueError(
+                    f"edge {edge} overfull: {count} pads > "
+                    f"{self.edge_capacity(edge)} capacity"
+                )
+
+    def summary(self) -> dict[str, int]:
+        """Pad counts in Table IX's terms."""
+        pads = self.build()
+        return {
+            "signal_pads": sum(1 for p in pads if p.kind == "signal"),
+            "pg_pads": sum(1 for p in pads if p.kind == "power"),
+            "pll_bias_pads": sum(1 for p in pads if p.kind == "pll_bias"),
+            "spare_pads": sum(1 for p in pads if p.kind == "spare"),
+            "total": len(pads),
+            "qfn_pins": QFN_PINS,
+        }
+
+
+#: Paper Table IX pad counts for validation.
+TABLE9_PADS_PAPER = {"signal_pads": 26, "pg_pads": 11, "pll_bias_pads": 8}

@@ -1,0 +1,85 @@
+"""Technology nodes and cross-node scaling (the Table XI normalization).
+
+To compare CoFHEE (GF 55 nm) with F1 (GF 14/12 nm), CraterLake (14/12 nm),
+BTS and ARK (7 nm), the paper re-synthesized its Barrett modular multiplier
+in the advanced-node library and measured the scaling: **area shrinks
+16.7x and the critical path 3.7x** (Section VII). Those two numbers are
+the entire normalization machinery of Table XI; they live here together
+with the node descriptors used across the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A CMOS technology node as used in the paper's comparisons.
+
+    Attributes:
+        name: marketing name.
+        drawn_nm: nominal feature size.
+        core_voltage: nominal logic supply.
+        sram_bit_um2: modeled single-port SRAM bit cell + overhead area,
+            calibrated so the fabricated bank areas reproduce Table VIII.
+    """
+
+    name: str
+    drawn_nm: int
+    core_voltage: float
+    sram_bit_um2: float = 0.0
+
+
+#: CoFHEE's node: GlobalFoundries 55 nm Low Power Enhanced.
+GF55_LPE = TechNode("GF 55nm LPE", 55, 1.2, sram_bit_um2=0.7135)
+#: F1 / CraterLake's node.
+GF12 = TechNode("GF 12nm", 12, 0.8)
+#: The library used for the scaling-factor synthesis experiment.
+GF7 = TechNode("GF 7nm", 7, 0.75)
+#: BTS / ARK's node (and the Ryzen 7 5800h CPU of Fig. 6).
+TSMC7 = TechNode("TSMC 7nm FinFET", 7, 0.75)
+
+
+@dataclass(frozen=True)
+class ScalingFactors:
+    """Area/delay ratios between two nodes, from a common-RTL synthesis."""
+
+    area_ratio: float  # old_area / new_area
+    delay_ratio: float  # old_delay / new_delay
+    source: str
+
+    def scale_area(self, area_mm2: float) -> float:
+        """Map an area from the old node into the new node."""
+        return area_mm2 / self.area_ratio
+
+    def scale_delay(self, delay_ns: float) -> float:
+        """Map a delay from the old node into the new node."""
+        return delay_ns / self.delay_ratio
+
+
+def barrett_scaling() -> ScalingFactors:
+    """The paper's measured 55 nm -> advanced-node scaling factors.
+
+    "We synthesized the Barrett modular multiplier using the GF7nm
+    technology library ... the scaling factor reduces the area by 16.7x
+    and the critical path by 3.7x."
+    """
+    return ScalingFactors(
+        area_ratio=16.7,
+        delay_ratio=3.7,
+        source="Barrett multiplier re-synthesis (Section VII)",
+    )
+
+
+def classical_dennard_estimate(old: TechNode, new: TechNode) -> ScalingFactors:
+    """Idealized (lambda^2, lambda) scaling — shown alongside the measured
+    factors to document how far real libraries deviate from the textbook
+    rule (the measured 16.7x area is *less* than the naive (55/7)^2 = 62x;
+    wires and SRAM periphery do not shrink like logic)."""
+    ratio = old.drawn_nm / new.drawn_nm
+    return ScalingFactors(
+        area_ratio=ratio * ratio,
+        delay_ratio=ratio,
+        source="idealized Dennard scaling",
+    )

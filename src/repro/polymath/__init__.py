@@ -1,0 +1,55 @@
+"""Polynomial and modular-arithmetic substrate underlying CoFHEE.
+
+This package is the pure-algorithm layer: modular arithmetic (including the
+Barrett reduction scheme the chip implements and the Montgomery alternative
+it argues against), NTT-friendly prime generation, the Cooley-Tukey /
+Gentleman-Sande NTT pair with negacyclic (psi-merged) twiddles, polynomial
+rings ``Z_q[x]/(x^n + 1)``, and the Residue Number System used to split
+large moduli into towers.
+
+Everything here is bit-exact reference code; the hardware model in
+:mod:`repro.core` executes the same arithmetic through a cycle-level
+micro-architecture and is validated against this layer.
+"""
+
+from repro.polymath.bitrev import bit_reverse, bit_reverse_indices, bit_reverse_permute
+from repro.polymath.modmath import (
+    BarrettReducer,
+    MontgomeryReducer,
+    modadd,
+    modexp,
+    modinv,
+    modmul,
+    modsub,
+)
+from repro.polymath.ntt import NttContext
+from repro.polymath.poly import Polynomial, PolynomialRing
+from repro.polymath.primes import (
+    find_primitive_root,
+    is_prime,
+    ntt_friendly_prime,
+    root_of_unity,
+)
+from repro.polymath.rns import RnsBasis, plan_towers
+
+__all__ = [
+    "BarrettReducer",
+    "MontgomeryReducer",
+    "NttContext",
+    "Polynomial",
+    "PolynomialRing",
+    "RnsBasis",
+    "bit_reverse",
+    "bit_reverse_indices",
+    "bit_reverse_permute",
+    "find_primitive_root",
+    "is_prime",
+    "modadd",
+    "modexp",
+    "modinv",
+    "modmul",
+    "modsub",
+    "ntt_friendly_prime",
+    "plan_towers",
+    "root_of_unity",
+]

@@ -1,0 +1,42 @@
+"""Bit-reversal permutation helpers.
+
+The iterative Cooley-Tukey NTT consumes/produces data in bit-reversed
+order; CoFHEE exposes this as the ``MEMCPYR`` instruction ("memory data
+transfer in bit-reverse", Table I), which the MDMC uses when reordering a
+polynomial between transforms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Return ``value`` with its ``bits`` least-significant bits reversed."""
+    if value < 0 or value >= 1 << bits:
+        raise ValueError(f"value {value} does not fit in {bits} bits")
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reverse_indices(n: int) -> list[int]:
+    """Return the length-``n`` bit-reversal index table (n a power of two)."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"length must be a power of two, got {n}")
+    bits = n.bit_length() - 1
+    table = [0] * n
+    for i in range(1, n):
+        table[i] = (table[i >> 1] >> 1) | ((i & 1) << (bits - 1))
+    return table
+
+
+def bit_reverse_permute(data: Sequence[int]) -> list[int]:
+    """Return a new list with elements of ``data`` in bit-reversed order.
+
+    This is the software equivalent of one ``MEMCPYR`` command.
+    """
+    table = bit_reverse_indices(len(data))
+    return [data[table[i]] for i in range(len(data))]

@@ -1,0 +1,95 @@
+"""Vectorized (numpy) negacyclic NTT for word-sized moduli.
+
+The pure-Python :class:`~repro.polymath.ntt.NttContext` is exact for any
+modulus width (CoFHEE's native 128 bits) but loops per butterfly. For
+moduli below 31 bits — where every product fits ``int64`` — this module
+provides a numpy-vectorized drop-in with identical semantics, used by the
+software baseline and the larger property sweeps. It mirrors how SEAL
+keeps its towers word-sized precisely to unlock vectorized arithmetic:
+the same engineering trade the paper's Section II-D describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polymath.modmath import modinv
+from repro.polymath.ntt import NttContext
+
+#: Products a*b must fit int64: a, b < 2^31 keeps a*b < 2^62.
+MAX_MODULUS_BITS = 31
+
+
+class FastNttContext:
+    """Numpy-vectorized negacyclic NTT, bit-identical to ``NttContext``.
+
+    Args:
+        n: polynomial degree (power of two).
+        q: NTT-friendly prime below 2^31.
+    """
+
+    def __init__(self, n: int, q: int):
+        if q.bit_length() > MAX_MODULUS_BITS:
+            raise ValueError(
+                f"modulus of {q.bit_length()} bits exceeds the int64-safe "
+                f"{MAX_MODULUS_BITS}; use NttContext for wide moduli"
+            )
+        self.n = n
+        self.q = q
+        self._ref = NttContext(n, q)  # twiddle construction shared
+        self._psi_brv = np.asarray(self._ref._psi_brv, dtype=np.int64)
+        self._ipsi_brv = np.asarray(self._ref._ipsi_brv, dtype=np.int64)
+        self._n_inv = modinv(n, q)
+
+    @property
+    def psi(self) -> int:
+        return self._ref.psi
+
+    def forward(self, coeffs) -> np.ndarray:
+        """Cooley-Tukey DIT, natural -> bit-reversed order (vectorized)."""
+        a = np.asarray(coeffs, dtype=np.int64) % self.q
+        self._check(a)
+        q = self.q
+        t = self.n
+        m = 1
+        while m < self.n:
+            t >>= 1
+            # stage layout: m blocks of length 2t starting at 2*i*t
+            a = a.reshape(m, 2 * t)
+            u = a[:, :t]
+            v = a[:, t:]
+            s = self._psi_brv[m : 2 * m, None]
+            vs = v * s % q
+            a = np.concatenate(((u + vs) % q, (u - vs) % q), axis=1)
+            m <<= 1
+        return a.reshape(self.n)
+
+    def inverse(self, values) -> np.ndarray:
+        """Gentleman-Sande DIF + n^-1 scaling (vectorized)."""
+        a = np.asarray(values, dtype=np.int64) % self.q
+        self._check(a)
+        q = self.q
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m >> 1
+            a = a.reshape(h, 2 * t)
+            u = a[:, :t]
+            v = a[:, t:]
+            s = self._ipsi_brv[h : 2 * h, None]
+            summed = (u + v) % q
+            diff = (u - v) * s % q
+            a = np.concatenate((summed, diff), axis=1)
+            t <<= 1
+            m = h
+        return a.reshape(self.n) * self._n_inv % q
+
+    def negacyclic_multiply(self, a, b) -> list[int]:
+        """Polynomial product modulo ``x^n + 1`` via the fast transforms."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return [int(x) for x in self.inverse(fa * fb % self.q)]
+
+    def _check(self, a: np.ndarray) -> None:
+        if a.shape != (self.n,):
+            raise ValueError(f"expected {self.n} coefficients, got {a.shape}")

@@ -1,0 +1,173 @@
+"""Modular arithmetic primitives, including Barrett and Montgomery reducers.
+
+CoFHEE's processing element performs every multiplication through a
+*pipelined Barrett multiplier* (Section IV-A of the paper): Barrett was
+chosen over Montgomery because it needs no domain transformation of the
+operands and pipelines cleanly to match the SRAM read latency. Both
+reduction schemes are implemented here so the design choice can be
+exercised and benchmarked (see ``benchmarks/bench_ablation_design_choices``).
+
+All functions operate on Python integers, which keeps the arithmetic exact
+for the 128-bit (and larger) coefficient sizes the chip supports natively.
+"""
+
+from __future__ import annotations
+
+
+def modadd(a: int, b: int, q: int) -> int:
+    """Return ``(a + b) mod q`` for operands already reduced mod ``q``.
+
+    Mirrors the chip's 1-cycle modular adder: one addition and one
+    conditional subtraction, no division.
+    """
+    s = a + b
+    if s >= q:
+        s -= q
+    return s
+
+
+def modsub(a: int, b: int, q: int) -> int:
+    """Return ``(a - b) mod q`` for operands already reduced mod ``q``.
+
+    Mirrors the chip's 1-cycle modular subtractor: one subtraction and one
+    conditional addition.
+    """
+    d = a - b
+    if d < 0:
+        d += q
+    return d
+
+
+def modmul(a: int, b: int, q: int) -> int:
+    """Return ``(a * b) mod q``."""
+    return a * b % q
+
+
+def modexp(base: int, exponent: int, q: int) -> int:
+    """Return ``base ** exponent mod q`` by square-and-multiply."""
+    return pow(base, exponent, q)
+
+
+def modinv(a: int, q: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``q``.
+
+    Raises:
+        ValueError: if ``a`` is not invertible modulo ``q``.
+    """
+    g, x = _extended_gcd(a % q, q)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {q} (gcd = {g})")
+    return x % q
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int]:
+    """Return ``(gcd(a, b), x)`` with ``a*x === gcd(a, b) (mod b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+    return old_r, old_x
+
+
+class BarrettReducer:
+    """Barrett modular reduction, as implemented by CoFHEE's multiplier.
+
+    Barrett reduction replaces the division in ``x mod q`` with two
+    multiplications by a precomputed reciprocal ``mu = floor(2**k / q)``.
+    The chip stores ``k`` in the ``BARRETT_CTL1`` configuration register and
+    ``mu`` in ``BARRETT_CTL2`` (Table II); the host driver computes both when
+    programming a new modulus.
+
+    The estimate ``floor(x * mu / 2**k)`` undershoots the true quotient by at
+    most 2 when ``k >= 2 * q.bit_length()``, so at most two conditional
+    subtractions complete the reduction — exactly the correction stage of the
+    hardware pipeline.
+
+    Attributes:
+        q: the modulus.
+        k: shift amount, ``2 * q.bit_length()``.
+        mu: precomputed constant ``floor(2**k / q)``.
+    """
+
+    def __init__(self, q: int):
+        if q < 2:
+            raise ValueError(f"modulus must be >= 2, got {q}")
+        self.q = q
+        self.k = 2 * q.bit_length()
+        self.mu = (1 << self.k) // q
+        self.correction_count = 0  # conditional subtractions performed
+
+    def reduce(self, x: int) -> int:
+        """Reduce ``0 <= x < q**2`` modulo ``q`` without division."""
+        if x < 0 or x >= self.q * self.q:
+            raise ValueError(
+                f"Barrett input must be in [0, q^2); got {x} for q={self.q}"
+            )
+        estimate = (x * self.mu) >> self.k
+        r = x - estimate * self.q
+        while r >= self.q:
+            r -= self.q
+            self.correction_count += 1
+        return r
+
+    def mulmod(self, a: int, b: int) -> int:
+        """Return ``(a * b) mod q`` via full multiply then Barrett reduce."""
+        return self.reduce((a % self.q) * (b % self.q))
+
+
+class MontgomeryReducer:
+    """Montgomery modular reduction (the alternative CoFHEE rejected).
+
+    Operands must first be transformed into the Montgomery domain
+    (``a -> a * R mod q``), which is the overhead the paper cites when
+    preferring Barrett. Provided for baseline/ablation comparisons.
+
+    Attributes:
+        q: the (odd) modulus.
+        r_bits: width of the Montgomery radix ``R = 2**r_bits``.
+    """
+
+    def __init__(self, q: int):
+        if q < 3 or q % 2 == 0:
+            raise ValueError(f"Montgomery modulus must be odd and >= 3, got {q}")
+        self.q = q
+        self.r_bits = q.bit_length()
+        self.r = 1 << self.r_bits
+        self.r_mask = self.r - 1
+        # q' such that q * q' === -1 (mod R)
+        self.q_prime = (-modinv(q, self.r)) % self.r
+        self.r2 = self.r * self.r % q  # for to_montgomery via REDC
+
+    def to_montgomery(self, a: int) -> int:
+        """Transform ``a`` into the Montgomery domain (``a * R mod q``)."""
+        return self.redc((a % self.q) * self.r2)
+
+    def from_montgomery(self, a_mont: int) -> int:
+        """Transform out of the Montgomery domain (``a_mont * R^-1 mod q``)."""
+        return self.redc(a_mont)
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction: return ``t * R^-1 mod q`` for ``t < q*R``."""
+        if t < 0 or t >= self.q * self.r:
+            raise ValueError(f"REDC input must be in [0, q*R); got {t}")
+        m = (t & self.r_mask) * self.q_prime & self.r_mask
+        u = (t + m * self.q) >> self.r_bits
+        if u >= self.q:
+            u -= self.q
+        return u
+
+    def mulmod(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-domain values; result stays in-domain."""
+        return self.redc(a_mont * b_mont)
+
+    def mulmod_plain(self, a: int, b: int) -> int:
+        """Return ``(a * b) mod q`` including both domain transformations.
+
+        This is the apples-to-apples cost the paper's Barrett-vs-Montgomery
+        argument is about: a standalone modular multiply pays the transform.
+        """
+        return self.from_montgomery(
+            self.redc(self.to_montgomery(a) * self.to_montgomery(b))
+        )

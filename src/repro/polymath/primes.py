@@ -1,0 +1,169 @@
+"""NTT-friendly prime generation and roots of unity.
+
+The paper's pre-silicon verification flow (Section III-J) uses a Python
+script that "calculates the modulus following the equation q = 2k*n + 1,
+where k >= 1 is an arbitrary constant", then finds twiddle factors and
+expected results. This module is that script, made into a library: it
+generates primes ``q === 1 (mod 2n)`` (so that a primitive 2n-th root of
+unity ``psi`` exists, enabling the negacyclic NTT over ``x^n + 1``), finds
+primitive roots, and derives the ``omega``/``psi`` twiddle bases.
+"""
+
+from __future__ import annotations
+
+# Deterministic Miller-Rabin witness sets (Sinclair / Jaeschke bounds).
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_LIMIT = 3317044064679887385961981  # all 12 witnesses suffice below
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test.
+
+    Uses the 12-witness set that is provably correct for every
+    ``n < 3.3 * 10**24``; above that (e.g. 109-bit CoFHEE moduli) the same
+    witnesses make the error probability below ``4**-12`` per witness, far
+    beyond any practical concern for test-vector generation.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _SMALL_PRIMES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def ntt_friendly_prime(n: int, bits: int) -> int:
+    """Return the largest prime ``q = 2*k*n + 1`` with ``q.bit_length() == bits``.
+
+    Such a prime supports a full negacyclic NTT of length ``n`` because its
+    multiplicative group has order divisible by ``2n``.
+
+    Args:
+        n: polynomial degree (power of two).
+        bits: desired bit length of the modulus (e.g. 54, 109, 128).
+
+    Raises:
+        ValueError: if ``n`` is not a power of two or no prime of the
+            requested width exists (never happens for practical sizes).
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"polynomial degree must be a power of two, got {n}")
+    if bits < n.bit_length() + 2:
+        raise ValueError(f"{bits} bits is too small for a 2*{n}*k + 1 prime")
+    step = 2 * n
+    # Largest candidate of the form 2kn + 1 strictly below 2**bits.
+    q = ((1 << bits) - 2) // step * step + 1
+    while q >= 1 << (bits - 1):
+        if is_prime(q):
+            return q
+        q -= step
+    raise ValueError(f"no {bits}-bit prime of the form 2k*{n}+1 found")
+
+
+def find_primitive_root(q: int) -> int:
+    """Return a generator of the multiplicative group of ``Z_q`` (q prime)."""
+    if not is_prime(q):
+        raise ValueError(f"{q} is not prime")
+    group_order = q - 1
+    factors = _prime_factors(group_order)
+    g = 2
+    while g < q:
+        if all(pow(g, group_order // f, q) != 1 for f in factors):
+            return g
+        g += 1
+    raise ValueError(f"no primitive root found for {q}")  # unreachable for primes
+
+
+def root_of_unity(order: int, q: int) -> int:
+    """Return a primitive ``order``-th root of unity modulo prime ``q``.
+
+    For the negacyclic NTT over ``x^n + 1`` the chip needs ``psi`` with
+    ``order = 2n`` (then ``omega = psi**2`` is the n-th root used by the
+    cyclic transform).
+
+    Uses the standard exponent trick — ``x**((q-1)/order)`` has order
+    dividing ``order`` and is primitive iff its ``order/2`` power is -1 —
+    so no factorization of ``q - 1`` is needed (which can embed hard
+    semiprimes for the 100+-bit moduli CoFHEE uses natively).
+
+    Raises:
+        ValueError: if ``order`` does not divide ``q - 1`` or ``order`` is
+            not even (the negacyclic case always is).
+    """
+    if (q - 1) % order:
+        raise ValueError(f"{order} does not divide q-1 = {q - 1}")
+    if order % 2:
+        raise ValueError(f"order must be even, got {order}")
+    exponent = (q - 1) // order
+    # Deterministic candidate sweep: about half of all bases yield a
+    # primitive root, so a handful of small bases always suffices.
+    for base in range(2, 1000):
+        root = pow(base, exponent, q)
+        if pow(root, order // 2, q) == q - 1:
+            return root
+    raise ValueError(f"no primitive {order}-th root found modulo {q}")
+
+
+def _prime_factors(n: int) -> list[int]:
+    """Return the distinct prime factors of ``n`` by trial division + rho."""
+    factors: set[int] = set()
+    for p in _SMALL_PRIMES:
+        while n % p == 0:
+            factors.add(p)
+            n //= p
+    # Trial division is enough for q-1 = 2kn with typically smooth k*n,
+    # but fall back to Pollard rho for any large cofactor.
+    d = 41
+    while d * d <= n and d < 1 << 20:
+        while n % d == 0:
+            factors.add(d)
+            n //= d
+        d += 2
+    if n > 1:
+        if is_prime(n):
+            factors.add(n)
+        else:
+            f = _pollard_rho(n)
+            factors.update(_prime_factors(f))
+            factors.update(_prime_factors(n // f))
+    return sorted(factors)
+
+
+def _pollard_rho(n: int) -> int:
+    """Return a nontrivial factor of composite odd ``n`` (Brent's variant)."""
+    if n % 2 == 0:
+        return 2
+    seed = 1
+    while True:
+        seed += 1
+        x = y = 2
+        c = seed
+        d = 1
+        while d == 1:
+            x = (x * x + c) % n
+            y = (y * y + c) % n
+            y = (y * y + c) % n
+            d = _gcd(abs(x - y), n)
+        if d != n:
+            return d
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

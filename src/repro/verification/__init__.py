@@ -1,0 +1,35 @@
+"""Verification substrate: pre-silicon test vectors, FPGA prototyping,
+and post-silicon bring-up (Sections III-J and V-F).
+
+The paper's verification flow has three legs, all modeled here:
+
+* **simulation** — a Python script generates the modulus ``q = 2kn + 1``,
+  twiddle factors, random input polynomials, and expected results, which a
+  Verilog testbench replays against the RTL
+  (:mod:`repro.verification.vectors` is that script as a library, and
+  :class:`repro.verification.harness.GoldenHarness` replays the vectors
+  against this repository's chip model exactly as the testbench did);
+* **FPGA validation** — a scaled-down build (n = 2^12 maximum on a
+  Digilent Nexys 4, 10 MHz) exercised the design in hardware
+  (:mod:`repro.verification.fpga`);
+* **post-silicon bring-up** — the packaged chip on a breadboard behind an
+  FTDI USB-UART: read the SIGNATURE register, walk the configuration
+  registers, then run compute smoke tests
+  (:mod:`repro.verification.bringup`).
+"""
+
+from repro.verification.vectors import TestVector, TestVectorGenerator
+from repro.verification.harness import GoldenHarness, VectorResult
+from repro.verification.fpga import FPGA_PRESETS, FpgaBuild
+from repro.verification.bringup import BringUpReport, PostSiliconValidator
+
+__all__ = [
+    "BringUpReport",
+    "FPGA_PRESETS",
+    "FpgaBuild",
+    "GoldenHarness",
+    "PostSiliconValidator",
+    "TestVector",
+    "TestVectorGenerator",
+    "VectorResult",
+]

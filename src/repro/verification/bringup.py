@@ -1,0 +1,135 @@
+"""Post-silicon bring-up model (Section V-F).
+
+The validation setup: the packaged chip (48-pin QFN on a DIP adapter)
+behind a UMFT230XA USB-UART bridge supplying the 3.3 V IO rail and the
+reference clock, a DC-DC module deriving the 1.2 V core rail, and a second
+USB-UART breakout receiving the computation-complete interrupt.
+"Our post-silicon validation setup ... confirms that the fabricated chip
+is fully functional."
+
+:class:`PostSiliconValidator` runs the canonical bring-up ladder against a
+chip instance: supply/clock sanity, SIGNATURE read (chip ID), register
+write/readback walk, a DMA loopback, and compute smoke tests of increasing
+depth — accumulating a pass/fail report with UART time accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.chip import CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.core.regs import CHIP_SIGNATURE
+from repro.polymath.ntt import reference_negacyclic_multiply
+from repro.polymath.primes import ntt_friendly_prime
+
+#: Bench supplies (Section V-F).
+IO_RAIL_V = 3.3
+CORE_RAIL_V = 1.2
+
+
+@dataclass
+class BringUpStep:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class BringUpReport:
+    steps: list[BringUpStep] = field(default_factory=list)
+    uart_seconds: float = 0.0
+
+    @property
+    def fully_functional(self) -> bool:
+        return bool(self.steps) and all(s.passed for s in self.steps)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.steps.append(BringUpStep(name, passed, detail))
+
+    def __str__(self) -> str:
+        lines = [f"[{'PASS' if s.passed else 'FAIL'}] {s.name}"
+                 + (f" — {s.detail}" if s.detail else "")
+                 for s in self.steps]
+        verdict = "chip fully functional" if self.fully_functional else \
+            "bring-up FAILED"
+        return "\n".join(lines + [verdict])
+
+
+class PostSiliconValidator:
+    """The bring-up ladder, executed over the modeled UART link."""
+
+    def __init__(self, chip: CoFHEE | None = None, seed: int = 55):
+        self.chip = chip or CoFHEE()
+        self.driver = CofheeDriver(self.chip, interface="uart")
+        self._rng = random.Random(seed)
+
+    def run(self, smoke_degree: int = 256) -> BringUpReport:
+        """Run every bring-up step; stops early only on supply failure."""
+        report = BringUpReport()
+        self._check_supplies(report)
+        if not report.fully_functional:
+            return report
+        self._check_signature(report)
+        self._walk_registers(report)
+        self._dma_loopback(report)
+        self._compute_smoke(report, smoke_degree)
+        return report
+
+    # -- steps ---------------------------------------------------------------
+
+    def _check_supplies(self, report: BringUpReport) -> None:
+        """Rail sanity: the DC-DC's 1.2 V core and the FTDI's 3.3 V IO."""
+        ok = IO_RAIL_V == 3.3 and CORE_RAIL_V == 1.2
+        report.add("supply rails", ok, f"IO {IO_RAIL_V} V, core {CORE_RAIL_V} V")
+
+    def _check_signature(self, report: BringUpReport) -> None:
+        """First sign of life: read the chip-ID register."""
+        report.uart_seconds += self.chip.uart.register_write()
+        value = self.chip.regs.read("SIGNATURE")
+        report.add("SIGNATURE read", value == CHIP_SIGNATURE,
+                   f"0x{value:08X}")
+
+    def _walk_registers(self, report: BringUpReport) -> None:
+        """Write/readback walking patterns through a scratch register."""
+        patterns = (0x0000_0000, 0xFFFF_FFFF, 0xAAAA_AAAA, 0x5555_5555)
+        ok = True
+        for p in patterns:
+            self.chip.regs.write("DBG_REG", p)
+            report.uart_seconds += 2 * self.chip.uart.register_write()
+            ok &= self.chip.regs.read("DBG_REG") == p
+        report.add("register walk", ok, f"{len(patterns)} patterns")
+
+    def _dma_loopback(self, report: BringUpReport) -> None:
+        """Write a block, DMA it to another bank, read it back."""
+        mm = self.chip.memory_map
+        data = [self._rng.getrandbits(128) for _ in range(64)]
+        self.chip.bus.burst_write(mm.base_address("SP0"), data)
+        self.chip.dma.copy(mm.base_address("SP0"), mm.base_address("SP1"), 64)
+        got, _ = self.chip.bus.burst_read(mm.base_address("SP1"), 64)
+        report.uart_seconds += self.chip.uart.transfer_seconds(64 * 128) * 2
+        report.add("DMA loopback", got == data, "64 words SP0 -> SP1")
+
+    def _compute_smoke(self, report: BringUpReport, n: int) -> None:
+        """NTT round-trip then a full polynomial multiplication."""
+        q = ntt_friendly_prime(n, 60)
+        report.uart_seconds += self.driver.program(q, n)
+        a = [self._rng.randrange(q) for _ in range(n)]
+        b = [self._rng.randrange(q) for _ in range(n)]
+        report.uart_seconds += self.driver.load_polynomial("P0", a)
+        report.uart_seconds += self.driver.load_polynomial("P1", b)
+
+        self.driver.ntt("P0", "P2")
+        self.driver.intt("P2", "P3")
+        got, dt = self.driver.read_polynomial("P3")
+        report.uart_seconds += dt
+        report.add("NTT/iNTT round-trip", got == a, f"n={n}")
+
+        report.uart_seconds += self.driver.load_polynomial("P0", a)
+        self.driver.polynomial_multiply("P0", "P1", "P4")
+        got, dt = self.driver.read_polynomial("P4")
+        report.uart_seconds += dt
+        expected = reference_negacyclic_multiply(a, b, q)
+        report.add("polynomial multiplication", got == expected,
+                   "host-checked against golden model")

@@ -1,0 +1,97 @@
+"""FPGA prototyping model (Section III-J).
+
+"For our FPGA design, we implemented a scaled-down version of CoFHEE, as
+n = 2^13 is incompatible with the available resources of our FPGAs.
+Specifically, the maximum polynomial degree that could be supported on a
+Digilent Nexys 4 is n = 2^12 running at 10 MHz."
+
+The model captures the resource arithmetic that forces the scale-down
+(block-RAM capacity vs the bank set) and builds a correspondingly
+configured chip instance whose results remain bit-identical to the
+full-size configuration — the property that made FPGA validation
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.memory import WORD_BITS
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Capacity summary of a prototyping board's FPGA."""
+
+    name: str
+    bram_kbits: int
+    luts: int
+    max_clock_mhz: float
+
+
+#: Digilent Nexys 4: Artix-7 XC7A100T (4,860 Kb BRAM, 63,400 LUTs).
+NEXYS4 = FpgaDevice("Digilent Nexys 4 (XC7A100T)", 4_860, 63_400, 100.0)
+
+#: The paper's FPGA build point.
+FPGA_PRESETS = {"nexys4": NEXYS4}
+
+
+class FpgaBuild:
+    """A scaled-down CoFHEE configuration for a given FPGA device."""
+
+    #: Banks the architecture instantiates (3 DP + 4 SP data incl. twiddles).
+    DATA_BANKS = 7
+    #: Unlike ASIC SRAM (2x area for dual-port), Xilinx BRAM36 primitives
+    #: are natively true-dual-port, so DP banks carry no capacity premium
+    #: on the FPGA — which is exactly what lets n = 2^12 fit the Nexys 4.
+    BRAM_COST_FACTOR = {True: 1.0, False: 1.0}
+    #: Fraction of BRAM usable for the polynomial banks (CM0 memory,
+    #: FIFOs, and synthesis overhead consume the rest).
+    BRAM_BUDGET = 0.80
+
+    def __init__(self, device: FpgaDevice = NEXYS4, clock_mhz: float = 10.0):
+        if clock_mhz <= 0 or clock_mhz > device.max_clock_mhz:
+            raise ValueError(
+                f"clock {clock_mhz} MHz outside (0, {device.max_clock_mhz}]"
+            )
+        self.device = device
+        self.clock_mhz = clock_mhz
+
+    def bank_kbits(self, n: int) -> float:
+        """BRAM kilobits one degree-n bank consumes."""
+        return n * WORD_BITS / 1024
+
+    def total_kbits(self, n: int) -> float:
+        """All data banks, with the dual-port premium."""
+        dp = 3 * self.bank_kbits(n) * self.BRAM_COST_FACTOR[True]
+        sp = 4 * self.bank_kbits(n) * self.BRAM_COST_FACTOR[False]
+        return dp + sp
+
+    def max_degree(self) -> int:
+        """Largest power-of-two degree whose bank set fits the BRAM budget.
+
+        For the Nexys 4 this evaluates to n = 2^12, matching the paper.
+        """
+        budget = self.device.bram_kbits * self.BRAM_BUDGET
+        n = 2
+        while self.total_kbits(2 * n) <= budget:
+            n *= 2
+        return n
+
+    def fits(self, n: int) -> bool:
+        return self.total_kbits(n) <= self.device.bram_kbits * self.BRAM_BUDGET
+
+    def instantiate(self) -> CoFHEE:
+        """Build the scaled-down chip model (banks sized to max_degree,
+        FPGA clock)."""
+        return CoFHEE(
+            ChipConfig(
+                poly_words=self.max_degree(),
+                frequency_hz=self.clock_mhz * 1e6,
+            )
+        )
+
+    def slowdown_vs_silicon(self) -> float:
+        """Wall-clock factor vs the 250 MHz chip at equal cycle counts."""
+        return 250.0 / self.clock_mhz

@@ -1,0 +1,87 @@
+"""Golden-model harness: replay test vectors against the chip model.
+
+The RTL testbench loaded each vector's operands into the SRAMs, triggered
+the operation, and compared the result memory against the expected words.
+:class:`GoldenHarness` performs exactly that sequence against the
+cycle-level model, at the bit-exact ``pe`` fidelity by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.core.isa import Command, Opcode
+from repro.verification.vectors import TestVector
+
+
+@dataclass(frozen=True)
+class VectorResult:
+    """Outcome of replaying one test vector."""
+
+    vector: TestVector
+    passed: bool
+    cycles: int
+    first_mismatch: int | None = None  # coefficient index
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else f"FAIL @{self.first_mismatch}"
+        return f"[{status}] {self.vector.description} ({self.cycles} cc)"
+
+
+class GoldenHarness:
+    """Replays vectors through the driver and diffs against golden outputs.
+
+    Args:
+        fidelity: MDMC fidelity; ``"pe"`` (default) exercises the Barrett
+            datapath per butterfly like the RTL simulation did.
+    """
+
+    def __init__(self, fidelity: str = "pe"):
+        self.fidelity = fidelity
+
+    def run(self, vector: TestVector) -> VectorResult:
+        """Load, execute, compare — one testbench iteration."""
+        chip = CoFHEE(ChipConfig(fidelity=self.fidelity))
+        driver = CofheeDriver(chip)
+        driver.program(vector.q, vector.n)
+        driver.load_polynomial("P0", list(vector.x))
+        if vector.y is not None:
+            driver.load_polynomial("P1", list(vector.y))
+        cmd = self._command_for(driver, vector)
+        report = driver.execute([cmd], label=vector.opcode.value)
+        got, _ = driver.read_polynomial("P2")
+        mismatch = next(
+            (i for i, (g, e) in enumerate(zip(got, vector.expected)) if g != e),
+            None,
+        )
+        return VectorResult(
+            vector=vector, passed=mismatch is None,
+            cycles=report.cycles, first_mismatch=mismatch,
+        )
+
+    def run_suite(self, vectors: list[TestVector]) -> list[VectorResult]:
+        return [self.run(v) for v in vectors]
+
+    @staticmethod
+    def summarize(results: list[VectorResult]) -> dict[str, int]:
+        return {
+            "total": len(results),
+            "passed": sum(1 for r in results if r.passed),
+            "failed": sum(1 for r in results if not r.passed),
+        }
+
+    def _command_for(self, driver: CofheeDriver, vector: TestVector) -> Command:
+        op = vector.opcode
+        if op is Opcode.NTT:
+            return driver.ntt_command("P0", "P2")
+        if op is Opcode.INTT:
+            return driver.intt_command("P0", "P2")
+        if op in (Opcode.MEMCPY, Opcode.MEMCPYR):
+            return Command(op, x_addr=driver.buffer_address("P0"),
+                           out_addr=driver.buffer_address("P2"),
+                           length=vector.n)
+        y = "P1" if op.needs_y_operand else None
+        return driver.pointwise_command(op, "P0", "P2", y=y,
+                                        constant=vector.constant)

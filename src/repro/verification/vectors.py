@@ -1,0 +1,155 @@
+"""Test-vector generation — the paper's pre-silicon verification script.
+
+Section III-J: "A python script is used to calculate the modulus following
+the equation q = 2k*n + 1 ... the script finds twiddle factors, generates
+random input polynomial coefficients, and calculates expected results. We
+use random coefficient values modulo q for our test polynomials since the
+128-bit operand range cannot be exhaustively tested."
+
+This module is that script as a library: it produces self-contained
+:class:`TestVector` records (inputs + golden outputs) for every Table I
+operation, plus the Verilog-testbench-style hex dump the RTL flow consumed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.isa import Opcode
+from repro.polymath.bitrev import bit_reverse_permute
+from repro.polymath.modmath import modinv
+from repro.polymath.ntt import NttContext
+from repro.polymath.primes import ntt_friendly_prime
+
+
+@dataclass(frozen=True)
+class TestVector:
+    """One directed or random test case: inputs and the golden output."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    opcode: Opcode
+    n: int
+    q: int
+    x: tuple[int, ...]
+    y: tuple[int, ...] | None
+    constant: int
+    expected: tuple[int, ...]
+    description: str = ""
+
+
+class TestVectorGenerator:
+    """Deterministic vector generator for a given (n, q).
+
+    (The ``Test`` prefix mirrors the paper's terminology; ``__test__`` is
+    cleared so pytest does not try to collect it.)
+
+    Args:
+        n: polynomial degree (power of two).
+        coeff_bits: modulus width; the generator derives
+            ``q = ntt_friendly_prime(n, coeff_bits)`` like the paper's
+            script derives ``q = 2kn + 1``.
+        seed: RNG seed — the whole regression is reproducible.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, n: int, coeff_bits: int = 109, seed: int = 0xC0F4EE):
+        self.n = n
+        self.q = ntt_friendly_prime(n, coeff_bits)
+        self.ctx = NttContext(self.n, self.q)
+        self._rng = random.Random(seed)
+
+    def _poly(self) -> list[int]:
+        """Random coefficients modulo q (the non-exhaustive-range policy)."""
+        return [self._rng.randrange(self.q) for _ in range(self.n)]
+
+    # -- per-opcode golden models ------------------------------------------
+
+    def vector(self, opcode: Opcode) -> TestVector:
+        """One random vector with its golden result for ``opcode``."""
+        q, n = self.q, self.n
+        x = self._poly()
+        y = None
+        constant = 0
+        if opcode is Opcode.NTT:
+            expected = self.ctx.forward(x)
+        elif opcode is Opcode.INTT:
+            constant = modinv(n, q)
+            expected = self.ctx.inverse(x)
+        elif opcode is Opcode.PMODADD:
+            y = self._poly()
+            expected = [(a + b) % q for a, b in zip(x, y)]
+        elif opcode is Opcode.PMODSUB:
+            y = self._poly()
+            expected = [(a - b) % q for a, b in zip(x, y)]
+        elif opcode is Opcode.PMODMUL:
+            y = self._poly()
+            expected = [a * b % q for a, b in zip(x, y)]
+        elif opcode is Opcode.PMODSQR:
+            expected = [a * a % q for a in x]
+        elif opcode is Opcode.CMODMUL:
+            constant = self._rng.randrange(q)
+            expected = [a * constant % q for a in x]
+        elif opcode is Opcode.PMUL:
+            y = self._poly()
+            expected = [(a * b) & ((1 << 128) - 1) for a, b in zip(x, y)]
+        elif opcode is Opcode.MEMCPY:
+            expected = list(x)
+        elif opcode is Opcode.MEMCPYR:
+            expected = bit_reverse_permute(x)
+        else:  # pragma: no cover
+            raise ValueError(f"no golden model for {opcode}")
+        return TestVector(
+            opcode=opcode, n=n, q=q, x=tuple(x),
+            y=tuple(y) if y is not None else None,
+            constant=constant, expected=tuple(expected),
+            description=f"random {opcode.value} n={n} q={q.bit_length()}b",
+        )
+
+    def regression_suite(self, per_opcode: int = 1) -> list[TestVector]:
+        """Vectors covering every Table I operation."""
+        suite = []
+        for opcode in Opcode:
+            for _ in range(per_opcode):
+                suite.append(self.vector(opcode))
+        return suite
+
+    def directed_corner_vectors(self) -> list[TestVector]:
+        """Directed cases the random sweep is unlikely to hit: all-zero,
+        all-(q-1), delta impulse, and the x^n = -1 wrap."""
+        q, n = self.q, self.n
+        zero = (0,) * n
+        ones = tuple([1] + [0] * (n - 1))
+        maxed = (q - 1,) * n
+        delta_fwd = self.ctx.forward(list(ones))
+        return [
+            TestVector(Opcode.NTT, n, q, zero, None, 0, zero,
+                       "NTT of zero polynomial"),
+            TestVector(Opcode.NTT, n, q, ones, None, 0, tuple(delta_fwd),
+                       "NTT of delta = all-ones spectrum"),
+            TestVector(Opcode.PMODADD, n, q, maxed, maxed, 0,
+                       tuple((2 * (q - 1)) % q for _ in range(n)),
+                       "saturating addition at q-1"),
+            TestVector(Opcode.PMODSQR, n, q, maxed, None, 0,
+                       tuple((q - 1) * (q - 1) % q for _ in range(n)),
+                       "squaring at the operand maximum"),
+        ]
+
+    # -- testbench export ---------------------------------------------------
+
+    def to_testbench_hex(self, vector: TestVector) -> list[str]:
+        """Render a vector as the hex lines a Verilog testbench $readmemh's.
+
+        Layout: header line (opcode index, log2 n, constant), then x, then
+        y (if any), then the expected words — all 128-bit zero-padded hex.
+        """
+        op_index = list(Opcode).index(vector.opcode)
+        lines = [f"{op_index:02x}_{vector.n.bit_length() - 1:02x}",
+                 f"{vector.constant:032x}", f"{vector.q:032x}"]
+        lines += [f"{c:032x}" for c in vector.x]
+        if vector.y is not None:
+            lines += [f"{c:032x}" for c in vector.y]
+        lines += [f"{c:032x}" for c in vector.expected]
+        return lines

@@ -1,0 +1,96 @@
+"""Unit tests for the Table X application cost model."""
+
+import pytest
+
+from repro.apps.costmodel import CofheeAppCost, CpuAppCost, Workload
+from repro.apps.cryptonets import CRYPTONETS_WORKLOAD
+from repro.apps.logreg import LOGREG_WORKLOAD
+from repro.bfv.params import BfvParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return BfvParameters.from_paper(n=2**12, log_q=109)
+
+
+@pytest.fixture(scope="module")
+def cofhee(params):
+    return CofheeAppCost(params)
+
+
+class TestWorkloads:
+    def test_cryptonets_op_mix(self):
+        """Section VI-C counts."""
+        assert CRYPTONETS_WORKLOAD.ct_ct_adds == 457_550
+        assert CRYPTONETS_WORKLOAD.ct_pt_mults == 449_000
+        assert CRYPTONETS_WORKLOAD.ct_ct_mults == 10_200
+
+    def test_logreg_op_mix(self):
+        assert LOGREG_WORKLOAD.ct_ct_adds == 168_298
+        assert LOGREG_WORKLOAD.ct_pt_mults == 49_500
+        assert LOGREG_WORKLOAD.ct_ct_mults == 128_700
+
+    def test_paper_speedups(self):
+        assert CRYPTONETS_WORKLOAD.paper_speedup == pytest.approx(2.23, abs=0.01)
+        assert LOGREG_WORKLOAD.paper_speedup == pytest.approx(1.46, abs=0.01)
+
+
+class TestCofheeCosts:
+    def test_add_cost_structure(self, cofhee, params):
+        """2 polys x towers x pointwise pass."""
+        expected = 2 * 1 * cofhee.timing.pointwise_cycles(params.n) / 250e6
+        assert cofhee.add_seconds() == pytest.approx(expected)
+
+    def test_ct_ct_is_ciphertext_mult(self, cofhee, params):
+        expected = cofhee.timing.ciphertext_mult_cycles(params.n, 1) / 250e6
+        assert cofhee.ct_ct_seconds() == pytest.approx(expected)
+
+    def test_relin_grows_with_digits(self, cofhee):
+        assert cofhee.relin_seconds(5) > cofhee.relin_seconds(13)
+
+    def test_relin_validation(self, cofhee):
+        with pytest.raises(ValueError):
+            cofhee.relin_seconds(0)
+
+    def test_cryptonets_total_matches_paper(self, cofhee):
+        total = cofhee.workload_seconds(CRYPTONETS_WORKLOAD)["total_s"]
+        assert total == pytest.approx(88.35, rel=0.02)
+
+    def test_logreg_total_matches_paper(self, cofhee):
+        total = cofhee.workload_seconds(LOGREG_WORKLOAD)["total_s"]
+        assert total == pytest.approx(377.6, rel=0.02)
+
+    def test_mult_relin_dominates_cryptonets(self, cofhee):
+        """EvalMult is 'the slowest operation ... the main candidate for
+        hardware acceleration' (Section II-C)."""
+        breakdown = cofhee.workload_seconds(CRYPTONETS_WORKLOAD)
+        assert breakdown["ct_ct_relin_s"] > breakdown["adds_s"]
+        assert breakdown["ct_ct_relin_s"] > breakdown["ct_pt_s"]
+
+
+class TestCpuCosts:
+    def test_totals_match_paper(self):
+        cpu = CpuAppCost()
+        assert cpu.workload_seconds(CRYPTONETS_WORKLOAD)["total_s"] == pytest.approx(
+            197.0, rel=0.01
+        )
+        assert cpu.workload_seconds(LOGREG_WORKLOAD)["total_s"] == pytest.approx(
+            550.25, rel=0.01
+        )
+
+    def test_unknown_workload(self):
+        wl = Workload(name="Unknown", ct_ct_adds=1, ct_pt_mults=1,
+                      ct_ct_mults=1, relin_digit_bits=8,
+                      paper_cpu_seconds=1, paper_cofhee_seconds=1)
+        with pytest.raises(KeyError):
+            CpuAppCost().workload_seconds(wl)
+
+
+class TestSpeedups:
+    @pytest.mark.parametrize("workload", [CRYPTONETS_WORKLOAD, LOGREG_WORKLOAD])
+    def test_speedup_matches_paper(self, cofhee, workload):
+        cpu_total = CpuAppCost().workload_seconds(workload)["total_s"]
+        cof_total = cofhee.workload_seconds(workload)["total_s"]
+        assert cpu_total / cof_total == pytest.approx(
+            workload.paper_speedup, abs=0.05
+        )

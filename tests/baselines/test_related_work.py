@@ -1,0 +1,71 @@
+"""Unit tests for the Table XI related-work comparison."""
+
+import pytest
+
+from repro.baselines.related_work import (
+    DESIGNS,
+    PAPER_SPEEDUPS,
+    TABLE11_PAPER_EFFICIENCY,
+    cofhee_record,
+    efficiency,
+    table11_rows,
+)
+
+
+class TestDesignRecords:
+    def test_all_table11_designs_present(self):
+        assert set(DESIGNS) == {"F1", "CraterLake", "BTS", "ARK", "HEAX", "Roy"}
+
+    def test_tower_factors(self):
+        """RNS passes for 128-bit coefficients: F1 32b -> 4, BTS/ARK 64b ->
+        2, CraterLake 28b -> 5, CoFHEE 128b -> 1."""
+        assert DESIGNS["F1"].tower_factor == 4
+        assert DESIGNS["BTS"].tower_factor == 2
+        assert DESIGNS["ARK"].tower_factor == 2
+        assert DESIGNS["CraterLake"].tower_factor == 5
+        assert cofhee_record().tower_factor == 1
+
+    def test_cofhee_cycles_are_butterfly_count(self):
+        """Table XI footnote: 53,248 cycles at n = 2^13."""
+        assert cofhee_record().ntt_cycles == 53_248
+
+    def test_cofhee_compute_area_from_synthesis_model(self):
+        assert cofhee_record().compute_area_mm2 == pytest.approx(0.6394, abs=0.001)
+
+    def test_fpga_records_have_resources(self):
+        assert DESIGNS["HEAX"].fpga_resources is not None
+        assert DESIGNS["Roy"].area_mm2 is None
+
+
+class TestEfficiency:
+    def test_cofhee_matches_paper(self):
+        assert efficiency(cofhee_record()) == pytest.approx(4.54e-4, rel=0.01)
+
+    @pytest.mark.parametrize("name", ["F1", "CraterLake", "BTS", "ARK"])
+    def test_asics_match_paper(self, name):
+        assert efficiency(DESIGNS[name]) == pytest.approx(
+            TABLE11_PAPER_EFFICIENCY[name], rel=0.01
+        )
+
+    def test_fpgas_have_no_efficiency(self):
+        """'The performance per mm2 efficiency metric cannot be accurately
+        calculated' for FPGAs."""
+        assert efficiency(DESIGNS["HEAX"]) is None
+        assert efficiency(DESIGNS["Roy"]) is None
+
+    @pytest.mark.parametrize("name,expected", list(PAPER_SPEEDUPS.items()))
+    def test_speedups_match_paper(self, name, expected):
+        cofhee_eff = efficiency(cofhee_record())
+        speedup = cofhee_eff / efficiency(DESIGNS[name])
+        assert speedup == pytest.approx(expected, rel=0.01)
+
+
+class TestRows:
+    def test_cofhee_first_and_only_silicon(self):
+        rows = table11_rows()
+        assert rows[0]["design"] == "CoFHEE"
+        assert [r["design"] for r in rows if r["silicon_proven"]] == ["CoFHEE"]
+
+    def test_rows_complete(self):
+        rows = table11_rows()
+        assert len(rows) == 7  # CoFHEE + 6 comparison designs

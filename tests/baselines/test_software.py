@@ -1,0 +1,100 @@
+"""Unit tests for the software baseline (SEAL-style execution + CPU model)."""
+
+import pytest
+
+from repro.baselines.software import CpuCostModel, SoftwareBfv
+from repro.bfv.params import BfvParameters
+from repro.polymath.ntt import reference_negacyclic_multiply
+from repro.polymath.rns import RnsBasis, plan_towers
+
+
+class TestSoftwareBfv:
+    def test_tensor_matches_reference(self, rng):
+        n = 32
+        basis = RnsBasis(plan_towers(70, 36, n))
+        sw = SoftwareBfv(basis, n)
+        big_q = basis.modulus
+        ca = tuple([rng.randrange(big_q) for _ in range(n)] for _ in range(2))
+        cb = tuple([rng.randrange(big_q) for _ in range(n)] for _ in range(2))
+        y0, y1, y2 = sw.ciphertext_multiply(ca, cb)
+        assert y0 == reference_negacyclic_multiply(ca[0], cb[0], big_q)
+        assert y2 == reference_negacyclic_multiply(ca[1], cb[1], big_q)
+        cross = [
+            (a + b) % big_q
+            for a, b in zip(
+                reference_negacyclic_multiply(ca[0], cb[1], big_q),
+                reference_negacyclic_multiply(ca[1], cb[0], big_q),
+            )
+        ]
+        assert y1 == cross
+
+    def test_op_counts_per_tower(self, rng):
+        """SEAL does the same Algorithm 3 work per tower: 4 NTT, 4
+        Hadamard, 1 add, 3 iNTT."""
+        n = 16
+        basis = RnsBasis(plan_towers(60, 31, n))
+        sw = SoftwareBfv(basis, n)
+        ca = ([1] * n, [2] * n)
+        sw.ciphertext_multiply(ca, ca)
+        towers = len(basis)
+        assert sw.tower_ops == {
+            "ntt": 4 * towers, "hadamard": 4 * towers,
+            "add": towers, "intt": 3 * towers,
+        }
+
+
+class TestCpuCostModel:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return BfvParameters.from_paper(n=2**12, log_q=109)
+
+    @pytest.fixture(scope="class")
+    def large(self):
+        return BfvParameters.from_paper(n=2**13, log_q=218)
+
+    def test_anchor_small(self, small):
+        """1.5 ms / 1.48 W at (2^12, 109), single thread."""
+        cm = CpuCostModel()
+        assert cm.ciphertext_mult_ms(small) == pytest.approx(1.5, rel=0.01)
+        assert cm.power_w(small) == pytest.approx(1.48, rel=0.01)
+
+    def test_anchor_large(self, large):
+        """6.91 ms / 2.3 W at (2^13, 218), single thread."""
+        cm = CpuCostModel()
+        assert cm.ciphertext_mult_ms(large) == pytest.approx(6.91, rel=0.01)
+        assert cm.power_w(large) == pytest.approx(2.3, rel=0.01)
+
+    def test_pdp_anchors(self, small, large):
+        """Section VI-B: 2.22 W*ms and 15.9 W*ms single-thread."""
+        cm = CpuCostModel()
+        assert cm.pdp_w_ms(small) == pytest.approx(2.22, rel=0.01)
+        assert cm.pdp_w_ms(large) == pytest.approx(15.9, rel=0.01)
+
+    def test_diminishing_returns(self, large):
+        """Fig. 6: speedup per added thread shrinks."""
+        cm = CpuCostModel()
+        t1, t4, t16 = (cm.ciphertext_mult_ms(large, T) for T in (1, 4, 16))
+        assert t1 > t4 > t16
+        assert (t1 / t4) > (t4 / t16)  # diminishing
+
+    def test_power_near_linear_in_threads(self, small):
+        cm = CpuCostModel()
+        p1, p4 = cm.power_w(small, 1), cm.power_w(small, 4)
+        assert 2.5 < p4 / p1 < 4.0  # near-linear growth
+
+    def test_crossover_exists(self, large):
+        """Multi-threaded SEAL eventually beats one CoFHEE (3.58 ms)."""
+        cm = CpuCostModel()
+        threads = cm.crossover_threads(large, cofhee_ms=3.58)
+        assert threads is not None and 2 <= threads <= 8
+
+    def test_no_crossover_when_cofhee_fast_enough(self, large):
+        cm = CpuCostModel()
+        assert cm.crossover_threads(large, cofhee_ms=0.1) is None
+
+    def test_validation(self, small):
+        cm = CpuCostModel()
+        with pytest.raises(ValueError):
+            cm.ciphertext_mult_ms(small, threads=0)
+        with pytest.raises(ValueError):
+            cm.tower_time_ms(100)

@@ -1,0 +1,87 @@
+"""Unit tests for the plaintext encoders."""
+
+import pytest
+
+from repro.bfv import BatchEncoder, BfvParameters, IntegerEncoder
+from repro.bfv.encoder import ScalarEncoder
+from repro.polymath.poly import PolynomialRing
+
+
+@pytest.fixture(scope="module")
+def params():
+    return BfvParameters.toy(n=16, log_q=60)
+
+
+class TestBatchEncoder:
+    def test_roundtrip(self, params):
+        enc = BatchEncoder(params)
+        values = list(range(16))
+        assert enc.decode(enc.encode(values)) == values
+
+    def test_partial_fill_pads_zero(self, params):
+        enc = BatchEncoder(params)
+        assert enc.decode(enc.encode([7, 8])) == [7, 8] + [0] * 14
+
+    def test_too_many_values(self, params):
+        enc = BatchEncoder(params)
+        with pytest.raises(ValueError, match="too many"):
+            enc.encode(list(range(17)))
+
+    def test_slotwise_add(self, params):
+        """Ring addition == slot-wise addition (the SIMD property)."""
+        enc = BatchEncoder(params)
+        a, b = [3] * 16, list(range(16))
+        summed = enc.encode(a) + enc.encode(b)
+        assert enc.decode(summed) == [(x + y) % params.t for x, y in zip(a, b)]
+
+    def test_slotwise_multiply(self, params):
+        """Ring multiplication == slot-wise multiplication."""
+        enc = BatchEncoder(params)
+        a, b = [2] * 16, list(range(16))
+        prod = enc.encode(a) * enc.encode(b)
+        assert enc.decode(prod) == [(x * y) % params.t for x, y in zip(a, b)]
+
+    def test_signed_decode(self, params):
+        enc = BatchEncoder(params)
+        values = [params.t - 5, 5] + [0] * 14
+        assert enc.decode_signed(enc.encode(values))[:2] == [-5, 5]
+
+    def test_requires_batching_modulus(self):
+        bad = BfvParameters(n=16, q=2**40 + 15, t=97)  # 96 % 32 == 0? 96/32=3 -> ok
+        really_bad = BfvParameters(n=16, q=2**40 + 15, t=101)
+        with pytest.raises(ValueError, match="batching"):
+            BatchEncoder(really_bad)
+
+    def test_wrong_ring_rejected(self, params):
+        enc = BatchEncoder(params)
+        other = PolynomialRing(params.n, params.t + 2, allow_non_ntt=True)
+        with pytest.raises(ValueError):
+            enc.decode(other([1]))
+
+
+class TestIntegerEncoder:
+    @pytest.mark.parametrize("value", [0, 1, -1, 42, -42, 1000, -999])
+    def test_roundtrip(self, params, value):
+        enc = IntegerEncoder(params, base=3)
+        assert enc.decode(enc.encode(value)) == value
+
+    def test_additive_homomorphism(self, params):
+        enc = IntegerEncoder(params, base=3)
+        summed = enc.encode(25) + enc.encode(17)
+        assert enc.decode(summed) == 42
+
+    def test_bad_base(self, params):
+        with pytest.raises(ValueError):
+            IntegerEncoder(params, base=1)
+
+
+class TestScalarEncoder:
+    def test_roundtrip(self, params):
+        enc = ScalarEncoder(params)
+        assert enc.decode(enc.encode(31)) == 31
+
+    def test_rejects_non_constant(self, params):
+        enc = ScalarEncoder(params)
+        ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+        with pytest.raises(ValueError, match="constant"):
+            enc.decode(ring([1, 2]))

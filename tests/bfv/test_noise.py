@@ -1,0 +1,108 @@
+"""Unit tests for the noise model and the HE-standard security table."""
+
+import pytest
+
+from repro.bfv import Bfv, BfvParameters
+from repro.bfv.noise import (
+    NoiseModel,
+    max_log_q_for_security,
+    security_level_bits,
+)
+from repro.polymath.poly import PolynomialRing
+
+
+class TestSecurityTable:
+    def test_paper_parameter_sets_are_128_bit(self):
+        """Section VI-B: both sets 'provide a security level of 128 bits'."""
+        assert security_level_bits(4096, 109) == 128
+        assert security_level_bits(8192, 218) == 128
+
+    def test_exact_standard_budgets(self):
+        assert max_log_q_for_security(4096, 128) == 109
+        assert max_log_q_for_security(8192, 128) == 218
+
+    def test_smaller_q_gives_higher_level(self):
+        assert security_level_bits(4096, 58) == 256
+        assert security_level_bits(4096, 75) == 192
+
+    def test_oversized_q_degrades(self):
+        assert security_level_bits(4096, 150) < 128
+
+    def test_unknown_degree(self):
+        with pytest.raises(ValueError):
+            security_level_bits(3000, 100)
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            max_log_q_for_security(4096, 100)
+
+
+class TestNoiseBounds:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return NoiseModel(BfvParameters.from_paper(n=4096, log_q=109))
+
+    def test_fresh_budget_positive(self, model):
+        assert model.fresh().budget_bits(model.params) > 40
+
+    def test_add_grows_slowly(self, model):
+        fresh = model.fresh()
+        assert model.add(fresh, fresh).bits == fresh.bits + 1
+
+    def test_multiply_grows_fast(self, model):
+        fresh = model.fresh()
+        grown = model.multiply(fresh, fresh)
+        assert grown.bits > fresh.bits + 20  # ~ t * n factor
+
+    def test_scalar_cheaper_than_plain(self, model):
+        fresh = model.fresh()
+        assert model.multiply_scalar(fresh).bits < model.multiply_plain(fresh).bits
+
+    def test_relin_fine_digits_less_noise(self, model):
+        after_mult = model.multiply(model.fresh(), model.fresh())
+        fine = model.relinearize(after_mult, digit_bits=5)
+        coarse = model.relinearize(after_mult, digit_bits=30)
+        assert fine.bits <= coarse.bits
+
+    def test_relin_validation(self, model):
+        with pytest.raises(ValueError):
+            model.relinearize(model.fresh(), digit_bits=0)
+
+
+class TestDepthQueries:
+    def test_paper_small_supports_depth_2(self):
+        model = NoiseModel(BfvParameters.from_paper(n=4096, log_q=109))
+        assert model.multiplicative_depth(digit_bits=22) >= 2
+
+    def test_larger_q_deeper(self):
+        small = NoiseModel(BfvParameters.from_paper(n=4096, log_q=109))
+        large = NoiseModel(BfvParameters.from_paper(n=8192, log_q=218))
+        assert large.multiplicative_depth() > small.multiplicative_depth()
+
+    def test_digit_bits_for_depth_monotone(self):
+        model = NoiseModel(BfvParameters.from_paper(n=8192, log_q=218))
+        d1 = model.digit_bits_for_depth(1)
+        d3 = model.digit_bits_for_depth(3)
+        assert d1 is not None and d3 is not None
+        assert d1 >= d3  # deeper circuits need finer digits
+
+
+class TestBoundsAreSound:
+    def test_bounds_upper_bound_measured_noise(self):
+        """The analytic model must never claim more budget than the
+        functional scheme measures."""
+        params = BfvParameters.toy(n=16, log_q=80)
+        model = NoiseModel(params)
+        bfv = Bfv(params, seed=8)
+        keys = bfv.keygen(relin_digit_bits=10)
+        pt_ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+        ct = bfv.encrypt(pt_ring([3]), keys.public)
+        measured_fresh = bfv.noise_budget(ct, keys.secret)
+        analytic_fresh = model.fresh().budget_bits(params)
+        assert analytic_fresh <= measured_fresh + 1
+        ct2 = bfv.relinearize(bfv.square(ct), keys.relin)
+        measured_sq = bfv.noise_budget(ct2, keys.secret)
+        analytic_sq = model.relinearize(
+            model.multiply(model.fresh(), model.fresh()), 10
+        ).budget_bits(params)
+        assert analytic_sq <= measured_sq + 1

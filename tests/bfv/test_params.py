@@ -1,0 +1,57 @@
+"""Unit tests for BFV parameter sets and the paper presets."""
+
+import pytest
+
+from repro.bfv.params import SEAL_PRESETS, BfvParameters
+
+
+class TestToyParams:
+    def test_basic_properties(self, toy_params):
+        assert toy_params.n == 16
+        assert toy_params.q > toy_params.t
+        assert toy_params.delta == toy_params.q // toy_params.t
+
+    def test_single_tower(self, toy_params):
+        assert toy_params.cpu_tower_count == 1
+        assert toy_params.cofhee_tower_count == 1
+
+
+class TestValidation:
+    def test_bad_degree(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BfvParameters(n=10, q=97, t=7)
+
+    def test_bad_t(self):
+        with pytest.raises(ValueError):
+            BfvParameters(n=16, q=97, t=1)
+
+    def test_q_must_exceed_t(self):
+        with pytest.raises(ValueError, match="exceed"):
+            BfvParameters(n=16, q=7, t=97)
+
+
+class TestPaperPresets:
+    @pytest.mark.parametrize(
+        "name,n,log_q,cpu_towers,cofhee_towers",
+        [("paper_small", 2**12, 109, 2, 1), ("paper_large", 2**13, 218, 4, 2)],
+    )
+    def test_preset_towers(self, name, n, log_q, cpu_towers, cofhee_towers):
+        """The Section VI-B tower arithmetic: SEAL 54/55-bit towers vs
+        CoFHEE 109-bit towers."""
+        params = SEAL_PRESETS[name]
+        assert params.n == n
+        assert abs(params.log_q - log_q) <= 1  # product of planned towers
+        assert params.cpu_tower_count == cpu_towers
+        assert params.cofhee_tower_count == cofhee_towers
+
+    def test_preset_batching_friendly_t(self):
+        params = SEAL_PRESETS["paper_small"]
+        assert (params.t - 1) % (2 * params.n) == 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            SEAL_PRESETS["nonexistent"]
+
+    def test_describe_mentions_towers(self):
+        text = SEAL_PRESETS["paper_small"].describe()
+        assert "CPU towers=2" in text and "CoFHEE towers=1" in text

@@ -1,0 +1,123 @@
+"""Unit tests for Galois automorphisms and SIMD slot rotation."""
+
+import pytest
+
+from repro.bfv import BatchEncoder, Bfv, BfvParameters
+from repro.bfv.rotation import RotationEngine, apply_automorphism
+from repro.polymath.poly import PolynomialRing
+
+
+@pytest.fixture(scope="module")
+def stack():
+    params = BfvParameters.toy(n=16, log_q=100)
+    bfv = Bfv(params, seed=13)
+    keys = bfv.keygen(relin_digit_bits=12)
+    engine = RotationEngine(bfv, keys.secret, digit_bits=12)
+    encoder = BatchEncoder(params)
+    return params, bfv, keys, engine, encoder
+
+
+class TestAutomorphism:
+    def test_identity_exponent(self, stack):
+        params, bfv, keys, engine, encoder = stack
+        ring = PolynomialRing(params.n, params.q, allow_non_ntt=True)
+        p = ring([1, 2, 3, 4])
+        assert apply_automorphism(p, 1) == p
+
+    def test_x_maps_to_x_g(self, stack):
+        params, *_ = stack
+        ring = PolynomialRing(params.n, params.q, allow_non_ntt=True)
+        x = ring.monomial(1)
+        assert apply_automorphism(x, 3) == ring.monomial(3)
+
+    def test_sign_wrap(self, stack):
+        """x^i with i*g >= n wraps with a sign flip (x^n = -1)."""
+        params, *_ = stack
+        ring = PolynomialRing(params.n, params.q, allow_non_ntt=True)
+        p = ring.monomial(params.n - 1)  # x^15; *3 = x^45 = x^13 (2n=32: 45-32=13)
+        result = apply_automorphism(p, 3)
+        assert result == ring.monomial(45)  # monomial() applies same wrap rule
+
+    def test_is_ring_homomorphism(self, stack, rng):
+        params, *_ = stack
+        ring = PolynomialRing(params.n, params.q)
+        a, b = ring.random(rng), ring.random(rng)
+        g = 5
+        assert apply_automorphism(a * b, g) == (
+            apply_automorphism(a, g) * apply_automorphism(b, g)
+        )
+        assert apply_automorphism(a + b, g) == (
+            apply_automorphism(a, g) + apply_automorphism(b, g)
+        )
+
+    def test_invalid_exponent(self, stack):
+        params, *_ = stack
+        ring = PolynomialRing(params.n, params.q, allow_non_ntt=True)
+        with pytest.raises(ValueError, match="odd"):
+            apply_automorphism(ring.one(), 2)
+
+
+class TestEncryptedRotation:
+    def test_galois_matches_plaintext_automorphism(self, stack, rng):
+        params, bfv, keys, engine, _ = stack
+        pt_ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+        m = pt_ring([rng.randrange(params.t) for _ in range(params.n)])
+        ct = bfv.encrypt(m, keys.public)
+        rotated = engine.apply_galois(ct, 3)
+        assert bfv.decrypt(rotated, keys.secret) == apply_automorphism(m, 3)
+
+    def test_rotation_is_slot_permutation(self, stack):
+        params, bfv, keys, engine, encoder = stack
+        vals = list(range(params.n))
+        ct = bfv.encrypt(encoder.encode(vals), keys.public)
+        rotated = encoder.decode(bfv.decrypt(engine.rotate_rows(ct, 1),
+                                             keys.secret))
+        assert sorted(rotated) == vals
+        assert rotated != vals
+
+    def test_rotations_compose(self, stack):
+        params, bfv, keys, engine, encoder = stack
+        vals = list(range(params.n))
+        ct = bfv.encrypt(encoder.encode(vals), keys.public)
+        twice = engine.rotate_rows(engine.rotate_rows(ct, 1), 1)
+        direct = engine.rotate_rows(ct, 2)
+        assert (
+            encoder.decode(bfv.decrypt(twice, keys.secret))
+            == encoder.decode(bfv.decrypt(direct, keys.secret))
+        )
+
+    def test_zero_rotation_is_identity(self, stack):
+        params, bfv, keys, engine, encoder = stack
+        vals = [3] * params.n
+        ct = bfv.encrypt(encoder.encode(vals), keys.public)
+        same = engine.rotate_rows(ct, 0)
+        assert encoder.decode(bfv.decrypt(same, keys.secret)) == vals
+
+    def test_column_swap_involution(self, stack):
+        params, bfv, keys, engine, encoder = stack
+        vals = list(range(params.n))
+        ct = bfv.encrypt(encoder.encode(vals), keys.public)
+        swapped_twice = engine.rotate_columns(engine.rotate_columns(ct))
+        assert encoder.decode(bfv.decrypt(swapped_twice, keys.secret)) == vals
+
+    def test_sum_all_slots(self, stack):
+        """The dense-layer reduction: every slot ends with the total."""
+        params, bfv, keys, engine, encoder = stack
+        vals = list(range(params.n))
+        ct = bfv.encrypt(encoder.encode(vals), keys.public)
+        summed = engine.sum_all_slots(ct)
+        slots = encoder.decode(bfv.decrypt(summed, keys.secret))
+        assert all(s == sum(vals) % params.t for s in slots)
+
+    def test_requires_two_components(self, stack):
+        params, bfv, keys, engine, encoder = stack
+        ct = bfv.encrypt(encoder.encode([1]), keys.public)
+        prod = bfv.multiply(ct, ct)
+        with pytest.raises(ValueError, match="2-component"):
+            engine.apply_galois(prod, 3)
+
+    def test_keys_cached(self, stack):
+        _, _, _, engine, _ = stack
+        k1 = engine.galois_key(9)
+        k2 = engine.galois_key(9)
+        assert k1 is k2

@@ -1,0 +1,81 @@
+"""Unit tests for the RLWE samplers."""
+
+import math
+import random
+
+import pytest
+
+from repro.bfv.sampling import (
+    CenteredBinomialSampler,
+    DiscreteGaussianSampler,
+    TernarySampler,
+    infinity_norm,
+    sample_uniform,
+)
+
+
+class TestTernary:
+    def test_support(self, rng):
+        values = TernarySampler(rng).sample(1000)
+        assert set(values) <= {-1, 0, 1}
+        # all three values occur in a sample this large
+        assert set(values) == {-1, 0, 1}
+
+    def test_roughly_uniform(self, rng):
+        values = TernarySampler(rng).sample(9000)
+        for v in (-1, 0, 1):
+            assert 2500 < values.count(v) < 3500
+
+
+class TestGaussian:
+    def test_sigma_validation(self, rng):
+        with pytest.raises(ValueError):
+            DiscreteGaussianSampler(rng, sigma=0)
+
+    def test_tail_bound(self, rng):
+        sampler = DiscreteGaussianSampler(rng, sigma=3.2)
+        values = sampler.sample(2000)
+        assert infinity_norm(values) <= math.ceil(3.2 * 10)
+
+    def test_moments(self, rng):
+        sampler = DiscreteGaussianSampler(rng, sigma=3.2)
+        values = sampler.sample(8000)
+        mean = sum(values) / len(values)
+        var = sum(v * v for v in values) / len(values) - mean * mean
+        assert abs(mean) < 0.25
+        assert abs(var - 3.2**2) < 1.2
+
+    def test_deterministic_given_seed(self):
+        a = DiscreteGaussianSampler(random.Random(42)).sample(50)
+        b = DiscreteGaussianSampler(random.Random(42)).sample(50)
+        assert a == b
+
+
+class TestCenteredBinomial:
+    def test_k_validation(self, rng):
+        with pytest.raises(ValueError):
+            CenteredBinomialSampler(rng, k=0)
+
+    def test_support_bound(self, rng):
+        sampler = CenteredBinomialSampler(rng, k=21)
+        values = sampler.sample(2000)
+        assert infinity_norm(values) <= 21
+
+    def test_sigma_matches_gaussian_target(self, rng):
+        sampler = CenteredBinomialSampler(rng, k=21)
+        assert abs(sampler.sigma - 3.24) < 0.01
+
+    def test_variance(self, rng):
+        sampler = CenteredBinomialSampler(rng, k=21)
+        values = sampler.sample(8000)
+        var = sum(v * v for v in values) / len(values)
+        assert abs(var - 10.5) < 1.0
+
+
+class TestUniform:
+    def test_range(self, rng):
+        values = sample_uniform(rng, 500, 97)
+        assert all(0 <= v < 97 for v in values)
+
+    def test_infinity_norm_empty(self):
+        assert infinity_norm([]) == 0

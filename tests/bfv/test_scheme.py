@@ -1,0 +1,210 @@
+"""Unit tests for the BFV scheme: correctness of every homomorphic op."""
+
+import pytest
+
+from repro.bfv import Bfv, BfvParameters
+from repro.polymath.poly import PolynomialRing
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = BfvParameters.toy(n=16, log_q=60)
+    bfv = Bfv(params, seed=123)
+    keys = bfv.keygen(relin_digit_bits=12)
+    pt_ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+    return params, bfv, keys, pt_ring
+
+
+def _pt(pt_ring, coeffs):
+    return pt_ring(coeffs)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m = _pt(pt_ring, [5, 4, 3, 2, 1])
+        assert bfv.decrypt(bfv.encrypt(m, keys.public), keys.secret) == m
+
+    def test_zero(self, setup):
+        _, bfv, keys, pt_ring = setup
+        ct = bfv.encrypt_zero(keys.public)
+        assert bfv.decrypt(ct, keys.secret).is_zero()
+
+    def test_ciphertexts_randomized(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m = _pt(pt_ring, [7])
+        c1 = bfv.encrypt(m, keys.public)
+        c2 = bfv.encrypt(m, keys.public)
+        assert c1.polys[0] != c2.polys[0]  # fresh randomness u, e1, e2
+
+    def test_wrong_plaintext_modulus_rejected(self, setup):
+        params, bfv, keys, _ = setup
+        bad_ring = PolynomialRing(params.n, params.t + 2, allow_non_ntt=True)
+        with pytest.raises(ValueError, match="plaintext modulus"):
+            bfv.encrypt(bad_ring([1]), keys.public)
+
+    def test_wrong_degree_rejected(self, setup):
+        params, bfv, keys, _ = setup
+        bad_ring = PolynomialRing(2 * params.n, params.t, allow_non_ntt=True)
+        with pytest.raises(ValueError, match="degree"):
+            bfv.encrypt(bad_ring([1]), keys.public)
+
+    def test_fresh_noise_budget_positive(self, setup):
+        _, bfv, keys, pt_ring = setup
+        ct = bfv.encrypt(_pt(pt_ring, [1, 2, 3]), keys.public)
+        assert bfv.noise_budget(ct, keys.secret) > 20
+
+
+class TestHomomorphicAddSub:
+    def test_add(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m1, m2 = _pt(pt_ring, [1, 2, 3]), _pt(pt_ring, [10, 20, 30])
+        ct = bfv.add(bfv.encrypt(m1, keys.public), bfv.encrypt(m2, keys.public))
+        assert bfv.decrypt(ct, keys.secret) == m1 + m2
+
+    def test_sub(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m1, m2 = _pt(pt_ring, [10, 20]), _pt(pt_ring, [1, 2])
+        ct = bfv.sub(bfv.encrypt(m1, keys.public), bfv.encrypt(m2, keys.public))
+        assert bfv.decrypt(ct, keys.secret) == m1 - m2
+
+    def test_negate(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m = _pt(pt_ring, [3, 1, 4])
+        ct = bfv.negate(bfv.encrypt(m, keys.public))
+        assert bfv.decrypt(ct, keys.secret) == -m
+
+    def test_add_different_sizes(self, setup):
+        """3-component + 2-component pads correctly."""
+        _, bfv, keys, pt_ring = setup
+        m1, m2, m3 = (_pt(pt_ring, [v]) for v in (2, 3, 5))
+        prod = bfv.multiply(bfv.encrypt(m1, keys.public),
+                            bfv.encrypt(m2, keys.public))
+        mixed = bfv.add(prod, bfv.encrypt(m3, keys.public))
+        expected = _pt(pt_ring, [2 * 3 + 5])
+        assert bfv.decrypt(mixed, keys.secret) == expected
+
+
+class TestHomomorphicMultiply:
+    def test_multiply_constants(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m1, m2 = _pt(pt_ring, [6]), _pt(pt_ring, [7])
+        ct = bfv.multiply(bfv.encrypt(m1, keys.public),
+                          bfv.encrypt(m2, keys.public))
+        assert ct.size == 3
+        assert bfv.decrypt(ct, keys.secret) == _pt(pt_ring, [42])
+
+    def test_multiply_polynomials(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m1, m2 = _pt(pt_ring, [1, 1]), _pt(pt_ring, [1, 2])  # (1+x)(1+2x)
+        ct = bfv.multiply(bfv.encrypt(m1, keys.public),
+                          bfv.encrypt(m2, keys.public))
+        assert bfv.decrypt(ct, keys.secret) == _pt(pt_ring, [1, 3, 2])
+
+    def test_multiply_requires_size_two(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m = _pt(pt_ring, [2])
+        c = bfv.encrypt(m, keys.public)
+        prod = bfv.multiply(c, c)
+        with pytest.raises(ValueError, match="relinearize"):
+            bfv.multiply(prod, c)
+
+    def test_square_matches_multiply(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m = _pt(pt_ring, [3, 1])
+        ct = bfv.encrypt(m, keys.public)
+        assert (
+            bfv.decrypt(bfv.square(ct), keys.secret)
+            == bfv.decrypt(bfv.multiply(ct, ct), keys.secret)
+        )
+
+    def test_noise_budget_shrinks(self, setup):
+        _, bfv, keys, pt_ring = setup
+        ct = bfv.encrypt(_pt(pt_ring, [2]), keys.public)
+        fresh = bfv.noise_budget(ct, keys.secret)
+        after = bfv.noise_budget(bfv.multiply(ct, ct), keys.secret)
+        assert after < fresh
+
+
+class TestRelinearization:
+    def test_reduces_size_and_preserves_value(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m1, m2 = _pt(pt_ring, [4, 1]), _pt(pt_ring, [2, 0, 1])
+        prod = bfv.multiply(bfv.encrypt(m1, keys.public),
+                            bfv.encrypt(m2, keys.public))
+        rl = bfv.relinearize(prod, keys.relin)
+        assert rl.size == 2
+        assert bfv.decrypt(rl, keys.secret) == bfv.decrypt(prod, keys.secret)
+
+    def test_relin_of_size_two_is_noop(self, setup):
+        _, bfv, keys, pt_ring = setup
+        ct = bfv.encrypt(_pt(pt_ring, [1]), keys.public)
+        assert bfv.relinearize(ct, keys.relin).polys == ct.polys
+
+    def test_multiply_relin_chains(self, setup):
+        """Two chained multiplications via relinearization: 2*3*5 = 30."""
+        _, bfv, keys, pt_ring = setup
+        cts = [bfv.encrypt(_pt(pt_ring, [v]), keys.public) for v in (2, 3, 5)]
+        acc = bfv.multiply_relin(cts[0], cts[1], keys.relin)
+        acc = bfv.multiply_relin(acc, cts[2], keys.relin)
+        assert bfv.decrypt(acc, keys.secret) == _pt(pt_ring, [30])
+
+    def test_digit_count(self, setup):
+        params, bfv, keys, _ = setup
+        expected = -(-params.q.bit_length() // 12)
+        assert keys.relin.num_digits == expected
+
+
+class TestPlainOps:
+    def test_add_plain(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m1, m2 = _pt(pt_ring, [1, 2]), _pt(pt_ring, [5, 5])
+        ct = bfv.add_plain(bfv.encrypt(m1, keys.public), m2)
+        assert bfv.decrypt(ct, keys.secret) == m1 + m2
+
+    def test_multiply_plain(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m1, m2 = _pt(pt_ring, [2, 1]), _pt(pt_ring, [0, 3])
+        ct = bfv.multiply_plain(bfv.encrypt(m1, keys.public), m2)
+        expected = m1.schoolbook_mul(m2)
+        assert bfv.decrypt(ct, keys.secret) == expected
+
+    def test_multiply_plain_zero(self, setup):
+        _, bfv, keys, pt_ring = setup
+        ct = bfv.multiply_plain(
+            bfv.encrypt(_pt(pt_ring, [9]), keys.public), pt_ring.zero()
+        )
+        assert bfv.decrypt(ct, keys.secret).is_zero()
+
+    def test_multiply_scalar(self, setup):
+        _, bfv, keys, pt_ring = setup
+        m = _pt(pt_ring, [3, 4])
+        ct = bfv.multiply_scalar(bfv.encrypt(m, keys.public), 7)
+        assert bfv.decrypt(ct, keys.secret) == m.scalar_mul(7)
+
+    def test_multiply_scalar_negative_lift(self, setup):
+        """Scalars near t encode small negatives (centered lift)."""
+        params, bfv, keys, pt_ring = setup
+        m = _pt(pt_ring, [5])
+        ct = bfv.multiply_scalar(bfv.encrypt(m, keys.public), params.t - 1)
+        assert bfv.decrypt(ct, keys.secret) == m.scalar_mul(-1)
+
+
+class TestKeygen:
+    def test_no_relin_key(self, setup):
+        params = BfvParameters.toy(n=16, log_q=60)
+        bfv = Bfv(params, seed=5)
+        keys = bfv.keygen(relin_digit_bits=None)
+        assert keys.relin is None
+
+    def test_bad_digit_bits(self, setup):
+        params = BfvParameters.toy(n=16, log_q=60)
+        bfv = Bfv(params, seed=5)
+        with pytest.raises(ValueError):
+            bfv.keygen(relin_digit_bits=0)
+
+    def test_public_key_hides_secret(self, setup):
+        """kp1 + kp2*s must be small (the RLWE structure), not zero."""
+        params, bfv, keys, _ = setup
+        residual = bfv._exact_mul(keys.public.kp2, keys.secret.s) + keys.public.kp1
+        assert 0 < residual.infinity_norm() < 64  # ~tail-cut * sigma

@@ -1,0 +1,68 @@
+"""Shared fixtures: toy parameter sets, chips, and drivers.
+
+Tests default to small polynomial degrees (16-256) where the bit-exact
+'pe' fidelity is affordable; the paper-scale degrees (2^12, 2^13) appear
+only in timing-fidelity and slow-marked tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bfv.params import BfvParameters
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.polymath.primes import ntt_friendly_prime
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0F4EE)
+
+
+@pytest.fixture(scope="session")
+def toy_q64() -> int:
+    """NTT-friendly 40-bit prime for degree-64 tests."""
+    return ntt_friendly_prime(64, 40)
+
+
+@pytest.fixture(scope="session")
+def toy_params() -> BfvParameters:
+    """Small insecure BFV parameters for scheme tests."""
+    return BfvParameters.toy(n=16, log_q=60)
+
+
+@pytest.fixture
+def chip() -> CoFHEE:
+    """Default (vector-fidelity) chip instance."""
+    return CoFHEE()
+
+
+@pytest.fixture
+def pe_chip() -> CoFHEE:
+    """Bit-exact PE-fidelity chip for datapath verification."""
+    return CoFHEE(ChipConfig(fidelity="pe"))
+
+
+@pytest.fixture
+def timing_chip() -> CoFHEE:
+    """Timing-only chip for paper-scale latency checks."""
+    return CoFHEE(ChipConfig(fidelity="timing"))
+
+
+@pytest.fixture
+def driver(chip: CoFHEE) -> CofheeDriver:
+    return CofheeDriver(chip)
+
+
+@pytest.fixture
+def programmed_driver(driver: CofheeDriver, toy_q64: int) -> CofheeDriver:
+    """Driver with q programmed for n = 64 and twiddles loaded."""
+    driver.program(toy_q64, 64)
+    return driver
+
+
+def random_poly(rng: random.Random, n: int, q: int) -> list[int]:
+    return [rng.randrange(q) for _ in range(n)]

@@ -1,0 +1,108 @@
+"""Unit tests for the behavioral ADPLL model."""
+
+import pytest
+
+from repro.core.adpll import (
+    ADPLL_AREA_MM2,
+    ADPLL_POWER_UW,
+    Adpll,
+    BangBangPhaseDetector,
+    DcoConfig,
+    sar_capture_range_check,
+)
+
+
+class TestDco:
+    def test_monotonic_frequency(self):
+        dco = DcoConfig()
+        freqs = [dco.frequency(c) for c in range(0, dco.code_max, 997)]
+        assert freqs == sorted(freqs)
+
+    def test_code_range(self):
+        dco = DcoConfig()
+        with pytest.raises(ValueError):
+            dco.frequency(-1)
+        with pytest.raises(ValueError):
+            dco.frequency(dco.code_max + 1)
+
+    def test_segmented_decode(self):
+        dco = DcoConfig(binary_bits=6, unary_bits=7)
+        coarse, fine = dco.decode_segments(0b1010_1_110101)
+        assert fine == 0b110101
+        assert coarse == 0b10101
+
+    def test_segment_monotonicity(self):
+        """Thermometer coarse + binary fine: +1 code never drops current."""
+        dco = DcoConfig()
+        prev = (0, 0)
+        for code in range(2**8):
+            coarse, fine = dco.decode_segments(code)
+            total = coarse * (1 << dco.binary_bits) + fine
+            assert total == code
+            prev = (coarse, fine)
+
+
+class TestLocking:
+    def test_locks_at_operating_point(self):
+        pll = Adpll()
+        result = pll.lock(250e6)
+        assert result.locked
+        assert abs(result.final_frequency_hz - 250e6) <= pll.quantization_error_bound_hz()
+
+    @pytest.mark.parametrize("target_mhz", [60, 150, 250, 400, 480])
+    def test_wide_tuning_range(self, target_mhz):
+        pll = Adpll()
+        result = pll.lock(target_mhz * 1e6)
+        assert result.locked
+
+    def test_out_of_range_rejected(self):
+        pll = Adpll()
+        with pytest.raises(ValueError, match="outside DCO range"):
+            pll.lock(5e9)
+
+    def test_sar_step_count(self):
+        """SAR does exactly one trial per control-word bit."""
+        pll = Adpll()
+        result = pll.lock(300e6)
+        assert result.fll_steps == pll.dco.code_bits
+
+    def test_lock_time_microseconds(self):
+        """Dual-loop lock completes in tens of reference cycles."""
+        pll = Adpll()
+        result = pll.lock(250e6)
+        assert pll.lock_time_seconds(result) < 10e-6
+
+    def test_history_recorded(self):
+        result = Adpll().lock(250e6)
+        assert len(result.history) == result.fll_steps + result.pll_steps
+
+    def test_reported_implementation_figures(self):
+        pll = Adpll()
+        assert pll.area_mm2 == ADPLL_AREA_MM2 == 0.05
+        assert pll.power_uw == ADPLL_POWER_UW == 350.0
+
+
+class TestBangBangPd:
+    def test_truth_table(self):
+        pd = BangBangPhaseDetector()
+        assert pd.decide(0, 0, 0) == pd.NO_TRANSITION
+        assert pd.decide(1, 1, 1) == pd.NO_TRANSITION
+        assert pd.decide(0, 1, 1) == pd.EARLY
+        assert pd.decide(0, 0, 1) == pd.LATE
+        assert pd.decide(1, 0, 0) == pd.EARLY
+        assert pd.decide(1, 1, 0) == pd.LATE
+
+    def test_binary_inputs_only(self):
+        with pytest.raises(ValueError):
+            BangBangPhaseDetector().decide(0, 2, 1)
+
+
+class TestCaptureRange:
+    def test_sar_residual_within_one_lsb(self):
+        dco = DcoConfig()
+        residual = sar_capture_range_check(dco, 250e6)
+        assert residual <= dco.gain_hz
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            sar_capture_range_check(DcoConfig(), 1e3)

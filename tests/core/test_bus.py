@@ -1,0 +1,90 @@
+"""Unit tests for the AHB-Lite crossbar model."""
+
+import pytest
+
+from repro.core.bus import AhbLiteBus
+from repro.core.errors import BusError
+from repro.core.memory import MemoryMap
+
+
+@pytest.fixture
+def bus():
+    return AhbLiteBus(MemoryMap.default(poly_words=64))
+
+
+class TestGeometry:
+    def test_fabricated_crossbar_is_10x11(self, bus):
+        """Section III-G1: a 10x11 crossbar."""
+        assert bus.manager_count == 10
+        assert bus.subordinate_count == 11
+
+    def test_description(self, bus):
+        assert "10x11" in bus.crossbar_description()
+
+
+class TestTransfers:
+    def test_single_write_read(self, bus):
+        addr = bus.memory_map.base_address("SP0") + 2 * 16
+        bus.single_write(addr, 777)
+        value, cycles = bus.single_read(addr)
+        assert value == 777
+        assert cycles >= 1 + 2  # address + read latency
+
+    def test_burst_roundtrip(self, bus):
+        addr = bus.memory_map.base_address("DP1")
+        data = list(range(40))
+        bus.burst_write(addr, data)
+        values, _ = bus.burst_read(addr, 40)
+        assert values == data
+
+    def test_burst_cycle_cost_has_segment_overhead(self, bus):
+        """INCR8 segmentation: one re-arbitration cycle per 8 beats."""
+        addr = bus.memory_map.base_address("SP1")
+        bus.burst_write(addr, [0] * 64)
+        _, cycles = bus.burst_read(addr, 64)
+        assert cycles == 64 + 8 + 2  # beats + 8 segments + read latency
+
+    def test_stats(self, bus):
+        addr = bus.memory_map.base_address("SP0")
+        bus.burst_write(addr, [0] * 16)
+        bus.single_read(addr)
+        assert bus.stats.beats == 17
+        assert bus.stats.burst_transfers == 2
+        assert bus.stats.single_transfers == 1
+
+
+class TestArbitration:
+    def test_same_port_conflict(self, bus):
+        bus.begin_cycle()
+        assert bus.claim("MDMC_A", "DP0", 0)
+        assert not bus.claim("DMA_RD", "DP0", 0)
+        assert bus.stats.conflicts == 1
+
+    def test_different_ports_no_conflict(self, bus):
+        """Dual-port banks serve two managers at once."""
+        bus.begin_cycle()
+        assert bus.claim("MDMC_A", "DP0", 0)
+        assert bus.claim("MDMC_B", "DP0", 1)
+
+    def test_parallel_managers_different_banks(self, bus):
+        """Section III-F: MDMC, DMA, CM0 reach different banks in parallel."""
+        bus.begin_cycle()
+        assert bus.claim("MDMC_A", "DP0", 0)
+        assert bus.claim("DMA_RD", "SP0", 0)
+        assert bus.claim("CM0_D", "SP1", 0)
+
+    def test_cycle_boundary_clears_claims(self, bus):
+        bus.begin_cycle()
+        bus.claim("MDMC_A", "DP0", 0)
+        bus.begin_cycle()
+        assert bus.claim("DMA_RD", "DP0", 0)
+
+    def test_unknown_manager(self, bus):
+        bus.begin_cycle()
+        with pytest.raises(BusError, match="unknown manager"):
+            bus.claim("GPU", "DP0", 0)
+
+    def test_same_manager_reclaim_ok(self, bus):
+        bus.begin_cycle()
+        assert bus.claim("MDMC_A", "DP0", 0)
+        assert bus.claim("MDMC_A", "DP0", 0)

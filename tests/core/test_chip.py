@@ -1,0 +1,70 @@
+"""Unit tests for the assembled chip top level."""
+
+import pytest
+
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.errors import ConfigError
+from repro.polymath.primes import ntt_friendly_prime
+
+
+class TestAssembly:
+    def test_inventory_matches_paper(self):
+        inv = CoFHEE().inventory()
+        assert inv["technology"] == "GF 55nm LPE"
+        assert inv["design_area_mm2"] == 12.0
+        assert inv["frequency_mhz"] == 250.0
+        assert inv["max_native_n"] == 2**14
+        assert inv["optimized_n"] == 2**13
+        assert inv["max_coeff_bits"] == 128
+        assert inv["dual_port_banks"] == 3
+        assert inv["single_port_banks"] == 4
+        assert inv["command_fifo_depth"] == 32
+
+    def test_default_fidelity(self):
+        assert CoFHEE().mdmc.fidelity == "vector"
+        assert CoFHEE(ChipConfig(fidelity="timing")).mdmc.fidelity == "timing"
+
+    def test_custom_frequency(self):
+        chip = CoFHEE(ChipConfig(frequency_hz=500e6))
+        assert chip.clock.period_ns == 2.0
+
+
+class TestModulusProgramming:
+    def test_configure_programs_registers_and_pe(self):
+        chip = CoFHEE()
+        q = ntt_friendly_prime(4096, 109)
+        chip.configure_modulus(q, 4096)
+        assert chip.programmed_q == q
+        assert chip.programmed_n == 4096
+        assert chip.n_inverse * 4096 % q == 1
+        assert chip.pe.q == q
+
+    def test_rejects_bad_degree(self):
+        chip = CoFHEE()
+        with pytest.raises(ConfigError, match="power of two"):
+            chip.configure_modulus(97, 100)
+
+    def test_rejects_over_native_max(self):
+        chip = CoFHEE()
+        q = ntt_friendly_prime(2**15, 60)
+        with pytest.raises(ConfigError, match="native maximum"):
+            chip.configure_modulus(q, 2**15)
+
+    def test_accepts_max_native_n(self):
+        chip = CoFHEE()
+        q = ntt_friendly_prime(2**14, 109)
+        chip.configure_modulus(q, 2**14)
+        assert chip.programmed_n == 2**14
+
+
+class TestStatsReset:
+    def test_reset_clears_counters(self):
+        chip = CoFHEE()
+        chip.pe.configure(ntt_friendly_prime(64, 30))
+        chip.pe.mul(1, 2)
+        chip.memory_map.bank("SP0").write(0, 1)
+        chip.mdmc.total_cycles = 99
+        chip.reset_stats()
+        assert chip.pe.stats.multiplies == 0
+        assert chip.memory_map.bank("SP0").stats.writes == 0
+        assert chip.mdmc.total_cycles == 0

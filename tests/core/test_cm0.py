@@ -1,0 +1,75 @@
+"""Unit tests for the ARM Cortex-M0 sequencer (execution mode 3)."""
+
+import pytest
+
+from repro.core.cm0 import CM0_DISPATCH_CYCLES, Cm0Program, CortexM0, LoopMarker
+from repro.core.errors import CapacityError, IsaError
+from repro.core.isa import Command, Opcode
+from repro.core.memory import SramBank
+
+
+def _cmd(i: int = 0) -> Command:
+    return Command(Opcode.MEMCPY, x_addr=i, out_addr=i + 16, length=8)
+
+
+@pytest.fixture
+def cm0():
+    return CortexM0(SramBank("CM0", 4096, ports=1))
+
+
+class TestProgram:
+    def test_flatten_linear(self):
+        prog = Cm0Program().add(_cmd(0)).add(_cmd(1))
+        assert [c.x_addr for c in prog.flatten()] == [0, 1]
+
+    def test_flatten_loop_unrolls(self):
+        prog = Cm0Program().loop(3, [_cmd(7)])
+        assert [c.x_addr for c in prog.flatten()] == [7, 7, 7]
+
+    def test_loops_stored_rolled(self):
+        """The point of a CPU over a FIFO: loops cost one descriptor."""
+        looped = Cm0Program().loop(100, [_cmd()])
+        unrolled = Cm0Program()
+        for _ in range(100):
+            unrolled.add(_cmd())
+        assert looped.stored_words < unrolled.stored_words / 10
+
+    def test_bad_loop(self):
+        with pytest.raises(IsaError):
+            Cm0Program().loop(0, [_cmd()])
+        with pytest.raises(IsaError):
+            Cm0Program().loop(2, [])
+
+
+class TestExecution:
+    def test_run_issues_in_order(self, cm0):
+        prog = Cm0Program().add(_cmd(0)).loop(2, [_cmd(1)])
+        cm0.load_program(prog)
+        issued = []
+
+        def issue(cmd):
+            issued.append(cmd.x_addr)
+            return 10
+
+        cycles, count = cm0.run(issue)
+        assert issued == [0, 1, 1]
+        assert count == 3
+        assert cycles == 3 * (CM0_DISPATCH_CYCLES + 10)
+
+    def test_run_without_program(self, cm0):
+        with pytest.raises(IsaError, match="no program"):
+            cm0.run(lambda c: 0)
+
+    def test_capacity_enforced(self):
+        small = CortexM0(SramBank("CM0", 16, ports=1))
+        prog = Cm0Program()
+        for i in range(10):
+            prog.add(_cmd(i))
+        with pytest.raises(CapacityError, match="words"):
+            small.load_program(prog)
+
+    def test_program_committed_to_imem(self, cm0):
+        prog = Cm0Program().add(_cmd(3))
+        cm0.load_program(prog)
+        # first stored word is the encoded opcode word of the command
+        assert cm0.imem.read(0) == _cmd(3).encode()[0]

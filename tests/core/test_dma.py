@@ -1,0 +1,85 @@
+"""Unit tests for the DMA engine and its background-overlap accounting."""
+
+import pytest
+
+from repro.core.chip import CoFHEE
+from repro.core.isa import Opcode
+
+
+@pytest.fixture
+def chip():
+    return CoFHEE()
+
+
+class TestForegroundCopy:
+    def test_copy_moves_data(self, chip, rng):
+        mm = chip.memory_map
+        src = mm.base_address("SP0")
+        dst = mm.base_address("SP1")
+        data = [rng.randrange(1 << 64) for _ in range(32)]
+        chip.bus.burst_write(src, data)
+        cycles = chip.dma.copy(src, dst, 32)
+        got, _ = chip.bus.burst_read(dst, 32)
+        assert got == data
+        assert cycles == chip.timing.memcpy_cycles(32)
+
+    def test_bit_reversed_copy(self, chip):
+        from repro.polymath.bitrev import bit_reverse_permute
+
+        mm = chip.memory_map
+        src, dst = mm.base_address("SP0"), mm.base_address("SP1")
+        data = list(range(16))
+        chip.bus.burst_write(src, data)
+        chip.dma.copy(src, dst, 16, bit_reversed=True)
+        got, _ = chip.bus.burst_read(dst, 16)
+        assert got == bit_reverse_permute(data)
+
+    def test_stats(self, chip):
+        mm = chip.memory_map
+        chip.dma.copy(mm.base_address("SP0"), mm.base_address("SP1"), 64,
+                      functional=False)
+        assert chip.dma.stats.transfers == 1
+        assert chip.dma.stats.words_moved == 64
+
+
+class TestBackgroundOverlap:
+    def test_fully_hidden_behind_long_compute(self, chip):
+        """Section III-F: the next polynomial's load hides behind the
+        running NTT — zero exposed cycles."""
+        mm = chip.memory_map
+        n = 4096
+        ntt_cycles = chip.timing.ntt_cycles(n)
+        exposed = chip.dma.schedule_background(
+            mm.base_address("SP0"), mm.base_address("DP2"), n,
+            compute_window_cycles=ntt_cycles, functional=False,
+        )
+        assert exposed == 0
+        assert chip.dma.stats.background_cycles_hidden == chip.timing.memcpy_cycles(n)
+
+    def test_partially_exposed_behind_short_compute(self, chip):
+        mm = chip.memory_map
+        transfer = chip.timing.memcpy_cycles(4096)
+        exposed = chip.dma.schedule_background(
+            mm.base_address("SP0"), mm.base_address("DP2"), 4096,
+            compute_window_cycles=100, functional=False,
+        )
+        assert exposed == transfer - 100
+
+    def test_transfer_fits_inside_ntt_window(self, chip):
+        """The architectural invariant that makes double-buffering free:
+        one polynomial load is much shorter than its NTT."""
+        for log_n in range(8, 14):
+            n = 1 << log_n
+            assert chip.timing.memcpy_cycles(n) < chip.timing.ntt_cycles(n)
+
+
+class TestCommandBuilder:
+    def test_command_for(self, chip):
+        cmd = chip.dma.command_for(0x2000_0000, 0x2010_0000, 64)
+        assert cmd.opcode is Opcode.MEMCPY
+        assert cmd.length == 64
+
+    def test_command_for_reversed(self, chip):
+        cmd = chip.dma.command_for(0x2000_0000, 0x2010_0000, 64,
+                                   bit_reversed=True)
+        assert cmd.opcode is Opcode.MEMCPYR

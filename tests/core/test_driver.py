@@ -1,0 +1,166 @@
+"""Unit tests for the host driver: modes, composed ops, RNS, large n."""
+
+import pytest
+
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver, OperationReport
+from repro.core.errors import CapacityError, ConfigError
+from repro.polymath.ntt import reference_negacyclic_multiply
+from repro.polymath.primes import ntt_friendly_prime
+from repro.polymath.rns import RnsBasis, plan_towers
+
+N = 64
+Q = ntt_friendly_prime(N, 40)
+
+
+@pytest.fixture
+def drv():
+    driver = CofheeDriver(CoFHEE())
+    driver.program(Q, N)
+    return driver
+
+
+class TestBringUp:
+    def test_program_loads_twiddles_and_allocates(self, drv):
+        assert len(drv.buffer_names) >= 6
+        assert drv.chip.programmed_q == Q
+
+    def test_unknown_buffer(self, drv):
+        with pytest.raises(ConfigError, match="unknown buffer"):
+            drv.buffer_address("P9999")
+
+    def test_load_length_check(self, drv):
+        with pytest.raises(ConfigError, match="expected 64"):
+            drv.load_polynomial("P0", [1, 2, 3])
+
+    def test_buffers_partition_banks(self, drv):
+        """Buffers at degree 64 pack many slots per 8192-word bank:
+        6 data banks (3 DP + 3 SP; the 4th SP holds twiddles)."""
+        assert len(drv.buffer_names) == 6 * (8192 // N)
+
+    def test_oversize_degree_needs_large_path(self):
+        driver = CofheeDriver(CoFHEE(ChipConfig(poly_words=64)))
+        with pytest.raises(CapacityError, match="large"):
+            driver.program(ntt_friendly_prime(128, 40), 128)
+
+
+class TestExecutionModes:
+    @pytest.mark.parametrize("mode", ["direct", "fifo", "cm0"])
+    def test_all_modes_compute_identically(self, mode, rng):
+        driver = CofheeDriver(CoFHEE(), mode=mode)
+        driver.program(Q, N)
+        a = [rng.randrange(Q) for _ in range(N)]
+        b = [rng.randrange(Q) for _ in range(N)]
+        driver.load_polynomial("P0", a)
+        driver.load_polynomial("P1", b)
+        driver.polynomial_multiply("P0", "P1", "P2")
+        got, _ = driver.read_polynomial("P2")
+        assert got == reference_negacyclic_multiply(a, b, Q)
+
+    def test_mode_io_ordering(self, rng):
+        """direct > fifo > cm0 in host-link time (Section III-I)."""
+        ios = {}
+        for mode in ("direct", "fifo", "cm0"):
+            driver = CofheeDriver(CoFHEE(ChipConfig(fidelity="timing")),
+                                  mode=mode)
+            driver.program(Q, N)
+            cmds = [driver.ntt_command("P0", "P1") for _ in range(8)]
+            ios[mode] = driver.execute(cmds).io_seconds
+        assert ios["direct"] > ios["fifo"] > ios["cm0"]
+
+    def test_fifo_chunks_beyond_depth(self):
+        """More than 32 commands stream through the FIFO in chunks."""
+        driver = CofheeDriver(CoFHEE(ChipConfig(fidelity="timing")))
+        driver.program(Q, N)
+        cmds = [driver.ntt_command("P0", "P1") for _ in range(40)]
+        report = driver.execute(cmds)
+        assert report.commands == 40
+        assert driver.chip.fifo.stats.pushes == 40
+
+    def test_bad_mode(self, drv):
+        with pytest.raises(ValueError, match="mode"):
+            drv.execute([], mode="telepathy")
+
+
+class TestComposedOps:
+    def test_polynomial_multiply(self, drv, rng):
+        a = [rng.randrange(Q) for _ in range(N)]
+        b = [rng.randrange(Q) for _ in range(N)]
+        drv.load_polynomial("P0", a)
+        drv.load_polynomial("P1", b)
+        report = drv.polynomial_multiply("P0", "P1", "P2")
+        got, _ = drv.read_polynomial("P2")
+        assert got == reference_negacyclic_multiply(a, b, Q)
+        assert report.cycles == drv.chip.timing.polymul_cycles(N)
+
+    def test_ciphertext_multiply_tensor(self, drv, rng):
+        ca = tuple([rng.randrange(Q) for _ in range(N)] for _ in range(2))
+        cb = tuple([rng.randrange(Q) for _ in range(N)] for _ in range(2))
+        for name, coeffs in zip(("P0", "P1", "P2", "P3"), (*ca, *cb)):
+            drv.load_polynomial(name, coeffs)
+        report, (y0n, y1n, y2n) = drv.ciphertext_multiply(
+            "P0", "P1", "P2", "P3", "P4", "P5"
+        )
+        y0, _ = drv.read_polynomial(y0n)
+        y1, _ = drv.read_polynomial(y1n)
+        y2, _ = drv.read_polynomial(y2n)
+        m00 = reference_negacyclic_multiply(ca[0], cb[0], Q)
+        m01 = reference_negacyclic_multiply(ca[0], cb[1], Q)
+        m10 = reference_negacyclic_multiply(ca[1], cb[0], Q)
+        m11 = reference_negacyclic_multiply(ca[1], cb[1], Q)
+        assert y0 == m00
+        assert y1 == [(a + b) % Q for a, b in zip(m01, m10)]
+        assert y2 == m11
+        assert report.cycles == drv.chip.timing.ciphertext_mult_cycles(N, 1)
+
+    def test_ciphertext_multiply_command_mix(self, drv, rng):
+        """Algorithm 3's op mix: 4 NTT + 4 Hadamard + 1 add + 3 iNTT."""
+        drv.load_polynomial("P0", [1] * N)
+        report, _ = drv.ciphertext_multiply("P0", "P0", "P0", "P0", "P1", "P2")
+        kinds = [p.kind for p in report.trace.phases]
+        assert kinds.count("dit_butterfly") == 4
+        assert kinds.count("hadamard") == 4
+        assert kinds.count("pointwise_add") == 1
+        assert kinds.count("dif_butterfly") == 3
+        assert kinds.count("const_mult") == 3
+
+
+class TestRnsPath:
+    def test_big_modulus_tensor(self, rng):
+        driver = CofheeDriver(CoFHEE())
+        basis = RnsBasis(plan_towers(78, 40, N))
+        big_q = basis.modulus
+        ca = tuple([rng.randrange(big_q) for _ in range(N)] for _ in range(2))
+        cb = tuple([rng.randrange(big_q) for _ in range(N)] for _ in range(2))
+        results, report = driver.ciphertext_multiply_rns(ca, cb, basis)
+        assert results[0] == reference_negacyclic_multiply(ca[0], cb[0], big_q)
+        assert results[2] == reference_negacyclic_multiply(ca[1], cb[1], big_q)
+        assert report.cycles == 2 * driver.chip.timing.ciphertext_mult_cycles(N, 1)
+        assert report.io_seconds > 0  # loads/readbacks accounted
+
+
+class TestLargeN:
+    def test_on_chip_n_rejected(self, drv):
+        with pytest.raises(ConfigError, match="fits on chip"):
+            drv.large_ntt_report(N)
+
+    def test_n_2_14_is_ii2_no_io(self):
+        driver = CofheeDriver(CoFHEE(ChipConfig(fidelity="timing")))
+        report = driver.large_ntt_report(2**14)
+        assert report.io_seconds == 0
+        assert report.cycles == driver.chip.timing.ntt_cycles(2**14)
+
+    def test_n_2_15_pays_host_io(self):
+        driver = CofheeDriver(CoFHEE(ChipConfig(fidelity="timing")))
+        report = driver.large_ntt_report(2**15)
+        assert report.io_seconds > report.compute_seconds
+
+
+class TestReportMerge:
+    def test_merge_concatenates(self, drv):
+        drv.load_polynomial("P0", [1] * N)
+        r1 = drv.ntt("P0", "P1")
+        r2 = drv.intt("P1", "P2")
+        merged = OperationReport.merge("seq", [r1, r2], drv.chip.power_model)
+        assert merged.cycles == r1.cycles + r2.cycles
+        assert merged.commands == 2

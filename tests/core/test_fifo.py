@@ -1,0 +1,63 @@
+"""Unit tests for the 32-deep command FIFO."""
+
+import pytest
+
+from repro.core.errors import FifoOverflow
+from repro.core.fifo import FIFO_DEPTH, CommandFifo
+from repro.core.isa import Command, Opcode
+
+
+def _cmd(i: int) -> Command:
+    return Command(Opcode.MEMCPY, x_addr=i, out_addr=i + 1, length=8)
+
+
+class TestFifo:
+    def test_depth_is_32(self):
+        """Section III-I: 'We define the length of the queue to be 32'."""
+        assert FIFO_DEPTH == 32
+        assert CommandFifo().depth == 32
+
+    def test_strict_order(self):
+        fifo = CommandFifo()
+        fifo.push_all([_cmd(i) for i in range(5)])
+        assert [fifo.pop().x_addr for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_overflow(self):
+        fifo = CommandFifo(depth=2)
+        fifo.push(_cmd(0))
+        fifo.push(_cmd(1))
+        assert fifo.full
+        with pytest.raises(FifoOverflow, match="full"):
+            fifo.push(_cmd(2))
+
+    def test_pop_empty(self):
+        with pytest.raises(FifoOverflow, match="empty"):
+            CommandFifo().pop()
+
+    def test_empty_interrupt_on_drain(self):
+        """Interrupt fires when the queue drains (Fig. 2 flow)."""
+        fifo = CommandFifo()
+        fifo.push(_cmd(0))
+        assert not fifo.take_interrupt()
+        fifo.pop()
+        assert fifo.take_interrupt()
+        assert not fifo.take_interrupt()  # read-and-clear
+
+    def test_high_watermark(self):
+        fifo = CommandFifo()
+        fifo.push_all([_cmd(i) for i in range(7)])
+        fifo.pop()
+        fifo.push(_cmd(9))
+        assert fifo.stats.high_watermark == 7
+
+    def test_refill_while_draining(self):
+        """Host can keep loading while the queue is not full."""
+        fifo = CommandFifo(depth=4)
+        fifo.push_all([_cmd(i) for i in range(4)])
+        fifo.pop()
+        fifo.push(_cmd(99))  # room again
+        assert len(fifo) == 4
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            CommandFifo(depth=0)

@@ -1,0 +1,61 @@
+"""Unit tests for the UART/SPI host-link models."""
+
+import pytest
+
+from repro.core.interfaces import SpiLink, UartLink
+
+
+class TestSpi:
+    def test_50mhz_default(self):
+        """Section III-K: SPI IO timing constrained to 50 MHz."""
+        assert SpiLink().clock_hz == 50e6
+
+    def test_polynomial_transfer_time(self):
+        """n = 2^13 x 128 bits at 50 Mbps ~ 21 ms — why on-chip residency
+        matters."""
+        spi = SpiLink(framing_overhead=0.0)
+        seconds = spi.send_polynomial(8192, 128)
+        assert seconds == pytest.approx(8192 * 128 / 50e6)
+
+    def test_framing_overhead_increases_time(self):
+        base = SpiLink(framing_overhead=0.0).transfer_seconds(1000)
+        framed = SpiLink(framing_overhead=0.05).transfer_seconds(1000)
+        assert framed == pytest.approx(base * 1.05)
+
+    def test_stats_accumulate(self):
+        spi = SpiLink()
+        spi.send_polynomial(64)
+        spi.receive_polynomial(64)
+        spi.register_write()
+        assert spi.stats.bits_sent == 64 * 128 + 72
+        assert spi.stats.bits_received == 64 * 128
+        assert spi.stats.transactions == 3
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SpiLink().transfer_seconds(-1)
+
+    def test_bad_clock(self):
+        with pytest.raises(ValueError):
+            SpiLink(clock_hz=0)
+
+
+class TestUart:
+    def test_8n1_framing(self):
+        """10 line bits per byte."""
+        uart = UartLink(baud_rate=1_000_000)
+        assert uart.transfer_seconds(8) == pytest.approx(10 / 1e6)
+
+    def test_uart_slower_than_spi(self):
+        """The validation setup's UART is the slow path."""
+        uart = UartLink(baud_rate=921_600)
+        spi = SpiLink()
+        assert uart.send_polynomial(4096) > spi.send_polynomial(4096)
+
+    def test_bad_baud(self):
+        with pytest.raises(ValueError):
+            UartLink(baud_rate=0)
+
+    def test_register_write_cost(self):
+        uart = UartLink(baud_rate=921_600)
+        assert uart.register_write() == pytest.approx(9 * 10 / 921_600)

@@ -1,0 +1,71 @@
+"""Unit tests for the Table I instruction set and command encoding."""
+
+import pytest
+
+from repro.core.errors import IsaError
+from repro.core.isa import Command, Opcode
+
+
+class TestOpcodeProperties:
+    def test_all_table1_ops_present(self):
+        names = {op.value for op in Opcode}
+        assert names == {
+            "NTT", "iNTT", "PMODADD", "PMODMUL", "PMODSQR", "PMODSUB",
+            "CMODMUL", "PMUL", "MEMCPY", "MEMCPYR",
+        }
+
+    def test_compute_vs_memory_split(self):
+        """Memory ops can overlap compute (Section III-B)."""
+        assert not Opcode.MEMCPY.is_compute
+        assert not Opcode.MEMCPYR.is_compute
+        assert Opcode.NTT.is_compute and Opcode.CMODMUL.is_compute
+
+    def test_operand_requirements(self):
+        assert Opcode.PMODADD.needs_y_operand
+        assert not Opcode.PMODSQR.needs_y_operand
+        assert Opcode.NTT.needs_twiddles
+        assert not Opcode.PMODMUL.needs_twiddles
+
+
+class TestCommandValidation:
+    def test_bad_n(self):
+        with pytest.raises(IsaError, match="power of two"):
+            Command(Opcode.NTT, n=100)
+
+    def test_bad_length(self):
+        with pytest.raises(IsaError, match="length"):
+            Command(Opcode.MEMCPY, length=0)
+
+    def test_negative_constant(self):
+        with pytest.raises(IsaError):
+            Command(Opcode.CMODMUL, n=16, constant=-1)
+
+    def test_valid_command(self):
+        cmd = Command(Opcode.PMODMUL, n=64, x_addr=0x2000_0000,
+                      y_addr=0x2010_0000, out_addr=0x2020_0000)
+        assert str(cmd) == "PMODMUL(n=64)"
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        cmd = Command(Opcode.NTT, n=4096, x_addr=0x2000_0000,
+                      twiddle_addr=0x2060_0000, out_addr=0x2010_0000)
+        assert Command.decode(cmd.encode()) == cmd
+
+    def test_frame_is_eight_words(self):
+        cmd = Command(Opcode.MEMCPY, x_addr=1, out_addr=2, length=64)
+        words = cmd.encode()
+        assert len(words) == 8
+        assert all(0 <= w < (1 << 32) for w in words)
+
+    def test_decode_bad_frame_length(self):
+        with pytest.raises(IsaError, match="8 words"):
+            Command.decode((0,) * 7)
+
+    def test_decode_bad_opcode(self):
+        with pytest.raises(IsaError, match="opcode"):
+            Command.decode((0xFF, 0, 0, 0, 0, 0, 0, 0))
+
+    def test_constant_up_to_64_bits(self):
+        cmd = Command(Opcode.CMODMUL, n=16, constant=(1 << 60) + 7)
+        assert Command.decode(cmd.encode()).constant == (1 << 60) + 7

@@ -1,0 +1,183 @@
+"""Unit tests for the MDMC: functional fidelity and cycle accounting."""
+
+import pytest
+
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.core.errors import ConfigError
+from repro.core.isa import Command, Opcode
+from repro.polymath.ntt import NttContext
+from repro.polymath.primes import ntt_friendly_prime
+
+N = 64
+Q = ntt_friendly_prime(N, 40)
+
+
+@pytest.fixture(params=["pe", "vector"])
+def drv(request):
+    chip = CoFHEE(ChipConfig(fidelity=request.param))
+    driver = CofheeDriver(chip)
+    driver.program(Q, N)
+    return driver
+
+
+@pytest.fixture
+def ctx():
+    return NttContext(N, Q)
+
+
+def _load(driver, name, coeffs):
+    driver.load_polynomial(name, coeffs)
+
+
+class TestNttFidelity:
+    def test_forward_matches_reference(self, drv, ctx, rng):
+        a = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        drv.ntt("P0", "P1")
+        got, _ = drv.read_polynomial("P1")
+        assert got == ctx.forward(a)
+
+    def test_roundtrip(self, drv, rng):
+        a = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        drv.ntt("P0", "P1")
+        drv.intt("P1", "P2")
+        got, _ = drv.read_polynomial("P2")
+        assert got == a
+
+    def test_shared_twiddle_table(self, drv, ctx, rng):
+        """iNTT derives its twiddles from the forward table
+        (Section VIII-B) — only psi powers are ever stored in TWD."""
+        twd_addr = drv.chip.memory_map.base_address("TWD")
+        stored, _ = drv.chip.bus.burst_read(twd_addr, N)
+        assert stored == list(ctx._psi_brv)  # forward table only
+        a = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        drv.intt("P0", "P1")
+        got, _ = drv.read_polynomial("P1")
+        assert got == ctx.inverse(a)
+
+    def test_cycles_match_closed_form(self, drv, rng):
+        a = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        report = drv.ntt("P0", "P1")
+        assert report.cycles == drv.chip.timing.ntt_cycles(N)
+
+
+class TestPointwiseOps:
+    @pytest.mark.parametrize(
+        "opcode,expected",
+        [
+            (Opcode.PMODADD, lambda a, b: [(x + y) % Q for x, y in zip(a, b)]),
+            (Opcode.PMODSUB, lambda a, b: [(x - y) % Q for x, y in zip(a, b)]),
+            (Opcode.PMODMUL, lambda a, b: [x * y % Q for x, y in zip(a, b)]),
+            (Opcode.PMUL, lambda a, b: [(x * y) & ((1 << 128) - 1)
+                                        for x, y in zip(a, b)]),
+        ],
+    )
+    def test_binary_ops(self, drv, rng, opcode, expected):
+        a = [rng.randrange(Q) for _ in range(N)]
+        b = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        _load(drv, "P1", b)
+        drv.pointwise(opcode, "P0", "P2", y="P1")
+        got, _ = drv.read_polynomial("P2")
+        assert got == expected(a, b)
+
+    def test_pmodsqr(self, drv, rng):
+        a = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        drv.pointwise(Opcode.PMODSQR, "P0", "P1")
+        got, _ = drv.read_polynomial("P1")
+        assert got == [x * x % Q for x in a]
+
+    def test_cmodmul(self, drv, rng):
+        a = [rng.randrange(Q) for _ in range(N)]
+        c = rng.randrange(Q)
+        _load(drv, "P0", a)
+        drv.pointwise(Opcode.CMODMUL, "P0", "P1", constant=c)
+        got, _ = drv.read_polynomial("P1")
+        assert got == [x * c % Q for x in a]
+
+    def test_in_place_pointwise(self, drv, rng):
+        """dst == x buffer works (the 6-buffer Algorithm 3 schedule)."""
+        a = [rng.randrange(Q) for _ in range(N)]
+        b = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        _load(drv, "P1", b)
+        drv.pointwise(Opcode.PMODMUL, "P0", "P0", y="P1")
+        got, _ = drv.read_polynomial("P0")
+        assert got == [x * y % Q for x, y in zip(a, b)]
+
+    def test_pointwise_cycles(self, drv, rng):
+        _load(drv, "P0", [0] * N)
+        report = drv.pointwise(Opcode.PMODSQR, "P0", "P1")
+        assert report.cycles == drv.chip.timing.pointwise_cycles(N)
+
+
+class TestMemoryOps:
+    def test_memcpy(self, drv, rng):
+        a = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        cmd = Command(Opcode.MEMCPY, x_addr=drv.buffer_address("P0"),
+                      out_addr=drv.buffer_address("P3"), length=N)
+        drv.execute([cmd])
+        got, _ = drv.read_polynomial("P3")
+        assert got == a
+
+    def test_memcpyr_bit_reverse(self, drv, rng):
+        from repro.polymath.bitrev import bit_reverse_permute
+
+        a = [rng.randrange(Q) for _ in range(N)]
+        _load(drv, "P0", a)
+        cmd = Command(Opcode.MEMCPYR, x_addr=drv.buffer_address("P0"),
+                      out_addr=drv.buffer_address("P3"), length=N)
+        drv.execute([cmd])
+        got, _ = drv.read_polynomial("P3")
+        assert got == bit_reverse_permute(a)
+
+
+class TestPhaseTraces:
+    def test_ntt_phases(self, drv, rng):
+        _load(drv, "P0", [1] * N)
+        report = drv.ntt("P0", "P1")
+        kinds = [p.kind for p in report.trace.phases]
+        assert kinds == ["dit_butterfly"]
+
+    def test_intt_phases_include_const_pass(self, drv):
+        _load(drv, "P0", [1] * N)
+        report = drv.intt("P0", "P1")
+        kinds = [p.kind for p in report.trace.phases]
+        assert kinds == ["dif_butterfly", "const_mult"]
+
+    def test_interrupt_per_command(self, drv):
+        _load(drv, "P0", [1] * N)
+        report = drv.polynomial_multiply("P0", "P0", "P1")
+        assert report.trace.interrupts == 4  # 2 NTT + Hadamard + iNTT
+
+
+class TestErrors:
+    def test_intt_requires_n_inverse(self, drv):
+        cmd = Command(Opcode.INTT, n=N, x_addr=drv.buffer_address("P0"),
+                      twiddle_addr=drv.chip.memory_map.base_address("TWD"),
+                      out_addr=drv.buffer_address("P1"), constant=0)
+        with pytest.raises(ConfigError, match="n\\^-1"):
+            drv.chip.mdmc.execute(cmd)
+
+    def test_unprogrammed_modulus(self):
+        chip = CoFHEE()
+        cmd = Command(Opcode.PMODSQR, n=16,
+                      x_addr=chip.memory_map.base_address("SP0"),
+                      out_addr=chip.memory_map.base_address("SP1"))
+        with pytest.raises(ConfigError, match="not programmed|not configured"):
+            chip.mdmc.execute(cmd)
+
+    def test_bad_fidelity(self):
+        chip = CoFHEE()
+        with pytest.raises(ValueError, match="fidelity"):
+            chip.mdmc.execute(
+                Command(Opcode.MEMCPY, x_addr=chip.memory_map.base_address("SP0"),
+                        out_addr=chip.memory_map.base_address("SP1"), length=4),
+                fidelity="quantum",
+            )

@@ -1,0 +1,96 @@
+"""Unit tests for the processing element's Barrett datapath."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.pe import MAX_COEFF_BITS, PeMode, ProcessingElement
+from repro.polymath.primes import ntt_friendly_prime
+
+
+@pytest.fixture
+def pe():
+    element = ProcessingElement()
+    element.configure(ntt_friendly_prime(64, 40))
+    return element
+
+
+class TestConfiguration:
+    def test_unconfigured_rejects_ops(self):
+        pe = ProcessingElement()
+        with pytest.raises(ConfigError, match="not configured"):
+            pe.mul(1, 2)
+
+    def test_max_width_is_128_bits(self):
+        pe = ProcessingElement()
+        pe.configure(ntt_friendly_prime(4096, 128))
+        with pytest.raises(ConfigError, match="RNS"):
+            pe.configure((1 << 129) + 1)
+
+    def test_barrett_register_contents(self, pe):
+        """BARRETT_CTL1/2 contents derive from q."""
+        assert pe.barrett_k == 2 * pe.q.bit_length()
+        assert pe.barrett_mu == (1 << pe.barrett_k) // pe.q
+
+
+class TestDatapath:
+    def test_mul(self, pe):
+        q = pe.q
+        assert pe.mul(q - 2, q - 3) == (q - 2) * (q - 3) % q
+
+    def test_add_sub(self, pe):
+        q = pe.q
+        assert pe.add(q - 1, 5) == 4
+        assert pe.sub(3, 5) == q - 2
+
+    def test_mul_plain_full_width(self, pe):
+        """PMUL keeps the full product (no reduction)."""
+        assert pe.mul_plain(1 << 100, 3) == 3 << 100
+
+    def test_ct_butterfly(self, pe):
+        q = pe.q
+        u, v, t = 123, 456, 789
+        hi, lo = pe.butterfly(u, v, t)
+        assert hi == (u + v * t) % q
+        assert lo == (u - v * t) % q
+
+    def test_gs_butterfly(self, pe):
+        q = pe.q
+        u, v, t = 123, 456, 789
+        s, d = pe.gs_butterfly(u, v, t)
+        assert s == (u + v) % q
+        assert d == (u - v) * t % q
+
+    def test_butterflies_invert(self, pe):
+        """CT butterfly followed by GS butterfly with inverse twiddle and
+        /2 recovers the inputs — the NTT/iNTT duality at radix-2 scale."""
+        from repro.polymath.modmath import modinv
+
+        q = pe.q
+        u, v, t = 1111, 2222, 3333
+        a, b = pe.butterfly(u, v, t)
+        s, d = pe.gs_butterfly(a, b, modinv(t, q))
+        inv2 = modinv(2, q)
+        assert s * inv2 % q == u
+        assert d * inv2 % q == v
+
+
+class TestStatsAndLatency:
+    def test_stats_count_units(self, pe):
+        pe.stats.reset()
+        pe.butterfly(1, 2, 3)
+        pe.mul(4, 5)
+        pe.add(1, 1)
+        assert pe.stats.multiplies == 2
+        assert pe.stats.adds == 2
+        assert pe.stats.subs == 1
+        assert pe.stats.butterflies == 1
+
+    def test_latencies_match_paper(self):
+        """Section III-E: mult 5 cycles, add/sub 1 cycle, all II = 1."""
+        assert ProcessingElement.latency(PeMode.MUL) == 5
+        assert ProcessingElement.latency(PeMode.ADD) == 1
+        assert ProcessingElement.latency(PeMode.SUB) == 1
+        assert ProcessingElement.latency(PeMode.BUTTERFLY) == 6
+
+    def test_native_width_constant(self):
+        assert MAX_COEFF_BITS == 128

@@ -1,0 +1,89 @@
+"""Unit tests for the activity-based power model (Table V calibration)."""
+
+import pytest
+
+from repro.core.mdmc import PhaseRecord
+from repro.core.power import CORE_VOLTAGE, PowerModel, PowerReport
+
+
+@pytest.fixture
+def model():
+    return PowerModel()
+
+
+class TestPhaseTable:
+    def test_ntt_is_highest_average(self, model):
+        """'The NTT operation results in the highest peak power'."""
+        n = 2**12
+        dit = model.phase_avg_mw("dit_butterfly", n)
+        for phase in ("dif_butterfly", "const_mult", "hadamard",
+                      "pointwise_add", "memcpy", "idle"):
+            assert model.phase_avg_mw(phase, n) <= dit
+
+    def test_const_mult_is_low_power(self, model):
+        """'...due to the lower power consumption of the constant
+        multiplication' (Section VI-A)."""
+        n = 2**12
+        assert model.phase_avg_mw("const_mult", n) < model.phase_avg_mw(
+            "dif_butterfly", n
+        )
+
+    def test_peak_exceeds_average(self, model):
+        for phase in ("dit_butterfly", "dif_butterfly", "hadamard"):
+            assert model.phase_peak_mw(phase, 2**12) > model.phase_avg_mw(
+                phase, 2**12
+            )
+
+    def test_unknown_phase(self, model):
+        with pytest.raises(KeyError):
+            model.phase_avg_mw("warp_drive", 2**12)
+
+
+class TestReportIntegration:
+    def test_empty_trace(self, model):
+        report = model.report([])
+        assert report.avg_mw == 0 and report.cycles == 0
+
+    def test_single_phase(self, model):
+        report = model.report([PhaseRecord("dit_butterfly", 1000, 2**12)])
+        assert report.avg_mw == pytest.approx(24.5)
+        assert report.peak_mw == pytest.approx(30.4)
+        assert report.cycles == 1000
+
+    def test_weighted_average(self, model):
+        phases = [
+            PhaseRecord("dit_butterfly", 1000, 2**12),  # 24.5 mW
+            PhaseRecord("const_mult", 1000, 2**12),  # 11.3 mW
+        ]
+        report = model.report(phases)
+        assert report.avg_mw == pytest.approx((24.5 + 11.3) / 2)
+        assert report.peak_mw == pytest.approx(30.4)  # max of phase peaks
+
+    def test_seconds_at_250mhz(self, model):
+        report = model.report([PhaseRecord("idle", 250_000_000, 2**12)])
+        assert report.seconds == pytest.approx(1.0)
+
+
+class TestPowerReportDerived:
+    def test_current_at_core_voltage(self):
+        report = PowerReport(avg_mw=24.0, peak_mw=30.0, cycles=1,
+                             seconds=1e-6)
+        assert report.avg_current_ma == pytest.approx(24.0 / CORE_VOLTAGE)
+        assert report.peak_current_ma == pytest.approx(30.0 / CORE_VOLTAGE)
+
+    def test_paper_current_claim(self, model):
+        """'a power supply with a peak power rating of around 30mA and an
+        average power of around 25mA' for polynomial multiplication."""
+        phases = [PhaseRecord("dit_butterfly", 2 * 24841, 2**12),
+                  PhaseRecord("hadamard", 4627, 2**12),
+                  PhaseRecord("dif_butterfly", 24841, 2**12),
+                  PhaseRecord("const_mult", 4627, 2**12)]
+        report = model.report(phases)
+        assert 17 <= report.avg_current_ma <= 25
+        assert 23 <= report.peak_current_ma <= 30
+
+    def test_pdp(self):
+        report = PowerReport(avg_mw=22.0, peak_mw=30.0, cycles=1,
+                             seconds=0.84e-3)
+        assert report.pdp_w_ms() == pytest.approx(22e-3 * 0.84)
+        assert report.energy_mj == pytest.approx(22.0 * 0.84e-3)

@@ -1,0 +1,129 @@
+"""Unit tests for the host-link wire protocol."""
+
+import pytest
+
+from repro.core.chip import CoFHEE
+from repro.core.protocol import (
+    Frame,
+    FrameType,
+    HostEndpoint,
+    ProtocolError,
+    decode,
+    encode,
+    polynomial_write_frames,
+)
+from repro.core.regs import CHIP_SIGNATURE, GPCFG_BASE
+
+
+class TestFraming:
+    def test_roundtrip_all_types(self):
+        frames = [
+            Frame(FrameType.REG_WRITE, 0x4002_0000, 0, (0xDEADBEEF,)),
+            Frame(FrameType.REG_READ, 0x4002_0030),
+            Frame(FrameType.MEM_WRITE, 0x2000_0000, 3, (1, 2, 1 << 120)),
+            Frame(FrameType.MEM_READ, 0x2000_0000, 64),
+            Frame(FrameType.TRIGGER),
+            Frame(FrameType.STATUS),
+        ]
+        for frame in frames:
+            assert decode(encode(frame)) == frame
+
+    def test_checksum_detects_corruption(self):
+        data = bytearray(encode(Frame(FrameType.STATUS)))
+        data[2] ^= 0xFF
+        with pytest.raises(ProtocolError, match="checksum"):
+            decode(bytes(data))
+
+    def test_truncated_frame(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode(b"\x01\x02")
+
+    def test_unknown_opcode(self):
+        body = bytes([0x7F]) + bytes(7)
+        data = body + bytes([sum(body) & 0xFF])
+        with pytest.raises(ProtocolError, match="opcode"):
+            decode(data)
+
+    def test_payload_length_mismatch(self):
+        good = encode(Frame(FrameType.MEM_WRITE, 0, 2, (1, 2)))
+        # chop one payload word and re-checksum
+        bad = good[:-17]
+        bad = bad + bytes([sum(bad) & 0xFF])
+        with pytest.raises(ProtocolError, match="length"):
+            decode(bad)
+
+    def test_frame_validation(self):
+        with pytest.raises(ValueError, match="32-bit"):
+            Frame(FrameType.REG_WRITE, 0, 0, (1, 2))
+        with pytest.raises(ValueError, match="match length"):
+            Frame(FrameType.MEM_WRITE, 0, 5, (1,))
+
+
+class TestEndpoint:
+    @pytest.fixture
+    def endpoint(self):
+        return HostEndpoint(CoFHEE())
+
+    def test_register_write_read(self, endpoint):
+        dbg_offset = endpoint.chip.regs.spec("DBG_REG").offset
+        addr = GPCFG_BASE + dbg_offset
+        endpoint.handle(encode(Frame(FrameType.REG_WRITE, addr, 0, (0x1234,))))
+        response = decode(endpoint.handle(encode(Frame(FrameType.REG_READ, addr))))
+        assert response.payload == (0x1234,)
+
+    def test_signature_over_the_wire(self, endpoint):
+        """The post-silicon first-sign-of-life transaction."""
+        sig_addr = GPCFG_BASE + endpoint.chip.regs.spec("SIGNATURE").offset
+        response = decode(endpoint.handle(encode(Frame(FrameType.REG_READ, sig_addr))))
+        assert response.payload == (CHIP_SIGNATURE,)
+
+    def test_memory_burst_roundtrip(self, endpoint):
+        base = endpoint.chip.memory_map.base_address("SP0")
+        data = tuple((i * 37 + 5) % (1 << 128) for i in range(16))
+        endpoint.handle(encode(Frame(FrameType.MEM_WRITE, base, 16, data)))
+        response = decode(
+            endpoint.handle(encode(Frame(FrameType.MEM_READ, base, 16)))
+        )
+        assert response.payload == data
+
+    def test_status_reports_fifo_state(self, endpoint):
+        from repro.core.isa import Command, Opcode
+
+        response = decode(endpoint.handle(encode(Frame(FrameType.STATUS))))
+        assert response.address & 1 == 0  # FIFO empty
+        endpoint.chip.fifo.push(Command(Opcode.MEMCPY, x_addr=0, out_addr=0,
+                                        length=4))
+        response = decode(endpoint.handle(encode(Frame(FrameType.STATUS))))
+        assert response.address & 1 == 1  # not empty
+
+    def test_mem_read_needs_length(self, endpoint):
+        with pytest.raises(ProtocolError, match="length"):
+            endpoint.handle(encode(Frame(FrameType.MEM_READ, 0x2000_0000, 0)))
+
+    def test_frames_counted(self, endpoint):
+        endpoint.handle(encode(Frame(FrameType.STATUS)))
+        endpoint.handle(encode(Frame(FrameType.TRIGGER)))
+        assert endpoint.frames_handled == 2
+
+
+class TestPolynomialFraming:
+    def test_split_into_bursts(self):
+        frames = polynomial_write_frames(0x2000_0000, list(range(1000)),
+                                         burst_words=256)
+        assert len(frames) == 4
+        assert frames[0].length == 256 and frames[-1].length == 1000 - 768
+        # addresses advance by 256 words * 16 bytes
+        assert frames[1].address - frames[0].address == 256 * 16
+
+    def test_wire_bits_accounting(self):
+        frame = Frame(FrameType.MEM_WRITE, 0, 2, (1, 2))
+        assert HostEndpoint.wire_bits(frame) == len(encode(frame)) * 8
+
+    def test_full_polynomial_through_endpoint(self):
+        endpoint = HostEndpoint(CoFHEE())
+        base = endpoint.chip.memory_map.base_address("SP1")
+        coeffs = [(i * 7919) % (1 << 64) for i in range(512)]
+        for frame in polynomial_write_frames(base, coeffs):
+            endpoint.handle(encode(frame))
+        got, _ = endpoint.chip.bus.burst_read(base, 512)
+        assert got == coeffs

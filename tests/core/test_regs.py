@@ -1,0 +1,108 @@
+"""Unit tests for the Table II configuration register block."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.regs import (
+    CHIP_SIGNATURE,
+    GPCFG_BASE,
+    REGISTER_SPECS,
+    TOTAL_REGISTER_COUNT,
+    ConfigRegisters,
+)
+
+
+class TestRegisterMap:
+    def test_table2_registers_present(self):
+        names = {s.name for s in REGISTER_SPECS}
+        for expected in ("Q", "N", "INV_POLYDEG", "BARRETT_CTL1",
+                         "BARRETT_CTL2", "COMMAND_FIFO", "SIGNATURE",
+                         "PLL_CTL", "UARTM_CTL", "SPI_CLK_PAD_CTL"):
+            assert expected in names
+
+    def test_widths_match_table2(self):
+        specs = {s.name: s.bits for s in REGISTER_SPECS}
+        assert specs["Q"] == 128
+        assert specs["N"] == 128
+        assert specs["INV_POLYDEG"] == 128
+        assert specs["BARRETT_CTL2"] == 160
+        assert specs["BARRETT_CTL1"] == 32
+
+    def test_chip_has_35_registers(self):
+        """Table II is 'a representative subset of the 35 registers'."""
+        assert TOTAL_REGISTER_COUNT == 35
+        assert len(REGISTER_SPECS) <= 35
+
+    def test_signature_reset_value(self):
+        regs = ConfigRegisters()
+        assert regs.read("SIGNATURE") == CHIP_SIGNATURE
+
+
+class TestNamedAccess:
+    def test_write_read(self):
+        regs = ConfigRegisters()
+        regs.write("Q", (1 << 109) - 1)
+        assert regs.read("Q") == (1 << 109) - 1
+
+    def test_width_enforced(self):
+        regs = ConfigRegisters()
+        with pytest.raises(ConfigError, match="bits"):
+            regs.write("BARRETT_CTL1", 1 << 32)
+
+    def test_unknown_register(self):
+        regs = ConfigRegisters()
+        with pytest.raises(ConfigError, match="no configuration register"):
+            regs.read("BOGUS")
+
+
+class TestBusAccess:
+    def test_bus_read_32bit_words(self):
+        regs = ConfigRegisters()
+        regs.write("Q", 0x1234_5678_9ABC_DEF0)
+        q_offset = regs.spec("Q").offset
+        assert regs.bus_read(GPCFG_BASE + q_offset) == 0x9ABC_DEF0
+        assert regs.bus_read(GPCFG_BASE + q_offset + 4) == 0x1234_5678
+
+    def test_bus_write_merges_words(self):
+        regs = ConfigRegisters()
+        q_offset = regs.spec("Q").offset
+        regs.bus_write(GPCFG_BASE + q_offset, 0xAAAA_AAAA)
+        regs.bus_write(GPCFG_BASE + q_offset + 4, 0xBBBB_BBBB)
+        assert regs.read("Q") == 0xBBBB_BBBB_AAAA_AAAA
+
+    def test_bus_out_of_range(self):
+        regs = ConfigRegisters()
+        with pytest.raises(ConfigError, match="outside GPCFG"):
+            regs.bus_read(0x4003_0000)
+
+    def test_bus_unmapped_offset(self):
+        regs = ConfigRegisters()
+        with pytest.raises(ConfigError, match="no register"):
+            regs.bus_read(GPCFG_BASE + 0xF000)
+
+    def test_bus_write_32bit_only(self):
+        regs = ConfigRegisters()
+        with pytest.raises(ConfigError, match="32-bit"):
+            regs.bus_write(GPCFG_BASE, 1 << 33)
+
+
+class TestModulusProgramming:
+    def test_program_modulus_derives_constants(self):
+        from repro.polymath.modmath import modinv
+
+        regs = ConfigRegisters()
+        q, n = (1 << 54) - 33 * 2**13 + 0, 2**13
+        from repro.polymath.primes import ntt_friendly_prime
+        q = ntt_friendly_prime(n, 54)
+        regs.program_modulus(q, n)
+        assert regs.read("Q") == q
+        assert regs.read("N") == n
+        assert regs.read("INV_POLYDEG") == modinv(n, q)
+        assert regs.read("BARRETT_CTL1") == 2 * q.bit_length()
+        assert regs.read("BARRETT_CTL2") == (1 << (2 * q.bit_length())) // q
+
+    def test_dump_snapshot(self):
+        regs = ConfigRegisters()
+        snap = regs.dump()
+        assert snap["SIGNATURE"] == CHIP_SIGNATURE
+        assert "Q" in snap

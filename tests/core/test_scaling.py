@@ -1,0 +1,85 @@
+"""Unit tests for the Section VI-B / VIII-A scalability models."""
+
+import pytest
+
+from repro.core.scaling import (
+    MemoryScaling,
+    RadixConfig,
+    SplitParallelConfig,
+    dual_port_tradeoff,
+    radix4_speedup,
+)
+from repro.core.timing import TimingModel
+
+
+class TestRadix:
+    def test_radix2_matches_base(self):
+        """Radix-2 config == fabricated chip."""
+        assert RadixConfig(radix=2).ntt_cycles(2**13) == TimingModel().ntt_cycles(2**13)
+
+    def test_radix4_formula(self):
+        """(N/radix) * log_radix(N): 2048 * 6.5 -> paper's ~4x claim."""
+        cfg = RadixConfig(radix=4)
+        n = 2**12  # log_4(2^12) = 6 exactly
+        assert cfg.ntt_cycles(n) == (n // 4) * 6 + 22 * 6 + 1
+
+    def test_radix4_speedup_about_4x(self):
+        assert 3.5 < radix4_speedup(2**13) < 4.5
+
+    def test_extra_area_paper_figure(self):
+        assert RadixConfig(radix=4).extra_area_mm2() == 1.9
+        assert RadixConfig(radix=2).extra_area_mm2() == 0.0
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            RadixConfig(radix=4).ntt_cycles(100)
+
+
+class TestSplitParallel:
+    def test_two_pools_close_to_2x(self):
+        gain = SplitParallelConfig(pools=2).throughput_gain(2**13)
+        assert 1.7 < gain < 2.0  # "close to 2x", last stage still II = 1
+
+    def test_single_pool_is_identity(self):
+        cfg = SplitParallelConfig(pools=1)
+        assert cfg.ntt_cycles(2**13) == TimingModel().ntt_cycles(2**13)
+
+    def test_extra_banks(self):
+        assert SplitParallelConfig(pools=2).extra_dual_port_banks() == 2
+        assert SplitParallelConfig(pools=4).extra_dual_port_banks() == 6
+
+    def test_pools_power_of_two(self):
+        with pytest.raises(ValueError):
+            SplitParallelConfig(pools=3).ntt_cycles(2**13)
+
+
+class TestMemoryScaling:
+    def test_linear_area(self):
+        m = MemoryScaling()
+        assert m.memory_area_mm2(2**14) == pytest.approx(2 * m.memory_area_mm2(2**13))
+
+    def test_latency_grows(self):
+        m = MemoryScaling()
+        assert m.read_latency_ns(2**16) > m.read_latency_ns(2**13)
+
+    def test_base_clock_250mhz(self):
+        assert MemoryScaling().clock_mhz(2**13) == pytest.approx(250.0)
+
+    def test_minor_clock_reduction(self):
+        """'a minor reduction in clock frequency' — one octave costs <10%."""
+        m = MemoryScaling()
+        assert m.clock_mhz(2**14) > 0.9 * m.clock_mhz(2**13)
+
+
+class TestDualPortTradeoff:
+    def test_fabricated_mix(self):
+        result = dual_port_tradeoff(3, 4)
+        assert result["butterfly_ii"] == 1
+        assert result["area_mm2"] > result["all_single_port_area_mm2"]
+
+    def test_no_dual_port_means_ii2(self):
+        assert dual_port_tradeoff(0, 8)["butterfly_ii"] == 2
+
+    def test_negative_counts(self):
+        with pytest.raises(ValueError):
+            dual_port_tradeoff(-1, 4)

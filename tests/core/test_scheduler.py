@@ -1,0 +1,123 @@
+"""Unit tests for the operation scheduler (buffer allocation + DMA overlap)."""
+
+import pytest
+
+from repro.core.errors import CapacityError
+from repro.core.scheduler import (
+    Op,
+    OpKind,
+    Scheduler,
+    ciphertext_multiply_program,
+)
+from repro.core.timing import TimingModel
+
+N = 8192
+
+
+class TestAlgorithm3Program:
+    def test_compute_cycles_match_driver_schedule(self):
+        sched = Scheduler(n=N, num_buffers=6).compile(ciphertext_multiply_program())
+        assert sched.compute_cycles == TimingModel().ciphertext_mult_cycles(N, 1)
+
+    def test_fits_chip_buffers(self):
+        """The allocator needs <= 6 buffers — the fabricated bank count."""
+        sched = Scheduler(n=N, num_buffers=6).compile(ciphertext_multiply_program())
+        assert sched.peak_buffers <= 6
+
+    def test_allocator_beats_hand_schedule(self):
+        """Liveness allocation finds a 5-buffer schedule (the 6th bank is
+        the DMA staging buffer, Section III-F)."""
+        sched = Scheduler(n=N, num_buffers=5).compile(ciphertext_multiply_program())
+        assert sched.peak_buffers == 5
+
+    def test_four_buffers_insufficient(self):
+        with pytest.raises(CapacityError, match="buffer pressure|no free"):
+            Scheduler(n=N, num_buffers=4).compile(ciphertext_multiply_program())
+
+    def test_prefetch_hides_data_movement(self):
+        with_pf = Scheduler(n=N, num_buffers=6, prefetch=True).compile(
+            ciphertext_multiply_program()
+        )
+        without = Scheduler(n=N, num_buffers=6, prefetch=False).compile(
+            ciphertext_multiply_program()
+        )
+        assert with_pf.total_cycles < without.total_cycles
+        assert with_pf.dma_hidden_cycles > 0
+        assert with_pf.savings_fraction() > 0.3
+
+    def test_compute_cycles_unaffected_by_prefetch(self):
+        a = Scheduler(n=N, num_buffers=6, prefetch=True).compile(
+            ciphertext_multiply_program()
+        )
+        b = Scheduler(n=N, num_buffers=6, prefetch=False).compile(
+            ciphertext_multiply_program()
+        )
+        assert a.compute_cycles == b.compute_cycles
+
+
+class TestAllocator:
+    def test_in_place_reuse(self):
+        """x -> NTT -> iNTT chains run in one buffer."""
+        ops = [
+            Op(OpKind.LOAD, "x"),
+            Op(OpKind.NTT, "X", ("x",)),
+            Op(OpKind.INTT, "y", ("X",)),
+            Op(OpKind.STORE, "out", ("y",)),
+        ]
+        sched = Scheduler(n=64, num_buffers=2).compile(ops)
+        assert sched.peak_buffers == 1
+
+    def test_live_values_need_distinct_buffers(self):
+        ops = [
+            Op(OpKind.LOAD, "a"),
+            Op(OpKind.LOAD, "b"),
+            Op(OpKind.HADAMARD, "c", ("a", "b")),  # a, b still live here
+            Op(OpKind.HADAMARD, "d", ("a", "b")),  # a dies -> d in-place
+            Op(OpKind.ADD, "e", ("c", "d")),
+            Op(OpKind.STORE, "out", ("e",)),
+        ]
+        sched = Scheduler(n=64, num_buffers=3).compile(ops)
+        assert sched.peak_buffers == 3
+        with pytest.raises(CapacityError):
+            Scheduler(n=64, num_buffers=2).compile(ops)
+
+    def test_undefined_input_rejected(self):
+        with pytest.raises(ValueError, match="undefined"):
+            Scheduler(n=64).compile([Op(OpKind.NTT, "X", ("ghost",))])
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError, match="inputs"):
+            Op(OpKind.HADAMARD, "c", ("a",))
+
+    def test_min_buffers(self):
+        with pytest.raises(ValueError):
+            Scheduler(n=64, num_buffers=1)
+
+
+class TestDmaAccounting:
+    def test_first_load_is_exposed(self):
+        """Nothing computes before the first load — it cannot hide."""
+        ops = [Op(OpKind.LOAD, "x"), Op(OpKind.NTT, "X", ("x",)),
+               Op(OpKind.STORE, "o", ("X",))]
+        sched = Scheduler(n=64, num_buffers=3).compile(ops)
+        assert sched.ops[0].dma_exposed_cycles == TimingModel().memcpy_cycles(64)
+
+    def test_later_loads_hide_behind_compute(self):
+        ops = [
+            Op(OpKind.LOAD, "a"),
+            Op(OpKind.NTT, "A", ("a",)),
+            Op(OpKind.LOAD, "b"),  # hides behind the NTT window
+            Op(OpKind.NTT, "B", ("b",)),
+            Op(OpKind.HADAMARD, "c", ("A", "B")),
+            Op(OpKind.STORE, "o", ("c",)),
+        ]
+        sched = Scheduler(n=4096, num_buffers=4).compile(ops)
+        load_b = sched.ops[2]
+        assert load_b.dma_exposed_cycles == 0
+
+    def test_no_prefetch_exposes_everything(self):
+        ops = [Op(OpKind.LOAD, "x"), Op(OpKind.NTT, "X", ("x",)),
+               Op(OpKind.STORE, "o", ("X",))]
+        sched = Scheduler(n=64, num_buffers=3, prefetch=False).compile(ops)
+        assert sched.dma_hidden_cycles == 0
+        assert sched.dma_exposed_cycles == 2 * TimingModel().memcpy_cycles(64)

@@ -1,0 +1,105 @@
+"""Unit tests for the calibrated timing model — the Table V cycle counts."""
+
+import pytest
+
+from repro.core.timing import (
+    BUTTERFLY_PIPELINE,
+    CMD_DISPATCH,
+    STAGE_OVERHEAD,
+    ClockConfig,
+    TimingModel,
+)
+
+
+@pytest.fixture(scope="module")
+def tm():
+    return TimingModel()
+
+
+class TestClock:
+    def test_250mhz_period(self):
+        clock = ClockConfig()
+        assert clock.period_ns == 4.0  # the Section III-D memory-read path
+
+    def test_cycle_conversions(self):
+        clock = ClockConfig()
+        assert clock.cycles_to_us(250) == 1.0
+        assert clock.cycles_to_seconds(250_000_000) == 1.0
+
+
+class TestTable5Calibration:
+    """The model must reproduce the silicon measurements exactly."""
+
+    @pytest.mark.parametrize("n,expected", [(2**12, 24_841), (2**13, 53_535)])
+    def test_ntt_cycles(self, tm, n, expected):
+        assert tm.ntt_cycles(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(2**12, 29_468), (2**13, 62_770)])
+    def test_intt_cycles(self, tm, n, expected):
+        assert tm.intt_cycles(n) == expected
+
+    def test_polymul_2_12_exact(self, tm):
+        assert tm.polymul_cycles(2**12) == 83_777
+
+    def test_polymul_2_13_within_tolerance(self, tm):
+        """Paper: 179,045 (their DMA prefetch hides ~30 cycles)."""
+        assert abs(tm.polymul_cycles(2**13) - 179_045) / 179_045 < 0.0005
+
+    @pytest.mark.parametrize("n,expected_us", [(2**12, 99.4), (2**13, 214.1)])
+    def test_ntt_microseconds(self, tm, n, expected_us):
+        _, us = tm.table5_row("NTT", n)
+        assert abs(us - expected_us) < 0.1
+
+    def test_ciphertext_mult_ms(self, tm):
+        """Fig. 6 anchors: 0.84 ms (n=2^12, 1 tower), 3.58 ms (2^13, 2)."""
+        ms_small = tm.cycles_to_us(tm.ciphertext_mult_cycles(2**12, 1)) / 1e3
+        ms_large = tm.cycles_to_us(tm.ciphertext_mult_cycles(2**13, 2)) / 1e3
+        assert abs(ms_small - 0.84) < 0.01
+        assert abs(ms_large - 3.58) < 0.02
+
+
+class TestStructure:
+    def test_stage_overhead_composition(self):
+        """22 = 2 x 9-deep butterfly pipeline + 4-cycle handoff."""
+        assert BUTTERFLY_PIPELINE == 9
+        assert STAGE_OVERHEAD == 22
+        assert CMD_DISPATCH == 1
+
+    def test_ntt_closed_form(self, tm):
+        for log_n in range(4, 15):
+            n = 1 << log_n
+            ii = tm.butterfly_initiation_interval(n)
+            expected = (n // 2) * log_n * ii + STAGE_OVERHEAD * log_n + 1
+            assert tm.ntt_cycles(n) == expected
+
+    def test_pointwise_burst_structure(self, tm):
+        """PW(n) = n + n/8 + 19 (8-beat bursts + setup)."""
+        assert tm.pointwise_cycles(2**12) == 4096 + 512 + 19
+
+    def test_ii_switches_at_dual_port_capacity(self, tm):
+        assert tm.butterfly_initiation_interval(2**13) == 1
+        assert tm.butterfly_initiation_interval(2**14) == 2
+
+    def test_ciphertext_mult_composition(self, tm):
+        """Algorithm 3: 4 NTT + 4 Hadamard + 1 add + 3 iNTT per tower."""
+        n = 2**12
+        expected = (
+            4 * tm.ntt_cycles(n)
+            + 5 * tm.pointwise_cycles(n)
+            + 3 * tm.intt_cycles(n)
+        )
+        assert tm.ciphertext_mult_cycles(n, 1) == expected
+        assert tm.ciphertext_mult_cycles(n, 3) == 3 * expected
+
+    def test_relinearization_scales_with_digits(self, tm):
+        n = 2**12
+        r5 = tm.relinearization_cycles(n, 5)
+        r10 = tm.relinearization_cycles(n, 10)
+        per_digit = tm.ntt_cycles(n) + 4 * tm.pointwise_cycles(n) + tm.memcpy_cycles(n)
+        assert r10 - r5 == 5 * per_digit
+
+    def test_invalid_degree(self, tm):
+        with pytest.raises(ValueError):
+            tm.ntt_cycles(100)
+        with pytest.raises(ValueError):
+            tm.table5_row("FFT", 64)

@@ -1,0 +1,114 @@
+"""Tests for the experiment harness: every table/figure within tolerance.
+
+These are the reproduction's acceptance tests — each asserts the
+model-vs-paper deltas that EXPERIMENTS.md reports.
+"""
+
+import pytest
+
+from repro.eval import (
+    adpll_rows,
+    fig6_pdp_rows,
+    fig6_rows,
+    table10_rows,
+    table11_rows,
+    table3_rows,
+    table4_row,
+    table5_rows,
+    table7_rows,
+    table8_rows,
+    table9_rows,
+)
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table5_rows()
+
+    def test_six_rows(self, rows):
+        assert len(rows) == 6
+
+    def test_cycles_within_0_1_pct(self, rows):
+        for row in rows:
+            delta = abs(row["cycles"] - row["paper_cycles"]) / row["paper_cycles"]
+            assert delta < 0.001, (row["op"], row["n"])
+
+    def test_power_within_5_pct(self, rows):
+        for row in rows:
+            assert abs(row["avg_mw"] - row["paper_avg_mw"]) / row["paper_avg_mw"] < 0.05
+            assert abs(row["peak_mw"] - row["paper_peak_mw"]) / row["paper_peak_mw"] < 0.03
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig6_rows()
+
+    def test_cofhee_anchors(self, rows):
+        cofhee = {r["n"]: r for r in rows if r["platform"] == "CoFHEE"}
+        assert cofhee[2**12]["time_ms"] == pytest.approx(0.84, abs=0.01)
+        assert cofhee[2**13]["time_ms"] == pytest.approx(3.58, abs=0.02)
+        assert cofhee[2**12]["power_w"] == pytest.approx(0.022, abs=0.001)
+        assert cofhee[2**13]["power_w"] == pytest.approx(0.0212, abs=0.001)
+
+    def test_cpu_anchors(self, rows):
+        cpu1 = {r["n"]: r for r in rows
+                if r["platform"] == "CPU (SEAL)" and r["threads"] == 1}
+        assert cpu1[2**12]["time_ms"] == pytest.approx(1.5, rel=0.01)
+        assert cpu1[2**13]["time_ms"] == pytest.approx(6.91, rel=0.01)
+
+    def test_shape_cofhee_between_1_and_16_threads(self, rows):
+        by = {(r["platform"], r["n"], r["threads"]): r["time_ms"] for r in rows}
+        for n in (2**12, 2**13):
+            assert by[("CPU (SEAL)", n, 16)] < by[("CoFHEE", n, 1)] < by[
+                ("CPU (SEAL)", n, 1)
+            ]
+
+    def test_pdp_two_orders_of_magnitude(self):
+        for row in fig6_pdp_rows():
+            assert 100 < row["efficiency_ratio"] < 1000
+
+
+class TestTable10:
+    def test_speedups(self):
+        for row in table10_rows():
+            assert row["speedup"] == pytest.approx(row["paper_speedup"], abs=0.05)
+
+
+class TestTable11:
+    def test_efficiencies(self):
+        for row in table11_rows():
+            if row["paper_efficiency"] is not None:
+                assert row["efficiency"] == pytest.approx(
+                    row["paper_efficiency"], rel=0.01
+                )
+
+
+class TestPhysicalTables:
+    def test_table3(self):
+        for row in table3_rows():
+            assert abs(row["std_cells"] - row["paper_std_cells"]) < 100
+
+    def test_table4(self):
+        result = table4_row()
+        assert result["model"]["DW_um"] == 3660.0
+        assert result["macros_placed"] == 68
+
+    def test_table7(self):
+        for row in table7_rows():
+            assert abs(row["multi_cut_pct"] - row["paper_pct"]) < 0.1
+
+    def test_table8(self):
+        total = next(r for r in table8_rows() if r["module"] == "Total")
+        assert total["model_mm2"] == pytest.approx(9.8345, abs=0.01)
+
+    def test_table9(self):
+        result = table9_rows()
+        assert result["model"]["Levels"] == result["paper"]["Levels"]
+
+
+class TestAdpll:
+    def test_sweep_locks_everywhere(self):
+        for row in adpll_rows():
+            assert row["locked"], row["target_mhz"]

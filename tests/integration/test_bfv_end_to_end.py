@@ -1,0 +1,87 @@
+"""Integration: multi-step encrypted computations on the BFV layer."""
+
+import random
+
+import pytest
+
+from repro.bfv import BatchEncoder, Bfv, BfvParameters
+from repro.polymath.poly import PolynomialRing
+
+
+@pytest.fixture(scope="module")
+def stack():
+    params = BfvParameters.toy(n=16, log_q=100)
+    bfv = Bfv(params, seed=99)
+    keys = bfv.keygen(relin_digit_bits=10)
+    encoder = BatchEncoder(params)
+    return params, bfv, keys, encoder
+
+
+class TestEncryptedPipelines:
+    def test_batched_inner_product(self, stack):
+        """<x, w> computed slot-wise then summed via plaintext rotation-free
+        reduction (decrypt-side): validates mixed ct*pt / ct+ct chains."""
+        params, bfv, keys, encoder = stack
+        rng = random.Random(6)
+        x = [rng.randint(0, 9) for _ in range(16)]
+        w = [rng.randint(0, 9) for _ in range(16)]
+        ct = bfv.encrypt(encoder.encode(x), keys.public)
+        prod = bfv.multiply_plain(ct, encoder.encode(w))
+        slots = encoder.decode(bfv.decrypt(prod, keys.secret))
+        assert slots == [(a * b) % params.t for a, b in zip(x, w)]
+        assert sum(slots) == sum(a * b for a, b in zip(x, w))  # no wrap
+
+    def test_polynomial_evaluation_chain(self, stack):
+        """Evaluate p(x) = x^4 + 2x^2 + 3 homomorphically (depth 2)."""
+        params, bfv, keys, encoder = stack
+        pt_ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+        x = 5
+        ct = bfv.encrypt(pt_ring([x]), keys.public)
+        x2 = bfv.relinearize(bfv.square(ct), keys.relin)
+        x4 = bfv.relinearize(bfv.square(x2), keys.relin)
+        acc = bfv.add(x4, bfv.multiply_scalar(x2, 2))
+        acc = bfv.add_plain(acc, pt_ring([3]))
+        expected = (x**4 + 2 * x**2 + 3) % params.t
+        assert bfv.decrypt(acc, keys.secret).coeffs[0] == expected
+
+    def test_depth_consumes_budget_gracefully(self, stack):
+        params, bfv, keys, encoder = stack
+        pt_ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+        ct = bfv.encrypt(pt_ring([2]), keys.public)
+        budgets = [bfv.noise_budget(ct, keys.secret)]
+        value = 2
+        for _ in range(2):
+            ct = bfv.relinearize(bfv.square(ct), keys.relin)
+            value = value**2 % params.t
+            budgets.append(bfv.noise_budget(ct, keys.secret))
+        assert budgets == sorted(budgets, reverse=True)
+        assert budgets[-1] > 0  # still decryptable
+        assert bfv.decrypt(ct, keys.secret).coeffs[0] == value
+
+    def test_sum_of_many_ciphertexts(self, stack):
+        """Additive chains barely consume budget (linear noise growth)."""
+        params, bfv, keys, encoder = stack
+        pt_ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+        cts = [bfv.encrypt(pt_ring([i]), keys.public) for i in range(20)]
+        acc = cts[0]
+        for ct in cts[1:]:
+            acc = bfv.add(acc, ct)
+        assert bfv.decrypt(acc, keys.secret).coeffs[0] == sum(range(20)) % params.t
+        assert bfv.noise_budget(acc, keys.secret) > 10
+
+
+class TestCrossSeedDeterminism:
+    def test_same_seed_same_ciphertext(self):
+        params = BfvParameters.toy(n=16, log_q=60)
+        pt_ring = PolynomialRing(params.n, params.t, allow_non_ntt=True)
+        m = pt_ring([1, 2, 3])
+        a = Bfv(params, seed=7)
+        b = Bfv(params, seed=7)
+        ka, kb = a.keygen(None), b.keygen(None)
+        assert a.encrypt(m, ka.public).polys == b.encrypt(m, kb.public).polys
+
+    def test_different_seed_different_keys(self):
+        params = BfvParameters.toy(n=16, log_q=60)
+        a = Bfv(params, seed=1).keygen(None)
+        b = Bfv(params, seed=2).keygen(None)
+        assert a.secret.s != b.secret.s

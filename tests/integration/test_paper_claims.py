@@ -1,0 +1,107 @@
+"""The paper's headline claims, each asserted against the reproduction.
+
+One test per quotable claim from the abstract/introduction/conclusion —
+the highest-level acceptance suite.
+"""
+
+import pytest
+
+from repro.baselines.related_work import cofhee_record, efficiency, table11_rows
+from repro.baselines.software import CpuCostModel
+from repro.bfv.params import BfvParameters
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.core.timing import TimingModel
+from repro.eval.fig6 import cofhee_ciphertext_mult
+from repro.eval.table10 import table10_rows
+from repro.physical.synthesis import SynthesisEstimator
+
+
+class TestAbstractClaims:
+    def test_12mm2_design_in_55nm(self):
+        inv = CoFHEE().inventory()
+        assert inv["design_area_mm2"] == 12.0
+        assert "55nm" in inv["technology"]
+
+    def test_supports_n_up_to_2_14_and_128_bits(self):
+        inv = CoFHEE().inventory()
+        assert inv["max_native_n"] == 2**14
+        assert inv["max_coeff_bits"] == 128
+
+    def test_fundamental_operations_present(self):
+        """'polynomial addition and subtraction, Hadamard product, and
+        Number Theoretic Transform'."""
+        from repro.core.isa import Opcode
+
+        ops = {op.value for op in Opcode}
+        assert {"PMODADD", "PMODSUB", "PMODMUL", "NTT", "iNTT"} <= ops
+
+
+class TestPerformanceClaims:
+    def test_polynomial_mult_fraction_of_millisecond(self):
+        """'perform polynomial multiplication in a fraction of a
+        millisecond'."""
+        tm = TimingModel()
+        for n in (2**12, 2**13):
+            assert tm.cycles_to_us(tm.polymul_cycles(n)) < 1000
+
+    def test_beats_single_thread_seal(self):
+        """Fig. 6: 0.84 vs 1.5 ms and 3.58 vs 6.91 ms."""
+        cm = CpuCostModel()
+        for n, log_q in ((2**12, 109), (2**13, 218)):
+            params = BfvParameters.from_paper(n=n, log_q=log_q)
+            cofhee_ms = cofhee_ciphertext_mult(params).latency_ms
+            assert cofhee_ms < cm.ciphertext_mult_ms(params, threads=1)
+
+    def test_two_orders_of_magnitude_power_efficiency(self):
+        """'CoFHEE is two orders of magnitude more efficient' in power."""
+        params = BfvParameters.from_paper(n=2**12, log_q=109)
+        report = cofhee_ciphertext_mult(params)
+        cpu_w = CpuCostModel().power_w(params, 1)
+        assert cpu_w / (report.power.avg_mw / 1000) > 50
+
+    def test_end_to_end_speedups(self):
+        """Table X: 2.23x CryptoNets, 1.46x logistic regression."""
+        speedups = {r["application"]: r["speedup"] for r in table10_rows()}
+        assert speedups["CryptoNets"] == pytest.approx(2.23, abs=0.05)
+        assert speedups["LogisticRegression"] == pytest.approx(1.46, abs=0.05)
+
+    def test_ntt_efficiency_vs_f1(self):
+        """'a speedup of 6.3x' over F1 on normalized NTT efficiency."""
+        from repro.baselines.related_work import DESIGNS
+
+        ratio = efficiency(cofhee_record()) / efficiency(DESIGNS["F1"])
+        assert ratio == pytest.approx(6.3, abs=0.1)
+
+
+class TestImplementationClaims:
+    def test_only_silicon_proven_design(self):
+        """'no fabricated and silicon proven ASIC design' among peers."""
+        silicon = [r["design"] for r in table11_rows() if r["silicon_proven"]]
+        assert silicon == ["CoFHEE"]
+
+    def test_synthesized_area_fits_12mm2_budget(self):
+        assert SynthesisEstimator().total_mm2() < 12.0
+
+    def test_250mhz_limited_by_memory_read(self):
+        """Section III-D: ~4 ns memory read -> 250 MHz."""
+        chip = CoFHEE()
+        assert chip.clock.period_ns == 4.0
+
+    def test_pe_occupies_about_6_pct(self):
+        """Section III-E: the PE 'occupies 6% of the design area'."""
+        est = SynthesisEstimator()
+        assert est.pe_mm2(128) / est.total_mm2() == pytest.approx(0.065, abs=0.01)
+
+    def test_ciphertext_mult_fully_on_chip_at_2_13(self):
+        """No data round-trips for n <= 2^13 (Section III-C): the only
+        host traffic is the 12 command frames, orders of magnitude below
+        a single polynomial transfer."""
+        chip = CoFHEE(ChipConfig(fidelity="timing"))
+        driver = CofheeDriver(chip)
+        from repro.polymath.primes import ntt_friendly_prime
+
+        driver.program(ntt_friendly_prime(2**13, 109), 2**13)
+        report, _ = driver.ciphertext_multiply("P0", "P1", "P2", "P3", "P4", "P5")
+        one_polynomial = chip.spi.transfer_seconds(2**13 * 128)
+        assert report.io_seconds < one_polynomial / 100

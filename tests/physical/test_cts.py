@@ -1,0 +1,79 @@
+"""Unit tests for the clock-tree synthesis model (Table IX QoR)."""
+
+import pytest
+
+from repro.physical.cts import TABLE9_CTS_PAPER, ClockTreeSynthesizer
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ClockTreeSynthesizer().build()
+
+
+class TestFabricatedTree:
+    def test_sink_count(self, result):
+        assert result.sinks == 18_413
+
+    def test_levels_match_paper(self, result):
+        assert result.levels == TABLE9_CTS_PAPER["Levels"]
+
+    def test_buffer_count_near_paper(self, result):
+        assert abs(result.buffers - TABLE9_CTS_PAPER["Clock_tree_buffers"]) <= 5
+
+    def test_skew_near_240ps(self, result):
+        assert abs(result.global_skew_ps - 240) <= 15
+
+    def test_insertion_delays(self, result):
+        assert abs(result.longest_insertion_ns - 2.079) < 0.05
+        assert abs(result.shortest_insertion_ns - 1.838) < 0.05
+        assert result.shortest_insertion_ns < result.longest_insertion_ns
+
+    def test_skew_is_delay_difference(self, result):
+        assert result.global_skew_ps == pytest.approx(
+            (result.longest_insertion_ns - result.shortest_insertion_ns) * 1000
+        )
+
+    def test_table9_block_format(self, result):
+        block = result.table9_block()
+        assert block["clock_name"] == "HCLK"
+        assert block["cts_corner"] == "slow"
+
+
+class TestScalingBehaviour:
+    def test_fewer_sinks_fewer_buffers(self):
+        cts = ClockTreeSynthesizer()
+        xs, ys = cts.generate_sinks(2000)
+        small = cts.build(xs, ys)
+        assert small.buffers < 100
+
+    def test_larger_core_longer_insertion(self):
+        small = ClockTreeSynthesizer(core_width_um=1000, core_height_um=1000)
+        xs, ys = small.generate_sinks(5000)
+        small_result = small.build(xs, ys)
+        big = ClockTreeSynthesizer(core_width_um=6000, core_height_um=6000)
+        xb, yb = big.generate_sinks(5000)
+        big_result = big.build(xb, yb)
+        assert big_result.longest_insertion_ns > small_result.longest_insertion_ns
+
+    def test_deterministic(self):
+        a = ClockTreeSynthesizer(seed=1).build()
+        b = ClockTreeSynthesizer(seed=1).build()
+        assert a.levels == b.levels and a.buffers == b.buffers
+
+
+class TestValidation:
+    def test_empty_sinks(self):
+        with pytest.raises(ValueError):
+            ClockTreeSynthesizer().build([], [])
+
+    def test_mismatched_coordinates(self):
+        with pytest.raises(ValueError):
+            ClockTreeSynthesizer().build([1.0], [1.0, 2.0])
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            ClockTreeSynthesizer(core_width_um=0)
+
+    def test_bad_sink_count(self):
+        with pytest.raises(ValueError):
+            ClockTreeSynthesizer().generate_sinks(0)

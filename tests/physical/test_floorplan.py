@@ -1,0 +1,83 @@
+"""Unit tests for the floorplanner (Table IV geometry)."""
+
+import pytest
+
+from repro.physical.floorplan import (
+    MACRO_AREA_UM2,
+    Floorplanner,
+    Macro,
+    fabricated_macro_list,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Floorplanner().run()
+
+
+class TestMacroInventory:
+    def test_68_instances(self):
+        """Section V-A: 68 memory instances (48 DP + 16 + 4 SP)."""
+        macros = fabricated_macro_list()
+        assert len(macros) == 68
+        assert sum(1 for m in macros if m.name.startswith("DP")) == 48
+        assert sum(1 for m in macros if m.name.startswith("SP")) == 16
+        assert sum(1 for m in macros if m.name.startswith("CM0")) == 4
+
+    def test_total_macro_area_matches_table4(self):
+        total = sum(m.area_um2 for m in fabricated_macro_list())
+        assert total == pytest.approx(MACRO_AREA_UM2, rel=0.001)
+
+
+class TestPlacement:
+    def test_no_overlaps(self, result):
+        for i, a in enumerate(result.macros):
+            for b in result.macros[i + 1:]:
+                assert not a.overlaps(b), f"{a.name} overlaps {b.name}"
+
+    def test_all_inside_core(self, result):
+        for m in result.macros:
+            assert m.x_um >= -1e-6 and m.y_um >= -1e-6
+            assert m.x_um + m.width_um <= result.core_width_um + 1e-6
+            assert m.y_um + m.height_um <= result.core_height_um + 1e-6
+
+    def test_channels_exist(self, result):
+        channels = Floorplanner().channel_positions(result)
+        assert len(channels) >= 2  # columns separated by power channels
+
+
+class TestGeometry:
+    def test_die_equals_core_plus_padring(self, result):
+        """DW = CW + 2*(HIO + CIO): 3400 + 260 = 3660 (Table IV)."""
+        assert result.die_width_um == 3660.0
+        assert result.die_height_um == 3842.0
+
+    def test_aspect_ratio(self, result):
+        assert result.aspect_ratio == pytest.approx(1.05, abs=0.01)
+
+    def test_utilizations_near_paper(self, result):
+        """Model reads ~1.5 points high (no blockage halos; Table IV
+        reports 45 % / 59 %)."""
+        assert abs(result.initial_utilization - 0.45) < 0.03
+        assert abs(result.final_utilization - 0.59) < 0.03
+
+    def test_die_area_about_14mm2(self, result):
+        assert result.die_area_mm2 == pytest.approx(3.66 * 3.842, rel=0.001)
+
+    def test_table4_dict_keys(self, result):
+        t4 = result.table4()
+        for key in ("IU_pct", "FU_pct", "MA_um2", "CW_um", "DH_um", "A"):
+            assert key in t4
+
+
+class TestValidation:
+    def test_narrow_channels_rejected(self):
+        with pytest.raises(ValueError, match="power"):
+            Floorplanner(channel_um=5.0)
+
+    def test_macro_overlap_detection(self):
+        a = Macro("A", 10, 10, 0, 0)
+        b = Macro("B", 10, 10, 5, 5)
+        c = Macro("C", 10, 10, 20, 20)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)

@@ -1,0 +1,66 @@
+"""Unit tests for the pad-ring model."""
+
+import pytest
+
+from repro.physical.padring import PadRing, TABLE9_PADS_PAPER
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return PadRing()
+
+
+class TestInventory:
+    def test_table9_counts(self, ring):
+        summary = ring.summary()
+        assert summary["signal_pads"] == TABLE9_PADS_PAPER["signal_pads"] == 26
+        assert summary["pg_pads"] == TABLE9_PADS_PAPER["pg_pads"] == 11
+        assert summary["pll_bias_pads"] == TABLE9_PADS_PAPER["pll_bias_pads"] == 8
+
+    def test_47_total_including_spares(self, ring):
+        """Section V-A text: 47 digital IO pads."""
+        assert ring.summary()["total"] == 47
+
+    def test_fits_qfn48(self, ring):
+        assert ring.summary()["total"] <= ring.summary()["qfn_pins"]
+
+    def test_power_pad_pairs(self, ring):
+        """Two pads each for VDD/VSS and DVDD/DVSS (Section V-A)."""
+        names = [p.name for p in ring.build() if p.kind == "power"]
+        for rail in ("VDD", "VSS", "DVDD", "DVSS"):
+            assert sum(1 for n in names if n.startswith(rail + "0")
+                       or n.startswith(rail + "1")) >= 2 or True
+        assert {"VDD0", "VDD1", "VSS0", "VSS1",
+                "DVDD0", "DVDD1", "DVSS0", "DVSS1"} <= set(names)
+
+
+class TestPlacement:
+    def test_pll_pads_cluster_northeast(self, ring):
+        """PLL pads sit in the PLL's corner (Section V-A)."""
+        edges = {p.edge for p in ring.build() if p.kind == "pll_bias"}
+        assert edges <= {"N", "E"}
+
+    def test_every_edge_used(self, ring):
+        edges = {p.edge for p in ring.build()}
+        assert edges == {"N", "E", "S", "W"}
+
+    def test_edge_capacity_respected(self, ring):
+        pads = ring.build()
+        for edge in "NESW":
+            count = sum(1 for p in pads if p.edge == edge)
+            assert count <= ring.edge_capacity(edge)
+
+
+class TestCapacity:
+    def test_capacity_from_geometry(self, ring):
+        assert ring.edge_capacity("N") == int((3660 - 240) // 90)
+        assert ring.edge_capacity("E") == int((3842 - 240) // 90)
+
+    def test_unknown_edge(self, ring):
+        with pytest.raises(ValueError):
+            ring.edge_capacity("X")
+
+    def test_tiny_die_overflows(self):
+        tiny = PadRing(die_width_um=500, die_height_um=500)
+        with pytest.raises(ValueError, match="overfull"):
+            tiny.build()

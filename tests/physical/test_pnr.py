@@ -1,0 +1,66 @@
+"""Unit tests for the Table III PnR statistics model."""
+
+import pytest
+
+from repro.physical.pnr import TABLE3_PAPER, PnrFlow, PnrStage, table3_rows
+
+
+@pytest.fixture(scope="module")
+def stages():
+    return PnrFlow().run()
+
+
+class TestFlowInvariants:
+    def test_four_stages_in_order(self, stages):
+        assert [s.stage for s in stages] == [
+            PnrStage.INITIAL, PnrStage.PLACE, PnrStage.CTS, PnrStage.ROUTE,
+        ]
+
+    def test_sequential_cells_invariant(self, stages):
+        """No retiming: flop count never changes (Table III row 2)."""
+        assert len({s.sequential_cells for s in stages}) == 1
+        assert stages[0].sequential_cells == 18_686
+
+    def test_cell_count_monotonic(self, stages):
+        counts = [s.std_cells for s in stages]
+        assert counts == sorted(counts)
+
+    def test_buffer_growth_dominates(self, stages):
+        """Cell growth is 'primarily due to buffers/inverters'."""
+        added_cells = stages[-1].std_cells - stages[0].std_cells
+        added_bufs = (stages[-1].buffer_inverter_cells
+                      - stages[0].buffer_inverter_cells)
+        assert added_bufs > 0.4 * added_cells
+
+    def test_vt_mix_sums_to_100(self, stages):
+        for s in stages:
+            assert s.vt_sum() == pytest.approx(100.0, abs=0.5)
+
+    def test_vt_migration_to_lvt(self, stages):
+        """100% HVT start; timing closure swaps most cells to LVT."""
+        assert stages[0].hvt_pct == 100.0
+        assert stages[-1].lvt_pct > 70.0
+        assert stages[-1].hvt_pct < 15.0
+
+
+class TestCalibration:
+    def test_matches_paper_within_tolerance(self):
+        for row in table3_rows():
+            assert abs(row["std_cells"] - row["paper_std_cells"]) < 100
+            assert abs(row["signal_nets"] - row["paper_signal_nets"]) < 100
+            assert abs(row["utilization_pct"] - row["paper_utilization_pct"]) < 0.5
+
+    def test_paper_reference_complete(self):
+        assert set(TABLE3_PAPER) == set(PnrStage)
+
+
+class TestCustomInputs:
+    def test_scales_with_netlist_size(self):
+        small = PnrFlow(std_cells=50_000, sequential_cells=5_000,
+                        buffer_inverter_cells=5_000, signal_nets=60_000,
+                        clock_sinks=5_000).run()
+        assert small[-1].std_cells < 120_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sequential"):
+            PnrFlow(std_cells=10, sequential_cells=20)

@@ -1,0 +1,69 @@
+"""Unit tests for the power-grid plan (Section V-B)."""
+
+import pytest
+
+from repro.physical.floorplan import Floorplanner
+from repro.physical.powergrid import PowerGridPlan
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return PowerGridPlan()
+
+
+class TestStructure:
+    def test_ring_and_strap_plan(self, grid):
+        desc = grid.describe()
+        assert desc["ring_pairs"] == 4  # four VDD/VSS ring pairs
+        assert desc["ring_layers"] == ("BA", "BB")
+        assert desc["top_pitch_um"] == 30.0
+        assert desc["mid_pitch_um"] == 50.0
+        assert desc["m2_m3_straps"] == 0  # pin-access rule (Section V-B)
+
+    def test_strap_counts_from_pitch(self, grid):
+        assert grid.top_strap_count == int(3400 // 30)
+        assert grid.mid_strap_count == int(3400 // 50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerGridPlan(core_width_um=0)
+
+
+class TestIrDrop:
+    def test_within_signoff_budget(self, grid):
+        """Static IR drop under 5% of the 1.2 V supply."""
+        assert grid.ir_drop_ok()
+        assert grid.worst_ir_drop_mv() < 60.5
+
+    def test_scales_with_current(self, grid):
+        assert grid.worst_ir_drop_mv(0.1) == pytest.approx(
+            2 * grid.worst_ir_drop_mv(0.05)
+        )
+
+    def test_zero_current(self, grid):
+        assert grid.worst_ir_drop_mv(0.0) == 0.0
+
+    def test_negative_current_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.worst_ir_drop_mv(-0.1)
+
+
+class TestChannelCoverage:
+    def test_fabricated_channels_all_covered(self, grid):
+        """The flow guarantee: every memory channel hosts a strap pair."""
+        fp = Floorplanner()
+        result = fp.run()
+        channels = fp.channel_positions(result)
+        widths = [20.0] * len(channels)  # fabricated channel width
+        assert grid.verify_channel_coverage(widths) == []
+
+    def test_narrow_channel_flagged(self, grid):
+        assert grid.verify_channel_coverage([3.0]) == [3.0]
+
+    def test_strap_count_in_channel(self, grid):
+        assert grid.channel_strap_count(20.0) >= 3
+        assert grid.channel_strap_count(5.0) == 0
+
+    def test_negative_width_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.channel_strap_count(-1.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the Table VIII synthesis-area estimator."""
+
+import pytest
+
+from repro.physical.synthesis import (
+    TABLE8_PAPER_MM2,
+    TABLE8_PAPER_TOTAL_MM2,
+    SynthesisEstimator,
+    table8_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def est():
+    return SynthesisEstimator()
+
+
+class TestBlockAreas:
+    def test_every_block_within_1pct(self):
+        for row in table8_rows():
+            assert abs(row["error_pct"]) < 1.0, row["module"]
+
+    def test_total_matches_paper(self, est):
+        assert est.total_mm2() == pytest.approx(TABLE8_PAPER_TOTAL_MM2, rel=0.002)
+
+    def test_dual_port_premium_about_2x(self, est):
+        sp = est.sram_bank_mm2(8192, 128, dual_port=False, instances=4)
+        dp = est.sram_bank_mm2(8192, 128, dual_port=True, instances=16)
+        assert 2.0 < dp / sp < 2.4  # Section VIII-B: "2x the area"
+
+    def test_sram_scales_with_bits(self, est):
+        half = est.sram_bank_mm2(4096, 128, dual_port=False, instances=4)
+        full = est.sram_bank_mm2(8192, 128, dual_port=False, instances=4)
+        assert full > 1.9 * half - 0.01
+
+    def test_memory_dominates(self, est):
+        """Section III-A: SRAMs occupy the majority of the area."""
+        assert est.memory_fraction() > 0.85
+
+    def test_pe_quadratic_in_width(self, est):
+        """Halving the multiplier width ~quarters the multiplier area."""
+        full = est.pe_mm2(128)
+        half = est.pe_mm2(64)
+        assert half < full / 2.5
+
+    def test_ahb_scales_with_ports(self, est):
+        assert est.ahb_mm2(10, 11) > est.ahb_mm2(5, 6)
+
+    def test_validation(self, est):
+        with pytest.raises(ValueError):
+            est.sram_bank_mm2(0, 128, False, 4)
+        with pytest.raises(ValueError):
+            est.pe_mm2(0)
+        with pytest.raises(KeyError):
+            est.fixed_mm2("FPU")
+
+
+class TestPaperReference:
+    def test_paper_table_consistency(self):
+        """The reference table itself sums to the reported total."""
+        assert sum(TABLE8_PAPER_MM2.values()) == pytest.approx(
+            TABLE8_PAPER_TOTAL_MM2, abs=0.001
+        )
+
+    def test_delays_reported_where_available(self):
+        rows = table8_rows()
+        pe = next(r for r in rows if r["module"] == "PE")
+        assert pe["delay_ns"] == 5.65
+        # Post-synthesis paths above 4 ns close in the backend (III-K):
+        mdmc = next(r for r in rows if r["module"] == "MDMC")
+        assert mdmc["delay_ns"] < 4.22  # only MDMC beats the memory path

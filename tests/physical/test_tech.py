@@ -1,0 +1,42 @@
+"""Unit tests for technology nodes and scaling factors."""
+
+import pytest
+
+from repro.physical.tech import (
+    GF55_LPE,
+    GF7,
+    ScalingFactors,
+    barrett_scaling,
+    classical_dennard_estimate,
+)
+
+
+class TestScalingFactors:
+    def test_paper_measured_values(self):
+        """Section VII: area / 16.7, critical path / 3.7."""
+        s = barrett_scaling()
+        assert s.area_ratio == 16.7
+        assert s.delay_ratio == 3.7
+
+    def test_scale_area(self):
+        s = ScalingFactors(area_ratio=4.0, delay_ratio=2.0, source="test")
+        assert s.scale_area(8.0) == 2.0
+
+    def test_scale_delay(self):
+        s = ScalingFactors(area_ratio=4.0, delay_ratio=2.0, source="test")
+        assert s.scale_delay(10.0) == 5.0
+
+    def test_measured_below_dennard(self):
+        """Real scaling (16.7x) is far below naive (55/7)^2 ~ 62x — SRAM
+        periphery and wires do not shrink like logic."""
+        ideal = classical_dennard_estimate(GF55_LPE, GF7)
+        assert ideal.area_ratio > barrett_scaling().area_ratio * 2
+
+
+class TestNodes:
+    def test_cofhee_node(self):
+        assert GF55_LPE.drawn_nm == 55
+        assert GF55_LPE.core_voltage == 1.2  # Section III-A supplies
+
+    def test_nodes_distinct(self):
+        assert GF55_LPE != GF7

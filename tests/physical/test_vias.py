@@ -1,0 +1,48 @@
+"""Unit tests for the redundant-via model (Table VII)."""
+
+import pytest
+
+from repro.physical.vias import TABLE7_PAPER, RedundantViaModel, table7_rows
+
+
+class TestFabricatedRun:
+    def test_all_layers_present(self):
+        layers = {r["layer"] for r in table7_rows()}
+        assert layers == {"V1", "V2", "V3", "V4", "WT", "WA"}
+
+    def test_percentages_match_paper(self):
+        for row in table7_rows():
+            assert abs(row["multi_cut_pct"] - row["paper_pct"]) < 0.1, row["layer"]
+
+    def test_totals_match_paper(self):
+        for row in table7_rows():
+            assert abs(row["total"] - row["paper_total"]) < 20
+
+    def test_lower_layers_above_98pct(self):
+        """'more than 98% conversion ... for the lower via layers'."""
+        for row in table7_rows():
+            if row["layer"] in ("V1", "V2", "V3", "V4"):
+                assert row["multi_cut_pct"] > 98.0
+
+    def test_v1_is_worst_lower_layer(self):
+        """V1 sits in the most congested routing — lowest conversion."""
+        rows = {r["layer"]: r["multi_cut_pct"] for r in table7_rows()}
+        assert rows["V1"] == min(rows["V1"], rows["V2"], rows["V3"], rows["V4"])
+
+    def test_overall_conversion(self):
+        assert RedundantViaModel().overall_conversion_pct() > 99.0
+
+
+class TestModelBehaviour:
+    def test_via_counts_scale_with_nets(self):
+        small = RedundantViaModel(signal_nets=100_000).run()
+        big = RedundantViaModel(signal_nets=400_000).run()
+        assert big[0].total == pytest.approx(4 * small[0].total, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RedundantViaModel(signal_nets=0)
+
+    def test_paper_reference_self_consistent(self):
+        for layer, (multi, total, pct) in TABLE7_PAPER.items():
+            assert multi / total * 100 == pytest.approx(pct, abs=0.01)

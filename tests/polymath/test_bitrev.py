@@ -1,0 +1,48 @@
+"""Unit tests for bit-reversal helpers (the MEMCPYR primitive)."""
+
+import pytest
+
+from repro.polymath.bitrev import bit_reverse, bit_reverse_indices, bit_reverse_permute
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 4) == 0
+        assert bit_reverse(0b1111, 4) == 0b1111
+
+    def test_involution(self):
+        for v in range(64):
+            assert bit_reverse(bit_reverse(v, 6), 6) == v
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_reverse(8, 3)
+        with pytest.raises(ValueError):
+            bit_reverse(-1, 3)
+
+
+class TestIndices:
+    def test_length_8(self):
+        assert bit_reverse_indices(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_is_permutation(self):
+        table = bit_reverse_indices(64)
+        assert sorted(table) == list(range(64))
+
+    def test_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reverse_indices(12)
+
+    def test_length_one(self):
+        assert bit_reverse_indices(1) == [0]
+
+
+class TestPermute:
+    def test_permute_roundtrip(self):
+        data = list(range(100, 116))
+        assert bit_reverse_permute(bit_reverse_permute(data)) == data
+
+    def test_permute_known(self):
+        assert bit_reverse_permute([10, 11, 12, 13]) == [10, 12, 11, 13]

@@ -1,0 +1,64 @@
+"""Unit tests for the numpy-vectorized NTT (word-sized moduli)."""
+
+import pytest
+
+from repro.polymath.fastntt import MAX_MODULUS_BITS, FastNttContext
+from repro.polymath.ntt import NttContext, reference_negacyclic_multiply
+from repro.polymath.primes import ntt_friendly_prime
+
+
+@pytest.fixture(scope="module")
+def pair():
+    n = 128
+    q = ntt_friendly_prime(n, 28)
+    return FastNttContext(n, q), NttContext(n, q)
+
+
+class TestEquivalence:
+    def test_forward_matches_reference(self, pair, rng):
+        fast, ref = pair
+        a = [rng.randrange(fast.q) for _ in range(fast.n)]
+        assert list(fast.forward(a)) == ref.forward(a)
+
+    def test_inverse_matches_reference(self, pair, rng):
+        fast, ref = pair
+        a = [rng.randrange(fast.q) for _ in range(fast.n)]
+        assert list(fast.inverse(a)) == ref.inverse(a)
+
+    def test_roundtrip(self, pair, rng):
+        fast, _ = pair
+        a = [rng.randrange(fast.q) for _ in range(fast.n)]
+        assert list(fast.inverse(fast.forward(a))) == a
+
+    def test_multiply_matches_schoolbook(self, pair, rng):
+        fast, _ = pair
+        a = [rng.randrange(fast.q) for _ in range(fast.n)]
+        b = [rng.randrange(fast.q) for _ in range(fast.n)]
+        assert fast.negacyclic_multiply(a, b) == reference_negacyclic_multiply(
+            a, b, fast.q
+        )
+
+    @pytest.mark.parametrize("n", [4, 64, 1024])
+    def test_multiple_sizes(self, n, rng):
+        q = ntt_friendly_prime(n, 25)
+        fast, ref = FastNttContext(n, q), NttContext(n, q)
+        a = [rng.randrange(q) for _ in range(n)]
+        assert list(fast.forward(a)) == ref.forward(a)
+
+
+class TestValidation:
+    def test_rejects_wide_modulus(self):
+        q = ntt_friendly_prime(64, MAX_MODULUS_BITS + 5)
+        with pytest.raises(ValueError, match="int64"):
+            FastNttContext(64, q)
+
+    def test_rejects_wrong_length(self, pair):
+        fast, _ = pair
+        with pytest.raises(ValueError, match="coefficients"):
+            fast.forward([1, 2, 3])
+
+    def test_accepts_max_width(self):
+        q = ntt_friendly_prime(16, MAX_MODULUS_BITS)
+        ctx = FastNttContext(16, q)
+        a = [q - 1] * 16  # worst-case products still fit int64
+        assert list(ctx.inverse(ctx.forward(a))) == a

@@ -1,0 +1,127 @@
+"""Unit tests for modular arithmetic and the Barrett/Montgomery reducers."""
+
+import pytest
+
+from repro.polymath.modmath import (
+    BarrettReducer,
+    MontgomeryReducer,
+    modadd,
+    modexp,
+    modinv,
+    modmul,
+    modsub,
+)
+
+
+class TestBasicOps:
+    def test_modadd_no_wrap(self):
+        assert modadd(3, 4, 11) == 7
+
+    def test_modadd_wrap(self):
+        assert modadd(7, 8, 11) == 4
+
+    def test_modadd_boundary(self):
+        assert modadd(5, 6, 11) == 0
+
+    def test_modsub_positive(self):
+        assert modsub(9, 4, 11) == 5
+
+    def test_modsub_negative_wraps(self):
+        assert modsub(4, 9, 11) == 6
+
+    def test_modsub_zero(self):
+        assert modsub(4, 4, 11) == 0
+
+    def test_modmul(self):
+        assert modmul(7, 9, 11) == 63 % 11
+
+    def test_modexp_matches_pow(self):
+        assert modexp(3, 20, 101) == pow(3, 20, 101)
+
+    def test_modinv_roundtrip(self):
+        inv = modinv(7, 101)
+        assert 7 * inv % 101 == 1
+
+    def test_modinv_of_one(self):
+        assert modinv(1, 97) == 1
+
+    def test_modinv_noninvertible_raises(self):
+        with pytest.raises(ValueError, match="not invertible"):
+            modinv(6, 12)
+
+
+class TestBarrett:
+    def test_reduce_matches_mod(self):
+        barrett = BarrettReducer(1_000_003)
+        for x in (0, 1, 999_999, 10**11, 1_000_003**2 - 1):
+            assert barrett.reduce(x) == x % 1_000_003
+
+    def test_mulmod_large_operands(self):
+        q = (1 << 109) - 1746175  # arbitrary large odd modulus
+        barrett = BarrettReducer(q)
+        a = q - 12345
+        b = q - 67890
+        assert barrett.mulmod(a, b) == a * b % q
+
+    def test_constants_match_register_spec(self):
+        """k = 2*log q and mu = 2^k / q are the BARRETT_CTL contents."""
+        q = 0xFFFF_FFFB
+        barrett = BarrettReducer(q)
+        assert barrett.k == 2 * q.bit_length()
+        assert barrett.mu == (1 << barrett.k) // q
+
+    def test_at_most_two_corrections(self):
+        """The pipelined correction stage only has two subtractors."""
+        q = 12_289
+        barrett = BarrettReducer(q)
+        for x in range(0, q * q, q * 97 + 13):
+            before = barrett.correction_count
+            barrett.reduce(x)
+            assert barrett.correction_count - before <= 2
+
+    def test_out_of_range_input_rejected(self):
+        barrett = BarrettReducer(97)
+        with pytest.raises(ValueError):
+            barrett.reduce(97 * 97)
+        with pytest.raises(ValueError):
+            barrett.reduce(-1)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(1)
+
+
+class TestMontgomery:
+    def test_domain_roundtrip(self):
+        mont = MontgomeryReducer(12_289)
+        for a in (0, 1, 42, 12_288):
+            assert mont.from_montgomery(mont.to_montgomery(a)) == a
+
+    def test_mulmod_in_domain(self):
+        q = 12_289
+        mont = MontgomeryReducer(q)
+        a, b = 777, 9_999
+        am, bm = mont.to_montgomery(a), mont.to_montgomery(b)
+        assert mont.from_montgomery(mont.mulmod(am, bm)) == a * b % q
+
+    def test_mulmod_plain_matches(self):
+        q = (1 << 61) - 1
+        mont = MontgomeryReducer(q)
+        assert mont.mulmod_plain(q - 2, q - 3) == (q - 2) * (q - 3) % q
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            MontgomeryReducer(100)
+
+    def test_redc_range_check(self):
+        mont = MontgomeryReducer(97)
+        with pytest.raises(ValueError):
+            mont.redc(97 * mont.r)
+
+    def test_agrees_with_barrett(self):
+        """Both reducers implement the same ring operation."""
+        q = 786_433
+        barrett = BarrettReducer(q)
+        mont = MontgomeryReducer(q)
+        for a, b in ((1, 1), (q - 1, q - 1), (12_345, 678_901 % q)):
+            assert barrett.mulmod(a, b) == mont.mulmod_plain(a, b)

@@ -1,0 +1,125 @@
+"""Unit tests for the polynomial ring layer."""
+
+import pytest
+
+from repro.polymath.poly import Polynomial, PolynomialRing
+from repro.polymath.primes import ntt_friendly_prime
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return PolynomialRing(16, ntt_friendly_prime(16, 30))
+
+
+class TestRingConstruction:
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError, match="power of two"):
+            PolynomialRing(10, 97)
+
+    def test_non_ntt_modulus_needs_flag(self):
+        with pytest.raises(ValueError, match="NTT-friendly"):
+            PolynomialRing(16, 101)
+        ring = PolynomialRing(16, 101, allow_non_ntt=True)
+        assert not ring.supports_ntt
+
+    def test_ntt_property_raises_when_unsupported(self):
+        ring = PolynomialRing(16, 101, allow_non_ntt=True)
+        with pytest.raises(ValueError, match="does not support NTT"):
+            _ = ring.ntt
+
+    def test_equality_and_hash(self, ring):
+        same = PolynomialRing(ring.n, ring.q)
+        assert ring == same
+        assert hash(ring) == hash(same)
+        assert ring != PolynomialRing(32, ntt_friendly_prime(32, 30))
+
+
+class TestElementConstruction:
+    def test_pads_short_coefficients(self, ring):
+        p = ring([1, 2, 3])
+        assert len(p.coeffs) == 16
+        assert p.coeffs[3:] == (0,) * 13
+
+    def test_rejects_too_many(self, ring):
+        with pytest.raises(ValueError, match="too many"):
+            ring([0] * 17)
+
+    def test_reduces_mod_q(self, ring):
+        p = ring([ring.q + 5, -1])
+        assert p.coeffs[0] == 5
+        assert p.coeffs[1] == ring.q - 1
+
+    def test_monomial_wraps_with_sign(self, ring):
+        assert ring.monomial(ring.n, 1) == ring([-1])  # x^n = -1
+        assert ring.monomial(2 * ring.n, 3) == ring([3])  # x^2n = +1
+
+
+class TestArithmetic:
+    def test_add_sub_inverse(self, ring, rng):
+        a, b = ring.random(rng), ring.random(rng)
+        assert (a + b) - b == a
+
+    def test_neg(self, ring, rng):
+        a = ring.random(rng)
+        assert a + (-a) == ring.zero()
+
+    def test_mul_matches_schoolbook(self, ring, rng):
+        a, b = ring.random(rng), ring.random(rng)
+        assert a * b == a.schoolbook_mul(b)
+
+    def test_mul_identity(self, ring, rng):
+        a = ring.random(rng)
+        assert a * ring.one() == a
+
+    def test_scalar_mul_distributes(self, ring, rng):
+        a = ring.random(rng)
+        assert a.scalar_mul(3) == a + a + a
+        assert 3 * a == a.scalar_mul(3)
+
+    def test_scalar_div_exact(self, ring, rng):
+        a = ring.random(rng)
+        assert a.scalar_mul(7).scalar_div_exact(7) == a
+
+    def test_hadamard_pointwise(self, ring):
+        a = ring([2] * 16)
+        b = ring([3] * 16)
+        assert a.hadamard(b) == ring([6] * 16)
+
+    def test_ring_mismatch_rejected(self, ring, rng):
+        other = PolynomialRing(32, ntt_friendly_prime(32, 30))
+        with pytest.raises(ValueError, match="ring mismatch"):
+            _ = ring.random(rng) + other.zero()
+
+
+class TestDomainTransforms:
+    def test_to_from_ntt_roundtrip(self, ring, rng):
+        a = ring.random(rng)
+        assert a.to_ntt().from_ntt() == a
+
+    def test_ntt_domain_hadamard_is_ring_mul(self, ring, rng):
+        a, b = ring.random(rng), ring.random(rng)
+        via_ntt = a.to_ntt().hadamard(b.to_ntt()).from_ntt()
+        assert via_ntt == a * b
+
+
+class TestUtilities:
+    def test_centered_range(self, ring):
+        p = ring([0, 1, ring.q - 1, ring.q // 2])
+        centered = p.centered()
+        assert centered[0] == 0
+        assert centered[1] == 1
+        assert centered[2] == -1
+        half = ring.q // 2
+        assert abs(centered[3]) <= half
+
+    def test_infinity_norm(self, ring):
+        p = ring([1, ring.q - 5])
+        assert p.infinity_norm() == 5
+
+    def test_is_zero(self, ring):
+        assert ring.zero().is_zero()
+        assert not ring.one().is_zero()
+
+    def test_evaluate_horner(self, ring):
+        p = ring([1, 2, 3])  # 1 + 2x + 3x^2
+        assert p.evaluate(2) == (1 + 4 + 12) % ring.q

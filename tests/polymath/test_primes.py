@@ -1,0 +1,86 @@
+"""Unit tests for NTT-friendly prime generation and roots of unity."""
+
+import pytest
+
+from repro.polymath.modmath import modinv
+from repro.polymath.primes import (
+    find_primitive_root,
+    is_prime,
+    ntt_friendly_prime,
+    root_of_unity,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        assert all(is_prime(p) for p in (2, 3, 5, 7, 11, 13, 97, 12_289))
+
+    def test_small_composites(self):
+        assert not any(is_prime(c) for c in (0, 1, 4, 9, 91, 12_288))
+
+    def test_carmichael_number(self):
+        assert not is_prime(561)  # classic Fermat pseudoprime
+        assert not is_prime(41041)
+
+    def test_large_known_prime(self):
+        assert is_prime((1 << 61) - 1)  # Mersenne prime
+
+    def test_large_composite(self):
+        assert not is_prime(((1 << 61) - 1) * ((1 << 31) - 1))
+
+
+class TestNttFriendlyPrime:
+    @pytest.mark.parametrize("n,bits", [(64, 30), (256, 40), (4096, 54),
+                                        (4096, 109), (8192, 109)])
+    def test_form_and_width(self, n, bits):
+        q = ntt_friendly_prime(n, bits)
+        assert is_prime(q)
+        assert q.bit_length() == bits
+        assert (q - 1) % (2 * n) == 0  # q = 2kn + 1 (Section III-J)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ntt_friendly_prime(100, 30)
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ntt_friendly_prime(4096, 8)
+
+
+class TestRoots:
+    def test_primitive_root_generates_group(self):
+        q = 12_289
+        g = find_primitive_root(q)
+        # order of g must be exactly q-1: check the maximal strict divisors
+        for p in (2, 3):  # q-1 = 2^12 * 3
+            assert pow(g, (q - 1) // p, q) != 1
+
+    def test_root_of_unity_order(self):
+        q = ntt_friendly_prime(64, 30)
+        psi = root_of_unity(128, q)
+        assert pow(psi, 128, q) == 1
+        assert pow(psi, 64, q) == q - 1  # psi^n == -1: negacyclic property
+
+    def test_root_of_unity_large_modulus(self):
+        """Large moduli whose q-1 embeds hard-to-factor cofactors must not
+        require factorization (regression for the Pollard-rho hang)."""
+        q = ntt_friendly_prime(16, 120)
+        psi = root_of_unity(32, q)
+        assert pow(psi, 16, q) == q - 1
+
+    def test_root_of_unity_invalid_order(self):
+        q = ntt_friendly_prime(64, 30)
+        with pytest.raises(ValueError, match="does not divide"):
+            root_of_unity(3 * 128 + 1, q)
+
+    def test_omega_is_psi_squared_consistent(self):
+        q = ntt_friendly_prime(32, 30)
+        psi = root_of_unity(64, q)
+        omega = psi * psi % q
+        assert pow(omega, 32, q) == 1
+        assert pow(omega, 16, q) != 1
+
+    def test_inverse_root(self):
+        q = ntt_friendly_prime(32, 30)
+        psi = root_of_unity(64, q)
+        assert psi * modinv(psi, q) % q == 1

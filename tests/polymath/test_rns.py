@@ -1,0 +1,94 @@
+"""Unit tests for the Residue Number System layer."""
+
+import pytest
+
+from repro.polymath.rns import RnsBasis, plan_towers
+
+
+class TestBasisConstruction:
+    def test_requires_moduli(self):
+        with pytest.raises(ValueError):
+            RnsBasis([])
+
+    def test_rejects_non_coprime(self):
+        with pytest.raises(ValueError, match="not coprime"):
+            RnsBasis([6, 10])
+
+    def test_composite_modulus(self):
+        basis = RnsBasis([3, 5, 7])
+        assert basis.modulus == 105
+        assert len(basis) == 3
+
+
+class TestDecomposeReconstruct:
+    def test_roundtrip(self):
+        basis = RnsBasis([97, 101, 103])
+        for v in (0, 1, 96, 10_000, 97 * 101 * 103 - 1):
+            assert basis.reconstruct(basis.decompose(v)) == v
+
+    def test_residues_are_reduced(self):
+        basis = RnsBasis([97, 101])
+        residues = basis.decompose(1_000_000)
+        assert residues[0] < 97 and residues[1] < 101
+
+    def test_homomorphism_mul(self):
+        """CRT is a ring isomorphism: per-tower ops == big-modulus ops."""
+        basis = RnsBasis([97, 101, 103])
+        a, b = 123_456, 789_012 % basis.modulus
+        prod_residues = [
+            (x * y) % m for x, y, m in zip(
+                basis.decompose(a), basis.decompose(b), basis.moduli
+            )
+        ]
+        assert basis.reconstruct(prod_residues) == a * b % basis.modulus
+
+    def test_wrong_residue_count(self):
+        basis = RnsBasis([97, 101])
+        with pytest.raises(ValueError, match="expected 2"):
+            basis.reconstruct([1, 2, 3])
+
+    def test_centered_reconstruct(self):
+        basis = RnsBasis([97, 101])
+        v = basis.modulus - 3
+        assert basis.centered_reconstruct(basis.decompose(v)) == -3
+
+
+class TestPolyDecompose:
+    def test_poly_roundtrip(self, rng):
+        basis = RnsBasis([97, 101, 103])
+        poly = [rng.randrange(basis.modulus) for _ in range(16)]
+        towers = basis.decompose_poly(poly)
+        assert len(towers) == 3
+        assert basis.reconstruct_poly(towers) == poly
+
+    def test_tower_length_mismatch(self):
+        basis = RnsBasis([97, 101])
+        with pytest.raises(ValueError, match="length mismatch"):
+            basis.reconstruct_poly([[1, 2], [1]])
+
+
+class TestPlanTowers:
+    def test_paper_cpu_split_109(self):
+        """SEAL splits 109 bits into 54 + 55 (Section VI-B)."""
+        towers = plan_towers(109, 55, 4096)
+        assert sorted(t.bit_length() for t in towers) == [54, 55]
+
+    def test_paper_cpu_split_218(self):
+        """SEAL splits 218 bits into 54+54+55+55."""
+        towers = plan_towers(218, 55, 8192)
+        assert sorted(t.bit_length() for t in towers) == [54, 54, 55, 55]
+
+    def test_paper_cofhee_split(self):
+        """CoFHEE: one 109-bit tower; two for 218 bits."""
+        assert len(plan_towers(109, 109, 4096)) == 1
+        assert [t.bit_length() for t in plan_towers(218, 109, 8192)] == [109, 109]
+
+    def test_towers_distinct_and_ntt_friendly(self):
+        n = 256
+        towers = plan_towers(80, 41, n)
+        assert len(set(towers)) == len(towers)
+        assert all((t - 1) % (2 * n) == 0 for t in towers)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            plan_towers(1, 55, 4096)

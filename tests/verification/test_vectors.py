@@ -1,0 +1,69 @@
+"""Unit tests for the test-vector generator (the Section III-J script)."""
+
+import pytest
+
+from repro.core.isa import Opcode
+from repro.verification.vectors import TestVectorGenerator
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return TestVectorGenerator(n=32, coeff_bits=60, seed=1)
+
+
+class TestGeneration:
+    def test_modulus_follows_paper_form(self, gen):
+        """q = 2kn + 1 (Section III-J)."""
+        assert (gen.q - 1) % (2 * gen.n) == 0
+
+    def test_suite_covers_every_opcode(self, gen):
+        suite = gen.regression_suite()
+        assert {v.opcode for v in suite} == set(Opcode)
+
+    def test_vectors_deterministic_by_seed(self):
+        a = TestVectorGenerator(n=16, coeff_bits=40, seed=9).vector(Opcode.NTT)
+        b = TestVectorGenerator(n=16, coeff_bits=40, seed=9).vector(Opcode.NTT)
+        assert a == b
+
+    def test_random_coefficients_modulo_q(self, gen):
+        v = gen.vector(Opcode.PMODADD)
+        assert all(0 <= c < gen.q for c in v.x)
+        assert all(0 <= c < gen.q for c in v.y)
+
+    def test_golden_outputs_correct(self, gen):
+        """Spot-check golden models against independent computation."""
+        v = gen.vector(Opcode.PMODMUL)
+        assert v.expected == tuple(a * b % gen.q for a, b in zip(v.x, v.y))
+        v = gen.vector(Opcode.CMODMUL)
+        assert v.expected == tuple(a * v.constant % gen.q for a in v.x)
+
+    def test_intt_vector_carries_n_inverse(self, gen):
+        v = gen.vector(Opcode.INTT)
+        assert v.constant * gen.n % gen.q == 1
+
+
+class TestDirectedCorners:
+    def test_corner_vectors_present(self, gen):
+        names = [v.description for v in gen.directed_corner_vectors()]
+        assert any("zero" in d for d in names)
+        assert any("delta" in d for d in names)
+        assert any("q-1" in d or "maximum" in d for d in names)
+
+    def test_delta_spectrum_is_flat(self, gen):
+        delta = next(v for v in gen.directed_corner_vectors()
+                     if "delta" in v.description)
+        assert delta.expected == (1,) * gen.n
+
+
+class TestTestbenchExport:
+    def test_hex_lines_parse_back(self, gen):
+        v = gen.vector(Opcode.PMODADD)
+        lines = gen.to_testbench_hex(v)
+        # header + constant + q + x + y + expected
+        assert len(lines) == 3 + 3 * gen.n
+        assert int(lines[2], 16) == gen.q
+        assert int(lines[3], 16) == v.x[0]
+
+    def test_hex_width_is_128_bits(self, gen):
+        lines = gen.to_testbench_hex(gen.vector(Opcode.NTT))
+        assert all(len(line) == 32 for line in lines[1:])
