@@ -1,0 +1,84 @@
+"""Serving-layer throughput: jobs/sec per backend and chip-pool size.
+
+Pushes a fixed mixed workload (EvalMult + additions) through the serving
+stack and reports modeled/measured jobs-per-second for the software
+baseline, the vectorized numpy backend, and chip pools of 1/2/4 — the
+serving-layer analogue of the paper's Fig. 6 platform comparison.
+
+Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
+      (or with --benchmark-disable for a single smoke pass, as
+      tools/run_checks.sh does)
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.bfv import BatchEncoder, Bfv, BfvParameters
+from repro.service.jobs import JobKind
+from repro.service.serialization import (
+    serialize_ciphertext,
+    serialize_params,
+    serialize_relin_key,
+)
+from repro.service.server import FheServer
+
+PARAMS = BfvParameters.toy(n=16, log_q=80)
+N_MULTS = 6
+N_ADDS = 6
+
+COLUMNS = ["backend", "pool", "jobs", "wall_s", "jobs_per_s", "wall_cycles"]
+
+
+def _traffic():
+    bfv = Bfv(PARAMS, seed=31337)
+    keys = bfv.keygen(relin_digit_bits=12)
+    encoder = BatchEncoder(PARAMS)
+    rng = random.Random(3)
+    ops = []
+    for kind, count in ((JobKind.MULTIPLY, N_MULTS), (JobKind.ADD, N_ADDS)):
+        for _ in range(count):
+            a = bfv.encrypt(
+                encoder.encode([rng.randrange(32) for _ in range(PARAMS.n)]),
+                keys.public,
+            )
+            b = bfv.encrypt(
+                encoder.encode([rng.randrange(32) for _ in range(PARAMS.n)]),
+                keys.public,
+            )
+            ops.append((kind, (serialize_ciphertext(a), serialize_ciphertext(b))))
+    return keys, ops
+
+
+def _serve(pool_size: int, backend: str, keys, ops) -> list[dict]:
+    server = FheServer(pool_size=pool_size, max_batch=4)
+    sid = server.open_session(
+        "bench",
+        serialize_params(PARAMS),
+        relin_key=serialize_relin_key(keys.relin, PARAMS),
+    )
+    for kind, operands in ops:
+        server.submit(sid, kind, operands, backend=backend)
+    server.run()
+    return server.throughput_rows()
+
+
+def test_service_throughput(benchmark):
+    keys, ops = _traffic()
+
+    def sweep():
+        rows = []
+        for pool_size in (1, 2, 4):
+            rows.extend(_serve(pool_size, "chip_pool", keys, ops))
+        for backend in ("software", "fastntt"):
+            rows.extend(_serve(1, backend, keys, ops))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        f"Serving throughput ({N_MULTS} EvalMult + {N_ADDS} Add jobs)",
+        rows, COLUMNS,
+    )
+    by_pool = {r["pool"]: r for r in rows if "pool" in r}
+    assert by_pool[4]["wall_cycles"] < by_pool[1]["wall_cycles"]
+    assert all(r["jobs"] == N_MULTS + N_ADDS for r in rows)

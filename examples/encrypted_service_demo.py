@@ -1,0 +1,16 @@
+"""Multi-tenant FHE serving demo (see :mod:`repro.service.demo`).
+
+Three tenants (raw EvalMult traffic, encrypted logistic regression, and
+CryptoNets inference) share one server; the same 21-job workload is served
+by the chip-pool, software-baseline, and fast-numpy backends; results are
+decrypted client-side and checked against Bfv ground truth; and a chip
+pool of 4 is compared against a pool of 1 on identical traffic.
+
+Run:  python examples/encrypted_service_demo.py
+      (or ``repro-serve`` after ``pip install -e .``)
+"""
+
+from repro.service.demo import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -98,18 +98,7 @@ class RotationEngine:
 
     def apply_galois(self, ct: Ciphertext, exponent: int) -> Ciphertext:
         """Apply ``x -> x^g`` to a 2-component ciphertext and key-switch."""
-        if ct.size != 2:
-            raise ValueError("rotate a 2-component ciphertext (relinearize first)")
-        key = self.galois_key(exponent)
-        c1g = apply_automorphism(ct.polys[0], exponent)
-        c2g = apply_automorphism(ct.polys[1], exponent)
-        # Key-switch c2g from s(x^g) to s: digit-decompose and fold.
-        digits = self.bfv._decompose_digits(c2g, _as_relin(key))
-        new_c1, new_c2 = c1g, self.bfv.ring.zero()
-        for d, (b_i, a_i) in zip(digits, key.rows):
-            new_c1 = new_c1 + self.bfv._exact_mul(d, b_i)
-            new_c2 = new_c2 + self.bfv._exact_mul(d, a_i)
-        return Ciphertext([new_c1, new_c2], self.params)
+        return apply_galois_with_key(self.bfv, ct, self.galois_key(exponent))
 
     def rotate_rows(self, ct: Ciphertext, steps: int) -> Ciphertext:
         """Rotate both slot half-rings by ``steps`` positions."""
@@ -137,6 +126,29 @@ class RotationEngine:
             acc = self.bfv.add(acc, self.rotate_rows(acc, step))
             step <<= 1
         return self.bfv.add(acc, self.rotate_columns(acc))
+
+
+def apply_galois_with_key(bfv: Bfv, ct: Ciphertext, key: GaloisKey) -> Ciphertext:
+    """Rotate with an explicit (e.g. client-uploaded) Galois key.
+
+    Unlike :meth:`RotationEngine.apply_galois` this needs no secret key, so
+    the serving layer can rotate tenant ciphertexts using only the
+    evaluation keys registered with the session: apply ``x -> x^g`` to both
+    components, then key-switch ``c2(x^g)`` back under ``s`` by
+    digit-decomposing against the key rows.
+    """
+    if ct.size != 2:
+        raise ValueError("rotate a 2-component ciphertext (relinearize first)")
+    exponent = key.exponent
+    c1g = apply_automorphism(ct.polys[0], exponent)
+    c2g = apply_automorphism(ct.polys[1], exponent)
+    # Key-switch c2g from s(x^g) to s: digit-decompose and fold.
+    digits = bfv._decompose_digits(c2g, _as_relin(key))
+    new_c1, new_c2 = c1g, bfv.ring.zero()
+    for d, (b_i, a_i) in zip(digits, key.rows):
+        new_c1 = new_c1 + bfv._exact_mul(d, b_i)
+        new_c2 = new_c2 + bfv._exact_mul(d, a_i)
+    return Ciphertext([new_c1, new_c2], bfv.params)
 
 
 def _as_relin(key: GaloisKey):

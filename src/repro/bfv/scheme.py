@@ -51,6 +51,19 @@ class Ciphertext:
     def copy(self) -> "Ciphertext":
         return Ciphertext(list(self.polys), self.params)
 
+    def to_bytes(self) -> bytes:
+        """Export to the versioned wire format (the serving-layer hook)."""
+        from repro.service.serialization import serialize_ciphertext
+
+        return serialize_ciphertext(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, params: BfvParameters) -> "Ciphertext":
+        """Decode wire bytes, checking the params digest for compatibility."""
+        from repro.service.serialization import deserialize_ciphertext
+
+        return deserialize_ciphertext(data, params)
+
 
 class Bfv:
     """BFV scheme instance bound to a parameter set and a seeded RNG.
@@ -58,15 +71,20 @@ class Bfv:
     Args:
         params: the BFV parameter set.
         seed: RNG seed (every experiment in the reproduction is seeded).
+        multiplier: optional drop-in exact negacyclic multiplier (an object
+            with ``multiply(a_centered, b_centered) -> list[int]``), e.g.
+            :class:`repro.polymath.fastntt.RnsExactMultiplier` for the
+            serving layer's vectorized backend. Defaults to the pure-Python
+            auxiliary-prime multiplier.
     """
 
-    def __init__(self, params: BfvParameters, seed: int = 0):
+    def __init__(self, params: BfvParameters, seed: int = 0, multiplier=None):
         self.params = params
         self.ring = PolynomialRing(params.n, params.q, allow_non_ntt=True)
         self._rng = random.Random(seed)
         self._ternary = TernarySampler(self._rng)
         self._gaussian = DiscreteGaussianSampler(self._rng, params.sigma)
-        self._mult_ctx = _ExactMultiplier(params.n, params.q)
+        self._mult_ctx = multiplier or _ExactMultiplier(params.n, params.q)
 
     # ------------------------------------------------------------------
     # Key generation

@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.polymath.modmath import modinv
 from repro.polymath.ntt import NttContext
+from repro.polymath.primes import ntt_friendly_prime
+from repro.polymath.rns import RnsBasis, _next_smaller_ntt_prime
 
 #: Products a*b must fit int64: a, b < 2^31 keeps a*b < 2^62.
 MAX_MODULUS_BITS = 31
@@ -93,3 +95,57 @@ class FastNttContext:
     def _check(self, a: np.ndarray) -> None:
         if a.shape != (self.n,):
             raise ValueError(f"expected {self.n} coefficients, got {a.shape}")
+
+
+class RnsExactMultiplier:
+    """Exact integer negacyclic product via CRT over word-sized numpy NTTs.
+
+    Drop-in replacement for the scheme's pure-Python auxiliary-prime
+    multiplier (``repro.bfv.scheme._ExactMultiplier``): the Eq. 4 tensor
+    needs the *integer* product of centered polynomials, whose coefficients
+    are bounded by ``n * (q/2)**2`` — far beyond int64 for the paper's
+    moduli. Instead of one wide auxiliary prime, the bound is covered by a
+    basis of distinct sub-31-bit NTT-friendly primes so every tower runs
+    through the vectorized :class:`FastNttContext`, and the exact result is
+    CRT-reconstructed per coefficient. This is the trade SEAL makes
+    (word-sized towers unlock vectorized arithmetic) applied to the serving
+    layer's fast-numpy backend.
+
+    Args:
+        n: polynomial degree (power of two).
+        q: the scheme's ciphertext modulus (any width).
+        prime_bits: target width of each auxiliary tower prime.
+    """
+
+    def __init__(self, n: int, q: int, prime_bits: int = 30):
+        if prime_bits > MAX_MODULUS_BITS:
+            raise ValueError(
+                f"tower primes must stay below {MAX_MODULUS_BITS} bits "
+                f"for int64-safe numpy products, got {prime_bits}"
+            )
+        self.n = n
+        # |product coefficient| <= n * (q/2)^2; the CRT modulus must exceed
+        # twice that bound to recover signed values from centered residues.
+        bound_bits = 2 * (q.bit_length() - 1) + n.bit_length() + 2
+        primes: list[int] = []
+        total = 1
+        candidate = ntt_friendly_prime(n, prime_bits)
+        while total.bit_length() <= bound_bits + 2:
+            primes.append(candidate)
+            total *= candidate
+            candidate = _next_smaller_ntt_prime(candidate, n)
+        self.basis = RnsBasis(primes)
+        self._ctxs = [FastNttContext(n, p) for p in primes]
+
+    def multiply(self, a_centered, b_centered) -> list[int]:
+        """Return the exact integer negacyclic product of centered inputs."""
+        residues = []
+        for ctx in self._ctxs:
+            p = ctx.q
+            fa = ctx.forward([x % p for x in a_centered])
+            fb = ctx.forward([x % p for x in b_centered])
+            residues.append(ctx.inverse(fa * fb % p))
+        return [
+            self.basis.centered_reconstruct([int(r[i]) for r in residues])
+            for i in range(self.n)
+        ]

@@ -53,6 +53,33 @@ class PolynomialRing:
         return self._ntt
 
     @property
+    def coeff_byte_width(self) -> int:
+        """Bytes per coefficient in the packed wire representation."""
+        return (self.q.bit_length() + 7) // 8
+
+    def unpack(self, data: bytes) -> "Polynomial":
+        """Inverse of :meth:`Polynomial.pack` (strict: rejects coeffs >= q).
+
+        The serving layer's wire format (:mod:`repro.service.serialization`)
+        uses this as the innermost decoding step; out-of-range coefficients
+        indicate corruption and raise rather than silently reducing mod q.
+        """
+        width = self.coeff_byte_width
+        if len(data) != self.n * width:
+            raise ValueError(
+                f"packed polynomial needs {self.n * width} bytes "
+                f"(n={self.n}, {width} B/coeff), got {len(data)}"
+            )
+        coeffs = [
+            int.from_bytes(data[i * width : (i + 1) * width], "big")
+            for i in range(self.n)
+        ]
+        bad = next((c for c in coeffs if c >= self.q), None)
+        if bad is not None:
+            raise ValueError(f"packed coefficient {bad} >= modulus {self.q}")
+        return Polynomial(self, coeffs)
+
+    @property
     def supports_ntt(self) -> bool:
         return self._ntt is not None
 
@@ -181,6 +208,16 @@ class Polynomial:
         return Polynomial(self.ring, self.ring.ntt.inverse(self.coeffs))
 
     # -- utilities ---------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Deterministic byte packing: fixed-width big-endian coefficients.
+
+        The width is ``ring.coeff_byte_width`` so two equal polynomials in
+        the same ring always produce identical bytes (the property the wire
+        format's digests and checksums rely on).
+        """
+        width = self.ring.coeff_byte_width
+        return b"".join(c.to_bytes(width, "big") for c in self.coeffs)
 
     def centered(self) -> list[int]:
         """Coefficients lifted to the symmetric interval (-q/2, q/2]."""

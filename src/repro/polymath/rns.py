@@ -87,6 +87,12 @@ class RnsBasis:
         v = self.reconstruct(residues)
         return v - self.modulus if v > self.modulus // 2 else v
 
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RnsBasis) and self.moduli == other.moduli
+
+    def __hash__(self) -> int:
+        return hash(self.moduli)
+
     def __repr__(self) -> str:
         bits = [m.bit_length() for m in self.moduli]
         return f"RnsBasis({len(self.moduli)} towers, bits={bits})"

@@ -1,0 +1,63 @@
+"""The serving layer: CoFHEE as a multi-tenant FHE service.
+
+The paper positions CoFHEE as "a small component in a much bigger design,
+where the larger design will mostly focus on data movement". This package
+is that bigger design in miniature — the layer that turns the reproduction
+from a single-shot library into a servable system:
+
+* :mod:`repro.service.serialization` — versioned wire format so
+  ciphertexts, keys, and parameter sets can cross a process boundary;
+* :mod:`repro.service.registry` — multi-tenant sessions keyed by params
+  digest, evaluation-key storage, and per-params context caching;
+* :mod:`repro.service.jobs` — the encrypted-job model (raw homomorphic
+  ops plus application-level workloads);
+* :mod:`repro.service.scheduler` — fair round-robin batching across
+  tenants onto compatible batches;
+* :mod:`repro.service.backends` — pluggable execution: a pool of N
+  simulated CoFHEE chips (cycle-accurate), the SEAL-style software
+  baseline, and the vectorized numpy path;
+* :mod:`repro.service.server` — the synchronous in-process front door
+  (``submit`` / ``poll`` / ``result``);
+* :mod:`repro.service.demo` — the multi-tenant end-to-end demo behind
+  the ``repro-serve`` console script.
+"""
+
+from repro.service.backends import (
+    Backend,
+    BackendError,
+    BatchReport,
+    ChipPoolBackend,
+    FastNttBackend,
+    SoftwareBackend,
+)
+from repro.service.jobs import Job, JobKind, JobMetrics, JobStatus
+from repro.service.registry import Session, SessionError, SessionRegistry
+from repro.service.scheduler import BatchingScheduler, ServiceStats
+from repro.service.serialization import (
+    ParamsMismatchError,
+    WireFormatError,
+    params_digest,
+)
+from repro.service.server import FheServer
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BatchReport",
+    "BatchingScheduler",
+    "ChipPoolBackend",
+    "FastNttBackend",
+    "FheServer",
+    "Job",
+    "JobKind",
+    "JobMetrics",
+    "JobStatus",
+    "ParamsMismatchError",
+    "ServiceStats",
+    "Session",
+    "SessionError",
+    "SessionRegistry",
+    "SoftwareBackend",
+    "WireFormatError",
+    "params_digest",
+]

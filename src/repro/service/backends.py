@@ -1,0 +1,566 @@
+"""Pluggable compute backends behind the serving layer.
+
+One workload, three ways to run it (the TF-Encrypted "pluggable protocol"
+idea mapped onto CoFHEE's evaluation platforms):
+
+* :class:`ChipPoolBackend` — a pool of N simulated CoFHEE chips. Results
+  are computed exactly (host-side scheme arithmetic, as the paper's host
+  does the ``t/q`` rounding); cycle/IO accounting comes from the
+  cycle-calibrated model, and — where the session's modulus fits a single
+  native tower — the Algorithm 3 command stream is actually executed on
+  the worker's :class:`~repro.core.driver.CofheeDriver`, with the chip's
+  mod-q tensor cross-checked against the software reference.
+* :class:`SoftwareBackend` — the SEAL-style CPU baseline: same exact
+  results, priced by :class:`~repro.baselines.software.CpuCostModel`.
+* :class:`FastNttBackend` — the vectorized numpy path: the evaluation
+  engine's exact multiplier is swapped for
+  :class:`~repro.polymath.fastntt.RnsExactMultiplier` and the reported
+  latency is *measured* wall time, where moduli permit (enough sub-31-bit
+  NTT-friendly primes for the degree — true for every supported set).
+
+All three produce bit-identical ciphertexts, so a tenant can ask for
+correctness (chip fidelity) or speed (numpy) per request and decrypt the
+same answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.apps.costmodel import CofheeAppCost, CpuAppCost, Workload
+from repro.apps.cryptonets import MiniCryptoNets
+from repro.apps.logreg import MiniLogisticRegression
+from repro.baselines.software import CpuCostModel, SoftwareBfv
+from repro.bfv.params import BfvParameters
+from repro.bfv.rotation import apply_galois_with_key
+from repro.bfv.scheme import Bfv, Ciphertext
+from repro.core.chip import ChipConfig, CoFHEE
+from repro.core.driver import CofheeDriver
+from repro.core.scheduler import Scheduler, ciphertext_multiply_program
+from repro.polymath.primes import ntt_friendly_prime
+from repro.polymath.rns import RnsBasis
+from repro.service.jobs import Job, JobKind
+from repro.service.registry import Session, SessionRegistry
+
+
+class BackendError(RuntimeError):
+    """A backend could not execute a job."""
+
+
+@dataclass
+class BatchReport:
+    """What one dispatched batch cost."""
+
+    batch_id: int
+    backend: str
+    worker: int
+    jobs: int
+    cycles: int
+    seconds: float
+    io_seconds: float = 0.0
+
+
+def default_app_params(kind: JobKind) -> BfvParameters:
+    """The canonical toy parameter set each mini application defaults to.
+
+    Kept in sync with the app constructors so an app session's digest
+    matches the model the worker instantiates.
+    """
+    if kind is JobKind.LOGREG:
+        return BfvParameters.toy(n=16, log_q=140, t=ntt_friendly_prime(16, 21))
+    if kind is JobKind.CRYPTONETS:
+        return BfvParameters.toy(n=16, log_q=120, t=ntt_friendly_prime(16, 20))
+    raise ValueError(f"{kind.value} is not an application job kind")
+
+
+# ----------------------------------------------------------------------
+# Shared functional execution (all backends produce identical results)
+# ----------------------------------------------------------------------
+
+
+def _galois_exponent(session: Session, steps: int) -> int:
+    half = session.params.n // 2
+    steps %= half
+    if steps == 0:
+        raise BackendError("rotation by 0 steps is a no-op; do not submit it")
+    return pow(3, steps, 2 * session.params.n)
+
+
+def execute_functional(engine: Bfv, session: Session, job: Job) -> Ciphertext:
+    """Run a raw-op job's homomorphic arithmetic exactly."""
+    ops = job.operands
+    if job.kind is JobKind.ADD:
+        return engine.add(ops[0], ops[1])
+    if job.kind is JobKind.SUB:
+        return engine.sub(ops[0], ops[1])
+    if job.kind is JobKind.MULTIPLY:
+        tensor = engine.multiply(ops[0], ops[1])
+        if session.relin is not None:
+            return engine.relinearize(tensor, session.relin)
+        return tensor
+    if job.kind is JobKind.SQUARE:
+        return engine.relinearize(engine.square(ops[0]), session.require_relin())
+    if job.kind is JobKind.RELINEARIZE:
+        return engine.relinearize(ops[0], session.require_relin())
+    if job.kind is JobKind.ROTATE:
+        key = session.require_galois(_galois_exponent(session, job.steps))
+        return apply_galois_with_key(engine, ops[0], key)
+    raise BackendError(f"unsupported raw-op kind {job.kind.value}")
+
+
+class _AppRunner:
+    """Caches mini-application models per (tenant, config) and runs jobs.
+
+    Every run is verified against the app's own plaintext reference before
+    the result is returned — the serving layer never hands back an
+    unchecked app answer.
+    """
+
+    def __init__(self):
+        self._models: dict[tuple, object] = {}
+
+    def run(self, job: Job) -> tuple[object, Workload]:
+        payload = job.payload
+        if not isinstance(payload, dict):
+            raise BackendError(f"{job.kind.value} payload must be a dict")
+        if job.kind is JobKind.LOGREG:
+            return self._run_logreg(job, payload)
+        return self._run_cryptonets(job, payload)
+
+    def _model(self, key: tuple, build) -> object:
+        if key not in self._models:
+            self._models[key] = build()
+        return self._models[key]
+
+    def _run_logreg(self, job: Job, payload: dict) -> tuple[object, Workload]:
+        samples = payload["samples"]
+        seed = payload.get("seed", 11)
+        model: MiniLogisticRegression = self._model(
+            (job.tenant, job.kind, len(samples[0]), seed),
+            lambda: MiniLogisticRegression(num_features=len(samples[0]), seed=seed),
+        )
+        before = dict(model.op_log)
+        predictions = model.predict(samples)
+        if predictions != model.predict_plain(samples):
+            raise BackendError("logreg encrypted path diverged from plaintext")
+        workload = _op_delta_workload(
+            "LogisticRegression", before, model.op_log, relin_digit_bits=16
+        )
+        return {"predictions": predictions, "verified": True}, workload
+
+    def _run_cryptonets(self, job: Job, payload: dict) -> tuple[object, Workload]:
+        images = payload["images"]
+        seed = payload.get("seed", 7)
+        model: MiniCryptoNets = self._model(
+            (job.tenant, job.kind, seed), lambda: MiniCryptoNets(seed=seed)
+        )
+        before = dict(model.op_log)
+        scores = model.infer(images)
+        if scores != model.infer_plain(images):
+            raise BackendError("cryptonets encrypted path diverged from plaintext")
+        workload = _op_delta_workload(
+            "CryptoNets", before, model.op_log, relin_digit_bits=8
+        )
+        result = {
+            "scores": scores,
+            "classes": model.classify(scores),
+            "verified": True,
+        }
+        return result, workload
+
+
+def _op_delta_workload(
+    name: str, before: dict, after: dict, relin_digit_bits: int
+) -> Workload:
+    """Turn an op-log delta into a priceable Workload."""
+    return Workload(
+        name=name,
+        ct_ct_adds=after["ct_ct_adds"] - before["ct_ct_adds"],
+        ct_pt_mults=after["ct_pt_mults"] - before["ct_pt_mults"],
+        ct_ct_mults=after["ct_ct_mults"] - before["ct_ct_mults"],
+        relin_digit_bits=relin_digit_bits,
+        paper_cpu_seconds=0.0,
+        paper_cofhee_seconds=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Backend base
+# ----------------------------------------------------------------------
+
+
+class Backend:
+    """Common bookkeeping: subclasses implement ``_execute`` per job."""
+
+    name = "abstract"
+
+    def __init__(self):
+        self._apps = _AppRunner()
+        self.jobs_done = 0
+
+    # subclasses override -------------------------------------------------
+
+    def wall_seconds(self) -> float:
+        """Aggregate wall-clock attributed to this backend so far."""
+        raise NotImplementedError
+
+    def execute_batch(
+        self, batch_id: int, jobs: list[Job], registry: SessionRegistry
+    ) -> BatchReport:
+        raise NotImplementedError
+
+    # shared helpers ------------------------------------------------------
+
+    def _engine(self, registry: SessionRegistry, session: Session) -> Bfv:
+        return registry.engine(session)
+
+    def _run_job(
+        self, registry: SessionRegistry, job: Job
+    ) -> tuple[Session, object, Workload | None]:
+        """Functional execution; returns (session, result, app workload)."""
+        session = registry.get(job.session_id)
+        if job.kind.is_app:
+            result, workload = self._apps.run(job)
+            return session, result, workload
+        for ct in job.operands:
+            registry.check_compatible(session, ct)
+        engine = self._engine(registry, session)
+        return session, execute_functional(engine, session, job), None
+
+    @staticmethod
+    def _fail_job(job: Job, batch_id: int, name: str, exc: Exception) -> None:
+        """Fault isolation: one bad job fails alone, the batch continues."""
+        job.fail(str(exc))
+        job.metrics.backend = name
+        job.metrics.batch_id = batch_id
+
+
+# ----------------------------------------------------------------------
+# Chip pool
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ChipWorker:
+    """One simulated CoFHEE chip plus its host driver and accounting."""
+
+    index: int
+    chip: CoFHEE
+    driver: CofheeDriver
+    busy_cycles: int = 0
+    io_seconds: float = 0.0
+    programmed: tuple[int, int] | None = field(default=None, repr=False)
+
+    def ensure_programmed(self, q: int, n: int) -> None:
+        """Program modulus/twiddles only when they change (batch amortization)."""
+        if self.programmed != (q, n):
+            self.io_seconds += self.driver.program(q, n)
+            self.programmed = (q, n)
+
+    @property
+    def wall_seconds(self) -> float:
+        return (
+            self.busy_cycles / self.chip.clock.frequency_hz + self.io_seconds
+        )
+
+
+class ChipPoolBackend(Backend):
+    """Batches dispatched across a pool of N simulated CoFHEE chips.
+
+    Each batch goes to the least-loaded worker; the pool's aggregate wall
+    time is the makespan (max per-worker busy time), which is what shrinks
+    as the pool grows. Where the session uses a single native tower, the
+    Eq. 4 tensor really runs through the worker's driver (Algorithm 3
+    command stream) and the chip's mod-q outputs are cross-checked against
+    the software reference; otherwise cycles come from compiling the
+    Algorithm 3 DAG with :class:`~repro.core.scheduler.Scheduler`.
+    """
+
+    def __init__(self, pool_size: int = 1, chip_config: ChipConfig | None = None,
+                 data_fidelity: bool = True):
+        super().__init__()
+        if pool_size < 1:
+            raise ValueError("pool needs at least one chip")
+        self.name = f"chip_pool_x{pool_size}"
+        self.data_fidelity = data_fidelity
+        self.workers = []
+        for i in range(pool_size):
+            chip = CoFHEE(chip_config)
+            self.workers.append(
+                ChipWorker(index=i, chip=chip, driver=CofheeDriver(chip))
+            )
+        self._mod_q_reference: dict[bytes, SoftwareBfv] = {}
+        self._tensor_estimate: dict[int, int] = {}  # n -> per-tower cycles
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def wall_cycles(self) -> int:
+        """Pool makespan in cycles (what pool scaling reduces)."""
+        return max(w.busy_cycles for w in self.workers)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(w.busy_cycles for w in self.workers)
+
+    def wall_seconds(self) -> float:
+        return max(w.wall_seconds for w in self.workers)
+
+    # -- execution ----------------------------------------------------------
+
+    def execute_batch(
+        self, batch_id: int, jobs: list[Job], registry: SessionRegistry
+    ) -> BatchReport:
+        worker = min(self.workers, key=lambda w: w.busy_cycles)
+        batch_cycles = 0
+        io_before = worker.io_seconds
+        for job in jobs:
+            try:
+                session, result, workload = self._run_job(registry, job)
+                cycles = self._job_cycles(worker, session, job, workload)
+            except Exception as exc:  # noqa: BLE001 — jobs must fail alone
+                self._fail_job(job, batch_id, self.name, exc)
+                continue
+            job.finish(result)
+            job.metrics.backend = self.name
+            job.metrics.worker = worker.index
+            job.metrics.batch_id = batch_id
+            job.metrics.cycles = cycles
+            job.metrics.seconds = cycles / worker.chip.clock.frequency_hz
+            batch_cycles += cycles
+            self.jobs_done += 1
+        worker.busy_cycles += batch_cycles
+        return BatchReport(
+            batch_id=batch_id,
+            backend=self.name,
+            worker=worker.index,
+            jobs=len(jobs),
+            cycles=batch_cycles,
+            seconds=batch_cycles / worker.chip.clock.frequency_hz,
+            io_seconds=worker.io_seconds - io_before,
+        )
+
+    # -- cycle accounting ---------------------------------------------------
+
+    def _job_cycles(
+        self, worker: ChipWorker, session: Session, job: Job,
+        workload: Workload | None,
+    ) -> int:
+        params = session.params
+        timing = worker.chip.timing
+        if workload is not None:  # app-level job: price the op mix
+            cost = CofheeAppCost(params, timing)
+            seconds = cost.workload_seconds(workload)["total_s"]
+            return round(seconds * worker.chip.clock.frequency_hz)
+        n, towers = params.n, params.cofhee_tower_count
+        if job.kind in (JobKind.ADD, JobKind.SUB):
+            return 2 * towers * timing.pointwise_cycles(n)
+        if job.kind is JobKind.RELINEARIZE:
+            return timing.relinearization_cycles(
+                n, session.require_relin().num_digits, towers
+            )
+        if job.kind is JobKind.ROTATE:
+            key = session.require_galois(_galois_exponent(session, job.steps))
+            # automorphism = one copy pass per component, then key-switch
+            return 2 * timing.memcpy_cycles(n) + timing.relinearization_cycles(
+                n, len(key.rows), towers
+            )
+        # MULTIPLY / SQUARE: Eq. 4 tensor (+ relin when the session has a key)
+        cycles = self._tensor_cycles(worker, session, job)
+        if session.relin is not None:
+            cycles += timing.relinearization_cycles(
+                n, session.relin.num_digits, towers
+            )
+        return cycles
+
+    def _tensor_cycles(self, worker: ChipWorker, session: Session, job: Job) -> int:
+        params = session.params
+        basis = params.cofhee_basis
+        single_native_tower = (
+            basis is not None
+            and len(basis) == 1
+            and basis.modulus == params.q
+            and (params.q - 1) % (2 * params.n) == 0
+            and params.n <= worker.chip.config.poly_words
+        )
+        if self.data_fidelity and job.kind is JobKind.MULTIPLY and single_native_tower:
+            return self._chip_tensor(worker, session, job)
+        # Estimate by compiling the Algorithm 3 DAG onto the chip's buffers.
+        # The schedule depends only on (n, timing) — identical for every
+        # chip in the pool — so compile once per degree.
+        if params.n not in self._tensor_estimate:
+            schedule = Scheduler(params.n, timing=worker.chip.timing).compile(
+                ciphertext_multiply_program()
+            )
+            self._tensor_estimate[params.n] = schedule.compute_cycles
+        return params.cofhee_tower_count * self._tensor_estimate[params.n]
+
+    def _chip_tensor(self, worker: ChipWorker, session: Session, job: Job) -> int:
+        """Run Algorithm 3 on the worker's chip and cross-check the result."""
+        params = session.params
+        q, n = params.q, params.n
+        worker.ensure_programmed(q, n)
+        drv = worker.driver
+        a, b = job.operands
+        names = drv.buffer_names
+        a0, a1, b0, b1, t0, t1 = names[:6]
+        for name, poly in ((a0, a.polys[0]), (a1, a.polys[1]),
+                           (b0, b.polys[0]), (b1, b.polys[1])):
+            worker.io_seconds += drv.load_polynomial(name, list(poly.coeffs))
+        report, (y0, y1, y2) = drv.ciphertext_multiply(a0, a1, b0, b1, t0, t1)
+        chip_tensor = []
+        for name in (y0, y1, y2):
+            data, dt = drv.read_polynomial(name)
+            worker.io_seconds += dt
+            chip_tensor.append(data)
+        reference = self._reference_for(session)
+        expected = reference.ciphertext_multiply(
+            (a.polys[0].coeffs, a.polys[1].coeffs),
+            (b.polys[0].coeffs, b.polys[1].coeffs),
+        )
+        if chip_tensor != expected:
+            raise BackendError(
+                f"chip {worker.index} mod-q tensor diverged from the "
+                "software reference — datapath fault"
+            )
+        return report.cycles
+
+    def _reference_for(self, session: Session) -> SoftwareBfv:
+        if session.digest not in self._mod_q_reference:
+            self._mod_q_reference[session.digest] = SoftwareBfv(
+                RnsBasis([session.params.q]), session.params.n
+            )
+        return self._mod_q_reference[session.digest]
+
+
+# ----------------------------------------------------------------------
+# Software (SEAL-style CPU) baseline
+# ----------------------------------------------------------------------
+
+
+class SoftwareBackend(Backend):
+    """Exact results through the pure-Python engine, priced like SEAL.
+
+    Per-op latency comes from the Fig. 6-calibrated
+    :class:`~repro.baselines.software.CpuCostModel` (the ciphertext tensor)
+    plus the SEAL microbenchmark anchors in
+    :class:`~repro.apps.costmodel.CpuAppCost` for add/ct*pt. Jobs run
+    serially: the aggregate wall time is the plain sum.
+    """
+
+    name = "software"
+
+    #: SEAL's relinearization costs roughly one more tensor's worth of NTT
+    #: work at these digit counts; priced as one extra tensor.
+    RELIN_TENSOR_EQUIV = 1.0
+
+    def __init__(self, threads: int = 1):
+        super().__init__()
+        self.threads = threads
+        self.cost = CpuCostModel()
+        self._elapsed = 0.0
+
+    def wall_seconds(self) -> float:
+        return self._elapsed
+
+    def execute_batch(
+        self, batch_id: int, jobs: list[Job], registry: SessionRegistry
+    ) -> BatchReport:
+        batch_seconds = 0.0
+        for job in jobs:
+            try:
+                session, result, workload = self._run_job(registry, job)
+                seconds = self._job_seconds(session, job, workload)
+            except Exception as exc:  # noqa: BLE001 — jobs must fail alone
+                self._fail_job(job, batch_id, self.name, exc)
+                continue
+            job.finish(result)
+            job.metrics.backend = self.name
+            job.metrics.batch_id = batch_id
+            job.metrics.seconds = seconds
+            batch_seconds += seconds
+            self.jobs_done += 1
+        self._elapsed += batch_seconds
+        return BatchReport(
+            batch_id=batch_id, backend=self.name, worker=0,
+            jobs=len(jobs), cycles=0, seconds=batch_seconds,
+        )
+
+    def _job_seconds(
+        self, session: Session, job: Job, workload: Workload | None
+    ) -> float:
+        params = session.params
+        if workload is not None:
+            return CpuAppCost().workload_seconds(workload)["total_s"]
+        # Scale the SEAL anchors (measured at n = 2^12, 2 towers) to the
+        # session's degree and tower count.
+        anchor_scale = (params.n / 2**12) * (params.cpu_tower_count / 2)
+        if job.kind in (JobKind.ADD, JobKind.SUB):
+            return CpuAppCost.ADD_US * 1e-6 * anchor_scale
+        tensor = self.cost.ciphertext_mult_ms(params, self.threads) * 1e-3
+        if job.kind is JobKind.RELINEARIZE:
+            return tensor * self.RELIN_TENSOR_EQUIV
+        if job.kind is JobKind.ROTATE:
+            return tensor * self.RELIN_TENSOR_EQUIV
+        # MULTIPLY / SQUARE (+ relin when the session holds a key)
+        if session.relin is not None:
+            return tensor * (1.0 + self.RELIN_TENSOR_EQUIV)
+        return tensor
+
+
+# ----------------------------------------------------------------------
+# Vectorized numpy backend
+# ----------------------------------------------------------------------
+
+
+class FastNttBackend(Backend):
+    """The numpy fast path: measured (not modeled) wall time.
+
+    The registry's fast engine replaces the exact multiplier with
+    :class:`~repro.polymath.fastntt.RnsExactMultiplier`, so every tensor
+    runs through vectorized word-sized NTTs. Results stay bit-exact with
+    the other backends; the latency recorded is a real measurement.
+    """
+
+    name = "fastntt"
+
+    def __init__(self):
+        super().__init__()
+        self._elapsed = 0.0
+
+    def wall_seconds(self) -> float:
+        return self._elapsed
+
+    def _engine(self, registry: SessionRegistry, session: Session) -> Bfv:
+        try:
+            return registry.fast_engine(session)
+        except ValueError as exc:
+            raise BackendError(
+                f"moduli do not permit the fastntt backend for session "
+                f"{session.session_id}: {exc}"
+            ) from exc
+
+    def execute_batch(
+        self, batch_id: int, jobs: list[Job], registry: SessionRegistry
+    ) -> BatchReport:
+        batch_seconds = 0.0
+        for job in jobs:
+            start = time.perf_counter()
+            try:
+                session, result, _workload = self._run_job(registry, job)
+            except Exception as exc:  # noqa: BLE001 — jobs must fail alone
+                self._fail_job(job, batch_id, self.name, exc)
+                continue
+            seconds = time.perf_counter() - start
+            job.finish(result)
+            job.metrics.backend = self.name
+            job.metrics.batch_id = batch_id
+            job.metrics.seconds = seconds
+            batch_seconds += seconds
+            self.jobs_done += 1
+        self._elapsed += batch_seconds
+        return BatchReport(
+            batch_id=batch_id, backend=self.name, worker=0,
+            jobs=len(jobs), cycles=0, seconds=batch_seconds,
+        )

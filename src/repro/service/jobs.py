@@ -1,0 +1,118 @@
+"""Encrypted-job model: what tenants submit and what comes back.
+
+A :class:`Job` is one unit of queued work: either a raw homomorphic
+operation on uploaded ciphertexts (add/sub/multiply/square/relinearize/
+rotate) or an application-level workload (a CryptoNets inference or a
+logistic-regression batch) whose operation mix rides through the same
+scheduler. Jobs carry their own metrics so the serving layer can report
+per-job latency alongside the aggregate throughput tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.bfv.scheme import Ciphertext
+
+
+class JobKind(Enum):
+    """The operation a job requests."""
+
+    ADD = "add"
+    SUB = "sub"
+    MULTIPLY = "multiply"  # Eq. 4 tensor + relinearization (if key present)
+    SQUARE = "square"
+    RELINEARIZE = "relinearize"
+    ROTATE = "rotate"
+    LOGREG = "logreg"  # app-level: MiniLogisticRegression batch
+    CRYPTONETS = "cryptonets"  # app-level: MiniCryptoNets inference
+
+    @property
+    def is_app(self) -> bool:
+        return self in (JobKind.LOGREG, JobKind.CRYPTONETS)
+
+
+#: Operand count per raw-op kind (app jobs take a payload instead).
+OPERAND_ARITY = {
+    JobKind.ADD: 2,
+    JobKind.SUB: 2,
+    JobKind.MULTIPLY: 2,
+    JobKind.SQUARE: 1,
+    JobKind.RELINEARIZE: 1,
+    JobKind.ROTATE: 1,
+}
+
+
+class JobStatus(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class JobMetrics:
+    """Per-job accounting filled in by the backend that executed it.
+
+    ``cycles`` is chip-pool cycle accounting (0 for CPU-side backends);
+    ``seconds`` is the backend's latency estimate or measurement for this
+    job alone. ``submitted_seq``/``dispatched_seq`` are global sequence
+    numbers the fairness tests use to prove no tenant starves.
+    """
+
+    backend: str = ""
+    worker: int = -1
+    batch_id: int = -1
+    cycles: int = 0
+    seconds: float = 0.0
+    submitted_seq: int = -1
+    dispatched_seq: int = -1
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One queued unit of encrypted work."""
+
+    session_id: str
+    tenant: str
+    kind: JobKind
+    operands: list[Ciphertext] = field(default_factory=list)
+    steps: int = 0  # rotation amount (ROTATE only)
+    payload: object = None  # app-level inputs (samples / images)
+    backend: str = ""  # requested backend name ("" = service default)
+    job_id: str = field(default_factory=lambda: f"j{next(_job_ids):05d}")
+    status: JobStatus = JobStatus.QUEUED
+    result: object = None  # Ciphertext for raw ops, app output otherwise
+    error: str | None = None
+    metrics: JobMetrics = field(default_factory=JobMetrics)
+
+    def __post_init__(self):
+        if self.kind.is_app:
+            if self.operands:
+                raise ValueError(f"{self.kind.value} jobs take a payload, not operands")
+            if self.payload is None:
+                raise ValueError(f"{self.kind.value} jobs need a payload")
+        else:
+            arity = OPERAND_ARITY[self.kind]
+            if len(self.operands) != arity:
+                raise ValueError(
+                    f"{self.kind.value} takes {arity} operand(s), "
+                    f"got {len(self.operands)}"
+                )
+
+    @property
+    def done(self) -> bool:
+        return self.status in (JobStatus.DONE, JobStatus.FAILED)
+
+    def fail(self, message: str) -> None:
+        self.status = JobStatus.FAILED
+        self.error = message
+
+    def finish(self, result: object) -> None:
+        self.result = result
+        self.status = JobStatus.DONE

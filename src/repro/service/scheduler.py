@@ -1,0 +1,159 @@
+"""Batching scheduler: fair multi-tenant packing over compute backends.
+
+Jobs land in per-tenant FIFO queues. Batches are formed round-robin across
+tenants — one job per tenant per rotation — so a tenant flooding the queue
+cannot starve a light one (the fairness property the service tests prove
+with dispatch sequence numbers). A batch only packs *compatible* jobs:
+same parameter digest and same requested backend, so a chip worker
+programs its modulus and twiddle tables once per batch and the registry's
+cached evaluation engine is shared across every job in it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.service.backends import Backend, BatchReport
+from repro.service.jobs import Job, JobStatus
+from repro.service.registry import SessionRegistry
+
+#: A batch's compatibility key: (params digest, backend name).
+BatchKey = tuple[bytes, str]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate accounting across every dispatched batch."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    batches: list[BatchReport] = field(default_factory=list)
+    per_tenant: dict[str, int] = field(default_factory=dict)
+
+    def record(self, report: BatchReport, jobs: list[Job]) -> None:
+        self.batches.append(report)
+        for job in jobs:
+            if job.status is JobStatus.FAILED:
+                self.jobs_failed += 1
+            else:
+                self.jobs_completed += 1
+            self.per_tenant[job.tenant] = self.per_tenant.get(job.tenant, 0) + 1
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(b.cycles for b in self.batches)
+
+
+class BatchingScheduler:
+    """Round-robin fair batching over per-tenant queues.
+
+    Args:
+        registry: the shared session registry.
+        backends: backend instances keyed by name; ``default`` names the
+            one used when a job does not request a backend.
+        max_batch: largest number of jobs packed into one batch.
+    """
+
+    def __init__(self, registry: SessionRegistry, backends: dict[str, Backend],
+                 default: str, max_batch: int = 8):
+        if max_batch < 1:
+            raise ValueError("batches need room for at least one job")
+        if default not in backends:
+            raise ValueError(f"default backend {default!r} not in {sorted(backends)}")
+        self.registry = registry
+        self.backends = backends
+        self.default = default
+        self.max_batch = max_batch
+        self._queues: dict[str, deque[Job]] = {}
+        self._rotation: deque[str] = deque()
+        self._submit_seq = 0
+        self._dispatch_seq = 0
+        self._batch_ids = 0
+        self.stats = ServiceStats()
+
+    # -- intake -------------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        self.registry.get(job.session_id)  # fail fast on unknown sessions
+        if not job.backend:
+            job.backend = self.default
+        if job.backend not in self.backends:
+            raise ValueError(
+                f"unknown backend {job.backend!r} (have {sorted(self.backends)})"
+            )
+        job.metrics.submitted_seq = self._submit_seq
+        self._submit_seq += 1
+        if job.tenant not in self._queues:
+            self._queues[job.tenant] = deque()
+            self._rotation.append(job.tenant)
+        self._queues[job.tenant].append(job)
+        self.stats.jobs_submitted += 1
+        return job
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # -- batch formation ------------------------------------------------------
+
+    def _job_key(self, job: Job) -> BatchKey:
+        return (self.registry.get(job.session_id).digest, job.backend)
+
+    def next_batch(self) -> tuple[BatchKey, list[Job]] | None:
+        """Form the next batch, or ``None`` when every queue is empty.
+
+        The rotation pointer advances one tenant per call, and the batch's
+        compatibility key is fixed by that tenant's head job — so over
+        consecutive calls every tenant's work leads a batch, regardless of
+        how many jobs anyone else has queued. Within the batch, jobs are
+        taken one per tenant per rotation (only matching queue heads), up
+        to ``max_batch``.
+        """
+        if self.pending == 0:
+            return None
+        # Advance the rotation to the next tenant with pending work.
+        while not self._queues[self._rotation[0]]:
+            self._rotation.rotate(-1)
+        lead = self._rotation[0]
+        key = self._job_key(self._queues[lead][0])
+        self._rotation.rotate(-1)  # next call starts at the following tenant
+        batch: list[Job] = []
+        # Round-robin passes starting at the lead tenant.
+        order = [lead] + [t for t in self._rotation if t != lead]
+        progress = True
+        while progress and len(batch) < self.max_batch:
+            progress = False
+            for tenant in order:
+                queue = self._queues[tenant]
+                if queue and self._job_key(queue[0]) == key:
+                    batch.append(queue.popleft())
+                    progress = True
+                    if len(batch) >= self.max_batch:
+                        break
+        return key, batch
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def step(self) -> BatchReport | None:
+        """Form and execute one batch; returns its report (None if idle)."""
+        formed = self.next_batch()
+        if formed is None:
+            return None
+        (_, backend_name), jobs = formed
+        backend = self.backends[backend_name]
+        self._batch_ids += 1
+        for job in jobs:
+            job.status = JobStatus.RUNNING
+            job.metrics.dispatched_seq = self._dispatch_seq
+            self._dispatch_seq += 1
+        report = backend.execute_batch(self._batch_ids, jobs, self.registry)
+        self.stats.record(report, jobs)
+        return report
+
+    def run_all(self) -> ServiceStats:
+        """Drain every queue."""
+        while self.step() is not None:
+            pass
+        return self.stats

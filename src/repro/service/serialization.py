@@ -1,0 +1,373 @@
+"""Versioned, deterministic wire format for every servable FHE object.
+
+Before this module, ciphertexts and keys existed only as in-memory Python
+objects — nothing could cross a process boundary, so the library could not
+be served. The format here is deliberately simple and fully deterministic
+(the property tests assert bit-exact round trips):
+
+```
+message  := MAGIC(4) | VERSION(1) | TAG(1) | body | CRC32(4)
+bigint   := u32 length | big-endian bytes (minimal; zero -> length 0)
+poly     := packed coefficients, fixed width = ceil(bits(q)/8) each
+```
+
+Every object bound to a parameter set (ciphertexts, evaluation keys)
+embeds the 32-byte **params digest** — a SHA-256 over the canonical
+parameter encoding — so a receiver can reject material from an
+incompatible session *before* touching any polynomial math. The CRC32
+trailer catches transport corruption; out-of-range packed coefficients
+are rejected by :meth:`repro.polymath.poly.PolynomialRing.unpack`.
+
+Secret keys are deliberately **not** serializable: the serving layer's
+contract is that secrets never cross the wire — clients encrypt, upload
+evaluation keys, and decrypt locally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+
+from repro.bfv.keys import PublicKey, RelinKey
+from repro.bfv.params import BfvParameters
+from repro.bfv.rotation import GaloisKey
+from repro.bfv.scheme import Ciphertext
+from repro.polymath.poly import Polynomial, PolynomialRing
+from repro.polymath.rns import RnsBasis
+
+MAGIC = b"CFHE"
+WIRE_VERSION = 1
+
+TAG_PARAMS = 0x01
+TAG_POLYNOMIAL = 0x02
+TAG_CIPHERTEXT = 0x03
+TAG_PUBLIC_KEY = 0x04
+TAG_RELIN_KEY = 0x05
+TAG_GALOIS_KEY = 0x06
+
+_TAG_NAMES = {
+    TAG_PARAMS: "params",
+    TAG_POLYNOMIAL: "polynomial",
+    TAG_CIPHERTEXT: "ciphertext",
+    TAG_PUBLIC_KEY: "public-key",
+    TAG_RELIN_KEY: "relin-key",
+    TAG_GALOIS_KEY: "galois-key",
+}
+
+DIGEST_BYTES = 32
+
+
+class WireFormatError(ValueError):
+    """Malformed, truncated, corrupted, or unsupported wire bytes."""
+
+
+class ParamsMismatchError(WireFormatError):
+    """The embedded params digest does not match the receiving session."""
+
+
+# ----------------------------------------------------------------------
+# Primitive encoders/decoders
+# ----------------------------------------------------------------------
+
+
+def _u16(value: int) -> bytes:
+    return value.to_bytes(2, "big")
+
+
+def _u32(value: int) -> bytes:
+    return value.to_bytes(4, "big")
+
+
+def _bigint(value: int) -> bytes:
+    if value < 0:
+        raise ValueError("wire bigints are unsigned")
+    raw = value.to_bytes((value.bit_length() + 7) // 8, "big")
+    return _u32(len(raw)) + raw
+
+
+class _Reader:
+    """Cursor over a message body with strict bounds checking."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise WireFormatError(
+                f"truncated message: wanted {count} bytes at offset "
+                f"{self._pos}, only {len(self._data) - self._pos} left"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u16(self) -> int:
+        return int.from_bytes(self.take(2), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self.take(4), "big")
+
+    def bigint(self) -> int:
+        return int.from_bytes(self.take(self.u32()), "big")
+
+    def double(self) -> float:
+        return struct.unpack(">d", self.take(8))[0]
+
+    def done(self) -> None:
+        if self._pos != len(self._data):
+            raise WireFormatError(
+                f"{len(self._data) - self._pos} trailing bytes after message body"
+            )
+
+
+def _frame(tag: int, body: bytes) -> bytes:
+    """Wrap a body in the header + CRC32 trailer."""
+    head = MAGIC + bytes((WIRE_VERSION, tag)) + body
+    return head + _u32(zlib.crc32(head))
+
+
+def _unframe(data: bytes, expected_tag: int) -> _Reader:
+    """Validate header/checksum and return a reader over the body."""
+    if len(data) < len(MAGIC) + 2 + 4:
+        raise WireFormatError(f"message too short ({len(data)} bytes)")
+    if data[: len(MAGIC)] != MAGIC:
+        raise WireFormatError("bad magic: not a CFHE wire message")
+    version = data[len(MAGIC)]
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (this build speaks "
+            f"{WIRE_VERSION})"
+        )
+    crc = int.from_bytes(data[-4:], "big")
+    if zlib.crc32(data[:-4]) != crc:
+        raise WireFormatError("checksum mismatch: message corrupted in transit")
+    tag = data[len(MAGIC) + 1]
+    if tag != expected_tag:
+        raise WireFormatError(
+            f"expected a {_TAG_NAMES.get(expected_tag, expected_tag)} message, "
+            f"got {_TAG_NAMES.get(tag, f'tag {tag}')}"
+        )
+    return _Reader(data[len(MAGIC) + 2 : -4])
+
+
+def peek_tag(data: bytes) -> int:
+    """Return the type tag of a wire message without decoding it."""
+    if len(data) < len(MAGIC) + 2 or data[: len(MAGIC)] != MAGIC:
+        raise WireFormatError("not a CFHE wire message")
+    return data[len(MAGIC) + 1]
+
+
+# ----------------------------------------------------------------------
+# Parameter sets and their digest
+# ----------------------------------------------------------------------
+
+
+def _params_body(params: BfvParameters) -> bytes:
+    parts = [
+        _u32(params.n),
+        _bigint(params.q),
+        _bigint(params.t),
+        struct.pack(">d", params.sigma),
+    ]
+    for basis in (params.cpu_basis, params.cofhee_basis):
+        moduli = () if basis is None else tuple(basis.moduli)
+        parts.append(_u16(len(moduli)))
+        parts.extend(_bigint(m) for m in moduli)
+    return b"".join(parts)
+
+
+def params_digest(params: BfvParameters) -> bytes:
+    """SHA-256 over the canonical parameter encoding (32 bytes).
+
+    Two parameter sets with identical ``(n, q, t, sigma)`` and RNS bases
+    digest identically regardless of how the objects were constructed —
+    this is the session-compatibility token the registry keys on.
+    """
+    return hashlib.sha256(_params_body(params)).digest()
+
+
+def serialize_params(params: BfvParameters) -> bytes:
+    return _frame(TAG_PARAMS, _params_body(params))
+
+
+def deserialize_params(data: bytes) -> BfvParameters:
+    reader = _unframe(data, TAG_PARAMS)
+    n = reader.u32()
+    q = reader.bigint()
+    t = reader.bigint()
+    sigma = reader.double()
+    bases: list[RnsBasis | None] = []
+    for _ in range(2):
+        count = reader.u16()
+        moduli = [reader.bigint() for _ in range(count)]
+        bases.append(RnsBasis(moduli) if moduli else None)
+    reader.done()
+    return BfvParameters(
+        n=n, q=q, t=t, sigma=sigma, cpu_basis=bases[0], cofhee_basis=bases[1]
+    )
+
+
+# ----------------------------------------------------------------------
+# Polynomials
+# ----------------------------------------------------------------------
+
+#: Ring cache so repeated deserialization never rebuilds NTT contexts.
+_RING_CACHE: dict[tuple[int, int], PolynomialRing] = {}
+
+
+def _ring(n: int, q: int) -> PolynomialRing:
+    key = (n, q)
+    if key not in _RING_CACHE:
+        _RING_CACHE[key] = PolynomialRing(n, q, allow_non_ntt=True)
+    return _RING_CACHE[key]
+
+
+def serialize_polynomial(poly: Polynomial) -> bytes:
+    body = _u32(poly.ring.n) + _bigint(poly.ring.q) + poly.pack()
+    return _frame(TAG_POLYNOMIAL, body)
+
+
+def deserialize_polynomial(data: bytes) -> Polynomial:
+    reader = _unframe(data, TAG_POLYNOMIAL)
+    n = reader.u32()
+    q = reader.bigint()
+    if n < 2 or n & (n - 1):
+        raise WireFormatError(f"invalid polynomial degree {n}")
+    if q < 2:
+        raise WireFormatError(f"invalid modulus {q}")
+    ring = _ring(n, q)
+    try:
+        poly = ring.unpack(reader.take(n * ring.coeff_byte_width))
+    except ValueError as exc:
+        raise WireFormatError(str(exc)) from exc
+    reader.done()
+    return poly
+
+
+def _check_digest(found: bytes, params: BfvParameters, what: str) -> None:
+    expected = params_digest(params)
+    if found != expected:
+        raise ParamsMismatchError(
+            f"{what} was produced under parameter digest {found.hex()[:16]}…, "
+            f"but the session uses {expected.hex()[:16]}…"
+        )
+
+
+def _pack_ring_polys(polys, params: BfvParameters) -> bytes:
+    for p in polys:
+        if p.ring.n != params.n or p.ring.q != params.q:
+            raise ValueError(
+                f"polynomial ring {p.ring} does not match params "
+                f"(n={params.n}, q={params.q})"
+            )
+    return b"".join(p.pack() for p in polys)
+
+
+def _unpack_ring_polys(reader: _Reader, count: int, params: BfvParameters):
+    ring = _ring(params.n, params.q)
+    width = params.n * ring.coeff_byte_width
+    try:
+        return [ring.unpack(reader.take(width)) for _ in range(count)]
+    except ValueError as exc:
+        raise WireFormatError(str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# Ciphertexts
+# ----------------------------------------------------------------------
+
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    body = (
+        params_digest(ct.params)
+        + _u16(ct.size)
+        + _pack_ring_polys(ct.polys, ct.params)
+    )
+    return _frame(TAG_CIPHERTEXT, body)
+
+
+def deserialize_ciphertext(data: bytes, params: BfvParameters) -> Ciphertext:
+    reader = _unframe(data, TAG_CIPHERTEXT)
+    _check_digest(reader.take(DIGEST_BYTES), params, "ciphertext")
+    size = reader.u16()
+    if size < 1:
+        raise WireFormatError("ciphertext must have at least one component")
+    polys = _unpack_ring_polys(reader, size, params)
+    reader.done()
+    return Ciphertext(polys, params)
+
+
+# ----------------------------------------------------------------------
+# Evaluation keys
+# ----------------------------------------------------------------------
+
+
+def serialize_public_key(key: PublicKey, params: BfvParameters) -> bytes:
+    body = params_digest(params) + _pack_ring_polys((key.kp1, key.kp2), params)
+    return _frame(TAG_PUBLIC_KEY, body)
+
+
+def deserialize_public_key(data: bytes, params: BfvParameters) -> PublicKey:
+    reader = _unframe(data, TAG_PUBLIC_KEY)
+    _check_digest(reader.take(DIGEST_BYTES), params, "public key")
+    kp1, kp2 = _unpack_ring_polys(reader, 2, params)
+    reader.done()
+    return PublicKey(kp1=kp1, kp2=kp2)
+
+
+def _key_rows_body(rows, params: BfvParameters) -> bytes:
+    parts = [_u16(len(rows))]
+    for b_i, a_i in rows:
+        parts.append(_pack_ring_polys((b_i, a_i), params))
+    return b"".join(parts)
+
+
+def _read_key_rows(reader: _Reader, params: BfvParameters):
+    count = reader.u16()
+    if count < 1:
+        raise WireFormatError("key-switching key needs at least one row")
+    rows = []
+    for _ in range(count):
+        b_i, a_i = _unpack_ring_polys(reader, 2, params)
+        rows.append((b_i, a_i))
+    return tuple(rows)
+
+
+def serialize_relin_key(key: RelinKey, params: BfvParameters) -> bytes:
+    body = (
+        params_digest(params)
+        + _u16(key.digit_bits)
+        + _key_rows_body(key.rows, params)
+    )
+    return _frame(TAG_RELIN_KEY, body)
+
+
+def deserialize_relin_key(data: bytes, params: BfvParameters) -> RelinKey:
+    reader = _unframe(data, TAG_RELIN_KEY)
+    _check_digest(reader.take(DIGEST_BYTES), params, "relin key")
+    digit_bits = reader.u16()
+    rows = _read_key_rows(reader, params)
+    reader.done()
+    return RelinKey(rows=rows, digit_bits=digit_bits)
+
+
+def serialize_galois_key(key: GaloisKey, params: BfvParameters) -> bytes:
+    body = (
+        params_digest(params)
+        + _u32(key.exponent)
+        + _u16(key.digit_bits)
+        + _key_rows_body(key.rows, params)
+    )
+    return _frame(TAG_GALOIS_KEY, body)
+
+
+def deserialize_galois_key(data: bytes, params: BfvParameters) -> GaloisKey:
+    reader = _unframe(data, TAG_GALOIS_KEY)
+    _check_digest(reader.take(DIGEST_BYTES), params, "galois key")
+    exponent = reader.u32()
+    digit_bits = reader.u16()
+    rows = _read_key_rows(reader, params)
+    reader.done()
+    return GaloisKey(exponent=exponent, rows=rows, digit_bits=digit_bits)

@@ -1,0 +1,208 @@
+"""The service front door: a synchronous in-process ``submit/poll/result`` API.
+
+:class:`FheServer` is what a transport (HTTP, gRPC, a message queue — see
+the ROADMAP open items) would wrap. Everything crossing this boundary is
+wire bytes: parameter sets, evaluation keys, ciphertext operands, and
+ciphertext results all travel in the :mod:`repro.service.serialization`
+format, so the server genuinely works across a process boundary even
+though this build runs it in-process.
+
+The execution model is cooperative: ``poll`` advances the scheduler by at
+most one batch per call (an event-loop tick), and ``result`` drives it to
+completion for the requested job. ``run`` drains everything.
+"""
+
+from __future__ import annotations
+
+from repro.bfv.params import BfvParameters
+from repro.bfv.scheme import Ciphertext
+from repro.service.backends import (
+    Backend,
+    ChipPoolBackend,
+    FastNttBackend,
+    SoftwareBackend,
+    default_app_params,
+)
+from repro.service.jobs import Job, JobKind, JobStatus
+from repro.service.registry import Session, SessionRegistry
+from repro.service.scheduler import BatchingScheduler, ServiceStats
+from repro.service.serialization import (
+    deserialize_galois_key,
+    deserialize_params,
+    deserialize_public_key,
+    deserialize_relin_key,
+    serialize_ciphertext,
+)
+
+
+class FheServer:
+    """Multi-tenant FHE serving endpoint.
+
+    Args:
+        pool_size: chips in the cycle-accurate pool backend.
+        max_batch: scheduler batch size.
+        default_backend: backend used when a request names none
+            (``chip_pool``, ``software``, or ``fastntt``).
+    """
+
+    def __init__(self, pool_size: int = 4, max_batch: int = 8,
+                 default_backend: str = "chip_pool"):
+        self.registry = SessionRegistry()
+        self.chip_pool = ChipPoolBackend(pool_size=pool_size)
+        self.backends: dict[str, Backend] = {
+            "chip_pool": self.chip_pool,
+            "software": SoftwareBackend(),
+            "fastntt": FastNttBackend(),
+        }
+        self.scheduler = BatchingScheduler(
+            self.registry, self.backends, default=default_backend,
+            max_batch=max_batch,
+        )
+        self._jobs: dict[str, Job] = {}
+
+    # ------------------------------------------------------------------
+    # Session management (wire-format inputs)
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self,
+        tenant: str,
+        params: bytes | BfvParameters,
+        *,
+        public_key: bytes | None = None,
+        relin_key: bytes | None = None,
+        galois_keys: tuple[bytes, ...] = (),
+    ) -> str:
+        """Open a tenant session from serialized parameters and keys."""
+        if isinstance(params, (bytes, bytearray)):
+            params = deserialize_params(bytes(params))
+        public = (
+            deserialize_public_key(public_key, params)
+            if public_key is not None else None
+        )
+        relin = (
+            deserialize_relin_key(relin_key, params)
+            if relin_key is not None else None
+        )
+        galois = tuple(deserialize_galois_key(g, params) for g in galois_keys)
+        session = self.registry.open_session(
+            tenant, params, public=public, relin=relin, galois=galois
+        )
+        return session.session_id
+
+    def open_app_session(self, tenant: str, kind: JobKind) -> str:
+        """Open a session on the canonical parameter set of a mini app."""
+        session = self.registry.open_session(tenant, default_app_params(kind))
+        return session.session_id
+
+    def session(self, session_id: str) -> Session:
+        return self.registry.get(session_id)
+
+    # ------------------------------------------------------------------
+    # Job intake
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        session_id: str,
+        kind: JobKind | str,
+        operands: tuple[bytes | Ciphertext, ...] = (),
+        *,
+        steps: int = 0,
+        payload: object = None,
+        backend: str = "",
+    ) -> str:
+        """Queue one job; operands may be wire bytes or Ciphertext objects.
+
+        Returns the job id to ``poll``/``result`` against.
+        """
+        if isinstance(kind, str):
+            kind = JobKind(kind)
+        session = self.registry.get(session_id)
+        decoded = [
+            self.registry.ingest_ciphertext(session, op)
+            if isinstance(op, (bytes, bytearray)) else op
+            for op in operands
+        ]
+        job = Job(
+            session_id=session_id,
+            tenant=session.tenant,
+            kind=kind,
+            operands=decoded,
+            steps=steps,
+            payload=payload,
+            backend=backend,
+        )
+        self.scheduler.submit(job)
+        self._jobs[job.job_id] = job
+        return job.job_id
+
+    # ------------------------------------------------------------------
+    # Progress and results
+    # ------------------------------------------------------------------
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def poll(self, job_id: str) -> JobStatus:
+        """Report a job's status, advancing the scheduler one batch tick."""
+        job = self._job(job_id)
+        if not job.done:
+            self.scheduler.step()
+        return job.status
+
+    def result(self, job_id: str, wire: bool = True) -> object:
+        """Block (drive the scheduler) until the job finishes.
+
+        Raw-op results return as wire bytes by default — the server hands
+        back exactly what would cross a transport. ``wire=False`` returns
+        the in-memory object; app-level results are always objects.
+
+        Raises:
+            RuntimeError: if the job failed (message carries the cause).
+        """
+        job = self._job(job_id)
+        while not job.done:
+            if self.scheduler.step() is None:
+                break
+        if job.status is JobStatus.FAILED:
+            raise RuntimeError(f"job {job_id} failed: {job.error}")
+        if not job.done:
+            raise RuntimeError(f"job {job_id} is still {job.status.value}")
+        if wire and isinstance(job.result, Ciphertext):
+            return serialize_ciphertext(job.result)
+        return job.result
+
+    def job_metrics(self, job_id: str):
+        return self._job(job_id).metrics
+
+    def run(self) -> ServiceStats:
+        """Drain every queued job."""
+        return self.scheduler.run_all()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def throughput_rows(self) -> list[dict]:
+        """Per-backend throughput summary (jobs/sec over attributed time)."""
+        rows = []
+        for name, backend in sorted(self.backends.items()):
+            if backend.jobs_done == 0:
+                continue
+            wall = backend.wall_seconds()
+            row = {
+                "backend": backend.name,
+                "jobs": backend.jobs_done,
+                "wall_s": wall,
+                "jobs_per_s": backend.jobs_done / wall if wall > 0 else float("inf"),
+            }
+            if isinstance(backend, ChipPoolBackend):
+                row["pool"] = len(backend.workers)
+                row["wall_cycles"] = backend.wall_cycles
+                row["total_cycles"] = backend.total_cycles
+            rows.append(row)
+        return rows

@@ -1,0 +1,162 @@
+"""Front-door API: submit/poll/result over wire bytes, all three backends."""
+
+import random
+
+import pytest
+
+from repro.bfv import BatchEncoder, Bfv, BfvParameters, RotationEngine
+from repro.service.jobs import JobKind, JobStatus
+from repro.service.serialization import (
+    deserialize_ciphertext,
+    serialize_ciphertext,
+    serialize_galois_key,
+    serialize_params,
+    serialize_relin_key,
+)
+from repro.service.server import FheServer
+
+PARAMS = BfvParameters.toy(n=16, log_q=80)
+
+
+@pytest.fixture(scope="module")
+def client():
+    bfv = Bfv(PARAMS, seed=77)
+    keys = bfv.keygen(relin_digit_bits=12)
+    encoder = BatchEncoder(PARAMS)
+    rotor = RotationEngine(bfv, keys.secret, digit_bits=12)
+    return bfv, keys, encoder, rotor
+
+
+@pytest.fixture
+def server():
+    return FheServer(pool_size=2, max_batch=4)
+
+
+def _open(server, client):
+    bfv, keys, encoder, rotor = client
+    return server.open_session(
+        "acme",
+        serialize_params(PARAMS),
+        relin_key=serialize_relin_key(keys.relin, PARAMS),
+        galois_keys=(
+            serialize_galois_key(rotor.galois_key(pow(3, 1, 2 * PARAMS.n)), PARAMS),
+        ),
+    )
+
+
+def _encrypt(client, values):
+    bfv, keys, encoder, _ = client
+    return bfv.encrypt(encoder.encode(values), keys.public)
+
+
+class TestSubmitPollResult:
+    def test_multiply_over_wire(self, server, client):
+        bfv, keys, encoder, _ = client
+        sid = _open(server, client)
+        a, b = [3, 1, 4, 1, 5], [2, 7, 1, 8, 2]
+        ja = _encrypt(client, a)
+        jb = _encrypt(client, b)
+        jid = server.submit(
+            sid, JobKind.MULTIPLY,
+            (serialize_ciphertext(ja), serialize_ciphertext(jb)),
+        )
+        assert server.poll(jid) in (JobStatus.QUEUED, JobStatus.DONE)
+        wire = server.result(jid)
+        assert isinstance(wire, bytes)
+        result = deserialize_ciphertext(wire, PARAMS)
+        slots = encoder.decode(bfv.decrypt(result, keys.secret))
+        assert slots[:5] == [(x * y) % PARAMS.t for x, y in zip(a, b)]
+        assert server.poll(jid) is JobStatus.DONE
+
+    def test_rotate_matches_client_side(self, server, client):
+        bfv, keys, encoder, rotor = client
+        sid = _open(server, client)
+        ct = _encrypt(client, list(range(PARAMS.n)))
+        jid = server.submit(sid, JobKind.ROTATE,
+                            (serialize_ciphertext(ct),), steps=1)
+        result = server.result(jid, wire=False)
+        local = rotor.rotate_rows(ct, 1)
+        assert bfv.decrypt(result, keys.secret) == bfv.decrypt(local, keys.secret)
+
+    def test_string_kind_accepted(self, server, client):
+        sid = _open(server, client)
+        ct = _encrypt(client, [1, 2])
+        jid = server.submit(sid, "add", (ct, ct))
+        assert server.result(jid, wire=False).size == 2
+
+    def test_failed_job_raises_with_cause(self, server, client):
+        sid = server.open_session("nokeys", serialize_params(PARAMS))
+        ct = _encrypt(client, [1])
+        jid = server.submit(sid, JobKind.SQUARE, (ct,))
+        with pytest.raises(RuntimeError, match="relinearization key"):
+            server.result(jid)
+
+    def test_unknown_job(self, server):
+        with pytest.raises(KeyError):
+            server.poll("j99999")
+
+
+class TestBackendAgreement:
+    def test_all_backends_bit_identical(self, server, client):
+        """chip_pool, software, and fastntt return the same wire bytes."""
+        bfv, keys, encoder, _ = client
+        sid = _open(server, client)
+        rng = random.Random(4)
+        a = _encrypt(client, [rng.randrange(32) for _ in range(PARAMS.n)])
+        b = _encrypt(client, [rng.randrange(32) for _ in range(PARAMS.n)])
+        operands = (serialize_ciphertext(a), serialize_ciphertext(b))
+        results = {}
+        for backend in ("chip_pool", "software", "fastntt"):
+            jid = server.submit(sid, JobKind.MULTIPLY, operands, backend=backend)
+            results[backend] = server.result(jid)
+        assert results["chip_pool"] == results["software"] == results["fastntt"]
+        # And the shared result matches local Bfv ground truth.
+        expected = bfv.multiply_relin(a, b, keys.relin)
+        got = deserialize_ciphertext(results["chip_pool"], PARAMS)
+        assert bfv.decrypt(got, keys.secret) == bfv.decrypt(expected, keys.secret)
+
+
+class TestAppJobs:
+    def test_logreg_job(self, server):
+        sid = server.open_app_session("acme", JobKind.LOGREG)
+        samples = [[1, -2, 3, 0, 1, 2], [0, 1, -1, 2, -2, 1]]
+        jid = server.submit(sid, JobKind.LOGREG,
+                            payload={"samples": samples, "seed": 11})
+        result = server.result(jid)
+        assert result["verified"]
+        assert len(result["predictions"]) == len(samples)
+
+    def test_cryptonets_job(self, server):
+        sid = server.open_app_session("globex", JobKind.CRYPTONETS)
+        rng = random.Random(2)
+        images = [[rng.randint(-2, 2) for _ in range(36)] for _ in range(2)]
+        jid = server.submit(sid, JobKind.CRYPTONETS,
+                            payload={"images": images, "seed": 7})
+        result = server.result(jid)
+        assert result["verified"]
+        assert len(result["classes"]) == len(images)
+
+    def test_app_job_metrics_priced(self, server):
+        """App jobs report modeled chip cycles from their op mix."""
+        sid = server.open_app_session("acme", JobKind.LOGREG)
+        jid = server.submit(sid, JobKind.LOGREG,
+                            payload={"samples": [[1, 0, -1]], "seed": 11})
+        server.result(jid)
+        metrics = server.job_metrics(jid)
+        assert metrics.cycles > 0
+        assert metrics.backend.startswith("chip_pool")
+
+
+class TestThroughputReporting:
+    def test_rows_cover_used_backends(self, server, client):
+        sid = _open(server, client)
+        ct = _encrypt(client, [5])
+        for backend in ("chip_pool", "software"):
+            server.submit(sid, JobKind.ADD, (ct, ct), backend=backend)
+        server.run()
+        rows = server.throughput_rows()
+        names = {r["backend"] for r in rows}
+        assert any(n.startswith("chip_pool") for n in names)
+        assert "software" in names
+        for row in rows:
+            assert row["jobs"] >= 1 and row["jobs_per_s"] > 0

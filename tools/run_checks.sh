@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo health check: tier-1 tests + the serving-layer benchmark in smoke
+# mode (one pass, no timing statistics). Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== serving-layer benchmark (smoke) =="
+python -m pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
+
+echo
+echo "all checks passed"
