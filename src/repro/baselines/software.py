@@ -41,11 +41,53 @@ class SoftwareBfv:
     NTTs — the outputs CRT-recombine to the big-modulus tensor mod q.
     """
 
-    def __init__(self, basis: RnsBasis, n: int):
+    def __init__(self, basis: RnsBasis, n: int, use_fast: bool = False):
         self.basis = basis
         self.n = n
-        self._ctx = {q: NttContext(n, q) for q in basis.moduli}
+        self._ctx = {q: self._make_ctx(n, q, use_fast) for q in basis.moduli}
         self.tower_ops = {"ntt": 0, "intt": 0, "hadamard": 0, "add": 0}
+
+    @staticmethod
+    def _make_ctx(n: int, q: int, use_fast: bool):
+        if use_fast and q.bit_length() <= 31:
+            from repro.polymath.fastntt import FastNttContext
+
+            return FastNttContext(n, q)
+        return NttContext(n, q)
+
+    def tower_multiply(
+        self,
+        q: int,
+        ct_a: tuple[Sequence[int], Sequence[int]],
+        ct_b: tuple[Sequence[int], Sequence[int]],
+    ) -> list[list[int]]:
+        """The Eq. 4 tensor on one tower: ``[y0, y1, y2]`` mod ``q``.
+
+        This is the per-tower ground truth the chip pool cross-checks each
+        worker's Algorithm 3 output against.
+        """
+        if q not in self._ctx:
+            raise ValueError(f"modulus {q} is not a tower of {self.basis!r}")
+        ctx = self._ctx[q]
+        a0 = ctx.forward([c % q for c in ct_a[0]])
+        a1 = ctx.forward([c % q for c in ct_a[1]])
+        b0 = ctx.forward([c % q for c in ct_b[0]])
+        b1 = ctx.forward([c % q for c in ct_b[1]])
+        self.tower_ops["ntt"] += 4
+        y0 = [int(x) * int(y) % q for x, y in zip(a0, b0)]
+        y2 = [int(x) * int(y) % q for x, y in zip(a1, b1)]
+        cross1 = [int(x) * int(y) % q for x, y in zip(a0, b1)]
+        cross2 = [int(x) * int(y) % q for x, y in zip(a1, b0)]
+        self.tower_ops["hadamard"] += 4
+        y1 = [(u + v) % q for u, v in zip(cross1, cross2)]
+        self.tower_ops["add"] += 1
+        outs = [
+            [int(c) for c in ctx.inverse(y0)],
+            [int(c) for c in ctx.inverse(y1)],
+            [int(c) for c in ctx.inverse(y2)],
+        ]
+        self.tower_ops["intt"] += 3
+        return outs
 
     def ciphertext_multiply(
         self,
@@ -53,24 +95,9 @@ class SoftwareBfv:
         ct_b: tuple[Sequence[int], Sequence[int]],
     ) -> list[list[int]]:
         """Return the three tensor polynomials mod q (big-modulus form)."""
-        tower_results: list[list[list[int]]] = []
-        for q in self.basis.moduli:
-            ctx = self._ctx[q]
-            a0 = ctx.forward([c % q for c in ct_a[0]])
-            a1 = ctx.forward([c % q for c in ct_a[1]])
-            b0 = ctx.forward([c % q for c in ct_b[0]])
-            b1 = ctx.forward([c % q for c in ct_b[1]])
-            self.tower_ops["ntt"] += 4
-            y0 = [x * y % q for x, y in zip(a0, b0)]
-            y2 = [x * y % q for x, y in zip(a1, b1)]
-            cross1 = [x * y % q for x, y in zip(a0, b1)]
-            cross2 = [x * y % q for x, y in zip(a1, b0)]
-            self.tower_ops["hadamard"] += 4
-            y1 = [(u + v) % q for u, v in zip(cross1, cross2)]
-            self.tower_ops["add"] += 1
-            outs = [ctx.inverse(y0), ctx.inverse(y1), ctx.inverse(y2)]
-            self.tower_ops["intt"] += 3
-            tower_results.append(outs)
+        tower_results = [
+            self.tower_multiply(q, ct_a, ct_b) for q in self.basis.moduli
+        ]
         return [
             self.basis.reconstruct_poly([tw[j] for tw in tower_results])
             for j in range(3)

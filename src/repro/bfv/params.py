@@ -120,6 +120,37 @@ class BfvParameters:
             t = ntt_friendly_prime(n, 12)
         return cls(n=n, q=q, t=t, cpu_basis=RnsBasis([q]), cofhee_basis=RnsBasis([q]))
 
+    @classmethod
+    def toy_rns(
+        cls, n: int = 16, towers: int = 3, tower_bits: int = 20,
+        t: int | None = None,
+    ) -> "BfvParameters":
+        """Small insecure *multi-tower* parameters for tower-sharding tests.
+
+        ``q`` is the product of ``towers`` distinct NTT-friendly primes of
+        ``tower_bits`` bits each, and **both** platform bases use exactly
+        those towers — so every tower is chip-native (``q_i === 1 mod 2n``)
+        and a pool can shard one EvalMult across workers.
+        """
+        if towers < 1:
+            raise ValueError(f"need at least one tower, got {towers}")
+        moduli = plan_towers(towers * tower_bits, tower_bits, n)
+        q = 1
+        for m in moduli:
+            q *= m
+        if t is None:
+            # Smallest batching-friendly width that actually has a prime
+            # (some widths have no q = 2kn + 1 prime at all, e.g. 15 bits
+            # at n = 2^12).
+            bits = max(12, n.bit_length() + 2)
+            while t is None:
+                try:
+                    t = ntt_friendly_prime(n, bits)
+                except ValueError:
+                    bits += 1
+        basis = RnsBasis(moduli)
+        return cls(n=n, q=q, t=t, cpu_basis=basis, cofhee_basis=basis)
+
     def describe(self) -> str:
         return (
             f"BFV(n=2^{self.n.bit_length() - 1}, log q={self.log_q}, t={self.t}, "

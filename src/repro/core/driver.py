@@ -120,10 +120,16 @@ class CofheeDriver:
         self._buffers: dict[str, int] = {}
         self._n = 0
         self._ntt_ctx: NttContext | None = None
+        self._programmed: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Bring-up: parameters, twiddles, buffers
     # ------------------------------------------------------------------
+
+    @property
+    def programmed(self) -> tuple[int, int] | None:
+        """The ``(q, n)`` currently programmed, or ``None`` before bring-up."""
+        return self._programmed
 
     def program(self, q: int, n: int) -> float:
         """Program modulus/degree and download the twiddle table.
@@ -139,7 +145,20 @@ class CofheeDriver:
         # Download psi-power twiddles (bit-reversed order) into TWD.
         twd_addr = self.chip.memory_map.base_address("TWD")
         self.chip.bus.burst_write(twd_addr, list(self._ntt_ctx._psi_brv))
+        self._programmed = (q, n)
         return self.link.send_polynomial(n)
+
+    def ensure_programmed(self, q: int, n: int) -> float:
+        """Program ``(q, n)`` only when it differs from the current state.
+
+        The batched per-tower entry point: a worker sweeping a batch of
+        same-modulus tower work units pays the twiddle download once, and a
+        worker that kept a modulus programmed from the previous batch pays
+        nothing. Returns the host-link seconds spent (0.0 on a hit).
+        """
+        if self._programmed == (q, n):
+            return 0.0
+        return self.program(q, n)
 
     def _allocate_buffers(self, n: int) -> None:
         """Carve the data banks into degree-n polynomial buffers.
@@ -337,6 +356,49 @@ class CofheeDriver:
         report = self.execute(cmds, label="CiphertextMul", **kw)
         return report, (t0, t1, b1)
 
+    def ciphertext_multiply_tower(
+        self,
+        ct_a: tuple[Sequence[int], Sequence[int]],
+        ct_b: tuple[Sequence[int], Sequence[int]],
+        q: int,
+        **kw,
+    ) -> tuple[list[list[int]], OperationReport]:
+        """Algorithm 3 on one RNS tower, with amortized reprogramming.
+
+        Programs ``(q, n)`` only if the chip is not already configured for
+        it (see :meth:`ensure_programmed`), reduces both input ciphertexts
+        mod ``q``, runs the Eq. 4 tensor command stream, and reads the
+        three outputs back. This is the work unit a tower-sharded pool
+        dispatches: a worker sweeping many same-modulus units in a batch
+        pays the twiddle download once.
+
+        Returns:
+            ``([y0, y1, y2] mod-q coefficient vectors, report)`` — the
+            report's ``io_seconds`` includes any reprogramming plus the
+            polynomial loads/readbacks.
+        """
+        io = self.ensure_programmed(q, len(ct_a[0]))
+        names = self.buffer_names
+        if len(names) < 6:
+            raise CapacityError(
+                "ciphertext multiplication needs 6 on-chip buffers"
+            )
+        a0, a1, b0, b1, t0, t1 = names[:6]
+        io += self.load_polynomial(a0, [c % q for c in ct_a[0]])
+        io += self.load_polynomial(a1, [c % q for c in ct_a[1]])
+        io += self.load_polynomial(b0, [c % q for c in ct_b[0]])
+        io += self.load_polynomial(b1, [c % q for c in ct_b[1]])
+        report, (y0, y1, y2) = self.ciphertext_multiply(
+            a0, a1, b0, b1, t0, t1, **kw
+        )
+        outs = []
+        for name in (y0, y1, y2):
+            data, dt = self.read_polynomial(name)
+            io += dt
+            outs.append(data)
+        report.io_seconds += io
+        return outs, report
+
     def ciphertext_multiply_rns(
         self,
         ct_a: tuple[Sequence[int], Sequence[int]],
@@ -347,8 +409,9 @@ class CofheeDriver:
         """Full big-modulus ciphertext multiplication across RNS towers.
 
         Decomposes both input ciphertexts into towers, runs Algorithm 3 per
-        tower (reprogramming the modulus each time, as the host would), and
-        CRT-reconstructs the three output polynomials.
+        tower via :meth:`ciphertext_multiply_tower` (reprogramming the
+        modulus between towers, as the host would), and CRT-reconstructs
+        the three output polynomials.
 
         Returns:
             ``([y0, y1, y2] big-modulus coefficient vectors, merged report)``.
@@ -357,26 +420,10 @@ class CofheeDriver:
         tower_outputs: list[list[list[int]]] = []
         io = 0.0
         for q_i in basis.moduli:
-            io += self.program(q_i, len(ct_a[0]))
-            names = self.buffer_names
-            if len(names) < 6:
-                raise CapacityError(
-                    "ciphertext multiplication needs 6 on-chip buffers"
-                )
-            a0, a1, b0, b1, t0, t1 = names[:6]
-            io += self.load_polynomial(a0, [c % q_i for c in ct_a[0]])
-            io += self.load_polynomial(a1, [c % q_i for c in ct_a[1]])
-            io += self.load_polynomial(b0, [c % q_i for c in ct_b[0]])
-            io += self.load_polynomial(b1, [c % q_i for c in ct_b[1]])
-            report, (y0, y1, y2) = self.ciphertext_multiply(
-                a0, a1, b0, b1, t0, t1, **kw
-            )
+            outs, report = self.ciphertext_multiply_tower(ct_a, ct_b, q_i, **kw)
+            io += report.io_seconds
+            report.io_seconds = 0.0  # folded into the merged report below
             reports.append(report)
-            outs = []
-            for name in (y0, y1, y2):
-                data, dt = self.read_polynomial(name)
-                io += dt
-                outs.append(data)
             tower_outputs.append(outs)
         merged = OperationReport.merge(
             "CiphertextMul_RNS", reports, self.chip.power_model

@@ -87,6 +87,23 @@ class RnsBasis:
         v = self.reconstruct(residues)
         return v - self.modulus if v > self.modulus // 2 else v
 
+    def sub_basis(self, indices: Sequence[int]) -> "RnsBasis":
+        """The basis restricted to a subset of towers (a shard).
+
+        Tower-sharded execution splits one multi-tower operation across
+        workers; each worker sees only its shard's moduli. Indices must be
+        distinct and in range; order is preserved.
+        """
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"duplicate tower indices in {list(indices)}")
+        try:
+            return RnsBasis([self.moduli[i] for i in indices])
+        except IndexError:
+            raise ValueError(
+                f"tower index out of range for {len(self.moduli)}-tower "
+                f"basis: {list(indices)}"
+            ) from None
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, RnsBasis) and self.moduli == other.moduli
 
@@ -96,6 +113,57 @@ class RnsBasis:
     def __repr__(self) -> str:
         bits = [m.bit_length() for m in self.moduli]
         return f"RnsBasis({len(self.moduli)} towers, bits={bits})"
+
+
+def shard_towers(num_towers: int, num_shards: int) -> list[list[int]]:
+    """Partition tower indices ``0..num_towers-1`` into balanced shards.
+
+    Round-robin assignment: shard ``s`` receives towers ``s, s+k, s+2k, ...``
+    for ``k = num_shards``. Every tower lands in exactly one shard, the
+    ``min(num_towers, num_shards)`` shards are all non-empty with sizes
+    differing by at most one, and the split is deterministic — the
+    property tests assert that recombining shard outputs (via
+    :meth:`RnsBasis.sub_basis` and CRT) reproduces the sequential result.
+
+    These helpers are the pure-math reference model for the serving
+    layer's tower planner (:mod:`repro.service.towers`), which implements
+    the same split/merge contract against live chip workers.
+    """
+    if num_towers < 1:
+        raise ValueError(f"need at least one tower, got {num_towers}")
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    return [
+        list(range(s, num_towers, num_shards))
+        for s in range(min(num_towers, num_shards))
+    ]
+
+
+def merge_tower_outputs(
+    shard_indices: Sequence[Sequence[int]],
+    shard_outputs: Sequence[Sequence[object]],
+) -> list[object]:
+    """Restore tower order from per-shard outputs.
+
+    ``shard_outputs[s][j]`` is whatever shard ``s`` produced for its
+    ``j``-th tower (index ``shard_indices[s][j]``); the result lists the
+    outputs in global tower order, ready for
+    :meth:`RnsBasis.reconstruct_poly`.
+    """
+    total = sum(len(s) for s in shard_indices)
+    merged: list[object] = [None] * total
+    seen: set[int] = set()
+    for indices, outputs in zip(shard_indices, shard_outputs):
+        if len(indices) != len(outputs):
+            raise ValueError(
+                f"shard has {len(indices)} towers but {len(outputs)} outputs"
+            )
+        for i, out in zip(indices, outputs):
+            if i in seen or not 0 <= i < total:
+                raise ValueError(f"tower index {i} repeated or out of range")
+            seen.add(i)
+            merged[i] = out
+    return merged
 
 
 def plan_towers(total_bits: int, word_bits: int, n: int) -> list[int]:

@@ -42,6 +42,11 @@ from repro.polymath.primes import ntt_friendly_prime
 from repro.polymath.rns import RnsBasis
 from repro.service.jobs import Job, JobKind
 from repro.service.registry import Session, SessionRegistry
+from repro.service.towers import (
+    TowerGather,
+    plan_tower_dispatch,
+    tower_items_for,
+)
 
 
 class BackendError(RuntimeError):
@@ -50,7 +55,23 @@ class BackendError(RuntimeError):
 
 @dataclass
 class BatchReport:
-    """What one dispatched batch cost."""
+    """What one dispatched batch cost.
+
+    ``worker`` is the lead worker (model-path jobs and relinearization
+    tails run there); ``workers`` lists every worker the batch touched —
+    under tower sharding one batch fans out across the pool. ``cycles``
+    is the total work added across all workers, ``makespan_cycles`` the
+    largest single-worker share (what pool scaling shrinks), and
+    ``tower_cycles`` the per-tower totals (index-aligned with the batch's
+    CoFHEE basis) summed over the batch's chip-executed jobs.
+
+    ``fidelity`` counts jobs per execution path: ``"chip"`` jobs ran every
+    tower of their Eq. 4 tensor through a worker driver with a mod-q
+    cross-check; ``"model"`` jobs were priced from the compiled DAG or the
+    app cost model; ``"relin_model"`` counts jobs whose relinearization
+    tail was model-priced (relinearization never executes on-chip) — the
+    flag that replaces PR 1's silent software fallback.
+    """
 
     batch_id: int
     backend: str
@@ -59,6 +80,10 @@ class BatchReport:
     cycles: int
     seconds: float
     io_seconds: float = 0.0
+    workers: tuple[int, ...] = ()
+    makespan_cycles: int = 0
+    tower_cycles: tuple[int, ...] = ()
+    fidelity: dict[str, int] = field(default_factory=dict)
 
 
 def default_app_params(kind: JobKind) -> BfvParameters:
@@ -250,13 +275,28 @@ class ChipWorker:
     driver: CofheeDriver
     busy_cycles: int = 0
     io_seconds: float = 0.0
-    programmed: tuple[int, int] | None = field(default=None, repr=False)
 
-    def ensure_programmed(self, q: int, n: int) -> None:
-        """Program modulus/twiddles only when they change (batch amortization)."""
-        if self.programmed != (q, n):
-            self.io_seconds += self.driver.program(q, n)
-            self.programmed = (q, n)
+    @property
+    def programmed(self) -> tuple[int, int] | None:
+        """The driver's currently programmed ``(q, n)`` (batch amortization)."""
+        return self.driver.programmed
+
+    def run_tower(
+        self,
+        ct_a: tuple[list[int], list[int]],
+        ct_b: tuple[list[int], list[int]],
+        q: int,
+    ) -> tuple[list[list[int]], int]:
+        """Execute one tower's Algorithm 3 on this chip; returns (outs, cycles).
+
+        Reprogramming is amortized by the driver (a worker sweeping many
+        same-modulus work units pays the twiddle download once); compute
+        cycles land on ``busy_cycles`` and host-link time on ``io_seconds``.
+        """
+        outs, report = self.driver.ciphertext_multiply_tower(ct_a, ct_b, q)
+        self.io_seconds += report.io_seconds
+        self.busy_cycles += report.cycles
+        return outs, report.cycles
 
     @property
     def wall_seconds(self) -> float:
@@ -268,22 +308,46 @@ class ChipWorker:
 class ChipPoolBackend(Backend):
     """Batches dispatched across a pool of N simulated CoFHEE chips.
 
-    Each batch goes to the least-loaded worker; the pool's aggregate wall
-    time is the makespan (max per-worker busy time), which is what shrinks
-    as the pool grows. Where the session uses a single native tower, the
-    Eq. 4 tensor really runs through the worker's driver (Algorithm 3
-    command stream) and the chip's mod-q outputs are cross-checked against
-    the software reference; otherwise cycles come from compiling the
-    Algorithm 3 DAG with :class:`~repro.core.scheduler.Scheduler`.
+    Two levels of parallelism:
+
+    * **Job level** — model-priced jobs (add/sub/rotate/relinearize/apps,
+      and tensors whose moduli are not chip-native) run on the batch's
+      least-loaded *lead* worker.
+    * **Tower level** — a chip-native EvalMult (or squaring: the same
+      Eq. 4 tensor with ``a == b``) is split into one work unit
+      per RNS tower and fanned out across *different* workers
+      (least-loaded, with per-tower ``program(q_i, n)`` reprogramming
+      amortized across the batch), so a 3-tower multiply on a pool of 4
+      finishes in ~one tower's time. Every tower runs the real Algorithm 3
+      command stream on its worker's driver and is cross-checked mod
+      ``q_i`` against the software reference; the gather barrier releases
+      a job only once its full tower set has arrived.
+
+    The pool's aggregate wall time is the makespan (max per-worker busy
+    time), which is what shrinks as the pool grows. Cycles for non-native
+    work come from compiling the Algorithm 3 DAG with
+    :class:`~repro.core.scheduler.Scheduler`. With ``strict_fidelity`` a
+    MULTIPLY that cannot run its tensor on-chip fails instead of silently
+    degrading to the model path.
     """
 
     def __init__(self, pool_size: int = 1, chip_config: ChipConfig | None = None,
-                 data_fidelity: bool = True):
+                 data_fidelity: bool = True, strict_fidelity: bool = False,
+                 engine: str = "exact"):
         super().__init__()
         if pool_size < 1:
             raise ValueError("pool needs at least one chip")
+        if engine not in ("exact", "fast"):
+            raise ValueError(f"engine must be 'exact' or 'fast', got {engine!r}")
+        if strict_fidelity and not data_fidelity:
+            raise ValueError(
+                "strict_fidelity requires data_fidelity: with the chip path "
+                "disabled, every EvalMult would fail"
+            )
         self.name = f"chip_pool_x{pool_size}"
         self.data_fidelity = data_fidelity
+        self.strict_fidelity = strict_fidelity
+        self.engine_mode = engine
         self.workers = []
         for i in range(pool_size):
             chip = CoFHEE(chip_config)
@@ -292,6 +356,7 @@ class ChipPoolBackend(Backend):
             )
         self._mod_q_reference: dict[bytes, SoftwareBfv] = {}
         self._tensor_estimate: dict[int, int] = {}  # n -> per-tower cycles
+        self._no_fast_engine: set[bytes] = set()  # digests that can't go fast
 
     # -- accounting --------------------------------------------------------
 
@@ -307,39 +372,251 @@ class ChipPoolBackend(Backend):
     def wall_seconds(self) -> float:
         return max(w.wall_seconds for w in self.workers)
 
+    # -- engines ------------------------------------------------------------
+
+    def _engine(self, registry: SessionRegistry, session: Session) -> Bfv:
+        """Functional engine for host-side exact arithmetic.
+
+        ``engine="fast"`` opts into the registry's vectorized numpy engine
+        where the moduli permit (bit-identical results — the differential
+        suite proves it); the cycle accounting is unaffected either way.
+        """
+        if self.engine_mode == "fast" and session.digest not in self._no_fast_engine:
+            try:
+                return registry.fast_engine(session)
+            except ValueError:
+                # Moduli unsuitable: remember it (construction is the
+                # expensive part) and fall back to the exact engine.
+                self._no_fast_engine.add(session.digest)
+        return registry.engine(session)
+
     # -- execution ----------------------------------------------------------
 
     def execute_batch(
         self, batch_id: int, jobs: list[Job], registry: SessionRegistry
     ) -> BatchReport:
-        worker = min(self.workers, key=lambda w: w.busy_cycles)
-        batch_cycles = 0
-        io_before = worker.io_seconds
-        for job in jobs:
+        lead = min(self.workers, key=lambda w: (w.busy_cycles, w.index))
+        freq = lead.chip.clock.frequency_hz
+        busy_before = {w.index: w.busy_cycles for w in self.workers}
+        io_before = {w.index: w.io_seconds for w in self.workers}
+        fidelity: dict[str, int] = {}
+
+        # Phase 1 — functional execution (exact host-side arithmetic).
+        # Strict-fidelity rejection comes first: the chip-native check
+        # needs only the session, so a doomed EvalMult never pays for the
+        # (expensive) host-side multiply.
+        live: list[tuple[int, Job, Session, object, Workload | None]] = []
+        for seq, job in enumerate(jobs):
             try:
+                if (self.strict_fidelity
+                        and job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)):
+                    session = registry.get(job.session_id)
+                    if self._chip_native_basis(session) is None:
+                        raise BackendError(
+                            "strict fidelity: EvalMult tensor cannot execute "
+                            f"on-chip for {session.params.describe()} "
+                            "(moduli not chip-native)"
+                        )
                 session, result, workload = self._run_job(registry, job)
-                cycles = self._job_cycles(worker, session, job, workload)
             except Exception as exc:  # noqa: BLE001 — jobs must fail alone
                 self._fail_job(job, batch_id, self.name, exc)
                 continue
-            job.finish(result)
-            job.metrics.backend = self.name
-            job.metrics.worker = worker.index
-            job.metrics.batch_id = batch_id
-            job.metrics.cycles = cycles
-            job.metrics.seconds = cycles / worker.chip.clock.frequency_hz
-            batch_cycles += cycles
-            self.jobs_done += 1
-        worker.busy_cycles += batch_cycles
+            live.append((seq, job, session, result, workload))
+
+        # Phase 2 — split chip-path (tower-sharded) from model-path jobs.
+        sharded: dict[int, tuple[Job, Session, object, RnsBasis]] = {}
+        model_path = []
+        items = []
+        for seq, job, session, result, workload in live:
+            wants_chip = (
+                self.data_fidelity
+                and workload is None
+                and job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)
+            )
+            basis = self._chip_native_basis(session) if wants_chip else None
+            if basis is not None:
+                est = self._tensor_estimate_for(session.params.n)
+                items.extend(tower_items_for(seq, basis.moduli, est))
+                sharded[seq] = (job, session, result, basis)
+            else:
+                model_path.append((seq, job, session, result, workload))
+
+        # Phase 3 — model-path jobs run serially on the lead worker.
+        for seq, job, session, result, workload in model_path:
+            try:
+                cycles = self._job_cycles(lead, session, job, workload)
+            except Exception as exc:  # noqa: BLE001 — jobs must fail alone
+                self._fail_job(job, batch_id, self.name, exc)
+                continue
+            lead.busy_cycles += cycles
+            job.metrics.fidelity = "model"
+            fidelity["model"] = fidelity.get("model", 0) + 1
+            if (workload is None and session.relin is not None
+                    and job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)):
+                job.metrics.relin_fidelity = "model"
+                fidelity["relin_model"] = fidelity.get("relin_model", 0) + 1
+            self._finish_job(job, batch_id, lead.index, cycles, freq, result)
+
+        # Phase 4 — tower fan-out: same-modulus items stay together on the
+        # least-loaded workers (reprogramming amortized per batch). The
+        # affinity hint only counts a worker's programmed modulus when its
+        # programmed degree matches this batch (same digest => one n), or
+        # ensure_programmed would reprogram despite the "hit".
+        batch_n = (
+            next(iter(sharded.values()))[1].params.n if sharded else None
+        )
+        plan = plan_tower_dispatch(
+            items,
+            [w.busy_cycles for w in self.workers],
+            [
+                w.programmed[0]
+                if w.programmed and w.programmed[1] == batch_n else None
+                for w in self.workers
+            ],
+        )
+        gather = TowerGather({
+            seq: tuple(range(len(basis.moduli)))
+            for seq, (_, _, _, basis) in sharded.items()
+        })
+        failed: set[int] = set()
+        tower_cycles: dict[int, dict[int, int]] = {}
+        tower_workers: dict[int, dict[int, int]] = {}
+        for widx in sorted(plan):
+            worker = self.workers[widx]
+            for item in plan[widx]:
+                if item.job_seq in failed:
+                    continue
+                job, session, _result, _basis = sharded[item.job_seq]
+                try:
+                    outs, cycles = self._run_tower_checked(worker, session, job, item)
+                except Exception as exc:  # noqa: BLE001 — jobs must fail alone
+                    self._fail_job(job, batch_id, self.name, exc)
+                    failed.add(item.job_seq)
+                    gather.discard(item.job_seq)
+                    continue
+                gather.put(item.job_seq, item.tower, outs)
+                tower_cycles.setdefault(item.job_seq, {})[item.tower] = cycles
+                tower_workers.setdefault(item.job_seq, {})[item.tower] = widx
+
+        # Phase 5 — barrier: gather every tower (TowerGather refuses to
+        # release a job until its full tower set arrived; each tower was
+        # already cross-checked mod q_i), price the relinearization tail,
+        # and finish the job.
+        batch_tower_cycles: dict[int, int] = {}
+        for seq, (job, session, result, basis) in sharded.items():
+            if seq in failed:
+                continue
+            gather.towers(seq)  # barrier: raises if any tower is missing
+            per_tower = tuple(
+                tower_cycles[seq][t] for t in range(len(basis.moduli))
+            )
+            relin_cycles = 0
+            finish_worker = lead
+            if session.relin is not None:
+                # The key-switch runs after the gather barrier and is not
+                # tower-bound: charge it to the currently least-loaded
+                # worker so the tail does not serialize on the lead.
+                finish_worker = min(
+                    self.workers, key=lambda w: (w.busy_cycles, w.index)
+                )
+                relin_cycles = finish_worker.chip.timing.relinearization_cycles(
+                    session.params.n, session.relin.num_digits, len(basis.moduli)
+                )
+                finish_worker.busy_cycles += relin_cycles
+                job.metrics.relin_fidelity = "model"
+                fidelity["relin_model"] = fidelity.get("relin_model", 0) + 1
+            job.metrics.fidelity = "chip"
+            job.metrics.tower_cycles = per_tower
+            job.metrics.tower_workers = tuple(
+                tower_workers[seq][t] for t in range(len(basis.moduli))
+            )
+            job.metrics.relin_cycles = relin_cycles
+            fidelity["chip"] = fidelity.get("chip", 0) + 1
+            for t, c in enumerate(per_tower):
+                batch_tower_cycles[t] = batch_tower_cycles.get(t, 0) + c
+            self._finish_job(
+                job, batch_id, finish_worker.index,
+                sum(per_tower) + relin_cycles, freq, result,
+            )
+
+        added = {
+            w.index: w.busy_cycles - busy_before[w.index] for w in self.workers
+        }
+        batch_cycles = sum(added.values())
+        used = tuple(sorted(i for i, c in added.items() if c > 0))
         return BatchReport(
             batch_id=batch_id,
             backend=self.name,
-            worker=worker.index,
+            worker=lead.index,
             jobs=len(jobs),
             cycles=batch_cycles,
-            seconds=batch_cycles / worker.chip.clock.frequency_hz,
-            io_seconds=worker.io_seconds - io_before,
+            seconds=batch_cycles / freq,
+            io_seconds=sum(
+                w.io_seconds - io_before[w.index] for w in self.workers
+            ),
+            workers=used or (lead.index,),
+            makespan_cycles=max(added.values(), default=0),
+            tower_cycles=tuple(
+                batch_tower_cycles.get(t, 0)
+                for t in range(len(batch_tower_cycles))
+            ),
+            fidelity=fidelity,
         )
+
+    def _finish_job(
+        self, job: Job, batch_id: int, worker_index: int, cycles: int,
+        freq: float, result: object,
+    ) -> None:
+        job.finish(result)
+        job.metrics.backend = self.name
+        job.metrics.worker = worker_index
+        job.metrics.batch_id = batch_id
+        job.metrics.cycles = cycles
+        job.metrics.seconds = cycles / freq
+        self.jobs_done += 1
+
+    # -- tower-sharded chip execution ---------------------------------------
+
+    def _chip_native_basis(self, session: Session) -> RnsBasis | None:
+        """The session's CoFHEE basis, iff every tower can run on a chip.
+
+        Chip-native means the basis covers exactly ``q``, every tower
+        modulus supports the negacyclic NTT at the session's degree
+        (``q_i === 1 mod 2n``), and one polynomial fits an on-chip bank.
+        """
+        params = session.params
+        basis = params.cofhee_basis
+        if basis is None or basis.modulus != params.q:
+            return None
+        if params.n > self.workers[0].chip.config.poly_words:
+            return None
+        if any((q - 1) % (2 * params.n) != 0 for q in basis.moduli):
+            return None
+        return basis
+
+    def _run_tower_checked(
+        self, worker: ChipWorker, session: Session, job: Job, item
+    ) -> tuple[list[list[int]], int]:
+        """One tower's Algorithm 3 on ``worker``, cross-checked mod q_i.
+
+        SQUARE runs the same command stream with both inputs bound to the
+        one operand (the Eq. 4 tensor with ``a == b``).
+        """
+        a = job.operands[0]
+        b = job.operands[1] if job.kind is JobKind.MULTIPLY else a
+        ct_a = (a.polys[0].coeffs, a.polys[1].coeffs)
+        ct_b = (b.polys[0].coeffs, b.polys[1].coeffs)
+        outs, cycles = worker.run_tower(ct_a, ct_b, item.modulus)
+        expected = self._reference_for(session).tower_multiply(
+            item.modulus, ct_a, ct_b
+        )
+        if outs != expected:
+            raise BackendError(
+                f"chip {worker.index} mod-q tensor diverged from the "
+                f"software reference on tower {item.tower} "
+                f"(q_i = {item.modulus}) — datapath fault"
+            )
+        return outs, cycles
 
     # -- cycle accounting ---------------------------------------------------
 
@@ -366,70 +643,40 @@ class ChipPoolBackend(Backend):
             return 2 * timing.memcpy_cycles(n) + timing.relinearization_cycles(
                 n, len(key.rows), towers
             )
-        # MULTIPLY / SQUARE: Eq. 4 tensor (+ relin when the session has a key)
-        cycles = self._tensor_cycles(worker, session, job)
+        # MULTIPLY / SQUARE on the model path: Eq. 4 tensor estimate
+        # (+ relin when the session has a key).
+        cycles = params.cofhee_tower_count * self._tensor_estimate_for(n)
         if session.relin is not None:
             cycles += timing.relinearization_cycles(
                 n, session.relin.num_digits, towers
             )
         return cycles
 
-    def _tensor_cycles(self, worker: ChipWorker, session: Session, job: Job) -> int:
-        params = session.params
-        basis = params.cofhee_basis
-        single_native_tower = (
-            basis is not None
-            and len(basis) == 1
-            and basis.modulus == params.q
-            and (params.q - 1) % (2 * params.n) == 0
-            and params.n <= worker.chip.config.poly_words
-        )
-        if self.data_fidelity and job.kind is JobKind.MULTIPLY and single_native_tower:
-            return self._chip_tensor(worker, session, job)
-        # Estimate by compiling the Algorithm 3 DAG onto the chip's buffers.
-        # The schedule depends only on (n, timing) — identical for every
-        # chip in the pool — so compile once per degree.
-        if params.n not in self._tensor_estimate:
-            schedule = Scheduler(params.n, timing=worker.chip.timing).compile(
+    def _tensor_estimate_for(self, n: int) -> int:
+        """Per-tower Algorithm 3 cycles from compiling the DAG (cached).
+
+        The schedule depends only on (n, timing) — identical for every
+        chip in the pool — so compile once per degree.
+        """
+        if n not in self._tensor_estimate:
+            schedule = Scheduler(n, timing=self.workers[0].chip.timing).compile(
                 ciphertext_multiply_program()
             )
-            self._tensor_estimate[params.n] = schedule.compute_cycles
-        return params.cofhee_tower_count * self._tensor_estimate[params.n]
-
-    def _chip_tensor(self, worker: ChipWorker, session: Session, job: Job) -> int:
-        """Run Algorithm 3 on the worker's chip and cross-check the result."""
-        params = session.params
-        q, n = params.q, params.n
-        worker.ensure_programmed(q, n)
-        drv = worker.driver
-        a, b = job.operands
-        names = drv.buffer_names
-        a0, a1, b0, b1, t0, t1 = names[:6]
-        for name, poly in ((a0, a.polys[0]), (a1, a.polys[1]),
-                           (b0, b.polys[0]), (b1, b.polys[1])):
-            worker.io_seconds += drv.load_polynomial(name, list(poly.coeffs))
-        report, (y0, y1, y2) = drv.ciphertext_multiply(a0, a1, b0, b1, t0, t1)
-        chip_tensor = []
-        for name in (y0, y1, y2):
-            data, dt = drv.read_polynomial(name)
-            worker.io_seconds += dt
-            chip_tensor.append(data)
-        reference = self._reference_for(session)
-        expected = reference.ciphertext_multiply(
-            (a.polys[0].coeffs, a.polys[1].coeffs),
-            (b.polys[0].coeffs, b.polys[1].coeffs),
-        )
-        if chip_tensor != expected:
-            raise BackendError(
-                f"chip {worker.index} mod-q tensor diverged from the "
-                "software reference — datapath fault"
-            )
-        return report.cycles
+            self._tensor_estimate[n] = schedule.compute_cycles
+        return self._tensor_estimate[n]
 
     def _reference_for(self, session: Session) -> SoftwareBfv:
+        """Per-tower mod-q ground truth for cross-checks (cached per digest).
+
+        Uses the vectorized NTT contexts where tower moduli fit — the
+        cross-check stays affordable at paper-scale degrees.
+        """
         if session.digest not in self._mod_q_reference:
+            basis = self._chip_native_basis(session)
+            if basis is None:
+                basis = RnsBasis([session.params.q])
             self._mod_q_reference[session.digest] = SoftwareBfv(
-                RnsBasis([session.params.q]), session.params.n
+                basis, session.params.n, use_fast=True
             )
         return self._mod_q_reference[session.digest]
 

@@ -60,6 +60,17 @@ class JobMetrics:
     ``seconds`` is the backend's latency estimate or measurement for this
     job alone. ``submitted_seq``/``dispatched_seq`` are global sequence
     numbers the fairness tests use to prove no tenant starves.
+
+    Tower-sharded chip execution additionally reports, per job:
+    ``tower_cycles`` (Algorithm 3 cycles per RNS tower, index-aligned with
+    the session's CoFHEE basis), ``tower_workers`` (which pool worker ran
+    each tower), ``relin_cycles`` (the model-priced relinearization tail,
+    so ``cycles == sum(tower_cycles) + relin_cycles`` on the chip path),
+    and ``fidelity`` — ``"chip"`` when every tower of the Eq. 4 tensor ran
+    through a worker's driver with a mod-q cross-check, ``"model"`` when
+    cycles came from the compiled DAG estimate. ``relin_fidelity`` is
+    ``"model"`` when a relinearization was priced (never chip-executed)
+    rather than silently folded in.
     """
 
     backend: str = ""
@@ -69,6 +80,11 @@ class JobMetrics:
     seconds: float = 0.0
     submitted_seq: int = -1
     dispatched_seq: int = -1
+    tower_cycles: tuple[int, ...] = ()
+    tower_workers: tuple[int, ...] = ()
+    relin_cycles: int = 0
+    fidelity: str = ""
+    relin_fidelity: str = ""
 
 
 _job_ids = itertools.count(1)

@@ -7,6 +7,16 @@ with dispatch sequence numbers). A batch only packs *compatible* jobs:
 same parameter digest and same requested backend, so a chip worker
 programs its modulus and twiddle tables once per batch and the registry's
 cached evaluation engine is shared across every job in it.
+
+Tower sharding composes with this, one level down: the chip-pool backend
+splits each batched multi-tower EvalMult into per-tower work units (see
+:mod:`repro.service.towers`) and fans them out across the pool. Fairness
+still holds — a 3-tower tenant's work units occupy more workers per batch,
+but batch *formation* stays round-robin, so a 1-tower tenant's jobs keep
+leading their own batches on schedule. :class:`ServiceStats` aggregates
+both views: total cycles (work) and makespan cycles (wall time on the
+pool), plus the per-batch fidelity counts that say which jobs really
+executed on worker drivers.
 """
 
 from __future__ import annotations
@@ -44,6 +54,32 @@ class ServiceStats:
     @property
     def total_cycles(self) -> int:
         return sum(b.cycles for b in self.batches)
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Sum of per-batch makespans: modeled wall time on the chip pool.
+
+        Each batch's makespan is its largest single-worker share; batches
+        execute one after another, so their makespans add. With tower
+        sharding this drops below :attr:`total_cycles` (the work does not
+        shrink — it spreads).
+        """
+        return sum(b.makespan_cycles for b in self.batches)
+
+    @property
+    def fidelity(self) -> dict[str, int]:
+        """Aggregate execution-path counts across every batch.
+
+        Keys are the :class:`~repro.service.backends.BatchReport` fidelity
+        labels: ``"chip"`` (tensor ran tower-by-tower on worker drivers),
+        ``"model"`` (DAG/cost-model pricing), ``"relin_model"``
+        (relinearization tail priced, never chip-executed).
+        """
+        totals: dict[str, int] = {}
+        for b in self.batches:
+            for path, count in b.fidelity.items():
+                totals[path] = totals.get(path, 0) + count
+        return totals
 
 
 class BatchingScheduler:

@@ -43,12 +43,20 @@ class FheServer:
         max_batch: scheduler batch size.
         default_backend: backend used when a request names none
             (``chip_pool``, ``software``, or ``fastntt``).
+        strict_fidelity: fail EvalMult jobs whose tensor cannot execute
+            on-chip instead of silently pricing them from the model.
+        pool_engine: host-side functional engine for the chip pool
+            (``"exact"`` or ``"fast"``; results are bit-identical).
     """
 
     def __init__(self, pool_size: int = 4, max_batch: int = 8,
-                 default_backend: str = "chip_pool"):
+                 default_backend: str = "chip_pool",
+                 strict_fidelity: bool = False, pool_engine: str = "exact"):
         self.registry = SessionRegistry()
-        self.chip_pool = ChipPoolBackend(pool_size=pool_size)
+        self.chip_pool = ChipPoolBackend(
+            pool_size=pool_size, strict_fidelity=strict_fidelity,
+            engine=pool_engine,
+        )
         self.backends: dict[str, Backend] = {
             "chip_pool": self.chip_pool,
             "software": SoftwareBackend(),
@@ -206,3 +214,33 @@ class FheServer:
                 row["total_cycles"] = backend.total_cycles
             rows.append(row)
         return rows
+
+    def pool_report(self) -> dict:
+        """Tower-sharding view of the chip pool: makespan and fidelity.
+
+        Two wall-time views against ``total_cycles`` of work:
+        ``wall_cycles`` (max cumulative per-worker busy cycles — the
+        utilization view, assuming work from different batches overlaps
+        freely) and ``batch_makespan_cycles`` (sum of per-batch makespans
+        — the conservative view under the per-batch gather barrier;
+        always >= ``wall_cycles``). ``per_worker_cycles`` shows the
+        spread, ``tower_cycles`` the per-tower totals over every
+        chip-executed batch, and ``fidelity`` counts jobs per execution
+        path (``chip`` / ``model`` / ``relin_model``).
+        """
+        pool = self.chip_pool
+        tower_totals: dict[int, int] = {}
+        for report in self.scheduler.stats.batches:
+            for t, c in enumerate(report.tower_cycles):
+                tower_totals[t] = tower_totals.get(t, 0) + c
+        return {
+            "pool": len(pool.workers),
+            "wall_cycles": pool.wall_cycles,
+            "batch_makespan_cycles": self.scheduler.stats.makespan_cycles,
+            "total_cycles": pool.total_cycles,
+            "per_worker_cycles": [w.busy_cycles for w in pool.workers],
+            "tower_cycles": [
+                tower_totals[t] for t in sorted(tower_totals)
+            ],
+            "fidelity": self.scheduler.stats.fidelity,
+        }

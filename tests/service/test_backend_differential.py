@@ -1,0 +1,234 @@
+"""Differential test harness: every backend, pinned to ``Bfv`` ground truth.
+
+For a grid of (parameter set x op x batch shape), the ChipPool backend at
+pool sizes 1/2/4, the Software backend, and the FastNtt backend must all
+return **bit-identical wire bytes**, and those bytes must decode to the
+exact ciphertext the ground-truth :class:`~repro.bfv.scheme.Bfv` engine
+produces locally (homomorphic evaluation is deterministic, so equality is
+bit-for-bit, not just equal plaintexts — though plaintexts are checked
+too). The multi-tower set additionally proves the tower-sharded chip path
+agrees with everything else, and the fidelity flags say which path ran.
+"""
+
+import random
+
+import pytest
+
+from repro.bfv import BatchEncoder, Bfv, BfvParameters
+from repro.polymath.rns import RnsBasis
+from repro.service.backends import ChipPoolBackend
+from repro.service.jobs import JobKind, JobStatus
+from repro.service.serialization import (
+    deserialize_ciphertext,
+    serialize_ciphertext,
+    serialize_params,
+    serialize_relin_key,
+)
+from repro.service.server import FheServer
+
+PARAM_SETS = {
+    "single_tower": BfvParameters.toy(n=16, log_q=80),
+    "rns3": BfvParameters.toy_rns(n=16, towers=3, tower_bits=20),
+    "rns2": BfvParameters.toy_rns(n=32, towers=2, tower_bits=21),
+}
+POOL_SIZES = (1, 2, 4)
+#: (max_batch, jobs per case): one-at-a-time and packed batches.
+BATCH_SHAPES = ((1, 2), (4, 3))
+
+
+@pytest.fixture(scope="module", params=sorted(PARAM_SETS))
+def world(request):
+    """Ground-truth engine, keys, and fresh-ciphertext factory per params."""
+    params = PARAM_SETS[request.param]
+    bfv = Bfv(params, seed=1234)
+    keys = bfv.keygen(relin_digit_bits=14)
+    encoder = BatchEncoder(params)
+    rng = random.Random(99)
+
+    def fresh():
+        return bfv.encrypt(
+            encoder.encode([rng.randrange(32) for _ in range(params.n)]),
+            keys.public,
+        )
+
+    return params, bfv, keys, encoder, fresh
+
+
+def _ground_truth(bfv, keys, kind, operands):
+    if kind is JobKind.ADD:
+        return bfv.add(*operands)
+    if kind is JobKind.MULTIPLY:
+        return bfv.multiply_relin(operands[0], operands[1], keys.relin)
+    if kind is JobKind.SQUARE:
+        return bfv.relinearize(bfv.square(operands[0]), keys.relin)
+    raise AssertionError(kind)
+
+
+def _serve(params, keys, backend, pool_size, max_batch, cases):
+    server = FheServer(pool_size=pool_size, max_batch=max_batch)
+    sid = server.open_session(
+        "diff", serialize_params(params),
+        relin_key=serialize_relin_key(keys.relin, params),
+    )
+    jids = [
+        server.submit(
+            sid, kind,
+            tuple(serialize_ciphertext(op) for op in operands),
+            backend=backend,
+        )
+        for kind, operands in cases
+    ]
+    wires = [server.result(jid) for jid in jids]
+    return server, jids, wires
+
+
+class TestDifferentialGrid:
+    @pytest.mark.parametrize("kind", [JobKind.ADD, JobKind.MULTIPLY, JobKind.SQUARE])
+    @pytest.mark.parametrize("max_batch,n_jobs", BATCH_SHAPES)
+    def test_all_backends_match_ground_truth(self, world, kind, max_batch, n_jobs):
+        params, bfv, keys, encoder, fresh = world
+        arity = 2 if kind is not JobKind.SQUARE else 1
+        cases = [
+            (kind, tuple(fresh() for _ in range(arity))) for _ in range(n_jobs)
+        ]
+        runs = {}
+        for pool in POOL_SIZES:
+            _, _, wires = _serve(params, keys, "chip_pool", pool, max_batch, cases)
+            runs[f"chip_pool_x{pool}"] = wires
+        for backend in ("software", "fastntt"):
+            _, _, wires = _serve(params, keys, backend, 1, max_batch, cases)
+            runs[backend] = wires
+        # Bit-identical wire bytes across every backend and pool size.
+        reference = runs["chip_pool_x1"]
+        for name, wires in runs.items():
+            assert wires == reference, f"{name} diverged from chip_pool_x1"
+        # And the shared bytes equal local Bfv ground truth, bit-for-bit.
+        for (case_kind, operands), wire in zip(cases, reference):
+            expected = _ground_truth(bfv, keys, case_kind, operands)
+            got = deserialize_ciphertext(wire, params)
+            assert [p.coeffs for p in got.polys] == [
+                p.coeffs for p in expected.polys
+            ]
+            assert bfv.decrypt(got, keys.secret) == bfv.decrypt(
+                expected, keys.secret
+            )
+
+
+class TestFidelityFlags:
+    def test_multiply_runs_chip_path_on_every_tower(self, world):
+        """EvalMult executes tower-by-tower on worker drivers, flagged."""
+        params, bfv, keys, encoder, fresh = world
+        server, jids, _ = _serve(
+            params, keys, "chip_pool", 4, 4,
+            [(JobKind.MULTIPLY, (fresh(), fresh()))],
+        )
+        metrics = server.job_metrics(jids[0])
+        towers = params.cofhee_tower_count
+        assert metrics.fidelity == "chip"
+        assert len(metrics.tower_cycles) == towers
+        assert all(c > 0 for c in metrics.tower_cycles)
+        assert metrics.relin_fidelity == "model"
+        assert metrics.cycles == sum(metrics.tower_cycles) + metrics.relin_cycles
+        # Towers of one multiply really spread across *different* workers.
+        assert len(set(metrics.tower_workers)) == towers
+        fidelity = server.pool_report()["fidelity"]
+        assert fidelity.get("chip") == 1
+        assert fidelity.get("relin_model") == 1
+
+    def test_square_runs_chip_path_too(self, world):
+        """SQUARE shards like MULTIPLY: same tensor with a == b."""
+        params, bfv, keys, encoder, fresh = world
+        server, jids, _ = _serve(
+            params, keys, "chip_pool", 4, 4,
+            [(JobKind.SQUARE, (fresh(),))],
+        )
+        metrics = server.job_metrics(jids[0])
+        assert metrics.fidelity == "chip"
+        assert len(metrics.tower_cycles) == params.cofhee_tower_count
+        assert metrics.relin_fidelity == "model"
+
+    def test_add_is_model_priced(self, world):
+        params, bfv, keys, encoder, fresh = world
+        server, jids, _ = _serve(
+            params, keys, "chip_pool", 2, 4,
+            [(JobKind.ADD, (fresh(), fresh()))],
+        )
+        assert server.job_metrics(jids[0]).fidelity == "model"
+        assert server.pool_report()["fidelity"].get("model") == 1
+
+
+def _non_native_params():
+    """A parameter set whose modulus cannot run the chip's negacyclic NTT."""
+    q = 999983  # prime, but q-1 is not divisible by 2n = 32
+    assert (q - 1) % 32 != 0
+    t = 97  # 97 == 1 mod 32, so batching still works
+    basis = RnsBasis([q])
+    return BfvParameters(n=16, q=q, t=t, cpu_basis=basis, cofhee_basis=basis)
+
+
+class TestStrictFidelity:
+    def test_strict_requires_data_fidelity(self):
+        """Strict with the chip path disabled is a contradiction, not a no-op."""
+        with pytest.raises(ValueError, match="strict_fidelity requires"):
+            ChipPoolBackend(pool_size=1, data_fidelity=False,
+                            strict_fidelity=True)
+
+    def test_non_native_multiply_fails_under_strict(self):
+        params = _non_native_params()
+        bfv = Bfv(params, seed=3)
+        keys = bfv.keygen(relin_digit_bits=10)
+        encoder = BatchEncoder(params)
+        ct = bfv.encrypt(encoder.encode([1, 2, 3]), keys.public)
+        server = FheServer(pool_size=2, strict_fidelity=True)
+        sid = server.open_session(
+            "strict", serialize_params(params),
+            relin_key=serialize_relin_key(keys.relin, params),
+        )
+        jid = server.submit(
+            sid, JobKind.MULTIPLY,
+            (serialize_ciphertext(ct), serialize_ciphertext(ct)),
+        )
+        with pytest.raises(RuntimeError, match="strict fidelity"):
+            server.result(jid)
+
+    def test_non_native_multiply_flagged_without_strict(self):
+        """The old silent fallback is now a recorded model-path flag."""
+        params = _non_native_params()
+        bfv = Bfv(params, seed=3)
+        keys = bfv.keygen(relin_digit_bits=10)
+        encoder = BatchEncoder(params)
+        ct = bfv.encrypt(encoder.encode([1, 2, 3]), keys.public)
+        server = FheServer(pool_size=2)
+        sid = server.open_session(
+            "lenient", serialize_params(params),
+            relin_key=serialize_relin_key(keys.relin, params),
+        )
+        jid = server.submit(
+            sid, JobKind.MULTIPLY,
+            (serialize_ciphertext(ct), serialize_ciphertext(ct)),
+        )
+        server.result(jid)
+        metrics = server.job_metrics(jid)
+        assert metrics.fidelity == "model"
+        assert metrics.relin_fidelity == "model"
+        assert server.pool_report()["fidelity"] == {
+            "model": 1, "relin_model": 1,
+        }
+
+    def test_strict_passes_on_native_towers(self):
+        params = PARAM_SETS["rns3"]
+        bfv = Bfv(params, seed=5)
+        keys = bfv.keygen(relin_digit_bits=14)
+        encoder = BatchEncoder(params)
+        ct = bfv.encrypt(encoder.encode([4, 5]), keys.public)
+        server = FheServer(pool_size=4, strict_fidelity=True)
+        sid = server.open_session(
+            "strict-ok", serialize_params(params),
+            relin_key=serialize_relin_key(keys.relin, params),
+        )
+        jid = server.submit(
+            sid, JobKind.MULTIPLY,
+            (serialize_ciphertext(ct), serialize_ciphertext(ct)),
+        )
+        server.result(jid)
+        assert server.job_metrics(jid).fidelity == "chip"

@@ -141,6 +141,58 @@ class TestPoolScaling:
         assert worker.busy_cycles > 0
 
 
+class TestFairnessUnderTowerSharding:
+    """A 1-tower tenant must not starve while a 3-tower tenant's work
+    units fan out across the pool."""
+
+    RNS3 = BfvParameters.toy_rns(n=16, towers=3, tower_bits=20)
+
+    def _heavy_client(self):
+        bfv = Bfv(self.RNS3, seed=808)
+        keys = bfv.keygen(relin_digit_bits=16)
+        encoder = BatchEncoder(self.RNS3)
+        rng = random.Random(21)
+
+        def fresh_ct():
+            return bfv.encrypt(
+                encoder.encode([rng.randrange(16) for _ in range(16)]),
+                keys.public,
+            )
+
+        return bfv, keys, fresh_ct
+
+    def test_light_tenant_not_starved(self, client):
+        registry, backend, scheduler = _service(pool_size=4, max_batch=4)
+        hbfv, hkeys, hfresh = self._heavy_client()
+        heavy_session = registry.open_session(
+            "heavy", self.RNS3, relin=hkeys.relin
+        )
+        # heavy floods 12 tower-sharded EvalMults before light submits.
+        heavy = [
+            scheduler.submit(Job(
+                session_id=heavy_session.session_id, tenant="heavy",
+                kind=JobKind.MULTIPLY, operands=[hfresh(), hfresh()],
+            ))
+            for _ in range(12)
+        ]
+        light = _submit_jobs(
+            registry, scheduler, client, "light", 3, kind=JobKind.MULTIPLY
+        )
+        scheduler.run_all()
+        assert all(j.status is JobStatus.DONE for j in heavy + light)
+        # heavy's jobs really occupied the pool tower-by-tower...
+        assert all(j.metrics.fidelity == "chip" for j in heavy)
+        assert all(len(j.metrics.tower_cycles) == 3 for j in heavy)
+        assert any(len(set(j.metrics.tower_workers)) > 1 for j in heavy)
+        # ...yet every light job dispatched before heavy's queue drained.
+        light_last = max(j.metrics.dispatched_seq for j in light)
+        heavy_last = max(j.metrics.dispatched_seq for j in heavy)
+        assert light_last < heavy_last
+        assert light_last <= len(heavy + light) // 2
+        # And light's single-tower jobs still ran the chip path.
+        assert all(j.metrics.fidelity == "chip" for j in light)
+
+
 class TestFaultIsolation:
     def test_bad_job_fails_alone(self, client):
         bfv, keys, fresh_ct = client

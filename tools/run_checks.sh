@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 tests + the serving-layer benchmark in smoke
 # mode (one pass, no timing statistics). Run from anywhere.
+#
+#   tools/run_checks.sh          # tier-1 + benchmark smoke
+#   tools/run_checks.sh --slow   # also the paper-scale (n = 2^12)
+#                                # pool-scaling suite
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+RUN_SLOW=0
+for arg in "$@"; do
+  case "$arg" in
+    --slow) RUN_SLOW=1 ;;
+    *) echo "unknown option: $arg (supported: --slow)" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1 test suite =="
 python -m pytest -x -q
@@ -11,6 +23,12 @@ python -m pytest -x -q
 echo
 echo "== serving-layer benchmark (smoke) =="
 python -m pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
+
+if [ "$RUN_SLOW" = 1 ]; then
+  echo
+  echo "== paper-scale pool scaling (n = 2^12, --slow) =="
+  python -m pytest tests/service/test_pool_scaling_paper.py --slow -q -s
+fi
 
 echo
 echo "all checks passed"
