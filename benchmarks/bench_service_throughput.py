@@ -15,7 +15,9 @@ Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
 """
 
 import random
+import time
 
+import pytest
 from conftest import print_table
 
 from repro.bfv import BatchEncoder, Bfv, BfvParameters
@@ -105,3 +107,72 @@ def test_service_throughput(benchmark):
     # rows must carry the counter; defaulting would hide a dead branch).
     assert all(r["chip_jobs"] == N_MULTS for r in by_pool.values())
     assert all(r["jobs"] == N_MULTS + N_ADDS for r in rows)
+
+
+# ----------------------------------------------------------------------
+# Paper-scale serving: n = 2^13 (the Section VI-B large configuration),
+# chip-native towers, tower-sharded across a pool of 4. Slow-marked; run
+# via ``tools/run_checks.sh --slow`` or ``pytest ... --slow``.
+# ----------------------------------------------------------------------
+
+PAPER_MULTS = 2
+
+
+@pytest.mark.paper_scale
+def test_service_throughput_paper_scale():
+    """EvalMult at n = 2^13 through the full serving stack.
+
+    The batched engine is what makes this affordable: the host-side
+    tensor, the ground-truth relinearization, and every per-tower mod-q
+    cross-check all run vectorized, while the chip pool shards the
+    4-tower tensor across its workers.
+    """
+    params = BfvParameters.toy_rns(n=2**13, towers=4, tower_bits=30)
+    bfv = Bfv(params, seed=131)
+    keys = bfv.keygen(relin_digit_bits=30)
+    encoder = BatchEncoder(params)
+    rng = random.Random(8)
+    cts = []
+    ops = []
+    for _ in range(PAPER_MULTS):
+        a = bfv.encrypt(
+            encoder.encode([rng.randrange(64) for _ in range(params.n)]),
+            keys.public,
+        )
+        b = bfv.encrypt(
+            encoder.encode([rng.randrange(64) for _ in range(params.n)]),
+            keys.public,
+        )
+        cts.append((a, b))
+        ops.append((JobKind.MULTIPLY, (serialize_ciphertext(a), serialize_ciphertext(b))))
+
+    start = time.perf_counter()
+    server = FheServer(pool_size=4, max_batch=4)
+    sid = server.open_session(
+        "paper",
+        serialize_params(params),
+        relin_key=serialize_relin_key(keys.relin, params),
+    )
+    jids = [server.submit(sid, kind, operands) for kind, operands in ops]
+    wires = [server.result(jid) for jid in jids]
+    wall = time.perf_counter() - start
+
+    report = server.pool_report()
+    rows = server.throughput_rows()
+    for row in rows:
+        row["chip_jobs"] = report["fidelity"].get("chip", 0)
+        row["batch_makespan"] = report["batch_makespan_cycles"]
+    print_table(
+        f"Paper-scale serving ({PAPER_MULTS} EvalMult, "
+        f"{params.describe()}, wall {wall:.1f}s)",
+        rows, COLUMNS,
+    )
+    # Every tensor executed chip-natively, tower-sharded across workers.
+    assert report["fidelity"].get("chip") == PAPER_MULTS
+    assert len(report["tower_cycles"]) == params.cofhee_tower_count
+    metrics = server.job_metrics(jids[0])
+    assert len(set(metrics.tower_workers)) == params.cofhee_tower_count
+    # The engine-backed serving stack answers bit-for-bit with local
+    # ground truth at paper scale.
+    expected = bfv.multiply_relin(cts[0][0], cts[0][1], keys.relin)
+    assert wires[0] == serialize_ciphertext(expected)

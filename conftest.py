@@ -1,0 +1,32 @@
+"""Repo-root pytest configuration shared by tests/ and benchmarks/.
+
+The ``--slow`` option and the ``paper_scale`` skip logic live here (once)
+so that ``pytest tests benchmarks`` in a single invocation works — both
+trees used to register the option and pytest rejects duplicates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow", action="store_true", default=False,
+        help="run paper-scale (n >= 2^12) tests/benchmarks marked paper_scale",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """``paper_scale`` items only run when explicitly requested.
+
+    They take seconds to minutes each (real chip-model traffic at
+    n = 2^12 and 2^13), so the tier-1 suite skips them;
+    ``tools/run_checks.sh --slow`` turns them on.
+    """
+    if config.getoption("--slow"):
+        return
+    skip = pytest.mark.skip(reason="paper-scale: pass --slow to run")
+    for item in items:
+        if "paper_scale" in item.keywords:
+            item.add_marker(skip)

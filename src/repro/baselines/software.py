@@ -17,11 +17,11 @@ Two layers:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.bfv.params import BfvParameters
+from repro.polymath.engine import BatchedRnsEngine, get_engine, require_engine
 from repro.polymath.ntt import NttContext
 from repro.polymath.rns import RnsBasis
 
@@ -39,21 +39,49 @@ class SoftwareBfv:
     This is the algorithmic mirror of ``CofheeDriver.ciphertext_multiply``:
     per tower, 4 forward NTTs, 4 Hadamard products, 1 addition, 3 inverse
     NTTs — the outputs CRT-recombine to the big-modulus tensor mod q.
+
+    Where every tower modulus is a word-sized NTT-friendly prime, the
+    whole tower stack executes in one pass on the batched engine
+    (:mod:`repro.polymath.engine`) — this is what keeps the chip pool's
+    per-tower mod-q cross-check from dominating chip-job wall time. Wide
+    or non-NTT-friendly towers fall back, per basis, to the exact
+    pure-Python :class:`NttContext` path; results are bit-identical.
+
+    Args:
+        basis: the RNS tower basis.
+        n: polynomial degree.
+        engine: ``"auto"`` (batched where the basis qualifies),
+            ``"batched"`` (require the vectorized engine), or ``"pure"``
+            (force the per-butterfly reference path).
     """
 
-    def __init__(self, basis: RnsBasis, n: int, use_fast: bool = False):
+    def __init__(self, basis: RnsBasis, n: int, engine: str = "auto"):
+        if engine not in ("auto", "batched", "pure"):
+            raise ValueError(
+                f"engine must be 'auto', 'batched', or 'pure', got {engine!r}"
+            )
         self.basis = basis
         self.n = n
-        self._ctx = {q: self._make_ctx(n, q, use_fast) for q in basis.moduli}
+        self._engine: BatchedRnsEngine | None = None
+        if engine == "batched":
+            # An explicit request bypasses the REPRO_ENGINE kill switch
+            # (which only governs auto-selection) and fails loudly when
+            # the basis cannot run on the engine.
+            self._engine = require_engine(basis, n)
+        elif engine == "auto":
+            self._engine = get_engine(basis, n)
+        self._tower_index = {q: i for i, q in enumerate(basis.moduli)}
+        if self._engine is None:
+            self._ctx = {q: NttContext(n, q) for q in basis.moduli}
+        else:
+            self._ctx = {}
+        self._tower_views: dict[int, BatchedRnsEngine] = {}
         self.tower_ops = {"ntt": 0, "intt": 0, "hadamard": 0, "add": 0}
 
-    @staticmethod
-    def _make_ctx(n: int, q: int, use_fast: bool):
-        if use_fast and q.bit_length() <= 31:
-            from repro.polymath.fastntt import FastNttContext
-
-            return FastNttContext(n, q)
-        return NttContext(n, q)
+    @property
+    def engine_kind(self) -> str:
+        """Which execution engine this instance selected."""
+        return "batched" if self._engine is not None else "pure"
 
     def tower_multiply(
         self,
@@ -64,37 +92,62 @@ class SoftwareBfv:
         """The Eq. 4 tensor on one tower: ``[y0, y1, y2]`` mod ``q``.
 
         This is the per-tower ground truth the chip pool cross-checks each
-        worker's Algorithm 3 output against.
+        worker's Algorithm 3 output against. On the batched path the tower
+        runs as a degenerate single-row stack through a view that shares
+        the full engine's precomputation.
         """
-        if q not in self._ctx:
+        if q not in self._tower_index:
             raise ValueError(f"modulus {q} is not a tower of {self.basis!r}")
+        self._count_tensor_ops(towers=1)
+        if self._engine is not None:
+            view = self._tower_views.get(q)
+            if view is None:
+                view = self._engine.select([self._tower_index[q]])
+                self._tower_views[q] = view
+            y = view.tensor(
+                view.decompose(ct_a[0]),
+                view.decompose(ct_a[1]),
+                view.decompose(ct_b[0]),
+                view.decompose(ct_b[1]),
+            )
+            return [out[0].tolist() for out in y]
         ctx = self._ctx[q]
         a0 = ctx.forward([c % q for c in ct_a[0]])
         a1 = ctx.forward([c % q for c in ct_a[1]])
         b0 = ctx.forward([c % q for c in ct_b[0]])
         b1 = ctx.forward([c % q for c in ct_b[1]])
-        self.tower_ops["ntt"] += 4
         y0 = [int(x) * int(y) % q for x, y in zip(a0, b0)]
         y2 = [int(x) * int(y) % q for x, y in zip(a1, b1)]
         cross1 = [int(x) * int(y) % q for x, y in zip(a0, b1)]
         cross2 = [int(x) * int(y) % q for x, y in zip(a1, b0)]
-        self.tower_ops["hadamard"] += 4
         y1 = [(u + v) % q for u, v in zip(cross1, cross2)]
-        self.tower_ops["add"] += 1
-        outs = [
+        return [
             [int(c) for c in ctx.inverse(y0)],
             [int(c) for c in ctx.inverse(y1)],
             [int(c) for c in ctx.inverse(y2)],
         ]
-        self.tower_ops["intt"] += 3
-        return outs
 
     def ciphertext_multiply(
         self,
         ct_a: tuple[Sequence[int], Sequence[int]],
         ct_b: tuple[Sequence[int], Sequence[int]],
     ) -> list[list[int]]:
-        """Return the three tensor polynomials mod q (big-modulus form)."""
+        """Return the three tensor polynomials mod q (big-modulus form).
+
+        On the batched path all towers of the tensor run in one engine
+        pass and the CRT recombination is vectorized; the per-tower op
+        counters tally the same logical work either way.
+        """
+        if self._engine is not None:
+            eng = self._engine
+            self._count_tensor_ops(towers=eng.num_towers)
+            y0, y1, y2 = eng.tensor(
+                eng.decompose(ct_a[0]),
+                eng.decompose(ct_a[1]),
+                eng.decompose(ct_b[0]),
+                eng.decompose(ct_b[1]),
+            )
+            return [eng.reconstruct(y) for y in (y0, y1, y2)]
         tower_results = [
             self.tower_multiply(q, ct_a, ct_b) for q in self.basis.moduli
         ]
@@ -102,6 +155,13 @@ class SoftwareBfv:
             self.basis.reconstruct_poly([tw[j] for tw in tower_results])
             for j in range(3)
         ]
+
+    def _count_tensor_ops(self, towers: int) -> None:
+        """SEAL's per-tower op mix: 4 NTT, 4 Hadamard, 1 add, 3 iNTT."""
+        self.tower_ops["ntt"] += 4 * towers
+        self.tower_ops["hadamard"] += 4 * towers
+        self.tower_ops["add"] += towers
+        self.tower_ops["intt"] += 3 * towers
 
 
 @dataclass(frozen=True)

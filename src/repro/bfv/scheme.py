@@ -74,8 +74,13 @@ class Bfv:
         multiplier: optional drop-in exact negacyclic multiplier (an object
             with ``multiply(a_centered, b_centered) -> list[int]``), e.g.
             :class:`repro.polymath.fastntt.RnsExactMultiplier` for the
-            serving layer's vectorized backend. Defaults to the pure-Python
-            auxiliary-prime multiplier.
+            serving layer's vectorized backend. When omitted the scheme
+            auto-selects: the batched-engine CRT multiplier where a
+            word-sized auxiliary basis exists for ``n`` (the common case),
+            with a transparent fallback to the exact pure-Python
+            auxiliary-prime multiplier. Every multiplier computes the same
+            exact integer product, so results are bit-identical regardless
+            of the choice.
     """
 
     def __init__(self, params: BfvParameters, seed: int = 0, multiplier=None):
@@ -84,7 +89,12 @@ class Bfv:
         self._rng = random.Random(seed)
         self._ternary = TernarySampler(self._rng)
         self._gaussian = DiscreteGaussianSampler(self._rng, params.sigma)
-        self._mult_ctx = multiplier or _ExactMultiplier(params.n, params.q)
+        self._mult_ctx = multiplier or _default_multiplier(params.n, params.q)
+
+    @property
+    def multiplier_kind(self) -> str:
+        """Which exact multiplier backs this instance (class name)."""
+        return type(self._mult_ctx).__name__
 
     # ------------------------------------------------------------------
     # Key generation
@@ -343,6 +353,29 @@ class Bfv:
             raise ValueError(
                 f"plaintext modulus {plaintext.ring.q} != scheme t {self.params.t}"
             )
+
+
+def _default_multiplier(n: int, q: int):
+    """Auto-select the exact negacyclic multiplier for ``(n, q)``.
+
+    Prefers the batched-engine CRT multiplier
+    (:class:`~repro.polymath.fastntt.RnsExactMultiplier`) — every tower of
+    its word-sized auxiliary basis runs through one vectorized pass — and
+    falls back to the pure-Python wide-auxiliary-prime multiplier when no
+    qualifying basis exists (or the engine is disabled via
+    ``REPRO_ENGINE=off``). Both are exact over the integers, so the choice
+    never changes a ciphertext bit.
+    """
+    from repro.polymath.engine import engine_enabled
+
+    if engine_enabled():
+        from repro.polymath.fastntt import RnsExactMultiplier
+
+        try:
+            return RnsExactMultiplier(n, q)
+        except ValueError:
+            pass  # no word-sized auxiliary basis for this degree
+    return _ExactMultiplier(n, q)
 
 
 class _ExactMultiplier:

@@ -13,6 +13,7 @@ micro-architecture and is validated against this layer.
 """
 
 from repro.polymath.bitrev import bit_reverse, bit_reverse_indices, bit_reverse_permute
+from repro.polymath.engine import BatchedRnsEngine, get_engine
 from repro.polymath.modmath import (
     BarrettReducer,
     MontgomeryReducer,
@@ -27,6 +28,7 @@ from repro.polymath.poly import Polynomial, PolynomialRing
 from repro.polymath.primes import (
     find_primitive_root,
     is_prime,
+    next_smaller_ntt_prime,
     ntt_friendly_prime,
     root_of_unity,
 )
@@ -34,6 +36,7 @@ from repro.polymath.rns import RnsBasis, plan_towers
 
 __all__ = [
     "BarrettReducer",
+    "BatchedRnsEngine",
     "MontgomeryReducer",
     "NttContext",
     "Polynomial",
@@ -43,12 +46,14 @@ __all__ = [
     "bit_reverse_indices",
     "bit_reverse_permute",
     "find_primitive_root",
+    "get_engine",
     "is_prime",
     "modadd",
     "modexp",
     "modinv",
     "modmul",
     "modsub",
+    "next_smaller_ntt_prime",
     "ntt_friendly_prime",
     "plan_towers",
     "root_of_unity",

@@ -3,27 +3,35 @@
 The pure-Python :class:`~repro.polymath.ntt.NttContext` is exact for any
 modulus width (CoFHEE's native 128 bits) but loops per butterfly. For
 moduli below 31 bits — where every product fits ``int64`` — this module
-provides a numpy-vectorized drop-in with identical semantics, used by the
-software baseline and the larger property sweeps. It mirrors how SEAL
-keeps its towers word-sized precisely to unlock vectorized arithmetic:
-the same engineering trade the paper's Section II-D describes.
+provides numpy-vectorized drop-ins with identical semantics. It mirrors
+how SEAL keeps its towers word-sized precisely to unlock vectorized
+arithmetic: the same engineering trade the paper's Section II-D describes.
+
+Both classes here are thin fronts over the batched tower engine
+(:mod:`repro.polymath.engine`), which holds the shared precomputation —
+twiddle tables, Shoup constants, CRT pieces — and runs every tower of a
+stack in one vectorized pass. :class:`FastNttContext` is the single-tower
+view (kept for API compatibility and per-tower call sites);
+:class:`RnsExactMultiplier` batches its whole auxiliary CRT basis.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.polymath.modmath import modinv
-from repro.polymath.ntt import NttContext
-from repro.polymath.primes import ntt_friendly_prime
-from repro.polymath.rns import RnsBasis, _next_smaller_ntt_prime
+from repro.polymath.engine import MAX_MODULUS_BITS, require_engine
+from repro.polymath.primes import next_smaller_ntt_prime, ntt_friendly_prime
+from repro.polymath.rns import RnsBasis
 
-#: Products a*b must fit int64: a, b < 2^31 keeps a*b < 2^62.
-MAX_MODULUS_BITS = 31
+__all__ = ["MAX_MODULUS_BITS", "FastNttContext", "RnsExactMultiplier"]
 
 
 class FastNttContext:
     """Numpy-vectorized negacyclic NTT, bit-identical to ``NttContext``.
+
+    A single-tower view of :class:`~repro.polymath.engine.BatchedRnsEngine`
+    (degenerate ``(1, n)`` stacks) — the engine owns the twiddle/Shoup
+    precomputation.
 
     Args:
         n: polynomial degree (power of two).
@@ -38,78 +46,49 @@ class FastNttContext:
             )
         self.n = n
         self.q = q
-        self._ref = NttContext(n, q)  # twiddle construction shared
-        self._psi_brv = np.asarray(self._ref._psi_brv, dtype=np.int64)
-        self._ipsi_brv = np.asarray(self._ref._ipsi_brv, dtype=np.int64)
-        self._n_inv = modinv(n, q)
+        # Shared per-(basis, n) cache: every FastNttContext over the same
+        # modulus reuses one set of twiddle/Shoup tables.
+        self._engine = require_engine(RnsBasis([q]), n)
 
     @property
     def psi(self) -> int:
-        return self._ref.psi
+        return self._engine._ctxs[0].psi
 
     def forward(self, coeffs) -> np.ndarray:
         """Cooley-Tukey DIT, natural -> bit-reversed order (vectorized)."""
-        a = np.asarray(coeffs, dtype=np.int64) % self.q
-        self._check(a)
-        q = self.q
-        t = self.n
-        m = 1
-        while m < self.n:
-            t >>= 1
-            # stage layout: m blocks of length 2t starting at 2*i*t
-            a = a.reshape(m, 2 * t)
-            u = a[:, :t]
-            v = a[:, t:]
-            s = self._psi_brv[m : 2 * m, None]
-            vs = v * s % q
-            a = np.concatenate(((u + vs) % q, (u - vs) % q), axis=1)
-            m <<= 1
-        return a.reshape(self.n)
+        return self._engine.forward(self._as_stack(coeffs))[0]
 
     def inverse(self, values) -> np.ndarray:
         """Gentleman-Sande DIF + n^-1 scaling (vectorized)."""
-        a = np.asarray(values, dtype=np.int64) % self.q
-        self._check(a)
-        q = self.q
-        t = 1
-        m = self.n
-        while m > 1:
-            h = m >> 1
-            a = a.reshape(h, 2 * t)
-            u = a[:, :t]
-            v = a[:, t:]
-            s = self._ipsi_brv[h : 2 * h, None]
-            summed = (u + v) % q
-            diff = (u - v) * s % q
-            a = np.concatenate((summed, diff), axis=1)
-            t <<= 1
-            m = h
-        return a.reshape(self.n) * self._n_inv % q
+        return self._engine.inverse(self._as_stack(values))[0]
 
     def negacyclic_multiply(self, a, b) -> list[int]:
         """Polynomial product modulo ``x^n + 1`` via the fast transforms."""
-        fa = self.forward(a)
-        fb = self.forward(b)
-        return [int(x) for x in self.inverse(fa * fb % self.q)]
+        prod = self._engine.negacyclic_multiply(
+            self._as_stack(a), self._as_stack(b)
+        )
+        return prod[0].tolist()
 
-    def _check(self, a: np.ndarray) -> None:
+    def _as_stack(self, coeffs) -> np.ndarray:
+        a = np.asarray(coeffs, dtype=np.int64) % self.q
         if a.shape != (self.n,):
             raise ValueError(f"expected {self.n} coefficients, got {a.shape}")
+        return a[None, :]
 
 
 class RnsExactMultiplier:
-    """Exact integer negacyclic product via CRT over word-sized numpy NTTs.
+    """Exact integer negacyclic product via CRT over batched numpy NTTs.
 
     Drop-in replacement for the scheme's pure-Python auxiliary-prime
     multiplier (``repro.bfv.scheme._ExactMultiplier``): the Eq. 4 tensor
     needs the *integer* product of centered polynomials, whose coefficients
     are bounded by ``n * (q/2)**2`` — far beyond int64 for the paper's
     moduli. Instead of one wide auxiliary prime, the bound is covered by a
-    basis of distinct sub-31-bit NTT-friendly primes so every tower runs
-    through the vectorized :class:`FastNttContext`, and the exact result is
-    CRT-reconstructed per coefficient. This is the trade SEAL makes
-    (word-sized towers unlock vectorized arithmetic) applied to the serving
-    layer's fast-numpy backend.
+    basis of distinct sub-31-bit NTT-friendly primes, the full tower stack
+    runs through one :class:`~repro.polymath.engine.BatchedRnsEngine`
+    pass, and the exact result is CRT-reconstructed per coefficient. This
+    is the trade SEAL makes (word-sized towers unlock vectorized
+    arithmetic) applied to the whole evaluation path.
 
     Args:
         n: polynomial degree (power of two).
@@ -133,19 +112,16 @@ class RnsExactMultiplier:
         while total.bit_length() <= bound_bits + 2:
             primes.append(candidate)
             total *= candidate
-            candidate = _next_smaller_ntt_prime(candidate, n)
+            candidate = next_smaller_ntt_prime(candidate, n)
         self.basis = RnsBasis(primes)
-        self._ctxs = [FastNttContext(n, p) for p in primes]
+        # The auxiliary basis is NTT-friendly sub-31-bit by construction,
+        # so the shared engine cache always qualifies — every Bfv instance
+        # over the same (n, q) reuses one precomputation.
+        self._engine = require_engine(self.basis, n)
 
     def multiply(self, a_centered, b_centered) -> list[int]:
         """Return the exact integer negacyclic product of centered inputs."""
-        residues = []
-        for ctx in self._ctxs:
-            p = ctx.q
-            fa = ctx.forward([x % p for x in a_centered])
-            fb = ctx.forward([x % p for x in b_centered])
-            residues.append(ctx.inverse(fa * fb % p))
-        return [
-            self.basis.centered_reconstruct([int(r[i]) for r in residues])
-            for i in range(self.n)
-        ]
+        eng = self._engine
+        fa = eng.forward(eng.decompose(a_centered))
+        fb = eng.forward(eng.decompose(b_centered))
+        return eng.centered_reconstruct(eng.inverse(eng.pointwise_mul(fa, fb)))

@@ -75,6 +75,25 @@ def ntt_friendly_prime(n: int, bits: int) -> int:
     raise ValueError(f"no {bits}-bit prime of the form 2k*{n}+1 found")
 
 
+def next_smaller_ntt_prime(q: int, n: int) -> int:
+    """Return the next NTT-friendly prime strictly below ``q`` for degree ``n``.
+
+    Walks down the ``2kn + 1`` ladder from ``q``; used wherever a basis
+    needs several *distinct* coprime towers (RNS planning, the CRT bases
+    of the exact multipliers).
+
+    Raises:
+        ValueError: if the ladder is exhausted before reaching ``2n``.
+    """
+    step = 2 * n
+    candidate = q - step
+    while candidate > 2 * n:
+        if is_prime(candidate):
+            return candidate
+        candidate -= step
+    raise ValueError("ran out of NTT-friendly primes")
+
+
 def find_primitive_root(q: int) -> int:
     """Return a generator of the multiplicative group of ``Z_q`` (q prime)."""
     if not is_prime(q):

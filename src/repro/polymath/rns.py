@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.polymath.modmath import modinv
-from repro.polymath.primes import ntt_friendly_prime
+from repro.polymath.primes import next_smaller_ntt_prime, ntt_friendly_prime
 
 
 class RnsBasis:
@@ -194,22 +194,9 @@ def plan_towers(total_bits: int, word_bits: int, n: int) -> list[int]:
     for bits in sizes:
         q = ntt_friendly_prime(n, bits)
         while q in primes:  # ensure distinct (coprime) towers
-            q = _next_smaller_ntt_prime(q, n)
+            q = next_smaller_ntt_prime(q, n)
         primes.append(q)
     return primes
-
-
-def _next_smaller_ntt_prime(q: int, n: int) -> int:
-    """Return the next NTT-friendly prime below ``q`` for degree ``n``."""
-    from repro.polymath.primes import is_prime
-
-    step = 2 * n
-    candidate = q - step
-    while candidate > 2 * n:
-        if is_prime(candidate):
-            return candidate
-        candidate -= step
-    raise ValueError("ran out of NTT-friendly primes")
 
 
 def _gcd(a: int, b: int) -> int:

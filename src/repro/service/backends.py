@@ -668,15 +668,17 @@ class ChipPoolBackend(Backend):
     def _reference_for(self, session: Session) -> SoftwareBfv:
         """Per-tower mod-q ground truth for cross-checks (cached per digest).
 
-        Uses the vectorized NTT contexts where tower moduli fit — the
-        cross-check stays affordable at paper-scale degrees.
+        Auto-selects the batched tower engine where tower moduli fit
+        (single-tower views share one precomputation) — the cross-check
+        stays affordable at paper-scale degrees instead of dominating
+        chip-job wall time.
         """
         if session.digest not in self._mod_q_reference:
             basis = self._chip_native_basis(session)
             if basis is None:
                 basis = RnsBasis([session.params.q])
             self._mod_q_reference[session.digest] = SoftwareBfv(
-                basis, session.params.n, use_fast=True
+                basis, session.params.n
             )
         return self._mod_q_reference[session.digest]
 

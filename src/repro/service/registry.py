@@ -15,6 +15,11 @@ The serving layer's state store. Three invariants:
   tables); the registry builds one per digest and shares it across every
   tenant and request using those parameters — the twiddle cache the chip
   driver gets by keeping a modulus programmed, applied server-side.
+  Execution-engine selection happens here too, once per digest at
+  context-cache time: the scheme auto-selects the batched RNS tower
+  engine where a word-sized auxiliary basis qualifies and falls back to
+  the exact pure-Python multiplier for wide moduli;
+  :attr:`ParamsContext.engine_kind` records the choice.
 """
 
 from __future__ import annotations
@@ -46,11 +51,27 @@ class ParamsContext:
     _fast_engine: Bfv | None = field(default=None, repr=False)
 
     @property
+    def engine_kind(self) -> str:
+        """The exact-multiplier implementation the default engine selected
+        for this parameter set (``RnsExactMultiplier`` = batched tower
+        engine, ``_ExactMultiplier`` = pure-Python auxiliary prime)."""
+        return self.engine.multiplier_kind
+
+    @property
     def fast_engine(self) -> Bfv:
-        """Evaluation engine backed by the numpy RNS multiplier (lazy)."""
+        """Evaluation engine that *requires* the numpy RNS multiplier.
+
+        The default :attr:`engine` already auto-selects the batched tower
+        engine where the basis qualifies; this accessor is for callers
+        that must not silently fall back (the ``fastntt`` backend), so it
+        raises ``ValueError`` when no word-sized basis exists.
+        """
         if self._fast_engine is None:
-            multiplier = RnsExactMultiplier(self.params.n, self.params.q)
-            self._fast_engine = Bfv(self.params, multiplier=multiplier)
+            if self.engine.multiplier_kind == "RnsExactMultiplier":
+                self._fast_engine = self.engine  # share the cached engine
+            else:
+                multiplier = RnsExactMultiplier(self.params.n, self.params.q)
+                self._fast_engine = Bfv(self.params, multiplier=multiplier)
         return self._fast_engine
 
 

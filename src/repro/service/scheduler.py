@@ -34,11 +34,19 @@ BatchKey = tuple[bytes, str]
 
 @dataclass
 class ServiceStats:
-    """Aggregate accounting across every dispatched batch."""
+    """Aggregate accounting across every dispatched batch.
+
+    ``cache_hits`` / ``cache_misses`` count the server's content-addressed
+    result cache: a hit completes the job at submit time without ever
+    forming a batch (so hit jobs appear in ``jobs_completed`` but in no
+    :class:`BatchReport`); a miss is a cacheable job that had to execute.
+    """
 
     jobs_submitted: int = 0
     jobs_completed: int = 0
     jobs_failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     batches: list[BatchReport] = field(default_factory=list)
     per_tenant: dict[str, int] = field(default_factory=dict)
 

@@ -14,13 +14,18 @@ completion for the requested job. ``run`` drains everything.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 from repro.bfv.params import BfvParameters
 from repro.bfv.scheme import Ciphertext
 from repro.service.backends import (
     Backend,
+    BackendError,
     ChipPoolBackend,
     FastNttBackend,
     SoftwareBackend,
+    _galois_exponent,
     default_app_params,
 )
 from repro.service.jobs import Job, JobKind, JobStatus
@@ -32,6 +37,8 @@ from repro.service.serialization import (
     deserialize_public_key,
     deserialize_relin_key,
     serialize_ciphertext,
+    serialize_galois_key,
+    serialize_relin_key,
 )
 
 
@@ -47,11 +54,20 @@ class FheServer:
             on-chip instead of silently pricing them from the model.
         pool_engine: host-side functional engine for the chip pool
             (``"exact"`` or ``"fast"``; results are bit-identical).
+        result_cache_size: capacity (entries) of the content-addressed
+            result cache; ``0`` disables caching. Raw-op results are
+            keyed by (params digest, op, rotation steps, backend,
+            evaluation-key digest, operand hashes), so a repeated
+            identical request — common in inference traffic — completes
+            at submit time without recomputation. Homomorphic evaluation
+            is deterministic and all backends are bit-identical, so a
+            cached result is exactly what a fresh execution would return.
     """
 
     def __init__(self, pool_size: int = 4, max_batch: int = 8,
                  default_backend: str = "chip_pool",
-                 strict_fidelity: bool = False, pool_engine: str = "exact"):
+                 strict_fidelity: bool = False, pool_engine: str = "exact",
+                 result_cache_size: int = 256):
         self.registry = SessionRegistry()
         self.chip_pool = ChipPoolBackend(
             pool_size=pool_size, strict_fidelity=strict_fidelity,
@@ -67,6 +83,17 @@ class FheServer:
             max_batch=max_batch,
         )
         self._jobs: dict[str, Job] = {}
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
+        self._cache_capacity = result_cache_size
+        self._result_cache: OrderedDict[tuple, Ciphertext] = OrderedDict()
+        self._pending_cache: dict[str, tuple] = {}
+        # Evaluation-key digests, memoized by key-object identity (the
+        # held reference keeps ids stable while the entry lives);
+        # re-uploading a key yields a new object and therefore a new
+        # digest. LRU-bounded so session churn cannot grow it forever.
+        self._key_digests: OrderedDict[int, tuple[object, bytes]] = OrderedDict()
+        self._key_digest_capacity = 128
 
     # ------------------------------------------------------------------
     # Session management (wire-format inputs)
@@ -122,7 +149,9 @@ class FheServer:
     ) -> str:
         """Queue one job; operands may be wire bytes or Ciphertext objects.
 
-        Returns the job id to ``poll``/``result`` against.
+        A raw-op job whose content address is already cached completes
+        immediately (a cache hit never enters the scheduler); everything
+        else is queued. Returns the job id to ``poll``/``result`` against.
         """
         if isinstance(kind, str):
             kind = JobKind(kind)
@@ -132,6 +161,10 @@ class FheServer:
             if isinstance(op, (bytes, bytearray)) else op
             for op in operands
         ]
+        if backend and backend not in self.backends:
+            raise ValueError(
+                f"unknown backend {backend!r} (have {sorted(self.backends)})"
+            )
         job = Job(
             session_id=session_id,
             tenant=session.tenant,
@@ -141,9 +174,114 @@ class FheServer:
             payload=payload,
             backend=backend,
         )
+        key = self._cache_key(session, job, operands)
+        stats = self.scheduler.stats
+        if key is not None and key in self._result_cache:
+            self._result_cache.move_to_end(key)
+            job.finish(self._result_cache[key])
+            job.metrics.backend = "cache"
+            job.metrics.batch_id = 0
+            stats.jobs_submitted += 1
+            stats.jobs_completed += 1
+            stats.cache_hits += 1
+            stats.per_tenant[job.tenant] = stats.per_tenant.get(job.tenant, 0) + 1
+            self._jobs[job.job_id] = job
+            return job.job_id
+        # Queue first: a rejected submission must leave no server state.
         self.scheduler.submit(job)
         self._jobs[job.job_id] = job
+        if key is not None:
+            stats.cache_misses += 1
+            self._pending_cache[job.job_id] = key
         return job.job_id
+
+    # ------------------------------------------------------------------
+    # Result cache (content-addressed, ROADMAP "result caching")
+    # ------------------------------------------------------------------
+
+    def _cache_key(self, session: Session, job: Job,
+                   raw_operands: tuple) -> tuple | None:
+        """Content address of a raw-op job, or ``None`` when uncacheable.
+
+        App jobs are excluded (their payloads are verified against a
+        plaintext reference on every run). The evaluation-key digest keeps
+        tenants with identical parameters but different relin/Galois keys
+        from ever sharing an entry, and the backend name keeps a request
+        for a specific execution path honest (all backends return the
+        same bytes, but a tenant asking for chip fidelity gets it).
+        """
+        if self._cache_capacity == 0 or job.kind.is_app:
+            return None
+        operands = hashlib.sha256()
+        for raw, ct in zip(raw_operands, job.operands):
+            data = (
+                bytes(raw) if isinstance(raw, (bytes, bytearray))
+                else serialize_ciphertext(ct)
+            )
+            operands.update(hashlib.sha256(data).digest())
+        return (
+            session.digest,
+            job.kind.value,
+            job.steps,
+            job.backend or self.scheduler.default,
+            self._eval_key_digest(session, job),
+            operands.digest(),
+        )
+
+    def _eval_key_digest(self, session: Session, job: Job) -> bytes:
+        """Digest of the evaluation key material the job would use."""
+        if job.kind in (JobKind.MULTIPLY, JobKind.SQUARE, JobKind.RELINEARIZE):
+            key = session.relin
+            if key is None:
+                return b"no-relin"
+            return self._key_digest(
+                key, lambda: serialize_relin_key(key, session.params)
+            )
+        if job.kind is JobKind.ROTATE:
+            try:
+                exponent = _galois_exponent(session, job.steps)
+            except BackendError:
+                return b"invalid-rotation"  # the job will fail; never cached
+            key = session.galois.get(exponent)
+            if key is None:
+                return b"no-galois"
+            return self._key_digest(
+                key, lambda: serialize_galois_key(key, session.params)
+            )
+        return b""  # add/sub use no key material
+
+    def _key_digest(self, key: object, make_bytes) -> bytes:
+        """Memoized SHA-256 of a serialized evaluation key (LRU-bounded).
+
+        Memoization is by object identity; each live entry holds a
+        reference to its key so a recycled ``id`` can never alias a
+        replaced upload, and eviction only drops the memo — a re-digest
+        of an evicted key is merely recomputed.
+        """
+        entry = self._key_digests.get(id(key))
+        if entry is None or entry[0] is not key:
+            entry = (key, hashlib.sha256(make_bytes()).digest())
+            self._key_digests[id(key)] = entry
+        self._key_digests.move_to_end(id(key))
+        while len(self._key_digests) > self._key_digest_capacity:
+            self._key_digests.popitem(last=False)
+        return entry[1]
+
+    def _harvest_cache(self) -> None:
+        """Move freshly completed cacheable results into the cache (LRU)."""
+        if not self._pending_cache:
+            return
+        finished = [
+            jid for jid in self._pending_cache if self._jobs[jid].done
+        ]
+        for jid in finished:
+            key = self._pending_cache.pop(jid)
+            job = self._jobs[jid]
+            if job.status is JobStatus.DONE and isinstance(job.result, Ciphertext):
+                self._result_cache[key] = job.result
+                self._result_cache.move_to_end(key)
+                while len(self._result_cache) > self._cache_capacity:
+                    self._result_cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Progress and results
@@ -160,6 +298,7 @@ class FheServer:
         job = self._job(job_id)
         if not job.done:
             self.scheduler.step()
+            self._harvest_cache()
         return job.status
 
     def result(self, job_id: str, wire: bool = True) -> object:
@@ -176,6 +315,7 @@ class FheServer:
         while not job.done:
             if self.scheduler.step() is None:
                 break
+        self._harvest_cache()
         if job.status is JobStatus.FAILED:
             raise RuntimeError(f"job {job_id} failed: {job.error}")
         if not job.done:
@@ -189,7 +329,9 @@ class FheServer:
 
     def run(self) -> ServiceStats:
         """Drain every queued job."""
-        return self.scheduler.run_all()
+        stats = self.scheduler.run_all()
+        self._harvest_cache()
+        return stats
 
     # ------------------------------------------------------------------
     # Reporting
@@ -225,22 +367,31 @@ class FheServer:
         — the conservative view under the per-batch gather barrier;
         always >= ``wall_cycles``). ``per_worker_cycles`` shows the
         spread, ``tower_cycles`` the per-tower totals over every
-        chip-executed batch, and ``fidelity`` counts jobs per execution
-        path (``chip`` / ``model`` / ``relin_model``).
+        chip-executed batch, ``fidelity`` counts jobs per execution
+        path (``chip`` / ``model`` / ``relin_model``), and
+        ``result_cache`` reports the content-addressed cache (hits
+        complete at submit time and cost the pool nothing).
         """
         pool = self.chip_pool
+        stats = self.scheduler.stats
         tower_totals: dict[int, int] = {}
-        for report in self.scheduler.stats.batches:
+        for report in stats.batches:
             for t, c in enumerate(report.tower_cycles):
                 tower_totals[t] = tower_totals.get(t, 0) + c
         return {
             "pool": len(pool.workers),
             "wall_cycles": pool.wall_cycles,
-            "batch_makespan_cycles": self.scheduler.stats.makespan_cycles,
+            "batch_makespan_cycles": stats.makespan_cycles,
             "total_cycles": pool.total_cycles,
             "per_worker_cycles": [w.busy_cycles for w in pool.workers],
             "tower_cycles": [
                 tower_totals[t] for t in sorted(tower_totals)
             ],
-            "fidelity": self.scheduler.stats.fidelity,
+            "fidelity": stats.fidelity,
+            "result_cache": {
+                "hits": stats.cache_hits,
+                "misses": stats.cache_misses,
+                "entries": len(self._result_cache),
+                "capacity": self._cache_capacity,
+            },
         }

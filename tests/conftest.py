@@ -17,26 +17,8 @@ from repro.core.driver import CofheeDriver
 from repro.polymath.primes import ntt_friendly_prime
 
 
-def pytest_addoption(parser):
-    parser.addoption(
-        "--slow", action="store_true", default=False,
-        help="run paper-scale (n = 2^12) tests marked paper_scale",
-    )
-
-
-def pytest_collection_modifyitems(config, items):
-    """``paper_scale`` tests only run when explicitly requested.
-
-    They take tens of seconds each (real chip-model traffic at n = 2^12),
-    so the tier-1 suite skips them; ``tools/run_checks.sh --slow`` turns
-    them on.
-    """
-    if config.getoption("--slow"):
-        return
-    skip = pytest.mark.skip(reason="paper-scale test: pass --slow to run")
-    for item in items:
-        if "paper_scale" in item.keywords:
-            item.add_marker(skip)
+# The --slow option and the paper_scale skip logic live in the repo-root
+# conftest.py, shared with benchmarks/.
 
 
 @pytest.fixture

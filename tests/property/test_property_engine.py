@@ -1,0 +1,149 @@
+"""Property suite: the batched RNS tower engine is bit-identical to
+:class:`NttContext` across random (n, basis, tower-count) grids.
+
+The engine's lazy (Shoup) kernels keep values in ``[0, 4q)`` between
+butterfly stages, so the strategies deliberately bias coefficients toward
+the reduction boundaries (0, 1, q-2, q-1) where an off-by-one in the
+conditional subtraction would surface. Single-tower degenerate stacks and
+the 31-bit plain-kernel path are part of the grid.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polymath.engine import (
+    MAX_MODULUS_BITS,
+    SHOUP_LAZY_MAX_BITS,
+    BatchedRnsEngine,
+    supports,
+)
+from repro.polymath.ntt import NttContext
+from repro.polymath.rns import RnsBasis, plan_towers
+
+#: (n, tower_bits, tower_count) grid; bits = 31 exercises the plain
+#: kernel, everything else the Shoup-lazy kernel; towers = 1 is the
+#: degenerate single-tower stack.
+_GRID = [
+    (8, 14, 1),
+    (8, 20, 3),
+    (16, 30, 2),
+    (16, 31, 2),
+    (32, 24, 4),
+    (64, 31, 1),
+    (64, 30, 3),
+]
+
+_ENGINES: dict[tuple[int, int, int], BatchedRnsEngine] = {}
+_REFS: dict[tuple[int, int, int], list[NttContext]] = {}
+for case in _GRID:
+    n, bits, towers = case
+    basis = RnsBasis(plan_towers(bits * towers, bits, n))
+    _ENGINES[case] = BatchedRnsEngine(basis, n)
+    _REFS[case] = [NttContext(n, q) for q in basis.moduli]
+
+cases = st.sampled_from(_GRID)
+
+
+def _tower(draw, n, q):
+    """Coefficients biased toward the lazy-reduction edges near 0 and q."""
+    edge = st.sampled_from([0, 1, q - 2, q - 1])
+    return draw(
+        st.lists(
+            st.one_of(st.integers(min_value=0, max_value=q - 1), edge),
+            min_size=n, max_size=n,
+        )
+    )
+
+
+def _stack(draw, engine):
+    return [_tower(draw, engine.n, q) for q in engine.basis.moduli]
+
+
+@given(case=cases, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_forward_bit_identical_to_nttcontext(case, data):
+    engine, refs = _ENGINES[case], _REFS[case]
+    towers = _stack(data.draw, engine)
+    out = engine.forward(engine.stack(towers))
+    for row, ref, tower in zip(out, refs, towers):
+        assert row.tolist() == ref.forward(tower)
+
+
+@given(case=cases, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_inverse_bit_identical_to_nttcontext(case, data):
+    engine, refs = _ENGINES[case], _REFS[case]
+    towers = _stack(data.draw, engine)
+    out = engine.inverse(engine.stack(towers))
+    for row, ref, tower in zip(out, refs, towers):
+        assert row.tolist() == ref.inverse(tower)
+
+
+@given(case=cases, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_and_negacyclic_multiply(case, data):
+    engine, refs = _ENGINES[case], _REFS[case]
+    a = engine.stack(_stack(data.draw, engine))
+    b = engine.stack(_stack(data.draw, engine))
+    assert engine.inverse(engine.forward(a)).tolist() == a.tolist()
+    prod = engine.negacyclic_multiply(a, b)
+    for row, ref, ta, tb in zip(prod, refs, a.tolist(), b.tolist()):
+        assert row.tolist() == ref.negacyclic_multiply(ta, tb)
+
+
+@given(case=cases, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_crt_reconstruct_matches_rnsbasis(case, data):
+    engine = _ENGINES[case]
+    towers = _stack(data.draw, engine)
+    stack = engine.stack(towers)
+    assert engine.reconstruct(stack) == engine.basis.reconstruct_poly(towers)
+    # decompose is the inverse direction
+    value = engine.basis.reconstruct_poly(towers)
+    assert engine.decompose(value).tolist() == stack.tolist()
+
+
+@given(case=cases, data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_select_view_matches_full_engine(case, data):
+    """A sub-view (shared precomputation) equals per-tower reference."""
+    engine, refs = _ENGINES[case], _REFS[case]
+    i = data.draw(st.integers(min_value=0, max_value=engine.num_towers - 1))
+    view = engine.select([i])
+    tower = _tower(data.draw, engine.n, engine.basis.moduli[i])
+    out = view.forward(view.stack([tower]))
+    assert out[0].tolist() == refs[i].forward(tower)
+
+
+def test_all_max_coefficients_through_both_kernels():
+    """The all-(q-1) stack is the worst case for lazy accumulation."""
+    for case in _GRID:
+        engine, refs = _ENGINES[case], _REFS[case]
+        towers = [[q - 1] * engine.n for q in engine.basis.moduli]
+        fwd = engine.forward(engine.stack(towers))
+        for row, ref, tower in zip(fwd, refs, towers):
+            assert row.tolist() == ref.forward(tower)
+        inv = engine.inverse(fwd)
+        for row, ref, f in zip(inv, refs, fwd.tolist()):
+            assert row.tolist() == ref.inverse(f)
+
+
+def test_kernel_selection_is_width_driven():
+    lazy = [c for c in _GRID if c[1] <= SHOUP_LAZY_MAX_BITS]
+    plain = [c for c in _GRID if c[1] > SHOUP_LAZY_MAX_BITS]
+    assert lazy and plain, "grid must cover both kernels"
+    for case in lazy:
+        assert _ENGINES[case].lazy
+    for case in plain:
+        assert not _ENGINES[case].lazy
+        assert case[1] <= MAX_MODULUS_BITS
+
+
+def test_supports_rejects_wide_and_non_friendly():
+    from repro.polymath.primes import ntt_friendly_prime
+
+    assert supports(RnsBasis([ntt_friendly_prime(16, 20)]), 16)
+    # 40-bit tower: exact but not engine-qualifying
+    assert not supports(RnsBasis([ntt_friendly_prime(16, 40)]), 16)
+    # prime but q != 1 mod 2n: no negacyclic NTT at this degree
+    assert not supports(RnsBasis([999983]), 16)

@@ -114,6 +114,27 @@ class TestDifferentialGrid:
             )
 
 
+class TestGroundTruthEngineParity:
+    """The ground-truth ``Bfv`` engine itself auto-selects the batched RNS
+    multiplier; a forced pure-Python scheme must produce the same bits."""
+
+    @pytest.mark.parametrize("kind", [JobKind.MULTIPLY, JobKind.SQUARE])
+    def test_auto_and_pure_scheme_agree(self, world, kind, monkeypatch):
+        params, bfv, keys, encoder, fresh = world
+        assert bfv.multiplier_kind == "RnsExactMultiplier"
+        operands = tuple(
+            fresh() for _ in range(2 if kind is JobKind.MULTIPLY else 1)
+        )
+        expected = _ground_truth(bfv, keys, kind, operands)
+        monkeypatch.setenv("REPRO_ENGINE", "off")
+        pure = Bfv(params, seed=1234)
+        assert pure.multiplier_kind == "_ExactMultiplier"
+        got = _ground_truth(pure, keys, kind, operands)
+        assert [p.coeffs for p in got.polys] == [
+            p.coeffs for p in expected.polys
+        ]
+
+
 class TestFidelityFlags:
     def test_multiply_runs_chip_path_on_every_tower(self, world):
         """EvalMult executes tower-by-tower on worker drivers, flagged."""

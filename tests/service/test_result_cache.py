@@ -1,0 +1,205 @@
+"""Content-addressed result caching in :class:`FheServer`.
+
+Repeated identical requests (common in inference traffic) must complete
+at submit time from the cache, and the cache must never confuse tenants
+whose parameters match but whose evaluation keys differ.
+"""
+
+import random
+
+import pytest
+
+from repro.bfv import BatchEncoder, Bfv, BfvParameters
+from repro.service.jobs import JobKind, JobStatus
+from repro.service.serialization import (
+    serialize_ciphertext,
+    serialize_params,
+    serialize_relin_key,
+)
+from repro.service.server import FheServer
+
+PARAMS = BfvParameters.toy_rns(n=16, towers=2, tower_bits=20)
+
+
+@pytest.fixture(scope="module")
+def client():
+    bfv = Bfv(PARAMS, seed=77)
+    keys = bfv.keygen(relin_digit_bits=14)
+    encoder = BatchEncoder(PARAMS)
+    rng = random.Random(5)
+
+    def fresh():
+        return bfv.encrypt(
+            encoder.encode([rng.randrange(16) for _ in range(PARAMS.n)]),
+            keys.public,
+        )
+
+    return bfv, keys, fresh
+
+
+def _open(server, keys, tenant="acme"):
+    return server.open_session(
+        tenant, serialize_params(PARAMS),
+        relin_key=serialize_relin_key(keys.relin, PARAMS),
+    )
+
+
+class TestCacheHits:
+    def test_identical_multiply_hits(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=2)
+        sid = _open(server, keys)
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        first = server.submit(sid, JobKind.MULTIPLY, ops)
+        wire_first = server.result(first)
+        second = server.submit(sid, JobKind.MULTIPLY, ops)
+        # A hit completes at submit time: no poll needed, no batch formed.
+        assert server.poll(second) is JobStatus.DONE
+        assert server.result(second) == wire_first
+        assert server.job_metrics(second).backend == "cache"
+        report = server.pool_report()["result_cache"]
+        assert report["hits"] == 1
+        assert report["misses"] == 1
+        assert report["entries"] == 1
+
+    def test_hit_adds_no_pool_work(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=2)
+        sid = _open(server, keys)
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        server.result(server.submit(sid, JobKind.MULTIPLY, ops))
+        cycles_before = server.pool_report()["total_cycles"]
+        server.result(server.submit(sid, JobKind.MULTIPLY, ops))
+        assert server.pool_report()["total_cycles"] == cycles_before
+
+    def test_object_and_wire_operands_share_an_address(self, client):
+        """The content address is the wire bytes, however operands arrive."""
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1)
+        sid = _open(server, keys)
+        a, b = fresh(), fresh()
+        server.result(server.submit(
+            sid, JobKind.ADD,
+            (serialize_ciphertext(a), serialize_ciphertext(b)),
+        ))
+        jid = server.submit(sid, JobKind.ADD, (a, b))
+        assert server.poll(jid) is JobStatus.DONE
+        assert server.pool_report()["result_cache"]["hits"] == 1
+
+
+class TestCacheMisses:
+    def test_different_operands_miss(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1)
+        sid = _open(server, keys)
+        for _ in range(2):
+            ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+            server.result(server.submit(sid, JobKind.MULTIPLY, ops))
+        report = server.pool_report()["result_cache"]
+        assert report["hits"] == 0
+        assert report["misses"] == 2
+
+    def test_kind_is_part_of_the_address(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1)
+        sid = _open(server, keys)
+        ct = serialize_ciphertext(fresh())
+        server.result(server.submit(sid, JobKind.ADD, (ct, ct)))
+        server.result(server.submit(sid, JobKind.SUB, (ct, ct)))
+        assert server.pool_report()["result_cache"]["hits"] == 0
+
+    def test_backend_is_part_of_the_address(self, client):
+        """A tenant asking for a specific execution path gets it."""
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1)
+        sid = _open(server, keys)
+        ct = serialize_ciphertext(fresh())
+        server.result(server.submit(sid, JobKind.ADD, (ct, ct),
+                                    backend="chip_pool"))
+        server.result(server.submit(sid, JobKind.ADD, (ct, ct),
+                                    backend="software"))
+        assert server.pool_report()["result_cache"]["hits"] == 0
+        assert server.backends["software"].jobs_done == 1
+
+    def test_different_relin_keys_never_share(self, client):
+        """Same params digest + same operand bytes, different relin key:
+        the results differ, so the cache must not cross tenants."""
+        bfv, keys, fresh = client
+        other_keys = Bfv(PARAMS, seed=4242).keygen(relin_digit_bits=14)
+        server = FheServer(pool_size=1)
+        sid_a = _open(server, keys, tenant="alpha")
+        sid_b = server.open_session(
+            "beta", serialize_params(PARAMS),
+            relin_key=serialize_relin_key(other_keys.relin, PARAMS),
+        )
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        wire_a = server.result(server.submit(sid_a, JobKind.MULTIPLY, ops))
+        wire_b = server.result(server.submit(sid_b, JobKind.MULTIPLY, ops))
+        assert server.pool_report()["result_cache"]["hits"] == 0
+        assert wire_a != wire_b  # different relin keys -> different tails
+
+    def test_app_jobs_bypass_the_cache(self):
+        server = FheServer(pool_size=1)
+        sid = server.open_app_session("acme", JobKind.LOGREG)
+        payload = {"samples": [[1, 0, -1]], "seed": 11}
+        for _ in range(2):
+            server.result(server.submit(sid, JobKind.LOGREG, payload=payload))
+        report = server.pool_report()["result_cache"]
+        assert report["hits"] == 0
+        assert report["misses"] == 0
+
+
+class TestRejectedSubmissions:
+    def test_unknown_backend_leaves_no_server_state(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1)
+        sid = _open(server, keys)
+        ct = serialize_ciphertext(fresh())
+        with pytest.raises(ValueError, match="unknown backend"):
+            server.submit(sid, JobKind.ADD, (ct, ct), backend="nope")
+        assert server._jobs == {}
+        assert server._pending_cache == {}
+        report = server.pool_report()["result_cache"]
+        assert report["misses"] == 0 and report["hits"] == 0
+
+
+class TestCapacityAndDisable:
+    def test_lru_eviction(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1, result_cache_size=1)
+        sid = _open(server, keys)
+        op1 = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        op2 = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        server.result(server.submit(sid, JobKind.ADD, op1))
+        server.result(server.submit(sid, JobKind.ADD, op2))  # evicts op1
+        server.result(server.submit(sid, JobKind.ADD, op1))  # recompute
+        report = server.pool_report()["result_cache"]
+        assert report["hits"] == 0
+        assert report["entries"] == 1
+
+    def test_zero_capacity_disables(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1, result_cache_size=0)
+        sid = _open(server, keys)
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        for _ in range(2):
+            server.result(server.submit(sid, JobKind.ADD, ops))
+        report = server.pool_report()["result_cache"]
+        assert report == {"hits": 0, "misses": 0, "entries": 0, "capacity": 0}
+
+    def test_cached_result_decrypts_correctly(self, client):
+        """The cached ciphertext is the real answer, not a stale object."""
+        from repro.service.serialization import deserialize_ciphertext
+
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=2)
+        sid = _open(server, keys)
+        a, b = fresh(), fresh()
+        ops = (serialize_ciphertext(a), serialize_ciphertext(b))
+        server.result(server.submit(sid, JobKind.MULTIPLY, ops))
+        wire = server.result(server.submit(sid, JobKind.MULTIPLY, ops))
+        expected = bfv.multiply_relin(a, b, keys.relin)
+        got = deserialize_ciphertext(wire, PARAMS)
+        assert bfv.decrypt(got, keys.secret) == bfv.decrypt(
+            expected, keys.secret
+        )

@@ -3,17 +3,22 @@
 # mode (one pass, no timing statistics). Run from anywhere.
 #
 #   tools/run_checks.sh          # tier-1 + benchmark smoke
-#   tools/run_checks.sh --slow   # also the paper-scale (n = 2^12)
-#                                # pool-scaling suite
+#   tools/run_checks.sh --bench  # also the kernel + serving micro-bench
+#                                # (writes BENCH_kernels.json and enforces
+#                                # the >= 10x EvalMult perf gate)
+#   tools/run_checks.sh --slow   # also the paper-scale suites
+#                                # (n = 2^12 pool scaling, n = 2^13 serving)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_SLOW=0
+RUN_BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --slow) RUN_SLOW=1 ;;
-    *) echo "unknown option: $arg (supported: --slow)" >&2; exit 2 ;;
+    --bench) RUN_BENCH=1 ;;
+    *) echo "unknown option: $arg (supported: --slow, --bench)" >&2; exit 2 ;;
   esac
 done
 
@@ -24,10 +29,20 @@ echo
 echo "== serving-layer benchmark (smoke) =="
 python -m pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
 
+if [ "$RUN_BENCH" = 1 ]; then
+  echo
+  echo "== kernel + serving micro-benchmarks (BENCH_kernels.json) =="
+  PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python tools/bench_kernels.py
+fi
+
 if [ "$RUN_SLOW" = 1 ]; then
   echo
   echo "== paper-scale pool scaling (n = 2^12, --slow) =="
   python -m pytest tests/service/test_pool_scaling_paper.py --slow -q -s
+  echo
+  echo "== paper-scale serving benchmark (n = 2^13, --slow) =="
+  python -m pytest benchmarks/bench_service_throughput.py --slow -q -s \
+    --benchmark-disable
 fi
 
 echo
