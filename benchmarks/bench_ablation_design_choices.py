@@ -13,7 +13,7 @@
 
 import random
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.core.scaling import dual_port_tradeoff
 from repro.core.timing import TimingModel

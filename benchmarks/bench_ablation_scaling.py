@@ -8,7 +8,7 @@
 """
 
 import pytest
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.baselines.software import CpuCostModel
 from repro.bfv.params import BfvParameters

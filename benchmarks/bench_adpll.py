@@ -5,7 +5,7 @@ behavioral model must lock at every target including the 250 MHz operating
 point, with sub-LSB residual error and SAR-speed acquisition.
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.core.adpll import Adpll
 from repro.eval.adpll_eval import adpll_rows, adpll_summary

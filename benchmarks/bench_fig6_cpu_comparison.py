@@ -7,7 +7,7 @@ overtakes one CoFHEE instance, and CoFHEE's PDP is ~2 orders of magnitude
 better.
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.bfv.params import BfvParameters
 from repro.eval.fig6 import crossover_row, fig6_pdp_rows, fig6_rows

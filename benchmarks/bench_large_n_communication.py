@@ -7,7 +7,7 @@
   increase, and the NTT operation becomes more expensive").
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.core.chip import ChipConfig, CoFHEE
 from repro.core.driver import CofheeDriver

@@ -5,7 +5,7 @@ Each sub-bench runs the corresponding flow model and compares against the
 fabricated chip's reported statistics.
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.eval.physical_tables import (
     TABLE4_PAPER,

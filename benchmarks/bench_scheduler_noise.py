@@ -8,7 +8,7 @@
   choices encode.
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.bfv.noise import NoiseModel, security_level_bits
 from repro.bfv.params import BfvParameters

@@ -18,7 +18,7 @@ import random
 import time
 
 import pytest
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.bfv import BatchEncoder, Bfv, BfvParameters
 from repro.service.jobs import JobKind
@@ -41,6 +41,7 @@ COLUMNS = [
 
 
 def _traffic():
+    """Fixed workload plus per-op ground truth (third tuple element)."""
     bfv = Bfv(PARAMS, seed=31337)
     keys = bfv.keygen(relin_digit_bits=12)
     encoder = BatchEncoder(PARAMS)
@@ -56,7 +57,15 @@ def _traffic():
                 encoder.encode([rng.randrange(32) for _ in range(PARAMS.n)]),
                 keys.public,
             )
-            ops.append((kind, (serialize_ciphertext(a), serialize_ciphertext(b))))
+            expected = (
+                bfv.multiply_relin(a, b, keys.relin)
+                if kind is JobKind.MULTIPLY else bfv.add(a, b)
+            )
+            ops.append((
+                kind,
+                (serialize_ciphertext(a), serialize_ciphertext(b)),
+                serialize_ciphertext(expected),
+            ))
     return keys, ops
 
 
@@ -67,7 +76,7 @@ def _serve(pool_size: int, backend: str, keys, ops) -> list[dict]:
         serialize_params(PARAMS),
         relin_key=serialize_relin_key(keys.relin, PARAMS),
     )
-    for kind, operands in ops:
+    for kind, operands, _expected in ops:
         server.submit(sid, kind, operands, backend=backend)
     server.run()
     rows = server.throughput_rows()
@@ -107,6 +116,59 @@ def test_service_throughput(benchmark):
     # rows must carry the counter; defaulting would hide a dead branch).
     assert all(r["chip_jobs"] == N_MULTS for r in by_pool.values())
     assert all(r["jobs"] == N_MULTS + N_ADDS for r in rows)
+
+
+# ----------------------------------------------------------------------
+# Wire-transport serving: the same workload through a real localhost
+# socket — length-prefixed CRC frames, the worker-thread execution pump,
+# and pushed completion events instead of polling.
+# ----------------------------------------------------------------------
+
+
+def test_transport_throughput(benchmark):
+    from repro.service.client import FheClient
+    from repro.service.transport import ThreadedTransportServer
+
+    keys, ops = _traffic()
+
+    def over_the_wire():
+        with ThreadedTransportServer(pool_size=4, max_batch=4) as ts:
+            start = time.perf_counter()
+            with FheClient(ts.host, ts.port) as client:
+                sid = client.open_session(
+                    "bench", serialize_params(PARAMS),
+                    relin_key=serialize_relin_key(keys.relin, PARAMS),
+                )
+                jids = [
+                    client.submit(sid, kind, operands)
+                    for kind, operands, _expected in ops
+                ]
+                wires = [client.result(j) for j in jids]
+            wall = time.perf_counter() - start
+            report = ts.fhe.pool_report()
+        return wires, wall, report
+
+    wires, wall, report = benchmark.pedantic(
+        over_the_wire, rounds=1, iterations=1
+    )
+    assert wires == [expected for _, _, expected in ops], (
+        "transport results diverged from Bfv ground truth"
+    )
+    assert report["fidelity"].get("chip") == N_MULTS
+    print_table(
+        f"Wire-transport serving ({len(ops)} jobs over localhost TCP)",
+        [{
+            "backend": "chip_pool+tcp",
+            "pool": 4,
+            "jobs": len(ops),
+            "wall_s": wall,
+            "jobs_per_s": len(ops) / wall if wall > 0 else float("inf"),
+            "batch_makespan": report["batch_makespan_cycles"],
+            "total_cycles": report["total_cycles"],
+            "chip_jobs": report["fidelity"].get("chip", 0),
+        }],
+        COLUMNS,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -4,7 +4,7 @@ Prices the Section VI-C operation mixes on both platforms and checks the
 headline speedups (2.23x and 1.46x).
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.eval.table10 import table10_rows
 

@@ -6,7 +6,7 @@ CoFHEE's speedups over F1 (6.3x), CraterLake (1.39x), BTS (46.19x), and
 ARK (4.72x).
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.eval.table11 import table11_rows
 

@@ -5,7 +5,7 @@ simulator: PolyMul/NTT/iNTT cycles, microseconds at 250 MHz, and
 average/peak power.
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.eval.table5 import table5_rows
 

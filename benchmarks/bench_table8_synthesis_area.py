@@ -4,7 +4,7 @@ Regenerates the block inventory from the synthesis estimator (SRAM
 bit-area laws, quadratic multiplier law, crossbar port-product law).
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.eval.table8 import table8_rows
 from repro.physical.synthesis import SynthesisEstimator

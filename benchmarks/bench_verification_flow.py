@@ -6,7 +6,7 @@ checks the flow-level facts: full pass rate, fault detection, the Nexys 4
 n = 2^12 capacity limit.
 """
 
-from conftest import print_table
+from repro.eval.tables import print_table
 
 from repro.verification import (
     FpgaBuild,

@@ -2,7 +2,10 @@
 
 The ``--slow`` option and the ``paper_scale`` skip logic live here (once)
 so that ``pytest tests benchmarks`` in a single invocation works — both
-trees used to register the option and pytest rejects duplicates.
+trees used to register the option and pytest rejects duplicates. For the
+same reason ``benchmarks/`` has **no** conftest.py of its own: the bench
+helpers moved to :mod:`repro.eval.tables`, because ``import conftest``
+resolves to whichever tree's conftest pytest loaded first.
 """
 
 from __future__ import annotations

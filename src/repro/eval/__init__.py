@@ -18,9 +18,12 @@ from repro.eval.physical_tables import (
     table9_rows,
 )
 from repro.eval.adpll_eval import adpll_rows
+from repro.eval.tables import format_table, print_table
 
 __all__ = [
     "adpll_rows",
+    "format_table",
+    "print_table",
     "fig6_pdp_rows",
     "fig6_rows",
     "table10_rows",

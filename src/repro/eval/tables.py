@@ -1,0 +1,44 @@
+"""Fixed-width stdout tables shared by benchmarks, demos, and tools.
+
+This used to live in ``benchmarks/conftest.py``, which the bench modules
+imported as ``from conftest import print_table`` — but ``conftest`` is
+whichever conftest module pytest happened to import first, so a combined
+``pytest benchmarks tests`` run resolved it to ``tests/conftest.py`` and
+died collecting. A real module has one unambiguous home.
+"""
+
+from __future__ import annotations
+
+
+def format_row_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 1e-2:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(title: str, rows: list[dict], columns: list[str]) -> str:
+    """Render rows as a fixed-width table (one string, no trailing \\n)."""
+    lines = [f"\n=== {title} ==="]
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    widths = {
+        c: max(len(c), *(len(format_row_value(r.get(c))) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(
+            "  ".join(format_row_value(r.get(c)).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def print_table(title: str, rows: list[dict], columns: list[str]) -> None:
+    print(format_table(title, rows, columns))

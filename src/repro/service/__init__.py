@@ -17,9 +17,16 @@ from a single-shot library into a servable system:
   simulated CoFHEE chips (cycle-accurate), the SEAL-style software
   baseline, and the vectorized numpy path;
 * :mod:`repro.service.server` — the synchronous in-process front door
-  (``submit`` / ``poll`` / ``result``);
+  (``submit`` / ``poll`` / ``result``) with the content-addressed result
+  cache and in-queue dedupe (cache-aware scheduling);
+* :mod:`repro.service.transport` — the asyncio TCP listener: length-
+  prefixed CRC-checked frames, a worker-thread execution pump, and
+  pushed completion events instead of polling;
+* :mod:`repro.service.client` — :class:`AsyncFheClient` (asyncio core)
+  and :class:`FheClient` (sync facade) for driving a remote pool;
 * :mod:`repro.service.demo` — the multi-tenant end-to-end demo behind
-  the ``repro-serve`` console script.
+  the ``repro-serve`` console script (``--listen`` starts the transport,
+  ``--smoke`` runs a localhost round-trip self-test).
 """
 
 from repro.service.backends import (
@@ -30,6 +37,12 @@ from repro.service.backends import (
     FastNttBackend,
     SoftwareBackend,
 )
+from repro.service.client import (
+    AsyncFheClient,
+    FheClient,
+    JobFailedError,
+    TransportError,
+)
 from repro.service.jobs import Job, JobKind, JobMetrics, JobStatus
 from repro.service.registry import Session, SessionError, SessionRegistry
 from repro.service.scheduler import BatchingScheduler, ServiceStats
@@ -39,16 +52,26 @@ from repro.service.serialization import (
     params_digest,
 )
 from repro.service.server import FheServer
+from repro.service.transport import (
+    FheTransportServer,
+    FrameError,
+    ThreadedTransportServer,
+)
 
 __all__ = [
+    "AsyncFheClient",
     "Backend",
     "BackendError",
     "BatchReport",
     "BatchingScheduler",
     "ChipPoolBackend",
     "FastNttBackend",
+    "FheClient",
     "FheServer",
+    "FheTransportServer",
+    "FrameError",
     "Job",
+    "JobFailedError",
     "JobKind",
     "JobMetrics",
     "JobStatus",
@@ -58,6 +81,8 @@ __all__ = [
     "SessionError",
     "SessionRegistry",
     "SoftwareBackend",
+    "ThreadedTransportServer",
+    "TransportError",
     "WireFormatError",
     "params_digest",
 ]

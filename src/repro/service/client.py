@@ -1,0 +1,412 @@
+"""Client side of the wire transport: async core plus a sync facade.
+
+:class:`AsyncFheClient` multiplexes one TCP connection: requests carry a
+client-chosen id echoed by the reply, and a background reader task routes
+every incoming frame — replies resolve their request future, EVENT pushes
+resolve job futures and fire the registered completion callbacks. Nothing
+polls: ``await client.result(job_id)`` parks on the job's future until
+the server pushes its completion event.
+
+:class:`FheClient` wraps the async core for synchronous callers (apps,
+benchmarks, the ``repro-serve --smoke`` self-test): it hosts a private
+event loop on a daemon thread and bridges every call with
+``run_coroutine_threadsafe``. Completion callbacks run on that loop
+thread — keep them short and thread-safe.
+
+Keys stay client-side, as everywhere in the serving layer: the client
+sends parameter sets, *evaluation* keys, and ciphertext bytes; secret
+keys have no wire encoding at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Callable
+
+from repro.bfv.params import BfvParameters
+from repro.bfv.scheme import Ciphertext
+from repro.service.jobs import JobKind
+from repro.service.serialization import (
+    ErrorMsg,
+    EventMsg,
+    OpenSessionMsg,
+    ResultMsg,
+    StatusMsg,
+    SubmitMsg,
+    TAG_ERROR,
+    TAG_EVENT,
+    TAG_RESULT,
+    TAG_SESSION,
+    TAG_STATUS,
+    WireFormatError,
+    decode_error,
+    decode_event,
+    decode_result,
+    decode_session,
+    decode_status,
+    encode_open_session,
+    encode_submit,
+    encode_status,
+    encode_result,
+    peek_tag,
+    serialize_ciphertext,
+    serialize_params,
+)
+from repro.service.transport import (
+    DEFAULT_MAX_FRAME,
+    frame_stream,
+    write_frame,
+)
+
+
+class TransportError(RuntimeError):
+    """The server answered a request with an ERROR frame."""
+
+
+class JobFailedError(TransportError):
+    """A submitted job finished in the FAILED state."""
+
+    def __init__(self, job_id: str, message: str):
+        super().__init__(f"job {job_id} failed: {message}")
+        self.job_id = job_id
+
+
+#: Completion callbacks receive the decoded EVENT for their job.
+DoneCallback = Callable[[EventMsg], None]
+
+
+class _ClientJob:
+    """Per-job completion state: one future, any number of callbacks.
+
+    ``events`` counts completion EVENT frames seen for the job — the
+    exactly-once tests read it; a correct server leaves it at 1.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self.future: asyncio.Future[EventMsg] = loop.create_future()
+        self.callbacks: list[DoneCallback] = []
+        self.events = 0
+
+    def add_callback(self, callback: DoneCallback) -> None:
+        if self.future.done():
+            callback(self.future.result())
+        else:
+            self.callbacks.append(callback)
+
+    def deliver(self, event: EventMsg) -> None:
+        self.events += 1
+        if not self.future.done():
+            self.future.set_result(event)
+        # Callbacks fire once per received event on purpose: a server
+        # that double-delivers shows up in the exactly-once battery.
+        for callback in self.callbacks:
+            callback(event)
+
+
+def _wire_operands(operands) -> tuple[bytes, ...]:
+    out = []
+    for op in operands:
+        if isinstance(op, (bytes, bytearray)):
+            out.append(bytes(op))
+        elif isinstance(op, Ciphertext):
+            out.append(serialize_ciphertext(op))
+        else:
+            raise TypeError(
+                f"operands must be wire bytes or Ciphertext, got {type(op)!r}"
+            )
+    return tuple(out)
+
+
+class AsyncFheClient:
+    """One multiplexed connection to a :class:`FheTransportServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame: int = DEFAULT_MAX_FRAME):
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._loop = asyncio.get_running_loop()
+        self._request_ids = itertools.count(1)
+        self._replies: dict[int, asyncio.Future] = {}
+        self._jobs: dict[str, _ClientJob] = {}
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *,
+                      max_frame: int = DEFAULT_MAX_FRAME) -> "AsyncFheClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame)
+
+    # -- frame routing -------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        exc: Exception = ConnectionError("connection closed by server")
+        try:
+            async for frame in frame_stream(self._reader, self._max_frame):
+                self._route(frame)
+        except Exception as caught:  # noqa: BLE001 — fail all waiters below
+            exc = caught
+        finally:
+            self._fail_outstanding(exc)
+
+    def _route(self, frame: bytes) -> None:
+        tag = peek_tag(frame)
+        if tag == TAG_EVENT:
+            event = decode_event(frame)
+            # The server may push the EVENT right behind the SUBMIT reply
+            # (cache hits do), so both can land in one read chunk —
+            # before the submit() coroutine has resumed to register the
+            # job. Create the record here; submit()'s setdefault adopts
+            # it and sees the already-resolved future.
+            self._jobs.setdefault(
+                event.job_id, _ClientJob(self._loop)
+            ).deliver(event)
+            return
+        if tag == TAG_SESSION:
+            msg = decode_session(frame)
+        elif tag == TAG_STATUS:
+            msg = decode_status(frame)
+        elif tag == TAG_RESULT:
+            msg = decode_result(frame)
+        elif tag == TAG_ERROR:
+            err = decode_error(frame)
+            if err.request_id == 0:
+                # Connection-level protocol error: everything in flight
+                # is dead; the server is closing the link.
+                self._fail_outstanding(TransportError(err.message))
+                return
+            future = self._replies.pop(err.request_id, None)
+            if future is not None and not future.done():
+                future.set_exception(TransportError(err.message))
+            return
+        else:
+            raise WireFormatError(f"unexpected server frame tag 0x{tag:02x}")
+        future = self._replies.pop(msg.request_id, None)
+        if future is not None and not future.done():
+            future.set_result(msg)
+
+    def _fail_outstanding(self, exc: Exception) -> None:
+        for future in self._replies.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._replies.clear()
+        for job in self._jobs.values():
+            if not job.future.done():
+                job.future.set_exception(exc)
+
+    async def _request(self, message: bytes, request_id: int):
+        if self._closed:
+            raise TransportError("client is closed")
+        future = self._loop.create_future()
+        self._replies[request_id] = future
+        try:
+            await write_frame(self._writer, message, self._max_frame)
+        except BaseException:
+            # The request never left: unregister its reply future so it
+            # cannot linger (and warn about an unretrieved exception) at
+            # connection teardown.
+            self._replies.pop(request_id, None)
+            future.cancel()
+            raise
+        return await future
+
+    # -- API -----------------------------------------------------------
+
+    async def open_session(
+        self,
+        tenant: str,
+        params: bytes | BfvParameters,
+        *,
+        public_key: bytes | None = None,
+        relin_key: bytes | None = None,
+        galois_keys: tuple[bytes, ...] = (),
+    ) -> str:
+        """Open (or rejoin) the tenant's session for a parameter set."""
+        if isinstance(params, BfvParameters):
+            params = serialize_params(params)
+        rid = next(self._request_ids)
+        reply = await self._request(encode_open_session(OpenSessionMsg(
+            request_id=rid, tenant=tenant, params=bytes(params),
+            public_key=public_key, relin_key=relin_key,
+            galois_keys=tuple(bytes(g) for g in galois_keys),
+        )), rid)
+        return reply.session_id
+
+    async def submit(
+        self,
+        session_id: str,
+        kind: JobKind | str,
+        operands=(),
+        *,
+        steps: int = 0,
+        backend: str = "",
+        on_done: DoneCallback | None = None,
+    ) -> str:
+        """Queue a raw-op job; returns its job id.
+
+        The submission subscribes to the job's completion event, so a
+        later ``await result(job_id)`` never polls, and ``on_done`` (if
+        given) fires with the :class:`EventMsg` the moment the server
+        pushes it.
+        """
+        kind_value = kind.value if isinstance(kind, JobKind) else str(kind)
+        rid = next(self._request_ids)
+        reply: StatusMsg = await self._request(encode_submit(SubmitMsg(
+            request_id=rid, session_id=session_id, kind=kind_value,
+            operands=_wire_operands(operands),
+            steps=steps, backend=backend, subscribe=True,
+        )), rid)
+        job = self._jobs.setdefault(reply.job_id, _ClientJob(self._loop))
+        if on_done is not None:
+            job.add_callback(on_done)
+        return reply.job_id
+
+    async def result(self, job_id: str) -> bytes:
+        """Await the job's completion event; returns the result bytes.
+
+        Raises :class:`JobFailedError` if the job failed server-side.
+        """
+        try:
+            job = self._jobs[job_id]
+        except KeyError:
+            raise KeyError(
+                f"job {job_id!r} was not submitted on this client"
+            ) from None
+        event = await asyncio.shield(job.future)
+        if event.status != "done":
+            raise JobFailedError(job_id, event.error or "unknown failure")
+        return event.payload
+
+    async def status(self, job_id: str) -> str:
+        """Ask the server for a job's current status (read-only)."""
+        rid = next(self._request_ids)
+        reply: StatusMsg = await self._request(encode_status(StatusMsg(
+            request_id=rid, job_id=job_id
+        )), rid)
+        return reply.status
+
+    async def fetch_result(self, job_id: str) -> bytes:
+        """Request a job's result explicitly (RESULT frame).
+
+        Useful for jobs another connection submitted, or after a missed
+        event; the server answers when the job completes.
+        """
+        rid = next(self._request_ids)
+        reply: ResultMsg = await self._request(encode_result(ResultMsg(
+            request_id=rid, job_id=job_id
+        )), rid)
+        if reply.status != "done":
+            raise JobFailedError(job_id, reply.error or "unknown failure")
+        return reply.payload
+
+    def events_received(self, job_id: str) -> int:
+        """How many completion events arrived for a job (expected: 1)."""
+        job = self._jobs.get(job_id)
+        return 0 if job is None else job.events
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncFheClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+class FheClient:
+    """Synchronous facade over :class:`AsyncFheClient`.
+
+    Hosts a private event loop on a daemon thread so ordinary code (and
+    the benchmarks) can drive a remote pool without touching asyncio::
+
+        with FheClient(host, port) as client:
+            sid = client.open_session("acme", params_bytes, relin_key=rk)
+            job = client.submit(sid, "multiply", (a_bytes, b_bytes))
+            wire = client.result(job)   # parks on the completion event
+
+    ``on_done`` callbacks run on the client's loop thread.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 timeout: float | None = 120.0):
+        self._timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="fhe-client", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._client: AsyncFheClient = self._run(
+                AsyncFheClient.connect(host, port, max_frame=max_frame)
+            )
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    def _run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            self._timeout
+        )
+
+    def open_session(self, tenant, params, *, public_key=None,
+                     relin_key=None, galois_keys=()) -> str:
+        return self._run(self._client.open_session(
+            tenant, params, public_key=public_key, relin_key=relin_key,
+            galois_keys=galois_keys,
+        ))
+
+    def submit(self, session_id, kind, operands=(), *, steps=0, backend="",
+               on_done: DoneCallback | None = None) -> str:
+        return self._run(self._client.submit(
+            session_id, kind, operands, steps=steps, backend=backend,
+            on_done=on_done,
+        ))
+
+    def result(self, job_id: str) -> bytes:
+        return self._run(self._client.result(job_id))
+
+    def status(self, job_id: str) -> str:
+        return self._run(self._client.status(job_id))
+
+    def fetch_result(self, job_id: str) -> bytes:
+        return self._run(self._client.fetch_result(job_id))
+
+    def events_received(self, job_id: str) -> int:
+        return self._client.events_received(job_id)
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        try:
+            self._run(self._client.aclose())
+        finally:
+            self._stop_loop()
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+
+    def __enter__(self) -> "FheClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -16,14 +16,25 @@ of 4 on identical traffic to show the makespan shrink.
 
 Run:  ``python examples/encrypted_service_demo.py``  (or ``repro-serve``
 after ``pip install -e .``).
+
+The console script also fronts the asyncio wire transport:
+
+* ``repro-serve --listen [HOST:]PORT`` starts a TCP listener a remote
+  :class:`~repro.service.client.FheClient` can drive;
+* ``repro-serve --smoke`` spins up an ephemeral listener, pushes one
+  chip-native EvalMult through a real socket with a completion
+  callback, and asserts the result is bit-identical to local ground
+  truth — the transport stage of ``tools/run_checks.sh --transport``.
 """
 
 from __future__ import annotations
 
+import argparse
 import random
 from dataclasses import dataclass
 
 from repro.bfv import BatchEncoder, Bfv, BfvParameters, RotationEngine
+from repro.eval.tables import print_table as _print_table
 from repro.service.jobs import JobKind
 from repro.service.serialization import (
     deserialize_ciphertext,
@@ -35,20 +46,6 @@ from repro.service.serialization import (
 from repro.service.server import FheServer
 
 BACKENDS = ("chip_pool", "software", "fastntt")
-
-
-def _print_table(title: str, rows: list[dict], columns: list[str]) -> None:
-    print(f"\n=== {title} ===")
-    if not rows:
-        print("(no rows)")
-        return
-    fmt = lambda v: f"{v:.4g}" if isinstance(v, float) else ("-" if v is None else str(v))
-    widths = {c: max(len(c), *(len(fmt(r.get(c))) for r in rows)) for c in columns}
-    header = "  ".join(c.ljust(widths[c]) for c in columns)
-    print(header)
-    print("-" * len(header))
-    for r in rows:
-        print("  ".join(fmt(r.get(c)).ljust(widths[c]) for c in columns))
 
 
 @dataclass
@@ -200,7 +197,117 @@ def pool_scaling(client: RawClient, sizes=(1, 4), jobs: int = 12) -> list[dict]:
     return rows
 
 
-def main() -> int:
+def serve(listen: str, pool_size: int, max_batch: int) -> int:
+    """Run the asyncio wire transport until interrupted."""
+    import asyncio
+
+    from repro.service.transport import FheTransportServer
+
+    host, _, port_text = listen.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"--listen wants [HOST:]PORT, got {listen!r}")
+
+    async def _serve():
+        server = FheTransportServer(
+            host=host, port=port, pool_size=pool_size, max_batch=max_batch
+        )
+        bound_host, bound_port = await server.start()
+        print(f"repro-serve: listening on {bound_host}:{bound_port} "
+              f"(chip pool x{pool_size}, Ctrl-C to stop)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("repro-serve: draining in-flight jobs…")
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def transport_smoke(pool_size: int = 2) -> int:
+    """One EvalMult through a real localhost socket, asserted bit-identical.
+
+    Uses the sync :class:`~repro.service.client.FheClient` against a
+    thread-hosted listener — the full stack a deployment would run, in
+    one process: wire serialization, length-prefixed frames, the worker
+    thread executor, tower-sharded chip execution, and the pushed
+    completion callback.
+    """
+    from repro.service.client import FheClient
+    from repro.service.transport import ThreadedTransportServer
+
+    params = BfvParameters.toy_rns(n=16, towers=2, tower_bits=20)
+    bfv = Bfv(params, seed=2026)
+    keys = bfv.keygen(relin_digit_bits=14)
+    encoder = BatchEncoder(params)
+    a = bfv.encrypt(encoder.encode(list(range(params.n))), keys.public)
+    b = bfv.encrypt(
+        encoder.encode(list(range(params.n, 2 * params.n))), keys.public
+    )
+    expected = serialize_ciphertext(bfv.multiply_relin(a, b, keys.relin))
+
+    callbacks: list[str] = []
+    with ThreadedTransportServer(pool_size=pool_size) as ts:
+        print(f"transport smoke: listener on {ts.host}:{ts.port} "
+              f"(chip pool x{pool_size})")
+        with FheClient(ts.host, ts.port) as client:
+            sid = client.open_session(
+                "smoke", serialize_params(params),
+                relin_key=serialize_relin_key(keys.relin, params),
+            )
+            jid = client.submit(
+                sid, JobKind.MULTIPLY,
+                (serialize_ciphertext(a), serialize_ciphertext(b)),
+                on_done=lambda event: callbacks.append(event.status),
+            )
+            wire = client.result(jid)
+        report = ts.fhe.pool_report()
+    assert wire == expected, "transport result diverged from Bfv ground truth"
+    assert callbacks == ["done"], f"expected one completion event, got {callbacks}"
+    assert report["fidelity"].get("chip") == 1, report["fidelity"]
+    print("transport smoke: EvalMult over the socket is bit-identical to "
+          "local ground truth, 1 completion callback, chip-native ✓")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="CoFHEE serving layer: in-process demo, wire-transport "
+                    "listener, or transport smoke test.",
+    )
+    parser.add_argument(
+        "--listen", metavar="[HOST:]PORT",
+        help="start the asyncio wire transport instead of the demo",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="transport self-test: ephemeral listener, one EvalMult "
+             "round-trip, assert bit-identical",
+    )
+    parser.add_argument("--pool", type=int, default=4, metavar="N",
+                        help="chips in the pool backend (default 4)")
+    parser.add_argument("--max-batch", type=int, default=6, metavar="N",
+                        help="scheduler batch size (default 6)")
+    args = parser.parse_args(argv)
+    if args.smoke and args.listen:
+        parser.error("--smoke and --listen are mutually exclusive")
+    if args.smoke:
+        return transport_smoke(pool_size=args.pool)
+    if args.listen:
+        return serve(args.listen, args.pool, args.max_batch)
+    return run_demo()
+
+
+def run_demo() -> int:
     print("CoFHEE serving layer demo: 3 tenants x 3 backends over one chip pool")
     client = RawClient.build()
     server = FheServer(pool_size=4, max_batch=6)

@@ -71,6 +71,11 @@ class JobMetrics:
     cycles came from the compiled DAG estimate. ``relin_fidelity`` is
     ``"model"`` when a relinearization was priced (never chip-executed)
     rather than silently folded in.
+
+    Jobs completed without executing record how: ``backend == "cache"``
+    for content-addressed result-cache hits, ``backend == "dedupe"`` for
+    in-queue dedupe followers — ``dedupe_of`` then names the primary job
+    whose single execution produced this job's result.
     """
 
     backend: str = ""
@@ -85,6 +90,7 @@ class JobMetrics:
     relin_cycles: int = 0
     fidelity: str = ""
     relin_fidelity: str = ""
+    dedupe_of: str = ""
 
 
 _job_ids = itertools.count(1)

@@ -40,6 +40,13 @@ class ServiceStats:
     result cache: a hit completes the job at submit time without ever
     forming a batch (so hit jobs appear in ``jobs_completed`` but in no
     :class:`BatchReport`); a miss is a cacheable job that had to execute.
+
+    ``dedupe_hits`` counts in-queue dedupe — cache-aware scheduling's
+    submit-before-complete case: a job whose content address matches one
+    already queued or running attaches to that execution as a follower
+    instead of executing again, and the one result fans out to every
+    attached job when the primary completes. Followers appear in
+    ``jobs_submitted``/``jobs_completed`` but in no batch.
     """
 
     jobs_submitted: int = 0
@@ -47,6 +54,7 @@ class ServiceStats:
     jobs_failed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    dedupe_hits: int = 0
     batches: list[BatchReport] = field(default_factory=list)
     per_tenant: dict[str, int] = field(default_factory=dict)
 

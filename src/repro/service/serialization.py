@@ -21,6 +21,13 @@ are rejected by :meth:`repro.polymath.poly.PolynomialRing.unpack`.
 Secret keys are deliberately **not** serializable: the serving layer's
 contract is that secrets never cross the wire — clients encrypt, upload
 evaluation keys, and decrypt locally.
+
+The **control plane** of the async transport speaks the same envelope:
+OPEN-SESSION/SESSION, SUBMIT/STATUS, RESULT, EVENT, and ERROR messages
+(tags 0x10-0x16) carry job routing fields plus nested data-plane blobs
+(each itself a framed message), all under the one MAGIC/VERSION/CRC32
+scheme — a bit flipped anywhere in a control frame is caught by the same
+checksum that protects a ciphertext.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import struct
 import zlib
+from dataclasses import dataclass
 
 from repro.bfv.keys import PublicKey, RelinKey
 from repro.bfv.params import BfvParameters
@@ -46,6 +54,18 @@ TAG_PUBLIC_KEY = 0x04
 TAG_RELIN_KEY = 0x05
 TAG_GALOIS_KEY = 0x06
 
+# Transport control plane (repro.service.transport). Client -> server:
+# OPEN_SESSION, SUBMIT, and STATUS/RESULT queries; server -> client:
+# SESSION, STATUS, RESULT replies (echoing the request id), unsolicited
+# EVENT pushes (completion callbacks), and ERROR.
+TAG_OPEN_SESSION = 0x10
+TAG_SESSION = 0x11
+TAG_SUBMIT = 0x12
+TAG_STATUS = 0x13
+TAG_RESULT = 0x14
+TAG_EVENT = 0x15
+TAG_ERROR = 0x16
+
 _TAG_NAMES = {
     TAG_PARAMS: "params",
     TAG_POLYNOMIAL: "polynomial",
@@ -53,6 +73,13 @@ _TAG_NAMES = {
     TAG_PUBLIC_KEY: "public-key",
     TAG_RELIN_KEY: "relin-key",
     TAG_GALOIS_KEY: "galois-key",
+    TAG_OPEN_SESSION: "open-session",
+    TAG_SESSION: "session",
+    TAG_SUBMIT: "submit",
+    TAG_STATUS: "status",
+    TAG_RESULT: "result",
+    TAG_EVENT: "event",
+    TAG_ERROR: "error",
 }
 
 DIGEST_BYTES = 32
@@ -86,6 +113,21 @@ def _bigint(value: int) -> bytes:
     return _u32(len(raw)) + raw
 
 
+def _i64(value: int) -> bytes:
+    return struct.pack(">q", value)
+
+
+def _str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ValueError(f"wire string too long ({len(raw)} bytes)")
+    return _u16(len(raw)) + raw
+
+
+def _blob(data: bytes) -> bytes:
+    return _u32(len(data)) + data
+
+
 class _Reader:
     """Cursor over a message body with strict bounds checking."""
 
@@ -114,6 +156,22 @@ class _Reader:
 
     def double(self) -> float:
         return struct.unpack(">d", self.take(8))[0]
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def i64(self) -> int:
+        return struct.unpack(">q", self.take(8))[0]
+
+    def string(self) -> str:
+        raw = self.take(self.u16())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid UTF-8 in wire string: {exc}") from exc
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
 
     def done(self) -> None:
         if self._pos != len(self._data):
@@ -371,3 +429,244 @@ def deserialize_galois_key(data: bytes, params: BfvParameters) -> GaloisKey:
     rows = _read_key_rows(reader, params)
     reader.done()
     return GaloisKey(exponent=exponent, rows=rows, digit_bits=digit_bits)
+
+
+# ----------------------------------------------------------------------
+# Transport control plane (SUBMIT/STATUS/RESULT/EVENT + session setup)
+# ----------------------------------------------------------------------
+#
+# Requests carry a client-chosen ``request_id`` that the matching reply
+# echoes, so one connection can pipeline many requests. Nested blobs are
+# themselves framed data-plane messages (params, keys, ciphertexts) — the
+# receiver re-validates them with their own CRC after the control frame's.
+
+
+@dataclass(frozen=True)
+class OpenSessionMsg:
+    """Client request: bind a tenant to a parameter set plus keys."""
+
+    request_id: int
+    tenant: str
+    params: bytes  # framed params message
+    public_key: bytes | None = None
+    relin_key: bytes | None = None
+    galois_keys: tuple[bytes, ...] = ()
+
+
+@dataclass(frozen=True)
+class SessionMsg:
+    """Server reply to OPEN_SESSION: the session id to submit under."""
+
+    request_id: int
+    session_id: str
+
+
+@dataclass(frozen=True)
+class SubmitMsg:
+    """Client request: queue one raw-op job.
+
+    ``subscribe`` asks the server to push an :class:`EventMsg` the moment
+    the job completes — the async completion callback; no polling needed.
+    """
+
+    request_id: int
+    session_id: str
+    kind: str
+    operands: tuple[bytes, ...]  # framed ciphertext messages
+    steps: int = 0
+    backend: str = ""
+    subscribe: bool = True
+
+
+@dataclass(frozen=True)
+class StatusMsg:
+    """Status query (client -> server, ``status == ""``) or report.
+
+    As the SUBMIT reply it carries the assigned ``job_id`` plus the
+    submit-time status (``done`` for a cache hit, else ``queued``).
+    """
+
+    request_id: int
+    job_id: str
+    status: str = ""
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class ResultMsg:
+    """Result request (client -> server, empty payload) or delivery.
+
+    The server answers a RESULT request once the job has finished —
+    asynchronously, without blocking the connection's other traffic.
+    """
+
+    request_id: int
+    job_id: str
+    status: str = ""
+    payload: bytes = b""  # framed ciphertext message when status == done
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class EventMsg:
+    """Unsolicited completion push for a subscribed job."""
+
+    job_id: str
+    status: str
+    payload: bytes = b""  # framed ciphertext message when status == done
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class ErrorMsg:
+    """Request failure (echoes the request id) or, with ``request_id
+    0``, a connection-level protocol error before the link closes."""
+
+    request_id: int
+    message: str
+
+
+def _optional_blob(data: bytes | None) -> bytes:
+    if data is None:
+        return bytes((0,))
+    return bytes((1,)) + _blob(data)
+
+
+def _read_optional_blob(reader: _Reader) -> bytes | None:
+    return reader.blob() if reader.u8() else None
+
+
+def encode_open_session(msg: OpenSessionMsg) -> bytes:
+    body = [
+        _u32(msg.request_id),
+        _str(msg.tenant),
+        _blob(msg.params),
+        _optional_blob(msg.public_key),
+        _optional_blob(msg.relin_key),
+        _u16(len(msg.galois_keys)),
+    ]
+    body.extend(_blob(g) for g in msg.galois_keys)
+    return _frame(TAG_OPEN_SESSION, b"".join(body))
+
+
+def decode_open_session(data: bytes) -> OpenSessionMsg:
+    reader = _unframe(data, TAG_OPEN_SESSION)
+    request_id = reader.u32()
+    tenant = reader.string()
+    params = reader.blob()
+    public_key = _read_optional_blob(reader)
+    relin_key = _read_optional_blob(reader)
+    galois = tuple(reader.blob() for _ in range(reader.u16()))
+    reader.done()
+    return OpenSessionMsg(
+        request_id=request_id, tenant=tenant, params=params,
+        public_key=public_key, relin_key=relin_key, galois_keys=galois,
+    )
+
+
+def encode_session(msg: SessionMsg) -> bytes:
+    return _frame(TAG_SESSION, _u32(msg.request_id) + _str(msg.session_id))
+
+
+def decode_session(data: bytes) -> SessionMsg:
+    reader = _unframe(data, TAG_SESSION)
+    msg = SessionMsg(request_id=reader.u32(), session_id=reader.string())
+    reader.done()
+    return msg
+
+
+def encode_submit(msg: SubmitMsg) -> bytes:
+    if len(msg.operands) > 0xFFFF:
+        raise ValueError(f"too many operands ({len(msg.operands)})")
+    body = [
+        _u32(msg.request_id),
+        _str(msg.session_id),
+        _str(msg.kind),
+        _i64(msg.steps),
+        _str(msg.backend),
+        bytes((1 if msg.subscribe else 0,)),
+        _u16(len(msg.operands)),
+    ]
+    body.extend(_blob(op) for op in msg.operands)
+    return _frame(TAG_SUBMIT, b"".join(body))
+
+
+def decode_submit(data: bytes) -> SubmitMsg:
+    reader = _unframe(data, TAG_SUBMIT)
+    request_id = reader.u32()
+    session_id = reader.string()
+    kind = reader.string()
+    steps = reader.i64()
+    backend = reader.string()
+    subscribe = bool(reader.u8())
+    operands = tuple(reader.blob() for _ in range(reader.u16()))
+    reader.done()
+    return SubmitMsg(
+        request_id=request_id, session_id=session_id, kind=kind,
+        operands=operands, steps=steps, backend=backend, subscribe=subscribe,
+    )
+
+
+def encode_status(msg: StatusMsg) -> bytes:
+    body = (
+        _u32(msg.request_id) + _str(msg.job_id) + _str(msg.status)
+        + _str(msg.error)
+    )
+    return _frame(TAG_STATUS, body)
+
+
+def decode_status(data: bytes) -> StatusMsg:
+    reader = _unframe(data, TAG_STATUS)
+    msg = StatusMsg(
+        request_id=reader.u32(), job_id=reader.string(),
+        status=reader.string(), error=reader.string(),
+    )
+    reader.done()
+    return msg
+
+
+def encode_result(msg: ResultMsg) -> bytes:
+    body = (
+        _u32(msg.request_id) + _str(msg.job_id) + _str(msg.status)
+        + _blob(msg.payload) + _str(msg.error)
+    )
+    return _frame(TAG_RESULT, body)
+
+
+def decode_result(data: bytes) -> ResultMsg:
+    reader = _unframe(data, TAG_RESULT)
+    msg = ResultMsg(
+        request_id=reader.u32(), job_id=reader.string(),
+        status=reader.string(), payload=reader.blob(), error=reader.string(),
+    )
+    reader.done()
+    return msg
+
+
+def encode_event(msg: EventMsg) -> bytes:
+    body = (
+        _str(msg.job_id) + _str(msg.status) + _blob(msg.payload)
+        + _str(msg.error)
+    )
+    return _frame(TAG_EVENT, body)
+
+
+def decode_event(data: bytes) -> EventMsg:
+    reader = _unframe(data, TAG_EVENT)
+    msg = EventMsg(
+        job_id=reader.string(), status=reader.string(),
+        payload=reader.blob(), error=reader.string(),
+    )
+    reader.done()
+    return msg
+
+
+def encode_error(msg: ErrorMsg) -> bytes:
+    return _frame(TAG_ERROR, _u32(msg.request_id) + _str(msg.message))
+
+
+def decode_error(data: bytes) -> ErrorMsg:
+    reader = _unframe(data, TAG_ERROR)
+    msg = ErrorMsg(request_id=reader.u32(), message=reader.string())
+    reader.done()
+    return msg

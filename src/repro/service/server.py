@@ -88,6 +88,11 @@ class FheServer:
         self._cache_capacity = result_cache_size
         self._result_cache: OrderedDict[tuple, Ciphertext] = OrderedDict()
         self._pending_cache: dict[str, tuple] = {}
+        # In-queue dedupe (cache-aware scheduling): content address ->
+        # the queued/running "primary" job id, and primary -> followers
+        # awaiting its result. Works even with the result cache disabled.
+        self._dedupe: dict[tuple, str] = {}
+        self._followers: dict[str, list[str]] = {}
         # Evaluation-key digests, memoized by key-object identity (the
         # held reference keeps ids stable while the entry lives);
         # re-uploading a key yields a new object and therefore a new
@@ -150,7 +155,10 @@ class FheServer:
         """Queue one job; operands may be wire bytes or Ciphertext objects.
 
         A raw-op job whose content address is already cached completes
-        immediately (a cache hit never enters the scheduler); everything
+        immediately (a cache hit never enters the scheduler). One whose
+        address matches a job still queued or running attaches to that
+        execution as a dedupe follower — the cache hit wins when both
+        apply, since a cached result needs no waiting at all. Everything
         else is queued. Returns the job id to ``poll``/``result`` against.
         """
         if isinstance(kind, str):
@@ -187,12 +195,26 @@ class FheServer:
             stats.per_tenant[job.tenant] = stats.per_tenant.get(job.tenant, 0) + 1
             self._jobs[job.job_id] = job
             return job.job_id
+        if key is not None:
+            primary_id = self._dedupe.get(key)
+            if primary_id is not None and not self._jobs[primary_id].done:
+                # Submit-before-complete miss: attach to the in-flight
+                # execution; the result fans out at harvest time.
+                job.metrics.backend = "dedupe"
+                job.metrics.dedupe_of = primary_id
+                self._jobs[job.job_id] = job
+                self._followers.setdefault(primary_id, []).append(job.job_id)
+                stats.jobs_submitted += 1
+                stats.dedupe_hits += 1
+                return job.job_id
         # Queue first: a rejected submission must leave no server state.
         self.scheduler.submit(job)
         self._jobs[job.job_id] = job
         if key is not None:
-            stats.cache_misses += 1
-            self._pending_cache[job.job_id] = key
+            self._dedupe[key] = job.job_id
+            if self._cache_capacity > 0:
+                stats.cache_misses += 1
+                self._pending_cache[job.job_id] = key
         return job.job_id
 
     # ------------------------------------------------------------------
@@ -209,8 +231,11 @@ class FheServer:
         from ever sharing an entry, and the backend name keeps a request
         for a specific execution path honest (all backends return the
         same bytes, but a tenant asking for chip fidelity gets it).
+
+        The same address drives both the result cache and in-queue
+        dedupe, so dedupe stays on when caching is disabled.
         """
-        if self._cache_capacity == 0 or job.kind.is_app:
+        if job.kind.is_app:
             return None
         operands = hashlib.sha256()
         for raw, ct in zip(raw_operands, job.operands):
@@ -268,20 +293,50 @@ class FheServer:
         return entry[1]
 
     def _harvest_cache(self) -> None:
-        """Move freshly completed cacheable results into the cache (LRU)."""
-        if not self._pending_cache:
-            return
-        finished = [
-            jid for jid in self._pending_cache if self._jobs[jid].done
-        ]
-        for jid in finished:
-            key = self._pending_cache.pop(jid)
-            job = self._jobs[jid]
-            if job.status is JobStatus.DONE and isinstance(job.result, Ciphertext):
-                self._result_cache[key] = job.result
-                self._result_cache.move_to_end(key)
-                while len(self._result_cache) > self._cache_capacity:
-                    self._result_cache.popitem(last=False)
+        """Settle completion bookkeeping after scheduler progress.
+
+        Moves freshly completed cacheable results into the cache (LRU),
+        fans a completed primary's result (or failure) out to its dedupe
+        followers, and retires content addresses whose primary finished —
+        the next identical submit then hits the result cache, or
+        re-executes if the primary failed or caching is off.
+        """
+        if self._pending_cache:
+            finished = [
+                jid for jid in self._pending_cache if self._jobs[jid].done
+            ]
+            for jid in finished:
+                key = self._pending_cache.pop(jid)
+                job = self._jobs[jid]
+                if job.status is JobStatus.DONE and isinstance(job.result, Ciphertext):
+                    self._result_cache[key] = job.result
+                    self._result_cache.move_to_end(key)
+                    while len(self._result_cache) > self._cache_capacity:
+                        self._result_cache.popitem(last=False)
+        if self._followers:
+            stats = self.scheduler.stats
+            done_primaries = [
+                jid for jid in self._followers if self._jobs[jid].done
+            ]
+            for jid in done_primaries:
+                primary = self._jobs[jid]
+                for fid in self._followers.pop(jid):
+                    follower = self._jobs[fid]
+                    if primary.status is JobStatus.DONE:
+                        follower.finish(primary.result)
+                        stats.jobs_completed += 1
+                    else:
+                        follower.fail(primary.error or "primary job failed")
+                        stats.jobs_failed += 1
+                    follower.metrics.batch_id = primary.metrics.batch_id
+                    stats.per_tenant[follower.tenant] = (
+                        stats.per_tenant.get(follower.tenant, 0) + 1
+                    )
+        if self._dedupe:
+            for key in [
+                k for k, jid in self._dedupe.items() if self._jobs[jid].done
+            ]:
+                del self._dedupe[key]
 
     # ------------------------------------------------------------------
     # Progress and results
@@ -297,9 +352,31 @@ class FheServer:
         """Report a job's status, advancing the scheduler one batch tick."""
         job = self._job(job_id)
         if not job.done:
-            self.scheduler.step()
-            self._harvest_cache()
+            self.tick()
         return job.status
+
+    def status(self, job_id: str) -> JobStatus:
+        """Report a job's status without advancing the scheduler.
+
+        The read-only sibling of :meth:`poll`, for callers (the async
+        transport) that drive execution elsewhere.
+        """
+        return self._job(job_id).status
+
+    def job_error(self, job_id: str) -> str | None:
+        """The failure message of a failed job (``None`` otherwise)."""
+        return self._job(job_id).error
+
+    def tick(self) -> bool:
+        """Advance the scheduler by one batch; ``True`` if work was done.
+
+        Completion bookkeeping (result-cache harvest, dedupe fan-out)
+        runs even on an idle tick, so a caller looping ``tick()`` until
+        it returns ``False`` observes every job settled.
+        """
+        report = self.scheduler.step()
+        self._harvest_cache()
+        return report is not None
 
     def result(self, job_id: str, wire: bool = True) -> object:
         """Block (drive the scheduler) until the job finishes.
@@ -369,8 +446,11 @@ class FheServer:
         spread, ``tower_cycles`` the per-tower totals over every
         chip-executed batch, ``fidelity`` counts jobs per execution
         path (``chip`` / ``model`` / ``relin_model``), and
-        ``result_cache`` reports the content-addressed cache (hits
-        complete at submit time and cost the pool nothing).
+        ``result_cache`` reports the content-addressed machinery: cache
+        hits complete at submit time and cost the pool nothing, and
+        ``dedupe_hits`` counts in-queue dedupe followers — identical
+        jobs submitted before the first completed, attached to its one
+        execution with the result fanned out.
         """
         pool = self.chip_pool
         stats = self.scheduler.stats
@@ -391,6 +471,7 @@ class FheServer:
             "result_cache": {
                 "hits": stats.cache_hits,
                 "misses": stats.cache_misses,
+                "dedupe_hits": stats.dedupe_hits,
                 "entries": len(self._result_cache),
                 "capacity": self._cache_capacity,
             },

@@ -1,0 +1,634 @@
+"""Asyncio wire transport: :class:`FheServer` behind a real TCP socket.
+
+The ROADMAP's top open item — until now the serving layer only worked
+in-process through the synchronous ``submit``/``poll``/``result`` loop,
+even though the PR 1 wire format was designed to travel. This module puts
+a listener in front of it:
+
+* **Framing** — every connection is a stream of length-prefixed frames
+  (``u32`` big-endian length, then that many bytes of one CRC-checked
+  wire message from :mod:`repro.service.serialization`). The sans-IO
+  :class:`FrameAssembler` does the splitting, so the property suite can
+  fuzz the exact code the reader loop runs: truncated, bit-flipped, and
+  oversized frames raise :class:`FrameError`/``WireFormatError`` without
+  ever crashing the loop.
+* **Execution** — the wrapped :class:`~repro.service.server.FheServer`
+  is not thread-safe, so every interaction with it (session opens, job
+  submits, scheduler ticks, result serialization) runs on a dedicated
+  single-thread executor; the event loop never blocks on FHE math.
+* **Completion callbacks** — a SUBMIT with ``subscribe`` set (the
+  default) registers the connection for an EVENT push: the server's pump
+  task drives :meth:`FheServer.tick` batch by batch and delivers each
+  job's result frame the moment the gather barrier releases it. No
+  client ever polls.
+
+In-queue dedupe and the result cache live inside :class:`FheServer`
+itself, so remote traffic gets cache-aware scheduling for free — two
+clients submitting the identical job share one execution, and each
+receives its own completion event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.service.jobs import JobKind, JobStatus
+from repro.service.serialization import (
+    ErrorMsg,
+    EventMsg,
+    OpenSessionMsg,
+    ResultMsg,
+    SessionMsg,
+    StatusMsg,
+    SubmitMsg,
+    TAG_OPEN_SESSION,
+    TAG_RESULT,
+    TAG_STATUS,
+    TAG_SUBMIT,
+    WireFormatError,
+    decode_open_session,
+    decode_result,
+    decode_status,
+    decode_submit,
+    encode_error,
+    encode_event,
+    encode_result,
+    encode_session,
+    encode_status,
+    peek_tag,
+)
+from repro.service.server import FheServer
+
+#: Default ceiling on one frame. Generous for toy/paper parameter sets
+#: (an n = 2^13 ciphertext is ~200 KiB) while bounding what a broken or
+#: hostile peer can make the reader buffer.
+DEFAULT_MAX_FRAME = 16 * 2**20
+
+_LENGTH_BYTES = 4
+_READ_CHUNK = 1 << 16
+
+
+class FrameError(WireFormatError):
+    """Malformed stream framing: oversized or truncated frames."""
+
+
+def encode_frame(message: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Length-prefix one wire message for the stream."""
+    if len(message) > max_frame:
+        raise FrameError(
+            f"frame of {len(message)} bytes exceeds the {max_frame}-byte limit"
+        )
+    return len(message).to_bytes(_LENGTH_BYTES, "big") + message
+
+
+class FrameAssembler:
+    """Sans-IO splitter: feed stream chunks, get back complete frames.
+
+    Carries partial frames across ``feed`` calls, so arbitrary TCP
+    segmentation reassembles identically. An announced length above
+    ``max_frame`` raises :class:`FrameError` immediately — before any
+    of the oversized body is buffered.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held back waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buffer) < _LENGTH_BYTES:
+                return frames
+            length = int.from_bytes(self._buffer[:_LENGTH_BYTES], "big")
+            if length > self.max_frame:
+                raise FrameError(
+                    f"peer announced a {length}-byte frame "
+                    f"(limit {self.max_frame})"
+                )
+            end = _LENGTH_BYTES + length
+            if len(self._buffer) < end:
+                return frames
+            frames.append(bytes(self._buffer[_LENGTH_BYTES:end]))
+            del self._buffer[:end]
+
+
+async def frame_stream(reader: asyncio.StreamReader,
+                       max_frame: int = DEFAULT_MAX_FRAME):
+    """Yield complete frames from a stream until EOF.
+
+    EOF on a frame boundary ends the iteration; EOF mid-frame raises
+    :class:`FrameError` (the peer died mid-message).
+    """
+    assembler = FrameAssembler(max_frame)
+    while True:
+        chunk = await reader.read(_READ_CHUNK)
+        if not chunk:
+            if assembler.buffered:
+                raise FrameError(
+                    f"connection closed mid-frame "
+                    f"({assembler.buffered} bytes buffered)"
+                )
+            return
+        for frame in assembler.feed(chunk):
+            yield frame
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: bytes,
+                      max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    writer.write(encode_frame(message, max_frame))
+    await writer.drain()
+
+
+def _short(message: str, limit: int = 2000) -> str:
+    """Bound an error string so it always fits a wire string field."""
+    return message if len(message) <= limit else message[: limit - 1] + "…"
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _PendingJob:
+    """Delivery bookkeeping for one not-yet-completed job."""
+
+    job_id: str
+    subscriber: "_Connection | None" = None
+    #: RESULT requests waiting on completion: (connection, request_id).
+    waiters: list[tuple["_Connection", int]] = field(default_factory=list)
+
+
+class _Connection:
+    """One accepted client link; writes are serialized by a lock so the
+    pump task and the dispatch path never interleave frames."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, max_frame: int):
+        self.reader = reader
+        self.writer = writer
+        self.max_frame = max_frame
+        self._write_lock = asyncio.Lock()
+
+    async def send(self, message: bytes) -> None:
+        async with self._write_lock:
+            await write_frame(self.writer, message, self.max_frame)
+
+    async def send_safe(self, message: bytes) -> bool:
+        """Best-effort send: a dead peer must not break delivery to the
+        rest of the pool. Returns whether the write went through."""
+        try:
+            await self.send(message)
+            return True
+        except (ConnectionError, RuntimeError, OSError, WireFormatError):
+            return False
+
+    async def close(self) -> None:
+        with contextlib.suppress(Exception):
+            self.writer.close()
+            await self.writer.wait_closed()
+
+
+class FheTransportServer:
+    """Asyncio TCP front door for an :class:`FheServer`.
+
+    Args:
+        fhe: the server to expose; built from ``fhe_kwargs`` when omitted.
+        host/port: listen address (``port=0`` picks an ephemeral port;
+            :meth:`start` returns the bound address).
+        max_frame: per-frame byte ceiling on every connection.
+        fhe_kwargs: forwarded to :class:`FheServer` when ``fhe`` is None
+            (``pool_size``, ``max_batch``, ``result_cache_size``, …).
+
+    Lifecycle: ``await start()`` → serve → ``await aclose()``. Closing
+    drains by default: the listener stops accepting, in-flight jobs run
+    to completion, and every subscribed client receives its completion
+    event before the connections come down.
+    """
+
+    def __init__(self, fhe: FheServer | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_frame: int = DEFAULT_MAX_FRAME, **fhe_kwargs):
+        if fhe is not None and fhe_kwargs:
+            raise ValueError("pass either a built FheServer or its kwargs")
+        self.fhe = fhe if fhe is not None else FheServer(**fhe_kwargs)
+        self._host = host
+        self._port = port
+        self._max_frame = max_frame
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._pending: dict[str, _PendingJob] = {}
+        self._pump_task: asyncio.Task | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closing = False
+        self._paused = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener; returns the (host, port) actually bound."""
+        if self._server is not None:
+            raise RuntimeError("transport server already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="fhe-engine"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._host, self._port = self._server.sockets[0].getsockname()[:2]
+        return self._host, self._port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._host, self._port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self, drain: bool = True) -> None:
+        """Stop accepting, settle in-flight work, close every link.
+
+        With ``drain`` (the default) queued and running jobs execute to
+        completion and their events/results are delivered first; without
+        it, undelivered jobs get a failure event instead.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            self._paused = False
+            if self._pending:
+                self._ensure_pump()
+            if self._pump_task is not None:
+                await self._pump_task
+        else:
+            if self._pump_task is not None:
+                self._pump_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._pump_task
+            await self._abandon_pending("server closed without draining")
+        tasks = list(self._conn_tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for conn in list(self._connections):
+            await conn.close()
+        self._connections.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "FheTransportServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- execution pump ------------------------------------------------
+
+    def pause_execution(self) -> None:
+        """Hold the scheduler: submissions queue but nothing executes.
+
+        Drain/maintenance control — and the deterministic way to land
+        several identical submissions in the in-queue dedupe window.
+        """
+        self._paused = True
+
+    def resume_execution(self) -> None:
+        self._paused = False
+        if self._pending:
+            self._ensure_pump()
+
+    async def _call(self, fn, *args):
+        """Run an FheServer interaction on the dedicated engine thread."""
+        assert self._loop is not None and self._executor is not None
+        if args:
+            return await self._loop.run_in_executor(
+                self._executor, lambda: fn(*args)
+            )
+        return await self._loop.run_in_executor(self._executor, fn)
+
+    def _ensure_pump(self) -> None:
+        if self._paused:
+            return
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = asyncio.ensure_future(self._pump())
+
+    async def _pump(self) -> None:
+        """Drive the scheduler and push completions until idle."""
+        while not self._paused:
+            progressed = await self._call(self.fhe.tick)
+            await self._deliver_completions()
+            if not self._pending and not progressed:
+                return
+            if not progressed:
+                # Pending deliveries but an idle scheduler: every tracked
+                # job should have settled above. Anything left is a
+                # server bug — fail it rather than spin.
+                await self._abandon_pending("job never completed")
+                return
+
+    def _collect_completions(self, job_ids: list[str]) -> list[EventMsg]:
+        """(Engine thread) completion info for every settled tracked job."""
+        return [
+            self._completion_for(job_id)
+            for job_id in job_ids
+            if self.fhe.status(job_id) in (JobStatus.DONE, JobStatus.FAILED)
+        ]
+
+    async def _deliver_completions(self) -> None:
+        # Snapshot on the loop thread: the engine thread must not walk a
+        # dict the dispatch path is inserting into.
+        tracked = list(self._pending)
+        if not tracked:
+            return
+        for event in await self._call(self._collect_completions, tracked):
+            entry = self._pending.pop(event.job_id, None)
+            if entry is None:  # raced with another delivery path
+                continue
+            await self._deliver(entry, event)
+
+    async def _deliver(self, entry: _PendingJob, event: EventMsg) -> None:
+        """Push one completion: the subscriber's EVENT (exactly once per
+        job) plus a RESULT reply per registered waiter."""
+        if entry.subscriber is not None:
+            await entry.subscriber.send_safe(encode_event(event))
+        for conn, request_id in entry.waiters:
+            await conn.send_safe(encode_result(ResultMsg(
+                request_id=request_id, job_id=event.job_id,
+                status=event.status, payload=event.payload, error=event.error,
+            )))
+
+    async def _abandon_pending(self, reason: str) -> None:
+        for job_id in list(self._pending):
+            entry = self._pending.pop(job_id)
+            await self._deliver(entry, EventMsg(
+                job_id=job_id, status=JobStatus.FAILED.value,
+                error=_short(reason),
+            ))
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(reader, writer, self._max_frame)
+        self._connections.add(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            async for frame in frame_stream(reader, self._max_frame):
+                await self._dispatch(conn, frame)
+        except WireFormatError as exc:
+            # Framing or codec failure: the stream can no longer be
+            # trusted. Tell the peer (request id 0 = connection-level)
+            # and drop the link; the server itself keeps serving.
+            await conn.send_safe(encode_error(ErrorMsg(
+                request_id=0, message=_short(f"protocol error: {exc}")
+            )))
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # peer vanished; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutdown; finally-block cleanup still runs
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._connections.discard(conn)
+            self._drop_subscriber(conn)
+            await conn.close()
+
+    def _drop_subscriber(self, conn: _Connection) -> None:
+        """Forget a dead connection in every pending delivery record."""
+        for entry in self._pending.values():
+            if entry.subscriber is conn:
+                entry.subscriber = None
+            entry.waiters = [(c, r) for c, r in entry.waiters if c is not conn]
+
+    async def _dispatch(self, conn: _Connection, frame: bytes) -> None:
+        tag = peek_tag(frame)
+        if tag == TAG_OPEN_SESSION:
+            await self._on_open_session(conn, decode_open_session(frame))
+        elif tag == TAG_SUBMIT:
+            await self._on_submit(conn, decode_submit(frame))
+        elif tag == TAG_STATUS:
+            await self._on_status(conn, decode_status(frame))
+        elif tag == TAG_RESULT:
+            await self._on_result(conn, decode_result(frame))
+        else:
+            raise WireFormatError(
+                f"unexpected client frame tag 0x{tag:02x}"
+            )
+
+    async def _fail(self, conn: _Connection, request_id: int,
+                    exc: Exception) -> None:
+        await conn.send_safe(encode_error(ErrorMsg(
+            request_id=request_id, message=_short(str(exc) or repr(exc))
+        )))
+
+    async def _on_open_session(self, conn: _Connection,
+                               msg: OpenSessionMsg) -> None:
+        if self._closing:
+            await self._fail(conn, msg.request_id,
+                             RuntimeError("server is shutting down"))
+            return
+        try:
+            session_id = await self._call(
+                lambda: self.fhe.open_session(
+                    msg.tenant, msg.params,
+                    public_key=msg.public_key,
+                    relin_key=msg.relin_key,
+                    galois_keys=msg.galois_keys,
+                )
+            )
+        except Exception as exc:
+            await self._fail(conn, msg.request_id, exc)
+            return
+        await conn.send_safe(encode_session(SessionMsg(
+            request_id=msg.request_id, session_id=session_id
+        )))
+
+    async def _on_submit(self, conn: _Connection, msg: SubmitMsg) -> None:
+        if self._closing:
+            await self._fail(conn, msg.request_id,
+                             RuntimeError("server is shutting down"))
+            return
+        try:
+            kind = JobKind(msg.kind)
+        except ValueError as exc:
+            await self._fail(conn, msg.request_id, exc)
+            return
+        if kind.is_app:
+            await self._fail(conn, msg.request_id, ValueError(
+                f"{kind.value} jobs are in-process only: app payloads do "
+                "not cross the wire"
+            ))
+            return
+        try:
+            job_id = await self._call(
+                lambda: self.fhe.submit(
+                    msg.session_id, kind, msg.operands,
+                    steps=msg.steps, backend=msg.backend,
+                )
+            )
+        except Exception as exc:
+            await self._fail(conn, msg.request_id, exc)
+            return
+        status = self.fhe.status(job_id)
+        await conn.send_safe(encode_status(StatusMsg(
+            request_id=msg.request_id, job_id=job_id, status=status.value
+        )))
+        if status in (JobStatus.DONE, JobStatus.FAILED):
+            # Cache hit (or submit-time failure): the completion event
+            # follows the STATUS reply immediately — still exactly once.
+            if msg.subscribe:
+                entry = _PendingJob(job_id, subscriber=conn)
+                events = await self._call(
+                    lambda: self._completion_for(job_id)
+                )
+                await self._deliver(entry, events)
+            return
+        entry = self._pending.get(job_id)
+        if entry is None:
+            entry = self._pending[job_id] = _PendingJob(job_id)
+        if msg.subscribe:
+            entry.subscriber = conn
+        self._ensure_pump()
+
+    def _completion_for(self, job_id: str) -> EventMsg:
+        """(Engine thread) completion event for one already-done job."""
+        status = self.fhe.status(job_id)
+        if status is JobStatus.DONE:
+            wire = self.fhe.result(job_id)
+            payload = wire if isinstance(wire, (bytes, bytearray)) else b""
+            return EventMsg(
+                job_id=job_id, status=status.value, payload=bytes(payload)
+            )
+        return EventMsg(
+            job_id=job_id, status=JobStatus.FAILED.value,
+            error=_short(self.fhe.job_error(job_id) or "job failed"),
+        )
+
+    async def _on_status(self, conn: _Connection, msg: StatusMsg) -> None:
+        try:
+            status = await self._call(self.fhe.status, msg.job_id)
+        except KeyError as exc:
+            await self._fail(conn, msg.request_id, exc)
+            return
+        error = None
+        if status is JobStatus.FAILED:
+            error = await self._call(self.fhe.job_error, msg.job_id)
+        await conn.send_safe(encode_status(StatusMsg(
+            request_id=msg.request_id, job_id=msg.job_id,
+            status=status.value, error=_short(error or ""),
+        )))
+
+    async def _on_result(self, conn: _Connection, msg: ResultMsg) -> None:
+        try:
+            status = await self._call(self.fhe.status, msg.job_id)
+        except KeyError as exc:
+            await self._fail(conn, msg.request_id, exc)
+            return
+        if status in (JobStatus.DONE, JobStatus.FAILED):
+            event = await self._call(lambda: self._completion_for(msg.job_id))
+            await conn.send_safe(encode_result(ResultMsg(
+                request_id=msg.request_id, job_id=msg.job_id,
+                status=event.status, payload=event.payload, error=event.error,
+            )))
+            return
+        entry = self._pending.get(msg.job_id)
+        if entry is None:
+            entry = self._pending[msg.job_id] = _PendingJob(msg.job_id)
+        entry.waiters.append((conn, msg.request_id))
+        self._ensure_pump()
+
+
+# ----------------------------------------------------------------------
+# Thread-hosted server (sync callers: demos, benchmarks, smoke tests)
+# ----------------------------------------------------------------------
+
+
+class ThreadedTransportServer:
+    """Run a :class:`FheTransportServer` on a background event loop.
+
+    Context manager for synchronous callers — the demo's ``--smoke``
+    self-test, benchmarks, and tests driving the sync
+    :class:`~repro.service.client.FheClient`::
+
+        with ThreadedTransportServer(pool_size=4) as ts:
+            client = FheClient(ts.host, ts.port)
+            ...
+
+    The wrapped :class:`FheServer` is reachable as ``.fhe`` for
+    in-process inspection (``pool_report()`` and friends) after the
+    traffic has drained.
+    """
+
+    def __init__(self, **kwargs):
+        self._kwargs = kwargs
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self.server: FheTransportServer | None = None
+        self.host = ""
+        self.port = 0
+
+    @property
+    def fhe(self) -> FheServer:
+        assert self.server is not None, "server not started"
+        return self.server.fhe
+
+    def __enter__(self) -> "ThreadedTransportServer":
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        async def _main():
+            try:
+                self.server = FheTransportServer(**self._kwargs)
+                self.host, self.port = await self.server.start()
+            except BaseException as exc:  # surface to the caller
+                failure.append(exc)
+                raise
+            finally:
+                started.set()
+
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="fhe-transport", daemon=True
+        )
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(_main(), self._loop)
+        started.wait()
+        if failure:
+            self._stop_loop()
+            raise failure[0]
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._loop is not None
+        if self.server is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.aclose(), self._loop
+            ).result(timeout=120)
+        self._stop_loop()
+
+    def _stop_loop(self) -> None:
+        assert self._loop is not None and self._thread is not None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()

@@ -1,0 +1,201 @@
+"""Property tests: stream framing and the control-plane codec.
+
+The transport's reader loop is exactly ``FrameAssembler.feed`` over
+arbitrary TCP segmentation, so these properties fuzz the production
+code path directly: round trips survive any chunking, truncation never
+yields a phantom frame, oversized announcements and corrupted bytes are
+rejected with the existing :class:`FrameError`/``WireFormatError``
+hierarchy, and no input crashes the loop with anything else.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.serialization import (
+    ErrorMsg,
+    EventMsg,
+    OpenSessionMsg,
+    ResultMsg,
+    SessionMsg,
+    StatusMsg,
+    SubmitMsg,
+    WireFormatError,
+    decode_error,
+    decode_event,
+    decode_open_session,
+    decode_result,
+    decode_session,
+    decode_status,
+    decode_submit,
+    encode_error,
+    encode_event,
+    encode_open_session,
+    encode_result,
+    encode_session,
+    encode_status,
+    encode_submit,
+)
+from repro.service.transport import FrameAssembler, FrameError, encode_frame
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+payloads = st.lists(st.binary(max_size=512), max_size=8)
+
+
+def _chunked(stream: bytes, data) -> list[bytes]:
+    """Split a byte stream at hypothesis-chosen cut points."""
+    chunks = []
+    pos = 0
+    while pos < len(stream):
+        step = data.draw(st.integers(1, max(1, len(stream) - pos)))
+        chunks.append(stream[pos : pos + step])
+        pos += step
+    return chunks
+
+
+class TestFraming:
+    @given(frames=payloads, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_chunking(self, frames, data):
+        stream = b"".join(encode_frame(f) for f in frames)
+        assembler = FrameAssembler()
+        out = []
+        for chunk in _chunked(stream, data):
+            out.extend(assembler.feed(chunk))
+        assert out == frames
+        assert assembler.buffered == 0
+
+    @given(frame=st.binary(min_size=1, max_size=512),
+           cut=st.integers(min_value=0))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_never_yields_a_frame(self, frame, cut):
+        stream = encode_frame(frame)
+        cut %= len(stream)  # strictly shorter than one full frame
+        assembler = FrameAssembler()
+        assert assembler.feed(stream[:cut]) == []
+        assert assembler.buffered == cut
+        # Feeding the remainder completes the frame exactly.
+        assert assembler.feed(stream[cut:]) == [frame]
+
+    @given(excess=st.integers(min_value=1, max_value=1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_oversized_announcement_rejected_immediately(self, excess):
+        limit = 4096
+        assembler = FrameAssembler(max_frame=limit)
+        header = (limit + excess).to_bytes(4, "big")
+        with pytest.raises(FrameError):
+            assembler.feed(header)
+
+    def test_encode_respects_the_limit(self):
+        with pytest.raises(FrameError):
+            encode_frame(b"x" * 100, max_frame=99)
+        assert encode_frame(b"x" * 99, max_frame=99)[4:] == b"x" * 99
+
+    @given(garbage=st.binary(max_size=256), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_feed_never_raises_anything_unexpected(self, garbage, data):
+        """The reader loop's only failure mode is FrameError."""
+        assembler = FrameAssembler(max_frame=4096)
+        try:
+            for chunk in _chunked(garbage, data) if garbage else []:
+                assembler.feed(chunk)
+        except FrameError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Control-plane codec
+# ----------------------------------------------------------------------
+
+request_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+short_text = st.text(max_size=40)
+blob = st.binary(max_size=256)
+
+
+control_messages = st.one_of(
+    st.builds(
+        OpenSessionMsg,
+        request_id=request_ids,
+        tenant=short_text,
+        params=blob,
+        public_key=st.none() | blob,
+        relin_key=st.none() | blob,
+        galois_keys=st.tuples() | st.tuples(blob) | st.tuples(blob, blob),
+    ).map(lambda m: (m, encode_open_session, decode_open_session)),
+    st.builds(
+        SessionMsg, request_id=request_ids, session_id=short_text,
+    ).map(lambda m: (m, encode_session, decode_session)),
+    st.builds(
+        SubmitMsg,
+        request_id=request_ids,
+        session_id=short_text,
+        kind=short_text,
+        operands=st.tuples() | st.tuples(blob) | st.tuples(blob, blob),
+        steps=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+        backend=short_text,
+        subscribe=st.booleans(),
+    ).map(lambda m: (m, encode_submit, decode_submit)),
+    st.builds(
+        StatusMsg, request_id=request_ids, job_id=short_text,
+        status=short_text, error=short_text,
+    ).map(lambda m: (m, encode_status, decode_status)),
+    st.builds(
+        ResultMsg, request_id=request_ids, job_id=short_text,
+        status=short_text, payload=blob, error=short_text,
+    ).map(lambda m: (m, encode_result, decode_result)),
+    st.builds(
+        EventMsg, job_id=short_text, status=short_text,
+        payload=blob, error=short_text,
+    ).map(lambda m: (m, encode_event, decode_event)),
+    st.builds(
+        ErrorMsg, request_id=request_ids, message=short_text,
+    ).map(lambda m: (m, encode_error, decode_error)),
+)
+
+
+class TestControlCodec:
+    @given(case=control_messages)
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip(self, case):
+        msg, encode, decode = case
+        wire = encode(msg)
+        assert decode(wire) == msg
+        assert encode(decode(wire)) == wire  # deterministic re-encode
+
+    @given(case=control_messages,
+           position=st.integers(min_value=0, max_value=1 << 30),
+           flip=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_any_bit_flip_is_rejected(self, case, position, flip):
+        """CRC32 catches a flipped byte anywhere in a control frame."""
+        msg, encode, decode = case
+        wire = bytearray(encode(msg))
+        wire[position % len(wire)] ^= flip
+        with pytest.raises(WireFormatError):
+            decode(bytes(wire))
+
+    @given(case=control_messages, cut=st.integers(min_value=0))
+    @settings(max_examples=80, deadline=None)
+    def test_truncation_is_rejected(self, case, cut):
+        msg, encode, decode = case
+        wire = encode(msg)
+        with pytest.raises(WireFormatError):
+            decode(wire[: cut % len(wire)])
+
+    @given(garbage=st.binary(max_size=128), case=control_messages)
+    @settings(max_examples=80, deadline=None)
+    def test_garbage_never_crashes_a_decoder(self, garbage, case):
+        """Arbitrary bytes fail with WireFormatError, nothing else."""
+        _, _, decode = case
+        with pytest.raises(WireFormatError):
+            decode(garbage)
+
+    def test_cross_tag_decode_is_rejected(self):
+        wire = encode_status(StatusMsg(request_id=1, job_id="j1"))
+        with pytest.raises(WireFormatError, match="expected a"):
+            decode_submit(wire)

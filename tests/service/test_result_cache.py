@@ -149,6 +149,115 @@ class TestCacheMisses:
         assert report["misses"] == 0
 
 
+class TestInQueueDedupe:
+    """Cache-aware scheduling: identical jobs in-queue share one execution.
+
+    The result cache only helps once the first instance has *completed*;
+    these tests cover the submit-before-complete window, where the
+    scheduler must attach duplicates to the in-flight execution instead
+    of running them again.
+    """
+
+    def test_duplicate_submit_executes_once(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=2)
+        sid = _open(server, keys)
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        first = server.submit(sid, JobKind.MULTIPLY, ops)
+        second = server.submit(sid, JobKind.MULTIPLY, ops)
+        stats = server.run()
+        # One execution, two results, bit-identical wire bytes.
+        assert sum(b.jobs for b in stats.batches) == 1
+        assert server.result(second) == server.result(first)
+        assert stats.dedupe_hits == 1
+        assert server.pool_report()["result_cache"]["dedupe_hits"] == 1
+        metrics = server.job_metrics(second)
+        assert metrics.backend == "dedupe"
+        assert metrics.dedupe_of == first
+
+    def test_three_way_fan_out(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=2)
+        sid = _open(server, keys)
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        jids = [server.submit(sid, JobKind.MULTIPLY, ops) for _ in range(3)]
+        stats = server.run()
+        wires = {server.result(j) for j in jids}
+        assert len(wires) == 1
+        assert stats.dedupe_hits == 2
+        assert sum(b.jobs for b in stats.batches) == 1
+        assert stats.jobs_completed == 3
+
+    def test_cache_hit_wins_at_submit_time(self, client):
+        """Dedupe and the result cache compose: once the first instance
+        has completed, a re-submit is a cache hit (done at submit, no
+        waiting), not a dedupe follower."""
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=2)
+        sid = _open(server, keys)
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        first = server.submit(sid, JobKind.MULTIPLY, ops)
+        follower = server.submit(sid, JobKind.MULTIPLY, ops)  # in-queue
+        server.run()
+        late = server.submit(sid, JobKind.MULTIPLY, ops)  # after completion
+        assert server.poll(late) is JobStatus.DONE  # completed at submit
+        report = server.pool_report()["result_cache"]
+        assert report["dedupe_hits"] == 1
+        assert report["hits"] == 1
+        assert server.job_metrics(follower).backend == "dedupe"
+        assert server.job_metrics(late).backend == "cache"
+        assert server.result(late) == server.result(first)
+
+    def test_different_operands_do_not_dedupe(self, client):
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=2)
+        sid = _open(server, keys)
+        for _ in range(2):
+            ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+            server.submit(sid, JobKind.MULTIPLY, ops)
+        stats = server.run()
+        assert stats.dedupe_hits == 0
+        assert sum(b.jobs for b in stats.batches) == 2
+
+    def test_different_backends_do_not_dedupe(self, client):
+        """A tenant asking for a specific execution path gets it."""
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=2)
+        sid = _open(server, keys)
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        a = server.submit(sid, JobKind.ADD, ops, backend="chip_pool")
+        b = server.submit(sid, JobKind.ADD, ops, backend="software")
+        server.run()
+        assert server.scheduler.stats.dedupe_hits == 0
+        assert server.backends["software"].jobs_done == 1
+        assert server.result(a) == server.result(b)  # still bit-identical
+
+    def test_failed_primary_fails_followers(self, client):
+        """Followers inherit the primary's failure, then the address is
+        retired so a later identical submit re-executes."""
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1)
+        # No relin key: MULTIPLY still works (unrelinearized tensor), so
+        # use ROTATE with no Galois key to force a failure.
+        sid = server.open_session("acme", serialize_params(PARAMS))
+        ct = serialize_ciphertext(fresh())
+        first = server.submit(sid, JobKind.ROTATE, (ct,), steps=1)
+        second = server.submit(sid, JobKind.ROTATE, (ct,), steps=1)
+        stats = server.run()
+        assert server.poll(first) is JobStatus.FAILED
+        assert server.poll(second) is JobStatus.FAILED
+        assert stats.dedupe_hits == 1
+        assert stats.jobs_failed == 2
+        with pytest.raises(RuntimeError, match="failed"):
+            server.result(second)
+        # The address was retired with the failure: a new submit is not
+        # attached to the dead primary and fails on its own execution.
+        third = server.submit(sid, JobKind.ROTATE, (ct,), steps=1)
+        server.run()
+        assert server.poll(third) is JobStatus.FAILED
+        assert server.scheduler.stats.dedupe_hits == 1
+
+
 class TestRejectedSubmissions:
     def test_unknown_backend_leaves_no_server_state(self, client):
         bfv, keys, fresh = client
@@ -185,7 +294,24 @@ class TestCapacityAndDisable:
         for _ in range(2):
             server.result(server.submit(sid, JobKind.ADD, ops))
         report = server.pool_report()["result_cache"]
-        assert report == {"hits": 0, "misses": 0, "entries": 0, "capacity": 0}
+        assert report == {
+            "hits": 0, "misses": 0, "dedupe_hits": 0, "entries": 0,
+            "capacity": 0,
+        }
+
+    def test_dedupe_works_with_cache_disabled(self, client):
+        """In-queue dedupe keys on content, not on the cache's LRU."""
+        bfv, keys, fresh = client
+        server = FheServer(pool_size=1, result_cache_size=0)
+        sid = _open(server, keys)
+        ops = (serialize_ciphertext(fresh()), serialize_ciphertext(fresh()))
+        first = server.submit(sid, JobKind.MULTIPLY, ops)
+        second = server.submit(sid, JobKind.MULTIPLY, ops)
+        server.run()
+        assert server.result(second) == server.result(first)
+        report = server.pool_report()["result_cache"]
+        assert report["dedupe_hits"] == 1
+        assert report["hits"] == 0 and report["misses"] == 0
 
     def test_cached_result_decrypts_correctly(self, client):
         """The cached ciphertext is the real answer, not a stale object."""

@@ -2,32 +2,45 @@
 # Repo health check: tier-1 tests + the serving-layer benchmark in smoke
 # mode (one pass, no timing statistics). Run from anywhere.
 #
-#   tools/run_checks.sh          # tier-1 + benchmark smoke
-#   tools/run_checks.sh --bench  # also the kernel + serving micro-bench
-#                                # (writes BENCH_kernels.json and enforces
-#                                # the >= 10x EvalMult perf gate)
-#   tools/run_checks.sh --slow   # also the paper-scale suites
-#                                # (n = 2^12 pool scaling, n = 2^13 serving)
+#   tools/run_checks.sh              # tier-1 + benchmark smoke
+#   tools/run_checks.sh --bench      # also the kernel + serving micro-bench
+#                                    # (writes BENCH_kernels.json and enforces
+#                                    # the >= 10x EvalMult perf gate)
+#   tools/run_checks.sh --transport  # also the wire-transport smoke stage
+#                                    # (localhost listener, one EvalMult
+#                                    # round-trip, assert bit-identical)
+#   tools/run_checks.sh --slow       # also the paper-scale suites
+#                                    # (n = 2^12 pool scaling, n = 2^13 serving)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_SLOW=0
 RUN_BENCH=0
+RUN_TRANSPORT=0
 for arg in "$@"; do
   case "$arg" in
     --slow) RUN_SLOW=1 ;;
     --bench) RUN_BENCH=1 ;;
-    *) echo "unknown option: $arg (supported: --slow, --bench)" >&2; exit 2 ;;
+    --transport) RUN_TRANSPORT=1 ;;
+    *) echo "unknown option: $arg (supported: --slow, --bench, --transport)" >&2; exit 2 ;;
   esac
 done
 
 echo "== tier-1 test suite =="
+# Includes the transport concurrency battery (tests/service/test_transport.py)
+# and the frame-fuzz suite (tests/property/test_property_transport.py).
 python -m pytest -x -q
 
 echo
 echo "== serving-layer benchmark (smoke) =="
 python -m pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
+
+if [ "$RUN_TRANSPORT" = 1 ]; then
+  echo
+  echo "== wire-transport smoke (localhost EvalMult round-trip) =="
+  PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.demo --smoke
+fi
 
 if [ "$RUN_BENCH" = 1 ]; then
   echo
