@@ -9,6 +9,11 @@ towers out across the pool, so the pool-of-4 makespan must come in at
 least 1.5x under the pool-of-1 makespan (PR 1's job-level pool showed no
 intra-job scaling at all: towers ran sequentially on one worker).
 
+The wire-transport rows push the same jobs — and the compiled Section
+VI-C app circuits (logreg, CryptoNets) — through a real localhost
+socket, every payload checked bit-identical against in-process
+execution.
+
 Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
       (or with --benchmark-disable for a single smoke pass, as
       tools/run_checks.sh does)
@@ -168,6 +173,110 @@ def test_transport_throughput(benchmark):
             "chip_jobs": report["fidelity"].get("chip", 0),
         }],
         COLUMNS,
+    )
+
+
+# ----------------------------------------------------------------------
+# App circuits over the wire: the Section VI-C applications compiled to
+# the circuit encoding and served through a real localhost socket, with
+# every payload checked bit-identical against in-process execution.
+# ----------------------------------------------------------------------
+
+
+def _app_circuits():
+    """Rows of (label, model, compiled circuit, input wire bytes)."""
+    from repro.apps.cryptonets import MiniCryptoNets
+    from repro.apps.logreg import MiniLogisticRegression
+    from repro.polymath.primes import ntt_friendly_prime
+
+    rng = random.Random(17)
+    rows = []
+
+    lr_params = BfvParameters.toy_rns(
+        n=16, towers=5, tower_bits=28, t=ntt_friendly_prime(16, 21)
+    )
+    logreg = MiniLogisticRegression(params=lr_params, num_features=6, seed=11)
+    samples = [[rng.randint(-3, 3) for _ in range(6)] for _ in range(4)]
+    rows.append((
+        "logreg", logreg, logreg.to_circuit(batch=len(samples)),
+        tuple(serialize_ciphertext(ct)
+              for ct in logreg.encrypt_features(samples)),
+    ))
+
+    cn_params = BfvParameters.toy_rns(
+        n=16, towers=4, tower_bits=30, t=ntt_friendly_prime(16, 20)
+    )
+    cnn = MiniCryptoNets(params=cn_params, seed=7)
+    images = [[rng.randint(-2, 2) for _ in range(36)] for _ in range(3)]
+    rows.append((
+        "cryptonets", cnn, cnn.to_circuit(),
+        tuple(serialize_ciphertext(ct) for ct in cnn.encrypt_images(images)),
+    ))
+    return rows
+
+
+def test_circuit_transport_throughput(benchmark):
+    from repro.service.client import FheClient
+    from repro.service.transport import ThreadedTransportServer
+
+    apps = _app_circuits()
+
+    # In-process ground truth per app (same server class, no socket).
+    expected = {}
+    for label, model, circuit, inputs in apps:
+        server = FheServer(pool_size=4, max_batch=4)
+        sid = server.open_session(
+            "truth", serialize_params(model.params),
+            relin_key=serialize_relin_key(model.keys.relin, model.params),
+        )
+        expected[label] = server.result(server.submit(
+            sid, JobKind.CIRCUIT, inputs, payload=circuit
+        ))
+
+    def over_the_wire():
+        results = {}
+        with ThreadedTransportServer(pool_size=4, max_batch=4) as ts:
+            with FheClient(ts.host, ts.port) as client:
+                for label, model, circuit, inputs in apps:
+                    sid = client.open_session(
+                        label, serialize_params(model.params),
+                        relin_key=serialize_relin_key(
+                            model.keys.relin, model.params
+                        ),
+                    )
+                    start = time.perf_counter()
+                    payload = client.result(
+                        client.submit_circuit(sid, circuit, inputs)
+                    )
+                    results[label] = (
+                        payload, time.perf_counter() - start, circuit
+                    )
+            report = ts.fhe.pool_report()
+        return results, report
+
+    results, report = benchmark.pedantic(over_the_wire, rounds=1, iterations=1)
+    for label, (payload, _wall, _circuit) in results.items():
+        assert payload == expected[label], (
+            f"{label} over the wire diverged from in-process execution"
+        )
+    assert report["fidelity"].get("chip") == len(apps)
+    print_table(
+        "App circuits over localhost TCP (bit-identical to in-process)",
+        [
+            {
+                "backend": f"{label}+tcp",
+                "pool": 4,
+                "jobs": 1,
+                "wall_s": wall,
+                "jobs_per_s": 1 / wall if wall > 0 else float("inf"),
+                "total_cycles": report["total_cycles"],
+                "chip_jobs": report["fidelity"].get("chip", 0),
+                "steps": len(circuit.steps),
+                "tensors": len(circuit.tensor_steps),
+            }
+            for label, (_payload, wall, circuit) in results.items()
+        ],
+        COLUMNS + ["steps", "tensors"],
     )
 
 

@@ -13,6 +13,13 @@ Two artifacts:
   the FHE-friendly square function (ct*ct multiply + relinearization), and
   dense layers finish the classification. Outputs are verified against the
   identical plaintext network.
+
+The network also **compiles itself** for the serving layer:
+:meth:`MiniCryptoNets.to_circuit` emits the identical operation sequence
+as a wire-encodable :class:`~repro.service.circuits.Circuit` (138 steps,
+12 tensors across 2 dependency levels for the default topology), so an
+inference batch can be served over TCP bit-identically to in-process
+execution (``docs/serving-guide.md``).
 """
 
 from __future__ import annotations
@@ -188,13 +195,96 @@ class MiniCryptoNets:
                 term = self._scale(c, self.fc2_w[k][h])
                 acc = term if acc is None else self._acc(acc, term)
             scores.append(self._add_bias(acc, self.fc2_b[k]))
-        # Decrypt and unpack per image.
+        # Decrypt and unpack per image (same tail a served circuit uses).
+        return self.scores_from_outputs(
+            {f"score{k}": sc for k, sc in enumerate(scores)}, len(images)
+        )
+
+    # -- wire circuit compilation --------------------------------------------
+
+    def to_circuit(self):
+        """Compile the whole network into a servable wire circuit.
+
+        The returned :class:`~repro.service.circuits.Circuit` performs
+        exactly the operations :meth:`infer` performs, in the same order
+        — conv multiply-accumulates, packed bias adds, square
+        activations (``OP_SQUARE_RELIN``), and the two dense layers — so
+        evaluating it on the ciphertexts from :meth:`encrypt_images`
+        returns score ciphertexts bit-identical to in-process execution.
+        Outputs are named ``"score0"`` … ``"score{classes-1}"``. The
+        packed bias constants use the full SIMD batch width, as
+        :meth:`infer` does, so one circuit serves any image batch.
+        """
+        from repro.service.circuits import CircuitBuilder
+
+        s = self.spec
+        builder = CircuitBuilder("cryptonets")
+        pixels = [
+            builder.input(f"px{p}")
+            for p in range(s.image_size * s.image_size)
+        ]
+
+        encoded_bias: dict[int, int] = {}  # value -> constant index
+
+        def bias(value: int) -> int:
+            # Encode each distinct bias once; the conv loop would
+            # otherwise pay the O(n) encode per output position.
+            if value not in encoded_bias:
+                encoded_bias[value] = builder.plain(
+                    self.encoder.encode([value] * self.batch_size).coeffs
+                )
+            return encoded_bias[value]
+
+        def dot(regs: list[int], weights: list[int]) -> int:
+            acc = None
+            for reg, w in zip(regs, weights):
+                if acc is None:
+                    acc = builder.mul_const(reg, builder.scalar(w))
+                else:
+                    acc = builder.mac_const(acc, reg, builder.scalar(w))
+            return acc
+
+        conv_out = []
+        for m in range(s.conv_maps):
+            for oy in range(s.conv_out):
+                for ox in range(s.conv_out):
+                    taps = [
+                        pixels[(oy * s.conv_stride + ky) * s.image_size
+                               + ox * s.conv_stride + kx]
+                        for ky in range(s.conv_kernel)
+                        for kx in range(s.conv_kernel)
+                    ]
+                    acc = dot(taps, self.conv_w[m])
+                    conv_out.append(builder.add_const(acc, bias(self.conv_b[m])))
+        act1 = [builder.square_relin(c) for c in conv_out]
+        hidden = [
+            builder.add_const(dot(act1, self.fc1_w[h]), bias(self.fc1_b[h]))
+            for h in range(s.hidden)
+        ]
+        act2 = [builder.square_relin(c) for c in hidden]
+        for k in range(s.classes):
+            score = builder.add_const(
+                dot(act2, self.fc2_w[k]), bias(self.fc2_b[k])
+            )
+            builder.output(f"score{k}", score)
+        return builder.build()
+
+    def scores_from_outputs(self, outputs: dict,
+                            batch: int) -> list[list[int]]:
+        """Decrypt a served circuit's named outputs into per-image scores.
+
+        The client-side tail of a :meth:`to_circuit` round trip, matching
+        :meth:`infer`'s return shape.
+        """
+        s = self.spec
         decoded = [
-            self.encoder.decode_signed(self.bfv.decrypt(sc, self.keys.secret))
-            for sc in scores
+            self.encoder.decode_signed(
+                self.bfv.decrypt(outputs[f"score{k}"], self.keys.secret)
+            )
+            for k in range(s.classes)
         ]
         return [[decoded[k][i] for k in range(s.classes)]
-                for i in range(len(images))]
+                for i in range(batch)]
 
     # -- plaintext reference -------------------------------------------------
 

@@ -12,6 +12,12 @@ Two artifacts, mirroring :mod:`repro.apps.cryptonets`:
   degree-3 polynomial approximation of the sigmoid's decision behaviour
   (odd polynomial, fixed-point scaled) exercises the ct*ct + relin path
   like the paper's cancer-type predictor does.
+
+The model also **compiles itself** for the serving layer:
+:meth:`MiniLogisticRegression.to_circuit` emits the identical operation
+sequence as a wire-encodable :class:`~repro.service.circuits.Circuit`,
+so an inference batch can be served over TCP bit-identically to
+in-process execution (``docs/serving-guide.md``).
 """
 
 from __future__ import annotations
@@ -124,10 +130,7 @@ class MiniLogisticRegression:
         score_ct, batch = self.score(samples)
         if use_sigmoid:
             score_ct = self.sigmoid_surrogate(score_ct)
-        decoded = self.encoder.decode_signed(
-            self.bfv.decrypt(score_ct, self.keys.secret)
-        )
-        return [1 if v > 0 else 0 for v in decoded[:batch]]
+        return self.predictions_from_score(score_ct, batch)
 
     def predict_plain(self, samples: list[list[int]]) -> list[int]:
         """Plaintext reference decision (sign of the linear score — the
@@ -137,3 +140,53 @@ class MiniLogisticRegression:
             v = sum(w * x for w, x in zip(self.weights, s)) + self.bias
             out.append(1 if v > 0 else 0)
         return out
+
+    # -- wire circuit compilation ------------------------------------------
+
+    def to_circuit(self, batch: int, use_sigmoid: bool = True):
+        """Compile one inference batch into a servable wire circuit.
+
+        The returned :class:`~repro.service.circuits.Circuit` performs
+        exactly the operations :meth:`predict` performs, in the same
+        order — multiply-accumulate per feature, the packed bias add,
+        then the cubic sigmoid surrogate — so evaluating it on the
+        ciphertexts from :meth:`encrypt_features` returns a score
+        ciphertext bit-identical to in-process execution. Submit it with
+        :meth:`~repro.service.client.FheClient.submit_circuit`; the one
+        named output is ``"score"``.
+
+        Args:
+            batch: number of samples in the batch (fixes the packed bias
+                constant, exactly as :meth:`score` encodes it).
+        """
+        from repro.service.circuits import CircuitBuilder
+
+        builder = CircuitBuilder("logreg")
+        features = [builder.input(f"x{f}") for f in range(self.num_features)]
+        acc = None
+        for reg, w in zip(features, self.weights):
+            if acc is None:
+                acc = builder.mul_const(reg, builder.scalar(w))
+            else:
+                acc = builder.mac_const(acc, reg, builder.scalar(w))
+        bias_pt = self.encoder.encode([self.bias] * batch)
+        score = builder.add_const(acc, builder.plain(bias_pt.coeffs))
+        if use_sigmoid:
+            squared = builder.square_relin(score)
+            cubed = builder.mul_relin(squared, score)
+            tripled = builder.mul_const(score, builder.scalar(3))
+            score = builder.add(tripled, cubed)
+        builder.output("score", score)
+        return builder.build()
+
+    def predictions_from_score(self, score_ct: Ciphertext,
+                               batch: int) -> list[int]:
+        """Decrypt a served score ciphertext into 0/1 classes.
+
+        The client-side tail of a :meth:`to_circuit` round trip: decode
+        the signed slots and threshold, exactly as :meth:`predict` does.
+        """
+        decoded = self.encoder.decode_signed(
+            self.bfv.decrypt(score_ct, self.keys.secret)
+        )
+        return [1 if v > 0 else 0 for v in decoded[:batch]]

@@ -9,8 +9,11 @@ from a single-shot library into a servable system:
   ciphertexts, keys, and parameter sets can cross a process boundary;
 * :mod:`repro.service.registry` — multi-tenant sessions keyed by params
   digest, evaluation-key storage, and per-params context caching;
+* :mod:`repro.service.circuits` — app circuits: compiled multi-step
+  encrypted programs (named inputs, plaintext constants, an SSA step
+  list) that carry the paper's Section VI-C applications over the wire;
 * :mod:`repro.service.jobs` — the encrypted-job model (raw homomorphic
-  ops plus application-level workloads);
+  ops, app circuits, and legacy in-process application workloads);
 * :mod:`repro.service.scheduler` — fair round-robin batching across
   tenants onto compatible batches;
 * :mod:`repro.service.backends` — pluggable execution: a pool of N
@@ -37,6 +40,12 @@ from repro.service.backends import (
     FastNttBackend,
     SoftwareBackend,
 )
+from repro.service.circuits import (
+    Circuit,
+    CircuitBuilder,
+    CircuitError,
+    evaluate_circuit,
+)
 from repro.service.client import (
     AsyncFheClient,
     FheClient,
@@ -49,7 +58,11 @@ from repro.service.scheduler import BatchingScheduler, ServiceStats
 from repro.service.serialization import (
     ParamsMismatchError,
     WireFormatError,
+    deserialize_circuit,
+    deserialize_circuit_outputs,
     params_digest,
+    serialize_circuit,
+    serialize_circuit_outputs,
 )
 from repro.service.server import FheServer
 from repro.service.transport import (
@@ -65,6 +78,9 @@ __all__ = [
     "BatchReport",
     "BatchingScheduler",
     "ChipPoolBackend",
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitError",
     "FastNttBackend",
     "FheClient",
     "FheServer",
@@ -84,5 +100,10 @@ __all__ = [
     "ThreadedTransportServer",
     "TransportError",
     "WireFormatError",
+    "deserialize_circuit",
+    "deserialize_circuit_outputs",
+    "evaluate_circuit",
     "params_digest",
+    "serialize_circuit",
+    "serialize_circuit_outputs",
 ]

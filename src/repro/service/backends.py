@@ -25,6 +25,7 @@ same answer.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 
@@ -40,6 +41,16 @@ from repro.core.driver import CofheeDriver
 from repro.core.scheduler import Scheduler, ciphertext_multiply_program
 from repro.polymath.primes import ntt_friendly_prime
 from repro.polymath.rns import RnsBasis
+from repro.service.circuits import (
+    Circuit,
+    OP_ADD,
+    OP_ADD_CONST,
+    OP_MAC_CONST,
+    OP_MUL_CONST,
+    OP_SUB,
+    TENSOR_OPS,
+    evaluate_circuit,
+)
 from repro.service.jobs import Job, JobKind
 from repro.service.registry import Session, SessionRegistry
 from repro.service.towers import (
@@ -216,7 +227,16 @@ def _op_delta_workload(
 
 
 class Backend:
-    """Common bookkeeping: subclasses implement ``_execute`` per job."""
+    """Shared functional execution and accounting for every backend.
+
+    Subclasses implement :meth:`execute_batch` (how a formed batch runs
+    and is priced) and :meth:`wall_seconds`; the base class provides the
+    exact per-job arithmetic every backend shares — raw ops through
+    :func:`execute_functional`, circuits through
+    :func:`~repro.service.circuits.evaluate_circuit`, legacy app
+    payloads through the plaintext-verified :class:`_AppRunner` — which
+    is why all backends return bit-identical ciphertexts.
+    """
 
     name = "abstract"
 
@@ -248,10 +268,30 @@ class Backend:
         if job.kind.is_app:
             result, workload = self._apps.run(job)
             return session, result, workload
+        if job.kind is JobKind.CIRCUIT:
+            return session, self._run_circuit(registry, session, job), None
         for ct in job.operands:
             registry.check_compatible(session, ct)
         engine = self._engine(registry, session)
         return session, execute_functional(engine, session, job), None
+
+    def _run_circuit(
+        self, registry: SessionRegistry, session: Session, job: Job,
+        on_tensor=None,
+    ) -> dict[str, Ciphertext]:
+        """Evaluate a circuit job exactly; returns its named outputs.
+
+        ``on_tensor`` (chip pool only) observes each Eq. 4 tensor's
+        operands so the tensor can be replayed tower-by-tower on chip.
+        """
+        circuit: Circuit = job.payload
+        for ct in job.operands:
+            registry.check_compatible(session, ct)
+        engine = self._engine(registry, session)
+        relin = session.require_relin() if circuit.uses_relin else None
+        return evaluate_circuit(
+            engine, relin, circuit, job.operands, on_tensor=on_tensor
+        )
 
     @staticmethod
     def _fail_job(job: Job, batch_id: int, name: str, exc: Exception) -> None:
@@ -305,6 +345,24 @@ class ChipWorker:
         )
 
 
+@dataclass(frozen=True)
+class _TensorUnit:
+    """One Eq. 4 tensor to replay tower-by-tower on the chip pool.
+
+    A raw EvalMult/SQUARE job is a single level-0 unit; a circuit job
+    contributes one unit per tensor step, with ``level`` its dependency
+    depth (see :meth:`~repro.service.circuits.Circuit.tensor_levels`).
+    The dispatcher plans level by level, so a unit is never planned
+    before the units it depends on have cleared the gather barrier.
+    """
+
+    unit: int  # gather key, unique within the batch
+    job_seq: int  # owning job's position within the batch
+    level: int
+    a: Ciphertext
+    b: Ciphertext
+
+
 class ChipPoolBackend(Backend):
     """Batches dispatched across a pool of N simulated CoFHEE chips.
 
@@ -322,6 +380,13 @@ class ChipPoolBackend(Backend):
       command stream on its worker's driver and is cross-checked mod
       ``q_i`` against the software reference; the gather barrier releases
       a job only once its full tower set has arrived.
+
+    App circuits expand at the same tower level: each
+    ``mul_relin``/``square_relin`` step becomes its own
+    :class:`_TensorUnit`, dispatched level by level so a tensor that
+    consumes another tensor's output is never planned before its
+    producer clears the gather barrier; linear steps (adds, plaintext
+    multiply-accumulates) are pointwise-priced on the lead worker.
 
     The pool's aggregate wall time is the makespan (max per-worker busy
     time), which is what shrinks as the pool grows. Cycles for non-native
@@ -403,13 +468,20 @@ class ChipPoolBackend(Backend):
 
         # Phase 1 — functional execution (exact host-side arithmetic).
         # Strict-fidelity rejection comes first: the chip-native check
-        # needs only the session, so a doomed EvalMult never pays for the
-        # (expensive) host-side multiply.
+        # needs only the session, so a doomed EvalMult (or a circuit with
+        # tensor steps) never pays for the (expensive) host-side math.
+        # Circuit jobs evaluate with a tensor hook that records every
+        # Eq. 4 tensor's operands for the tower-sharded chip replay.
         live: list[tuple[int, Job, Session, object, Workload | None]] = []
+        traces: dict[int, list[tuple[int, Ciphertext, Ciphertext]]] = {}
         for seq, job in enumerate(jobs):
             try:
-                if (self.strict_fidelity
-                        and job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)):
+                needs_tensor = (
+                    job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)
+                    or (job.kind is JobKind.CIRCUIT
+                        and job.payload.tensor_steps)
+                )
+                if self.strict_fidelity and needs_tensor:
                     session = registry.get(job.session_id)
                     if self._chip_native_basis(session) is None:
                         raise BackendError(
@@ -417,27 +489,53 @@ class ChipPoolBackend(Backend):
                             f"on-chip for {session.params.describe()} "
                             "(moduli not chip-native)"
                         )
-                session, result, workload = self._run_job(registry, job)
+                if job.kind is JobKind.CIRCUIT:
+                    session = registry.get(job.session_id)
+                    trace: list[tuple[int, Ciphertext, Ciphertext]] = []
+                    result = self._run_circuit(
+                        registry, session, job,
+                        on_tensor=lambda i, a, b: trace.append((i, a, b)),
+                    )
+                    traces[seq] = trace
+                    workload = None
+                else:
+                    session, result, workload = self._run_job(registry, job)
             except Exception as exc:  # noqa: BLE001 — jobs must fail alone
                 self._fail_job(job, batch_id, self.name, exc)
                 continue
             live.append((seq, job, session, result, workload))
 
         # Phase 2 — split chip-path (tower-sharded) from model-path jobs.
-        sharded: dict[int, tuple[Job, Session, object, RnsBasis]] = {}
+        # Chip-path work is a list of _TensorUnits: one per raw EvalMult/
+        # SQUARE, one per tensor step of a circuit (leveled by dependency
+        # depth).
+        chip_jobs: dict[int, tuple[Job, Session, object, RnsBasis]] = {}
+        units: list[_TensorUnit] = []
+        job_units: dict[int, list[_TensorUnit]] = {}
+        unit_ids = itertools.count()
         model_path = []
-        items = []
         for seq, job, session, result, workload in live:
             wants_chip = (
                 self.data_fidelity
                 and workload is None
-                and job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)
+                and (job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)
+                     or (job.kind is JobKind.CIRCUIT and traces.get(seq)))
             )
             basis = self._chip_native_basis(session) if wants_chip else None
             if basis is not None:
-                est = self._tensor_estimate_for(session.params.n)
-                items.extend(tower_items_for(seq, basis.moduli, est))
-                sharded[seq] = (job, session, result, basis)
+                if job.kind is JobKind.CIRCUIT:
+                    levels = job.payload.tensor_levels()
+                    new = [
+                        _TensorUnit(next(unit_ids), seq, levels[step], a, b)
+                        for step, a, b in traces[seq]
+                    ]
+                else:
+                    a = job.operands[0]
+                    b = job.operands[1] if job.kind is JobKind.MULTIPLY else a
+                    new = [_TensorUnit(next(unit_ids), seq, 0, a, b)]
+                units.extend(new)
+                job_units[seq] = new
+                chip_jobs[seq] = (job, session, result, basis)
             else:
                 model_path.append((seq, job, session, result, workload))
 
@@ -452,91 +550,134 @@ class ChipPoolBackend(Backend):
             job.metrics.fidelity = "model"
             fidelity["model"] = fidelity.get("model", 0) + 1
             if (workload is None and session.relin is not None
-                    and job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)):
+                    and (job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)
+                         or (job.kind is JobKind.CIRCUIT
+                             and job.payload.uses_relin))):
                 job.metrics.relin_fidelity = "model"
                 fidelity["relin_model"] = fidelity.get("relin_model", 0) + 1
             self._finish_job(job, batch_id, lead.index, cycles, freq, result)
 
-        # Phase 4 — tower fan-out: same-modulus items stay together on the
-        # least-loaded workers (reprogramming amortized per batch). The
-        # affinity hint only counts a worker's programmed modulus when its
-        # programmed degree matches this batch (same digest => one n), or
-        # ensure_programmed would reprogram despite the "hit".
+        # Phase 4 — tower fan-out, level by level: same-modulus items
+        # stay together on the least-loaded workers (reprogramming
+        # amortized per batch), and a level's units are only planned
+        # once every unit of the previous level has cleared the gather
+        # barrier — the dependency edges of circuit expansion. The
+        # affinity hint only counts a worker's programmed modulus when
+        # its programmed degree matches this batch (same digest => one
+        # n), or ensure_programmed would reprogram despite the "hit".
         batch_n = (
-            next(iter(sharded.values()))[1].params.n if sharded else None
-        )
-        plan = plan_tower_dispatch(
-            items,
-            [w.busy_cycles for w in self.workers],
-            [
-                w.programmed[0]
-                if w.programmed and w.programmed[1] == batch_n else None
-                for w in self.workers
-            ],
+            next(iter(chip_jobs.values()))[1].params.n if chip_jobs else None
         )
         gather = TowerGather({
-            seq: tuple(range(len(basis.moduli)))
-            for seq, (_, _, _, basis) in sharded.items()
+            u.unit: tuple(range(len(chip_jobs[u.job_seq][3].moduli)))
+            for u in units
         })
-        failed: set[int] = set()
-        tower_cycles: dict[int, dict[int, int]] = {}
-        tower_workers: dict[int, dict[int, int]] = {}
-        for widx in sorted(plan):
-            worker = self.workers[widx]
-            for item in plan[widx]:
-                if item.job_seq in failed:
-                    continue
-                job, session, _result, _basis = sharded[item.job_seq]
-                try:
-                    outs, cycles = self._run_tower_checked(worker, session, job, item)
-                except Exception as exc:  # noqa: BLE001 — jobs must fail alone
-                    self._fail_job(job, batch_id, self.name, exc)
-                    failed.add(item.job_seq)
-                    gather.discard(item.job_seq)
-                    continue
-                gather.put(item.job_seq, item.tower, outs)
-                tower_cycles.setdefault(item.job_seq, {})[item.tower] = cycles
-                tower_workers.setdefault(item.job_seq, {})[item.tower] = widx
+        failed: set[int] = set()  # job seqs with a failed unit
+        unit_by_id = {u.unit: u for u in units}
+        unit_cycles: dict[int, dict[int, int]] = {}
+        unit_workers: dict[int, dict[int, int]] = {}
+        for level in sorted({u.level for u in units}):
+            level_units = [
+                u for u in units
+                if u.level == level and u.job_seq not in failed
+            ]
+            items = []
+            for u in level_units:
+                _job, session, _result, basis = chip_jobs[u.job_seq]
+                est = self._tensor_estimate_for(session.params.n)
+                items.extend(tower_items_for(u.unit, basis.moduli, est))
+            plan = plan_tower_dispatch(
+                items,
+                [w.busy_cycles for w in self.workers],
+                [
+                    w.programmed[0]
+                    if w.programmed and w.programmed[1] == batch_n else None
+                    for w in self.workers
+                ],
+            )
+            for widx in sorted(plan):
+                worker = self.workers[widx]
+                for item in plan[widx]:
+                    u = unit_by_id[item.job_seq]  # item keys are unit ids
+                    if u.job_seq in failed:
+                        continue
+                    job, session, _result, _basis = chip_jobs[u.job_seq]
+                    try:
+                        outs, cycles = self._run_tower_checked(
+                            worker, session, u.a, u.b, item
+                        )
+                    except Exception as exc:  # noqa: BLE001 — fail alone
+                        self._fail_job(job, batch_id, self.name, exc)
+                        failed.add(u.job_seq)
+                        for ju in job_units[u.job_seq]:
+                            gather.discard(ju.unit)
+                        continue
+                    gather.put(item.job_seq, item.tower, outs)
+                    unit_cycles.setdefault(u.unit, {})[item.tower] = cycles
+                    unit_workers.setdefault(u.unit, {})[item.tower] = widx
+            # Level barrier: every surviving unit of this level must have
+            # its full tower set before any dependent level is planned.
+            for u in level_units:
+                if u.job_seq not in failed:
+                    gather.towers(u.unit)
 
-        # Phase 5 — barrier: gather every tower (TowerGather refuses to
-        # release a job until its full tower set arrived; each tower was
-        # already cross-checked mod q_i), price the relinearization tail,
-        # and finish the job.
+        # Phase 5 — barrier settled: aggregate per-tower cycles across
+        # each job's units, price each tensor's relinearization tail (and
+        # a circuit's linear steps on the lead), and finish the job.
         batch_tower_cycles: dict[int, int] = {}
-        for seq, (job, session, result, basis) in sharded.items():
+        for seq, (job, session, result, basis) in chip_jobs.items():
             if seq in failed:
                 continue
-            gather.towers(seq)  # barrier: raises if any tower is missing
-            per_tower = tuple(
-                tower_cycles[seq][t] for t in range(len(basis.moduli))
-            )
+            towers_n = len(basis.moduli)
+            per_tower = [0] * towers_n
+            workers_used: set[int] = set()
+            for u in job_units[seq]:
+                for t in range(towers_n):
+                    per_tower[t] += unit_cycles[u.unit][t]
+                workers_used.update(unit_workers[u.unit].values())
             relin_cycles = 0
             finish_worker = lead
             if session.relin is not None:
-                # The key-switch runs after the gather barrier and is not
-                # tower-bound: charge it to the currently least-loaded
-                # worker so the tail does not serialize on the lead.
-                finish_worker = min(
-                    self.workers, key=lambda w: (w.busy_cycles, w.index)
-                )
-                relin_cycles = finish_worker.chip.timing.relinearization_cycles(
-                    session.params.n, session.relin.num_digits, len(basis.moduli)
-                )
-                finish_worker.busy_cycles += relin_cycles
+                # The key-switch runs after each tensor's gather and is
+                # not tower-bound: charge every tail to the then
+                # least-loaded worker so it does not serialize on the
+                # lead. Raw jobs have one tensor; circuits one per
+                # tensor step.
+                for _ in job_units[seq]:
+                    finish_worker = min(
+                        self.workers, key=lambda w: (w.busy_cycles, w.index)
+                    )
+                    tail = finish_worker.chip.timing.relinearization_cycles(
+                        session.params.n, session.relin.num_digits, towers_n
+                    )
+                    finish_worker.busy_cycles += tail
+                    relin_cycles += tail
                 job.metrics.relin_fidelity = "model"
                 fidelity["relin_model"] = fidelity.get("relin_model", 0) + 1
+            linear_cycles = 0
+            if job.kind is JobKind.CIRCUIT:
+                linear_cycles = self._circuit_linear_cycles(
+                    session, job.payload
+                )
+                lead.busy_cycles += linear_cycles
             job.metrics.fidelity = "chip"
-            job.metrics.tower_cycles = per_tower
-            job.metrics.tower_workers = tuple(
-                tower_workers[seq][t] for t in range(len(basis.moduli))
-            )
+            job.metrics.tower_cycles = tuple(per_tower)
+            if job.kind is JobKind.CIRCUIT:
+                # Many tensors may touch one tower: report the distinct
+                # workers that executed this job's towers.
+                job.metrics.tower_workers = tuple(sorted(workers_used))
+            else:
+                only = job_units[seq][0]
+                job.metrics.tower_workers = tuple(
+                    unit_workers[only.unit][t] for t in range(towers_n)
+                )
             job.metrics.relin_cycles = relin_cycles
             fidelity["chip"] = fidelity.get("chip", 0) + 1
             for t, c in enumerate(per_tower):
                 batch_tower_cycles[t] = batch_tower_cycles.get(t, 0) + c
             self._finish_job(
                 job, batch_id, finish_worker.index,
-                sum(per_tower) + relin_cycles, freq, result,
+                sum(per_tower) + relin_cycles + linear_cycles, freq, result,
             )
 
         added = {
@@ -582,7 +723,10 @@ class ChipPoolBackend(Backend):
 
         Chip-native means the basis covers exactly ``q``, every tower
         modulus supports the negacyclic NTT at the session's degree
-        (``q_i === 1 mod 2n``), and one polynomial fits an on-chip bank.
+        (``q_i === 1 mod 2n``), fits the chip's Q register, and one
+        polynomial fits an on-chip bank. Non-native sessions take the
+        model path (or fail under ``strict_fidelity``) instead of
+        faulting a driver mid-batch.
         """
         params = session.params
         basis = params.cofhee_basis
@@ -590,20 +734,24 @@ class ChipPoolBackend(Backend):
             return None
         if params.n > self.workers[0].chip.config.poly_words:
             return None
+        q_bits = self.workers[0].chip.regs.spec("Q").bits
+        if any(q.bit_length() > q_bits for q in basis.moduli):
+            return None
         if any((q - 1) % (2 * params.n) != 0 for q in basis.moduli):
             return None
         return basis
 
     def _run_tower_checked(
-        self, worker: ChipWorker, session: Session, job: Job, item
+        self, worker: ChipWorker, session: Session, a: Ciphertext,
+        b: Ciphertext, item
     ) -> tuple[list[list[int]], int]:
         """One tower's Algorithm 3 on ``worker``, cross-checked mod q_i.
 
-        SQUARE runs the same command stream with both inputs bound to the
-        one operand (the Eq. 4 tensor with ``a == b``).
+        ``a``/``b`` are the tensor's 2-component operands — a raw job's
+        uploaded ciphertexts, or a circuit step's (possibly intermediate)
+        values. SQUARE runs the same command stream with both inputs
+        bound to the one operand (the Eq. 4 tensor with ``a == b``).
         """
-        a = job.operands[0]
-        b = job.operands[1] if job.kind is JobKind.MULTIPLY else a
         ct_a = (a.polys[0].coeffs, a.polys[1].coeffs)
         ct_b = (b.polys[0].coeffs, b.polys[1].coeffs)
         outs, cycles = worker.run_tower(ct_a, ct_b, item.modulus)
@@ -631,6 +779,18 @@ class ChipPoolBackend(Backend):
             seconds = cost.workload_seconds(workload)["total_s"]
             return round(seconds * worker.chip.clock.frequency_hz)
         n, towers = params.n, params.cofhee_tower_count
+        if job.kind is JobKind.CIRCUIT:
+            # Model path for a whole circuit: linear steps pointwise,
+            # each tensor step one Eq. 4 estimate (+ relin tail).
+            circuit: Circuit = job.payload
+            cycles = self._circuit_linear_cycles(session, circuit)
+            n_tensors = len(circuit.tensor_steps)
+            if n_tensors:
+                cycles += n_tensors * towers * self._tensor_estimate_for(n)
+                cycles += n_tensors * timing.relinearization_cycles(
+                    n, session.require_relin().num_digits, towers
+                )
+            return cycles
         if job.kind in (JobKind.ADD, JobKind.SUB):
             return 2 * towers * timing.pointwise_cycles(n)
         if job.kind is JobKind.RELINEARIZE:
@@ -651,6 +811,27 @@ class ChipPoolBackend(Backend):
                 n, session.relin.num_digits, towers
             )
         return cycles
+
+    def _circuit_linear_cycles(self, session: Session, circuit: Circuit) -> int:
+        """Pointwise-op cycles for a circuit's non-tensor steps.
+
+        Adds and plaintext scalings are slot-wise passes over the
+        ciphertext components: ct+ct touches both components of both
+        operands' sum (2 passes), ct+pt only ``c0`` (1), ct*pt scales
+        both components (2), and a multiply-accumulate is the scale plus
+        the add (4). Tensor steps are priced separately.
+        """
+        params = session.params
+        timing = self.workers[0].chip.timing
+        pointwise = params.cofhee_tower_count * timing.pointwise_cycles(params.n)
+        passes = {
+            OP_ADD: 2, OP_SUB: 2, OP_ADD_CONST: 1,
+            OP_MUL_CONST: 2, OP_MAC_CONST: 4,
+        }
+        return sum(
+            passes[step.op] * pointwise
+            for step in circuit.steps if step.op not in TENSOR_OPS
+        )
 
     def _tensor_estimate_for(self, n: int) -> int:
         """Per-tower Algorithm 3 cycles from compiling the DAG (cached).
@@ -745,6 +926,17 @@ class SoftwareBackend(Backend):
         # Scale the SEAL anchors (measured at n = 2^12, 2 towers) to the
         # session's degree and tower count.
         anchor_scale = (params.n / 2**12) * (params.cpu_tower_count / 2)
+        if job.kind is JobKind.CIRCUIT:
+            # Price the op mix from the same anchors the raw ops use:
+            # adds and ct*pt from the SEAL microbenchmarks, each tensor
+            # step one ciphertext multiply plus its relinearization.
+            counts = job.payload.op_counts()
+            tensor = self.cost.ciphertext_mult_ms(params, self.threads) * 1e-3
+            return (
+                counts["ct_ct_adds"] * CpuAppCost.ADD_US * 1e-6 * anchor_scale
+                + counts["ct_pt_mults"] * CpuAppCost.CT_PT_US * 1e-6 * anchor_scale
+                + counts["ct_ct_mults"] * tensor * (1.0 + self.RELIN_TENSOR_EQUIV)
+            )
         if job.kind in (JobKind.ADD, JobKind.SUB):
             return CpuAppCost.ADD_US * 1e-6 * anchor_scale
         tensor = self.cost.ciphertext_mult_ms(params, self.threads) * 1e-3

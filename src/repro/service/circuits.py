@@ -1,0 +1,482 @@
+"""App circuits: multi-step encrypted programs the service can execute.
+
+Until this module, the wire could only carry *single* homomorphic ops —
+the paper's Section VI-C applications (logistic regression, CryptoNets)
+ran in-process only, because their hundreds of chained operations had no
+encoding. A :class:`Circuit` is that encoding's in-memory form: a small
+SSA register program over ciphertexts whose description travels to the
+server (the tf-encrypted "computation travels, runtime schedules" model)
+and is expanded by the backends into the existing per-op / per-tower
+work units.
+
+**Register model.** A circuit has named ciphertext inputs, a table of
+plaintext constants, a step list, and named outputs. Registers are
+append-only: input ``i`` occupies register ``i``, and step ``k`` writes
+register ``num_inputs + k`` — so a step can only reference values that
+already exist, the step list is its own topological order, and the
+dependency edges the chip-pool scheduler needs fall out of the indices.
+
+**Step ops** (the Section VI-C building blocks):
+
+======================  =====================================================
+``OP_ADD``              ``dst = a + b`` (ct+ct)
+``OP_SUB``              ``dst = a - b`` (ct+ct)
+``OP_ADD_CONST``        ``dst = a + const`` (packed plaintext)
+``OP_MUL_CONST``        ``dst = a * const`` (packed plaintext or scalar)
+``OP_MAC_CONST``        ``dst = acc + a * const`` (the ct*pt multiply-
+                        accumulate every dense/conv layer is made of)
+``OP_MUL_RELIN``        ``dst = relinearize(a * b)`` (Eq. 4 tensor + relin)
+``OP_SQUARE_RELIN``     ``dst = relinearize(a^2)`` (the CryptoNets
+                        activation)
+======================  =====================================================
+
+Constants come in two kinds: ``CONST_SCALAR`` (a signed integer applied
+with :meth:`~repro.bfv.scheme.Bfv.multiply_scalar` — layer weights) and
+``CONST_PLAIN`` (an already-encoded plaintext polynomial mod ``t`` —
+SIMD-packed biases). Scalars multiply only; packed plaintexts add or
+multiply.
+
+The wire encoding lives in :mod:`repro.service.serialization`
+(``serialize_circuit`` / ``deserialize_circuit``, tag ``0x07``) and is
+specified byte-for-byte in ``docs/wire-protocol.md``. Secret keys still
+never appear: a circuit references the session's *evaluation* keys only
+(every ``OP_MUL_RELIN``/``OP_SQUARE_RELIN`` uses the uploaded relin key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.bfv.params import BfvParameters
+from repro.bfv.scheme import Bfv, Ciphertext
+from repro.polymath.poly import Polynomial, PolynomialRing
+
+#: Version byte of the circuit *body* encoding (independent of the outer
+#: wire envelope version): decoders reject unknown values, so the format
+#: can evolve without repurposing byte layouts. See docs/wire-protocol.md.
+CIRCUIT_VERSION = 1
+
+OP_ADD = 0x01
+OP_SUB = 0x02
+OP_ADD_CONST = 0x03
+OP_MUL_CONST = 0x04
+OP_MAC_CONST = 0x05
+OP_MUL_RELIN = 0x06
+OP_SQUARE_RELIN = 0x07
+
+#: op -> (human name, argument layout). ``r`` = register index,
+#: ``c`` = constant-table index. Arity and argument meaning are fixed
+#: per op; decoders reject anything else.
+OP_SPECS: dict[int, tuple[str, str]] = {
+    OP_ADD: ("add", "rr"),
+    OP_SUB: ("sub", "rr"),
+    OP_ADD_CONST: ("add_const", "rc"),
+    OP_MUL_CONST: ("mul_const", "rc"),
+    OP_MAC_CONST: ("mac_const", "rrc"),
+    OP_MUL_RELIN: ("mul_relin", "rr"),
+    OP_SQUARE_RELIN: ("square_relin", "r"),
+}
+
+#: Ops that run the Eq. 4 tensor (and therefore a relinearization).
+TENSOR_OPS = frozenset({OP_MUL_RELIN, OP_SQUARE_RELIN})
+
+CONST_SCALAR = 0
+CONST_PLAIN = 1
+
+#: Wire scalars are signed 64-bit; plenty for layer weights, and small
+#: enough that every implementation agrees on the encoding.
+_SCALAR_LIMIT = 2**63
+
+
+class CircuitError(ValueError):
+    """A structurally invalid circuit (bad ops, indices, or names)."""
+
+
+@dataclass(frozen=True)
+class CircuitConst:
+    """One entry of a circuit's plaintext constant table.
+
+    ``kind == CONST_SCALAR`` carries a signed integer in ``scalar``;
+    ``kind == CONST_PLAIN`` carries the coefficients of an
+    already-encoded plaintext polynomial mod ``t`` in ``coeffs``.
+    """
+
+    kind: int
+    scalar: int = 0
+    coeffs: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CircuitStep:
+    """One SSA step: ``op`` applied to ``args``, writing the next register.
+
+    ``args`` follows the op's layout in :data:`OP_SPECS` — register
+    indices for ``r`` positions, constant-table indices for ``c``.
+    """
+
+    op: int
+    args: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A validated encrypted program (see the module docstring).
+
+    Instances are immutable and deterministic to serialize, so a
+    circuit's wire bytes double as its content address for the server's
+    result cache and in-queue dedupe.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    consts: tuple[CircuitConst, ...]
+    steps: tuple[CircuitStep, ...]
+    outputs: tuple[tuple[str, int], ...]  # (name, register)
+
+    def __post_init__(self):
+        validate_circuit(self)
+
+    @property
+    def num_registers(self) -> int:
+        return len(self.inputs) + len(self.steps)
+
+    @property
+    def uses_relin(self) -> bool:
+        """Whether execution needs the session's relinearization key."""
+        return any(step.op in TENSOR_OPS for step in self.steps)
+
+    @property
+    def tensor_steps(self) -> tuple[int, ...]:
+        """Indices of the steps that run the Eq. 4 tensor."""
+        return tuple(
+            i for i, step in enumerate(self.steps) if step.op in TENSOR_OPS
+        )
+
+    def op_counts(self) -> dict[str, int]:
+        """The Section VI-C op mix of one execution (for the cost models)."""
+        counts = {"ct_ct_adds": 0, "ct_pt_mults": 0, "ct_ct_mults": 0}
+        for step in self.steps:
+            if step.op in (OP_ADD, OP_SUB, OP_ADD_CONST):
+                counts["ct_ct_adds"] += 1
+            elif step.op == OP_MUL_CONST:
+                counts["ct_pt_mults"] += 1
+            elif step.op == OP_MAC_CONST:
+                counts["ct_pt_mults"] += 1
+                counts["ct_ct_adds"] += 1
+            else:  # tensor ops
+                counts["ct_ct_mults"] += 1
+        return counts
+
+    def tensor_levels(self) -> dict[int, int]:
+        """Dependency depth of every tensor step (step index -> level).
+
+        A tensor step's level is the longest chain of *tensor* steps its
+        inputs transitively pass through: level-0 tensors depend only on
+        inputs and linear steps, level-1 tensors consume at least one
+        level-0 tensor's output, and so on. The chip-pool backend
+        dispatches tower work level by level — towers within a level fan
+        out across the pool freely, but a level-``k`` tensor is never
+        planned before every level-``k-1`` tensor it depends on has
+        cleared the gather barrier.
+        """
+        depth = [0] * self.num_registers  # tensor depth of each register
+        levels: dict[int, int] = {}
+        base = len(self.inputs)
+        for i, step in enumerate(self.steps):
+            layout = OP_SPECS[step.op][1]
+            reg_args = [a for a, c in zip(step.args, layout) if c == "r"]
+            d_in = max((depth[a] for a in reg_args), default=0)
+            if step.op in TENSOR_OPS:
+                levels[i] = d_in
+                depth[base + i] = d_in + 1
+            else:
+                depth[base + i] = d_in
+        return levels
+
+
+def validate_circuit(circuit: Circuit) -> None:
+    """Raise :class:`CircuitError` unless the circuit is well-formed.
+
+    Checks: non-empty unique input/output names, known op codes, correct
+    argument counts, every register reference pointing at an
+    already-defined register, every constant reference inside the table,
+    add-of-scalar rejected (scalars multiply only), and at least one
+    step and one output.
+    """
+    if not circuit.name:
+        raise CircuitError("circuit needs a name")
+    if not circuit.inputs:
+        raise CircuitError("circuit needs at least one ciphertext input")
+    if len(set(circuit.inputs)) != len(circuit.inputs):
+        raise CircuitError(f"duplicate input names in {circuit.inputs}")
+    if any(not name for name in circuit.inputs):
+        raise CircuitError("input names must be non-empty")
+    if not circuit.steps:
+        raise CircuitError("circuit needs at least one step")
+    if not circuit.outputs:
+        raise CircuitError("circuit needs at least one named output")
+    # Wire representability: every table index travels as a u16.
+    if circuit.num_registers > 0xFFFF:
+        raise CircuitError(
+            f"circuit has {circuit.num_registers} registers; the wire "
+            "encoding carries at most 65535"
+        )
+    if len(circuit.consts) > 0xFFFF:
+        raise CircuitError(
+            f"circuit has {len(circuit.consts)} constants; the wire "
+            "encoding carries at most 65535"
+        )
+    if len(circuit.outputs) > 0xFFFF:
+        raise CircuitError(
+            f"circuit has {len(circuit.outputs)} outputs; the wire "
+            "encoding carries at most 65535"
+        )
+    for const in circuit.consts:
+        if const.kind == CONST_SCALAR:
+            if not -_SCALAR_LIMIT <= const.scalar < _SCALAR_LIMIT:
+                raise CircuitError(
+                    f"scalar constant {const.scalar} exceeds 64 signed bits"
+                )
+        elif const.kind == CONST_PLAIN:
+            if not const.coeffs:
+                raise CircuitError("packed plaintext constant is empty")
+            if any(c < 0 for c in const.coeffs):
+                raise CircuitError("packed plaintext coefficients are mod t")
+        else:
+            raise CircuitError(f"unknown constant kind {const.kind}")
+    defined = len(circuit.inputs)
+    for i, step in enumerate(circuit.steps):
+        spec = OP_SPECS.get(step.op)
+        if spec is None:
+            raise CircuitError(f"step {i}: unknown op code 0x{step.op:02x}")
+        name, layout = spec
+        if len(step.args) != len(layout):
+            raise CircuitError(
+                f"step {i} ({name}): takes {len(layout)} args, "
+                f"got {len(step.args)}"
+            )
+        for arg, role in zip(step.args, layout):
+            if role == "r":
+                if not 0 <= arg < defined:
+                    raise CircuitError(
+                        f"step {i} ({name}): register {arg} is not defined "
+                        f"yet ({defined} registers exist)"
+                    )
+            else:
+                if not 0 <= arg < len(circuit.consts):
+                    raise CircuitError(
+                        f"step {i} ({name}): constant {arg} is outside the "
+                        f"table of {len(circuit.consts)}"
+                    )
+                const = circuit.consts[arg]
+                if step.op == OP_ADD_CONST and const.kind != CONST_PLAIN:
+                    raise CircuitError(
+                        f"step {i}: add_const needs a packed plaintext "
+                        "constant (scalars multiply only)"
+                    )
+        defined += 1
+    seen_out: set[str] = set()
+    for name, reg in circuit.outputs:
+        if not name:
+            raise CircuitError("output names must be non-empty")
+        if name in seen_out:
+            raise CircuitError(f"duplicate output name {name!r}")
+        seen_out.add(name)
+        if not 0 <= reg < circuit.num_registers:
+            raise CircuitError(
+                f"output {name!r} references register {reg}, but only "
+                f"{circuit.num_registers} exist"
+            )
+
+
+# ----------------------------------------------------------------------
+# Builder (what the apps compile themselves with)
+# ----------------------------------------------------------------------
+
+
+class CircuitBuilder:
+    """Incremental circuit construction with constant deduplication.
+
+    Register handles are plain ints, so building reads like the
+    straight-line program it encodes::
+
+        b = CircuitBuilder("affine")
+        x = b.input("x")
+        y = b.add_const(b.mul_const(x, b.scalar(3)), b.plain([1, 0, 0, 0]))
+        b.output("y", y)
+        circuit = b.build()
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inputs: list[str] = []
+        self._consts: list[CircuitConst] = []
+        self._const_index: dict[tuple, int] = {}
+        self._steps: list[CircuitStep] = []
+        self._outputs: list[tuple[str, int]] = []
+
+    # -- declarations ---------------------------------------------------
+
+    def input(self, name: str) -> int:
+        """Declare a named ciphertext input; returns its register."""
+        if self._steps:
+            raise CircuitError("declare every input before the first step")
+        self._inputs.append(name)
+        return len(self._inputs) - 1
+
+    def scalar(self, value: int) -> int:
+        """Intern a scalar constant; returns its table index."""
+        key = (CONST_SCALAR, value)
+        if key not in self._const_index:
+            self._const_index[key] = len(self._consts)
+            self._consts.append(CircuitConst(kind=CONST_SCALAR, scalar=value))
+        return self._const_index[key]
+
+    def plain(self, coeffs: Sequence[int]) -> int:
+        """Intern a packed plaintext constant; returns its table index."""
+        key = (CONST_PLAIN, tuple(coeffs))
+        if key not in self._const_index:
+            self._const_index[key] = len(self._consts)
+            self._consts.append(
+                CircuitConst(kind=CONST_PLAIN, coeffs=tuple(coeffs))
+            )
+        return self._const_index[key]
+
+    # -- steps ----------------------------------------------------------
+
+    def _step(self, op: int, *args: int) -> int:
+        self._steps.append(CircuitStep(op=op, args=tuple(args)))
+        return len(self._inputs) + len(self._steps) - 1
+
+    def add(self, a: int, b: int) -> int:
+        return self._step(OP_ADD, a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        return self._step(OP_SUB, a, b)
+
+    def add_const(self, a: int, const: int) -> int:
+        return self._step(OP_ADD_CONST, a, const)
+
+    def mul_const(self, a: int, const: int) -> int:
+        return self._step(OP_MUL_CONST, a, const)
+
+    def mac_const(self, acc: int, a: int, const: int) -> int:
+        return self._step(OP_MAC_CONST, acc, a, const)
+
+    def mul_relin(self, a: int, b: int) -> int:
+        return self._step(OP_MUL_RELIN, a, b)
+
+    def square_relin(self, a: int) -> int:
+        return self._step(OP_SQUARE_RELIN, a)
+
+    def output(self, name: str, reg: int) -> None:
+        self._outputs.append((name, reg))
+
+    def build(self) -> Circuit:
+        """Freeze into a validated :class:`Circuit`."""
+        return Circuit(
+            name=self.name,
+            inputs=tuple(self._inputs),
+            consts=tuple(self._consts),
+            steps=tuple(self._steps),
+            outputs=tuple(self._outputs),
+        )
+
+
+# ----------------------------------------------------------------------
+# Evaluation (shared by every backend; bit-identical by construction)
+# ----------------------------------------------------------------------
+
+#: Plaintext-ring cache: constants decode once per (n, t), not per job.
+_PLAIN_RINGS: dict[tuple[int, int], PolynomialRing] = {}
+
+
+def _plain_ring(params: BfvParameters) -> PolynomialRing:
+    key = (params.n, params.t)
+    if key not in _PLAIN_RINGS:
+        _PLAIN_RINGS[key] = PolynomialRing(
+            params.n, params.t, allow_non_ntt=True
+        )
+    return _PLAIN_RINGS[key]
+
+
+def _decode_const(const: CircuitConst, params: BfvParameters) -> Polynomial | int:
+    if const.kind == CONST_SCALAR:
+        return const.scalar
+    if len(const.coeffs) != params.n:
+        raise CircuitError(
+            f"packed plaintext constant has {len(const.coeffs)} coefficients "
+            f"for n = {params.n}"
+        )
+    if any(c >= params.t for c in const.coeffs):
+        raise CircuitError("plaintext constant coefficient exceeds t")
+    return _plain_ring(params)([int(c) for c in const.coeffs])
+
+#: Chip-backend hook: called as ``on_tensor(step_index, a, b)`` with the
+#: two 2-component operand ciphertexts just before each tensor step.
+TensorHook = Callable[[int, Ciphertext, Ciphertext], None]
+
+
+def evaluate_circuit(
+    engine: Bfv,
+    relin_key,
+    circuit: Circuit,
+    inputs: Sequence[Ciphertext],
+    on_tensor: TensorHook | None = None,
+) -> dict[str, Ciphertext]:
+    """Execute a circuit exactly; returns its named outputs.
+
+    This is the *functional* semantics every backend shares — the same
+    :class:`~repro.bfv.scheme.Bfv` calls the apps make in-process, in the
+    same order, so a compiled app returns bit-identical ciphertexts to
+    its direct execution. The chip-pool backend passes ``on_tensor`` to
+    collect each Eq. 4 tensor's operands for tower-sharded chip replay.
+
+    Args:
+        engine: the session's evaluation engine.
+        relin_key: the session's relinearization key (required only when
+            the circuit contains tensor steps).
+        circuit: the validated program.
+        inputs: ciphertexts bound to ``circuit.inputs``, positionally.
+    """
+    if len(inputs) != len(circuit.inputs):
+        raise CircuitError(
+            f"circuit {circuit.name!r} takes {len(circuit.inputs)} inputs "
+            f"({', '.join(circuit.inputs)}), got {len(inputs)}"
+        )
+    params = engine.params
+    consts = [_decode_const(c, params) for c in circuit.consts]
+    regs: list[Ciphertext] = list(inputs)
+    for i, step in enumerate(circuit.steps):
+        if step.op == OP_ADD:
+            value = engine.add(regs[step.args[0]], regs[step.args[1]])
+        elif step.op == OP_SUB:
+            value = engine.sub(regs[step.args[0]], regs[step.args[1]])
+        elif step.op == OP_ADD_CONST:
+            value = engine.add_plain(regs[step.args[0]], consts[step.args[1]])
+        elif step.op == OP_MUL_CONST:
+            value = _mul_const(engine, regs[step.args[0]], consts[step.args[1]])
+        elif step.op == OP_MAC_CONST:
+            term = _mul_const(engine, regs[step.args[1]], consts[step.args[2]])
+            value = engine.add(regs[step.args[0]], term)
+        elif step.op == OP_MUL_RELIN:
+            a, b = regs[step.args[0]], regs[step.args[1]]
+            if on_tensor is not None:
+                on_tensor(i, a, b)
+            value = engine.relinearize(engine.multiply(a, b), relin_key)
+        elif step.op == OP_SQUARE_RELIN:
+            a = regs[step.args[0]]
+            if on_tensor is not None:
+                on_tensor(i, a, a)
+            value = engine.relinearize(engine.square(a), relin_key)
+        else:  # pragma: no cover — validate_circuit rejects unknown ops
+            raise CircuitError(f"unknown op code 0x{step.op:02x}")
+        regs.append(value)
+    return {name: regs[reg] for name, reg in circuit.outputs}
+
+
+def _mul_const(engine: Bfv, ct: Ciphertext, const: Polynomial | int) -> Ciphertext:
+    if isinstance(const, int):
+        return engine.multiply_scalar(ct, const)
+    return engine.multiply_plain(ct, const)

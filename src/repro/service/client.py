@@ -27,6 +27,7 @@ from typing import Callable
 
 from repro.bfv.params import BfvParameters
 from repro.bfv.scheme import Ciphertext
+from repro.service.circuits import Circuit
 from repro.service.jobs import JobKind
 from repro.service.serialization import (
     ErrorMsg,
@@ -34,6 +35,7 @@ from repro.service.serialization import (
     OpenSessionMsg,
     ResultMsg,
     StatusMsg,
+    SubmitCircuitMsg,
     SubmitMsg,
     TAG_ERROR,
     TAG_EVENT,
@@ -48,10 +50,12 @@ from repro.service.serialization import (
     decode_status,
     encode_open_session,
     encode_submit,
+    encode_submit_circuit,
     encode_status,
     encode_result,
     peek_tag,
     serialize_ciphertext,
+    serialize_circuit,
     serialize_params,
 )
 from repro.service.transport import (
@@ -265,6 +269,41 @@ class AsyncFheClient:
             job.add_callback(on_done)
         return reply.job_id
 
+    async def submit_circuit(
+        self,
+        session_id: str,
+        circuit: Circuit | bytes,
+        inputs=(),
+        *,
+        backend: str = "",
+        on_done: DoneCallback | None = None,
+    ) -> str:
+        """Queue a whole app circuit; returns its job id.
+
+        ``circuit`` may be a built :class:`~repro.service.circuits.Circuit`
+        or its pre-serialized wire bytes; ``inputs`` bind positionally to
+        the circuit's named inputs (wire bytes or Ciphertext objects).
+        ``await result(job_id)`` then yields the framed named-output map
+        — decode it with
+        :func:`~repro.service.serialization.deserialize_circuit_outputs`.
+        """
+        wire_circuit = (
+            bytes(circuit) if isinstance(circuit, (bytes, bytearray))
+            else serialize_circuit(circuit)
+        )
+        rid = next(self._request_ids)
+        reply: StatusMsg = await self._request(encode_submit_circuit(
+            SubmitCircuitMsg(
+                request_id=rid, session_id=session_id, circuit=wire_circuit,
+                operands=_wire_operands(inputs), backend=backend,
+                subscribe=True,
+            )
+        ), rid)
+        job = self._jobs.setdefault(reply.job_id, _ClientJob(self._loop))
+        if on_done is not None:
+            job.add_callback(on_done)
+        return reply.job_id
+
     async def result(self, job_id: str) -> bytes:
         """Await the job's completion event; returns the result bytes.
 
@@ -340,6 +379,8 @@ class FheClient:
             sid = client.open_session("acme", params_bytes, relin_key=rk)
             job = client.submit(sid, "multiply", (a_bytes, b_bytes))
             wire = client.result(job)   # parks on the completion event
+            app = client.submit_circuit(sid, model.to_circuit(batch=4), cts)
+            outputs = client.result(app)  # framed named-output map
 
     ``on_done`` callbacks run on the client's loop thread.
     """
@@ -378,6 +419,12 @@ class FheClient:
         return self._run(self._client.submit(
             session_id, kind, operands, steps=steps, backend=backend,
             on_done=on_done,
+        ))
+
+    def submit_circuit(self, session_id, circuit, inputs=(), *, backend="",
+                       on_done: DoneCallback | None = None) -> str:
+        return self._run(self._client.submit_circuit(
+            session_id, circuit, inputs, backend=backend, on_done=on_done,
         ))
 
     def result(self, job_id: str) -> bytes:

@@ -22,9 +22,13 @@ The console script also fronts the asyncio wire transport:
 * ``repro-serve --listen [HOST:]PORT`` starts a TCP listener a remote
   :class:`~repro.service.client.FheClient` can drive;
 * ``repro-serve --smoke`` spins up an ephemeral listener, pushes one
-  chip-native EvalMult through a real socket with a completion
-  callback, and asserts the result is bit-identical to local ground
-  truth — the transport stage of ``tools/run_checks.sh --transport``.
+  chip-native EvalMult *and* one compiled logistic-regression circuit
+  through a real socket with completion callbacks, and asserts both
+  results are bit-identical to local ground truth — the transport stage
+  of ``tools/run_checks.sh --transport``.
+
+The fully over-the-wire three-tenant demo (raw ops + both app circuits
+through one TCP server) lives in ``examples/encrypted_service_demo.py``.
 """
 
 from __future__ import annotations
@@ -233,15 +237,21 @@ def serve(listen: str, pool_size: int, max_batch: int) -> int:
 
 
 def transport_smoke(pool_size: int = 2) -> int:
-    """One EvalMult through a real localhost socket, asserted bit-identical.
+    """One EvalMult and one app circuit through a real localhost socket.
 
     Uses the sync :class:`~repro.service.client.FheClient` against a
     thread-hosted listener — the full stack a deployment would run, in
     one process: wire serialization, length-prefixed frames, the worker
     thread executor, tower-sharded chip execution, and the pushed
-    completion callback.
+    completion callback. Both results are asserted bit-identical to
+    in-process execution; the logistic-regression circuit additionally
+    checks its decrypted predictions against the plaintext reference.
     """
+    from repro.apps.logreg import MiniLogisticRegression
+    from repro.polymath.primes import ntt_friendly_prime
+    from repro.service.circuits import evaluate_circuit
     from repro.service.client import FheClient
+    from repro.service.serialization import deserialize_circuit_outputs
     from repro.service.transport import ThreadedTransportServer
 
     params = BfvParameters.toy_rns(n=16, towers=2, tower_bits=20)
@@ -253,6 +263,19 @@ def transport_smoke(pool_size: int = 2) -> int:
         encoder.encode(list(range(params.n, 2 * params.n))), keys.public
     )
     expected = serialize_ciphertext(bfv.multiply_relin(a, b, keys.relin))
+
+    # The app-circuit leg: a compiled logistic-regression batch on its
+    # own chip-native parameter set (wide enough for two multiplications).
+    lr_params = BfvParameters.toy_rns(
+        n=16, towers=5, tower_bits=28, t=ntt_friendly_prime(16, 21)
+    )
+    model = MiniLogisticRegression(params=lr_params, num_features=4, seed=11)
+    rng = random.Random(3)
+    samples = [[rng.randint(-3, 3) for _ in range(4)] for _ in range(3)]
+    circuit = model.to_circuit(batch=len(samples))
+    feature_cts = model.encrypt_features(samples)
+    local = evaluate_circuit(model.bfv, model.keys.relin, circuit, feature_cts)
+    expected_score = serialize_ciphertext(local["score"])
 
     callbacks: list[str] = []
     with ThreadedTransportServer(pool_size=pool_size) as ts:
@@ -269,12 +292,35 @@ def transport_smoke(pool_size: int = 2) -> int:
                 on_done=lambda event: callbacks.append(event.status),
             )
             wire = client.result(jid)
+            lr_sid = client.open_session(
+                "smoke-logreg", serialize_params(lr_params),
+                relin_key=serialize_relin_key(model.keys.relin, lr_params),
+            )
+            lr_jid = client.submit_circuit(
+                lr_sid, circuit,
+                tuple(serialize_ciphertext(ct) for ct in feature_cts),
+                on_done=lambda event: callbacks.append(event.status),
+            )
+            lr_payload = client.result(lr_jid)
         report = ts.fhe.pool_report()
     assert wire == expected, "transport result diverged from Bfv ground truth"
-    assert callbacks == ["done"], f"expected one completion event, got {callbacks}"
-    assert report["fidelity"].get("chip") == 1, report["fidelity"]
+    outs = deserialize_circuit_outputs(lr_payload, lr_params)
+    assert serialize_ciphertext(outs["score"]) == expected_score, (
+        "served circuit diverged from in-process evaluation"
+    )
+    predictions = model.predictions_from_score(outs["score"], len(samples))
+    assert predictions == model.predict_plain(samples), (
+        "served predictions diverged from the plaintext reference"
+    )
+    assert callbacks == ["done", "done"], (
+        f"expected one completion event per job, got {callbacks}"
+    )
+    assert report["fidelity"].get("chip") == 2, report["fidelity"]
     print("transport smoke: EvalMult over the socket is bit-identical to "
           "local ground truth, 1 completion callback, chip-native ✓")
+    print(f"transport smoke: logreg circuit ({len(circuit.steps)} steps, "
+          f"{len(circuit.tensor_steps)} tensors) over the socket is "
+          f"bit-identical, predictions {predictions} match plaintext ✓")
     return 0
 
 

@@ -1,11 +1,14 @@
 """Encrypted-job model: what tenants submit and what comes back.
 
-A :class:`Job` is one unit of queued work: either a raw homomorphic
-operation on uploaded ciphertexts (add/sub/multiply/square/relinearize/
-rotate) or an application-level workload (a CryptoNets inference or a
-logistic-regression batch) whose operation mix rides through the same
-scheduler. Jobs carry their own metrics so the serving layer can report
-per-job latency alongside the aggregate throughput tables.
+A :class:`Job` is one unit of queued work: a raw homomorphic operation
+on uploaded ciphertexts (add/sub/multiply/square/relinearize/rotate), an
+**app circuit** (a compiled multi-step encrypted program — see
+:mod:`repro.service.circuits` — expanded by the backends into the same
+per-op/per-tower work units), or a legacy in-process application payload
+(a CryptoNets inference or a logistic-regression batch verified against
+its plaintext reference). Jobs carry their own metrics so the serving
+layer can report per-job latency alongside the aggregate throughput
+tables.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.bfv.scheme import Ciphertext
+from repro.service.circuits import Circuit
 
 
 class JobKind(Enum):
@@ -26,11 +30,13 @@ class JobKind(Enum):
     SQUARE = "square"
     RELINEARIZE = "relinearize"
     ROTATE = "rotate"
+    CIRCUIT = "circuit"  # app circuit: multi-step program over the wire
     LOGREG = "logreg"  # app-level: MiniLogisticRegression batch
     CRYPTONETS = "cryptonets"  # app-level: MiniCryptoNets inference
 
     @property
     def is_app(self) -> bool:
+        """In-process application kinds (payload never crosses the wire)."""
         return self in (JobKind.LOGREG, JobKind.CRYPTONETS)
 
 
@@ -72,6 +78,13 @@ class JobMetrics:
     ``"model"`` when a relinearization was priced (never chip-executed)
     rather than silently folded in.
 
+    Circuit jobs aggregate across their tensor steps: ``tower_cycles``
+    sums each tower's cycles over every chip-executed tensor,
+    ``tower_workers`` lists the *distinct* workers that executed them
+    (a 12-tensor circuit typically touches the whole pool), and
+    ``relin_cycles`` totals one model-priced key-switch tail per tensor
+    step.
+
     Jobs completed without executing record how: ``backend == "cache"``
     for content-addressed result-cache hits, ``backend == "dedupe"`` for
     in-queue dedupe followers — ``dedupe_of`` then names the primary job
@@ -105,16 +118,30 @@ class Job:
     kind: JobKind
     operands: list[Ciphertext] = field(default_factory=list)
     steps: int = 0  # rotation amount (ROTATE only)
-    payload: object = None  # app-level inputs (samples / images)
+    payload: object = None  # Circuit (CIRCUIT) or app inputs (samples/images)
     backend: str = ""  # requested backend name ("" = service default)
     job_id: str = field(default_factory=lambda: f"j{next(_job_ids):05d}")
     status: JobStatus = JobStatus.QUEUED
-    result: object = None  # Ciphertext for raw ops, app output otherwise
+    result: object = None  # Ciphertext (raw op), {name: Ciphertext}
+    # (circuit), or the app output dict
     error: str | None = None
     metrics: JobMetrics = field(default_factory=JobMetrics)
 
     def __post_init__(self):
-        if self.kind.is_app:
+        if self.kind is JobKind.CIRCUIT:
+            if not isinstance(self.payload, Circuit):
+                raise ValueError(
+                    "circuit jobs carry a Circuit payload, got "
+                    f"{type(self.payload).__name__}"
+                )
+            if len(self.operands) != len(self.payload.inputs):
+                raise ValueError(
+                    f"circuit {self.payload.name!r} takes "
+                    f"{len(self.payload.inputs)} input ciphertext(s) "
+                    f"({', '.join(self.payload.inputs)}), "
+                    f"got {len(self.operands)}"
+                )
+        elif self.kind.is_app:
             if self.operands:
                 raise ValueError(f"{self.kind.value} jobs take a payload, not operands")
             if self.payload is None:

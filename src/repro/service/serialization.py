@@ -23,11 +23,17 @@ contract is that secrets never cross the wire — clients encrypt, upload
 evaluation keys, and decrypt locally.
 
 The **control plane** of the async transport speaks the same envelope:
-OPEN-SESSION/SESSION, SUBMIT/STATUS, RESULT, EVENT, and ERROR messages
-(tags 0x10-0x16) carry job routing fields plus nested data-plane blobs
-(each itself a framed message), all under the one MAGIC/VERSION/CRC32
-scheme — a bit flipped anywhere in a control frame is caught by the same
-checksum that protects a ciphertext.
+OPEN-SESSION/SESSION, SUBMIT/SUBMIT-CIRCUIT/STATUS, RESULT, EVENT, and
+ERROR messages (tags 0x10-0x17) carry job routing fields plus nested
+data-plane blobs (each itself a framed message), all under the one
+MAGIC/VERSION/CRC32 scheme — a bit flipped anywhere in a control frame
+is caught by the same checksum that protects a ciphertext.
+
+**App circuits** (tag 0x07) encode a whole multi-step encrypted program —
+named ciphertext inputs, a plaintext constant table, an SSA step list,
+and named outputs (see :mod:`repro.service.circuits`); their results
+travel back as a named-output map (tag 0x08). The byte-for-byte layout
+of every message lives in ``docs/wire-protocol.md``.
 """
 
 from __future__ import annotations
@@ -43,6 +49,16 @@ from repro.bfv.rotation import GaloisKey
 from repro.bfv.scheme import Ciphertext
 from repro.polymath.poly import Polynomial, PolynomialRing
 from repro.polymath.rns import RnsBasis
+from repro.service.circuits import (
+    CIRCUIT_VERSION,
+    Circuit,
+    CircuitConst,
+    CircuitError,
+    CircuitStep,
+    CONST_PLAIN,
+    CONST_SCALAR,
+    OP_SPECS,
+)
 
 MAGIC = b"CFHE"
 WIRE_VERSION = 1
@@ -53,11 +69,13 @@ TAG_CIPHERTEXT = 0x03
 TAG_PUBLIC_KEY = 0x04
 TAG_RELIN_KEY = 0x05
 TAG_GALOIS_KEY = 0x06
+TAG_CIRCUIT = 0x07
+TAG_CIRCUIT_OUTPUTS = 0x08
 
 # Transport control plane (repro.service.transport). Client -> server:
-# OPEN_SESSION, SUBMIT, and STATUS/RESULT queries; server -> client:
-# SESSION, STATUS, RESULT replies (echoing the request id), unsolicited
-# EVENT pushes (completion callbacks), and ERROR.
+# OPEN_SESSION, SUBMIT, SUBMIT_CIRCUIT, and STATUS/RESULT queries;
+# server -> client: SESSION, STATUS, RESULT replies (echoing the request
+# id), unsolicited EVENT pushes (completion callbacks), and ERROR.
 TAG_OPEN_SESSION = 0x10
 TAG_SESSION = 0x11
 TAG_SUBMIT = 0x12
@@ -65,6 +83,7 @@ TAG_STATUS = 0x13
 TAG_RESULT = 0x14
 TAG_EVENT = 0x15
 TAG_ERROR = 0x16
+TAG_SUBMIT_CIRCUIT = 0x17
 
 _TAG_NAMES = {
     TAG_PARAMS: "params",
@@ -73,6 +92,8 @@ _TAG_NAMES = {
     TAG_PUBLIC_KEY: "public-key",
     TAG_RELIN_KEY: "relin-key",
     TAG_GALOIS_KEY: "galois-key",
+    TAG_CIRCUIT: "circuit",
+    TAG_CIRCUIT_OUTPUTS: "circuit-outputs",
     TAG_OPEN_SESSION: "open-session",
     TAG_SESSION: "session",
     TAG_SUBMIT: "submit",
@@ -80,6 +101,7 @@ _TAG_NAMES = {
     TAG_RESULT: "result",
     TAG_EVENT: "event",
     TAG_ERROR: "error",
+    TAG_SUBMIT_CIRCUIT: "submit-circuit",
 }
 
 DIGEST_BYTES = 32
@@ -432,6 +454,117 @@ def deserialize_galois_key(data: bytes, params: BfvParameters) -> GaloisKey:
 
 
 # ----------------------------------------------------------------------
+# App circuits (multi-step encrypted programs; repro.service.circuits)
+# ----------------------------------------------------------------------
+#
+# Layout (body of a TAG_CIRCUIT message; full spec in
+# docs/wire-protocol.md):
+#
+#   u8  circuit_version        (CIRCUIT_VERSION; unknown -> rejected)
+#   str name
+#   u16 num_inputs  | str * inputs
+#   u16 num_consts  | per const: u8 kind
+#                     kind 0 (scalar): i64 value
+#                     kind 1 (plain):  u32 num_coeffs | bigint * coeffs
+#   u16 num_steps   | per step:  u8 op | u16 * args (arity fixed per op)
+#   u16 num_outputs | per output: str name | u16 register
+#
+# Structural validation (register bounds, op codes, argument layouts)
+# is the same validate_circuit() the in-memory constructor runs, so a
+# malformed description is rejected identically however it arrives.
+
+
+def serialize_circuit(circuit: Circuit) -> bytes:
+    # Register/constant/output counts are u16-representable by
+    # construction: validate_circuit (run by the Circuit constructor)
+    # bounds them all at 65535.
+    parts = [bytes((CIRCUIT_VERSION,)), _str(circuit.name),
+             _u16(len(circuit.inputs))]
+    parts.extend(_str(name) for name in circuit.inputs)
+    parts.append(_u16(len(circuit.consts)))
+    for const in circuit.consts:
+        parts.append(bytes((const.kind,)))
+        if const.kind == CONST_SCALAR:
+            parts.append(_i64(const.scalar))
+        else:
+            parts.append(_u32(len(const.coeffs)))
+            parts.extend(_bigint(c) for c in const.coeffs)
+    parts.append(_u16(len(circuit.steps)))
+    for step in circuit.steps:
+        parts.append(bytes((step.op,)))
+        parts.extend(_u16(arg) for arg in step.args)
+    parts.append(_u16(len(circuit.outputs)))
+    for name, reg in circuit.outputs:
+        parts.append(_str(name) + _u16(reg))
+    return _frame(TAG_CIRCUIT, b"".join(parts))
+
+
+def deserialize_circuit(data: bytes) -> Circuit:
+    reader = _unframe(data, TAG_CIRCUIT)
+    version = reader.u8()
+    if version != CIRCUIT_VERSION:
+        raise WireFormatError(
+            f"unsupported circuit encoding version {version} (this build "
+            f"speaks {CIRCUIT_VERSION})"
+        )
+    name = reader.string()
+    inputs = tuple(reader.string() for _ in range(reader.u16()))
+    consts = []
+    for _ in range(reader.u16()):
+        kind = reader.u8()
+        if kind == CONST_SCALAR:
+            consts.append(CircuitConst(kind=kind, scalar=reader.i64()))
+        elif kind == CONST_PLAIN:
+            coeffs = tuple(reader.bigint() for _ in range(reader.u32()))
+            consts.append(CircuitConst(kind=kind, coeffs=coeffs))
+        else:
+            raise WireFormatError(f"unknown circuit constant kind {kind}")
+    steps = []
+    for _ in range(reader.u16()):
+        op = reader.u8()
+        spec = OP_SPECS.get(op)
+        if spec is None:
+            raise WireFormatError(f"unknown circuit op code 0x{op:02x}")
+        args = tuple(reader.u16() for _ in range(len(spec[1])))
+        steps.append(CircuitStep(op=op, args=args))
+    outputs = tuple(
+        (reader.string(), reader.u16()) for _ in range(reader.u16())
+    )
+    reader.done()
+    try:
+        return Circuit(
+            name=name, inputs=inputs, consts=tuple(consts),
+            steps=tuple(steps), outputs=outputs,
+        )
+    except CircuitError as exc:
+        raise WireFormatError(f"invalid circuit: {exc}") from exc
+
+
+def serialize_circuit_outputs(outputs: dict[str, Ciphertext]) -> bytes:
+    """Encode a circuit's named result map (each value a framed ciphertext)."""
+    if len(outputs) > 0xFFFF:
+        raise ValueError(f"too many circuit outputs ({len(outputs)})")
+    parts = [_u16(len(outputs))]
+    for name, ct in outputs.items():
+        parts.append(_str(name) + _blob(serialize_ciphertext(ct)))
+    return _frame(TAG_CIRCUIT_OUTPUTS, b"".join(parts))
+
+
+def deserialize_circuit_outputs(
+    data: bytes, params: BfvParameters
+) -> dict[str, Ciphertext]:
+    reader = _unframe(data, TAG_CIRCUIT_OUTPUTS)
+    outputs: dict[str, Ciphertext] = {}
+    for _ in range(reader.u16()):
+        name = reader.string()
+        if name in outputs:
+            raise WireFormatError(f"duplicate circuit output {name!r}")
+        outputs[name] = deserialize_ciphertext(reader.blob(), params)
+    reader.done()
+    return outputs
+
+
+# ----------------------------------------------------------------------
 # Transport control plane (SUBMIT/STATUS/RESULT/EVENT + session setup)
 # ----------------------------------------------------------------------
 #
@@ -474,6 +607,24 @@ class SubmitMsg:
     kind: str
     operands: tuple[bytes, ...]  # framed ciphertext messages
     steps: int = 0
+    backend: str = ""
+    subscribe: bool = True
+
+
+@dataclass(frozen=True)
+class SubmitCircuitMsg:
+    """Client request: queue one app-circuit job.
+
+    ``circuit`` is a framed :data:`TAG_CIRCUIT` message and ``operands``
+    are framed ciphertexts bound positionally to the circuit's named
+    inputs. The completion payload (EVENT or RESULT) is a framed
+    :data:`TAG_CIRCUIT_OUTPUTS` message carrying only the named outputs.
+    """
+
+    request_id: int
+    session_id: str
+    circuit: bytes
+    operands: tuple[bytes, ...]
     backend: str = ""
     subscribe: bool = True
 
@@ -604,6 +755,36 @@ def decode_submit(data: bytes) -> SubmitMsg:
     return SubmitMsg(
         request_id=request_id, session_id=session_id, kind=kind,
         operands=operands, steps=steps, backend=backend, subscribe=subscribe,
+    )
+
+
+def encode_submit_circuit(msg: SubmitCircuitMsg) -> bytes:
+    if len(msg.operands) > 0xFFFF:
+        raise ValueError(f"too many operands ({len(msg.operands)})")
+    body = [
+        _u32(msg.request_id),
+        _str(msg.session_id),
+        _blob(msg.circuit),
+        _str(msg.backend),
+        bytes((1 if msg.subscribe else 0,)),
+        _u16(len(msg.operands)),
+    ]
+    body.extend(_blob(op) for op in msg.operands)
+    return _frame(TAG_SUBMIT_CIRCUIT, b"".join(body))
+
+
+def decode_submit_circuit(data: bytes) -> SubmitCircuitMsg:
+    reader = _unframe(data, TAG_SUBMIT_CIRCUIT)
+    request_id = reader.u32()
+    session_id = reader.string()
+    circuit = reader.blob()
+    backend = reader.string()
+    subscribe = bool(reader.u8())
+    operands = tuple(reader.blob() for _ in range(reader.u16()))
+    reader.done()
+    return SubmitCircuitMsg(
+        request_id=request_id, session_id=session_id, circuit=circuit,
+        operands=operands, backend=backend, subscribe=subscribe,
     )
 
 

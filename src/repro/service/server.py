@@ -1,15 +1,17 @@
 """The service front door: a synchronous in-process ``submit/poll/result`` API.
 
-:class:`FheServer` is what a transport (HTTP, gRPC, a message queue — see
-the ROADMAP open items) would wrap. Everything crossing this boundary is
-wire bytes: parameter sets, evaluation keys, ciphertext operands, and
-ciphertext results all travel in the :mod:`repro.service.serialization`
-format, so the server genuinely works across a process boundary even
-though this build runs it in-process.
+:class:`FheServer` is what a transport wraps — in this repo, the asyncio
+TCP listener in :mod:`repro.service.transport` runs one of these on a
+dedicated worker thread. Everything crossing this boundary is wire
+bytes: parameter sets, evaluation keys, ciphertext operands, circuit
+descriptions, and results all travel in the
+:mod:`repro.service.serialization` format, so the server genuinely works
+across a process boundary even when a test drives it in-process.
 
 The execution model is cooperative: ``poll`` advances the scheduler by at
 most one batch per call (an event-loop tick), and ``result`` drives it to
-completion for the requested job. ``run`` drains everything.
+completion for the requested job. ``run`` drains everything; the
+transport's pump task drives ``tick`` instead.
 """
 
 from __future__ import annotations
@@ -28,15 +30,19 @@ from repro.service.backends import (
     _galois_exponent,
     default_app_params,
 )
+from repro.service.circuits import Circuit
 from repro.service.jobs import Job, JobKind, JobStatus
 from repro.service.registry import Session, SessionRegistry
 from repro.service.scheduler import BatchingScheduler, ServiceStats
 from repro.service.serialization import (
+    deserialize_circuit,
     deserialize_galois_key,
     deserialize_params,
     deserialize_public_key,
     deserialize_relin_key,
     serialize_ciphertext,
+    serialize_circuit,
+    serialize_circuit_outputs,
     serialize_galois_key,
     serialize_relin_key,
 )
@@ -55,13 +61,14 @@ class FheServer:
         pool_engine: host-side functional engine for the chip pool
             (``"exact"`` or ``"fast"``; results are bit-identical).
         result_cache_size: capacity (entries) of the content-addressed
-            result cache; ``0`` disables caching. Raw-op results are
-            keyed by (params digest, op, rotation steps, backend,
-            evaluation-key digest, operand hashes), so a repeated
-            identical request — common in inference traffic — completes
-            at submit time without recomputation. Homomorphic evaluation
-            is deterministic and all backends are bit-identical, so a
-            cached result is exactly what a fresh execution would return.
+            result cache; ``0`` disables caching. Raw-op and circuit
+            results are keyed by (params digest, op, rotation steps,
+            circuit digest, backend, evaluation-key digest, operand
+            hashes), so a repeated identical request — common in
+            inference traffic — completes at submit time without
+            recomputation. Homomorphic evaluation is deterministic and
+            all backends are bit-identical, so a cached result is
+            exactly what a fresh execution would return.
     """
 
     def __init__(self, pool_size: int = 4, max_batch: int = 8,
@@ -154,15 +161,35 @@ class FheServer:
     ) -> str:
         """Queue one job; operands may be wire bytes or Ciphertext objects.
 
-        A raw-op job whose content address is already cached completes
-        immediately (a cache hit never enters the scheduler). One whose
-        address matches a job still queued or running attaches to that
-        execution as a dedupe follower — the cache hit wins when both
-        apply, since a cached result needs no waiting at all. Everything
-        else is queued. Returns the job id to ``poll``/``result`` against.
+        A circuit job's ``payload`` may be a built
+        :class:`~repro.service.circuits.Circuit` or its wire bytes (the
+        transport passes the blob straight through); its operands bind
+        positionally to the circuit's named inputs.
+
+        A cacheable job (raw op or circuit) whose content address is
+        already cached completes immediately (a cache hit never enters
+        the scheduler). One whose address matches a job still queued or
+        running attaches to that execution as a dedupe follower — the
+        cache hit wins when both apply, since a cached result needs no
+        waiting at all. Everything else is queued. Returns the job id to
+        ``poll``/``result`` against.
         """
         if isinstance(kind, str):
             kind = JobKind(kind)
+        circuit_digest = b""
+        if kind is JobKind.CIRCUIT:
+            if isinstance(payload, (bytes, bytearray)):
+                # The received frame is the content address — no
+                # re-encode on the serving hot path. (A non-canonical
+                # encoding of the same program would address separately;
+                # that only forgoes sharing, never aliases it.)
+                raw = bytes(payload)
+                circuit_digest = hashlib.sha256(raw).digest()
+                payload = deserialize_circuit(raw)
+            elif isinstance(payload, Circuit):
+                circuit_digest = hashlib.sha256(
+                    serialize_circuit(payload)
+                ).digest()
         session = self.registry.get(session_id)
         decoded = [
             self.registry.ingest_ciphertext(session, op)
@@ -182,7 +209,7 @@ class FheServer:
             payload=payload,
             backend=backend,
         )
-        key = self._cache_key(session, job, operands)
+        key = self._cache_key(session, job, operands, circuit_digest)
         stats = self.scheduler.stats
         if key is not None and key in self._result_cache:
             self._result_cache.move_to_end(key)
@@ -221,16 +248,21 @@ class FheServer:
     # Result cache (content-addressed, ROADMAP "result caching")
     # ------------------------------------------------------------------
 
-    def _cache_key(self, session: Session, job: Job,
-                   raw_operands: tuple) -> tuple | None:
-        """Content address of a raw-op job, or ``None`` when uncacheable.
+    def _cache_key(self, session: Session, job: Job, raw_operands: tuple,
+                   circuit_digest: bytes = b"") -> tuple | None:
+        """Content address of a raw-op or circuit job (``None`` otherwise).
 
-        App jobs are excluded (their payloads are verified against a
-        plaintext reference on every run). The evaluation-key digest keeps
-        tenants with identical parameters but different relin/Galois keys
-        from ever sharing an entry, and the backend name keeps a request
-        for a specific execution path honest (all backends return the
-        same bytes, but a tenant asking for chip fidelity gets it).
+        Legacy in-process app jobs are excluded (their payloads are
+        verified against a plaintext reference on every run). The
+        evaluation-key digest keeps tenants with identical parameters but
+        different relin/Galois keys from ever sharing an entry, and the
+        backend name keeps a request for a specific execution path honest
+        (all backends return the same bytes, but a tenant asking for chip
+        fidelity gets it). Circuit jobs additionally fold in
+        ``circuit_digest`` — the SHA-256 of the circuit's wire encoding,
+        computed by :meth:`submit` straight from the received frame — so
+        two tenants submitting the same program on the same inputs share
+        one execution, and two different programs never can.
 
         The same address drives both the result cache and in-queue
         dedupe, so dedupe stays on when caching is disabled.
@@ -248,6 +280,7 @@ class FheServer:
             session.digest,
             job.kind.value,
             job.steps,
+            circuit_digest,
             job.backend or self.scheduler.default,
             self._eval_key_digest(session, job),
             operands.digest(),
@@ -255,10 +288,13 @@ class FheServer:
 
     def _eval_key_digest(self, session: Session, job: Job) -> bytes:
         """Digest of the evaluation key material the job would use."""
-        if job.kind in (JobKind.MULTIPLY, JobKind.SQUARE, JobKind.RELINEARIZE):
+        if job.kind is JobKind.CIRCUIT and not job.payload.uses_relin:
+            return b""  # linear circuits use no key material
+        if job.kind in (JobKind.CIRCUIT, JobKind.MULTIPLY, JobKind.SQUARE,
+                        JobKind.RELINEARIZE):
             key = session.relin
             if key is None:
-                return b"no-relin"
+                return b"no-relin"  # a relin circuit will fail; never cached
             return self._key_digest(
                 key, lambda: serialize_relin_key(key, session.params)
             )
@@ -308,7 +344,8 @@ class FheServer:
             for jid in finished:
                 key = self._pending_cache.pop(jid)
                 job = self._jobs[jid]
-                if job.status is JobStatus.DONE and isinstance(job.result, Ciphertext):
+                # Raw ops cache a Ciphertext; circuits their output map.
+                if job.status is JobStatus.DONE and job.result is not None:
                     self._result_cache[key] = job.result
                     self._result_cache.move_to_end(key)
                     while len(self._result_cache) > self._cache_capacity:
@@ -381,9 +418,11 @@ class FheServer:
     def result(self, job_id: str, wire: bool = True) -> object:
         """Block (drive the scheduler) until the job finishes.
 
-        Raw-op results return as wire bytes by default — the server hands
-        back exactly what would cross a transport. ``wire=False`` returns
-        the in-memory object; app-level results are always objects.
+        Raw-op and circuit results return as wire bytes by default — the
+        server hands back exactly what would cross a transport: a framed
+        ciphertext for raw ops, a framed named-output map for circuits.
+        ``wire=False`` returns the in-memory object; legacy app-level
+        results are always objects.
 
         Raises:
             RuntimeError: if the job failed (message carries the cause).
@@ -399,6 +438,8 @@ class FheServer:
             raise RuntimeError(f"job {job_id} is still {job.status.value}")
         if wire and isinstance(job.result, Ciphertext):
             return serialize_ciphertext(job.result)
+        if wire and job.kind is JobKind.CIRCUIT:
+            return serialize_circuit_outputs(job.result)
         return job.result
 
     def job_metrics(self, job_id: str):

@@ -22,10 +22,13 @@ from typing import Iterable, Sequence
 
 @dataclass(frozen=True)
 class TowerWorkItem:
-    """One tower of one job's Eq. 4 tensor, ready to dispatch.
+    """One tower of one Eq. 4 tensor, ready to dispatch.
 
     Attributes:
-        job_seq: position of the owning job within its batch.
+        job_seq: key of the owning work unit within its batch — a raw
+            EvalMult/SQUARE job is one unit, and an app circuit
+            contributes one unit per tensor step (the chip-pool backend
+            allocates the unit ids and maps them back to jobs).
         tower: tower index within the session's CoFHEE basis.
         modulus: the tower modulus ``q_i`` to program.
         est_cycles: modeled Algorithm 3 cycles (drives load balancing).

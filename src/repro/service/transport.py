@@ -26,6 +26,12 @@ In-queue dedupe and the result cache live inside :class:`FheServer`
 itself, so remote traffic gets cache-aware scheduling for free — two
 clients submitting the identical job share one execution, and each
 receives its own completion event.
+
+App circuits ride the same machinery: a SUBMIT_CIRCUIT frame carries a
+compiled multi-step program (see :mod:`repro.service.circuits`) plus its
+input ciphertexts, the chip pool expands it into per-tower work units,
+and the completion EVENT's payload is the framed named-output map — the
+full Section VI-C applications served over one socket.
 """
 
 from __future__ import annotations
@@ -44,16 +50,19 @@ from repro.service.serialization import (
     ResultMsg,
     SessionMsg,
     StatusMsg,
+    SubmitCircuitMsg,
     SubmitMsg,
     TAG_OPEN_SESSION,
     TAG_RESULT,
     TAG_STATUS,
     TAG_SUBMIT,
+    TAG_SUBMIT_CIRCUIT,
     WireFormatError,
     decode_open_session,
     decode_result,
     decode_status,
     decode_submit,
+    decode_submit_circuit,
     encode_error,
     encode_event,
     encode_result,
@@ -427,6 +436,8 @@ class FheTransportServer:
             await self._on_open_session(conn, decode_open_session(frame))
         elif tag == TAG_SUBMIT:
             await self._on_submit(conn, decode_submit(frame))
+        elif tag == TAG_SUBMIT_CIRCUIT:
+            await self._on_submit_circuit(conn, decode_submit_circuit(frame))
         elif tag == TAG_STATUS:
             await self._on_status(conn, decode_status(frame))
         elif tag == TAG_RESULT:
@@ -477,7 +488,13 @@ class FheTransportServer:
         if kind.is_app:
             await self._fail(conn, msg.request_id, ValueError(
                 f"{kind.value} jobs are in-process only: app payloads do "
-                "not cross the wire"
+                "not cross the wire (compile to a circuit and use "
+                "SUBMIT_CIRCUIT instead)"
+            ))
+            return
+        if kind is JobKind.CIRCUIT:
+            await self._fail(conn, msg.request_id, ValueError(
+                "circuit jobs travel as SUBMIT_CIRCUIT frames, not SUBMIT"
             ))
             return
         try:
@@ -490,24 +507,51 @@ class FheTransportServer:
         except Exception as exc:
             await self._fail(conn, msg.request_id, exc)
             return
+        await self._register_submission(
+            conn, msg.request_id, job_id, msg.subscribe
+        )
+
+    async def _on_submit_circuit(self, conn: _Connection,
+                                 msg: SubmitCircuitMsg) -> None:
+        if self._closing:
+            await self._fail(conn, msg.request_id,
+                             RuntimeError("server is shutting down"))
+            return
+        try:
+            job_id = await self._call(
+                lambda: self.fhe.submit(
+                    msg.session_id, JobKind.CIRCUIT, msg.operands,
+                    payload=msg.circuit, backend=msg.backend,
+                )
+            )
+        except Exception as exc:
+            await self._fail(conn, msg.request_id, exc)
+            return
+        await self._register_submission(
+            conn, msg.request_id, job_id, msg.subscribe
+        )
+
+    async def _register_submission(self, conn: _Connection, request_id: int,
+                                   job_id: str, subscribe: bool) -> None:
+        """Answer a submit with STATUS and wire up completion delivery."""
         status = self.fhe.status(job_id)
         await conn.send_safe(encode_status(StatusMsg(
-            request_id=msg.request_id, job_id=job_id, status=status.value
+            request_id=request_id, job_id=job_id, status=status.value
         )))
         if status in (JobStatus.DONE, JobStatus.FAILED):
             # Cache hit (or submit-time failure): the completion event
             # follows the STATUS reply immediately — still exactly once.
-            if msg.subscribe:
+            if subscribe:
                 entry = _PendingJob(job_id, subscriber=conn)
-                events = await self._call(
+                event = await self._call(
                     lambda: self._completion_for(job_id)
                 )
-                await self._deliver(entry, events)
+                await self._deliver(entry, event)
             return
         entry = self._pending.get(job_id)
         if entry is None:
             entry = self._pending[job_id] = _PendingJob(job_id)
-        if msg.subscribe:
+        if subscribe:
             entry.subscriber = conn
         self._ensure_pump()
 

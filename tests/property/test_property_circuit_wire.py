@@ -1,0 +1,263 @@
+"""Property tests: the circuit wire encoding round-trips and rejects junk.
+
+Random well-formed circuits must ``deserialize(serialize(c)) == c`` with
+deterministic bytes (the server content-addresses circuits by their
+encoding), and every class of malformed input — bit flips, truncation,
+unknown op codes or constant kinds, out-of-range register/constant
+references, wrong circuit versions, trailing bytes — must be rejected
+with :class:`WireFormatError` before any polynomial math happens.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.circuits import (
+    CIRCUIT_VERSION,
+    CONST_PLAIN,
+    CONST_SCALAR,
+    Circuit,
+    CircuitBuilder,
+    CircuitConst,
+    CircuitError,
+    CircuitStep,
+    OP_ADD,
+    OP_ADD_CONST,
+    OP_MAC_CONST,
+    OP_MUL_CONST,
+    OP_MUL_RELIN,
+    OP_SPECS,
+    OP_SQUARE_RELIN,
+    OP_SUB,
+)
+from repro.service.serialization import (
+    MAGIC,
+    TAG_CIRCUIT,
+    WIRE_VERSION,
+    WireFormatError,
+    deserialize_circuit,
+    serialize_circuit,
+)
+
+# ----------------------------------------------------------------------
+# Random well-formed circuits
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def circuits(draw) -> Circuit:
+    n_inputs = draw(st.integers(1, 4))
+    inputs = tuple(f"in{i}" for i in range(n_inputs))
+    consts = []
+    for i in range(draw(st.integers(0, 3))):
+        if draw(st.booleans()):
+            consts.append(CircuitConst(
+                kind=CONST_SCALAR,
+                scalar=draw(st.integers(-(2**63), 2**63 - 1)),
+            ))
+        else:
+            coeffs = tuple(draw(st.lists(
+                st.integers(0, 2**64), min_size=1, max_size=8
+            )))
+            consts.append(CircuitConst(kind=CONST_PLAIN, coeffs=coeffs))
+    plain_idx = [i for i, c in enumerate(consts) if c.kind == CONST_PLAIN]
+    steps = []
+    defined = n_inputs
+    for _ in range(draw(st.integers(1, 10))):
+        ops = [OP_ADD, OP_SUB, OP_MUL_RELIN, OP_SQUARE_RELIN]
+        if consts:
+            ops += [OP_MUL_CONST, OP_MAC_CONST]
+        if plain_idx:
+            ops.append(OP_ADD_CONST)
+        op = draw(st.sampled_from(ops))
+        reg = lambda: draw(st.integers(0, defined - 1))  # noqa: E731
+        if op == OP_ADD_CONST:
+            args = (reg(), draw(st.sampled_from(plain_idx)))
+        elif op in (OP_MUL_CONST,):
+            args = (reg(), draw(st.integers(0, len(consts) - 1)))
+        elif op == OP_MAC_CONST:
+            args = (reg(), reg(), draw(st.integers(0, len(consts) - 1)))
+        elif op == OP_SQUARE_RELIN:
+            args = (reg(),)
+        else:
+            args = (reg(), reg())
+        steps.append(CircuitStep(op=op, args=args))
+        defined += 1
+    n_outputs = draw(st.integers(1, 3))
+    outputs = tuple(
+        (f"out{i}", draw(st.integers(0, defined - 1)))
+        for i in range(n_outputs)
+    )
+    return Circuit(
+        name=draw(st.sampled_from(["c", "logreg", "cryptonets-mini"])),
+        inputs=inputs, consts=tuple(consts), steps=tuple(steps),
+        outputs=outputs,
+    )
+
+
+class TestRoundTrip:
+    @given(circuit=circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_identity(self, circuit):
+        wire = serialize_circuit(circuit)
+        recovered = deserialize_circuit(wire)
+        assert recovered == circuit
+        # Determinism: the encoding doubles as the content address.
+        assert serialize_circuit(recovered) == wire
+
+    def test_app_circuits_round_trip(self):
+        """The real compiled applications survive the wire."""
+        from repro.apps.cryptonets import MiniCryptoNets
+        from repro.apps.logreg import MiniLogisticRegression
+
+        for circuit in (
+            MiniLogisticRegression(num_features=3, seed=1).to_circuit(batch=2),
+            MiniCryptoNets(seed=2).to_circuit(),
+        ):
+            assert deserialize_circuit(serialize_circuit(circuit)) == circuit
+
+
+# ----------------------------------------------------------------------
+# Malformed input rejection
+# ----------------------------------------------------------------------
+
+
+def _frame_circuit_body(body: bytes) -> bytes:
+    """Wrap a hand-built circuit body in a valid envelope (CRC included),
+    so the tests reach the *structural* validation behind the checksum."""
+    head = MAGIC + bytes((WIRE_VERSION, TAG_CIRCUIT)) + body
+    return head + zlib.crc32(head).to_bytes(4, "big")
+
+
+def _u16(v):
+    return v.to_bytes(2, "big")
+
+
+def _body(version=CIRCUIT_VERSION, name=b"\x00\x01c",
+          inputs=(b"\x00\x01a",), consts=b"\x00\x00",
+          steps=((OP_SQUARE_RELIN, (0,)),), outputs=(("o", 0),)) -> bytes:
+    parts = [bytes((version,)), name, _u16(len(inputs))]
+    parts.extend(inputs)
+    parts.append(consts)
+    parts.append(_u16(len(steps)))
+    for op, args in steps:
+        parts.append(bytes((op,)))
+        parts.extend(_u16(a) for a in args)
+    parts.append(_u16(len(outputs)))
+    for oname, reg in outputs:
+        raw = oname.encode()
+        parts.append(_u16(len(raw)) + raw + _u16(reg))
+    return b"".join(parts)
+
+
+@pytest.fixture(scope="module")
+def valid_wire():
+    builder = CircuitBuilder("fuzz")
+    x = builder.input("x")
+    y = builder.mul_relin(builder.square_relin(x), x)
+    builder.output("y", y)
+    return serialize_circuit(builder.build())
+
+
+class TestRejection:
+    @given(position=st.integers(0, 10_000), flip=st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_flips_rejected(self, valid_wire, position, flip):
+        corrupted = bytearray(valid_wire)
+        corrupted[position % len(corrupted)] ^= flip
+        with pytest.raises(WireFormatError):
+            deserialize_circuit(bytes(corrupted))
+
+    @given(cut=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_rejected(self, valid_wire, cut):
+        truncated = valid_wire[: cut % len(valid_wire)]
+        with pytest.raises(WireFormatError):
+            deserialize_circuit(truncated)
+
+    def test_trailing_bytes_rejected(self, valid_wire):
+        with pytest.raises(WireFormatError):
+            deserialize_circuit(valid_wire + b"\x00")
+
+    def test_unknown_op_code_rejected(self):
+        wire = _frame_circuit_body(_body(steps=((0x7F, (0,)),)))
+        with pytest.raises(WireFormatError, match="unknown circuit op"):
+            deserialize_circuit(wire)
+
+    def test_unknown_circuit_version_rejected(self):
+        wire = _frame_circuit_body(_body(version=CIRCUIT_VERSION + 1))
+        with pytest.raises(WireFormatError, match="circuit encoding version"):
+            deserialize_circuit(wire)
+
+    def test_undefined_register_rejected(self):
+        # square_relin(reg 5) with a single input: register 5 never exists.
+        wire = _frame_circuit_body(_body(steps=((OP_SQUARE_RELIN, (5,)),)))
+        with pytest.raises(WireFormatError, match="not defined"):
+            deserialize_circuit(wire)
+
+    def test_missing_constant_rejected(self):
+        wire = _frame_circuit_body(_body(steps=((OP_MUL_CONST, (0, 0)),)))
+        with pytest.raises(WireFormatError, match="outside the table"):
+            deserialize_circuit(wire)
+
+    def test_unknown_constant_kind_rejected(self):
+        wire = _frame_circuit_body(_body(consts=_u16(1) + bytes((9,))))
+        with pytest.raises(WireFormatError, match="constant kind"):
+            deserialize_circuit(wire)
+
+    def test_output_register_out_of_range_rejected(self):
+        wire = _frame_circuit_body(_body(outputs=(("o", 9),)))
+        with pytest.raises(WireFormatError, match="references register"):
+            deserialize_circuit(wire)
+
+    def test_empty_step_list_rejected(self):
+        wire = _frame_circuit_body(_body(steps=()))
+        with pytest.raises(WireFormatError, match="at least one step"):
+            deserialize_circuit(wire)
+
+    def test_scalar_add_const_rejected(self):
+        """add_const must take a packed plaintext, never a bare scalar."""
+        scalar_const = _u16(1) + bytes((CONST_SCALAR,)) + (3).to_bytes(
+            8, "big", signed=True
+        )
+        wire = _frame_circuit_body(_body(
+            consts=scalar_const, steps=((OP_ADD_CONST, (0, 0)),)
+        ))
+        with pytest.raises(WireFormatError, match="packed plaintext"):
+            deserialize_circuit(wire)
+
+
+class TestConstructorValidation:
+    """The in-memory constructor enforces the same rules as the decoder."""
+
+    def test_unknown_op(self):
+        with pytest.raises(CircuitError, match="unknown op"):
+            Circuit(name="c", inputs=("x",), consts=(),
+                    steps=(CircuitStep(op=0x55, args=(0,)),),
+                    outputs=(("y", 0),))
+
+    def test_wrong_arity(self):
+        with pytest.raises(CircuitError, match="takes 2 args"):
+            Circuit(name="c", inputs=("x",), consts=(),
+                    steps=(CircuitStep(op=OP_ADD, args=(0,)),),
+                    outputs=(("y", 0),))
+
+    def test_duplicate_outputs(self):
+        with pytest.raises(CircuitError, match="duplicate output"):
+            Circuit(name="c", inputs=("x",), consts=(),
+                    steps=(CircuitStep(op=OP_SQUARE_RELIN, args=(0,)),),
+                    outputs=(("y", 0), ("y", 1)))
+
+    def test_forward_reference(self):
+        with pytest.raises(CircuitError, match="not defined"):
+            Circuit(name="c", inputs=("x",), consts=(),
+                    steps=(CircuitStep(op=OP_ADD, args=(0, 1)),),
+                    outputs=(("y", 1),))
+
+    def test_every_op_has_a_spec_entry(self):
+        assert set(OP_SPECS) == {
+            OP_ADD, OP_SUB, OP_ADD_CONST, OP_MUL_CONST, OP_MAC_CONST,
+            OP_MUL_RELIN, OP_SQUARE_RELIN,
+        }

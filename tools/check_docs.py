@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Docs health check: doctest every code block, resolve every link.
+
+Two gates over the ``docs/`` tree (plus README.md for links):
+
+1. ``python -m doctest`` semantics over each page — every ``>>>``
+   example inside the markdown executes and its output must match, so
+   the docs can never drift from the API they describe.
+2. Intra-repo links resolve: every relative ``[text](target)`` must
+   point at a file that exists (anchors are stripped; external
+   ``http(s)://`` links are skipped).
+
+Run directly or via ``tools/run_checks.sh --docs`` (also part of the
+default check set).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Markdown link: [text](target) — excluding images handled identically.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doctest_file(path: Path) -> tuple[int, int]:
+    """Run the file's doctests; returns (failures, attempts)."""
+    result = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    return result.failed, result.attempted
+
+
+def check_links(path: Path) -> tuple[int, list[str]]:
+    """Check one markdown file's links; returns (checked, broken)."""
+    targets = _LINK.findall(path.read_text(encoding="utf-8"))
+    broken = []
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:  # pure in-page anchor
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+    return len(targets), broken
+
+
+def main() -> int:
+    docs = sorted((REPO / "docs").glob("*.md"))
+    if not docs:
+        print("check_docs: no docs/*.md found", file=sys.stderr)
+        return 1
+    failures = 0
+    attempts = 0
+    for page in docs:
+        failed, attempted = doctest_file(page)
+        status = "ok" if failed == 0 else f"{failed} FAILED"
+        print(f"  doctest {page.relative_to(REPO)}: "
+              f"{attempted} example(s), {status}")
+        failures += failed
+        attempts += attempted
+    link_count = 0
+    broken: list[str] = []
+    for page in docs + [REPO / "README.md"]:
+        checked, bad = check_links(page)
+        link_count += checked
+        broken.extend(bad)
+    for line in broken:
+        print(f"  {line}", file=sys.stderr)
+    print(f"  links: {link_count} checked, {len(broken)} broken")
+    if failures or broken:
+        return 1
+    if attempts == 0:
+        print("check_docs: docs contain no runnable examples", file=sys.stderr)
+        return 1
+    print("docs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

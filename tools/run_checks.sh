@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Repo health check: tier-1 tests + the serving-layer benchmark in smoke
-# mode (one pass, no timing statistics). Run from anywhere.
+# Repo health check: tier-1 tests, the serving-layer benchmark in smoke
+# mode (one pass, no timing statistics), the docs gate (doctest every
+# docs/ code block + intra-repo link resolution), and the transport-based
+# examples smoke. Run from anywhere.
 #
-#   tools/run_checks.sh              # tier-1 + benchmark smoke
+#   tools/run_checks.sh              # tier-1 + benchmark smoke + docs
+#                                    # + examples smoke
+#   tools/run_checks.sh --docs       # only the docs stage (when given
+#                                    # alone; with other flags the full
+#                                    # pipeline runs and already
+#                                    # includes the docs gate)
 #   tools/run_checks.sh --bench      # also the kernel + serving micro-bench
 #                                    # (writes BENCH_kernels.json and enforces
 #                                    # the >= 10x EvalMult perf gate)
 #   tools/run_checks.sh --transport  # also the wire-transport smoke stage
-#                                    # (localhost listener, one EvalMult
-#                                    # round-trip, assert bit-identical)
+#                                    # (localhost listener, EvalMult + logreg
+#                                    # circuit round-trips, assert bit-identical)
 #   tools/run_checks.sh --slow       # also the paper-scale suites
 #                                    # (n = 2^12 pool scaling, n = 2^13 serving)
 set -euo pipefail
@@ -18,27 +25,52 @@ cd "$(dirname "$0")/.."
 RUN_SLOW=0
 RUN_BENCH=0
 RUN_TRANSPORT=0
+DOCS_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --slow) RUN_SLOW=1 ;;
     --bench) RUN_BENCH=1 ;;
     --transport) RUN_TRANSPORT=1 ;;
-    *) echo "unknown option: $arg (supported: --slow, --bench, --transport)" >&2; exit 2 ;;
+    --docs) DOCS_ONLY=1 ;;
+    *) echo "unknown option: $arg (supported: --slow, --bench, --transport, --docs)" >&2; exit 2 ;;
   esac
 done
 
+run_docs() {
+  echo
+  echo "== docs check (doctest code blocks + intra-repo links) =="
+  PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python tools/check_docs.py
+}
+
+# --docs alone is a fast path; combined with other flags every
+# requested stage still runs (the default pipeline includes docs).
+if [ "$DOCS_ONLY" = 1 ] && [ "$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "000" ]; then
+  run_docs
+  echo
+  echo "docs stage passed"
+  exit 0
+fi
+
 echo "== tier-1 test suite =="
-# Includes the transport concurrency battery (tests/service/test_transport.py)
-# and the frame-fuzz suite (tests/property/test_property_transport.py).
+# Includes the transport concurrency battery (tests/service/test_transport.py),
+# the frame-fuzz suite (tests/property/test_property_transport.py), the
+# circuit wire-format fuzz suite (tests/property/test_property_circuit_wire.py),
+# and the app-circuit serving suites (tests/service/test_circuit_*.py).
 python -m pytest -x -q
 
 echo
 echo "== serving-layer benchmark (smoke) =="
 python -m pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
 
+run_docs
+
+echo
+echo "== examples smoke (3 tenants over the wire transport) =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python examples/encrypted_service_demo.py
+
 if [ "$RUN_TRANSPORT" = 1 ]; then
   echo
-  echo "== wire-transport smoke (localhost EvalMult round-trip) =="
+  echo "== wire-transport smoke (localhost EvalMult + circuit round-trips) =="
   PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.demo --smoke
 fi
 
