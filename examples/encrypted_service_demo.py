@@ -17,7 +17,11 @@ computed :class:`~repro.bfv.Bfv` ground truth; every served circuit is
 checked bit-identical against the shared in-process evaluator and its
 decrypted predictions against the app's plaintext reference. The pool
 report shows the tower-sharded chip execution and the dedupe counters
-(acme submits one batch twice).
+(acme submits one batch twice), and the closing observability section
+prints a live metrics snapshot (per-tenant submits, submit p95, frame
+counters — the same numbers the wire ``STATS`` message carries) plus
+the chip pool's span-tracing phase-attribution table with its >= 90%
+coverage gate (see docs/observability.md).
 
 Run:  python examples/encrypted_service_demo.py
       (the in-process three-backend comparison demo remains available as
@@ -167,6 +171,33 @@ def cryptonets_tenant(client: FheClient) -> None:
           f"served over TCP; classes {classes} match plaintext ✓")
 
 
+def print_observability(ts, client: FheClient) -> None:
+    """Live stats snapshot + phase attribution, from the same socket."""
+    snap = ts.fhe.stats_snapshot()
+    submitted = {
+        label: int(count)
+        for label, count in snap["repro_jobs_submitted_total"].items()
+    }
+    submit_lat = snap["repro_submit_seconds"][""]
+    frames_in = snap["repro_frames_received_total"][""]
+    bytes_in = snap["repro_frame_bytes_received_total"][""]
+    print(f"\nlive stats (wire STATS also carries "
+          f"{len(client.stats().splitlines())} Prometheus lines):")
+    print(f"  submits {submitted}, submit p95 "
+          f"{submit_lat['p95'] * 1e3:.2f} ms, "
+          f"{int(frames_in)} frames / {int(bytes_in)} bytes received")
+
+    rows = ts.fhe.phase_report(backend="chip_pool")
+    print("phase attribution (chip pool, % of end-to-end job latency):")
+    for row in rows:
+        bar = "=" * max(1, round(row["percent"] / 2.5))
+        if row["phase"] == "(total)":
+            bar = "<- coverage"
+        print(f"  {row['phase']:<16} {row['seconds'] * 1e3:>9.2f} ms "
+              f"{row['percent']:>5.1f}%  {bar}")
+    assert rows[-1]["percent"] >= 90.0, "phase coverage regressed"
+
+
 def main() -> int:
     print("CoFHEE serving demo: 3 tenants over one TCP chip-pool server")
     with ThreadedTransportServer(pool_size=4, max_batch=6) as ts:
@@ -175,6 +206,7 @@ def main() -> int:
             raw_tenant(client)
             logreg_tenant(client)
             cryptonets_tenant(client)
+            print_observability(ts, client)
         report = ts.fhe.pool_report()
     chip_jobs = report["fidelity"].get("chip", 0)
     cache = report["result_cache"]

@@ -27,6 +27,10 @@ from a single-shot library into a servable system:
   pushed completion events instead of polling;
 * :mod:`repro.service.client` — :class:`AsyncFheClient` (asyncio core)
   and :class:`FheClient` (sync facade) for driving a remote pool;
+* :mod:`repro.service.telemetry` — per-job span tracing
+  (:class:`JobTrace`), the :class:`MetricsRegistry` behind the wire
+  ``STATS``/``TRACE`` exposition, and the phase-attribution fold
+  (:func:`aggregate_phases`) that ``tools/profile_serve.py`` prints;
 * :mod:`repro.service.demo` — the multi-tenant end-to-end demo behind
   the ``repro-serve`` console script (``--listen`` starts the transport,
   ``--smoke`` runs a localhost round-trip self-test).
@@ -65,6 +69,14 @@ from repro.service.serialization import (
     serialize_circuit_outputs,
 )
 from repro.service.server import FheServer
+from repro.service.telemetry import (
+    PHASES,
+    JobTrace,
+    MetricsRegistry,
+    aggregate_phases,
+    new_trace,
+    tracing_enabled,
+)
 from repro.service.transport import (
     FheTransportServer,
     FrameError,
@@ -91,6 +103,9 @@ __all__ = [
     "JobKind",
     "JobMetrics",
     "JobStatus",
+    "JobTrace",
+    "MetricsRegistry",
+    "PHASES",
     "ParamsMismatchError",
     "ServiceStats",
     "Session",
@@ -100,10 +115,13 @@ __all__ = [
     "ThreadedTransportServer",
     "TransportError",
     "WireFormatError",
+    "aggregate_phases",
     "deserialize_circuit",
     "deserialize_circuit_outputs",
     "evaluate_circuit",
+    "new_trace",
     "params_digest",
     "serialize_circuit",
     "serialize_circuit_outputs",
+    "tracing_enabled",
 ]

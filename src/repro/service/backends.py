@@ -243,6 +243,9 @@ class Backend:
     def __init__(self):
         self._apps = _AppRunner()
         self.jobs_done = 0
+        #: Metrics sink (set by :class:`~repro.service.server.FheServer`;
+        #: ``None`` leaves a standalone backend un-instrumented).
+        self.metrics = None
 
     # subclasses override -------------------------------------------------
 
@@ -465,6 +468,13 @@ class ChipPoolBackend(Backend):
         busy_before = {w.index: w.busy_cycles for w in self.workers}
         io_before = {w.index: w.io_seconds for w in self.workers}
         fidelity: dict[str, int] = {}
+        # Wall-clock sections of this batch, attributed to *every* job in
+        # it at the end (each job's clock ticks through all of them; a
+        # job's own Phase 1 execution becomes a child span). Multiple
+        # windows per phase are fine — attribution sums them.
+        sections: list[tuple[str, float, float]] = []
+        own_exec: dict[int, tuple[float, float]] = {}
+        p1_start = time.perf_counter()
 
         # Phase 1 — functional execution (exact host-side arithmetic).
         # Strict-fidelity rejection comes first: the chip-native check
@@ -475,6 +485,7 @@ class ChipPoolBackend(Backend):
         live: list[tuple[int, Job, Session, object, Workload | None]] = []
         traces: dict[int, list[tuple[int, Ciphertext, Ciphertext]]] = {}
         for seq, job in enumerate(jobs):
+            own_start = time.perf_counter()
             try:
                 needs_tensor = (
                     job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)
@@ -503,12 +514,15 @@ class ChipPoolBackend(Backend):
             except Exception as exc:  # noqa: BLE001 — jobs must fail alone
                 self._fail_job(job, batch_id, self.name, exc)
                 continue
+            own_exec[seq] = (own_start, time.perf_counter())
             live.append((seq, job, session, result, workload))
+        sections.append(("execute", p1_start, time.perf_counter()))
 
         # Phase 2 — split chip-path (tower-sharded) from model-path jobs.
         # Chip-path work is a list of _TensorUnits: one per raw EvalMult/
         # SQUARE, one per tensor step of a circuit (leveled by dependency
         # depth).
+        split_start = time.perf_counter()
         chip_jobs: dict[int, tuple[Job, Session, object, RnsBasis]] = {}
         units: list[_TensorUnit] = []
         job_units: dict[int, list[_TensorUnit]] = {}
@@ -538,8 +552,10 @@ class ChipPoolBackend(Backend):
                 chip_jobs[seq] = (job, session, result, basis)
             else:
                 model_path.append((seq, job, session, result, workload))
+        sections.append(("tower_dispatch", split_start, time.perf_counter()))
 
         # Phase 3 — model-path jobs run serially on the lead worker.
+        p3_start = time.perf_counter()
         for seq, job, session, result, workload in model_path:
             try:
                 cycles = self._job_cycles(lead, session, job, workload)
@@ -556,6 +572,8 @@ class ChipPoolBackend(Backend):
                 job.metrics.relin_fidelity = "model"
                 fidelity["relin_model"] = fidelity.get("relin_model", 0) + 1
             self._finish_job(job, batch_id, lead.index, cycles, freq, result)
+        if model_path:
+            sections.append(("execute", p3_start, time.perf_counter()))
 
         # Phase 4 — tower fan-out, level by level: same-modulus items
         # stay together on the least-loaded workers (reprogramming
@@ -577,6 +595,7 @@ class ChipPoolBackend(Backend):
         unit_cycles: dict[int, dict[int, int]] = {}
         unit_workers: dict[int, dict[int, int]] = {}
         for level in sorted({u.level for u in units}):
+            t_plan = time.perf_counter()
             level_units = [
                 u for u in units
                 if u.level == level and u.job_seq not in failed
@@ -594,7 +613,10 @@ class ChipPoolBackend(Backend):
                     if w.programmed and w.programmed[1] == batch_n else None
                     for w in self.workers
                 ],
+                metrics=self.metrics,
             )
+            t_run = time.perf_counter()
+            sections.append(("tower_dispatch", t_plan, t_run))
             for widx in sorted(plan):
                 worker = self.workers[widx]
                 for item in plan[widx]:
@@ -615,16 +637,24 @@ class ChipPoolBackend(Backend):
                     gather.put(item.job_seq, item.tower, outs)
                     unit_cycles.setdefault(u.unit, {})[item.tower] = cycles
                     unit_workers.setdefault(u.unit, {})[item.tower] = widx
+            t_barrier = time.perf_counter()
+            sections.append(("worker_execute", t_run, t_barrier))
             # Level barrier: every surviving unit of this level must have
             # its full tower set before any dependent level is planned.
             for u in level_units:
                 if u.job_seq not in failed:
                     gather.towers(u.unit)
+            sections.append(("gather_barrier", t_barrier, time.perf_counter()))
 
-        # Phase 5 — barrier settled: aggregate per-tower cycles across
-        # each job's units, price each tensor's relinearization tail (and
-        # a circuit's linear steps on the lead), and finish the job.
+        # Phase 5 — barrier settled. Sweep A (CRT recombination view):
+        # aggregate per-tower cycles and worker sets across each job's
+        # units — pure reads of the gather results. Sweep B (same job
+        # order, so the then-least-loaded relin worker selection is
+        # unchanged): price each tensor's relinearization tail (and a
+        # circuit's linear steps on the lead), and finish the job.
+        crt_start = time.perf_counter()
         batch_tower_cycles: dict[int, int] = {}
+        recombined: dict[int, tuple[list[int], set[int]]] = {}
         for seq, (job, session, result, basis) in chip_jobs.items():
             if seq in failed:
                 continue
@@ -635,6 +665,18 @@ class ChipPoolBackend(Backend):
                 for t in range(towers_n):
                     per_tower[t] += unit_cycles[u.unit][t]
                 workers_used.update(unit_workers[u.unit].values())
+            recombined[seq] = (per_tower, workers_used)
+            for t, c in enumerate(per_tower):
+                batch_tower_cycles[t] = batch_tower_cycles.get(t, 0) + c
+        if recombined:
+            sections.append(("crt_recombine", crt_start, time.perf_counter()))
+
+        relin_start = time.perf_counter()
+        for seq, (job, session, result, basis) in chip_jobs.items():
+            if seq in failed:
+                continue
+            towers_n = len(basis.moduli)
+            per_tower, workers_used = recombined[seq]
             relin_cycles = 0
             finish_worker = lead
             if session.relin is not None:
@@ -673,18 +715,58 @@ class ChipPoolBackend(Backend):
                 )
             job.metrics.relin_cycles = relin_cycles
             fidelity["chip"] = fidelity.get("chip", 0) + 1
-            for t, c in enumerate(per_tower):
-                batch_tower_cycles[t] = batch_tower_cycles.get(t, 0) + c
             self._finish_job(
                 job, batch_id, finish_worker.index,
                 sum(per_tower) + relin_cycles + linear_cycles, freq, result,
             )
+        if recombined:
+            sections.append(("relin_tail", relin_start, time.perf_counter()))
+
+        # Attribute every batch section to every job's trace: the job's
+        # clock ticked through all of them. Windows are clipped at the
+        # job's completion (a model-path job finishes in Phase 3; later
+        # sections are not its latency), and the job's own Phase 1
+        # functional execution nests as a child of the execute window.
+        for seq, job in enumerate(jobs):
+            trace = job.trace
+            if not trace.enabled:
+                continue
+            done = trace.done_at
+            first_execute = True
+            for phase, start, end in sections:
+                if done is not None:
+                    if start >= done:
+                        continue
+                    end = min(end, done)
+                index = trace.mark(phase, start, end)
+                if phase == "execute" and first_execute:
+                    first_execute = False
+                    if seq in own_exec:
+                        o_start, o_end = own_exec[seq]
+                        if start <= o_start < end:
+                            trace.mark(
+                                "execute", o_start, min(o_end, end),
+                                parent=index,
+                            )
 
         added = {
             w.index: w.busy_cycles - busy_before[w.index] for w in self.workers
         }
         batch_cycles = sum(added.values())
         used = tuple(sorted(i for i, c in added.items() if c > 0))
+        if self.metrics is not None:
+            total = self.total_cycles
+            for w in self.workers:
+                self.metrics.gauge(
+                    "repro_worker_busy_cycles",
+                    "cumulative busy cycles per pool worker",
+                    worker=w.index,
+                ).set(w.busy_cycles)
+                self.metrics.gauge(
+                    "repro_worker_busy_fraction",
+                    "worker share of the pool's total busy cycles",
+                    worker=w.index,
+                ).set(w.busy_cycles / total if total else 0.0)
         return BatchReport(
             batch_id=batch_id,
             backend=self.name,
@@ -898,9 +980,15 @@ class SoftwareBackend(Backend):
         self, batch_id: int, jobs: list[Job], registry: SessionRegistry
     ) -> BatchReport:
         batch_seconds = 0.0
+        batch_start = time.perf_counter()
         for job in jobs:
+            if job.trace.enabled:
+                # Jobs run serially: everything before this job's own
+                # start is time spent waiting on batch siblings.
+                job.trace.mark("batch_wait", batch_start, time.perf_counter())
             try:
-                session, result, workload = self._run_job(registry, job)
+                with job.trace.span("execute"):
+                    session, result, workload = self._run_job(registry, job)
                 seconds = self._job_seconds(session, job, workload)
             except Exception as exc:  # noqa: BLE001 — jobs must fail alone
                 self._fail_job(job, batch_id, self.name, exc)
@@ -986,10 +1074,14 @@ class FastNttBackend(Backend):
         self, batch_id: int, jobs: list[Job], registry: SessionRegistry
     ) -> BatchReport:
         batch_seconds = 0.0
+        batch_start = time.perf_counter()
         for job in jobs:
             start = time.perf_counter()
+            if job.trace.enabled:
+                job.trace.mark("batch_wait", batch_start, start)
             try:
-                session, result, _workload = self._run_job(registry, job)
+                with job.trace.span("execute"):
+                    session, result, _workload = self._run_job(registry, job)
             except Exception as exc:  # noqa: BLE001 — jobs must fail alone
                 self._fail_job(job, batch_id, self.name, exc)
                 continue

@@ -34,6 +34,7 @@ from repro.service.serialization import (
     EventMsg,
     OpenSessionMsg,
     ResultMsg,
+    StatsMsg,
     StatusMsg,
     SubmitCircuitMsg,
     SubmitMsg,
@@ -41,18 +42,25 @@ from repro.service.serialization import (
     TAG_EVENT,
     TAG_RESULT,
     TAG_SESSION,
+    TAG_STATS,
     TAG_STATUS,
+    TAG_TRACE,
+    TraceMsg,
     WireFormatError,
     decode_error,
     decode_event,
     decode_result,
     decode_session,
+    decode_stats,
     decode_status,
+    decode_trace,
     encode_open_session,
+    encode_stats,
     encode_submit,
     encode_submit_circuit,
     encode_status,
     encode_result,
+    encode_trace,
     peek_tag,
     serialize_ciphertext,
     serialize_circuit,
@@ -176,6 +184,10 @@ class AsyncFheClient:
             msg = decode_status(frame)
         elif tag == TAG_RESULT:
             msg = decode_result(frame)
+        elif tag == TAG_STATS:
+            msg = decode_stats(frame)
+        elif tag == TAG_TRACE:
+            msg = decode_trace(frame)
         elif tag == TAG_ERROR:
             err = decode_error(frame)
             if err.request_id == 0:
@@ -342,6 +354,26 @@ class AsyncFheClient:
             raise JobFailedError(job_id, reply.error or "unknown failure")
         return reply.payload
 
+    async def stats(self) -> str:
+        """Fetch the server's metrics as Prometheus exposition text."""
+        rid = next(self._request_ids)
+        reply: StatsMsg = await self._request(
+            encode_stats(StatsMsg(request_id=rid)), rid
+        )
+        return reply.text
+
+    async def trace(self, job_id: str) -> TraceMsg:
+        """Fetch a job's span tree (any job id the server knows).
+
+        The reply's ``spans`` are ``(phase, parent, start, end)`` tuples;
+        a tracing-off server answers with zero spans. Unknown job ids
+        raise :class:`TransportError` (the server's ERROR frame).
+        """
+        rid = next(self._request_ids)
+        return await self._request(
+            encode_trace(TraceMsg(request_id=rid, job_id=job_id)), rid
+        )
+
     def events_received(self, job_id: str) -> int:
         """How many completion events arrived for a job (expected: 1)."""
         job = self._jobs.get(job_id)
@@ -435,6 +467,12 @@ class FheClient:
 
     def fetch_result(self, job_id: str) -> bytes:
         return self._run(self._client.fetch_result(job_id))
+
+    def stats(self) -> str:
+        return self._run(self._client.stats())
+
+    def trace(self, job_id: str) -> TraceMsg:
+        return self._run(self._client.trace(job_id))
 
     def events_received(self, job_id: str) -> int:
         return self._client.events_received(job_id)

@@ -201,9 +201,11 @@ def pool_scaling(client: RawClient, sizes=(1, 4), jobs: int = 12) -> list[dict]:
     return rows
 
 
-def serve(listen: str, pool_size: int, max_batch: int) -> int:
+def serve(listen: str, pool_size: int, max_batch: int,
+          stats_interval: float = 0.0) -> int:
     """Run the asyncio wire transport until interrupted."""
     import asyncio
+    import json
 
     from repro.service.transport import FheTransportServer
 
@@ -214,6 +216,15 @@ def serve(listen: str, pool_size: int, max_batch: int) -> int:
     except ValueError:
         raise SystemExit(f"--listen wants [HOST:]PORT, got {listen!r}")
 
+    async def _stats_logger(server):
+        # One structured-log line per interval: JSON so a log pipeline
+        # can ingest it without scraping the Prometheus endpoint.
+        while True:
+            await asyncio.sleep(stats_interval)
+            snap = await server.stats_snapshot()
+            print(json.dumps({"repro_stats": snap}, sort_keys=True),
+                  flush=True)
+
     async def _serve():
         server = FheTransportServer(
             host=host, port=port, pool_size=pool_size, max_batch=max_batch
@@ -221,11 +232,17 @@ def serve(listen: str, pool_size: int, max_batch: int) -> int:
         bound_host, bound_port = await server.start()
         print(f"repro-serve: listening on {bound_host}:{bound_port} "
               f"(chip pool x{pool_size}, Ctrl-C to stop)")
+        logger_task = (
+            asyncio.ensure_future(_stats_logger(server))
+            if stats_interval > 0 else None
+        )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
             pass
         finally:
+            if logger_task is not None:
+                logger_task.cancel()
             print("repro-serve: draining in-flight jobs…")
             await server.aclose()
 
@@ -343,13 +360,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="chips in the pool backend (default 4)")
     parser.add_argument("--max-batch", type=int, default=6, metavar="N",
                         help="scheduler batch size (default 6)")
+    parser.add_argument(
+        "--stats-interval", type=float, default=0.0, metavar="N",
+        help="with --listen: print a JSON metrics snapshot every N "
+             "seconds (0 disables)",
+    )
     args = parser.parse_args(argv)
     if args.smoke and args.listen:
         parser.error("--smoke and --listen are mutually exclusive")
+    if args.stats_interval and not args.listen:
+        parser.error("--stats-interval requires --listen")
     if args.smoke:
         return transport_smoke(pool_size=args.pool)
     if args.listen:
-        return serve(args.listen, args.pool, args.max_batch)
+        return serve(args.listen, args.pool, args.max_batch,
+                     stats_interval=args.stats_interval)
     return run_demo()
 
 

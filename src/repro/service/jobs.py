@@ -19,6 +19,7 @@ from enum import Enum
 
 from repro.bfv.scheme import Ciphertext
 from repro.service.circuits import Circuit
+from repro.service.telemetry import new_trace
 
 
 class JobKind(Enum):
@@ -126,6 +127,9 @@ class Job:
     # (circuit), or the app output dict
     error: str | None = None
     metrics: JobMetrics = field(default_factory=JobMetrics)
+    #: Monotonic-clock phase spans (the shared NULL_TRACE when
+    #: ``REPRO_TRACE=off``); see :mod:`repro.service.telemetry`.
+    trace: object = field(default_factory=new_trace, repr=False)
 
     def __post_init__(self):
         if self.kind is JobKind.CIRCUIT:
@@ -161,7 +165,9 @@ class Job:
     def fail(self, message: str) -> None:
         self.status = JobStatus.FAILED
         self.error = message
+        self.trace.stamp_done()
 
     def finish(self, result: object) -> None:
         self.result = result
         self.status = JobStatus.DONE
+        self.trace.stamp_done()

@@ -21,12 +21,14 @@ executed on worker drivers.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.service.backends import Backend, BatchReport
 from repro.service.jobs import Job, JobStatus
 from repro.service.registry import SessionRegistry
+from repro.service.telemetry import MetricsRegistry
 
 #: A batch's compatibility key: (params digest, backend name).
 BatchKey = tuple[bytes, str]
@@ -47,6 +49,11 @@ class ServiceStats:
     instead of executing again, and the one result fans out to every
     attached job when the primary completes. Followers appear in
     ``jobs_submitted``/``jobs_completed`` but in no batch.
+
+    Per-tenant settlement is split by outcome —
+    ``per_tenant_completed`` / ``per_tenant_failed`` — so a tenant whose
+    jobs keep failing no longer looks identical to one being served;
+    :attr:`per_tenant` remains as the merged read-only view.
     """
 
     jobs_submitted: int = 0
@@ -56,16 +63,31 @@ class ServiceStats:
     cache_misses: int = 0
     dedupe_hits: int = 0
     batches: list[BatchReport] = field(default_factory=list)
-    per_tenant: dict[str, int] = field(default_factory=dict)
+    per_tenant_completed: dict[str, int] = field(default_factory=dict)
+    per_tenant_failed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def per_tenant(self) -> dict[str, int]:
+        """Settled jobs per tenant, completed and failed together."""
+        merged = dict(self.per_tenant_completed)
+        for tenant, count in self.per_tenant_failed.items():
+            merged[tenant] = merged.get(tenant, 0) + count
+        return merged
+
+    def settle(self, job: Job) -> None:
+        """Count one finished job (completed or failed) for its tenant."""
+        if job.status is JobStatus.FAILED:
+            self.jobs_failed += 1
+            bucket = self.per_tenant_failed
+        else:
+            self.jobs_completed += 1
+            bucket = self.per_tenant_completed
+        bucket[job.tenant] = bucket.get(job.tenant, 0) + 1
 
     def record(self, report: BatchReport, jobs: list[Job]) -> None:
         self.batches.append(report)
         for job in jobs:
-            if job.status is JobStatus.FAILED:
-                self.jobs_failed += 1
-            else:
-                self.jobs_completed += 1
-            self.per_tenant[job.tenant] = self.per_tenant.get(job.tenant, 0) + 1
+            self.settle(job)
 
     @property
     def total_cycles(self) -> int:
@@ -124,6 +146,9 @@ class BatchingScheduler:
         self._dispatch_seq = 0
         self._batch_ids = 0
         self.stats = ServiceStats()
+        #: Metrics sink (set by :class:`~repro.service.server.FheServer`;
+        #: ``None`` leaves the scheduler un-instrumented for direct use).
+        self.metrics: MetricsRegistry | None = None
 
     # -- intake -------------------------------------------------------------
 
@@ -142,6 +167,10 @@ class BatchingScheduler:
             self._rotation.append(job.tenant)
         self._queues[job.tenant].append(job)
         self.stats.jobs_submitted += 1
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_queue_depth", "jobs queued and not yet dispatched"
+            ).set(self.pending)
         return job
 
     @property
@@ -190,9 +219,11 @@ class BatchingScheduler:
 
     def step(self) -> BatchReport | None:
         """Form and execute one batch; returns its report (None if idle)."""
+        plan_start = time.perf_counter()
         formed = self.next_batch()
         if formed is None:
             return None
+        plan_end = time.perf_counter()
         (_, backend_name), jobs = formed
         backend = self.backends[backend_name]
         self._batch_ids += 1
@@ -200,8 +231,44 @@ class BatchingScheduler:
             job.status = JobStatus.RUNNING
             job.metrics.dispatched_seq = self._dispatch_seq
             self._dispatch_seq += 1
+            trace = job.trace
+            if trace.enabled:
+                # queue_wait spans submit settling -> batch formation;
+                # batch_plan is this next_batch call, charged to every
+                # job it packed (their wall clocks all tick through it).
+                if trace.queued_at is not None:
+                    trace.mark("queue_wait", trace.queued_at, plan_start)
+                trace.mark("batch_plan", plan_start, plan_end)
         report = backend.execute_batch(self._batch_ids, jobs, self.registry)
+        executed = time.perf_counter()
         self.stats.record(report, jobs)
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter(
+                "repro_batches_total", "batches dispatched",
+                backend=backend_name,
+            ).inc()
+            m.histogram(
+                "repro_batch_occupancy", "jobs packed per batch",
+                buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+                backend=backend_name,
+            ).observe(len(jobs))
+            m.histogram(
+                "repro_batch_execute_seconds",
+                "measured wall seconds per executed batch",
+                backend=backend_name,
+            ).observe(executed - plan_end)
+            m.gauge(
+                "repro_queue_depth", "jobs queued and not yet dispatched"
+            ).set(self.pending)
+            for job in jobs:
+                outcome = (
+                    "failed" if job.status is JobStatus.FAILED else "completed"
+                )
+                m.counter(
+                    "repro_jobs_settled_total", "jobs settled by outcome",
+                    tenant=job.tenant, outcome=outcome,
+                ).inc()
         return report
 
     def run_all(self) -> ServiceStats:

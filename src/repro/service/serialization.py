@@ -84,6 +84,8 @@ TAG_RESULT = 0x14
 TAG_EVENT = 0x15
 TAG_ERROR = 0x16
 TAG_SUBMIT_CIRCUIT = 0x17
+TAG_STATS = 0x18
+TAG_TRACE = 0x19
 
 _TAG_NAMES = {
     TAG_PARAMS: "params",
@@ -102,6 +104,8 @@ _TAG_NAMES = {
     TAG_EVENT: "event",
     TAG_ERROR: "error",
     TAG_SUBMIT_CIRCUIT: "submit-circuit",
+    TAG_STATS: "stats",
+    TAG_TRACE: "trace",
 }
 
 DIGEST_BYTES = 32
@@ -851,3 +855,86 @@ def decode_error(data: bytes) -> ErrorMsg:
     msg = ErrorMsg(request_id=reader.u32(), message=reader.string())
     reader.done()
     return msg
+
+
+# ----------------------------------------------------------------------
+# Telemetry exposition (STATS / TRACE)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StatsMsg:
+    """Metrics request (client -> server, ``text == ""``) or reply.
+
+    The reply's ``text`` is the server's Prometheus text exposition —
+    one flat dump of every counter, gauge, and histogram, already
+    rendered so a scraper-shaped consumer can pass it through verbatim.
+    """
+
+    request_id: int
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class TraceMsg:
+    """Span-tree request (``spans == ()``) or reply for one job.
+
+    ``spans`` is the job's recorded phase spans in recording order:
+    ``(phase, parent, start, end)`` with ``parent`` the index of the
+    enclosing span (``-1`` for top level) and ``start``/``end`` seconds
+    on the server's monotonic clock. ``wall_seconds`` is submit start ->
+    completion. A tracing-off server answers with zero spans.
+    """
+
+    request_id: int
+    job_id: str
+    wall_seconds: float = 0.0
+    spans: tuple[tuple[str, int, float, float], ...] = ()
+
+
+def encode_stats(msg: StatsMsg) -> bytes:
+    return _frame(
+        TAG_STATS, _u32(msg.request_id) + _blob(msg.text.encode("utf-8"))
+    )
+
+
+def decode_stats(data: bytes) -> StatsMsg:
+    reader = _unframe(data, TAG_STATS)
+    request_id = reader.u32()
+    raw = reader.blob()
+    reader.done()
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"invalid UTF-8 in stats text: {exc}") from exc
+    return StatsMsg(request_id=request_id, text=text)
+
+
+def encode_trace(msg: TraceMsg) -> bytes:
+    if len(msg.spans) > 0xFFFFFFFF:
+        raise ValueError(f"too many spans ({len(msg.spans)})")
+    body = [
+        _u32(msg.request_id),
+        _str(msg.job_id),
+        struct.pack(">d", msg.wall_seconds),
+        _u32(len(msg.spans)),
+    ]
+    for phase, parent, start, end in msg.spans:
+        body.append(_str(phase) + _i64(parent) + struct.pack(">dd", start, end))
+    return _frame(TAG_TRACE, b"".join(body))
+
+
+def decode_trace(data: bytes) -> TraceMsg:
+    reader = _unframe(data, TAG_TRACE)
+    request_id = reader.u32()
+    job_id = reader.string()
+    wall_seconds = reader.double()
+    spans = tuple(
+        (reader.string(), reader.i64(), reader.double(), reader.double())
+        for _ in range(reader.u32())
+    )
+    reader.done()
+    return TraceMsg(
+        request_id=request_id, job_id=job_id, wall_seconds=wall_seconds,
+        spans=spans,
+    )

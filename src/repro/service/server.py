@@ -17,6 +17,7 @@ transport's pump task drives ``tick`` instead.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 
 from repro.bfv.params import BfvParameters
@@ -45,6 +46,11 @@ from repro.service.serialization import (
     serialize_circuit_outputs,
     serialize_galois_key,
     serialize_relin_key,
+)
+from repro.service.telemetry import (
+    MetricsRegistry,
+    aggregate_phases,
+    new_trace,
 )
 
 
@@ -88,6 +94,18 @@ class FheServer:
         self.scheduler = BatchingScheduler(
             self.registry, self.backends, default=default_backend,
             max_batch=max_batch,
+        )
+        # One metrics registry per server, shared down the stack: the
+        # scheduler (queue depth, batch occupancy), every backend
+        # (worker busy fractions, tower planning), and the transport
+        # (frame/byte counters) all write here, so one STATS reply or
+        # ``stats_snapshot()`` covers the whole serving path.
+        self.metrics = MetricsRegistry()
+        self.scheduler.metrics = self.metrics
+        for backend in self.backends.values():
+            backend.metrics = self.metrics
+        self._submit_hist = self.metrics.histogram(
+            "repro_submit_seconds", "submit-path latency per job"
         )
         self._jobs: dict[str, Job] = {}
         if result_cache_size < 0:
@@ -174,28 +192,44 @@ class FheServer:
         waiting at all. Everything else is queued. Returns the job id to
         ``poll``/``result`` against.
         """
-        if isinstance(kind, str):
-            kind = JobKind(kind)
-        circuit_digest = b""
-        if kind is JobKind.CIRCUIT:
-            if isinstance(payload, (bytes, bytearray)):
-                # The received frame is the content address — no
-                # re-encode on the serving hot path. (A non-canonical
-                # encoding of the same program would address separately;
-                # that only forgoes sharing, never aliases it.)
-                raw = bytes(payload)
-                circuit_digest = hashlib.sha256(raw).digest()
-                payload = deserialize_circuit(raw)
-            elif isinstance(payload, Circuit):
-                circuit_digest = hashlib.sha256(
-                    serialize_circuit(payload)
-                ).digest()
-        session = self.registry.get(session_id)
-        decoded = [
-            self.registry.ingest_ciphertext(session, op)
-            if isinstance(op, (bytes, bytearray)) else op
-            for op in operands
-        ]
+        trace = new_trace()
+        started = time.perf_counter()
+        with trace.span("submit"):
+            job_id = self._submit_traced(
+                trace, session_id, kind, operands,
+                steps=steps, payload=payload, backend=backend,
+            )
+        trace.stamp_queued()  # queue_wait origin for the scheduler's mark
+        self._submit_hist.observe(time.perf_counter() - started)
+        return job_id
+
+    def _submit_traced(
+        self, trace, session_id, kind, operands, *, steps, payload, backend
+    ) -> str:
+        with trace.span("decode"):
+            if isinstance(kind, str):
+                kind = JobKind(kind)
+            circuit_digest = b""
+            if kind is JobKind.CIRCUIT:
+                if isinstance(payload, (bytes, bytearray)):
+                    # The received frame is the content address — no
+                    # re-encode on the serving hot path. (A non-canonical
+                    # encoding of the same program would address
+                    # separately; that only forgoes sharing, never
+                    # aliases it.)
+                    raw = bytes(payload)
+                    circuit_digest = hashlib.sha256(raw).digest()
+                    payload = deserialize_circuit(raw)
+                elif isinstance(payload, Circuit):
+                    circuit_digest = hashlib.sha256(
+                        serialize_circuit(payload)
+                    ).digest()
+            session = self.registry.get(session_id)
+            decoded = [
+                self.registry.ingest_ciphertext(session, op)
+                if isinstance(op, (bytes, bytearray)) else op
+                for op in operands
+            ]
         if backend and backend not in self.backends:
             raise ValueError(
                 f"unknown backend {backend!r} (have {sorted(self.backends)})"
@@ -208,32 +242,43 @@ class FheServer:
             steps=steps,
             payload=payload,
             backend=backend,
+            trace=trace,
         )
-        key = self._cache_key(session, job, operands, circuit_digest)
+        self.metrics.counter(
+            "repro_jobs_submitted_total", "jobs submitted",
+            tenant=session.tenant,
+        ).inc()
         stats = self.scheduler.stats
-        if key is not None and key in self._result_cache:
+        with trace.span("cache_check"):
+            key = self._cache_key(session, job, operands, circuit_digest)
+            cached = key is not None and key in self._result_cache
+            primary_id = self._dedupe.get(key) if key is not None else None
+        if cached:
             self._result_cache.move_to_end(key)
             job.finish(self._result_cache[key])
             job.metrics.backend = "cache"
             job.metrics.batch_id = 0
             stats.jobs_submitted += 1
-            stats.jobs_completed += 1
             stats.cache_hits += 1
-            stats.per_tenant[job.tenant] = stats.per_tenant.get(job.tenant, 0) + 1
+            stats.settle(job)
+            self.metrics.counter(
+                "repro_cache_hits_total", "result-cache hits at submit"
+            ).inc()
             self._jobs[job.job_id] = job
             return job.job_id
-        if key is not None:
-            primary_id = self._dedupe.get(key)
-            if primary_id is not None and not self._jobs[primary_id].done:
-                # Submit-before-complete miss: attach to the in-flight
-                # execution; the result fans out at harvest time.
-                job.metrics.backend = "dedupe"
-                job.metrics.dedupe_of = primary_id
-                self._jobs[job.job_id] = job
-                self._followers.setdefault(primary_id, []).append(job.job_id)
-                stats.jobs_submitted += 1
-                stats.dedupe_hits += 1
-                return job.job_id
+        if primary_id is not None and not self._jobs[primary_id].done:
+            # Submit-before-complete miss: attach to the in-flight
+            # execution; the result fans out at harvest time.
+            job.metrics.backend = "dedupe"
+            job.metrics.dedupe_of = primary_id
+            self._jobs[job.job_id] = job
+            self._followers.setdefault(primary_id, []).append(job.job_id)
+            stats.jobs_submitted += 1
+            stats.dedupe_hits += 1
+            self.metrics.counter(
+                "repro_dedupe_hits_total", "in-queue dedupe followers"
+            ).inc()
+            return job.job_id
         # Queue first: a rejected submission must leave no server state.
         self.scheduler.submit(job)
         self._jobs[job.job_id] = job
@@ -241,6 +286,10 @@ class FheServer:
             self._dedupe[key] = job.job_id
             if self._cache_capacity > 0:
                 stats.cache_misses += 1
+                self.metrics.counter(
+                    "repro_cache_misses_total",
+                    "cacheable jobs that had to execute",
+                ).inc()
                 self._pending_cache[job.job_id] = key
         return job.job_id
 
@@ -361,14 +410,10 @@ class FheServer:
                     follower = self._jobs[fid]
                     if primary.status is JobStatus.DONE:
                         follower.finish(primary.result)
-                        stats.jobs_completed += 1
                     else:
                         follower.fail(primary.error or "primary job failed")
-                        stats.jobs_failed += 1
                     follower.metrics.batch_id = primary.metrics.batch_id
-                    stats.per_tenant[follower.tenant] = (
-                        stats.per_tenant.get(follower.tenant, 0) + 1
-                    )
+                    stats.settle(follower)
         if self._dedupe:
             for key in [
                 k for k, jid in self._dedupe.items() if self._jobs[jid].done
@@ -437,9 +482,11 @@ class FheServer:
         if not job.done:
             raise RuntimeError(f"job {job_id} is still {job.status.value}")
         if wire and isinstance(job.result, Ciphertext):
-            return serialize_ciphertext(job.result)
+            with job.trace.span("serialize"):
+                return serialize_ciphertext(job.result)
         if wire and job.kind is JobKind.CIRCUIT:
-            return serialize_circuit_outputs(job.result)
+            with job.trace.span("serialize"):
+                return serialize_circuit_outputs(job.result)
         return job.result
 
     def job_metrics(self, job_id: str):
@@ -509,6 +556,8 @@ class FheServer:
                 tower_totals[t] for t in sorted(tower_totals)
             ],
             "fidelity": stats.fidelity,
+            "per_tenant_completed": dict(stats.per_tenant_completed),
+            "per_tenant_failed": dict(stats.per_tenant_failed),
             "result_cache": {
                 "hits": stats.cache_hits,
                 "misses": stats.cache_misses,
@@ -517,3 +566,49 @@ class FheServer:
                 "capacity": self._cache_capacity,
             },
         }
+
+    # ------------------------------------------------------------------
+    # Telemetry exposition
+    # ------------------------------------------------------------------
+
+    def stats_text(self) -> str:
+        """Prometheus-style text rendering of every metric (STATS reply)."""
+        return self.metrics.render()
+
+    def stats_snapshot(self) -> dict:
+        """Structured metrics snapshot (counters, gauges, percentiles)."""
+        return self.metrics.snapshot()
+
+    def job_trace(self, job_id: str):
+        """The :class:`~repro.service.telemetry.JobTrace` of a known job.
+
+        Raises ``KeyError`` for unknown job ids (the transport turns
+        that into a wire ``ERROR`` frame, mirroring ``status``).
+        """
+        return self._job(job_id).trace
+
+    def phase_report(self, backend: str = "", until_done: bool = True):
+        """Aggregate phase attribution over every settled job's trace.
+
+        Args:
+            backend: restrict to jobs whose :class:`JobMetrics` name this
+                backend (``""`` aggregates everything, including cache
+                and dedupe settlements).
+            until_done: stop each job's attribution at completion,
+                excluding post-completion serialize/reply time from both
+                numerator and denominator.
+
+        Returns the :func:`~repro.service.telemetry.aggregate_phases`
+        rows — per-phase seconds and percent of summed job wall time,
+        with a trailing ``"(total)"`` coverage row.
+        """
+        if backend in self.backends:
+            # Accept the registry key ("chip_pool") as well as the
+            # backend's display name ("chip_pool_x4").
+            backend = self.backends[backend].name
+        traces = [
+            job.trace for job in self._jobs.values()
+            if job.done and job.trace.enabled
+            and (not backend or job.metrics.backend == backend)
+        ]
+        return aggregate_phases(traces, until_done=until_done)

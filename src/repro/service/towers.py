@@ -44,6 +44,7 @@ def plan_tower_dispatch(
     items: Sequence[TowerWorkItem],
     worker_loads: Sequence[int],
     worker_programmed: Sequence[int | None] | None = None,
+    metrics=None,
 ) -> dict[int, list[TowerWorkItem]]:
     """Assign tower work items to workers, least-loaded first.
 
@@ -63,6 +64,10 @@ def plan_tower_dispatch(
             Callers must pass ``None`` for workers whose programmed
             *degree* differs from this batch's — the driver keys its
             reprogramming cache on the full ``(q, n)`` pair.
+        metrics: optional
+            :class:`~repro.service.telemetry.MetricsRegistry`; when set,
+            the planner counts items planned and observes how many
+            workers each planning round spread them over.
 
     Returns:
         worker index -> its items, in dispatch order. Workers with no
@@ -90,6 +95,16 @@ def plan_tower_dispatch(
         plan.setdefault(widx, []).extend(group)
         loads[widx] += sum(i.est_cycles for i in group)
         programmed[widx] = q
+    if metrics is not None and items:
+        metrics.counter(
+            "repro_tower_items_planned_total",
+            "tower work units planned onto pool workers",
+        ).inc(len(items))
+        metrics.histogram(
+            "repro_tower_fanout_workers",
+            "distinct workers used per tower planning round",
+            buckets=(1, 2, 4, 8, 16, 32),
+        ).observe(len(plan))
     return plan
 
 

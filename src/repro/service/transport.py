@@ -39,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -49,25 +50,33 @@ from repro.service.serialization import (
     OpenSessionMsg,
     ResultMsg,
     SessionMsg,
+    StatsMsg,
     StatusMsg,
     SubmitCircuitMsg,
     SubmitMsg,
     TAG_OPEN_SESSION,
     TAG_RESULT,
+    TAG_STATS,
     TAG_STATUS,
     TAG_SUBMIT,
     TAG_SUBMIT_CIRCUIT,
+    TAG_TRACE,
+    TraceMsg,
     WireFormatError,
     decode_open_session,
     decode_result,
+    decode_stats,
     decode_status,
     decode_submit,
     decode_submit_circuit,
+    decode_trace,
     encode_error,
     encode_event,
     encode_result,
     encode_session,
+    encode_stats,
     encode_status,
+    encode_trace,
     peek_tag,
 )
 from repro.service.server import FheServer
@@ -183,15 +192,25 @@ class _Connection:
     pump task and the dispatch path never interleave frames."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter, max_frame: int):
+                 writer: asyncio.StreamWriter, max_frame: int,
+                 metrics=None):
         self.reader = reader
         self.writer = writer
         self.max_frame = max_frame
+        self.metrics = metrics
         self._write_lock = asyncio.Lock()
 
     async def send(self, message: bytes) -> None:
         async with self._write_lock:
             await write_frame(self.writer, message, self.max_frame)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_frames_sent_total", "wire frames written to clients"
+            ).inc()
+            self.metrics.counter(
+                "repro_frame_bytes_sent_total",
+                "wire payload bytes written to clients",
+            ).inc(len(message))
 
     async def send_safe(self, message: bytes) -> bool:
         """Best-effort send: a dead peer must not break delivery to the
@@ -377,13 +396,29 @@ class FheTransportServer:
     async def _deliver(self, entry: _PendingJob, event: EventMsg) -> None:
         """Push one completion: the subscriber's EVENT (exactly once per
         job) plus a RESULT reply per registered waiter."""
+        start = time.perf_counter()
+        delivered = False
         if entry.subscriber is not None:
             await entry.subscriber.send_safe(encode_event(event))
+            delivered = True
         for conn, request_id in entry.waiters:
             await conn.send_safe(encode_result(ResultMsg(
                 request_id=request_id, job_id=event.job_id,
                 status=event.status, payload=event.payload, error=event.error,
             )))
+            delivered = True
+        if delivered:
+            end = time.perf_counter()
+            await self._call(self._mark_reply, event.job_id, start, end)
+
+    def _mark_reply(self, job_id: str, start: float, end: float) -> None:
+        """(Engine thread) attribute the completion write to the trace."""
+        try:
+            trace = self.fhe.job_trace(job_id)
+        except KeyError:
+            return
+        if trace.enabled:
+            trace.mark("reply", start, end)
 
     async def _abandon_pending(self, reason: str) -> None:
         for job_id in list(self._pending):
@@ -397,13 +432,26 @@ class FheTransportServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        conn = _Connection(reader, writer, self._max_frame)
+        metrics = self.fhe.metrics
+        conn = _Connection(reader, writer, self._max_frame, metrics)
         self._connections.add(conn)
+        metrics.gauge(
+            "repro_connections", "currently accepted client links"
+        ).inc()
+        frames_in = metrics.counter(
+            "repro_frames_received_total", "wire frames read from clients"
+        )
+        bytes_in = metrics.counter(
+            "repro_frame_bytes_received_total",
+            "wire payload bytes read from clients",
+        )
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
         try:
             async for frame in frame_stream(reader, self._max_frame):
+                frames_in.inc()
+                bytes_in.inc(len(frame))
                 await self._dispatch(conn, frame)
         except WireFormatError as exc:
             # Framing or codec failure: the stream can no longer be
@@ -421,6 +469,9 @@ class FheTransportServer:
                 self._conn_tasks.discard(task)
             self._connections.discard(conn)
             self._drop_subscriber(conn)
+            metrics.gauge(
+                "repro_connections", "currently accepted client links"
+            ).dec()
             await conn.close()
 
     def _drop_subscriber(self, conn: _Connection) -> None:
@@ -442,6 +493,10 @@ class FheTransportServer:
             await self._on_status(conn, decode_status(frame))
         elif tag == TAG_RESULT:
             await self._on_result(conn, decode_result(frame))
+        elif tag == TAG_STATS:
+            await self._on_stats(conn, decode_stats(frame))
+        elif tag == TAG_TRACE:
+            await self._on_trace(conn, decode_trace(frame))
         else:
             raise WireFormatError(
                 f"unexpected client frame tag 0x{tag:02x}"
@@ -601,6 +656,31 @@ class FheTransportServer:
             entry = self._pending[msg.job_id] = _PendingJob(msg.job_id)
         entry.waiters.append((conn, msg.request_id))
         self._ensure_pump()
+
+    async def _on_stats(self, conn: _Connection, msg: StatsMsg) -> None:
+        text = await self._call(self.fhe.stats_text)
+        await conn.send_safe(encode_stats(StatsMsg(
+            request_id=msg.request_id, text=text
+        )))
+
+    async def _on_trace(self, conn: _Connection, msg: TraceMsg) -> None:
+        try:
+            trace = await self._call(self.fhe.job_trace, msg.job_id)
+        except KeyError as exc:
+            await self._fail(conn, msg.request_id, exc)
+            return
+        await conn.send_safe(encode_trace(TraceMsg(
+            request_id=msg.request_id, job_id=msg.job_id,
+            wall_seconds=trace.wall_seconds,
+            spans=tuple(
+                (s.phase, s.parent, s.start, s.end) for s in trace.spans
+            ),
+        )))
+
+    async def stats_snapshot(self) -> dict:
+        """Structured metrics snapshot off the engine thread (the
+        ``repro-serve --stats-interval`` logger's data source)."""
+        return await self._call(self.fhe.stats_snapshot)
 
 
 # ----------------------------------------------------------------------

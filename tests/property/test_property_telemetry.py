@@ -1,0 +1,153 @@
+"""Property battery for the metrics registry's histogram math.
+
+Fixed-bucket histograms answer p50/p95/p99 without storing samples, so
+their correctness is all invariants: bucket counts must partition the
+samples exactly as the ``le`` (inclusive upper bound) semantics say,
+the Prometheus text rendering must carry cumulative counts, and the
+interpolated quantile estimate must always land inside the bucket that
+actually contains the true sample quantile — never outside it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.telemetry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+#: Strictly ascending finite bucket-bound sets.
+bounds_sets = st.lists(
+    st.floats(0.001, 100.0, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=8, unique=True,
+).map(lambda bs: tuple(sorted(bs)))
+
+#: Sample batches spanning below, inside, and beyond typical bounds.
+samples_lists = st.lists(
+    st.floats(0.0, 200.0, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60,
+)
+
+
+def _true_bucket(bounds, value):
+    """Index of the bucket holding ``value`` (len(bounds) = +inf tail)."""
+    return bisect.bisect_left(bounds, value)
+
+
+class TestBucketCounts:
+    @given(bounds=bounds_sets, samples=samples_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_counts_partition_samples(self, bounds, samples):
+        hist = Histogram("h", buckets=bounds)
+        for value in samples:
+            hist.observe(value)
+        # Reference: bucket i holds bounds[i-1] < v <= bounds[i].
+        expected = [0] * (len(bounds) + 1)
+        for value in samples:
+            expected[_true_bucket(bounds, value)] += 1
+        assert hist.counts == expected
+        assert hist.count == len(samples)
+        assert hist.total == pytest.approx(sum(samples))
+
+    @given(bounds=bounds_sets, samples=samples_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_render_is_cumulative(self, bounds, samples):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_test_seconds", buckets=bounds)
+        for value in samples:
+            hist.observe(value)
+        text = registry.render()
+        for bound in bounds:
+            le = (str(int(bound)) if bound == int(bound) else repr(bound))
+            line = next(
+                l for l in text.splitlines()
+                if l.startswith(f'repro_test_seconds_bucket{{le="{le}"}}')
+            )
+            cumulative = int(line.rsplit(" ", 1)[1])
+            assert cumulative == sum(1 for v in samples if v <= bound)
+        assert f'_bucket{{le="+Inf"}} {len(samples)}' in text
+        assert f"repro_test_seconds_count {len(samples)}" in text
+
+
+class TestQuantiles:
+    @given(samples=samples_lists, q=st.floats(0.0, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_estimate_stays_in_true_quantile_bucket(self, samples, q):
+        bounds = tuple(float(b) for b in DEFAULT_BUCKETS)
+        hist = Histogram("h", buckets=bounds)
+        for value in samples:
+            hist.observe(value)
+        estimate = hist.quantile(q)
+        # The sample the q-rank actually selects...
+        rank = q * len(samples)
+        index = max(math.ceil(rank) - 1, 0)
+        true_value = sorted(samples)[index]
+        bucket = _true_bucket(bounds, true_value)
+        # ...pins the bucket the estimate must not leave.
+        if bucket >= len(bounds):
+            assert estimate == bounds[-1]  # +inf tail: finite edge
+        else:
+            lower = bounds[bucket - 1] if bucket else 0.0
+            assert lower <= estimate <= bounds[bucket]
+
+    @given(samples=samples_lists, qs=st.tuples(
+        st.floats(0.0, 1.0), st.floats(0.0, 1.0)
+    ))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_q(self, samples, qs):
+        hist = Histogram("h")
+        for value in samples:
+            hist.observe(value)
+        lo, hi = sorted(qs)
+        assert hist.quantile(lo) <= hist.quantile(hi)
+
+    def test_empty_histogram_is_nan(self):
+        hist = Histogram("h")
+        assert math.isnan(hist.quantile(0.5))
+        assert math.isnan(hist.mean)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+
+class TestRegistrySemantics:
+    @given(increments=st.lists(st.integers(0, 50), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_same_labels_same_child(self, increments):
+        registry = MetricsRegistry()
+        for amount in increments:
+            registry.counter("repro_jobs_total", tenant="acme").inc(amount)
+        child = registry.counter("repro_jobs_total", tenant="acme")
+        assert child.value == sum(increments)
+        other = registry.counter("repro_jobs_total", tenant="zeta")
+        assert other is not child and other.value == 0
+
+    def test_type_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_thing")
+        with pytest.raises(ValueError):
+            registry.histogram("repro_thing")
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_snapshot_summarizes_histograms(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 2.0):
+            hist.observe(value)
+        registry.gauge("repro_depth").set(3)
+        snap = registry.snapshot()
+        summary = snap["repro_lat_seconds"][""]
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(3.05)
+        assert 0.1 <= summary["p50"] <= 1.0
+        assert snap["repro_depth"][""] == 3.0

@@ -12,7 +12,13 @@
 #                                    # includes the docs gate)
 #   tools/run_checks.sh --bench      # also the kernel + serving micro-bench
 #                                    # (writes BENCH_kernels.json and enforces
-#                                    # the >= 10x EvalMult perf gate)
+#                                    # the >= 10x EvalMult perf gate and the
+#                                    # >= 1.3x serving-row gates)
+#   tools/run_checks.sh --obs        # only the observability stage (when
+#                                    # given alone; it is already part of
+#                                    # the default pipeline): the telemetry
+#                                    # test battery + the phase profiler in
+#                                    # smoke mode (>= 90% coverage gate)
 #   tools/run_checks.sh --transport  # also the wire-transport smoke stage
 #                                    # (localhost listener, EvalMult + logreg
 #                                    # circuit round-trips, assert bit-identical)
@@ -26,13 +32,15 @@ RUN_SLOW=0
 RUN_BENCH=0
 RUN_TRANSPORT=0
 DOCS_ONLY=0
+OBS_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --slow) RUN_SLOW=1 ;;
     --bench) RUN_BENCH=1 ;;
     --transport) RUN_TRANSPORT=1 ;;
     --docs) DOCS_ONLY=1 ;;
-    *) echo "unknown option: $arg (supported: --slow, --bench, --transport, --docs)" >&2; exit 2 ;;
+    --obs) OBS_ONLY=1 ;;
+    *) echo "unknown option: $arg (supported: --slow, --bench, --transport, --docs, --obs)" >&2; exit 2 ;;
   esac
 done
 
@@ -42,12 +50,27 @@ run_docs() {
   PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python tools/check_docs.py
 }
 
-# --docs alone is a fast path; combined with other flags every
-# requested stage still runs (the default pipeline includes docs).
-if [ "$DOCS_ONLY" = 1 ] && [ "$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "000" ]; then
+run_obs() {
+  echo
+  echo "== observability (telemetry suite + phase profiler smoke) =="
+  python -m pytest tests/service/test_telemetry.py \
+    tests/service/test_stats_wire.py \
+    tests/property/test_property_telemetry.py -q
+  PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python tools/profile_serve.py --smoke
+}
+
+# --docs / --obs alone are fast paths; combined with other flags every
+# requested stage still runs (the default pipeline includes both).
+if [ "$DOCS_ONLY" = 1 ] && [ "$OBS_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "0000" ]; then
   run_docs
   echo
   echo "docs stage passed"
+  exit 0
+fi
+if [ "$OBS_ONLY" = 1 ] && [ "$DOCS_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "0000" ]; then
+  run_obs
+  echo
+  echo "observability stage passed"
   exit 0
 fi
 
@@ -63,6 +86,8 @@ echo "== serving-layer benchmark (smoke) =="
 python -m pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
 
 run_docs
+
+run_obs
 
 echo
 echo "== examples smoke (3 tenants over the wire transport) =="
