@@ -240,6 +240,12 @@ class Backend:
 
     name = "abstract"
 
+    #: Asynchronous backends (the worker fleet) dispatch batches to
+    #: external workers and report completions later through
+    #: :meth:`poll`; the scheduler keeps forming batches while they are
+    #: in flight instead of blocking in :meth:`execute_batch`.
+    supports_async = False
+
     def __init__(self):
         self._apps = _AppRunner()
         self.jobs_done = 0
@@ -257,6 +263,26 @@ class Backend:
         self, batch_id: int, jobs: list[Job], registry: SessionRegistry
     ) -> BatchReport:
         raise NotImplementedError
+
+    # async dispatch interface (supports_async backends only) -------------
+
+    def dispatch_batch(
+        self, batch_id: int, jobs: list[Job], registry: SessionRegistry
+    ) -> None:
+        """Hand a formed batch to external workers without blocking."""
+        raise NotImplementedError(f"{self.name} does not dispatch asynchronously")
+
+    def poll(self, timeout: float = 0.0):
+        """Collect completed batches: a list of ``(report, jobs)`` pairs."""
+        raise NotImplementedError(f"{self.name} does not dispatch asynchronously")
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs dispatched to workers but not yet settled."""
+        return 0
+
+    def close(self) -> None:
+        """Release external resources (worker processes); idempotent."""
 
     # shared helpers ------------------------------------------------------
 

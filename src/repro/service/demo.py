@@ -202,7 +202,8 @@ def pool_scaling(client: RawClient, sizes=(1, 4), jobs: int = 12) -> list[dict]:
 
 
 def serve(listen: str, pool_size: int, max_batch: int,
-          stats_interval: float = 0.0) -> int:
+          stats_interval: float = 0.0, fleet: int = 0,
+          fleet_mode: str = "process", max_inflight: int = 0) -> int:
     """Run the asyncio wire transport until interrupted."""
     import asyncio
     import json
@@ -226,12 +227,21 @@ def serve(listen: str, pool_size: int, max_batch: int,
                   flush=True)
 
     async def _serve():
+        fhe = FheServer(
+            pool_size=pool_size, max_batch=max_batch,
+            fleet_size=fleet, fleet_mode=fleet_mode,
+            default_backend="fleet" if fleet > 0 else "chip_pool",
+        )
         server = FheTransportServer(
-            host=host, port=port, pool_size=pool_size, max_batch=max_batch
+            fhe, host=host, port=port, max_inflight=max_inflight
         )
         bound_host, bound_port = await server.start()
+        engine = (
+            f"fleet x{fleet} ({fleet_mode} workers)" if fleet > 0
+            else f"chip pool x{pool_size}"
+        )
         print(f"repro-serve: listening on {bound_host}:{bound_port} "
-              f"(chip pool x{pool_size}, Ctrl-C to stop)")
+              f"({engine}, Ctrl-C to stop)", flush=True)
         logger_task = (
             asyncio.ensure_future(_stats_logger(server))
             if stats_interval > 0 else None
@@ -341,6 +351,70 @@ def transport_smoke(pool_size: int = 2) -> int:
     return 0
 
 
+def fleet_smoke(workers: int = 2, mode: str = "process") -> int:
+    """EvalMult traffic through a real worker fleet over a real socket.
+
+    Spins up a thread-hosted listener whose default backend is a
+    :class:`~repro.service.fleet.FleetBackend` of ``workers`` separate
+    worker processes (each a spawned interpreter with its own chip pool
+    and engine caches), pushes a small multiply/add mix through the sync
+    client, and asserts every result bit-identical to local
+    :class:`~repro.bfv.Bfv` ground truth — the fleet stage of
+    ``tools/run_checks.sh --fleet``.
+    """
+    from repro.service.client import FheClient
+    from repro.service.transport import ThreadedTransportServer
+
+    params = BfvParameters.toy_rns(n=16, towers=2, tower_bits=20)
+    bfv = Bfv(params, seed=2026)
+    keys = bfv.keygen(relin_digit_bits=14)
+    encoder = BatchEncoder(params)
+    rng = random.Random(5)
+
+    fhe = FheServer(
+        fleet_size=workers, fleet_mode=mode, default_backend="fleet",
+    )
+    checks = []  # (job kind, operands, expected ciphertext)
+    for i in range(4):
+        a = bfv.encrypt(encoder.encode(
+            [rng.randrange(16) for _ in range(params.n)]), keys.public)
+        b = bfv.encrypt(encoder.encode(
+            [rng.randrange(16) for _ in range(params.n)]), keys.public)
+        if i % 2 == 0:
+            checks.append((JobKind.MULTIPLY, (a, b),
+                           bfv.multiply_relin(a, b, keys.relin)))
+        else:
+            checks.append((JobKind.ADD, (a, b), bfv.add(a, b)))
+
+    with ThreadedTransportServer(fhe=fhe) as ts:
+        print(f"fleet smoke: listener on {ts.host}:{ts.port} "
+              f"(fleet x{workers}, {mode} workers)")
+        with FheClient(ts.host, ts.port) as client:
+            sid = client.open_session(
+                "fleet-smoke", serialize_params(params),
+                relin_key=serialize_relin_key(keys.relin, params),
+            )
+            jids = [
+                client.submit(sid, kind, tuple(
+                    serialize_ciphertext(ct) for ct in operands
+                ))
+                for kind, operands, _ in checks
+            ]
+            for jid, (kind, _, expected) in zip(jids, checks):
+                got = deserialize_ciphertext(client.result(jid), params)
+                got_pt = bfv.decrypt(got, keys.secret)
+                want_pt = bfv.decrypt(expected, keys.secret)
+                assert got_pt == want_pt, (
+                    f"fleet {kind.value} diverged from Bfv ground truth"
+                )
+        report = ts.fhe.fleet_report()
+    assert report["deaths"] == 0 and report["requeues"] == 0, report
+    workers_used = {w["index"] for w in report["workers"] if w["jobs_done"]}
+    print(f"fleet smoke: {len(checks)} jobs bit-identical across "
+          f"{len(workers_used)} worker process(es), 0 deaths, 0 requeues ✓")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -356,25 +430,56 @@ def main(argv: list[str] | None = None) -> int:
         help="transport self-test: ephemeral listener, one EvalMult "
              "round-trip, assert bit-identical",
     )
+    parser.add_argument(
+        "--fleet-smoke", action="store_true",
+        help="fleet self-test: ephemeral listener over a 2-process "
+             "worker fleet, assert bit-identical",
+    )
     parser.add_argument("--pool", type=int, default=4, metavar="N",
                         help="chips in the pool backend (default 4)")
     parser.add_argument("--max-batch", type=int, default=6, metavar="N",
                         help="scheduler batch size (default 6)")
+    parser.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="with --listen: serve from a fleet of N worker processes "
+             "instead of the in-process chip pool (0 disables)",
+    )
+    parser.add_argument(
+        "--fleet-mode", choices=("process", "thread"), default="process",
+        help="fleet worker isolation (default process)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=0, metavar="N",
+        help="with --listen: per-connection submit window; floods stall "
+             "instead of queueing unboundedly (0 disables)",
+    )
     parser.add_argument(
         "--stats-interval", type=float, default=0.0, metavar="N",
         help="with --listen: print a JSON metrics snapshot every N "
              "seconds (0 disables)",
     )
     args = parser.parse_args(argv)
-    if args.smoke and args.listen:
-        parser.error("--smoke and --listen are mutually exclusive")
+    exclusive = [
+        flag for flag, on in
+        (("--smoke", args.smoke), ("--fleet-smoke", args.fleet_smoke),
+         ("--listen", bool(args.listen)))
+        if on
+    ]
+    if len(exclusive) > 1:
+        parser.error(f"{' and '.join(exclusive)} are mutually exclusive")
     if args.stats_interval and not args.listen:
         parser.error("--stats-interval requires --listen")
+    if (args.fleet or args.max_inflight) and not (args.listen or args.fleet_smoke):
+        parser.error("--fleet/--max-inflight require --listen")
     if args.smoke:
         return transport_smoke(pool_size=args.pool)
+    if args.fleet_smoke:
+        return fleet_smoke(workers=args.fleet or 2, mode=args.fleet_mode)
     if args.listen:
         return serve(args.listen, args.pool, args.max_batch,
-                     stats_interval=args.stats_interval)
+                     stats_interval=args.stats_interval, fleet=args.fleet,
+                     fleet_mode=args.fleet_mode,
+                     max_inflight=args.max_inflight)
     return run_demo()
 
 

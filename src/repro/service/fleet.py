@@ -1,0 +1,1075 @@
+"""Multi-process worker fleet: scale the chip pool past one interpreter.
+
+The GIL caps the single-process serving stack regardless of kernel
+speed, and one crash kills the whole service. This module promotes the
+chip pool to a fleet of worker **processes** (the tf-encrypted
+secure-runtime shape: an orchestrator configures long-lived workers and
+routes work to them):
+
+* **Workers** — each worker process owns a chip subset (its own
+  :class:`~repro.service.backends.ChipPoolBackend`) and its own engine
+  caches, and speaks the repo's one wire format over a
+  ``multiprocessing`` pipe: WORKER_KEYS / WORKER_JOB down,
+  WORKER_RESULT / WORKER_HEARTBEAT up (tags 0x20+). ``mode="thread"``
+  runs the *identical* worker loop in a thread — same protocol, same
+  fault hooks — for fast deterministic tests.
+* **Routing** — the front door routes a batch by its session's params
+  digest: :func:`route_index` picks ``digest % fleet_size``, scanning
+  forward to the first live worker. All jobs of one scheduler batch
+  share a digest (batches are keyed on it), so a batch lands whole on
+  one worker and that worker's engine/twiddle caches stay hot for the
+  parameter sets hashed to it.
+* **Key replication** — evaluation keys replicate to a worker on first
+  use via the existing key-registry wire encoding (a framed params
+  message plus framed relin/Galois key messages inside WORKER_KEYS),
+  re-sent only when the front door observes new key material. Secret
+  keys never existed server-side, so nothing secret crosses the pipe.
+* **Liveness** — workers heartbeat on an interval; the orchestrator
+  evicts a worker whose beacon goes quiet (re-admitting it on the next
+  beat) and detects death outright (EOF / dead process), requeueing
+  every in-flight job onto surviving workers — capped at
+  ``max_attempts`` placements, after which the job fails cleanly.
+  Corrupted replies (the CRC catches them) requeue the same way. A
+  ``job -> worker`` ownership map discards stale duplicate results, so
+  a job settles exactly once no matter how many workers raced on it.
+* **Fault injection** — ``REPRO_FAULT`` (or an injected spec) arms a
+  deterministic :class:`FaultPlan` inside chosen workers: kill the
+  worker before its Nth result, skip N heartbeats, or bit-flip the Nth
+  reply. Counts, not timers — the chaos battery replays recovery paths
+  exactly.
+
+The scheduler drives all of this through the async backend interface
+(:meth:`FleetBackend.dispatch_batch` / :meth:`FleetBackend.poll`):
+dispatch never blocks, so batches for different digests overlap across
+workers, which is where the multi-process speedup comes from.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+
+from repro.bfv.scheme import Ciphertext
+from repro.service.backends import Backend, BatchReport, ChipPoolBackend
+from repro.service.jobs import Job, JobKind, JobStatus
+from repro.service.registry import SessionRegistry
+from repro.service.serialization import (
+    TAG_WORKER_FAULTS,
+    TAG_WORKER_HEARTBEAT,
+    TAG_WORKER_JOB,
+    TAG_WORKER_KEYS,
+    TAG_WORKER_RESULT,
+    WireFormatError,
+    WorkerHeartbeatMsg,
+    WorkerJobMsg,
+    WorkerKeysMsg,
+    WorkerResultMsg,
+    decode_worker_faults,
+    decode_worker_heartbeat,
+    decode_worker_job,
+    decode_worker_keys,
+    decode_worker_result,
+    deserialize_circuit,
+    deserialize_galois_key,
+    deserialize_params,
+    deserialize_relin_key,
+    encode_worker_heartbeat,
+    encode_worker_job,
+    encode_worker_keys,
+    encode_worker_result,
+    peek_tag,
+    serialize_ciphertext,
+    serialize_circuit,
+    serialize_circuit_outputs,
+    serialize_galois_key,
+    serialize_params,
+    serialize_relin_key,
+    verify_frame,
+)
+from repro.service.telemetry import NULL_TRACE
+
+
+class FaultSpecError(ValueError):
+    """Malformed ``REPRO_FAULT`` / :meth:`FaultPlan.parse` spec."""
+
+
+def route_index(digest: bytes, size: int) -> int:
+    """The routing rule: a params digest's preferred worker index.
+
+    Deterministic and stateless — the first 8 digest bytes mod the fleet
+    size — so every component (and every test) can predict where a
+    session's work lands:
+
+    >>> route_index(bytes(range(32)), 4)
+    3
+    >>> route_index(bytes(range(32)), 1)
+    0
+    """
+    if size < 1:
+        raise ValueError("fleet size must be >= 1")
+    return int.from_bytes(digest[:8], "big") % size
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault injection
+# ----------------------------------------------------------------------
+
+_FAULT_ACTIONS = ("kill", "corrupt", "delay_heartbeat")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed fault: *action* on *worker* at a counted point.
+
+    ``job`` is the 1-based index of the worker's result send the fault
+    fires on (``kill`` dies instead of sending it, ``corrupt`` bit-flips
+    its payload); ``beats`` is how many heartbeats ``delay_heartbeat``
+    suppresses, starting from the worker's hello.
+    """
+
+    action: str
+    worker: int
+    job: int = 1
+    beats: int = 1
+
+    def render(self) -> str:
+        text = f"{self.action}:worker={self.worker}"
+        if self.action == "delay_heartbeat":
+            return f"{text}:beats={self.beats}"
+        return f"{text}:job={self.job}"
+
+
+class FaultPlan:
+    """A parsed, deterministic fault schedule for the whole fleet.
+
+    Grammar (see ``docs/fleet.md``): clauses joined by ``;``, each
+    ``action:key=value:...`` with actions ``kill`` / ``corrupt`` /
+    ``delay_heartbeat`` and keys ``worker`` (required), ``job`` (1-based
+    result count), ``beats`` (heartbeats to skip):
+
+    >>> plan = FaultPlan.parse("kill:worker=1:job=3; corrupt:worker=0")
+    >>> [rule.render() for rule in plan.rules]
+    ['kill:worker=1:job=3', 'corrupt:worker=0:job=1']
+    >>> FaultPlan.parse("").rules
+    ()
+    """
+
+    def __init__(self, rules: tuple[FaultRule, ...] = ()):
+        self.rules = tuple(rules)
+
+    @classmethod
+    def parse(cls, spec: str | None) -> "FaultPlan":
+        rules = []
+        for clause in (spec or "").split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            action, _, rest = clause.partition(":")
+            action = action.strip()
+            if action not in _FAULT_ACTIONS:
+                raise FaultSpecError(
+                    f"unknown fault action {action!r} "
+                    f"(supported: {', '.join(_FAULT_ACTIONS)})"
+                )
+            fields = {"worker": None, "job": 1, "beats": 1}
+            for part in filter(None, (p.strip() for p in rest.split(":"))):
+                key, sep, value = part.partition("=")
+                key = key.strip()
+                if not sep or key not in fields:
+                    raise FaultSpecError(
+                        f"bad fault clause field {part!r} in {clause!r} "
+                        "(expected worker=/job=/beats=)"
+                    )
+                try:
+                    fields[key] = int(value)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"fault field {key!r} wants an integer, got {value!r}"
+                    ) from None
+            if fields["worker"] is None:
+                raise FaultSpecError(f"fault clause {clause!r} needs worker=")
+            if fields["job"] < 1 or fields["beats"] < 1:
+                raise FaultSpecError("job= and beats= are 1-based counts")
+            rules.append(FaultRule(
+                action=action, worker=fields["worker"],
+                job=fields["job"], beats=fields["beats"],
+            ))
+        return cls(tuple(rules))
+
+    def render(self) -> str:
+        """Re-render the plan as a spec string (ships to workers)."""
+        return "; ".join(rule.render() for rule in self.rules)
+
+    def for_worker(self, index: int) -> "WorkerFaults":
+        """Mutable countdown state for one worker's share of the plan."""
+        return WorkerFaults(
+            tuple(rule for rule in self.rules if rule.worker == index)
+        )
+
+
+class WorkerFaults:
+    """One worker's armed fault counters (lives inside the worker).
+
+    >>> faults = FaultPlan.parse("corrupt:worker=0:job=2").for_worker(0)
+    >>> [faults.on_result() for _ in range(3)]
+    ['', 'corrupt', '']
+    >>> faults.skip_heartbeat()
+    False
+    """
+
+    def __init__(self, rules: tuple[FaultRule, ...] = ()):
+        self._kill_at = {r.job for r in rules if r.action == "kill"}
+        self._corrupt_at = {r.job for r in rules if r.action == "corrupt"}
+        self._skip_beats = sum(
+            r.beats for r in rules if r.action == "delay_heartbeat"
+        )
+        self.results_sent = 0
+
+    def on_result(self) -> str:
+        """Account one result send; returns the armed action ("" = none)."""
+        self.results_sent += 1
+        if self.results_sent in self._kill_at:
+            return "kill"
+        if self.results_sent in self._corrupt_at:
+            return "corrupt"
+        return ""
+
+    def skip_heartbeat(self) -> bool:
+        """Whether the next heartbeat is suppressed (consumes one skip)."""
+        if self._skip_beats > 0:
+            self._skip_beats -= 1
+            return True
+        return False
+
+
+def _corrupt_payload(payload: bytes) -> bytes:
+    """Deterministically bit-flip a reply payload (CRC will catch it)."""
+    if not payload:
+        return payload
+    flipped = bytearray(payload)
+    flipped[len(flipped) // 2] ^= 0xFF
+    return bytes(flipped)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def fleet_worker_main(conn, config: dict) -> None:
+    """Entry point of one fleet worker (top-level: spawn-picklable).
+
+    ``config`` is a plain picklable dict: ``index``, ``mode``, ``chips``,
+    ``pool_engine``, ``strict_fidelity``, ``heartbeat_interval``, and
+    ``fault_spec``. The worker builds its own session registry and chip
+    pool, then loops: drain control messages, execute routed jobs,
+    heartbeat on the interval.
+    """
+    _FleetWorker(conn, config).run()
+
+
+class _FleetWorker:
+    """The worker loop behind :func:`fleet_worker_main`."""
+
+    def __init__(self, conn, config: dict):
+        self.conn = conn
+        self.index = config["index"]
+        self.mode = config.get("mode", "process")
+        self.interval = config.get("heartbeat_interval", 0.5)
+        self.faults = FaultPlan.parse(
+            config.get("fault_spec", "")
+        ).for_worker(self.index)
+        self.registry = SessionRegistry()
+        self.backend = ChipPoolBackend(
+            pool_size=config.get("chips", 1),
+            strict_fidelity=config.get("strict_fidelity", False),
+            engine=config.get("pool_engine", "exact"),
+        )
+        self._sessions: dict[str, object] = {}  # token -> local Session
+        self._batch_seq = 0
+        self._beat_seq = 0
+        self._jobs_done = 0
+        self._last_beat = 0.0
+
+    def run(self) -> None:
+        self._heartbeat(force=True)  # hello
+        while True:
+            try:
+                ready = self.conn.poll(self.interval)
+            except (EOFError, OSError):
+                return
+            if ready:
+                try:
+                    data = bytes(self.conn.recv_bytes())
+                except (EOFError, OSError):
+                    return  # orchestrator went away: shut down
+                if not self._handle(data):
+                    return
+            self._heartbeat()
+
+    # -- control messages ----------------------------------------------
+
+    def _handle(self, data: bytes) -> bool:
+        tag = peek_tag(data)
+        if tag == TAG_WORKER_KEYS:
+            self._install_keys(decode_worker_keys(data))
+        elif tag == TAG_WORKER_FAULTS:
+            spec = decode_worker_faults(data).spec
+            self.faults = FaultPlan.parse(spec).for_worker(self.index)
+        elif tag == TAG_WORKER_JOB:
+            return self._serve_job(decode_worker_job(data))
+        else:
+            raise WireFormatError(f"unexpected worker-control tag {tag:#x}")
+        return True
+
+    def _install_keys(self, msg: WorkerKeysMsg) -> None:
+        params = deserialize_params(msg.params)
+        relin = (
+            deserialize_relin_key(msg.relin_key, params)
+            if msg.relin_key is not None else None
+        )
+        galois = tuple(
+            deserialize_galois_key(g, params) for g in msg.galois_keys
+        )
+        self._sessions[msg.token] = self.registry.open_session(
+            msg.tenant, params, relin=relin, galois=galois
+        )
+
+    # -- job execution -------------------------------------------------
+
+    def _serve_job(self, msg: WorkerJobMsg) -> bool:
+        reply = self._execute(msg)
+        action = self.faults.on_result()
+        if action == "kill":
+            # Simulate a crash at the worst moment: the job ran but its
+            # result never leaves the worker.
+            if self.mode == "process":
+                os._exit(1)
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            return False
+        if action == "corrupt":
+            reply = WorkerResultMsg(
+                job_id=reply.job_id, status=reply.status,
+                payload=_corrupt_payload(reply.payload), error=reply.error,
+                cycles=reply.cycles, seconds=reply.seconds,
+                fidelity=reply.fidelity,
+            )
+        try:
+            self.conn.send_bytes(encode_worker_result(reply))
+        except (EOFError, OSError, ValueError):
+            return False
+        self._jobs_done += 1
+        return True
+
+    def _execute(self, msg: WorkerJobMsg) -> WorkerResultMsg:
+        try:
+            session = self._sessions[msg.token]
+        except KeyError:
+            return WorkerResultMsg(
+                job_id=msg.job_id, status="failed",
+                error=f"worker {self.index} has no replicated session "
+                      f"for token {msg.token!r}",
+            )
+        try:
+            kind = JobKind(msg.kind)
+            operands = [
+                self.registry.ingest_ciphertext(session, blob)
+                for blob in msg.operands
+            ]
+            circuit = (
+                deserialize_circuit(msg.circuit)
+                if msg.circuit is not None else None
+            )
+            job = Job(
+                session_id=session.session_id, tenant=session.tenant,
+                kind=kind, operands=operands, steps=msg.steps,
+                payload=circuit, trace=NULL_TRACE,
+            )
+        except Exception as exc:  # malformed routed job: fail it cleanly
+            return WorkerResultMsg(
+                job_id=msg.job_id, status="failed", error=str(exc)
+            )
+        self._batch_seq += 1
+        self.backend.execute_batch(self._batch_seq, [job], self.registry)
+        if job.status is not JobStatus.DONE:
+            return WorkerResultMsg(
+                job_id=msg.job_id, status="failed",
+                error=job.error or "worker execution failed",
+            )
+        if isinstance(job.result, Ciphertext):
+            payload = serialize_ciphertext(job.result)
+        else:
+            payload = serialize_circuit_outputs(job.result)
+        return WorkerResultMsg(
+            job_id=msg.job_id, status="done", payload=payload,
+            cycles=job.metrics.cycles, seconds=job.metrics.seconds,
+            fidelity=job.metrics.fidelity,
+        )
+
+    # -- liveness ------------------------------------------------------
+
+    def _heartbeat(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_beat < self.interval:
+            return
+        self._last_beat = now
+        if self.faults.skip_heartbeat():
+            return
+        self._beat_seq += 1
+        beat = WorkerHeartbeatMsg(
+            worker=self.index, seq=self._beat_seq, jobs_done=self._jobs_done
+        )
+        try:
+            self.conn.send_bytes(encode_worker_heartbeat(beat))
+        except (EOFError, OSError, ValueError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Orchestrator side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Assignment:
+    """One job's routed placement (survives requeues intact)."""
+
+    job: Job
+    batch_id: int
+    digest: bytes
+    message: bytes  # pre-encoded WORKER_JOB frame, reused on requeue
+    attempts: int = 0
+    sent_at: float = 0.0
+    last_worker: int = -1  # requeues avoid the worker that just failed
+
+
+@dataclass
+class _FleetBatch:
+    """Accounting for one dispatched batch until every job settles."""
+
+    batch_id: int
+    jobs: list[Job]
+    digest: bytes
+    start: float
+    remaining: set[str] = field(default_factory=set)
+    cycles: int = 0
+    workers: set[int] = field(default_factory=set)
+    worker_cycles: dict[int, int] = field(default_factory=dict)
+    fidelity: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class WorkerHandle:
+    """Orchestrator-side view of one worker slot."""
+
+    index: int
+    conn: object
+    proc: object  # multiprocessing.Process or threading.Thread
+    mode: str
+    live: bool = True  # admitted (heartbeat current)
+    attached: bool = True  # pipe usable
+    last_seen: float = 0.0
+    heartbeats: int = 0
+    jobs_done: int = 0
+    assigned: dict[str, _Assignment] = field(default_factory=dict)
+    backlog: deque = field(default_factory=deque)
+    replicated: dict[str, tuple] = field(default_factory=dict)
+
+
+def _ensure_child_import_path() -> None:
+    """Make ``repro`` importable in spawn children via PYTHONPATH.
+
+    Spawned interpreters re-import this module from scratch; when the
+    parent found ``repro`` through pytest's ``pythonpath`` ini (not the
+    environment), the child would not.
+    """
+    src = str(Path(__file__).resolve().parents[2])
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if src not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src, *parts])
+
+
+class FleetBackend(Backend):
+    """A fleet of worker processes behind the async backend interface.
+
+    ``size`` workers, each owning ``chips`` simulated CoFHEE chips.
+    ``mode="process"`` spawns real interpreters (the deployment shape;
+    always the ``spawn`` start method, so macOS and Linux behave the
+    same); ``mode="thread"`` runs the identical worker loop in threads
+    for fast deterministic tests. ``fault_spec`` (default: the
+    ``REPRO_FAULT`` environment variable) arms the deterministic
+    :class:`FaultPlan` inside every worker.
+
+    Per-worker sends are windowed (``worker_window`` unacknowledged jobs
+    per worker, default 1) so a paper-scale batch never wedges both pipe
+    directions; overflow queues in the orchestrator and drains as
+    results return.
+    """
+
+    supports_async = True
+
+    def __init__(self, size: int = 2, *, mode: str = "process",
+                 chips: int = 1, pool_engine: str = "exact",
+                 strict_fidelity: bool = False,
+                 heartbeat_interval: float = 0.5,
+                 heartbeat_timeout: float = 10.0,
+                 max_attempts: int = 4, worker_window: int = 1,
+                 restart: bool = True, fault_spec: str | None = None):
+        super().__init__()
+        if size < 1:
+            raise ValueError("fleet needs at least one worker")
+        if mode not in ("process", "thread"):
+            raise ValueError(f"mode must be 'process' or 'thread', got {mode!r}")
+        if worker_window < 1:
+            raise ValueError("worker_window must be >= 1")
+        self.name = f"fleet_x{size}"
+        self.size = size
+        self.mode = mode
+        self.chips = chips
+        self.pool_engine = pool_engine
+        self.strict_fidelity = strict_fidelity
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_attempts = max_attempts
+        self.worker_window = worker_window
+        self.restart = restart
+        if fault_spec is None:
+            fault_spec = os.environ.get("REPRO_FAULT", "")
+        self.fault_plan = FaultPlan.parse(fault_spec)
+        self._fault_spec = self.fault_plan.render()
+        self._registry: SessionRegistry | None = None
+        self._batches: dict[int, _FleetBatch] = {}
+        self._owner: dict[str, int] = {}  # job_id -> worker index
+        self._completed: list[tuple[BatchReport, list[Job]]] = []
+        self._key_wire: dict[str, tuple[tuple, bytes]] = {}
+        self._elapsed = 0.0
+        self._busy_since: float | None = None
+        self._closing = False
+        self.requeues = 0
+        self.evictions = 0
+        self.readmissions = 0
+        self.deaths = 0
+        self.respawns = 0
+        self.stale_results = 0
+        self.corrupt_replies = 0
+        #: Cumulative modeled cycles per worker index, across batches.
+        #: The fleet's makespan view: with routing spreading digests,
+        #: ``makespan_cycles`` (the busiest worker) drops while
+        #: ``total_cycles`` (the work) stays put.
+        self.worker_cycles: dict[int, int] = {}
+        if mode == "process":
+            _ensure_child_import_path()
+        self._workers = [self._spawn(i) for i in range(size)]
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn(self, index: int, fault_spec: str | None = None) -> WorkerHandle:
+        config = {
+            "index": index,
+            "mode": self.mode,
+            "chips": self.chips,
+            "pool_engine": self.pool_engine,
+            "strict_fidelity": self.strict_fidelity,
+            "heartbeat_interval": self.heartbeat_interval,
+            "fault_spec": (
+                self._fault_spec if fault_spec is None else fault_spec
+            ),
+        }
+        if self.mode == "process":
+            ctx = multiprocessing.get_context("spawn")
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=fleet_worker_main, args=(child, config),
+                name=f"repro-fleet-{index}", daemon=True,
+            )
+            proc.start()
+            child.close()  # our copy; the worker holds the live end
+        else:
+            parent, child = multiprocessing.Pipe()
+            proc = threading.Thread(
+                target=fleet_worker_main, args=(child, config),
+                name=f"repro-fleet-{index}", daemon=True,
+            )
+            proc.start()
+        handle = WorkerHandle(
+            index=index, conn=parent, proc=proc, mode=self.mode,
+            last_seen=time.monotonic(),
+        )
+        return handle
+
+    def close(self) -> None:
+        """Shut the fleet down; idempotent. Pending jobs fail cleanly."""
+        if self._closing:
+            return
+        self._closing = True
+        for handle in self._workers:
+            for assignment in (
+                list(handle.assigned.values()) + list(handle.backlog)
+            ):
+                self._fail_assignment(assignment, "fleet shut down")
+            handle.assigned.clear()
+            handle.backlog.clear()
+            handle.live = False
+            handle.attached = False
+            try:
+                handle.conn.close()  # workers exit on EOF
+            except OSError:
+                pass
+        for handle in self._workers:
+            proc = handle.proc
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if hasattr(proc, "terminate") and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._set_gauges()
+
+    # -- async backend interface ---------------------------------------
+
+    def dispatch_batch(
+        self, batch_id: int, jobs: list[Job], registry: SessionRegistry
+    ) -> None:
+        """Route a formed batch to the fleet without blocking."""
+        self._registry = registry
+        now = time.perf_counter()
+        if self._busy_since is None:
+            self._busy_since = now
+        session = registry.get(jobs[0].session_id)
+        batch = _FleetBatch(
+            batch_id=batch_id, jobs=list(jobs), digest=session.digest,
+            start=now, remaining={job.job_id for job in jobs},
+        )
+        self._batches[batch_id] = batch
+        self._pump(0.0)  # freshen liveness before routing
+        self._check_health()
+        for job in jobs:
+            assignment = self._encode_assignment(job, batch)
+            if assignment is not None:
+                self._place(assignment)
+        self._set_gauges()
+
+    def poll(self, timeout: float = 0.0) -> list[tuple[BatchReport, list[Job]]]:
+        """Collect finished batches; processes heartbeats and faults."""
+        self._pump(timeout)
+        self._check_health()
+        done, self._completed = self._completed, []
+        self._set_gauges()
+        return done
+
+    @property
+    def in_flight(self) -> int:
+        return sum(len(batch.remaining) for batch in self._batches.values())
+
+    def wall_seconds(self) -> float:
+        busy = self._elapsed
+        if self._busy_since is not None:
+            busy += time.perf_counter() - self._busy_since
+        return busy
+
+    def execute_batch(self, batch_id, jobs, registry) -> BatchReport:
+        raise NotImplementedError(
+            "the fleet dispatches asynchronously; use dispatch_batch/poll"
+        )
+
+    # -- routing and placement -----------------------------------------
+
+    def _encode_assignment(
+        self, job: Job, batch: _FleetBatch
+    ) -> _Assignment | None:
+        if job.kind.is_app:
+            failed = _Assignment(
+                job=job, batch_id=batch.batch_id, digest=batch.digest,
+                message=b"",
+            )
+            self._fail_assignment(
+                failed,
+                f"{job.kind.value} jobs are in-process only; "
+                "submit them to chip_pool or software",
+            )
+            return None
+        if len(job.wire_operands) == len(job.operands):
+            operands = tuple(job.wire_operands)
+        else:
+            operands = tuple(
+                serialize_ciphertext(ct) for ct in job.operands
+            )
+        circuit = (
+            serialize_circuit(job.payload)
+            if job.kind is JobKind.CIRCUIT else None
+        )
+        message = encode_worker_job(WorkerJobMsg(
+            job_id=job.job_id, token=job.session_id, kind=job.kind.value,
+            steps=job.steps, operands=operands, circuit=circuit,
+        ))
+        return _Assignment(
+            job=job, batch_id=batch.batch_id, digest=batch.digest,
+            message=message,
+        )
+
+    def _pick_worker(self, digest: bytes,
+                     exclude: int = -1) -> WorkerHandle | None:
+        """Route by digest, preferring any live worker over ``exclude``.
+
+        ``exclude`` is the index a requeued job just failed on; with two
+        or more live workers the replacement placement lands elsewhere,
+        which breaks kill-fault livelock (a faulty slot would otherwise
+        keep eating the same job until the attempt cap).
+        """
+        start = route_index(digest, self.size)
+        fallback = None
+        for offset in range(self.size):
+            handle = self._workers[(start + offset) % self.size]
+            if not (handle.live and handle.attached):
+                continue
+            if handle.index != exclude:
+                return handle
+            fallback = handle
+        return fallback
+
+    def _place(self, assignment: _Assignment) -> None:
+        assignment.attempts += 1
+        if assignment.attempts > self.max_attempts:
+            self._fail_assignment(
+                assignment,
+                f"job requeued past the attempt cap "
+                f"({self.max_attempts} placements)",
+            )
+            return
+        handle = self._pick_worker(
+            assignment.digest, exclude=assignment.last_worker)
+        if handle is None:
+            self._fail_assignment(assignment, "no live fleet workers")
+            return
+        handle.backlog.append(assignment)
+        self._kick(handle)
+
+    def _kick(self, handle: WorkerHandle) -> None:
+        """Drain a worker's backlog up to its in-flight window."""
+        while (handle.attached and handle.live and handle.backlog
+               and len(handle.assigned) < self.worker_window):
+            assignment = handle.backlog.popleft()
+            try:
+                self._replicate(handle, assignment.job)
+                handle.conn.send_bytes(assignment.message)
+            except (EOFError, OSError, ValueError):
+                # Leave it with the dead worker's orphans: _on_death
+                # requeues everything onto the survivors exactly once.
+                handle.backlog.appendleft(assignment)
+                self._on_death(handle, "worker pipe broke")
+                return
+            assignment.sent_at = time.perf_counter()
+            assignment.last_worker = handle.index
+            handle.assigned[assignment.job.job_id] = assignment
+            self._owner[assignment.job.job_id] = handle.index
+
+    def _replicate(self, handle: WorkerHandle, job: Job) -> None:
+        """Ship a session's params + evaluation keys on first use."""
+        registry = self._registry
+        session = registry.get(job.session_id)
+        fingerprint = (
+            id(session.relin), tuple(sorted(session.galois)),
+        )
+        if handle.replicated.get(session.session_id) == fingerprint:
+            return
+        cached = self._key_wire.get(session.session_id)
+        if cached is None or cached[0] != fingerprint:
+            relin = (
+                serialize_relin_key(session.relin, session.params)
+                if session.relin is not None else None
+            )
+            galois = tuple(
+                serialize_galois_key(key, session.params)
+                for _, key in sorted(session.galois.items())
+            )
+            message = encode_worker_keys(WorkerKeysMsg(
+                token=session.session_id, tenant=session.tenant,
+                params=serialize_params(session.params),
+                relin_key=relin, galois_keys=galois,
+            ))
+            self._key_wire[session.session_id] = (fingerprint, message)
+        else:
+            message = cached[1]
+        handle.conn.send_bytes(message)
+        handle.replicated[session.session_id] = fingerprint
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_fleet_key_replications_total",
+                "Evaluation-key replications to fleet workers",
+            ).inc()
+
+    # -- pipe pump and liveness ----------------------------------------
+
+    def _pump(self, timeout: float) -> None:
+        handles = {
+            handle.conn: handle
+            for handle in self._workers if handle.attached
+        }
+        if not handles:
+            if timeout > 0:
+                time.sleep(timeout)
+            return
+        try:
+            ready = mp_connection.wait(list(handles), timeout)
+        except OSError:
+            ready = []
+        for conn in ready:
+            handle = handles[conn]
+            while handle.attached:
+                try:
+                    if not conn.poll(0):
+                        break
+                    data = bytes(conn.recv_bytes())
+                except (EOFError, OSError):
+                    self._on_death(handle, "worker connection closed")
+                    break
+                self._on_message(handle, data)
+
+    def _on_message(self, handle: WorkerHandle, data: bytes) -> None:
+        handle.last_seen = time.monotonic()
+        if not handle.live:
+            # An evicted worker that speaks again is re-admitted.
+            handle.live = True
+            self.readmissions += 1
+            self._kick(handle)
+        tag = peek_tag(data)
+        if tag == TAG_WORKER_HEARTBEAT:
+            beat = decode_worker_heartbeat(data)
+            handle.heartbeats += 1
+            handle.jobs_done = max(handle.jobs_done, beat.jobs_done)
+        elif tag == TAG_WORKER_RESULT:
+            self._on_result(handle, decode_worker_result(data))
+        else:
+            raise WireFormatError(f"unexpected worker reply tag {tag:#x}")
+
+    def _check_health(self) -> None:
+        now = time.monotonic()
+        for handle in list(self._workers):
+            if not handle.attached:
+                continue
+            if handle.proc is not None and not handle.proc.is_alive():
+                # Drain any result the worker sent before dying.
+                self._drain_remnants(handle)
+                if handle.attached:
+                    self._on_death(handle, "worker died")
+                continue
+            if handle.live and now - handle.last_seen > self.heartbeat_timeout:
+                self._evict(handle)
+
+    def _drain_remnants(self, handle: WorkerHandle) -> None:
+        while handle.attached:
+            try:
+                if not handle.conn.poll(0):
+                    return
+                data = bytes(handle.conn.recv_bytes())
+            except (EOFError, OSError):
+                self._on_death(handle, "worker died")
+                return
+            self._on_message(handle, data)
+
+    def _evict(self, handle: WorkerHandle) -> None:
+        """Heartbeat went quiet: stop routing, requeue its jobs."""
+        handle.live = False
+        self.evictions += 1
+        orphans = list(handle.assigned.values()) + list(handle.backlog)
+        handle.assigned.clear()
+        handle.backlog.clear()
+        for assignment in orphans:
+            self._requeue(assignment, "worker evicted on heartbeat timeout")
+
+    def _on_death(self, handle: WorkerHandle, reason: str) -> None:
+        """EOF or dead process: replace the worker, requeue its jobs."""
+        if not handle.attached:
+            return
+        handle.attached = False
+        handle.live = False
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.proc is not None:
+            handle.proc.join(timeout=0.5)
+        orphans = list(handle.assigned.values()) + list(handle.backlog)
+        handle.assigned.clear()
+        handle.backlog.clear()
+        self.deaths += 1
+        if self.restart and not self._closing:
+            # The replacement starts with a clean fault plan: an armed
+            # kill must not loop the slot through death forever.
+            self._workers[handle.index] = self._spawn(handle.index, "")
+            self.respawns += 1
+        for assignment in orphans:
+            self._requeue(assignment, reason)
+
+    def _requeue(self, assignment: _Assignment, reason: str) -> None:
+        self.requeues += 1
+        self._owner.pop(assignment.job.job_id, None)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_fleet_requeues_total",
+                "Fleet jobs requeued after a worker fault",
+            ).inc()
+        self._place(assignment)
+
+    # -- results and settlement ----------------------------------------
+
+    def _on_result(self, handle: WorkerHandle, msg: WorkerResultMsg) -> None:
+        assignment = handle.assigned.pop(msg.job_id, None)
+        if assignment is None or self._owner.get(msg.job_id) != handle.index:
+            # A worker we already gave up on raced a requeue; its late
+            # result must not settle the job a second time.
+            self.stale_results += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_fleet_stale_results_total",
+                    "Late duplicate results discarded after a requeue",
+                ).inc()
+            self._kick(handle)
+            return
+        del self._owner[msg.job_id]
+        job = assignment.job
+        batch = self._batches[assignment.batch_id]
+        now = time.perf_counter()
+        if msg.status == "done":
+            try:
+                verify_frame(msg.payload)
+            except WireFormatError:
+                self.corrupt_replies += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "repro_fleet_corrupt_replies_total",
+                        "Worker replies failing the CRC integrity check",
+                    ).inc()
+                self._kick(handle)
+                self._place(assignment)  # run it again elsewhere
+                return
+            if job.trace.enabled and assignment.sent_at:
+                job.trace.mark("execute", assignment.sent_at, now)
+            job.finish(msg.payload)  # framed wire bytes, decoded client-side
+            job.metrics.cycles = msg.cycles
+            job.metrics.seconds = msg.seconds
+            job.metrics.fidelity = msg.fidelity
+            if msg.fidelity:
+                batch.fidelity[msg.fidelity] = (
+                    batch.fidelity.get(msg.fidelity, 0) + 1
+                )
+            self.jobs_done += 1
+            handle.jobs_done += 1
+        else:
+            job.fail(msg.error or "fleet worker failed the job")
+        job.metrics.backend = self.name
+        job.metrics.worker = handle.index
+        job.metrics.batch_id = assignment.batch_id
+        batch.cycles += msg.cycles
+        batch.workers.add(handle.index)
+        batch.worker_cycles[handle.index] = (
+            batch.worker_cycles.get(handle.index, 0) + msg.cycles
+        )
+        self.worker_cycles[handle.index] = (
+            self.worker_cycles.get(handle.index, 0) + msg.cycles
+        )
+        if self.metrics is not None and msg.cycles:
+            self.metrics.counter(
+                "repro_fleet_worker_cycles_total",
+                "Modeled cycles executed per fleet worker",
+                worker=str(handle.index),
+            ).inc(msg.cycles)
+        self._settle(batch, job.job_id)
+        self._kick(handle)
+
+    def _fail_assignment(self, assignment: _Assignment, message: str) -> None:
+        job = assignment.job
+        self._owner.pop(job.job_id, None)
+        job.fail(message)
+        job.metrics.backend = self.name
+        job.metrics.batch_id = assignment.batch_id
+        batch = self._batches.get(assignment.batch_id)
+        if batch is not None:
+            self._settle(batch, job.job_id)
+
+    def _settle(self, batch: _FleetBatch, job_id: str) -> None:
+        batch.remaining.discard(job_id)
+        if batch.remaining:
+            return
+        now = time.perf_counter()
+        report = BatchReport(
+            batch_id=batch.batch_id, backend=self.name,
+            worker=min(batch.workers, default=-1),
+            jobs=len(batch.jobs), cycles=batch.cycles,
+            seconds=now - batch.start,
+            workers=tuple(sorted(batch.workers)),
+            makespan_cycles=max(batch.worker_cycles.values(), default=0),
+            fidelity=dict(batch.fidelity),
+        )
+        del self._batches[batch.batch_id]
+        self._completed.append((report, batch.jobs))
+        if not self._batches and self._busy_since is not None:
+            self._elapsed += now - self._busy_since
+            self._busy_since = None
+
+    # -- reporting ------------------------------------------------------
+
+    def _set_gauges(self) -> None:
+        if self.metrics is None:
+            return
+        live = sum(1 for h in self._workers if h.live and h.attached)
+        self.metrics.gauge(
+            "repro_fleet_workers_live", "Fleet workers currently admitted"
+        ).set(live)
+        self.metrics.gauge(
+            "repro_fleet_in_flight", "Fleet jobs dispatched but unsettled"
+        ).set(self.in_flight)
+
+    @property
+    def total_cycles(self) -> int:
+        """Modeled cycles executed fleet-wide (the work)."""
+        return sum(self.worker_cycles.values())
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Modeled cycles on the busiest worker (the wall time).
+
+        Workers execute concurrently — separate interpreters — so the
+        fleet's modeled wall time is the busiest worker's share, not
+        the sum. Spreading parameter digests across a bigger fleet
+        shrinks this while :attr:`total_cycles` stays put.
+        """
+        return max(self.worker_cycles.values(), default=0)
+
+    def fleet_report(self) -> dict:
+        """Structured fleet state for tests, stats, and operators."""
+        return {
+            "size": self.size,
+            "mode": self.mode,
+            "workers": [
+                {
+                    "index": h.index,
+                    "live": h.live and h.attached,
+                    "heartbeats": h.heartbeats,
+                    "jobs_done": h.jobs_done,
+                    "assigned": len(h.assigned),
+                    "backlog": len(h.backlog),
+                }
+                for h in self._workers
+            ],
+            "in_flight": self.in_flight,
+            "total_cycles": self.total_cycles,
+            "makespan_cycles": self.makespan_cycles,
+            "requeues": self.requeues,
+            "evictions": self.evictions,
+            "readmissions": self.readmissions,
+            "deaths": self.deaths,
+            "respawns": self.respawns,
+            "stale_results": self.stale_results,
+            "corrupt_replies": self.corrupt_replies,
+        }

@@ -121,6 +121,10 @@ class Job:
     steps: int = 0  # rotation amount (ROTATE only)
     payload: object = None  # Circuit (CIRCUIT) or app inputs (samples/images)
     backend: str = ""  # requested backend name ("" = service default)
+    #: The operands' original framed wire bytes when the job arrived over
+    #: the transport (index-aligned with ``operands``, empty otherwise).
+    #: The fleet forwards these verbatim instead of re-serializing.
+    wire_operands: tuple[bytes, ...] = ()
     job_id: str = field(default_factory=lambda: f"j{next(_job_ids):05d}")
     status: JobStatus = JobStatus.QUEUED
     result: object = None  # Ciphertext (raw op), {name: Ciphertext}

@@ -217,62 +217,108 @@ class BatchingScheduler:
 
     # -- dispatch ---------------------------------------------------------------
 
-    def step(self) -> BatchReport | None:
-        """Form and execute one batch; returns its report (None if idle)."""
-        plan_start = time.perf_counter()
-        formed = self.next_batch()
-        if formed is None:
-            return None
-        plan_end = time.perf_counter()
-        (_, backend_name), jobs = formed
-        backend = self.backends[backend_name]
-        self._batch_ids += 1
-        for job in jobs:
-            job.status = JobStatus.RUNNING
-            job.metrics.dispatched_seq = self._dispatch_seq
-            self._dispatch_seq += 1
-            trace = job.trace
-            if trace.enabled:
-                # queue_wait spans submit settling -> batch formation;
-                # batch_plan is this next_batch call, charged to every
-                # job it packed (their wall clocks all tick through it).
-                if trace.queued_at is not None:
-                    trace.mark("queue_wait", trace.queued_at, plan_start)
-                trace.mark("batch_plan", plan_start, plan_end)
-        report = backend.execute_batch(self._batch_ids, jobs, self.registry)
-        executed = time.perf_counter()
+    def _async_backends(self) -> list[Backend]:
+        return [b for b in self.backends.values() if b.supports_async]
+
+    def _record_settled(self, report: BatchReport, jobs: list[Job],
+                        execute_seconds: float) -> None:
+        """Shared settlement accounting for sync and async batches."""
         self.stats.record(report, jobs)
-        if self.metrics is not None:
-            m = self.metrics
+        if self.metrics is None:
+            return
+        m = self.metrics
+        m.histogram(
+            "repro_batch_execute_seconds",
+            "measured wall seconds per executed batch",
+            backend=report.backend,
+        ).observe(execute_seconds)
+        for job in jobs:
+            outcome = (
+                "failed" if job.status is JobStatus.FAILED else "completed"
+            )
             m.counter(
-                "repro_batches_total", "batches dispatched",
-                backend=backend_name,
+                "repro_jobs_settled_total", "jobs settled by outcome",
+                tenant=job.tenant, outcome=outcome,
             ).inc()
-            m.histogram(
-                "repro_batch_occupancy", "jobs packed per batch",
-                buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
-                backend=backend_name,
-            ).observe(len(jobs))
-            m.histogram(
-                "repro_batch_execute_seconds",
-                "measured wall seconds per executed batch",
-                backend=backend_name,
-            ).observe(executed - plan_end)
-            m.gauge(
-                "repro_queue_depth", "jobs queued and not yet dispatched"
-            ).set(self.pending)
+
+    def _record_dispatched(self, backend_name: str, jobs: list[Job]) -> None:
+        if self.metrics is None:
+            return
+        m = self.metrics
+        m.counter(
+            "repro_batches_total", "batches dispatched",
+            backend=backend_name,
+        ).inc()
+        m.histogram(
+            "repro_batch_occupancy", "jobs packed per batch",
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+            backend=backend_name,
+        ).observe(len(jobs))
+        m.gauge(
+            "repro_queue_depth", "jobs queued and not yet dispatched"
+        ).set(self.pending)
+
+    def _harvest_async(self, timeout: float = 0.0) -> BatchReport | None:
+        """Collect completed async batches; returns the last report."""
+        last = None
+        for backend in self._async_backends():
+            for report, jobs in backend.poll(timeout):
+                self._record_settled(report, jobs, report.seconds)
+                last = report
+        return last
+
+    def step(self) -> BatchReport | None:
+        """Advance the service by one settled batch.
+
+        Synchronous backends execute their batch inline and return its
+        report. Asynchronous backends (the worker fleet) are *dispatched*
+        without blocking — batch after batch, so work for different
+        params digests overlaps across workers — and their completions
+        are harvested here; a call returns the next settled batch report,
+        blocking only when everything is dispatched and still in flight.
+        ``None`` means truly idle: no queued jobs and nothing in flight.
+        """
+        harvested = self._harvest_async()
+        if harvested is not None:
+            return harvested
+        while self.pending > 0:
+            plan_start = time.perf_counter()
+            formed = self.next_batch()
+            plan_end = time.perf_counter()
+            (_, backend_name), jobs = formed
+            backend = self.backends[backend_name]
+            self._batch_ids += 1
             for job in jobs:
-                outcome = (
-                    "failed" if job.status is JobStatus.FAILED else "completed"
-                )
-                m.counter(
-                    "repro_jobs_settled_total", "jobs settled by outcome",
-                    tenant=job.tenant, outcome=outcome,
-                ).inc()
-        return report
+                job.status = JobStatus.RUNNING
+                job.metrics.dispatched_seq = self._dispatch_seq
+                self._dispatch_seq += 1
+                trace = job.trace
+                if trace.enabled:
+                    # queue_wait spans submit settling -> batch formation;
+                    # batch_plan is this next_batch call, charged to every
+                    # job it packed (their wall clocks all tick through it).
+                    if trace.queued_at is not None:
+                        trace.mark("queue_wait", trace.queued_at, plan_start)
+                    trace.mark("batch_plan", plan_start, plan_end)
+            if backend.supports_async:
+                backend.dispatch_batch(self._batch_ids, jobs, self.registry)
+                self._record_dispatched(backend_name, jobs)
+                continue
+            report = backend.execute_batch(self._batch_ids, jobs, self.registry)
+            executed = time.perf_counter()
+            self._record_dispatched(backend_name, jobs)
+            self._record_settled(report, jobs, executed - plan_end)
+            return report
+        # Every queue is drained; wait on whatever the fleet still owes.
+        while True:
+            harvested = self._harvest_async(0.05)
+            if harvested is not None:
+                return harvested
+            if not any(b.in_flight for b in self._async_backends()):
+                return None
 
     def run_all(self) -> ServiceStats:
-        """Drain every queue."""
+        """Drain every queue (and every in-flight async batch)."""
         while self.step() is not None:
             pass
         return self.stats

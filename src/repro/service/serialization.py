@@ -87,6 +87,17 @@ TAG_SUBMIT_CIRCUIT = 0x17
 TAG_STATS = 0x18
 TAG_TRACE = 0x19
 
+# Fleet worker-control plane (repro.service.fleet). Orchestrator ->
+# worker: WORKER_KEYS (replicate a session's params + evaluation keys on
+# first use), WORKER_JOB (one routed job), WORKER_FAULTS (re-arm the
+# deterministic fault plan); worker -> orchestrator: WORKER_RESULT and
+# WORKER_HEARTBEAT (liveness beacon; seq 1 doubles as the hello).
+TAG_WORKER_KEYS = 0x20
+TAG_WORKER_JOB = 0x21
+TAG_WORKER_RESULT = 0x22
+TAG_WORKER_HEARTBEAT = 0x23
+TAG_WORKER_FAULTS = 0x24
+
 _TAG_NAMES = {
     TAG_PARAMS: "params",
     TAG_POLYNOMIAL: "polynomial",
@@ -106,6 +117,11 @@ _TAG_NAMES = {
     TAG_SUBMIT_CIRCUIT: "submit-circuit",
     TAG_STATS: "stats",
     TAG_TRACE: "trace",
+    TAG_WORKER_KEYS: "worker-keys",
+    TAG_WORKER_JOB: "worker-job",
+    TAG_WORKER_RESULT: "worker-result",
+    TAG_WORKER_HEARTBEAT: "worker-heartbeat",
+    TAG_WORKER_FAULTS: "worker-faults",
 }
 
 DIGEST_BYTES = 32
@@ -240,6 +256,29 @@ def peek_tag(data: bytes) -> int:
     """Return the type tag of a wire message without decoding it."""
     if len(data) < len(MAGIC) + 2 or data[: len(MAGIC)] != MAGIC:
         raise WireFormatError("not a CFHE wire message")
+    return data[len(MAGIC) + 1]
+
+
+def verify_frame(data: bytes) -> int:
+    """Integrity-check a framed message without decoding its body.
+
+    Validates the magic, wire version, and CRC32 trailer, and returns
+    the type tag. The fleet orchestrator runs this over every worker
+    reply payload so a corrupted result is requeued instead of being
+    handed to a client that would only discover the damage on decode.
+    """
+    if len(data) < len(MAGIC) + 2 + 4:
+        raise WireFormatError(f"message too short ({len(data)} bytes)")
+    if data[: len(MAGIC)] != MAGIC:
+        raise WireFormatError("bad magic: not a CFHE wire message")
+    version = data[len(MAGIC)]
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (this build speaks "
+            f"{WIRE_VERSION})"
+        )
+    if zlib.crc32(data[:-4]) != int.from_bytes(data[-4:], "big"):
+        raise WireFormatError("checksum mismatch: message corrupted in transit")
     return data[len(MAGIC) + 1]
 
 
@@ -938,3 +977,177 @@ def decode_trace(data: bytes) -> TraceMsg:
         request_id=request_id, job_id=job_id, wall_seconds=wall_seconds,
         spans=spans,
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet worker-control plane (WORKER_KEYS / WORKER_JOB / WORKER_RESULT /
+# WORKER_HEARTBEAT / WORKER_FAULTS)
+# ----------------------------------------------------------------------
+#
+# The orchestrator <-> worker pipe speaks the same envelope as the public
+# transport; nested blobs (params, keys, ciphertexts, circuits) are the
+# *existing* key-registry wire encoding, each re-validated by its own
+# CRC on the worker. A worker never sees a secret key.
+
+
+@dataclass(frozen=True)
+class WorkerKeysMsg:
+    """Replicate one session's parameter set + evaluation keys.
+
+    ``token`` is the front-door session id; the worker opens (or
+    refreshes) a local session under it, so later :class:`WorkerJobMsg`
+    routing is a single dict lookup. Sent once per (session, worker) and
+    again whenever the front door observes new key material.
+    """
+
+    token: str
+    tenant: str
+    params: bytes  # framed params message
+    relin_key: bytes | None = None
+    galois_keys: tuple[bytes, ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkerJobMsg:
+    """One routed job: raw-op operands or a framed app circuit."""
+
+    job_id: str
+    token: str
+    kind: str
+    steps: int = 0
+    operands: tuple[bytes, ...] = ()  # framed ciphertext messages
+    circuit: bytes | None = None  # framed circuit message (CIRCUIT kind)
+
+
+@dataclass(frozen=True)
+class WorkerResultMsg:
+    """Worker reply for one job: the framed result or a clean failure."""
+
+    job_id: str
+    status: str  # "done" | "failed"
+    payload: bytes = b""  # framed ciphertext/circuit-outputs when done
+    error: str = ""
+    cycles: int = 0
+    seconds: float = 0.0
+    fidelity: str = ""
+
+
+@dataclass(frozen=True)
+class WorkerHeartbeatMsg:
+    """Periodic liveness beacon; ``seq == 1`` doubles as the hello."""
+
+    worker: int
+    seq: int
+    jobs_done: int = 0
+
+
+@dataclass(frozen=True)
+class WorkerFaultsMsg:
+    """Re-arm a worker's deterministic fault plan at runtime.
+
+    ``spec`` uses the :meth:`repro.service.fleet.FaultPlan.parse`
+    grammar; an empty spec clears all pending faults.
+    """
+
+    spec: str = ""
+
+
+def encode_worker_keys(msg: WorkerKeysMsg) -> bytes:
+    body = [
+        _str(msg.token),
+        _str(msg.tenant),
+        _blob(msg.params),
+        _optional_blob(msg.relin_key),
+        _u16(len(msg.galois_keys)),
+    ]
+    body.extend(_blob(g) for g in msg.galois_keys)
+    return _frame(TAG_WORKER_KEYS, b"".join(body))
+
+
+def decode_worker_keys(data: bytes) -> WorkerKeysMsg:
+    reader = _unframe(data, TAG_WORKER_KEYS)
+    token = reader.string()
+    tenant = reader.string()
+    params = reader.blob()
+    relin_key = _read_optional_blob(reader)
+    galois = tuple(reader.blob() for _ in range(reader.u16()))
+    reader.done()
+    return WorkerKeysMsg(
+        token=token, tenant=tenant, params=params, relin_key=relin_key,
+        galois_keys=galois,
+    )
+
+
+def encode_worker_job(msg: WorkerJobMsg) -> bytes:
+    if len(msg.operands) > 0xFFFF:
+        raise ValueError(f"too many operands ({len(msg.operands)})")
+    body = [
+        _str(msg.job_id),
+        _str(msg.token),
+        _str(msg.kind),
+        _i64(msg.steps),
+        _optional_blob(msg.circuit),
+        _u16(len(msg.operands)),
+    ]
+    body.extend(_blob(op) for op in msg.operands)
+    return _frame(TAG_WORKER_JOB, b"".join(body))
+
+
+def decode_worker_job(data: bytes) -> WorkerJobMsg:
+    reader = _unframe(data, TAG_WORKER_JOB)
+    job_id = reader.string()
+    token = reader.string()
+    kind = reader.string()
+    steps = reader.i64()
+    circuit = _read_optional_blob(reader)
+    operands = tuple(reader.blob() for _ in range(reader.u16()))
+    reader.done()
+    return WorkerJobMsg(
+        job_id=job_id, token=token, kind=kind, steps=steps,
+        operands=operands, circuit=circuit,
+    )
+
+
+def encode_worker_result(msg: WorkerResultMsg) -> bytes:
+    body = (
+        _str(msg.job_id) + _str(msg.status) + _blob(msg.payload)
+        + _str(msg.error) + _i64(msg.cycles)
+        + struct.pack(">d", msg.seconds) + _str(msg.fidelity)
+    )
+    return _frame(TAG_WORKER_RESULT, body)
+
+
+def decode_worker_result(data: bytes) -> WorkerResultMsg:
+    reader = _unframe(data, TAG_WORKER_RESULT)
+    msg = WorkerResultMsg(
+        job_id=reader.string(), status=reader.string(),
+        payload=reader.blob(), error=reader.string(), cycles=reader.i64(),
+        seconds=reader.double(), fidelity=reader.string(),
+    )
+    reader.done()
+    return msg
+
+
+def encode_worker_heartbeat(msg: WorkerHeartbeatMsg) -> bytes:
+    body = _u32(msg.worker) + _i64(msg.seq) + _i64(msg.jobs_done)
+    return _frame(TAG_WORKER_HEARTBEAT, body)
+
+
+def decode_worker_heartbeat(data: bytes) -> WorkerHeartbeatMsg:
+    reader = _unframe(data, TAG_WORKER_HEARTBEAT)
+    msg = WorkerHeartbeatMsg(
+        worker=reader.u32(), seq=reader.i64(), jobs_done=reader.i64()
+    )
+    reader.done()
+    return msg
+
+
+def encode_worker_faults(msg: WorkerFaultsMsg) -> bytes:
+    return _frame(TAG_WORKER_FAULTS, _str(msg.spec))
+
+
+def decode_worker_faults(data: bytes) -> WorkerFaultsMsg:
+    reader = _unframe(data, TAG_WORKER_FAULTS)
+    msg = WorkerFaultsMsg(spec=reader.string())
+    reader.done()
+    return msg

@@ -32,6 +32,7 @@ from repro.service.backends import (
     default_app_params,
 )
 from repro.service.circuits import Circuit
+from repro.service.fleet import FleetBackend
 from repro.service.jobs import Job, JobKind, JobStatus
 from repro.service.registry import Session, SessionRegistry
 from repro.service.scheduler import BatchingScheduler, ServiceStats
@@ -49,6 +50,7 @@ from repro.service.serialization import (
 )
 from repro.service.telemetry import (
     MetricsRegistry,
+    adopt_batch_spans,
     aggregate_phases,
     new_trace,
 )
@@ -75,12 +77,27 @@ class FheServer:
             recomputation. Homomorphic evaluation is deterministic and
             all backends are bit-identical, so a cached result is
             exactly what a fresh execution would return.
+        fleet_size: worker count for the multi-process fleet backend
+            (``0``, the default, registers no fleet). With a fleet the
+            server **must** be closed (:meth:`close`, or use it as a
+            context manager) to reap the worker processes.
+        fleet_mode: ``"process"`` (spawned interpreters) or ``"thread"``
+            (the identical worker loop in threads, for fast tests).
+        fault_spec: deterministic fault-injection spec for the fleet
+            (see :class:`~repro.service.fleet.FaultPlan`); defaults to
+            the ``REPRO_FAULT`` environment variable.
+        fleet_options: extra :class:`~repro.service.fleet.FleetBackend`
+            keyword arguments (``chips``, ``heartbeat_interval``,
+            ``heartbeat_timeout``, ``worker_window``, ``max_attempts``,
+            ``restart``).
     """
 
     def __init__(self, pool_size: int = 4, max_batch: int = 8,
                  default_backend: str = "chip_pool",
                  strict_fidelity: bool = False, pool_engine: str = "exact",
-                 result_cache_size: int = 256):
+                 result_cache_size: int = 256, fleet_size: int = 0,
+                 fleet_mode: str = "process", fault_spec: str | None = None,
+                 fleet_options: dict | None = None):
         self.registry = SessionRegistry()
         self.chip_pool = ChipPoolBackend(
             pool_size=pool_size, strict_fidelity=strict_fidelity,
@@ -91,6 +108,17 @@ class FheServer:
             "software": SoftwareBackend(),
             "fastntt": FastNttBackend(),
         }
+        self.fleet: FleetBackend | None = None
+        if fleet_size > 0:
+            self.fleet = FleetBackend(
+                fleet_size, mode=fleet_mode, pool_engine=pool_engine,
+                strict_fidelity=strict_fidelity, fault_spec=fault_spec,
+                **(fleet_options or {}),
+            )
+            self.backends["fleet"] = self.fleet
+        elif fleet_options:
+            raise ValueError("fleet_options given but fleet_size is 0")
+        self._closed = False
         self.scheduler = BatchingScheduler(
             self.registry, self.backends, default=default_backend,
             max_batch=max_batch,
@@ -124,6 +152,24 @@ class FheServer:
         # digest. LRU-bounded so session churn cannot grow it forever.
         self._key_digests: OrderedDict[int, tuple[object, bytes]] = OrderedDict()
         self._key_digest_capacity = 128
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (fleet worker processes); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for backend in self.backends.values():
+            backend.close()
+
+    def __enter__(self) -> "FheServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Session management (wire-format inputs)
@@ -230,6 +276,14 @@ class FheServer:
                 if isinstance(op, (bytes, bytearray)) else op
                 for op in operands
             ]
+            # When every operand arrived as wire bytes, keep the frames:
+            # the fleet forwards them to workers without re-serializing.
+            wire_ops = tuple(
+                bytes(op) for op in operands
+                if isinstance(op, (bytes, bytearray))
+            )
+            if len(wire_ops) != len(operands):
+                wire_ops = ()
         if backend and backend not in self.backends:
             raise ValueError(
                 f"unknown backend {backend!r} (have {sorted(self.backends)})"
@@ -242,6 +296,7 @@ class FheServer:
             steps=steps,
             payload=payload,
             backend=backend,
+            wire_operands=wire_ops,
             trace=trace,
         )
         self.metrics.counter(
@@ -408,6 +463,11 @@ class FheServer:
                 primary = self._jobs[jid]
                 for fid in self._followers.pop(jid):
                     follower = self._jobs[fid]
+                    # The primary's batch window is the follower's
+                    # latency too: adopt those spans (clipped at the
+                    # follower's own queue time) so the profiler stops
+                    # attributing follower wall time to queue_wait.
+                    adopt_batch_spans(follower.trace, primary.trace)
                     if primary.status is JobStatus.DONE:
                         follower.finish(primary.result)
                     else:
@@ -481,6 +541,10 @@ class FheServer:
             raise RuntimeError(f"job {job_id} failed: {job.error}")
         if not job.done:
             raise RuntimeError(f"job {job_id} is still {job.status.value}")
+        if isinstance(job.result, (bytes, bytearray)):
+            # Fleet results already travel as framed wire bytes; hand
+            # them back verbatim (wire=False has no object to return).
+            return bytes(job.result)
         if wire and isinstance(job.result, Ciphertext):
             with job.trace.span("serialize"):
                 return serialize_ciphertext(job.result)
@@ -566,6 +630,12 @@ class FheServer:
                 "capacity": self._cache_capacity,
             },
         }
+
+    def fleet_report(self) -> dict:
+        """Worker-fleet liveness/requeue view (raises without a fleet)."""
+        if self.fleet is None:
+            raise RuntimeError("this server runs no fleet (fleet_size=0)")
+        return self.fleet.fleet_report()
 
     # ------------------------------------------------------------------
     # Telemetry exposition

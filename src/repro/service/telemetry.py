@@ -263,6 +263,50 @@ def new_trace() -> JobTrace | _NullTrace:
     return JobTrace() if tracing_enabled() else NULL_TRACE
 
 
+#: Top-level phases that constitute a batch's execution window — what a
+#: dedupe follower inherits from the primary whose single execution
+#: produced its result (see :func:`adopt_batch_spans`).
+BATCH_WINDOW_PHASES = frozenset((
+    "queue_wait", "batch_plan", "batch_wait", "execute", "tower_dispatch",
+    "worker_execute", "gather_barrier", "crt_recombine", "relin_tail",
+))
+
+
+def adopt_batch_spans(follower, primary) -> int:
+    """Copy a primary's batch-window spans onto a dedupe follower.
+
+    A follower attached to a deduped execution used to get only
+    ``stamp_done``: its wall clock covered the primary's whole batch but
+    its trace explained none of it, so the profiler under-attributed the
+    follower's latency to ``queue_wait``. This clips the primary's
+    top-level :data:`BATCH_WINDOW_PHASES` spans at the follower's own
+    ``queued_at`` (spans that ended before the follower existed are not
+    its latency) and records them as the follower's top-level spans;
+    any remaining gap between queueing and the first adopted span is
+    marked ``queue_wait``. Returns the number of spans copied; no-op
+    (returning 0) unless both traces are recording.
+    """
+    if not (follower.enabled and primary.enabled):
+        return 0
+    origin = follower.queued_at
+    copied = 0
+    earliest = None
+    for span in primary.spans:
+        if span.parent != -1 or span.phase not in BATCH_WINDOW_PHASES:
+            continue
+        start = span.start
+        if origin is not None:
+            if span.end <= origin:
+                continue
+            start = max(start, origin)
+        follower.mark(span.phase, start, span.end)
+        earliest = start if earliest is None else min(earliest, start)
+        copied += 1
+    if copied and origin is not None and earliest > origin:
+        follower.mark("queue_wait", origin, earliest)
+    return copied
+
+
 def aggregate_phases(traces, until_done: bool = True) -> list[dict]:
     """Fold many traces into a per-phase wall-time attribution table.
 

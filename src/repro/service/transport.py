@@ -185,6 +185,9 @@ class _PendingJob:
     subscriber: "_Connection | None" = None
     #: RESULT requests waiting on completion: (connection, request_id).
     waiters: list[tuple["_Connection", int]] = field(default_factory=list)
+    #: The connection whose submit window this job occupies (None when
+    #: the submitter imposed no window or the entry came from RESULT).
+    origin: "_Connection | None" = None
 
 
 class _Connection:
@@ -199,6 +202,11 @@ class _Connection:
         self.max_frame = max_frame
         self.metrics = metrics
         self._write_lock = asyncio.Lock()
+        #: Accepted-but-unsettled submissions from this link (the
+        #: backpressure window counts these, never queued frames).
+        self.inflight = 0
+        #: Set whenever ``inflight`` drops — wakes a stalled submit.
+        self.drained = asyncio.Event()
 
     async def send(self, message: bytes) -> None:
         async with self._write_lock:
@@ -235,6 +243,12 @@ class FheTransportServer:
         host/port: listen address (``port=0`` picks an ephemeral port;
             :meth:`start` returns the bound address).
         max_frame: per-frame byte ceiling on every connection.
+        max_inflight: per-connection submit window — a connection may
+            have at most this many accepted-but-unsettled jobs; further
+            SUBMIT frames stall (the reader stops consuming, so TCP
+            pushes back on the flooding client) until one settles and
+            its completion is delivered. ``0`` (the default) disables
+            the window. No accepted job is ever dropped.
         fhe_kwargs: forwarded to :class:`FheServer` when ``fhe`` is None
             (``pool_size``, ``max_batch``, ``result_cache_size``, …).
 
@@ -246,13 +260,17 @@ class FheTransportServer:
 
     def __init__(self, fhe: FheServer | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 max_frame: int = DEFAULT_MAX_FRAME, **fhe_kwargs):
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 max_inflight: int = 0, **fhe_kwargs):
         if fhe is not None and fhe_kwargs:
             raise ValueError("pass either a built FheServer or its kwargs")
+        if max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0 (0 disables it)")
         self.fhe = fhe if fhe is not None else FheServer(**fhe_kwargs)
         self._host = host
         self._port = port
         self._max_frame = max_frame
+        self._max_inflight = max_inflight
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -319,6 +337,9 @@ class FheTransportServer:
             await conn.close()
         self._connections.clear()
         if self._executor is not None:
+            # Shut the FheServer's backends (fleet worker processes)
+            # down on the engine thread before retiring it.
+            await self._call(self.fhe.close)
             self._executor.shutdown(wait=True)
             self._executor = None
 
@@ -393,9 +414,63 @@ class FheTransportServer:
                 continue
             await self._deliver(entry, event)
 
+    # -- backpressure ---------------------------------------------------
+
+    async def _admit(self, conn: _Connection) -> None:
+        """Hold a submit until the connection's window has room.
+
+        Stalling here stalls the connection's reader loop — frames stop
+        being consumed, the socket buffer fills, and TCP pushes back on
+        the flooding client. Every frame already read is still served in
+        order; nothing accepted is dropped. The short wait timeout makes
+        the loop robust against set/clear races with the delivery path.
+        """
+        if self._max_inflight <= 0:
+            return
+        metrics = self.fhe.metrics
+        stalled = False
+        while conn.inflight >= self._max_inflight and not self._closing:
+            if not stalled:
+                stalled = True
+                metrics.counter(
+                    "repro_backpressure_stalls_total",
+                    "submits stalled on a full per-connection window",
+                ).inc()
+                metrics.gauge(
+                    "repro_backpressure_waiting",
+                    "connections currently stalled on their window",
+                ).inc()
+            conn.drained.clear()
+            self._ensure_pump()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(conn.drained.wait(), 0.05)
+        if stalled:
+            metrics.gauge(
+                "repro_backpressure_waiting",
+                "connections currently stalled on their window",
+            ).dec()
+
+    def _occupy(self, entry: _PendingJob, conn: _Connection) -> None:
+        """Charge a tracked job to its submitter's window."""
+        if self._max_inflight <= 0 or entry.origin is not None:
+            return
+        entry.origin = conn
+        conn.inflight += 1
+
+    @staticmethod
+    def _release(entry: _PendingJob) -> None:
+        """Return a settled job's window slot and wake stalled submits."""
+        conn = entry.origin
+        if conn is None:
+            return
+        entry.origin = None
+        conn.inflight -= 1
+        conn.drained.set()
+
     async def _deliver(self, entry: _PendingJob, event: EventMsg) -> None:
         """Push one completion: the subscriber's EVENT (exactly once per
         job) plus a RESULT reply per registered waiter."""
+        self._release(entry)
         start = time.perf_counter()
         delivered = False
         if entry.subscriber is not None:
@@ -479,6 +554,8 @@ class FheTransportServer:
         for entry in self._pending.values():
             if entry.subscriber is conn:
                 entry.subscriber = None
+            if entry.origin is conn:
+                self._release(entry)
             entry.waiters = [(c, r) for c, r in entry.waiters if c is not conn]
 
     async def _dispatch(self, conn: _Connection, frame: bytes) -> None:
@@ -531,6 +608,7 @@ class FheTransportServer:
         )))
 
     async def _on_submit(self, conn: _Connection, msg: SubmitMsg) -> None:
+        await self._admit(conn)
         if self._closing:
             await self._fail(conn, msg.request_id,
                              RuntimeError("server is shutting down"))
@@ -568,6 +646,7 @@ class FheTransportServer:
 
     async def _on_submit_circuit(self, conn: _Connection,
                                  msg: SubmitCircuitMsg) -> None:
+        await self._admit(conn)
         if self._closing:
             await self._fail(conn, msg.request_id,
                              RuntimeError("server is shutting down"))
@@ -608,6 +687,7 @@ class FheTransportServer:
             entry = self._pending[job_id] = _PendingJob(job_id)
         if subscribe:
             entry.subscriber = conn
+        self._occupy(entry, conn)
         self._ensure_pump()
 
     def _completion_for(self, job_id: str) -> EventMsg:

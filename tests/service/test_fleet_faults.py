@@ -1,0 +1,297 @@
+"""Chaos battery for the multi-process worker fleet.
+
+Every scenario injects a deterministic fault through the
+``REPRO_FAULT``-style spec (:class:`~repro.service.fleet.FaultPlan`) and
+asserts the serving invariants the fleet guarantees:
+
+* no accepted job is ever lost — a killed worker's in-flight jobs
+  requeue onto survivors and complete **bit-identical** to local
+  :class:`~repro.bfv.Bfv` ground truth;
+* no result is ever delivered twice — late duplicates from a worker the
+  orchestrator gave up on are discarded as stale;
+* a silent worker is evicted on heartbeat timeout and re-admitted the
+  moment it speaks again;
+* a submit flood against a windowed transport stalls the flooding
+  connection (backpressure) without dropping anything accepted;
+* when recovery is impossible (every worker dead, restarts off) the job
+  fails *cleanly* with a diagnosable message — never a hang.
+
+Process-mode scenarios spawn real separate interpreters; thread-mode
+scenarios run the identical worker loop in-process for speed.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.bfv import BatchEncoder, Bfv, BfvParameters
+from repro.service.client import AsyncFheClient
+from repro.service.fleet import FaultPlan, FaultSpecError, route_index
+from repro.service.jobs import JobKind
+from repro.service.serialization import (
+    deserialize_ciphertext,
+    params_digest,
+    serialize_ciphertext,
+    serialize_params,
+    serialize_relin_key,
+)
+from repro.service.server import FheServer
+from repro.service.transport import FheTransportServer
+
+PARAMS = BfvParameters.toy_rns(n=16, towers=2, tower_bits=20)
+
+#: Tight liveness settings so chaos scenarios settle in test time.
+FAST_BEATS = {"heartbeat_interval": 0.05, "heartbeat_timeout": 0.5}
+
+
+@pytest.fixture(scope="module")
+def stack():
+    bfv = Bfv(PARAMS, seed=0xC0F4EE)
+    keys = bfv.keygen(relin_digit_bits=14)
+    encoder = BatchEncoder(PARAMS)
+    return bfv, keys, encoder
+
+
+def _open(server, stack, tenant="chaos"):
+    bfv, keys, _ = stack
+    return server.open_session(
+        tenant, serialize_params(PARAMS),
+        relin_key=serialize_relin_key(keys.relin, PARAMS),
+    )
+
+
+def _mult_jobs(server, sid, stack, count, seed=3):
+    """Submit ``count`` multiplies; returns [(job_id, expected ct)]."""
+    bfv, keys, encoder = stack
+    rng = random.Random(seed)
+    checks = []
+    for _ in range(count):
+        a = bfv.encrypt(encoder.encode(
+            [rng.randrange(16) for _ in range(PARAMS.n)]), keys.public)
+        b = bfv.encrypt(encoder.encode(
+            [rng.randrange(16) for _ in range(PARAMS.n)]), keys.public)
+        jid = server.submit(
+            sid, JobKind.MULTIPLY,
+            (serialize_ciphertext(a), serialize_ciphertext(b)),
+        )
+        checks.append((jid, bfv.multiply_relin(a, b, keys.relin)))
+    return checks
+
+
+def _assert_bit_identical(server, stack, checks):
+    bfv, keys, _ = stack
+    for jid, expected in checks:
+        got = deserialize_ciphertext(server.result(jid), PARAMS)
+        assert bfv.decrypt(got, keys.secret) == bfv.decrypt(
+            expected, keys.secret
+        ), f"job {jid} diverged from Bfv ground truth"
+
+
+class TestFaultSpec:
+    def test_grammar_round_trips(self):
+        plan = FaultPlan.parse(
+            "kill:worker=1:job=2;delay_heartbeat:worker=0:beats=5"
+        )
+        assert FaultPlan.parse(plan.render()).render() == plan.render()
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("explode:worker=0")
+
+    def test_worker_is_mandatory(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("kill:job=1")
+
+    def test_per_worker_projection(self):
+        plan = FaultPlan.parse("corrupt:worker=1:job=2")
+        assert plan.for_worker(0).on_result() == ""
+        faults = plan.for_worker(1)
+        assert faults.on_result() == ""  # job 1 passes untouched
+        assert faults.on_result() == "corrupt"  # job 2 corrupted
+        assert faults.on_result() == ""  # one-shot
+
+
+class TestWorkerKilledMidBatch:
+    def test_requeue_completes_bit_identical(self, stack):
+        """A worker killed mid-batch loses nothing: its jobs requeue to
+        the survivor and the respawned slot, and every result matches
+        ground truth bit for bit (real separate interpreters)."""
+        target = route_index(params_digest(PARAMS), 2)
+        server = FheServer(
+            fleet_size=2, fleet_mode="process", default_backend="fleet",
+            fault_spec=f"kill:worker={target}:job=1",
+            fleet_options=dict(FAST_BEATS, heartbeat_timeout=10.0),
+        )
+        with server:
+            sid = _open(server, stack)
+            checks = _mult_jobs(server, sid, stack, 3)
+            _assert_bit_identical(server, stack, checks)
+            rep = server.fleet_report()
+        assert rep["requeues"] >= 1, rep
+        assert rep["deaths"] == 1, rep
+        assert rep["respawns"] == 1, rep
+        # Exactly-once: every submitted job settled exactly one way.
+        stats = server.scheduler.stats
+        assert stats.jobs_completed == stats.jobs_submitted
+        assert stats.jobs_failed == 0
+
+    def test_every_worker_killed_still_completes(self, stack):
+        """Kill faults armed on *both* workers: each dies once, both
+        slots respawn with clean fault plans, and the traffic still
+        lands bit-identical (thread mode for speed)."""
+        server = FheServer(
+            fleet_size=2, fleet_mode="thread", default_backend="fleet",
+            fault_spec="kill:worker=0:job=1;kill:worker=1:job=1",
+            fleet_options=dict(FAST_BEATS),
+        )
+        with server:
+            sid = _open(server, stack)
+            checks = _mult_jobs(server, sid, stack, 4, seed=5)
+            _assert_bit_identical(server, stack, checks)
+            rep = server.fleet_report()
+        assert rep["deaths"] == 2, rep
+        assert rep["respawns"] == 2, rep
+        assert rep["requeues"] >= 2, rep
+        assert server.scheduler.stats.jobs_failed == 0
+
+
+class TestHeartbeatLoss:
+    def test_evict_then_readmit(self, stack):
+        """A worker that stops heartbeating is evicted; the moment it
+        speaks again it is re-admitted and serves traffic."""
+        server = FheServer(
+            fleet_size=2, fleet_mode="thread", default_backend="fleet",
+            # ~12 skipped beats at 0.05s ≈ 0.6s of silence, past the
+            # 0.2s timeout — then beats resume and the worker returns.
+            fault_spec="delay_heartbeat:worker=0:beats=12",
+            fleet_options={"heartbeat_interval": 0.05,
+                           "heartbeat_timeout": 0.2},
+        )
+        with server:
+            fleet = server.fleet
+            deadline = 100
+            while fleet.evictions == 0 and deadline:
+                fleet.poll(0.05)
+                deadline -= 1
+            assert fleet.evictions >= 1, "silent worker never evicted"
+            deadline = 100
+            while fleet.readmissions == 0 and deadline:
+                fleet.poll(0.05)
+                deadline -= 1
+            assert fleet.readmissions >= 1, "worker never re-admitted"
+            # The recovered fleet still serves correct traffic.
+            sid = _open(server, stack)
+            checks = _mult_jobs(server, sid, stack, 2, seed=9)
+            _assert_bit_identical(server, stack, checks)
+        assert server.scheduler.stats.jobs_failed == 0
+
+
+class TestCorruptReply:
+    def test_crc_catches_and_retries(self, stack):
+        """A bit-flipped reply fails the CRC check; the job re-executes
+        on a different worker and the delivered result is clean."""
+        target = route_index(params_digest(PARAMS), 2)
+        server = FheServer(
+            fleet_size=2, fleet_mode="thread", default_backend="fleet",
+            fault_spec=f"corrupt:worker={target}:job=1",
+            fleet_options=dict(FAST_BEATS),
+        )
+        with server:
+            sid = _open(server, stack)
+            checks = _mult_jobs(server, sid, stack, 2, seed=13)
+            _assert_bit_identical(server, stack, checks)
+            rep = server.fleet_report()
+        assert rep["corrupt_replies"] == 1, rep
+        assert rep["deaths"] == 0, rep
+        assert server.scheduler.stats.jobs_failed == 0
+
+
+class TestUnrecoverableFailureIsClean:
+    def test_no_live_workers_fails_the_job(self, stack):
+        """Every worker dead and restarts disabled: the job fails with
+        a diagnosable message instead of hanging or vanishing."""
+        server = FheServer(
+            fleet_size=2, fleet_mode="thread", default_backend="fleet",
+            fault_spec="kill:worker=0:job=1;kill:worker=1:job=1",
+            fleet_options=dict(FAST_BEATS, restart=False),
+        )
+        with server:
+            sid = _open(server, stack)
+            (jid, _), = _mult_jobs(server, sid, stack, 1)
+            with pytest.raises(RuntimeError, match="no live fleet workers"):
+                server.result(jid)
+        stats = server.scheduler.stats
+        assert stats.jobs_failed == 1
+        assert stats.jobs_completed + stats.jobs_failed == stats.jobs_submitted
+
+
+class TestSubmitFloodBackpressure:
+    WINDOW = 3
+    TOTAL = 9
+
+    def test_window_stalls_without_dropping(self, stack):
+        """A paused server + a submit flood: the per-connection window
+        fills, further submits stall (stall counter fires), and on
+        resume every accepted job completes bit-identical — zero
+        drops, zero duplicates."""
+        bfv, keys, encoder = stack
+        rng = random.Random(21)
+
+        async def scenario():
+            fhe = FheServer(
+                fleet_size=2, fleet_mode="thread", default_backend="fleet",
+                fleet_options=dict(FAST_BEATS),
+            )
+            async with FheTransportServer(
+                fhe, max_inflight=self.WINDOW,
+            ) as server:
+                host, port = server.address
+                server.pause_execution()
+                client = await AsyncFheClient.connect(host, port)
+                sid = await client.open_session(
+                    "flood", serialize_params(PARAMS),
+                    relin_key=serialize_relin_key(keys.relin, PARAMS),
+                )
+                pairs = []
+                for _ in range(self.TOTAL):
+                    a = bfv.encrypt(encoder.encode(
+                        [rng.randrange(16) for _ in range(PARAMS.n)]),
+                        keys.public)
+                    b = bfv.encrypt(encoder.encode(
+                        [rng.randrange(16) for _ in range(PARAMS.n)]),
+                        keys.public)
+                    pairs.append((a, b))
+
+                async def flood():
+                    return [
+                        await client.submit(sid, JobKind.MULTIPLY, (
+                            serialize_ciphertext(a), serialize_ciphertext(b),
+                        ))
+                        for a, b in pairs
+                    ]
+
+                task = asyncio.create_task(flood())
+                await asyncio.sleep(0.4)
+                stalls = server.fhe.metrics.counter(
+                    "repro_backpressure_stalls_total",
+                    "submits stalled on a full per-connection window",
+                ).value
+                assert not task.done(), "flood should stall on the window"
+                assert stalls >= 1, f"window never engaged: {stalls}"
+                server.resume_execution()
+                job_ids = await task
+                assert len(job_ids) == self.TOTAL
+                assert len(set(job_ids)) == self.TOTAL  # no duplicates
+                for jid, (a, b) in zip(job_ids, pairs):
+                    wire = await client.result(jid)
+                    got = deserialize_ciphertext(wire, PARAMS)
+                    exp = bfv.multiply_relin(a, b, keys.relin)
+                    assert bfv.decrypt(got, keys.secret) == bfv.decrypt(
+                        exp, keys.secret)
+                await client.aclose()
+                stats = server.fhe.scheduler.stats
+                assert stats.jobs_failed == 0
+                assert stats.jobs_completed == stats.jobs_submitted
+
+        asyncio.run(scenario())

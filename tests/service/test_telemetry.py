@@ -27,6 +27,7 @@ from repro.service.telemetry import (
     NULL_TRACE,
     PHASES,
     JobTrace,
+    adopt_batch_spans,
     aggregate_phases,
     new_trace,
     tracing_enabled,
@@ -197,6 +198,78 @@ class TestServingTraces:
             assert server.poll(job_id) is JobStatus.DONE
             assert server.job_trace(job_id) is NULL_TRACE
         assert server.phase_report() == aggregate_phases([])
+
+
+class TestDedupeFanoutTraces:
+    """Regression: dedupe followers used to get an empty batch window.
+
+    A follower attached to a primary's execution spent its whole wall
+    clock inside the primary's batch, but its own trace recorded none of
+    it — the profiler attributed everything to untraced time. Fan-out
+    now adopts the primary's batch-window spans, clipped at the moment
+    the follower actually queued.
+    """
+
+    def test_adopt_clips_at_follower_queue_time(self):
+        primary = JobTrace()
+        primary.queued_at = 0.0
+        primary.mark("queue_wait", 0.0, 1.0)
+        primary.mark("batch_plan", 1.0, 2.0)
+        primary.mark("execute", 2.0, 10.0)
+        follower = JobTrace()
+        follower.queued_at = 4.0  # joined mid-execute
+        copied = adopt_batch_spans(follower, primary)
+        # queue_wait and batch_plan ended before the follower existed.
+        assert copied == 1
+        (execute,) = follower.spans
+        assert execute.phase == "execute"
+        assert (execute.start, execute.end) == (4.0, 10.0)
+
+    def test_adopt_fills_the_gap_with_queue_wait(self):
+        primary = JobTrace()
+        primary.mark("execute", 5.0, 9.0)
+        follower = JobTrace()
+        follower.queued_at = 3.0  # queued before the batch executed
+        assert adopt_batch_spans(follower, primary) == 1
+        phases = [(s.phase, s.start, s.end) for s in follower.spans]
+        assert ("execute", 5.0, 9.0) in phases
+        assert ("queue_wait", 3.0, 5.0) in phases
+
+    def test_adopt_is_inert_on_null_traces(self):
+        assert adopt_batch_spans(NULL_TRACE, JobTrace()) == 0
+        assert adopt_batch_spans(JobTrace(), NULL_TRACE) == 0
+
+    def test_follower_trace_explains_its_latency_end_to_end(self):
+        """Two identical submits: the dedupe follower's trace now shows
+        the execute window it actually waited through."""
+        bfv = Bfv(PARAMS, seed=0xC0F4EE)
+        keys = bfv.keygen(relin_digit_bits=14)
+        encoder = BatchEncoder(PARAMS)
+        wire = serialize_ciphertext(bfv.encrypt(
+            encoder.encode(list(range(PARAMS.n))), keys.public
+        ))
+        server = FheServer(pool_size=2, max_batch=4)
+        sid = server.open_session(
+            "t", serialize_params(PARAMS),
+            relin_key=serialize_relin_key(keys.relin, PARAMS),
+        )
+        j1 = server.submit(sid, JobKind.MULTIPLY, (wire, wire))
+        j2 = server.submit(sid, JobKind.MULTIPLY, (wire, wire))
+        server.run()
+        assert server.scheduler.stats.dedupe_hits == 1
+        assert server.result(j1) == server.result(j2)
+        follower = server.job_trace(j2)
+        top = {s.phase for s in follower.spans if s.parent == -1}
+        assert "execute" in top, top  # the regression: this was missing
+        # The adopted window is the follower's own timeline: nothing
+        # adopted starts before it queued.
+        for span in follower.spans:
+            if span.phase in ("execute", "batch_wait", "gather_barrier"):
+                assert span.start >= follower.queued_at
+        # And the trace now explains most of the follower's latency.
+        rows = aggregate_phases([follower])
+        assert rows[-1]["phase"] == "(total)"
+        assert rows[-1]["percent"] >= 90.0
 
 
 class TestOverheadGate:

@@ -217,7 +217,19 @@ def bench_serving() -> list[dict]:
 
 def main() -> int:
     rows = bench_kernels() + bench_serving()
-    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    # Preserve rows other benchmarks own (the fleet paper-scale row from
+    # benchmarks/bench_service_throughput.py lands in the same file).
+    owned = {r["op"] for r in rows}
+    foreign = []
+    if OUT_PATH.exists():
+        try:
+            foreign = [
+                r for r in json.loads(OUT_PATH.read_text())
+                if r.get("op") not in owned
+            ]
+        except (json.JSONDecodeError, OSError):
+            foreign = []
+    OUT_PATH.write_text(json.dumps(rows + foreign, indent=2) + "\n")
     width = max(len(r["op"]) for r in rows) + 2
     for r in rows:
         print(

@@ -5,7 +5,8 @@
 # examples smoke. Run from anywhere.
 #
 #   tools/run_checks.sh              # tier-1 + benchmark smoke + docs
-#                                    # + examples smoke
+#                                    # + observability + fleet + examples
+#                                    # smoke
 #   tools/run_checks.sh --docs       # only the docs stage (when given
 #                                    # alone; with other flags the full
 #                                    # pipeline runs and already
@@ -22,6 +23,13 @@
 #   tools/run_checks.sh --transport  # also the wire-transport smoke stage
 #                                    # (localhost listener, EvalMult + logreg
 #                                    # circuit round-trips, assert bit-identical)
+#   tools/run_checks.sh --fleet      # only the fleet stage (when given
+#                                    # alone; it is already part of the
+#                                    # default pipeline): the chaos test
+#                                    # battery + the fleet property suite
+#                                    # + a 2-process worker-fleet smoke
+#                                    # over a real socket (spawn-safe:
+#                                    # each worker is a fresh interpreter)
 #   tools/run_checks.sh --slow       # also the paper-scale suites
 #                                    # (n = 2^12 pool scaling, n = 2^13 serving)
 set -euo pipefail
@@ -33,6 +41,7 @@ RUN_BENCH=0
 RUN_TRANSPORT=0
 DOCS_ONLY=0
 OBS_ONLY=0
+FLEET_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --slow) RUN_SLOW=1 ;;
@@ -40,7 +49,8 @@ for arg in "$@"; do
     --transport) RUN_TRANSPORT=1 ;;
     --docs) DOCS_ONLY=1 ;;
     --obs) OBS_ONLY=1 ;;
-    *) echo "unknown option: $arg (supported: --slow, --bench, --transport, --docs, --obs)" >&2; exit 2 ;;
+    --fleet) FLEET_ONLY=1 ;;
+    *) echo "unknown option: $arg (supported: --slow, --bench, --transport, --docs, --obs, --fleet)" >&2; exit 2 ;;
   esac
 done
 
@@ -59,18 +69,33 @@ run_obs() {
   PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python tools/profile_serve.py --smoke
 }
 
-# --docs / --obs alone are fast paths; combined with other flags every
-# requested stage still runs (the default pipeline includes both).
-if [ "$DOCS_ONLY" = 1 ] && [ "$OBS_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "0000" ]; then
+run_fleet() {
+  echo
+  echo "== fleet (chaos battery + property suite + 2-process smoke) =="
+  python -m pytest tests/service/test_fleet_faults.py \
+    tests/property/test_property_fleet.py -q
+  PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.demo --fleet-smoke
+}
+
+# --docs / --obs / --fleet alone are fast paths; combined with other
+# flags every requested stage still runs (the default pipeline includes
+# all three).
+if [ "$DOCS_ONLY" = 1 ] && [ "$OBS_ONLY$FLEET_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "00000" ]; then
   run_docs
   echo
   echo "docs stage passed"
   exit 0
 fi
-if [ "$OBS_ONLY" = 1 ] && [ "$DOCS_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "0000" ]; then
+if [ "$OBS_ONLY" = 1 ] && [ "$DOCS_ONLY$FLEET_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "00000" ]; then
   run_obs
   echo
   echo "observability stage passed"
+  exit 0
+fi
+if [ "$FLEET_ONLY" = 1 ] && [ "$DOCS_ONLY$OBS_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "00000" ]; then
+  run_fleet
+  echo
+  echo "fleet stage passed"
   exit 0
 fi
 
@@ -88,6 +113,8 @@ python -m pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disabl
 run_docs
 
 run_obs
+
+run_fleet
 
 echo
 echo "== examples smoke (3 tenants over the wire transport) =="
