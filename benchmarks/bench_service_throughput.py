@@ -492,12 +492,18 @@ def _drive_fleet(fleet: int, traffic) -> dict:
 
 
 def _merge_bench_rows(rows: list[dict]) -> None:
-    """Record fleet rows in BENCH_kernels.json, keeping foreign rows."""
+    """Record serving rows in BENCH_kernels.json, keeping foreign rows.
+
+    Only rows whose ``op`` matches one being written are replaced, so
+    the fleet and spill-over benches own their ops without clobbering
+    each other or the kernel rows.
+    """
+    ops = {row["op"] for row in rows}
     existing = []
     if BENCH_JSON.exists():
         existing = [
             row for row in json.loads(BENCH_JSON.read_text())
-            if row.get("op") != "serve_fleet_paper"
+            if row.get("op") not in ops
         ]
     BENCH_JSON.write_text(json.dumps(existing + rows, indent=2) + "\n")
 
@@ -542,3 +548,141 @@ def test_fleet_throughput_paper_scale():
     _merge_bench_rows(rows)
     print(f"\nfleet x4 makespan is {speedup:.2f}x shorter than x1 "
           f"on identical paper-scale traffic ✓")
+
+
+# ----------------------------------------------------------------------
+# Spill-over routing under a skewed tenant mix: one hot tenant supplies
+# 80% of the traffic, so digest-pinned routing piles its whole load onto
+# one worker while the rest of the fleet idles. The same traffic with
+# ``spill_threshold=1`` must spread across the fleet and cut the
+# makespan (busiest-worker cycles) by >= 1.3x. Thread-mode workers keep
+# this fast enough for the smoke pass; every payload is checked
+# bit-identical against local Bfv ground truth either way.
+# ----------------------------------------------------------------------
+
+SPILL_FLEET = 4
+SPILL_HOT_JOBS = 8
+SPILL_COLD_JOBS = 2
+SPILL_GATE = 1.3
+
+
+def _spillover_traffic():
+    """A hot tenant (80% of jobs) and a cold tenant, with ground truth.
+
+    The tenants use different tower widths so their digests are
+    distinct sessions; the skew — not the digest spread — is what the
+    bench exercises.
+    """
+    rng = random.Random(41)
+    tenants = []
+    for label, bits, jobs in (
+        ("hot", 20, SPILL_HOT_JOBS), ("cold", 21, SPILL_COLD_JOBS)
+    ):
+        params = BfvParameters.toy_rns(n=16, towers=3, tower_bits=bits)
+        bfv = Bfv(params, seed=900 + bits)
+        keys = bfv.keygen(relin_digit_bits=12)
+        encoder = BatchEncoder(params)
+        ops = []
+        for _ in range(jobs):
+            a = bfv.encrypt(
+                encoder.encode([rng.randrange(32) for _ in range(params.n)]),
+                keys.public,
+            )
+            b = bfv.encrypt(
+                encoder.encode([rng.randrange(32) for _ in range(params.n)]),
+                keys.public,
+            )
+            ops.append((
+                (serialize_ciphertext(a), serialize_ciphertext(b)),
+                serialize_ciphertext(bfv.multiply_relin(a, b, keys.relin)),
+            ))
+        tenants.append((label, params, keys, ops))
+    return tenants
+
+
+def _serve_spillover(spill_threshold: int, tenants) -> dict:
+    """Serve the skewed traffic through a thread-mode fleet of 4."""
+    server = FheServer(
+        fleet_size=SPILL_FLEET, fleet_mode="thread",
+        default_backend="fleet", max_batch=4,
+        fleet_options={"spill_threshold": spill_threshold},
+    )
+    with server:
+        checks = []
+        start = time.perf_counter()
+        for label, params, keys, ops in tenants:
+            sid = server.open_session(
+                label, serialize_params(params),
+                relin_key=serialize_relin_key(keys.relin, params),
+            )
+            for operands, expected in ops:
+                checks.append((
+                    server.submit(sid, JobKind.MULTIPLY, operands),
+                    expected, label,
+                ))
+        server.run()
+        wall = time.perf_counter() - start
+        for jid, expected, label in checks:
+            assert server.result(jid) == expected, (
+                f"{label} tenant diverged from Bfv ground truth at "
+                f"spill_threshold={spill_threshold}"
+            )
+        report = server.fleet_report()
+        worker_cycles = dict(server.fleet.worker_cycles)
+    assert report["in_flight"] == 0, report
+    return {
+        "op": "serve_fleet_spillover",
+        "n": 16,
+        "towers": 3,
+        "engine": f"fleet-x{SPILL_FLEET}-"
+                  + (f"spill{spill_threshold}" if spill_threshold
+                     else "pinned"),
+        "jobs": len(checks),
+        "hot_jobs": SPILL_HOT_JOBS,
+        "wall_s": round(wall, 3),
+        "jobs_per_s": round(len(checks) / wall, 3) if wall > 0 else 0.0,
+        "workers_used": sum(1 for c in worker_cycles.values() if c),
+        "total_cycles": report["total_cycles"],
+        "makespan_cycles": report["makespan_cycles"],
+        "spillovers": report["routing"]["spill"],
+    }
+
+
+def test_fleet_spillover_skewed_tenant():
+    """Spill-over routing vs digest pinning on a hot-tenant skew.
+
+    Identical traffic both times — the work (total cycles) must not
+    change; only where it lands does. The gate is the repo's makespan
+    convention: busiest-worker cycles, >= 1.3x shorter with spill-over.
+    """
+    tenants = _spillover_traffic()
+    pinned = _serve_spillover(0, tenants)
+    spill = _serve_spillover(1, tenants)
+    speedup = (
+        pinned["makespan_cycles"] / spill["makespan_cycles"]
+        if spill["makespan_cycles"] else 0.0
+    )
+    spill["makespan_speedup_vs_pinned"] = round(speedup, 2)
+    print_table(
+        f"Spill-over routing ({SPILL_HOT_JOBS}+{SPILL_COLD_JOBS} jobs, "
+        f"hot tenant = 80% of traffic, fleet of {SPILL_FLEET})",
+        [pinned, spill],
+        ["engine", "jobs", "workers_used", "spillovers", "wall_s",
+         "total_cycles", "makespan_cycles"],
+    )
+    # Pinned routing never spills and strands the hot tenant's load on
+    # its home worker; spill-over spreads it across the fleet.
+    assert pinned["spillovers"] == 0, pinned
+    assert spill["spillovers"] >= 1, spill
+    assert spill["workers_used"] > pinned["workers_used"], (pinned, spill)
+    # Same modeled work either way (the chips don't get faster)...
+    assert spill["total_cycles"] == pinned["total_cycles"], (pinned, spill)
+    # ...but the busiest worker sheds >= 1.3x of its share.
+    assert (spill["makespan_cycles"] * SPILL_GATE
+            <= pinned["makespan_cycles"]), (
+        f"spill-over makespan {spill['makespan_cycles']} not >= "
+        f"{SPILL_GATE}x better than pinned {pinned['makespan_cycles']}"
+    )
+    _merge_bench_rows([pinned, spill])
+    print(f"\nspill-over makespan is {speedup:.2f}x shorter than pinned "
+          f"routing on the skewed tenant mix ✓")

@@ -13,6 +13,16 @@ event loop on a daemon thread and bridges every call with
 ``run_coroutine_threadsafe``. Completion callbacks run on that loop
 thread — keep them short and thread-safe.
 
+With a :class:`RetryPolicy` the client rides out transient rejections
+and dead links: retryable ERROR codes (``quota``, ``unavailable``) back
+off with jittered exponential delays and resend, and a connection that
+dies while results are outstanding is reconnected and the recorded
+submissions resent. Resubmission is exactly-once-safe by construction —
+the server content-addresses results and dedupes identical in-queue
+jobs, so a resent submission either joins the original execution or
+replays its cached result, never computes twice. Job-level failures
+(``deadline``, math errors) are terminal and never retried.
+
 Keys stay client-side, as everywhere in the serving layer: the client
 sends parameter sets, *evaluation* keys, and ciphertext bytes; secret
 keys have no wire encoding at all.
@@ -21,15 +31,20 @@ keys have no wire encoding at all.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import itertools
+import random
 import threading
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.bfv.params import BfvParameters
 from repro.bfv.scheme import Ciphertext
 from repro.service.circuits import Circuit
+from repro.service.errors import RETRYABLE_CODES
 from repro.service.jobs import JobKind
 from repro.service.serialization import (
+    AdminMsg,
     ErrorMsg,
     EventMsg,
     OpenSessionMsg,
@@ -38,6 +53,7 @@ from repro.service.serialization import (
     StatusMsg,
     SubmitCircuitMsg,
     SubmitMsg,
+    TAG_ADMIN,
     TAG_ERROR,
     TAG_EVENT,
     TAG_RESULT,
@@ -47,6 +63,7 @@ from repro.service.serialization import (
     TAG_TRACE,
     TraceMsg,
     WireFormatError,
+    decode_admin,
     decode_error,
     decode_event,
     decode_result,
@@ -54,6 +71,7 @@ from repro.service.serialization import (
     decode_stats,
     decode_status,
     decode_trace,
+    encode_admin,
     encode_open_session,
     encode_stats,
     encode_submit,
@@ -74,15 +92,62 @@ from repro.service.transport import (
 
 
 class TransportError(RuntimeError):
-    """The server answered a request with an ERROR frame."""
+    """The server answered a request with an ERROR frame.
+
+    ``code`` is the wire error code (``auth``, ``quota``, ``deadline``,
+    ``unavailable``, or ``""`` for untyped failures); ``retryable`` says
+    whether backing off and resending the same request can succeed.
+    """
+
+    def __init__(self, message: str, code: str = ""):
+        super().__init__(message)
+        self.code = code
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in RETRYABLE_CODES
 
 
 class JobFailedError(TransportError):
-    """A submitted job finished in the FAILED state."""
+    """A submitted job finished in the FAILED state (always terminal).
+
+    ``kind`` classifies the failure: ``"deadline"`` when the job's
+    deadline expired (queued or in flight), ``""`` otherwise.
+    """
 
     def __init__(self, job_id: str, message: str):
         super().__init__(f"job {job_id} failed: {message}")
         self.job_id = job_id
+        self.kind = (
+            "deadline" if message.startswith("deadline expired") else ""
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for retryable transport failures.
+
+    Attempt ``i`` (0-based) waits ``min(max_delay, base_delay *
+    multiplier**i)`` scaled down by up to ``jitter`` (uniformly), then
+    resends. ``attempts`` bounds total tries including the first; a
+    fixed ``seed`` makes the delay sequence deterministic for tests.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def delays(self) -> list[float]:
+        """The between-attempt waits (``attempts - 1`` of them)."""
+        rng = random.Random(self.seed)
+        out = []
+        for i in range(max(0, self.attempts - 1)):
+            delay = min(self.max_delay, self.base_delay * self.multiplier**i)
+            out.append(delay * (1.0 - self.jitter * rng.random()))
+        return out
 
 
 #: Completion callbacks receive the decoded EVENT for their job.
@@ -136,22 +201,37 @@ class AsyncFheClient:
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter,
-                 max_frame: int = DEFAULT_MAX_FRAME):
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 retry: "RetryPolicy | None" = None):
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
+        self._retry = retry
         self._loop = asyncio.get_running_loop()
         self._request_ids = itertools.count(1)
         self._replies: dict[int, asyncio.Future] = {}
         self._jobs: dict[str, _ClientJob] = {}
+        #: job_id → resubmittable record, for reconnect-and-resubmit.
+        self._submissions: dict[str, tuple] = {}
         self._closed = False
+        #: Dial-back address; empty when built on a raw stream (then
+        #: connection loss is terminal — there is nowhere to redial).
+        self._host = ""
+        self._port = 0
+        self._reconnect_lock = asyncio.Lock()
+        #: Successful redials — the chaos battery reads this.
+        self.reconnects = 0
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
     async def connect(cls, host: str, port: int, *,
-                      max_frame: int = DEFAULT_MAX_FRAME) -> "AsyncFheClient":
+                      max_frame: int = DEFAULT_MAX_FRAME,
+                      retry: "RetryPolicy | None" = None,
+                      ) -> "AsyncFheClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, max_frame)
+        client = cls(reader, writer, max_frame, retry)
+        client._host, client._port = host, port
+        return client
 
     # -- frame routing -------------------------------------------------
 
@@ -188,16 +268,18 @@ class AsyncFheClient:
             msg = decode_stats(frame)
         elif tag == TAG_TRACE:
             msg = decode_trace(frame)
+        elif tag == TAG_ADMIN:
+            msg = decode_admin(frame)
         elif tag == TAG_ERROR:
             err = decode_error(frame)
             if err.request_id == 0:
                 # Connection-level protocol error: everything in flight
                 # is dead; the server is closing the link.
-                self._fail_outstanding(TransportError(err.message))
+                self._fail_outstanding(TransportError(err.message, err.code))
                 return
             future = self._replies.pop(err.request_id, None)
             if future is not None and not future.done():
-                future.set_exception(TransportError(err.message))
+                future.set_exception(TransportError(err.message, err.code))
             return
         else:
             raise WireFormatError(f"unexpected server frame tag 0x{tag:02x}")
@@ -240,8 +322,14 @@ class AsyncFheClient:
         public_key: bytes | None = None,
         relin_key: bytes | None = None,
         galois_keys: tuple[bytes, ...] = (),
+        token: str = "",
     ) -> str:
-        """Open (or rejoin) the tenant's session for a parameter set."""
+        """Open (or rejoin) the tenant's session for a parameter set.
+
+        ``token`` authenticates the tenant against the server's auth
+        table (required when the server was started with one; checked
+        before any session state is touched).
+        """
         if isinstance(params, BfvParameters):
             params = serialize_params(params)
         rid = next(self._request_ids)
@@ -249,6 +337,7 @@ class AsyncFheClient:
             request_id=rid, tenant=tenant, params=bytes(params),
             public_key=public_key, relin_key=relin_key,
             galois_keys=tuple(bytes(g) for g in galois_keys),
+            token=token,
         )), rid)
         return reply.session_id
 
@@ -260,6 +349,7 @@ class AsyncFheClient:
         *,
         steps: int = 0,
         backend: str = "",
+        deadline: float = 0.0,
         on_done: DoneCallback | None = None,
     ) -> str:
         """Queue a raw-op job; returns its job id.
@@ -267,19 +357,21 @@ class AsyncFheClient:
         The submission subscribes to the job's completion event, so a
         later ``await result(job_id)`` never polls, and ``on_done`` (if
         given) fires with the :class:`EventMsg` the moment the server
-        pushes it.
+        pushes it. ``deadline`` is a relative budget in seconds (0 = no
+        deadline): the server sheds the job with a typed failure if it
+        has not executed within it.
         """
         kind_value = kind.value if isinstance(kind, JobKind) else str(kind)
-        rid = next(self._request_ids)
-        reply: StatusMsg = await self._request(encode_submit(SubmitMsg(
-            request_id=rid, session_id=session_id, kind=kind_value,
+        record = ("submit", dict(
+            session_id=session_id, kind=kind_value,
             operands=_wire_operands(operands),
-            steps=steps, backend=backend, subscribe=True,
-        )), rid)
-        job = self._jobs.setdefault(reply.job_id, _ClientJob(self._loop))
+            steps=steps, backend=backend, deadline=deadline, subscribe=True,
+        ))
+        job_id = await self._submit_with_retry(record)
+        self._submissions[job_id] = record
         if on_done is not None:
-            job.add_callback(on_done)
-        return reply.job_id
+            self._jobs[job_id].add_callback(on_done)
+        return job_id
 
     async def submit_circuit(
         self,
@@ -288,6 +380,7 @@ class AsyncFheClient:
         inputs=(),
         *,
         backend: str = "",
+        deadline: float = 0.0,
         on_done: DoneCallback | None = None,
     ) -> str:
         """Queue a whole app circuit; returns its job id.
@@ -303,34 +396,118 @@ class AsyncFheClient:
             bytes(circuit) if isinstance(circuit, (bytes, bytearray))
             else serialize_circuit(circuit)
         )
-        rid = next(self._request_ids)
-        reply: StatusMsg = await self._request(encode_submit_circuit(
-            SubmitCircuitMsg(
-                request_id=rid, session_id=session_id, circuit=wire_circuit,
-                operands=_wire_operands(inputs), backend=backend,
-                subscribe=True,
-            )
-        ), rid)
-        job = self._jobs.setdefault(reply.job_id, _ClientJob(self._loop))
+        record = ("submit_circuit", dict(
+            session_id=session_id, circuit=wire_circuit,
+            operands=_wire_operands(inputs), backend=backend,
+            deadline=deadline, subscribe=True,
+        ))
+        job_id = await self._submit_with_retry(record)
+        self._submissions[job_id] = record
         if on_done is not None:
-            job.add_callback(on_done)
+            self._jobs[job_id].add_callback(on_done)
+        return job_id
+
+    # -- retry machinery -----------------------------------------------
+
+    async def _send_submission(self, record: tuple) -> str:
+        """Send one recorded submission and register its job future."""
+        op, kwargs = record
+        rid = next(self._request_ids)
+        if op == "submit":
+            frame = encode_submit(SubmitMsg(request_id=rid, **kwargs))
+        else:
+            frame = encode_submit_circuit(
+                SubmitCircuitMsg(request_id=rid, **kwargs)
+            )
+        reply: StatusMsg = await self._request(frame, rid)
+        self._jobs.setdefault(reply.job_id, _ClientJob(self._loop))
         return reply.job_id
+
+    async def _submit_with_retry(self, record: tuple) -> str:
+        delays = self._retry.delays() if self._retry is not None else []
+        attempt = 0
+        while True:
+            try:
+                return await self._send_submission(record)
+            except JobFailedError:
+                raise
+            except (TransportError, ConnectionError, OSError,
+                    asyncio.IncompleteReadError, WireFormatError) as exc:
+                lost_link = not isinstance(exc, TransportError)
+                retryable = (
+                    exc.retryable if isinstance(exc, TransportError)
+                    else bool(self._host)
+                )
+                if attempt >= len(delays) or not retryable or self._closed:
+                    raise
+                await asyncio.sleep(delays[attempt])
+                attempt += 1
+                if lost_link:
+                    await self._reconnect()
+
+    async def _reconnect(self) -> None:
+        """Redial the server and restart frame routing (idempotent:
+        concurrent losers of the lock see a live link and return)."""
+        if not self._host:
+            raise TransportError(
+                "client was built on a raw stream; cannot reconnect"
+            )
+        async with self._reconnect_lock:
+            if self._closed:
+                raise TransportError("client is closed")
+            if not self._writer.is_closing() and not self._reader_task.done():
+                return  # another coroutine already redialed
+            self._reader_task.cancel()
+            with contextlib.suppress(BaseException):
+                await self._reader_task
+            with contextlib.suppress(ConnectionError, OSError):
+                self._writer.close()
+            reader, writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+            self._reader = reader
+            self._writer = writer
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+            self.reconnects += 1
 
     async def result(self, job_id: str) -> bytes:
         """Await the job's completion event; returns the result bytes.
 
-        Raises :class:`JobFailedError` if the job failed server-side.
+        Raises :class:`JobFailedError` if the job failed server-side
+        (terminal — never retried). With a :class:`RetryPolicy`, a
+        connection that dies first is redialed and the recorded
+        submission resent: content addressing and in-queue dedupe make
+        the replay exactly-once-safe, and the payload that comes back is
+        bit-identical to what the lost link would have carried.
         """
-        try:
-            job = self._jobs[job_id]
-        except KeyError:
+        if job_id not in self._jobs:
             raise KeyError(
                 f"job {job_id!r} was not submitted on this client"
             ) from None
-        event = await asyncio.shield(job.future)
-        if event.status != "done":
-            raise JobFailedError(job_id, event.error or "unknown failure")
-        return event.payload
+        current = job_id
+        delays = self._retry.delays() if self._retry is not None else []
+        attempt = 0
+        while True:
+            job = self._jobs[current]
+            try:
+                event = await asyncio.shield(job.future)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # The only exception source for a job future is
+                # _fail_outstanding — the link died under us.
+                record = self._submissions.get(job_id)
+                if (attempt >= len(delays) or record is None
+                        or not self._host or self._closed):
+                    raise
+                await asyncio.sleep(delays[attempt])
+                attempt += 1
+                await self._reconnect()
+                current = await self._send_submission(record)
+                continue
+            if event.status != "done":
+                raise JobFailedError(current, event.error or "unknown failure")
+            return event.payload
 
     async def status(self, job_id: str) -> str:
         """Ask the server for a job's current status (read-only)."""
@@ -374,14 +551,37 @@ class AsyncFheClient:
             encode_trace(TraceMsg(request_id=rid, job_id=job_id)), rid
         )
 
+    async def admin(self, command: str, value: int = 1) -> int:
+        """Fleet admin over the wire (``grow``/``shrink``/``resize``).
+
+        Returns the fleet size after the operation; raises
+        :class:`TransportError` on a fleetless server or bad command.
+        """
+        rid = next(self._request_ids)
+        reply: AdminMsg = await self._request(encode_admin(AdminMsg(
+            request_id=rid, command=command, value=value
+        )), rid)
+        return reply.value
+
     def events_received(self, job_id: str) -> int:
         """How many completion events arrived for a job (expected: 1)."""
         job = self._jobs.get(job_id)
         return 0 if job is None else job.events
 
-    async def aclose(self) -> None:
+    async def aclose(self, drain: bool = True,
+                     drain_timeout: float = 30.0) -> None:
         if self._closed:
             return
+        if drain:
+            # Graceful close: give outstanding completion events a
+            # bounded window to land before tearing the link down.
+            pending = [
+                job.future for job in self._jobs.values()
+                if not job.future.done()
+            ]
+            if pending:
+                with contextlib.suppress(Exception):
+                    await asyncio.wait(pending, timeout=drain_timeout)
         self._closed = True
         self._reader_task.cancel()
         try:
@@ -419,7 +619,8 @@ class FheClient:
 
     def __init__(self, host: str, port: int, *,
                  max_frame: int = DEFAULT_MAX_FRAME,
-                 timeout: float | None = 120.0):
+                 timeout: float | None = 120.0,
+                 retry: RetryPolicy | None = None):
         self._timeout = timeout
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -428,7 +629,9 @@ class FheClient:
         self._thread.start()
         try:
             self._client: AsyncFheClient = self._run(
-                AsyncFheClient.connect(host, port, max_frame=max_frame)
+                AsyncFheClient.connect(
+                    host, port, max_frame=max_frame, retry=retry
+                )
             )
         except BaseException:
             self._stop_loop()
@@ -440,23 +643,25 @@ class FheClient:
         )
 
     def open_session(self, tenant, params, *, public_key=None,
-                     relin_key=None, galois_keys=()) -> str:
+                     relin_key=None, galois_keys=(), token="") -> str:
         return self._run(self._client.open_session(
             tenant, params, public_key=public_key, relin_key=relin_key,
-            galois_keys=galois_keys,
+            galois_keys=galois_keys, token=token,
         ))
 
     def submit(self, session_id, kind, operands=(), *, steps=0, backend="",
-               on_done: DoneCallback | None = None) -> str:
+               deadline=0.0, on_done: DoneCallback | None = None) -> str:
         return self._run(self._client.submit(
             session_id, kind, operands, steps=steps, backend=backend,
-            on_done=on_done,
+            deadline=deadline, on_done=on_done,
         ))
 
     def submit_circuit(self, session_id, circuit, inputs=(), *, backend="",
+                       deadline=0.0,
                        on_done: DoneCallback | None = None) -> str:
         return self._run(self._client.submit_circuit(
-            session_id, circuit, inputs, backend=backend, on_done=on_done,
+            session_id, circuit, inputs, backend=backend, deadline=deadline,
+            on_done=on_done,
         ))
 
     def result(self, job_id: str) -> bytes:
@@ -473,6 +678,9 @@ class FheClient:
 
     def trace(self, job_id: str) -> TraceMsg:
         return self._run(self._client.trace(job_id))
+
+    def admin(self, command: str, value: int = 1) -> int:
+        return self._run(self._client.admin(command, value))
 
     def events_received(self, job_id: str) -> int:
         return self._client.events_received(job_id)

@@ -201,9 +201,56 @@ def pool_scaling(client: RawClient, sizes=(1, 4), jobs: int = 12) -> list[dict]:
     return rows
 
 
+def load_tenants(path: str) -> tuple[dict[str, str], dict]:
+    """Parse a ``--tenants`` file into (auth table, quota table).
+
+    One tenant per line, whitespace-separated::
+
+        tenant token [max_inflight] [rate] [burst]
+
+    Blank lines and ``#`` comments are skipped. The optional numeric
+    columns configure the tenant's admission quota (0 disables each);
+    ``burst`` defaults to ``ceil(rate)`` when a rate is given.
+    """
+    import math
+
+    from repro.service.server import TenantQuota
+
+    tenants: dict[str, str] = {}
+    quotas: dict[str, TenantQuota] = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) < 2 or len(fields) > 5:
+                raise SystemExit(
+                    f"{path}:{lineno}: want 'tenant token "
+                    f"[max_inflight] [rate] [burst]', got {raw.strip()!r}"
+                )
+            tenant, token = fields[0], fields[1]
+            if tenant in tenants:
+                raise SystemExit(f"{path}:{lineno}: duplicate tenant {tenant!r}")
+            tenants[tenant] = token
+            try:
+                max_inflight = int(fields[2]) if len(fields) > 2 else 0
+                rate = float(fields[3]) if len(fields) > 3 else 0.0
+                burst = (int(fields[4]) if len(fields) > 4
+                         else math.ceil(rate))
+            except ValueError as exc:
+                raise SystemExit(f"{path}:{lineno}: {exc}")
+            if max_inflight or rate or burst:
+                quotas[tenant] = TenantQuota(
+                    max_inflight=max_inflight, rate=rate, burst=burst
+                )
+    return tenants, quotas
+
+
 def serve(listen: str, pool_size: int, max_batch: int,
           stats_interval: float = 0.0, fleet: int = 0,
-          fleet_mode: str = "process", max_inflight: int = 0) -> int:
+          fleet_mode: str = "process", max_inflight: int = 0,
+          tenants_file: str | None = None) -> int:
     """Run the asyncio wire transport until interrupted."""
     import asyncio
     import json
@@ -216,6 +263,9 @@ def serve(listen: str, pool_size: int, max_batch: int,
         port = int(port_text)
     except ValueError:
         raise SystemExit(f"--listen wants [HOST:]PORT, got {listen!r}")
+    tenants = quotas = None
+    if tenants_file is not None:
+        tenants, quotas = load_tenants(tenants_file)
 
     async def _stats_logger(server):
         # One structured-log line per interval: JSON so a log pipeline
@@ -231,17 +281,23 @@ def serve(listen: str, pool_size: int, max_batch: int,
             pool_size=pool_size, max_batch=max_batch,
             fleet_size=fleet, fleet_mode=fleet_mode,
             default_backend="fleet" if fleet > 0 else "chip_pool",
+            quotas=quotas,
         )
         server = FheTransportServer(
-            fhe, host=host, port=port, max_inflight=max_inflight
+            fhe, host=host, port=port, max_inflight=max_inflight,
+            tenants=tenants,
         )
         bound_host, bound_port = await server.start()
         engine = (
             f"fleet x{fleet} ({fleet_mode} workers)" if fleet > 0
             else f"chip pool x{pool_size}"
         )
+        auth = (
+            f", auth for {len(tenants)} tenant(s)" if tenants is not None
+            else ""
+        )
         print(f"repro-serve: listening on {bound_host}:{bound_port} "
-              f"({engine}, Ctrl-C to stop)", flush=True)
+              f"({engine}{auth}, Ctrl-C to stop)", flush=True)
         logger_task = (
             asyncio.ensure_future(_stats_logger(server))
             if stats_interval > 0 else None
@@ -458,6 +514,12 @@ def main(argv: list[str] | None = None) -> int:
         help="with --listen: print a JSON metrics snapshot every N "
              "seconds (0 disables)",
     )
+    parser.add_argument(
+        "--tenants", metavar="FILE",
+        help="with --listen: per-tenant auth + quota table (lines of "
+             "'tenant token [max_inflight] [rate] [burst]'); enables "
+             "token-checked OPEN_SESSION and quota admission",
+    )
     args = parser.parse_args(argv)
     exclusive = [
         flag for flag, on in
@@ -471,6 +533,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--stats-interval requires --listen")
     if (args.fleet or args.max_inflight) and not (args.listen or args.fleet_smoke):
         parser.error("--fleet/--max-inflight require --listen")
+    if args.tenants and not args.listen:
+        parser.error("--tenants requires --listen")
     if args.smoke:
         return transport_smoke(pool_size=args.pool)
     if args.fleet_smoke:
@@ -479,7 +543,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve(args.listen, args.pool, args.max_batch,
                      stats_interval=args.stats_interval, fleet=args.fleet,
                      fleet_mode=args.fleet_mode,
-                     max_inflight=args.max_inflight)
+                     max_inflight=args.max_inflight,
+                     tenants_file=args.tenants)
     return run_demo()
 
 

@@ -1,0 +1,67 @@
+"""Typed service errors with wire codes and retryability.
+
+Every rejection the service can hand a client carries a short machine
+code on the ERROR frame (``ErrorMsg.code``) so clients can decide
+*mechanically* whether to retry: quota pushback and shutdown drains are
+transient, auth failures and expired deadlines are not. The exception
+classes double as the server-side vocabulary — raising one anywhere in
+the submit path produces the right wire code without string matching.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "AuthError",
+    "QuotaExceededError",
+    "DeadlineExpiredError",
+    "ShuttingDownError",
+    "RETRYABLE_CODES",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base for typed service rejections carried on ERROR frames."""
+
+    code: str = ""
+    retryable: bool = False
+
+
+class AuthError(ServiceError):
+    """OPEN_SESSION token rejected: unknown tenant or bad token."""
+
+    code = "auth"
+    retryable = False
+
+
+class QuotaExceededError(ServiceError):
+    """Per-tenant admission control rejected the submit.
+
+    Raised *before any math* — an over-quota submission leaves no
+    server state, so resubmitting after backoff is always safe.
+    """
+
+    code = "quota"
+    retryable = True
+
+
+class DeadlineExpiredError(ServiceError):
+    """The job's deadline passed before a result could be delivered."""
+
+    code = "deadline"
+    retryable = False
+
+
+class ShuttingDownError(ServiceError):
+    """The server is draining; reconnect and resubmit elsewhere."""
+
+    code = "unavailable"
+    retryable = True
+
+
+#: Wire codes a client may retry with backoff. Everything else is
+#: terminal — retrying an auth failure or an expired deadline cannot
+#: succeed.
+RETRYABLE_CODES = frozenset(
+    cls.code for cls in (QuotaExceededError, ShuttingDownError)
+)

@@ -34,9 +34,19 @@ routes work to them):
   a job settles exactly once no matter how many workers raced on it.
 * **Fault injection** — ``REPRO_FAULT`` (or an injected spec) arms a
   deterministic :class:`FaultPlan` inside chosen workers: kill the
-  worker before its Nth result, skip N heartbeats, or bit-flip the Nth
-  reply. Counts, not timers — the chaos battery replays recovery paths
-  exactly.
+  worker before its Nth result, skip N heartbeats, bit-flip the Nth
+  reply, or stall (swallow the Nth result while staying live — the
+  deadline-reaping scenario). Counts, not timers — the chaos battery
+  replays recovery paths exactly.
+
+Overload hardening rides the same machinery: ``spill_threshold`` turns
+digest-pinned routing into spill-over routing (a saturated home worker
+sheds to the next live worker that already holds the session's keys),
+:meth:`FleetBackend.grow`/:meth:`FleetBackend.shrink` resize the fleet
+at runtime by reusing the spawn/retire paths, and jobs carrying a
+deadline are reaped from assignments and backlogs past it — their late
+results discarded by the same ownership map that drops stale requeue
+duplicates.
 
 The scheduler drives all of this through the async backend interface
 (:meth:`FleetBackend.dispatch_batch` / :meth:`FleetBackend.poll`):
@@ -120,7 +130,7 @@ def route_index(digest: bytes, size: int) -> int:
 # Deterministic fault injection
 # ----------------------------------------------------------------------
 
-_FAULT_ACTIONS = ("kill", "corrupt", "delay_heartbeat")
+_FAULT_ACTIONS = ("kill", "corrupt", "delay_heartbeat", "stall")
 
 
 @dataclass(frozen=True)
@@ -129,8 +139,10 @@ class FaultRule:
 
     ``job`` is the 1-based index of the worker's result send the fault
     fires on (``kill`` dies instead of sending it, ``corrupt`` bit-flips
-    its payload); ``beats`` is how many heartbeats ``delay_heartbeat``
-    suppresses, starting from the worker's hello.
+    its payload, ``stall`` swallows it — the worker keeps heartbeating
+    and serves later jobs, but this one's reply never leaves); ``beats``
+    is how many heartbeats ``delay_heartbeat`` suppresses, starting from
+    the worker's hello.
     """
 
     action: str
@@ -150,8 +162,8 @@ class FaultPlan:
 
     Grammar (see ``docs/fleet.md``): clauses joined by ``;``, each
     ``action:key=value:...`` with actions ``kill`` / ``corrupt`` /
-    ``delay_heartbeat`` and keys ``worker`` (required), ``job`` (1-based
-    result count), ``beats`` (heartbeats to skip):
+    ``delay_heartbeat`` / ``stall`` and keys ``worker`` (required),
+    ``job`` (1-based result count), ``beats`` (heartbeats to skip):
 
     >>> plan = FaultPlan.parse("kill:worker=1:job=3; corrupt:worker=0")
     >>> [rule.render() for rule in plan.rules]
@@ -226,6 +238,7 @@ class WorkerFaults:
     def __init__(self, rules: tuple[FaultRule, ...] = ()):
         self._kill_at = {r.job for r in rules if r.action == "kill"}
         self._corrupt_at = {r.job for r in rules if r.action == "corrupt"}
+        self._stall_at = {r.job for r in rules if r.action == "stall"}
         self._skip_beats = sum(
             r.beats for r in rules if r.action == "delay_heartbeat"
         )
@@ -238,6 +251,8 @@ class WorkerFaults:
             return "kill"
         if self.results_sent in self._corrupt_at:
             return "corrupt"
+        if self.results_sent in self._stall_at:
+            return "stall"
         return ""
 
     def skip_heartbeat(self) -> bool:
@@ -356,6 +371,11 @@ class _FleetWorker:
             except OSError:
                 pass
             return False
+        if action == "stall":
+            # The job executed but its reply never leaves: the worker
+            # stays live (heartbeats continue, later jobs are served),
+            # which is exactly the hang deadline reaping must cover.
+            return True
         if action == "corrupt":
             reply = WorkerResultMsg(
                 job_id=reply.job_id, status=reply.status,
@@ -514,6 +534,13 @@ class FleetBackend(Backend):
     per worker, default 1) so a paper-scale batch never wedges both pipe
     directions; overflow queues in the orchestrator and drains as
     results return.
+
+    ``spill_threshold`` (``0``, the default, keeps pure digest pinning)
+    enables spill-over routing: a job routes to its digest's home worker
+    only while the home's in-flight depth (assigned + backlog) is below
+    the threshold, then spills to the next live worker — preferring one
+    that already holds the session's replicated keys — so one hot tenant
+    stops pinning the whole fleet's work to a single worker.
     """
 
     supports_async = True
@@ -524,7 +551,8 @@ class FleetBackend(Backend):
                  heartbeat_interval: float = 0.5,
                  heartbeat_timeout: float = 10.0,
                  max_attempts: int = 4, worker_window: int = 1,
-                 restart: bool = True, fault_spec: str | None = None):
+                 restart: bool = True, fault_spec: str | None = None,
+                 spill_threshold: int = 0):
         super().__init__()
         if size < 1:
             raise ValueError("fleet needs at least one worker")
@@ -532,6 +560,8 @@ class FleetBackend(Backend):
             raise ValueError(f"mode must be 'process' or 'thread', got {mode!r}")
         if worker_window < 1:
             raise ValueError("worker_window must be >= 1")
+        if spill_threshold < 0:
+            raise ValueError("spill_threshold must be >= 0 (0 disables)")
         self.name = f"fleet_x{size}"
         self.size = size
         self.mode = mode
@@ -543,6 +573,7 @@ class FleetBackend(Backend):
         self.max_attempts = max_attempts
         self.worker_window = worker_window
         self.restart = restart
+        self.spill_threshold = spill_threshold
         if fault_spec is None:
             fault_spec = os.environ.get("REPRO_FAULT", "")
         self.fault_plan = FaultPlan.parse(fault_spec)
@@ -562,6 +593,11 @@ class FleetBackend(Backend):
         self.respawns = 0
         self.stale_results = 0
         self.corrupt_replies = 0
+        self.route_home = 0
+        self.route_spill = 0
+        self.deadline_reaps = 0
+        self.resize_grows = 0
+        self.resize_shrinks = 0
         #: Cumulative modeled cycles per worker index, across batches.
         #: The fleet's makespan view: with routing spreading digests,
         #: ``makespan_cycles`` (the busiest worker) drops while
@@ -717,22 +753,63 @@ class FleetBackend(Backend):
             message=message,
         )
 
-    def _pick_worker(self, digest: bytes,
-                     exclude: int = -1) -> WorkerHandle | None:
+    def _pick_worker(self, digest: bytes, exclude: int = -1,
+                     session_id: str = "") -> WorkerHandle | None:
         """Route by digest, preferring any live worker over ``exclude``.
 
         ``exclude`` is the index a requeued job just failed on; with two
         or more live workers the replacement placement lands elsewhere,
         which breaks kill-fault livelock (a faulty slot would otherwise
         keep eating the same job until the attempt cap).
+
+        With ``spill_threshold > 0`` the home worker is used only while
+        its in-flight depth is below the threshold; past it the job
+        spills forward to a live worker with spare depth, preferring one
+        that already replicated the session's keys (lazy replication
+        makes a cold spill a one-time key shipment, not a per-job cost).
+        A fleet that is saturated everywhere falls back to plain digest
+        order, so spill mode never strands a job.
         """
         start = route_index(digest, self.size)
+        if self.spill_threshold > 0:
+            home = self._workers[start]
+            if (home.live and home.attached and home.index != exclude
+                    and len(home.assigned) + len(home.backlog)
+                    < self.spill_threshold):
+                self.route_home += 1
+                return home
+            spill = None
+            for offset in range(1, self.size):
+                handle = self._workers[(start + offset) % self.size]
+                if not (handle.live and handle.attached):
+                    continue
+                if handle.index == exclude:
+                    continue
+                if (len(handle.assigned) + len(handle.backlog)
+                        >= self.spill_threshold):
+                    continue
+                if session_id and session_id in handle.replicated:
+                    spill = handle
+                    break
+                if spill is None:
+                    spill = handle
+            if spill is not None:
+                self.route_spill += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "repro_fleet_spillovers_total",
+                        "Jobs routed off their digest's home worker",
+                    ).inc()
+                return spill
+            # Saturated (or one-worker) fleet: plain digest order below.
         fallback = None
         for offset in range(self.size):
             handle = self._workers[(start + offset) % self.size]
             if not (handle.live and handle.attached):
                 continue
             if handle.index != exclude:
+                if self.spill_threshold > 0:
+                    self.route_home += 1
                 return handle
             fallback = handle
         return fallback
@@ -747,7 +824,8 @@ class FleetBackend(Backend):
             )
             return
         handle = self._pick_worker(
-            assignment.digest, exclude=assignment.last_worker)
+            assignment.digest, exclude=assignment.last_worker,
+            session_id=assignment.job.session_id)
         if handle is None:
             self._fail_assignment(assignment, "no live fleet workers")
             return
@@ -854,6 +932,7 @@ class FleetBackend(Backend):
 
     def _check_health(self) -> None:
         now = time.monotonic()
+        self._reap_expired(now)
         for handle in list(self._workers):
             if not handle.attached:
                 continue
@@ -865,6 +944,49 @@ class FleetBackend(Backend):
                 continue
             if handle.live and now - handle.last_seen > self.heartbeat_timeout:
                 self._evict(handle)
+
+    def _reap_expired(self, now: float) -> None:
+        """Fail in-flight and backlogged jobs past their deadline.
+
+        Reaping pops the job from the ownership map, so a reply that
+        eventually arrives from a stalled worker is discarded as stale —
+        the job settles exactly once, with the typed deadline failure,
+        and is never requeued.
+        """
+        for handle in self._workers:
+            expired = [
+                a for a in handle.assigned.values()
+                if a.job.deadline is not None and a.job.deadline <= now
+            ]
+            for assignment in expired:
+                del handle.assigned[assignment.job.job_id]
+                self._reap_one(assignment, "deadline expired in flight")
+            if handle.backlog and any(
+                a.job.deadline is not None and a.job.deadline <= now
+                for a in handle.backlog
+            ):
+                keep: deque = deque()
+                for assignment in handle.backlog:
+                    if (assignment.job.deadline is not None
+                            and assignment.job.deadline <= now):
+                        self._reap_one(
+                            assignment, "deadline expired before execution"
+                        )
+                    else:
+                        keep.append(assignment)
+                handle.backlog = keep
+            if expired:
+                self._kick(handle)
+
+    def _reap_one(self, assignment: _Assignment, message: str) -> None:
+        self.deadline_reaps += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_deadline_shed_total",
+                "jobs failed past their deadline",
+                stage="in_flight", tenant=assignment.job.tenant,
+            ).inc()
+        self._fail_assignment(assignment, message)
 
     def _drain_remnants(self, handle: WorkerHandle) -> None:
         while handle.attached:
@@ -910,6 +1032,93 @@ class FleetBackend(Backend):
             self.respawns += 1
         for assignment in orphans:
             self._requeue(assignment, reason)
+
+    # -- elastic resize -------------------------------------------------
+
+    def grow(self, count: int = 1) -> int:
+        """Admit ``count`` fresh workers; returns the new fleet size.
+
+        New workers append at the end of the index range and inherit the
+        fleet's fault spec, so plan rules targeting future indices arm
+        the moment their worker exists. Routing immediately includes the
+        new indices (``route_index`` is ``digest % size``); in-flight
+        work is untouched — the ownership map is keyed by job id, not by
+        the routing function.
+        """
+        if count < 1:
+            raise ValueError("grow() wants a positive worker count")
+        if self._closing:
+            raise RuntimeError("cannot grow a fleet that is shut down")
+        for _ in range(count):
+            self._workers.append(self._spawn(len(self._workers)))
+            self.size += 1
+            self.resize_grows += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_fleet_resize_events_total",
+                    "Fleet resize operations", direction="grow",
+                ).inc()
+        self._set_gauges()
+        return self.size
+
+    def shrink(self, count: int = 1) -> int:
+        """Retire the ``count`` highest-indexed workers; returns the size.
+
+        Reuses the death machinery minus the respawn: the retired
+        worker's pipe closes (it exits on EOF), and its in-flight and
+        backlogged jobs requeue onto the survivors — the size shrinks
+        *before* the requeue so replacement placements route within the
+        remaining index range. At least one worker always remains.
+        """
+        if count < 1:
+            raise ValueError("shrink() wants a positive worker count")
+        if count >= self.size:
+            raise ValueError(
+                f"cannot shrink a fleet of {self.size} by {count}; "
+                "at least one worker must remain"
+            )
+        for _ in range(count):
+            handle = self._workers.pop()
+            self.size -= 1
+            self.resize_shrinks += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_fleet_resize_events_total",
+                    "Fleet resize operations", direction="shrink",
+                ).inc()
+                self.metrics.gauge(
+                    "repro_fleet_worker_inflight",
+                    "Jobs assigned or backlogged per fleet worker",
+                    worker=str(handle.index),
+                ).set(0)
+            orphans = list(handle.assigned.values()) + list(handle.backlog)
+            handle.assigned.clear()
+            handle.backlog.clear()
+            handle.live = False
+            handle.attached = False
+            try:
+                handle.conn.close()  # the worker exits on EOF
+            except OSError:
+                pass
+            if handle.proc is not None:
+                handle.proc.join(timeout=2.0)
+                if hasattr(handle.proc, "terminate") and handle.proc.is_alive():
+                    handle.proc.terminate()
+                    handle.proc.join(timeout=1.0)
+            for assignment in orphans:
+                self._requeue(assignment, "worker retired by shrink")
+        self._set_gauges()
+        return self.size
+
+    def resize(self, target: int) -> int:
+        """Grow or shrink to exactly ``target`` workers; returns the size."""
+        if target < 1:
+            raise ValueError("fleet size must be >= 1")
+        if target > self.size:
+            return self.grow(target - self.size)
+        if target < self.size:
+            return self.shrink(self.size - target)
+        return self.size
 
     def _requeue(self, assignment: _Assignment, reason: str) -> None:
         self.requeues += 1
@@ -1029,6 +1238,12 @@ class FleetBackend(Backend):
         self.metrics.gauge(
             "repro_fleet_in_flight", "Fleet jobs dispatched but unsettled"
         ).set(self.in_flight)
+        for handle in self._workers:
+            self.metrics.gauge(
+                "repro_fleet_worker_inflight",
+                "Jobs assigned or backlogged per fleet worker",
+                worker=str(handle.index),
+            ).set(len(handle.assigned) + len(handle.backlog))
 
     @property
     def total_cycles(self) -> int:
@@ -1072,4 +1287,14 @@ class FleetBackend(Backend):
             "respawns": self.respawns,
             "stale_results": self.stale_results,
             "corrupt_replies": self.corrupt_replies,
+            "deadline_reaps": self.deadline_reaps,
+            "routing": {
+                "spill_threshold": self.spill_threshold,
+                "home": self.route_home,
+                "spill": self.route_spill,
+            },
+            "resizes": {
+                "grow": self.resize_grows,
+                "shrink": self.resize_shrinks,
+            },
         }

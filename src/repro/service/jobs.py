@@ -125,6 +125,10 @@ class Job:
     #: the transport (index-aligned with ``operands``, empty otherwise).
     #: The fleet forwards these verbatim instead of re-serializing.
     wire_operands: tuple[bytes, ...] = ()
+    #: Absolute monotonic-clock instant past which the job must not be
+    #: dispatched (and is reaped if already in flight). ``None`` = no
+    #: deadline. Stamped by the server from the wire's relative budget.
+    deadline: float | None = None
     job_id: str = field(default_factory=lambda: f"j{next(_job_ids):05d}")
     status: JobStatus = JobStatus.QUEUED
     result: object = None  # Ciphertext (raw op), {name: Ciphertext}

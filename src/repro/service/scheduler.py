@@ -177,6 +177,45 @@ class BatchingScheduler:
     def pending(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    def _shed_expired(self) -> int:
+        """Fail still-queued jobs whose deadline already passed.
+
+        Runs at batch-plan time, before any batch is formed: an expired
+        job never costs a placement or a worker round trip — it settles
+        immediately with the typed ``deadline expired`` failure the
+        client maps to a terminal :class:`JobFailedError` kind.
+        """
+        now = time.monotonic()
+        shed = 0
+        for tenant, queue in self._queues.items():
+            if not any(j.deadline is not None and j.deadline <= now
+                       for j in queue):
+                continue
+            keep: deque[Job] = deque()
+            for job in queue:
+                if job.deadline is None or job.deadline > now:
+                    keep.append(job)
+                    continue
+                job.fail("deadline expired before dispatch")
+                self.stats.settle(job)
+                shed += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "repro_deadline_shed_total",
+                        "jobs failed past their deadline",
+                        stage="queued", tenant=job.tenant,
+                    ).inc()
+                    self.metrics.counter(
+                        "repro_jobs_settled_total", "jobs settled by outcome",
+                        tenant=job.tenant, outcome="failed",
+                    ).inc()
+            self._queues[tenant] = keep
+        if shed and self.metrics is not None:
+            self.metrics.gauge(
+                "repro_queue_depth", "jobs queued and not yet dispatched"
+            ).set(self.pending)
+        return shed
+
     # -- batch formation ------------------------------------------------------
 
     def _job_key(self, job: Job) -> BatchKey:
@@ -278,6 +317,7 @@ class BatchingScheduler:
         blocking only when everything is dispatched and still in flight.
         ``None`` means truly idle: no queued jobs and nothing in flight.
         """
+        self._shed_expired()
         harvested = self._harvest_async()
         if harvested is not None:
             return harvested

@@ -24,7 +24,7 @@ evaluation keys, and decrypt locally.
 
 The **control plane** of the async transport speaks the same envelope:
 OPEN-SESSION/SESSION, SUBMIT/SUBMIT-CIRCUIT/STATUS, RESULT, EVENT, and
-ERROR messages (tags 0x10-0x17) carry job routing fields plus nested
+ERROR messages (tags 0x10-0x1A) carry job routing fields plus nested
 data-plane blobs (each itself a framed message), all under the one
 MAGIC/VERSION/CRC32 scheme — a bit flipped anywhere in a control frame
 is caught by the same checksum that protects a ciphertext.
@@ -86,6 +86,7 @@ TAG_ERROR = 0x16
 TAG_SUBMIT_CIRCUIT = 0x17
 TAG_STATS = 0x18
 TAG_TRACE = 0x19
+TAG_ADMIN = 0x1A
 
 # Fleet worker-control plane (repro.service.fleet). Orchestrator ->
 # worker: WORKER_KEYS (replicate a session's params + evaluation keys on
@@ -117,6 +118,7 @@ _TAG_NAMES = {
     TAG_SUBMIT_CIRCUIT: "submit-circuit",
     TAG_STATS: "stats",
     TAG_TRACE: "trace",
+    TAG_ADMIN: "admin",
     TAG_WORKER_KEYS: "worker-keys",
     TAG_WORKER_JOB: "worker-job",
     TAG_WORKER_RESULT: "worker-result",
@@ -619,7 +621,13 @@ def deserialize_circuit_outputs(
 
 @dataclass(frozen=True)
 class OpenSessionMsg:
-    """Client request: bind a tenant to a parameter set plus keys."""
+    """Client request: bind a tenant to a parameter set plus keys.
+
+    ``token`` is the tenant's shared-secret credential. A server started
+    with a tenant table rejects unknown tenants or wrong tokens with a
+    typed ``auth`` error before registering anything; a server without a
+    table ignores the field (the default, back-compatible posture).
+    """
 
     request_id: int
     tenant: str
@@ -627,6 +635,7 @@ class OpenSessionMsg:
     public_key: bytes | None = None
     relin_key: bytes | None = None
     galois_keys: tuple[bytes, ...] = ()
+    token: str = ""
 
 
 @dataclass(frozen=True)
@@ -643,6 +652,9 @@ class SubmitMsg:
 
     ``subscribe`` asks the server to push an :class:`EventMsg` the moment
     the job completes — the async completion callback; no polling needed.
+    ``deadline`` is an optional budget in seconds, relative to server
+    receipt (``0.0`` = none): a job still unfinished past it is shed or
+    reaped and fails with a typed ``deadline`` error.
     """
 
     request_id: int
@@ -652,6 +664,7 @@ class SubmitMsg:
     steps: int = 0
     backend: str = ""
     subscribe: bool = True
+    deadline: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -670,6 +683,7 @@ class SubmitCircuitMsg:
     operands: tuple[bytes, ...]
     backend: str = ""
     subscribe: bool = True
+    deadline: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -714,10 +728,32 @@ class EventMsg:
 @dataclass(frozen=True)
 class ErrorMsg:
     """Request failure (echoes the request id) or, with ``request_id
-    0``, a connection-level protocol error before the link closes."""
+    0``, a connection-level protocol error before the link closes.
+
+    ``code`` is the machine-readable rejection class (``"auth"``,
+    ``"quota"``, ``"deadline"``, ``"unavailable"``; empty = untyped) —
+    see :mod:`repro.service.errors` for which codes are retryable.
+    """
 
     request_id: int
     message: str
+    code: str = ""
+
+
+@dataclass(frozen=True)
+class AdminMsg:
+    """Fleet administration request or its echo reply.
+
+    ``command`` is ``"grow"``/``"shrink"`` (``value`` = worker count to
+    add/retire, default 1) or ``"resize"`` (``value`` = target fleet
+    size). The reply echoes the tag with ``value`` set to the fleet size
+    after the operation and ``result`` as a short human-readable note.
+    """
+
+    request_id: int
+    command: str = ""
+    value: int = 0
+    result: str = ""
 
 
 def _optional_blob(data: bytes | None) -> bytes:
@@ -734,6 +770,7 @@ def encode_open_session(msg: OpenSessionMsg) -> bytes:
     body = [
         _u32(msg.request_id),
         _str(msg.tenant),
+        _str(msg.token),
         _blob(msg.params),
         _optional_blob(msg.public_key),
         _optional_blob(msg.relin_key),
@@ -747,6 +784,7 @@ def decode_open_session(data: bytes) -> OpenSessionMsg:
     reader = _unframe(data, TAG_OPEN_SESSION)
     request_id = reader.u32()
     tenant = reader.string()
+    token = reader.string()
     params = reader.blob()
     public_key = _read_optional_blob(reader)
     relin_key = _read_optional_blob(reader)
@@ -755,6 +793,7 @@ def decode_open_session(data: bytes) -> OpenSessionMsg:
     return OpenSessionMsg(
         request_id=request_id, tenant=tenant, params=params,
         public_key=public_key, relin_key=relin_key, galois_keys=galois,
+        token=token,
     )
 
 
@@ -779,6 +818,7 @@ def encode_submit(msg: SubmitMsg) -> bytes:
         _i64(msg.steps),
         _str(msg.backend),
         bytes((1 if msg.subscribe else 0,)),
+        struct.pack(">d", msg.deadline),
         _u16(len(msg.operands)),
     ]
     body.extend(_blob(op) for op in msg.operands)
@@ -793,11 +833,13 @@ def decode_submit(data: bytes) -> SubmitMsg:
     steps = reader.i64()
     backend = reader.string()
     subscribe = bool(reader.u8())
+    deadline = reader.double()
     operands = tuple(reader.blob() for _ in range(reader.u16()))
     reader.done()
     return SubmitMsg(
         request_id=request_id, session_id=session_id, kind=kind,
         operands=operands, steps=steps, backend=backend, subscribe=subscribe,
+        deadline=deadline,
     )
 
 
@@ -810,6 +852,7 @@ def encode_submit_circuit(msg: SubmitCircuitMsg) -> bytes:
         _blob(msg.circuit),
         _str(msg.backend),
         bytes((1 if msg.subscribe else 0,)),
+        struct.pack(">d", msg.deadline),
         _u16(len(msg.operands)),
     ]
     body.extend(_blob(op) for op in msg.operands)
@@ -823,11 +866,13 @@ def decode_submit_circuit(data: bytes) -> SubmitCircuitMsg:
     circuit = reader.blob()
     backend = reader.string()
     subscribe = bool(reader.u8())
+    deadline = reader.double()
     operands = tuple(reader.blob() for _ in range(reader.u16()))
     reader.done()
     return SubmitCircuitMsg(
         request_id=request_id, session_id=session_id, circuit=circuit,
         operands=operands, backend=backend, subscribe=subscribe,
+        deadline=deadline,
     )
 
 
@@ -886,12 +931,34 @@ def decode_event(data: bytes) -> EventMsg:
 
 
 def encode_error(msg: ErrorMsg) -> bytes:
-    return _frame(TAG_ERROR, _u32(msg.request_id) + _str(msg.message))
+    body = _u32(msg.request_id) + _str(msg.message) + _str(msg.code)
+    return _frame(TAG_ERROR, body)
 
 
 def decode_error(data: bytes) -> ErrorMsg:
     reader = _unframe(data, TAG_ERROR)
-    msg = ErrorMsg(request_id=reader.u32(), message=reader.string())
+    msg = ErrorMsg(
+        request_id=reader.u32(), message=reader.string(),
+        code=reader.string(),
+    )
+    reader.done()
+    return msg
+
+
+def encode_admin(msg: AdminMsg) -> bytes:
+    body = (
+        _u32(msg.request_id) + _str(msg.command) + _i64(msg.value)
+        + _str(msg.result)
+    )
+    return _frame(TAG_ADMIN, body)
+
+
+def decode_admin(data: bytes) -> AdminMsg:
+    reader = _unframe(data, TAG_ADMIN)
+    msg = AdminMsg(
+        request_id=reader.u32(), command=reader.string(),
+        value=reader.i64(), result=reader.string(),
+    )
     reader.done()
     return msg
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import time
 from collections import OrderedDict
+from dataclasses import dataclass
 
 from repro.bfv.params import BfvParameters
 from repro.bfv.scheme import Ciphertext
@@ -32,6 +33,7 @@ from repro.service.backends import (
     default_app_params,
 )
 from repro.service.circuits import Circuit
+from repro.service.errors import QuotaExceededError
 from repro.service.fleet import FleetBackend
 from repro.service.jobs import Job, JobKind, JobStatus
 from repro.service.registry import Session, SessionRegistry
@@ -54,6 +56,22 @@ from repro.service.telemetry import (
     aggregate_phases,
     new_trace,
 )
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (``0`` disables each mechanism).
+
+    ``max_inflight`` caps accepted-but-unsettled jobs for the tenant;
+    ``rate``/``burst`` form a token bucket over submits: a submit costs
+    one token, the bucket holds at most ``burst`` and refills at
+    ``rate`` tokens per second. A ``burst`` with ``rate == 0`` never
+    refills — the deterministic configuration the quota tests use.
+    """
+
+    max_inflight: int = 0
+    rate: float = 0.0
+    burst: int = 0
 
 
 class FheServer:
@@ -89,7 +107,12 @@ class FheServer:
         fleet_options: extra :class:`~repro.service.fleet.FleetBackend`
             keyword arguments (``chips``, ``heartbeat_interval``,
             ``heartbeat_timeout``, ``worker_window``, ``max_attempts``,
-            ``restart``).
+            ``restart``, ``spill_threshold``).
+        quotas: per-tenant :class:`TenantQuota` admission limits keyed
+            by tenant name (``None``/missing tenant = unlimited). An
+            over-quota submit raises the retryable
+            :class:`~repro.service.errors.QuotaExceededError` before
+            any decode or math.
     """
 
     def __init__(self, pool_size: int = 4, max_batch: int = 8,
@@ -97,7 +120,8 @@ class FheServer:
                  strict_fidelity: bool = False, pool_engine: str = "exact",
                  result_cache_size: int = 256, fleet_size: int = 0,
                  fleet_mode: str = "process", fault_spec: str | None = None,
-                 fleet_options: dict | None = None):
+                 fleet_options: dict | None = None,
+                 quotas: dict[str, TenantQuota] | None = None):
         self.registry = SessionRegistry()
         self.chip_pool = ChipPoolBackend(
             pool_size=pool_size, strict_fidelity=strict_fidelity,
@@ -152,6 +176,12 @@ class FheServer:
         # digest. LRU-bounded so session churn cannot grow it forever.
         self._key_digests: OrderedDict[int, tuple[object, bytes]] = OrderedDict()
         self._key_digest_capacity = 128
+        # Per-tenant admission control: outstanding job ids (pruned of
+        # settled jobs at admission time, so each set stays bounded by
+        # its quota) and token-bucket state (tokens, last refill).
+        self._quotas = dict(quotas) if quotas else {}
+        self._tenant_inflight: dict[str, set[str]] = {}
+        self._tenant_buckets: dict[str, tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -222,6 +252,7 @@ class FheServer:
         steps: int = 0,
         payload: object = None,
         backend: str = "",
+        deadline: float = 0.0,
     ) -> str:
         """Queue one job; operands may be wire bytes or Ciphertext objects.
 
@@ -237,20 +268,78 @@ class FheServer:
         cache hit wins when both apply, since a cached result needs no
         waiting at all. Everything else is queued. Returns the job id to
         ``poll``/``result`` against.
+
+        ``deadline`` (seconds from now, ``0`` = none) bounds the job's
+        life: expired before dispatch it is shed at batch-plan time,
+        expired in flight the fleet reaps it — either way it fails with
+        the typed ``deadline expired`` message.
+
+        Raises :class:`~repro.service.errors.QuotaExceededError`
+        (retryable) when the tenant is over its admission quota — before
+        any operand decode, so a rejected submit leaves no server state.
         """
+        tenant = None
+        if self._quotas:
+            tenant = self.registry.get(session_id).tenant
+            self._admit_tenant(tenant)
         trace = new_trace()
         started = time.perf_counter()
         with trace.span("submit"):
             job_id = self._submit_traced(
                 trace, session_id, kind, operands,
                 steps=steps, payload=payload, backend=backend,
+                deadline=deadline,
             )
         trace.stamp_queued()  # queue_wait origin for the scheduler's mark
         self._submit_hist.observe(time.perf_counter() - started)
+        if tenant is not None and not self._jobs[job_id].done:
+            quota = self._quotas.get(tenant)
+            if quota is not None and quota.max_inflight > 0:
+                self._tenant_inflight.setdefault(tenant, set()).add(job_id)
         return job_id
 
+    def _admit_tenant(self, tenant: str) -> None:
+        """Admission control: runs before any decode or math."""
+        quota = self._quotas.get(tenant)
+        if quota is None:
+            return
+        if quota.max_inflight > 0:
+            outstanding = self._tenant_inflight.get(tenant, set())
+            live = {jid for jid in outstanding if not self._jobs[jid].done}
+            self._tenant_inflight[tenant] = live
+            if len(live) >= quota.max_inflight:
+                self.metrics.counter(
+                    "repro_quota_rejections_total",
+                    "submits rejected by per-tenant admission control",
+                    tenant=tenant, reason="inflight",
+                ).inc()
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} has {len(live)} job(s) in flight "
+                    f"(quota {quota.max_inflight}); retry after completions"
+                )
+        if quota.burst > 0:
+            now = time.monotonic()
+            tokens, last = self._tenant_buckets.get(
+                tenant, (float(quota.burst), now)
+            )
+            tokens = min(float(quota.burst), tokens + (now - last) * quota.rate)
+            if tokens < 1.0:
+                self._tenant_buckets[tenant] = (tokens, now)
+                self.metrics.counter(
+                    "repro_quota_rejections_total",
+                    "submits rejected by per-tenant admission control",
+                    tenant=tenant, reason="rate",
+                ).inc()
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} exceeded its submit rate "
+                    f"({quota.rate}/s, burst {quota.burst}); retry after "
+                    "backoff"
+                )
+            self._tenant_buckets[tenant] = (tokens - 1.0, now)
+
     def _submit_traced(
-        self, trace, session_id, kind, operands, *, steps, payload, backend
+        self, trace, session_id, kind, operands, *, steps, payload, backend,
+        deadline=0.0,
     ) -> str:
         with trace.span("decode"):
             if isinstance(kind, str):
@@ -299,6 +388,8 @@ class FheServer:
             wire_operands=wire_ops,
             trace=trace,
         )
+        if deadline > 0:
+            job.deadline = time.monotonic() + deadline
         self.metrics.counter(
             "repro_jobs_submitted_total", "jobs submitted",
             tenant=session.tenant,

@@ -38,13 +38,16 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hmac
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.service.errors import AuthError, ShuttingDownError
 from repro.service.jobs import JobKind, JobStatus
 from repro.service.serialization import (
+    AdminMsg,
     ErrorMsg,
     EventMsg,
     OpenSessionMsg,
@@ -54,6 +57,7 @@ from repro.service.serialization import (
     StatusMsg,
     SubmitCircuitMsg,
     SubmitMsg,
+    TAG_ADMIN,
     TAG_OPEN_SESSION,
     TAG_RESULT,
     TAG_STATS,
@@ -63,6 +67,7 @@ from repro.service.serialization import (
     TAG_TRACE,
     TraceMsg,
     WireFormatError,
+    decode_admin,
     decode_open_session,
     decode_result,
     decode_stats,
@@ -70,6 +75,7 @@ from repro.service.serialization import (
     decode_submit,
     decode_submit_circuit,
     decode_trace,
+    encode_admin,
     encode_error,
     encode_event,
     encode_result,
@@ -249,6 +255,12 @@ class FheTransportServer:
             pushes back on the flooding client) until one settles and
             its completion is delivered. ``0`` (the default) disables
             the window. No accepted job is ever dropped.
+        tenants: per-tenant auth table ``{tenant: token}``. When set,
+            every OPEN_SESSION must carry the matching token; unknown
+            tenants and wrong tokens are rejected with the terminal
+            ``auth`` error code before any server state is touched.
+            ``None`` (the default) disables auth — open serving, as
+            before this field existed.
         fhe_kwargs: forwarded to :class:`FheServer` when ``fhe`` is None
             (``pool_size``, ``max_batch``, ``result_cache_size``, …).
 
@@ -261,7 +273,8 @@ class FheTransportServer:
     def __init__(self, fhe: FheServer | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  max_frame: int = DEFAULT_MAX_FRAME,
-                 max_inflight: int = 0, **fhe_kwargs):
+                 max_inflight: int = 0,
+                 tenants: dict[str, str] | None = None, **fhe_kwargs):
         if fhe is not None and fhe_kwargs:
             raise ValueError("pass either a built FheServer or its kwargs")
         if max_inflight < 0:
@@ -271,6 +284,7 @@ class FheTransportServer:
         self._port = port
         self._max_frame = max_frame
         self._max_inflight = max_inflight
+        self._tenants = dict(tenants) if tenants is not None else None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -574,6 +588,8 @@ class FheTransportServer:
             await self._on_stats(conn, decode_stats(frame))
         elif tag == TAG_TRACE:
             await self._on_trace(conn, decode_trace(frame))
+        elif tag == TAG_ADMIN:
+            await self._on_admin(conn, decode_admin(frame))
         else:
             raise WireFormatError(
                 f"unexpected client frame tag 0x{tag:02x}"
@@ -582,14 +598,42 @@ class FheTransportServer:
     async def _fail(self, conn: _Connection, request_id: int,
                     exc: Exception) -> None:
         await conn.send_safe(encode_error(ErrorMsg(
-            request_id=request_id, message=_short(str(exc) or repr(exc))
+            request_id=request_id, message=_short(str(exc) or repr(exc)),
+            code=getattr(exc, "code", ""),
         )))
+
+    def _authorize(self, msg: OpenSessionMsg) -> None:
+        """Check the OPEN_SESSION token against the tenant table.
+
+        ``compare_digest`` keeps the comparison constant-time; unknown
+        tenants burn the same comparison against a dummy so the two
+        rejections are not distinguishable by timing.
+        """
+        if self._tenants is None:
+            return
+        expected = self._tenants.get(msg.tenant)
+        supplied = msg.token.encode()
+        if expected is None:
+            hmac.compare_digest(supplied, b"\x00" * 32)
+            raise AuthError(f"unknown tenant {msg.tenant!r}")
+        if not hmac.compare_digest(supplied, expected.encode()):
+            raise AuthError(f"bad token for tenant {msg.tenant!r}")
 
     async def _on_open_session(self, conn: _Connection,
                                msg: OpenSessionMsg) -> None:
         if self._closing:
             await self._fail(conn, msg.request_id,
-                             RuntimeError("server is shutting down"))
+                             ShuttingDownError("server is shutting down"))
+            return
+        try:
+            self._authorize(msg)
+        except AuthError as exc:
+            self.fhe.metrics.counter(
+                "repro_auth_rejections_total",
+                "OPEN_SESSION frames refused by the tenant auth table",
+                tenant=msg.tenant,
+            ).inc()
+            await self._fail(conn, msg.request_id, exc)
             return
         try:
             session_id = await self._call(
@@ -611,7 +655,7 @@ class FheTransportServer:
         await self._admit(conn)
         if self._closing:
             await self._fail(conn, msg.request_id,
-                             RuntimeError("server is shutting down"))
+                             ShuttingDownError("server is shutting down"))
             return
         try:
             kind = JobKind(msg.kind)
@@ -635,6 +679,7 @@ class FheTransportServer:
                 lambda: self.fhe.submit(
                     msg.session_id, kind, msg.operands,
                     steps=msg.steps, backend=msg.backend,
+                    deadline=msg.deadline,
                 )
             )
         except Exception as exc:
@@ -649,13 +694,14 @@ class FheTransportServer:
         await self._admit(conn)
         if self._closing:
             await self._fail(conn, msg.request_id,
-                             RuntimeError("server is shutting down"))
+                             ShuttingDownError("server is shutting down"))
             return
         try:
             job_id = await self._call(
                 lambda: self.fhe.submit(
                     msg.session_id, JobKind.CIRCUIT, msg.operands,
                     payload=msg.circuit, backend=msg.backend,
+                    deadline=msg.deadline,
                 )
             )
         except Exception as exc:
@@ -755,6 +801,38 @@ class FheTransportServer:
             spans=tuple(
                 (s.phase, s.parent, s.start, s.end) for s in trace.spans
             ),
+        )))
+
+    async def _on_admin(self, conn: _Connection, msg: AdminMsg) -> None:
+        """Elastic fleet control over the wire: grow/shrink/resize.
+
+        Replies with an ADMIN echo whose ``value`` is the fleet size
+        after the operation. Requires the server to be fleet-backed.
+        """
+        fleet = getattr(self.fhe, "fleet", None)
+        if fleet is None:
+            await self._fail(conn, msg.request_id, RuntimeError(
+                "server has no fleet backend to resize"
+            ))
+            return
+        try:
+            if msg.command == "grow":
+                size = await self._call(fleet.grow, max(1, msg.value))
+            elif msg.command == "shrink":
+                size = await self._call(fleet.shrink, max(1, msg.value))
+            elif msg.command == "resize":
+                size = await self._call(fleet.resize, msg.value)
+            else:
+                raise ValueError(
+                    f"unknown admin command {msg.command!r} "
+                    "(supported: grow, shrink, resize)"
+                )
+        except Exception as exc:
+            await self._fail(conn, msg.request_id, exc)
+            return
+        await conn.send_safe(encode_admin(AdminMsg(
+            request_id=msg.request_id, command=msg.command,
+            value=size, result="ok",
         )))
 
     async def stats_snapshot(self) -> dict:

@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.service.serialization import (
+    AdminMsg,
     ErrorMsg,
     EventMsg,
     OpenSessionMsg,
@@ -23,6 +24,7 @@ from repro.service.serialization import (
     StatusMsg,
     SubmitMsg,
     WireFormatError,
+    decode_admin,
     decode_error,
     decode_event,
     decode_open_session,
@@ -30,6 +32,7 @@ from repro.service.serialization import (
     decode_session,
     decode_status,
     decode_submit,
+    encode_admin,
     encode_error,
     encode_event,
     encode_open_session,
@@ -115,6 +118,9 @@ class TestFraming:
 request_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
 short_text = st.text(max_size=40)
 blob = st.binary(max_size=256)
+#: Wire doubles: any finite float round-trips ">d" exactly (NaN would
+#: break dataclass equality, so it is excluded, not supported).
+wire_doubles = st.floats(allow_nan=False, width=64)
 
 
 control_messages = st.one_of(
@@ -126,6 +132,7 @@ control_messages = st.one_of(
         public_key=st.none() | blob,
         relin_key=st.none() | blob,
         galois_keys=st.tuples() | st.tuples(blob) | st.tuples(blob, blob),
+        token=short_text,
     ).map(lambda m: (m, encode_open_session, decode_open_session)),
     st.builds(
         SessionMsg, request_id=request_ids, session_id=short_text,
@@ -139,7 +146,15 @@ control_messages = st.one_of(
         steps=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
         backend=short_text,
         subscribe=st.booleans(),
+        deadline=wire_doubles,
     ).map(lambda m: (m, encode_submit, decode_submit)),
+    st.builds(
+        AdminMsg,
+        request_id=request_ids,
+        command=short_text,
+        value=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+        result=short_text,
+    ).map(lambda m: (m, encode_admin, decode_admin)),
     st.builds(
         StatusMsg, request_id=request_ids, job_id=short_text,
         status=short_text, error=short_text,
@@ -154,6 +169,7 @@ control_messages = st.one_of(
     ).map(lambda m: (m, encode_event, decode_event)),
     st.builds(
         ErrorMsg, request_id=request_ids, message=short_text,
+        code=short_text,
     ).map(lambda m: (m, encode_error, decode_error)),
 )
 

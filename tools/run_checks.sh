@@ -30,6 +30,8 @@
 #                                    # + a 2-process worker-fleet smoke
 #                                    # over a real socket (spawn-safe:
 #                                    # each worker is a fresh interpreter)
+#                                    # + the spill-over routing bench
+#                                    # (skewed hot tenant, >= 1.3x gate)
 #   tools/run_checks.sh --slow       # also the paper-scale suites
 #                                    # (n = 2^12 pool scaling, n = 2^13 serving)
 set -euo pipefail
@@ -75,6 +77,10 @@ run_fleet() {
   python -m pytest tests/service/test_fleet_faults.py \
     tests/property/test_property_fleet.py -q
   PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.service.demo --fleet-smoke
+  echo
+  echo "== spill-over routing bench (skewed hot tenant, >= 1.3x gate) =="
+  python -m pytest benchmarks/bench_service_throughput.py -k spillover \
+    -q -s --benchmark-disable
 }
 
 # --docs / --obs / --fleet alone are fast paths; combined with other
