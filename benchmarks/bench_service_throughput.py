@@ -491,19 +491,31 @@ def _drive_fleet(fleet: int, traffic) -> dict:
     }
 
 
+def _bench_row_key(row: dict) -> tuple:
+    """The identity of one benchmark row: ``(op, n, towers, engine)``.
+
+    Keying on ``op`` alone would let one configuration's row clobber
+    another's — e.g. the fleet bench's x1 and x4 rows share an op and
+    differ only by engine, and a re-run at a different degree must
+    replace only its own row.
+    """
+    return (row.get("op"), row.get("n"), row.get("towers"), row.get("engine"))
+
+
 def _merge_bench_rows(rows: list[dict]) -> None:
     """Record serving rows in BENCH_kernels.json, keeping foreign rows.
 
-    Only rows whose ``op`` matches one being written are replaced, so
-    the fleet and spill-over benches own their ops without clobbering
-    each other or the kernel rows.
+    Only rows whose full ``(op, n, towers, engine)`` identity matches one
+    being written are replaced, so the fleet and spill-over benches own
+    their configurations without clobbering each other, the kernel rows,
+    or sibling rows of the same op.
     """
-    ops = {row["op"] for row in rows}
+    keys = {_bench_row_key(row) for row in rows}
     existing = []
     if BENCH_JSON.exists():
         existing = [
             row for row in json.loads(BENCH_JSON.read_text())
-            if row.get("op") not in ops
+            if _bench_row_key(row) not in keys
         ]
     BENCH_JSON.write_text(json.dumps(existing + rows, indent=2) + "\n")
 

@@ -75,7 +75,10 @@ class SoftwareBfv:
             self._ctx = {q: NttContext(n, q) for q in basis.moduli}
         else:
             self._ctx = {}
-        self._tower_views: dict[int, BatchedRnsEngine] = {}
+        # Full-stack tensor memo for the per-tower cross-check: keyed by
+        # the identity of the four operand coefficient tuples, holding the
+        # operands so the ids stay valid for the entry's lifetime.
+        self._tensor_memo: dict[tuple[int, int, int, int], tuple] = {}
         self.tower_ops = {"ntt": 0, "intt": 0, "hadamard": 0, "add": 0}
 
     @property
@@ -100,17 +103,9 @@ class SoftwareBfv:
             raise ValueError(f"modulus {q} is not a tower of {self.basis!r}")
         self._count_tensor_ops(towers=1)
         if self._engine is not None:
-            view = self._tower_views.get(q)
-            if view is None:
-                view = self._engine.select([self._tower_index[q]])
-                self._tower_views[q] = view
-            y = view.tensor(
-                view.decompose(ct_a[0]),
-                view.decompose(ct_a[1]),
-                view.decompose(ct_b[0]),
-                view.decompose(ct_b[1]),
-            )
-            return [out[0].tolist() for out in y]
+            idx = self._tower_index[q]
+            full = self._full_tensor(ct_a, ct_b)
+            return [y[idx].tolist() for y in full]
         ctx = self._ctx[q]
         a0 = ctx.forward([c % q for c in ct_a[0]])
         a1 = ctx.forward([c % q for c in ct_a[1]])
@@ -127,6 +122,34 @@ class SoftwareBfv:
             [int(c) for c in ctx.inverse(y2)],
         ]
 
+    def _full_tensor(self, ct_a, ct_b):
+        """Memoized full-stack tensor backing the per-tower cross-check.
+
+        The chip pool calls :meth:`tower_multiply` once per tower with the
+        *same* ciphertext pair (one work unit per tower). Computing the
+        tensor over the whole tower stack once and slicing per call turns
+        L single-tower engine passes into one batched pass. Entries are
+        keyed by operand identity (the coefficient tuples of a ciphertext
+        are stable) and hold the operands so the ids cannot be recycled.
+        """
+        key = (id(ct_a[0]), id(ct_a[1]), id(ct_b[0]), id(ct_b[1]))
+        hit = self._tensor_memo.get(key)
+        if hit is not None and all(
+            x is y for x, y in zip(hit[0], (ct_a[0], ct_a[1], ct_b[0], ct_b[1]))
+        ):
+            return hit[1]
+        eng = self._engine
+        y = eng.tensor(
+            eng.decompose(ct_a[0]),
+            eng.decompose(ct_a[1]),
+            eng.decompose(ct_b[0]),
+            eng.decompose(ct_b[1]),
+        )
+        if len(self._tensor_memo) >= 8:
+            self._tensor_memo.pop(next(iter(self._tensor_memo)))
+        self._tensor_memo[key] = ((ct_a[0], ct_a[1], ct_b[0], ct_b[1]), y)
+        return y
+
     def ciphertext_multiply(
         self,
         ct_a: tuple[Sequence[int], Sequence[int]],
@@ -141,12 +164,7 @@ class SoftwareBfv:
         if self._engine is not None:
             eng = self._engine
             self._count_tensor_ops(towers=eng.num_towers)
-            y0, y1, y2 = eng.tensor(
-                eng.decompose(ct_a[0]),
-                eng.decompose(ct_a[1]),
-                eng.decompose(ct_b[0]),
-                eng.decompose(ct_b[1]),
-            )
+            y0, y1, y2 = self._full_tensor(ct_a, ct_b)
             return [eng.reconstruct(y) for y in (y0, y1, y2)]
         tower_results = [
             self.tower_multiply(q, ct_a, ct_b) for q in self.basis.moduli

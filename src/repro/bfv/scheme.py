@@ -90,6 +90,10 @@ class Bfv:
         self._ternary = TernarySampler(self._rng)
         self._gaussian = DiscreteGaussianSampler(self._rng, params.sigma)
         self._mult_ctx = multiplier or _default_multiplier(params.n, params.q)
+        self._tensor_ok: bool | None = None
+        # id(relin) -> (relin ref, forward-NTT b rows, forward-NTT a rows);
+        # the held reference keeps the id stable for the cache's lifetime.
+        self._relin_fwd_cache: dict[int, tuple] = {}
 
     @property
     def multiplier_kind(self) -> str:
@@ -235,6 +239,23 @@ class Bfv:
             raise ValueError("EvalMult expects 2-component ciphertexts; relinearize first")
         a1, a2 = (p.centered() for p in ca.polys)
         b1, b2 = (p.centered() for p in cb.polys)
+        eng = self._tensor_engine()
+        if eng is not None:
+            import numpy as np
+
+            y0, y1, y2 = eng.tensor(
+                eng.decompose(a1),
+                eng.decompose(a2),
+                eng.decompose(b1),
+                eng.decompose(b2),
+            )
+            rows = eng.round_scale(
+                np.stack((y0, y1, y2)), self.params.t, self.params.q
+            )
+            return Ciphertext(
+                [Polynomial.from_canonical(self.ring, r) for r in rows],
+                self.params,
+            )
         m11 = self._mult_ctx.multiply(a1, b1)
         m12 = self._mult_ctx.multiply(a1, b2)
         m21 = self._mult_ctx.multiply(a2, b1)
@@ -249,6 +270,18 @@ class Bfv:
         if ct.size != 2:
             raise ValueError("square expects a 2-component ciphertext")
         a1, a2 = (p.centered() for p in ct.polys)
+        eng = self._tensor_engine()
+        if eng is not None:
+            import numpy as np
+
+            y0, y1, y2 = eng.tensor_square(eng.decompose(a1), eng.decompose(a2))
+            rows = eng.round_scale(
+                np.stack((y0, y1, y2)), self.params.t, self.params.q
+            )
+            return Ciphertext(
+                [Polynomial.from_canonical(self.ring, r) for r in rows],
+                self.params,
+            )
         m11 = self._mult_ctx.multiply(a1, a1)
         m12 = self._mult_ctx.multiply(a1, a2)
         m22 = self._mult_ctx.multiply(a2, a2)
@@ -256,6 +289,64 @@ class Bfv:
         t, q = self.params.t, self.params.q
         scale = lambda vec: self.ring([_round_div(t * c, q) for c in vec])
         return Ciphertext([scale(m11), scale(cross), scale(m22)], self.params)
+
+    def multiply_many(
+        self, pairs: "list[tuple[Ciphertext, Ciphertext | None]]"
+    ) -> list[Ciphertext]:
+        """Eq. 4 tensors for a batch of EvalMult/Square jobs in one pass.
+
+        Each pair is ``(ca, cb)``; ``cb is None`` squares ``ca`` (the
+        exact integer cross products ``m12`` and ``m21`` coincide, so
+        the result is bit-identical to :meth:`square`). With the batched
+        engine every job's operand transforms ride one forward pass, one
+        inverse covers all tensor components, and one round-scaling pass
+        finishes the batch; otherwise falls back to per-job
+        multiply/square.
+        """
+        for ca, cb in pairs:
+            if cb is None:
+                if ca.size != 2:
+                    raise ValueError("square expects a 2-component ciphertext")
+            else:
+                self._check_pair(ca, cb)
+                if ca.size != 2 or cb.size != 2:
+                    raise ValueError(
+                        "EvalMult expects 2-component ciphertexts; "
+                        "relinearize first"
+                    )
+        eng = self._tensor_engine()
+        if eng is None or len(pairs) < 2:
+            return [
+                self.square(ca) if cb is None else self.multiply(ca, cb)
+                for ca, cb in pairs
+            ]
+        import numpy as np
+
+        ops = []
+        for ca, cb in pairs:
+            a0, a1 = (eng.decompose(p.centered()) for p in ca.polys)
+            if cb is None:
+                b0, b1 = a0, a1
+            else:
+                b0, b1 = (eng.decompose(p.centered()) for p in cb.polys)
+            ops.append((a0, a1, b0, b1))
+        J = len(pairs)
+        tensors = eng.tensor_many(np.asarray(ops, dtype=np.int64))
+        rows = eng.round_scale(
+            tensors.reshape(3 * J, eng.num_towers, self.params.n),
+            self.params.t,
+            self.params.q,
+        )
+        return [
+            Ciphertext(
+                [
+                    Polynomial.from_canonical(self.ring, rows[3 * j + k])
+                    for k in range(3)
+                ],
+                self.params,
+            )
+            for j in range(J)
+        ]
 
     def relinearize(self, ct: Ciphertext, relin: RelinKey) -> Ciphertext:
         """Map a 3-component ciphertext back to 2 components.
@@ -269,6 +360,8 @@ class Bfv:
             return ct.copy()
         if ct.size != 3:
             raise ValueError(f"relinearize expects size-3 ciphertext, got {ct.size}")
+        if self.can_batch_relinearize(relin):
+            return self.relinearize_many([ct], relin)[0]
         c1, c2, c3 = ct.polys
         digits = self._decompose_digits(c3, relin)
         new_c1, new_c2 = c1, c2
@@ -276,6 +369,142 @@ class Bfv:
             new_c1 = new_c1 + self._exact_mul(d, b_i)
             new_c2 = new_c2 + self._exact_mul(d, a_i)
         return Ciphertext([new_c1, new_c2], self.params)
+
+    def can_batch_relinearize(self, relin: RelinKey) -> bool:
+        """Whether the vectorized key-switch fold is exact for this key.
+
+        True when the scheme's multiplier carries a batched RNS engine
+        whose CRT modulus ``P`` dominates the fold bound
+        ``D * n * (T - 1) * q/2`` (D digits of width ``T = 2**digit_bits``
+        times centered key rows, convolved over ``n`` coefficients) — the
+        condition for recovering the integer fold from centered residues.
+        """
+        eng = getattr(self._mult_ctx, "_engine", None)
+        if eng is None:
+            return False
+        n, q = self.params.n, self.params.q
+        bound = (
+            relin.num_digits
+            * n
+            * ((1 << relin.digit_bits) - 1)
+            * (q // 2 + 1)
+        )
+        return bound < eng.modulus // 2
+
+    def prewarm_relin(self, relin: RelinKey) -> None:
+        """Build the eval key's NTT-domain row stacks ahead of serving.
+
+        Key upload is the natural place to pay this one-time cost (SEAL
+        likewise stores key-switch keys in NTT form): the batched
+        key-switch then finds :meth:`_relin_fwd_rows` warm on its first
+        job instead of transforming every key row mid-batch. No-op when
+        the batched fold is unavailable for this key.
+        """
+        if self.can_batch_relinearize(relin):
+            self._relin_fwd_rows(self._mult_ctx._engine, relin)
+
+    def relinearize_many(
+        self, cts: list[Ciphertext], relin: RelinKey
+    ) -> list[Ciphertext]:
+        """Relinearize a batch of size-3 ciphertexts under one eval key.
+
+        The batched key-switch: every ciphertext's base-T digit
+        decomposition rides one forward-NTT pass, the per-digit key-row
+        folds accumulate in the NTT domain, and a single inverse pass
+        covers both output components of every job. Bit-identical to
+        calling :meth:`relinearize` per ciphertext; requires
+        :meth:`can_batch_relinearize` (raises ``ValueError`` otherwise).
+        Size-2 inputs pass through untouched (copied), matching the
+        scalar path.
+        """
+        import numpy as np
+
+        if not self.can_batch_relinearize(relin):
+            raise ValueError(
+                "batched relinearization needs an engine-capable multiplier "
+                "and an in-bound digit decomposition; use relinearize()"
+            )
+        for ct in cts:
+            if ct.size not in (2, 3):
+                raise ValueError(
+                    f"relinearize expects size-2/3 ciphertexts, got {ct.size}"
+                )
+        eng = self._mult_ctx._engine
+        work = [(i, ct) for i, ct in enumerate(cts) if ct.size == 3]
+        out: list[Ciphertext | None] = [
+            ct.copy() if ct.size == 2 else None for ct in cts
+        ]
+        if not work:
+            return out  # type: ignore[return-value]
+        fb, fa = self._relin_fwd_rows(eng, relin)
+        D = relin.num_digits
+        db = relin.digit_bits
+        J = len(work)
+        stacks = np.concatenate(
+            [eng.digit_decompose(ct.polys[2].coeffs, db, D) for _, ct in work]
+        )
+        fwd = eng.forward(stacks).reshape(J, D, eng.num_towers, self.params.n)
+        acc_b = eng.nttdomain_fold(fwd, fb)
+        acc_a = eng.nttdomain_fold(fwd, fa)
+        vals = eng.centered_values(
+            eng.inverse(np.concatenate((acc_b, acc_a)))
+        )
+        q = self.params.q
+        for j, (i, ct) in enumerate(work):
+            c1 = np.asarray(ct.polys[0].coeffs, dtype=object)
+            c2 = np.asarray(ct.polys[1].coeffs, dtype=object)
+            new_c1 = (c1 + vals[j]) % q
+            new_c2 = (c2 + vals[J + j]) % q
+            out[i] = Ciphertext(
+                [
+                    Polynomial.from_canonical(self.ring, new_c1.tolist()),
+                    Polynomial.from_canonical(self.ring, new_c2.tolist()),
+                ],
+                self.params,
+            )
+        return out  # type: ignore[return-value]
+
+    def _relin_fwd_rows(self, eng, relin: RelinKey):
+        """Forward-NTT stacks of the relin-key rows, memoized per key.
+
+        Returns ``(fb, fa)``: ``(D, L, n)`` forward transforms of the
+        centered ``b_i`` / ``a_i`` rows on ``eng``'s auxiliary basis. The
+        cache holds the key object itself so the ``id()`` key stays valid.
+        """
+        import numpy as np
+
+        cached = self._relin_fwd_cache.get(id(relin))
+        if cached is not None and cached[0] is relin:
+            return cached[1], cached[2]
+        fb = eng.forward(
+            np.stack([eng.decompose(b.centered()) for b, _ in relin.rows])
+        )
+        fa = eng.forward(
+            np.stack([eng.decompose(a.centered()) for _, a in relin.rows])
+        )
+        if len(self._relin_fwd_cache) >= 4:
+            self._relin_fwd_cache.pop(next(iter(self._relin_fwd_cache)))
+        self._relin_fwd_cache[id(relin)] = (relin, fb, fa)
+        return fb, fa
+
+    def _tensor_engine(self):
+        """The multiplier's batched engine when the Eq. 4 bound holds.
+
+        The tensor's cross term ``m12 + m21`` doubles the single-product
+        bound, so the engine path additionally requires
+        ``2 * n * (q/2)**2 < P/2``; the default auxiliary basis is built
+        with 4x margin, making this the common case. Returns ``None`` for
+        scalar fallback (custom multipliers, wide params).
+        """
+        eng = getattr(self._mult_ctx, "_engine", None)
+        if eng is None:
+            return None
+        if self._tensor_ok is None:
+            n, q = self.params.n, self.params.q
+            self._tensor_ok = (
+                2 * n * (q // 2 + 1) ** 2 < eng.modulus // 2
+            )
+        return eng if self._tensor_ok else None
 
     def multiply_relin(self, ca: Ciphertext, cb: Ciphertext, relin: RelinKey) -> Ciphertext:
         """Convenience: Eq. 4 tensor followed by relinearization."""
@@ -331,10 +560,22 @@ class Bfv:
         return self.ring(coeffs)
 
     def _decompose_digits(self, poly: Polynomial, relin: RelinKey) -> list[Polynomial]:
-        """Base-T digit decomposition of every coefficient of ``poly``."""
+        """Base-T digit decomposition of every coefficient of ``poly``.
+
+        Coefficients must be canonical (``[0, q)``): a negative (centered)
+        coefficient would sign-extend under ``c & mask``, yielding digits
+        that silently corrupt the relin fold — so it raises instead, the
+        same contract :meth:`BatchedRnsEngine.digit_decompose` enforces on
+        the vectorized path.
+        """
         mask = (1 << relin.digit_bits) - 1
         digit_coeffs: list[list[int]] = [[] for _ in range(relin.num_digits)]
         for c in poly.coeffs:
+            if c < 0:
+                raise ValueError(
+                    "digit decomposition requires canonical coefficients in "
+                    "[0, q); got a negative (centered?) coefficient"
+                )
             for i in range(relin.num_digits):
                 digit_coeffs[i].append(c & mask)
                 c >>= relin.digit_bits

@@ -140,7 +140,7 @@ class CofheeDriver:
         """
         self.chip.configure_modulus(q, n)
         self._n = n
-        self._ntt_ctx = NttContext(n, q)
+        self._ntt_ctx = NttContext.shared(n, q)
         self._allocate_buffers(n)
         # Download psi-power twiddles (bit-reversed order) into TWD.
         twd_addr = self.chip.memory_map.base_address("TWD")

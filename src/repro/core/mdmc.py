@@ -16,7 +16,8 @@ Three fidelity levels let callers trade speed for detail:
   :class:`repro.core.pe.ProcessingElement` (bit-exact Barrett datapath,
   per-access SRAM statistics). Used by the verification tests.
 * ``"vector"`` (default) — same stage walk and the same bank-resident
-  twiddles, computed with batched modular arithmetic; identical results
+  twiddles, computed with batched modular arithmetic (numpy int64
+  kernels for word-sized moduli, scalar otherwise); identical results
   and cycle counts, ~10x faster.
 * ``"timing"`` — cycle/power accounting only, data untouched. Used by the
   paper-scale latency benches, where cycle counts are data-independent.
@@ -26,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.bus import AhbLiteBus
 from repro.core.errors import ConfigError, IsaError
 from repro.core.isa import Command, Opcode
@@ -33,6 +36,7 @@ from repro.core.memory import MemoryMap, SramBank
 from repro.core.pe import ProcessingElement
 from repro.core.timing import TimingModel
 from repro.polymath.bitrev import bit_reverse_indices
+from repro.polymath.engine import engine_enabled
 
 FIDELITY_LEVELS = ("pe", "vector", "timing")
 
@@ -147,6 +151,22 @@ class Mdmc:
         twiddles = self._load_vector(cmd.twiddle_addr, n)
         in_bank, _, _ = self.memory_map.decode(cmd.x_addr)
         out_bank, _, _ = self.memory_map.decode(cmd.out_addr)
+        if level == "vector" and self._numpy_ok(q):
+            av = np.asarray(a, dtype=np.int64)
+            tw = np.asarray(twiddles, dtype=np.int64)
+            t, m = n, 1
+            while m < n:
+                t >>= 1
+                av = av.reshape(m, 2 * t)
+                u = av[:, :t]
+                vs = av[:, t:] * tw[m : 2 * m, None] % q
+                av = np.concatenate(((u + vs) % q, (u - vs) % q), axis=1)
+                self._stage_stats(in_bank, out_bank, n, count_pe=True)
+                in_bank, out_bank = out_bank, in_bank
+                m <<= 1
+            self._store_vector(cmd.out_addr, av.reshape(n).tolist())
+            trace.add("dit_butterfly", cycles, n)
+            return
         # Cooley-Tukey DIT with psi-merged (bit-reversed) twiddles.
         t = n
         m = 1
@@ -190,12 +210,40 @@ class Mdmc:
         # subtractor implement this with zero extra storage.
         forward = self._load_vector(cmd.twiddle_addr, n)
         brv = bit_reverse_indices(n)
+        in_bank, _, _ = self.memory_map.decode(cmd.x_addr)
+        out_bank, _, _ = self.memory_map.decode(cmd.out_addr)
+        if level == "vector" and self._numpy_ok(q):
+            fwd = np.asarray(forward, dtype=np.int64)
+            brv_a = np.asarray(brv, dtype=np.intp)
+            tw = np.empty(n, dtype=np.int64)
+            tw[0] = 1
+            tw[1:] = (q - fwd[brv_a[n - brv_a[1:]]]) % q
+            av = np.asarray(a, dtype=np.int64)
+            t, m = 1, n
+            while m > 1:
+                h = m >> 1
+                av = av.reshape(h, 2 * t)
+                u = av[:, :t]
+                v = av[:, t:]
+                s = tw[h : 2 * h, None]
+                av = np.concatenate(((u + v) % q, (u - v) * s % q), axis=1)
+                self._stage_stats(in_bank, out_bank, n, count_pe=True)
+                in_bank, out_bank = out_bank, in_bank
+                t <<= 1
+                m = h
+            n_inv = cmd.constant
+            if n_inv == 0:
+                raise ConfigError("iNTT requires n^-1 in the command constant field")
+            av = av.reshape(n) * n_inv % q
+            self.pe.stats.multiplies += n
+            self._store_vector(cmd.out_addr, av.tolist())
+            trace.add("dif_butterfly", butterfly_cycles, n)
+            trace.add("const_mult", const_cycles, n)
+            return
         twiddles = [0] * n
         twiddles[0] = 1
         for k in range(1, n):
             twiddles[k] = (q - forward[brv[n - brv[k]]]) % q
-        in_bank, _, _ = self.memory_map.decode(cmd.x_addr)
-        out_bank, _, _ = self.memory_map.decode(cmd.out_addr)
         # Gentleman-Sande DIF (Section VI-A's decimation in frequency).
         t = 1
         m = n
@@ -259,6 +307,23 @@ class Mdmc:
         op = cmd.opcode
         if level == "pe":
             out = self._pointwise_pe(op, x, y if op.needs_y_operand else None, cmd)
+        elif (
+            level == "vector" and op is not Opcode.PMUL and self._numpy_ok(q)
+        ):
+            # PMUL stays scalar: its 128-bit plain product overflows int64.
+            xa = np.asarray(x, dtype=np.int64)
+            if op is Opcode.PMODMUL:
+                out_a = xa * np.asarray(y, dtype=np.int64) % q
+            elif op is Opcode.PMODADD:
+                out_a = (xa + np.asarray(y, dtype=np.int64)) % q
+            elif op is Opcode.PMODSUB:
+                out_a = (xa - np.asarray(y, dtype=np.int64)) % q
+            elif op is Opcode.PMODSQR:
+                out_a = xa * xa % q
+            else:  # CMODMUL — dispatch guarantees coverage
+                out_a = xa * (cmd.constant % q) % q
+            out = out_a.tolist()
+            self._bulk_pointwise_stats(op, n)
         else:
             if op is Opcode.PMODMUL:
                 out = [a * b % q for a, b in zip(x, y)]
@@ -322,6 +387,18 @@ class Mdmc:
         if self.pe._barrett is None:
             raise ConfigError("modulus not programmed (Q register)")
         return self.pe.q
+
+    @staticmethod
+    def _numpy_ok(q: int) -> bool:
+        """Whether vector fidelity may use the int64 numpy kernels.
+
+        Word-sized moduli (< 2^31) keep every butterfly product below
+        2^62; the ``REPRO_ENGINE=off`` kill switch forces the scalar
+        walk, which benchmarks use to time the pure-Python baseline.
+        Either way the results are bit-identical — the numpy kernels run
+        the same stage walk with the same bank-resident twiddles.
+        """
+        return engine_enabled() and q.bit_length() < 32 and q > 0
 
     def _load_vector(self, address: int, count: int) -> list[int]:
         values, _ = self.bus.burst_read(address, count)

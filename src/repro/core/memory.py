@@ -98,11 +98,10 @@ class SramBank:
             return
         self._check(addr)
         self._check(addr + len(values) - 1)
-        for v in values:
-            if v < 0 or v > WORD_MASK:
-                raise MemoryFault(
-                    f"{self.name}: value does not fit in a {WORD_BITS}-bit word"
-                )
+        if min(values) < 0 or max(values) > WORD_MASK:
+            raise MemoryFault(
+                f"{self.name}: value does not fit in a {WORD_BITS}-bit word"
+            )
         self.stats.writes += len(values)
         self.data[addr : addr + len(values)] = values
 

@@ -22,14 +22,28 @@ def bit_reverse(value: int, bits: int) -> int:
     return result
 
 
+#: memoized tables keyed by ``n`` — hot callers (the MDMC's iNTT twiddle
+#: permutation) ask for the same table once per command.
+_TABLES: dict[int, list[int]] = {}
+
+
 def bit_reverse_indices(n: int) -> list[int]:
-    """Return the length-``n`` bit-reversal index table (n a power of two)."""
+    """Return the length-``n`` bit-reversal index table (n a power of two).
+
+    The table is cached per ``n`` and shared — callers must treat it as
+    read-only.
+    """
     if n < 1 or n & (n - 1):
         raise ValueError(f"length must be a power of two, got {n}")
-    bits = n.bit_length() - 1
-    table = [0] * n
-    for i in range(1, n):
-        table[i] = (table[i >> 1] >> 1) | ((i & 1) << (bits - 1))
+    table = _TABLES.get(n)
+    if table is None:
+        bits = n.bit_length() - 1
+        table = [0] * n
+        for i in range(1, n):
+            table[i] = (table[i >> 1] >> 1) | ((i & 1) << (bits - 1))
+        if len(_TABLES) >= 32:
+            _TABLES.pop(next(iter(_TABLES)))
+        _TABLES[n] = table
     return table
 
 

@@ -284,11 +284,132 @@ class BatchedRnsEngine:
 
     def centered_reconstruct(self, stack: np.ndarray) -> list[int]:
         """CRT-recombine into the symmetric interval ``(-q/2, q/2]``."""
+        out = self.centered_values(stack)
+        return [int(v) for v in out]
+
+    def _garner_values(self, a: np.ndarray) -> np.ndarray:
+        """Garner recombination of reduced ``(B, L, n)`` stacks.
+
+        Returns a ``(B, n)`` object array of values in ``[0, P)``. The
+        digit extraction stays in int64 (every intermediate is reduced
+        mod one word-sized tower); only the final Horner accumulation
+        touches Python big ints, as one C-looped object pass per tower.
+        """
+        moduli = self.basis.moduli
+        digits = np.empty_like(a)
+        digits[:, 0] = a[:, 0]
+        for k in range(1, self.num_towers):
+            qk = moduli[k]
+            prefix, inv = self._garner[k]
+            acc = digits[:, 0] % qk
+            for i in range(1, k):
+                acc = (acc + digits[:, i] * prefix[i]) % qk
+            digits[:, k] = (a[:, k] - acc) * inv % qk
+        # Combine adjacent digits in int64 first (``d_k + q_k * d_{k+1}``
+        # stays below 2^62 for sub-31-bit towers), so the object-dtype
+        # Horner pass runs over half as many limbs — same exact value,
+        # half the big-int vector operations.
+        limbs: list[np.ndarray] = []
+        limb_moduli: list[int] = []
+        k = 0
+        while k + 1 < self.num_towers:
+            limbs.append(digits[:, k] + moduli[k] * digits[:, k + 1])
+            limb_moduli.append(moduli[k] * moduli[k + 1])
+            k += 2
+        if k < self.num_towers:
+            limbs.append(digits[:, k])
+            limb_moduli.append(moduli[k])
+        out = limbs[-1].astype(object)
+        for i in range(len(limbs) - 2, -1, -1):
+            out = out * limb_moduli[i] + limbs[i]
+        return out
+
+    def centered_values(self, stack: np.ndarray) -> np.ndarray:
+        """CRT values in ``(-P/2, P/2]`` as an object array.
+
+        Accepts one ``(L, n)`` stack (returns shape ``(n,)``) or a batch
+        ``(k, L, n)`` (returns ``(k, n)``). Bit-identical per coefficient
+        to :meth:`centered_reconstruct`, without the Python list pass —
+        callers that keep computing on the exact values (the scheme's
+        ``t/q`` rounding, the relinearization fold) stay vectorized.
+        """
+        a, squeeze = self._prepare_nd(stack)
+        out = self._garner_values(a)
         modulus = self.modulus
-        half = modulus // 2
-        return [
-            v - modulus if v > half else v for v in self.reconstruct(stack)
-        ]
+        out = np.where(out > modulus >> 1, out - modulus, out)
+        return out[0] if squeeze else out
+
+    def round_scale(self, stack: np.ndarray, t: int, q: int) -> list:
+        """The Eq. 4 scaling: ``round(t * c / q) mod q`` per coefficient.
+
+        ``c`` is the centered CRT value of each coefficient of ``stack``
+        (the exact integer tensor product, carried in this engine's
+        auxiliary basis). Rounding is half-away-from-zero, bit-identical
+        to the scheme's scalar ``_round_div(t * c, q) % q``, via the
+        floor-division identity ``(2*t*c + q - [c < 0]) // (2*q)`` — one
+        vectorized object pass instead of a per-coefficient Python loop.
+
+        Accepts one ``(L, n)`` stack (returns ``list[int]``) or a batch
+        ``(k, L, n)`` (returns ``k`` coefficient lists — e.g. the three
+        tensor components scale in one call).
+        """
+        if t < 1 or q < 1:
+            raise ValueError("round_scale needs positive t and q")
+        a, squeeze = self._prepare_nd(stack)
+        c = self.centered_values(a)
+        # adj must stay an object array: q may exceed int64.
+        adj = np.full(c.shape, q, dtype=object)
+        adj[c < 0] = q - 1
+        scaled = (2 * t * c + adj) // (2 * q) % q
+        if squeeze:
+            return [int(v) for v in scaled[0]]
+        return [[int(v) for v in row] for row in scaled]
+
+    def digit_decompose(
+        self, coeffs: Sequence[int], digit_bits: int, num_digits: int
+    ) -> np.ndarray:
+        """Base-T digit decomposition onto the full tower stack.
+
+        Splits each *canonical* (``[0, q)``) coefficient into
+        ``num_digits`` base-``2**digit_bits`` digits and broadcasts every
+        digit polynomial across the engine's towers: the result is a
+        ``(num_digits, num_towers, n)`` int64 batch, ready for one
+        batched :meth:`forward` pass (the relinearization fold).
+
+        Raises:
+            ValueError: if any coefficient is negative — a centered
+                coefficient would sign-extend under the mask and corrupt
+                the fold, exactly like the scalar
+                ``Bfv._decompose_digits`` path.
+        """
+        if digit_bits < 1 or num_digits < 1:
+            raise ValueError("digit_bits and num_digits must be >= 1")
+        obj = np.asarray(coeffs, dtype=object)
+        if obj.shape != (self.n,):
+            raise ValueError(f"expected {self.n} coefficients, got {obj.shape}")
+        if bool((obj < 0).any()):
+            raise ValueError(
+                "digit decomposition requires canonical coefficients in "
+                "[0, q); got a negative (centered?) coefficient"
+            )
+        mask = (1 << digit_bits) - 1
+        rows = np.empty((num_digits, self.n), dtype=object)
+        for i in range(num_digits):
+            rows[i] = obj & mask
+            obj = obj >> digit_bits
+        if mask < min(self.basis.moduli):
+            # Digits already lie below every tower modulus: one int64
+            # conversion, broadcast across towers, zero reduction passes.
+            flat = rows.astype(np.int64)
+            return np.broadcast_to(
+                flat[:, None, :], (num_digits, self.num_towers, self.n)
+            ).copy()
+        # Digits are < 2**digit_bits; the per-tower reduction keeps the
+        # stack int64-safe even for digit widths near the modulus width.
+        return np.asarray(
+            [[row % q for q in self.basis.moduli] for row in rows],
+            dtype=np.int64,
+        ).reshape(num_digits, self.num_towers, self.n)
 
     # ------------------------------------------------------------------
     # Transforms
@@ -442,6 +563,74 @@ class BatchedRnsEngine:
         y1 = (fa0 * fb1 % q + fa1 * fb0 % q) % q
         out = self.inverse(np.stack((y0, y1, y2)))
         return out[0], out[1], out[2]
+
+    def tensor_square(
+        self, a0: np.ndarray, a1: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The Eq. 4 tensor of a ciphertext with itself.
+
+        Two batched forward NTTs instead of four — the cross term is
+        ``2 * a0 * a1`` — matching the scheme's ``square`` op mix.
+        """
+        f0, f1 = self.forward(np.stack((a0, a1)))
+        q = self._q
+        y0 = f0 * f0 % q
+        y2 = f1 * f1 % q
+        y1 = 2 * (f0 * f1 % q) % q
+        out = self.inverse(np.stack((y0, y1, y2)))
+        return out[0], out[1], out[2]
+
+    def tensor_many(self, ops: np.ndarray) -> np.ndarray:
+        """Eq. 4 tensors for ``J`` operand quadruples in one transform pass.
+
+        ``ops`` is a ``(J, 4, L, n)`` stack of decomposed operands
+        ``(a0, a1, b0, b1)`` per job (pass ``(a0, a1, a0, a1)`` to
+        square — the cross term ``a0*a1 + a1*a0`` reduces to the same
+        residues as :meth:`tensor_square`'s ``2*a0*a1``). Returns the
+        ``(J, 3, L, n)`` tensor components, bit-identical per job to
+        :meth:`tensor`; the fixed per-call transform overhead (stage
+        loop, tower loop) is paid once for the whole batch instead of
+        once per job.
+        """
+        ops = np.asarray(ops, dtype=np.int64)
+        if (
+            ops.ndim != 4
+            or ops.shape[1] != 4
+            or ops.shape[2:] != (self.num_towers, self.n)
+        ):
+            raise ValueError(
+                f"expected a (J, 4, {self.num_towers}, {self.n}) operand "
+                f"stack, got {ops.shape}"
+            )
+        J = ops.shape[0]
+        fwd = self.forward(
+            ops.reshape(4 * J, self.num_towers, self.n)
+        ).reshape(J, 4, self.num_towers, self.n)
+        q = self._q
+        fa0, fa1, fb0, fb1 = fwd[:, 0], fwd[:, 1], fwd[:, 2], fwd[:, 3]
+        y0 = fa0 * fb0 % q
+        y2 = fa1 * fb1 % q
+        y1 = (fa0 * fb1 % q + fa1 * fb0 % q) % q
+        ys = np.stack((y0, y1, y2), axis=1)
+        out = self.inverse(ys.reshape(3 * J, self.num_towers, self.n))
+        return out.reshape(J, 3, self.num_towers, self.n)
+
+    def nttdomain_fold(self, fwd: np.ndarray, key_fwd: np.ndarray) -> np.ndarray:
+        """Key-switch fold in the NTT domain: ``sum_d fwd[:, d] ∘ key_fwd[d]``.
+
+        ``fwd`` is a ``(J, D, L, n)`` batch of forward-transformed digit
+        polynomials (J jobs, D digits); ``key_fwd`` a ``(D, L, n)`` stack
+        of forward-transformed relin-key rows. Returns the ``(J, L, n)``
+        mod-q accumulation, still in NTT (bit-reversed) order — callers
+        run one batched :meth:`inverse` over every job/component at once.
+        Each product is reduced before accumulating so the int64 domain
+        is never exceeded.
+        """
+        q = self._q
+        acc = fwd[:, 0] * key_fwd[0] % q
+        for d in range(1, key_fwd.shape[0]):
+            acc = (acc + fwd[:, d] * key_fwd[d]) % q
+        return acc
 
     # ------------------------------------------------------------------
     # Sub-views

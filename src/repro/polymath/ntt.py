@@ -39,6 +39,28 @@ class NttContext:
             the factorization of ``q - 1`` when omitted.
     """
 
+    #: shared contexts keyed ``(n, q)`` — twiddle tables are immutable
+    #: after construction, so every ring/driver for the same modulus can
+    #: reuse one table instead of re-deriving psi per instance.
+    _shared: dict[tuple[int, int], "NttContext"] = {}
+
+    @classmethod
+    def shared(cls, n: int, q: int) -> "NttContext":
+        """Return (building once) the cached context for ``(n, q)``.
+
+        The derived-psi constructor is deterministic, so the shared
+        instance is bit-identical to a fresh one; only contexts with an
+        explicit ``psi`` need private construction.
+        """
+        key = (n, q)
+        ctx = cls._shared.get(key)
+        if ctx is None:
+            ctx = cls(n, q)
+            if len(cls._shared) >= 64:
+                cls._shared.pop(next(iter(cls._shared)))
+            cls._shared[key] = ctx
+        return ctx
+
     def __init__(self, n: int, q: int, psi: int | None = None):
         if n < 2 or n & (n - 1):
             raise ValueError(f"polynomial degree must be a power of two, got {n}")

@@ -36,7 +36,7 @@ class PolynomialRing:
         self._ntt: NttContext | None = None
         if (q - 1) % (2 * n) == 0:
             try:
-                self._ntt = NttContext(n, q)
+                self._ntt = NttContext.shared(n, q)
             except ValueError:
                 self._ntt = None
         if self._ntt is None and not allow_non_ntt:
@@ -135,6 +135,27 @@ class Polynomial:
         if len(reduced) < ring.n:
             reduced = reduced + (0,) * (ring.n - len(reduced))
         self.coeffs = reduced
+
+    @classmethod
+    def from_canonical(
+        cls, ring: PolynomialRing, coeffs: Iterable[int]
+    ) -> "Polynomial":
+        """Wrap length-``n`` coefficients already reduced into ``[0, q)``.
+
+        Skips the constructor's per-coefficient ``% q`` pass — for hot
+        paths whose outputs are canonical by construction (the batched
+        engine's round-scaling and key-switch fold both end in an exact
+        ``% q``). Callers own the invariant; nothing is re-checked.
+        """
+        p = object.__new__(cls)
+        p.ring = ring
+        p.coeffs = tuple(coeffs)
+        if len(p.coeffs) != ring.n:
+            raise ValueError(
+                f"expected exactly {ring.n} canonical coefficients, "
+                f"got {len(p.coeffs)}"
+            )
+        return p
 
     # -- ring operations -------------------------------------------------
 

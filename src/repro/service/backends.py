@@ -54,7 +54,9 @@ from repro.service.circuits import (
 from repro.service.jobs import Job, JobKind
 from repro.service.registry import Session, SessionRegistry
 from repro.service.towers import (
+    KeySwitchWorkItem,
     TowerGather,
+    plan_keyswitch_dispatch,
     plan_tower_dispatch,
     tower_items_for,
 )
@@ -79,9 +81,18 @@ class BatchReport:
     ``fidelity`` counts jobs per execution path: ``"chip"`` jobs ran every
     tower of their Eq. 4 tensor through a worker driver with a mod-q
     cross-check; ``"model"`` jobs were priced from the compiled DAG or the
-    app cost model; ``"relin_model"`` counts jobs whose relinearization
-    tail was model-priced (relinearization never executes on-chip) — the
-    flag that replaces PR 1's silent software fallback.
+    app cost model; ``"relin_engine"`` counts jobs whose relinearization
+    tail executed as chip-side key-switch work units through the batched
+    engine fold; ``"relin_model"`` remains for params the engine cannot
+    carry (wide digits or an engine-incapable basis), where the tail is
+    still model-priced only.
+
+    Cross-batch pipelining accounting: ``overlap_cycles`` is how many of
+    this batch's level-0 tower cycles started inside the previous batch's
+    gather window (per-worker idle headroom below the pool barrier), and
+    ``pipelined_makespan_cycles`` the batch's wall-clock extent beyond
+    that barrier — at most ``makespan_cycles``, which stays the
+    un-pipelined per-batch share.
     """
 
     batch_id: int
@@ -95,6 +106,8 @@ class BatchReport:
     makespan_cycles: int = 0
     tower_cycles: tuple[int, ...] = ()
     fidelity: dict[str, int] = field(default_factory=dict)
+    overlap_cycles: int = 0
+    pipelined_makespan_cycles: int = 0
 
 
 def default_app_params(kind: JobKind) -> BfvParameters:
@@ -329,6 +342,110 @@ class Backend:
         job.metrics.backend = name
         job.metrics.batch_id = batch_id
 
+    def _defer_candidate(
+        self, registry: SessionRegistry, job: Job
+    ) -> tuple[Job, Session, Bfv] | None:
+        """Whether a keyed MULTIPLY/SQUARE can join the batched tensor path.
+
+        Batch-aware relinearization: instead of each job folding its own
+        digit decomposition through the eval key, the backend runs only
+        the Eq. 4 tensor (batched across the candidates, see
+        :meth:`_tensor_deferred`) and joins the job to the batch's shared
+        key-switch pass (one :meth:`~repro.bfv.scheme.Bfv.relinearize_many`
+        call per eval-key digest). Returns ``None`` when the job must take
+        the ordinary per-job path — unkeyed, non-tensor, or an engine that
+        cannot carry the batched fold.
+        """
+        if job.kind not in (JobKind.MULTIPLY, JobKind.SQUARE):
+            return None
+        session = registry.get(job.session_id)
+        if session.relin is None:
+            return None
+        for ct in job.operands:
+            registry.check_compatible(session, ct)
+        engine = self._engine(registry, session)
+        if not engine.can_batch_relinearize(session.relin):
+            return None
+        return job, session, engine
+
+    @staticmethod
+    def _tensor_deferred(
+        candidates, trace_execute: bool = True,
+        wait_from: float | None = None,
+    ):
+        """Run the deferred candidates' Eq. 4 tensors, batched per engine.
+
+        One :meth:`~repro.bfv.scheme.Bfv.multiply_many` call per engine
+        covers every candidate's tensor (the operand transforms ride one
+        forward pass, one inverse covers all components). If the batched
+        call raises, the group re-runs job by job so a bad operand fails
+        alone. Returns ``(entries, failures)``: entries are
+        ``(job, session, engine, tensor, seconds)`` with the measured
+        tensor window split evenly across the group; failures are
+        ``(job, exc)``.
+
+        When ``trace_execute`` is on, ``wait_from`` (the batch start)
+        closes each deferred job's attribution gap: a candidate skips
+        the per-job loop, so its wait on batch siblings runs until its
+        tensor actually starts — marked here as ``batch_wait``.
+        """
+        groups: dict[int, list] = {}
+        for cand in candidates:
+            groups.setdefault(id(cand[2]), []).append(cand)
+        entries: list[tuple] = []
+        failures: list[tuple[Job, Exception]] = []
+        for group in groups.values():
+            engine = group[0][2]
+            pairs = [
+                (
+                    job.operands[0],
+                    job.operands[1] if job.kind is JobKind.MULTIPLY else None,
+                )
+                for job, _session, _engine in group
+            ]
+            t0 = time.perf_counter()
+            try:
+                tensors = engine.multiply_many(pairs)
+            except Exception:  # noqa: BLE001 — re-run alone to attribute
+                tensors = None
+            t1 = time.perf_counter()
+            if tensors is not None:
+                share = (t1 - t0) / len(group)
+                for (job, session, eng), tensor in zip(group, tensors):
+                    if trace_execute and job.trace.enabled:
+                        if wait_from is not None:
+                            job.trace.mark("batch_wait", wait_from, t0)
+                        job.trace.mark("execute", t0, t1)
+                    entries.append((job, session, eng, tensor, share))
+                continue
+            for job, session, eng in group:
+                s0 = time.perf_counter()
+                try:
+                    tensor = (
+                        eng.multiply(job.operands[0], job.operands[1])
+                        if job.kind is JobKind.MULTIPLY
+                        else eng.square(job.operands[0])
+                    )
+                except Exception as exc:  # noqa: BLE001 — fail alone
+                    failures.append((job, exc))
+                    continue
+                s1 = time.perf_counter()
+                if trace_execute and job.trace.enabled:
+                    if wait_from is not None:
+                        job.trace.mark("batch_wait", wait_from, s0)
+                    job.trace.mark("execute", s0, s1)
+                entries.append((job, session, eng, tensor, s1 - s0))
+        return entries, failures
+
+    @staticmethod
+    def _keyswitch_groups(deferred):
+        """Group deferred entries by (engine, eval key) for one shared fold."""
+        groups: dict[tuple[int, int], list] = {}
+        for entry in deferred:
+            key = (id(entry[2]), id(entry[1].relin))
+            groups.setdefault(key, []).append(entry)
+        return list(groups.values())
+
 
 # ----------------------------------------------------------------------
 # Chip pool
@@ -451,6 +568,7 @@ class ChipPoolBackend(Backend):
         self._mod_q_reference: dict[bytes, SoftwareBfv] = {}
         self._tensor_estimate: dict[int, int] = {}  # n -> per-tower cycles
         self._no_fast_engine: set[bytes] = set()  # digests that can't go fast
+        self._overlap_cycles = 0  # cumulative cross-batch pipeline overlap
 
     # -- accounting --------------------------------------------------------
 
@@ -510,6 +628,37 @@ class ChipPoolBackend(Backend):
         # Eq. 4 tensor's operands for the tower-sharded chip replay.
         live: list[tuple[int, Job, Session, object, Workload | None]] = []
         traces: dict[int, list[tuple[int, Ciphertext, Ciphertext]]] = {}
+        #: seq -> (engine, size-3 tensor) for jobs whose relinearization is
+        #: deferred to the batched chip-side key-switch in Phase 5.
+        deferred: dict[int, tuple[Bfv, Ciphertext]] = {}
+        # Pre-pass: every chip-bound keyed tensor rides one batched
+        # engine call (the key-switches execute in Phase 5 as chip-side
+        # work units). A job whose candidacy or tensor fails here simply
+        # stays out of ``pre`` and takes the per-job path below, which
+        # re-raises with per-job fault attribution.
+        pre: dict[int, tuple[Session, Bfv, Ciphertext]] = {}
+        if self.data_fidelity:
+            cands: list[tuple[int, tuple[Job, Session, Bfv]]] = []
+            for seq, job in enumerate(jobs):
+                if job.kind not in (JobKind.MULTIPLY, JobKind.SQUARE):
+                    continue
+                try:
+                    if self._chip_native_basis(
+                            registry.get(job.session_id)) is None:
+                        continue
+                    cand = self._defer_candidate(registry, job)
+                except Exception:  # noqa: BLE001 — per-job path attributes
+                    continue
+                if cand is not None:
+                    cands.append((seq, cand))
+            entries, _failures = self._tensor_deferred(
+                [c for _, c in cands], trace_execute=False
+            )
+            by_job = {id(e[0]): e for e in entries}
+            for seq, (job, _session, _engine) in cands:
+                entry = by_job.get(id(job))
+                if entry is not None:
+                    pre[seq] = (entry[1], entry[2], entry[3])
         for seq, job in enumerate(jobs):
             own_start = time.perf_counter()
             try:
@@ -536,7 +685,13 @@ class ChipPoolBackend(Backend):
                     traces[seq] = trace
                     workload = None
                 else:
-                    session, result, workload = self._run_job(registry, job)
+                    entry = pre.get(seq)
+                    if entry is not None:
+                        session, d_engine, tensor = entry
+                        result, workload = tensor, None
+                        deferred[seq] = (d_engine, tensor)
+                    else:
+                        session, result, workload = self._run_job(registry, job)
             except Exception as exc:  # noqa: BLE001 — jobs must fail alone
                 self._fail_job(job, batch_id, self.name, exc)
                 continue
@@ -595,8 +750,19 @@ class ChipPoolBackend(Backend):
                     and (job.kind in (JobKind.MULTIPLY, JobKind.SQUARE)
                          or (job.kind is JobKind.CIRCUIT
                              and job.payload.uses_relin))):
-                job.metrics.relin_fidelity = "model"
-                fidelity["relin_model"] = fidelity.get("relin_model", 0) + 1
+                # Engine-capable params ran their key-switch through the
+                # batched fold inside the functional execution; only the
+                # tail *pricing* is modeled. Params the engine cannot
+                # carry keep the model flag.
+                label = (
+                    "engine"
+                    if self._engine(registry, session).can_batch_relinearize(
+                        session.relin
+                    )
+                    else "model"
+                )
+                job.metrics.relin_fidelity = label
+                fidelity[f"relin_{label}"] = fidelity.get(f"relin_{label}", 0) + 1
             self._finish_job(job, batch_id, lead.index, cycles, freq, result)
         if model_path:
             sections.append(("execute", p3_start, time.perf_counter()))
@@ -620,6 +786,12 @@ class ChipPoolBackend(Backend):
         unit_by_id = {u.unit: u for u in units}
         unit_cycles: dict[int, dict[int, int]] = {}
         unit_workers: dict[int, dict[int, int]] = {}
+        # Cross-batch pipelining: per-worker cycles this batch's *first*
+        # tower level added. A worker below the pool barrier (the previous
+        # batch's makespan point) has idle headroom there, so its share of
+        # the first level starts inside the previous batch's gather window.
+        first_level = min({u.level for u in units}, default=None)
+        level0_added: dict[int, int] = {}
         for level in sorted({u.level for u in units}):
             t_plan = time.perf_counter()
             level_units = [
@@ -663,6 +835,8 @@ class ChipPoolBackend(Backend):
                     gather.put(item.job_seq, item.tower, outs)
                     unit_cycles.setdefault(u.unit, {})[item.tower] = cycles
                     unit_workers.setdefault(u.unit, {})[item.tower] = widx
+                    if level == first_level:
+                        level0_added[widx] = level0_added.get(widx, 0) + cycles
             t_barrier = time.perf_counter()
             sections.append(("worker_execute", t_run, t_barrier))
             # Level barrier: every surviving unit of this level must have
@@ -697,6 +871,33 @@ class ChipPoolBackend(Backend):
         if recombined:
             sections.append(("crt_recombine", crt_start, time.perf_counter()))
 
+        # Chip-side key-switch: every deferred tensor's relinearization
+        # executes here as one batched engine fold per eval-key digest —
+        # the digit decomposition, forward NTT, and key-row accumulation
+        # are shared across the group's jobs instead of re-run per job.
+        ks_results: dict[int, Ciphertext] = {}
+        ks_live = [s for s in chip_jobs if s not in failed and s in deferred]
+        if ks_live:
+            ks_start = time.perf_counter()
+            ks_groups: dict[tuple[int, int], list[int]] = {}
+            for s in ks_live:
+                key = (id(deferred[s][0]), id(chip_jobs[s][1].relin))
+                ks_groups.setdefault(key, []).append(s)
+            for seqs in ks_groups.values():
+                eng = deferred[seqs[0]][0]
+                relin = chip_jobs[seqs[0]][1].relin
+                try:
+                    outs = eng.relinearize_many(
+                        [deferred[s][1] for s in seqs], relin
+                    )
+                except Exception as exc:  # noqa: BLE001 — jobs fail alone
+                    for s in seqs:
+                        self._fail_job(chip_jobs[s][0], batch_id, self.name, exc)
+                        failed.add(s)
+                    continue
+                ks_results.update(zip(seqs, outs))
+            sections.append(("keyswitch", ks_start, time.perf_counter()))
+
         relin_start = time.perf_counter()
         for seq, (job, session, result, basis) in chip_jobs.items():
             if seq in failed:
@@ -707,21 +908,30 @@ class ChipPoolBackend(Backend):
             finish_worker = lead
             if session.relin is not None:
                 # The key-switch runs after each tensor's gather and is
-                # not tower-bound: charge every tail to the then
-                # least-loaded worker so it does not serialize on the
-                # lead. Raw jobs have one tensor; circuits one per
-                # tensor step.
-                for _ in job_units[seq]:
-                    finish_worker = min(
-                        self.workers, key=lambda w: (w.busy_cycles, w.index)
-                    )
-                    tail = finish_worker.chip.timing.relinearization_cycles(
-                        session.params.n, session.relin.num_digits, towers_n
-                    )
-                    finish_worker.busy_cycles += tail
-                    relin_cycles += tail
-                job.metrics.relin_fidelity = "model"
-                fidelity["relin_model"] = fidelity.get("relin_model", 0) + 1
+                # not tower-bound: each tail becomes a KeySwitchWorkItem
+                # charged to the then-least-loaded worker so it does not
+                # serialize on the lead. Raw jobs have one tensor;
+                # circuits one per tensor step.
+                est = self.workers[0].chip.timing.relinearization_cycles(
+                    session.params.n, session.relin.num_digits, towers_n
+                )
+                items = [
+                    KeySwitchWorkItem(job_seq=seq, est_cycles=est)
+                    for _ in job_units[seq]
+                ]
+                widxs = plan_keyswitch_dispatch(
+                    items, [w.busy_cycles for w in self.workers]
+                )
+                for item, widx in zip(items, widxs):
+                    self.workers[widx].busy_cycles += item.est_cycles
+                    relin_cycles += item.est_cycles
+                finish_worker = self.workers[widxs[-1]]
+                capable = seq in ks_results or self._engine(
+                    registry, session
+                ).can_batch_relinearize(session.relin)
+                label = "engine" if capable else "model"
+                job.metrics.relin_fidelity = label
+                fidelity[f"relin_{label}"] = fidelity.get(f"relin_{label}", 0) + 1
             linear_cycles = 0
             if job.kind is JobKind.CIRCUIT:
                 linear_cycles = self._circuit_linear_cycles(
@@ -743,7 +953,8 @@ class ChipPoolBackend(Backend):
             fidelity["chip"] = fidelity.get("chip", 0) + 1
             self._finish_job(
                 job, batch_id, finish_worker.index,
-                sum(per_tower) + relin_cycles + linear_cycles, freq, result,
+                sum(per_tower) + relin_cycles + linear_cycles, freq,
+                ks_results.get(seq, result),
             )
         if recombined:
             sections.append(("relin_tail", relin_start, time.perf_counter()))
@@ -780,7 +991,26 @@ class ChipPoolBackend(Backend):
         }
         batch_cycles = sum(added.values())
         used = tuple(sorted(i for i, c in added.items() if c > 0))
+        # Cross-batch pipelining: a worker whose busy clock sat below the
+        # pool barrier (the previous batch's makespan point) starts its
+        # first-level tower units inside the previous batch's gather
+        # window. ``overlap`` counts those early-start cycles; the batch's
+        # pipelined extent is how far it pushes the pool frontier beyond
+        # the barrier — at most the un-pipelined makespan.
+        barrier_start = max(busy_before.values())
+        overlap = sum(
+            min(level0_added.get(w.index, 0),
+                max(0, barrier_start - busy_before[w.index]))
+            for w in self.workers
+        )
+        pipelined = max(w.busy_cycles for w in self.workers) - barrier_start
+        self._overlap_cycles += overlap
         if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_pipeline_overlap_cycles",
+                "cumulative tower cycles started inside a previous "
+                "batch's gather window",
+            ).set(self._overlap_cycles)
             total = self.total_cycles
             for w in self.workers:
                 self.metrics.gauge(
@@ -810,6 +1040,8 @@ class ChipPoolBackend(Backend):
                 for t in range(len(batch_tower_cycles))
             ),
             fidelity=fidelity,
+            overlap_cycles=overlap,
+            pipelined_makespan_cycles=pipelined,
         )
 
     def _finish_job(
@@ -1007,12 +1239,21 @@ class SoftwareBackend(Backend):
     ) -> BatchReport:
         batch_seconds = 0.0
         batch_start = time.perf_counter()
+        candidates: list[tuple[Job, Session, Bfv]] = []
         for job in jobs:
-            if job.trace.enabled:
-                # Jobs run serially: everything before this job's own
-                # start is time spent waiting on batch siblings.
-                job.trace.mark("batch_wait", batch_start, time.perf_counter())
             try:
+                cand = self._defer_candidate(registry, job)
+                if cand is not None:
+                    # Deferred jobs wait until the batched tensor starts;
+                    # _tensor_deferred marks their batch_wait + execute.
+                    candidates.append(cand)
+                    continue
+                if job.trace.enabled:
+                    # Jobs run serially: everything before this job's own
+                    # start is time spent waiting on batch siblings.
+                    job.trace.mark(
+                        "batch_wait", batch_start, time.perf_counter()
+                    )
                 with job.trace.span("execute"):
                     session, result, workload = self._run_job(registry, job)
                 seconds = self._job_seconds(session, job, workload)
@@ -1025,6 +1266,40 @@ class SoftwareBackend(Backend):
             job.metrics.seconds = seconds
             batch_seconds += seconds
             self.jobs_done += 1
+        # Batch-aware tensors + key-switch: one engine pass covers every
+        # deferred tensor, then one shared digit-decomposition fold per
+        # eval-key digest relinearizes them. Modeled pricing is
+        # unchanged — batching shifts the *measured* wall, not the model.
+        deferred, tensor_failures = self._tensor_deferred(
+            candidates, wait_from=batch_start
+        )
+        for job, exc in tensor_failures:
+            self._fail_job(job, batch_id, self.name, exc)
+        for group in self._keyswitch_groups(deferred):
+            engine, relin = group[0][2], group[0][1].relin
+            ks_start = time.perf_counter()
+            try:
+                results = engine.relinearize_many(
+                    [e[3] for e in group], relin
+                )
+            except Exception as exc:  # noqa: BLE001 — jobs must fail alone
+                for job, *_rest in group:
+                    self._fail_job(job, batch_id, self.name, exc)
+                continue
+            ks_end = time.perf_counter()
+            for (job, session, _eng, _tensor, _secs), result in zip(
+                group, results
+            ):
+                if job.trace.enabled:
+                    job.trace.mark("keyswitch", ks_start, ks_end)
+                seconds = self._job_seconds(session, job, None)
+                job.finish(result)
+                job.metrics.backend = self.name
+                job.metrics.batch_id = batch_id
+                job.metrics.seconds = seconds
+                job.metrics.relin_fidelity = "engine"
+                batch_seconds += seconds
+                self.jobs_done += 1
         self._elapsed += batch_seconds
         return BatchReport(
             batch_id=batch_id, backend=self.name, worker=0,
@@ -1101,11 +1376,18 @@ class FastNttBackend(Backend):
     ) -> BatchReport:
         batch_seconds = 0.0
         batch_start = time.perf_counter()
+        candidates: list[tuple[Job, Session, Bfv]] = []
         for job in jobs:
             start = time.perf_counter()
-            if job.trace.enabled:
-                job.trace.mark("batch_wait", batch_start, start)
             try:
+                cand = self._defer_candidate(registry, job)
+                if cand is not None:
+                    # Deferred jobs wait until the batched tensor starts;
+                    # _tensor_deferred marks their batch_wait + execute.
+                    candidates.append(cand)
+                    continue
+                if job.trace.enabled:
+                    job.trace.mark("batch_wait", batch_start, start)
                 with job.trace.span("execute"):
                     session, result, _workload = self._run_job(registry, job)
             except Exception as exc:  # noqa: BLE001 — jobs must fail alone
@@ -1118,6 +1400,39 @@ class FastNttBackend(Backend):
             job.metrics.seconds = seconds
             batch_seconds += seconds
             self.jobs_done += 1
+        # Batched tensors, then one shared key-switch fold per eval-key
+        # digest; each measured window is split evenly across the jobs
+        # that rode it.
+        deferred, tensor_failures = self._tensor_deferred(
+            candidates, wait_from=batch_start
+        )
+        for job, exc in tensor_failures:
+            self._fail_job(job, batch_id, self.name, exc)
+        for group in self._keyswitch_groups(deferred):
+            engine, relin = group[0][2], group[0][1].relin
+            ks_start = time.perf_counter()
+            try:
+                results = engine.relinearize_many(
+                    [e[3] for e in group], relin
+                )
+            except Exception as exc:  # noqa: BLE001 — jobs must fail alone
+                for job, *_rest in group:
+                    self._fail_job(job, batch_id, self.name, exc)
+                continue
+            ks_end = time.perf_counter()
+            share = (ks_end - ks_start) / len(group)
+            for (job, _session, _eng, _tensor, tensor_secs), result in zip(
+                group, results
+            ):
+                if job.trace.enabled:
+                    job.trace.mark("keyswitch", ks_start, ks_end)
+                job.finish(result)
+                job.metrics.backend = self.name
+                job.metrics.batch_id = batch_id
+                job.metrics.seconds = tensor_secs + share
+                job.metrics.relin_fidelity = "engine"
+                batch_seconds += tensor_secs + share
+                self.jobs_done += 1
         self._elapsed += batch_seconds
         return BatchReport(
             batch_id=batch_id, backend=self.name, worker=0,

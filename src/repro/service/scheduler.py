@@ -105,13 +105,35 @@ class ServiceStats:
         return sum(b.makespan_cycles for b in self.batches)
 
     @property
+    def pipelined_makespan_cycles(self) -> int:
+        """Pool wall time with cross-batch tower pipelining.
+
+        Each chip-pool batch's extent beyond the previous batch's gather
+        barrier; a batch whose first tower level fit entirely into the
+        previous batch's straggler window contributes less than its own
+        :attr:`makespan_cycles`. Backends that do not pipeline report 0
+        and fall back to their makespan.
+        """
+        return sum(
+            b.pipelined_makespan_cycles or b.makespan_cycles
+            for b in self.batches
+        )
+
+    @property
+    def overlap_cycles(self) -> int:
+        """Total tower cycles started inside a previous batch's gather window."""
+        return sum(b.overlap_cycles for b in self.batches)
+
+    @property
     def fidelity(self) -> dict[str, int]:
         """Aggregate execution-path counts across every batch.
 
         Keys are the :class:`~repro.service.backends.BatchReport` fidelity
         labels: ``"chip"`` (tensor ran tower-by-tower on worker drivers),
-        ``"model"`` (DAG/cost-model pricing), ``"relin_model"``
-        (relinearization tail priced, never chip-executed).
+        ``"model"`` (DAG/cost-model pricing), ``"relin_engine"``
+        (relinearization executed as batched chip-side key-switch work
+        units), ``"relin_model"`` (tail model-priced only — params the
+        engine cannot carry).
         """
         totals: dict[str, int] = {}
         for b in self.batches:
@@ -145,6 +167,10 @@ class BatchingScheduler:
         self._submit_seq = 0
         self._dispatch_seq = 0
         self._batch_ids = 0
+        #: Cross-batch pipelining: the next batch, formed while the
+        #: previous one was still executing (its stragglers gathering),
+        #: as ``(formed, rotation_snapshot, plan_start, plan_end)``.
+        self._preplanned: tuple | None = None
         self.stats = ServiceStats()
         #: Metrics sink (set by :class:`~repro.service.server.FheServer`;
         #: ``None`` leaves the scheduler un-instrumented for direct use).
@@ -175,7 +201,10 @@ class BatchingScheduler:
 
     @property
     def pending(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        queued = sum(len(q) for q in self._queues.values())
+        if self._preplanned is not None:
+            queued += len(self._preplanned[0][1])
+        return queued
 
     def _shed_expired(self) -> int:
         """Fail still-queued jobs whose deadline already passed.
@@ -254,6 +283,63 @@ class BatchingScheduler:
                         break
         return key, batch
 
+    # -- cross-batch pre-planning ---------------------------------------------
+
+    def _preplan(self) -> None:
+        """Form the next batch while the current one is still executing.
+
+        This is the scheduler half of cross-batch tower pipelining: batch
+        N+1 is planned during batch N's execution window (while N's
+        straggler towers are still gathering), so the chip pool can start
+        N+1's level-0 tower units in its workers' idle headroom below the
+        gather barrier. The plan is provisional — jobs leave their queues,
+        but fairness state is snapshotted so a stale plan (a deadline
+        expiring before dispatch) rolls back losslessly.
+        """
+        if self._preplanned is not None or self.pending == 0:
+            return
+        rotation = tuple(self._rotation)
+        plan_start = time.perf_counter()
+        formed = self.next_batch()
+        plan_end = time.perf_counter()
+        self._preplanned = (formed, rotation, plan_start, plan_end)
+
+    def _rollback_preplan(self) -> None:
+        """Return a provisional batch to its queues, restoring fairness.
+
+        Jobs go back to the *front* of their tenant queues in reverse
+        take order (queue order is exactly as before the plan), and the
+        rotation pointer returns to its snapshot — tenants that appeared
+        after the snapshot keep their place at the tail.
+        """
+        formed, rotation, _start, _end = self._preplanned
+        self._preplanned = None
+        _key, jobs = formed
+        for job in reversed(jobs):
+            self._queues[job.tenant].appendleft(job)
+        fresh = [t for t in self._rotation if t not in rotation]
+        self._rotation = deque(list(rotation) + fresh)
+
+    def _take_preplanned(self):
+        """The pre-planned batch, unless stale; ``None`` re-plans normally.
+
+        The deadline contract survives pipelining: ``_shed_expired`` never
+        sees pre-planned jobs, so a plan holding any job whose deadline
+        has passed is rolled back (and the queues re-shed) instead of
+        dispatching expired work.
+        """
+        if self._preplanned is None:
+            return None
+        formed, _rotation, plan_start, plan_end = self._preplanned
+        now = time.monotonic()
+        if any(j.deadline is not None and j.deadline <= now
+               for j in formed[1]):
+            self._rollback_preplan()
+            self._shed_expired()
+            return None
+        self._preplanned = None
+        return formed, plan_start, plan_end
+
     # -- dispatch ---------------------------------------------------------------
 
     def _async_backends(self) -> list[Backend]:
@@ -322,12 +408,19 @@ class BatchingScheduler:
         if harvested is not None:
             return harvested
         while self.pending > 0:
-            plan_start = time.perf_counter()
-            formed = self.next_batch()
-            plan_end = time.perf_counter()
+            taken = self._take_preplanned()
+            if taken is not None:
+                formed, plan_start, plan_end = taken
+            else:
+                if self.pending == 0:  # a stale pre-plan was fully shed
+                    break
+                plan_start = time.perf_counter()
+                formed = self.next_batch()
+                plan_end = time.perf_counter()
             (_, backend_name), jobs = formed
             backend = self.backends[backend_name]
             self._batch_ids += 1
+            dispatched_at = time.perf_counter()
             for job in jobs:
                 job.status = JobStatus.RUNNING
                 job.metrics.dispatched_seq = self._dispatch_seq
@@ -335,15 +428,26 @@ class BatchingScheduler:
                 trace = job.trace
                 if trace.enabled:
                     # queue_wait spans submit settling -> batch formation;
-                    # batch_plan is this next_batch call, charged to every
-                    # job it packed (their wall clocks all tick through it).
+                    # batch_plan is the next_batch call that packed the
+                    # job, charged to every job in the batch (their wall
+                    # clocks all tick through it). A pre-planned batch
+                    # formed during the previous batch's execution — the
+                    # stretch from plan to dispatch is time waiting on
+                    # that batch, marked batch_wait so the pipeline
+                    # window stays attributed.
                     if trace.queued_at is not None:
                         trace.mark("queue_wait", trace.queued_at, plan_start)
                     trace.mark("batch_plan", plan_start, plan_end)
+                    if taken is not None:
+                        trace.mark("batch_wait", plan_end, dispatched_at)
             if backend.supports_async:
                 backend.dispatch_batch(self._batch_ids, jobs, self.registry)
                 self._record_dispatched(backend_name, jobs)
                 continue
+            # Pipeline: plan batch N+1 before batch N executes, so its
+            # formation overlaps N's execution window and the chip pool
+            # sees back-to-back batches it can overlap at the barrier.
+            self._preplan()
             report = backend.execute_batch(self._batch_ids, jobs, self.registry)
             executed = time.perf_counter()
             self._record_dispatched(backend_name, jobs)

@@ -527,11 +527,15 @@ class FheServer:
         """Settle completion bookkeeping after scheduler progress.
 
         Moves freshly completed cacheable results into the cache (LRU),
-        fans a completed primary's result (or failure) out to its dedupe
-        followers, and retires content addresses whose primary finished —
-        the next identical submit then hits the result cache, or
-        re-executes if the primary failed or caching is off.
+        sheds dedupe followers whose deadline expired while their primary
+        is still in flight, fans a completed primary's result (or
+        failure) out to its surviving followers, and retires content
+        addresses whose primary finished — the next identical submit then
+        hits the result cache, or re-executes if the primary failed or
+        caching is off.
         """
+        if self._followers:
+            self._shed_expired_followers()
         if self._pending_cache:
             finished = [
                 jid for jid in self._pending_cache if self._jobs[jid].done
@@ -570,6 +574,44 @@ class FheServer:
                 k for k, jid in self._dedupe.items() if self._jobs[jid].done
             ]:
                 del self._dedupe[key]
+
+    def _shed_expired_followers(self) -> None:
+        """Fail dedupe followers whose deadline passed mid-flight.
+
+        A follower attached to an in-flight primary sits in no scheduler
+        queue, so the scheduler's batch-plan shed never visits it;
+        without this sweep an expired follower would settle late with the
+        primary's eventual result instead of failing with the typed
+        ``deadline expired`` error. Followers of a primary that has
+        already completed are left to the fan-out in the same harvest —
+        their result is ready, not late.
+        """
+        now = time.monotonic()
+        stats = self.scheduler.stats
+        for pid in list(self._followers):
+            if self._jobs[pid].done:
+                continue
+            keep: list[str] = []
+            for fid in self._followers[pid]:
+                follower = self._jobs[fid]
+                if follower.deadline is None or follower.deadline > now:
+                    keep.append(fid)
+                    continue
+                follower.fail("deadline expired awaiting deduped execution")
+                stats.settle(follower)
+                self.metrics.counter(
+                    "repro_deadline_shed_total",
+                    "jobs failed past their deadline",
+                    stage="follower", tenant=follower.tenant,
+                ).inc()
+                self.metrics.counter(
+                    "repro_jobs_settled_total", "jobs settled by outcome",
+                    tenant=follower.tenant, outcome="failed",
+                ).inc()
+            if keep:
+                self._followers[pid] = keep
+            else:
+                del self._followers[pid]
 
     # ------------------------------------------------------------------
     # Progress and results

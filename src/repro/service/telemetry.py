@@ -56,6 +56,7 @@ PHASES = (
     "worker_execute",  # chip workers running a level's tower units
     "gather_barrier",  # settling the level's tower gather
     "crt_recombine",   # CRT recombination of gathered tower outputs
+    "keyswitch",       # batched chip-side key-switch fold (engine-capable)
     "relin_tail",      # pricing/charging the relinearization tail
     "serialize",       # result -> wire bytes
     "reply",           # transport writing the completion frame
@@ -268,7 +269,8 @@ def new_trace() -> JobTrace | _NullTrace:
 #: produced its result (see :func:`adopt_batch_spans`).
 BATCH_WINDOW_PHASES = frozenset((
     "queue_wait", "batch_plan", "batch_wait", "execute", "tower_dispatch",
-    "worker_execute", "gather_barrier", "crt_recombine", "relin_tail",
+    "worker_execute", "gather_barrier", "crt_recombine", "keyswitch",
+    "relin_tail",
 ))
 
 

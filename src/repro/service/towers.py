@@ -108,6 +108,53 @@ def plan_tower_dispatch(
     return plan
 
 
+@dataclass(frozen=True)
+class KeySwitchWorkItem:
+    """One tensor's relinearization tail, ready to charge to a worker.
+
+    Key-switching is not tower-bound: after a tensor's gather completes,
+    its base-T digit fold runs over the whole tower stack at once (the
+    batched engine shares one digit-decomposition pass across every job
+    under the same eval-key digest). Each item prices one tensor's tail
+    with the same Algorithm-3-derived relinearization estimate the model
+    path uses, so chip-side execution changes *where* the cycles land,
+    never how many there are.
+
+    Attributes:
+        job_seq: owning work unit's key within its batch.
+        est_cycles: modeled relinearization cycles for one tensor.
+    """
+
+    job_seq: int
+    est_cycles: int
+
+
+def plan_keyswitch_dispatch(
+    items: Sequence[KeySwitchWorkItem],
+    worker_loads: Sequence[int],
+) -> list[int]:
+    """Assign key-switch tails to workers, least-loaded first.
+
+    Items are placed one at a time in the given order, each onto the
+    worker with the smallest projected load (ties break on the lowest
+    index), updating the projection as it goes — the same greedy rule
+    :func:`plan_tower_dispatch` uses, minus modulus affinity (a
+    key-switch fold is not tied to any one tower's twiddles).
+
+    Returns:
+        one worker index per item, order-aligned with ``items``.
+    """
+    if not worker_loads:
+        raise ValueError("need at least one worker")
+    loads = list(worker_loads)
+    assignment: list[int] = []
+    for item in items:
+        widx = min(range(len(loads)), key=lambda w: (loads[w], w))
+        assignment.append(widx)
+        loads[widx] += item.est_cycles
+    return assignment
+
+
 @dataclass
 class TowerGather:
     """The barrier between tower fan-out and CRT recombination.

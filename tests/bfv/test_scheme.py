@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bfv import Bfv, BfvParameters
-from repro.polymath.poly import PolynomialRing
+from repro.polymath.poly import Polynomial, PolynomialRing
 
 
 @pytest.fixture(scope="module")
@@ -153,6 +153,37 @@ class TestRelinearization:
         params, bfv, keys, _ = setup
         expected = -(-params.q.bit_length() // 12)
         assert keys.relin.num_digits == expected
+
+    def test_decompose_digits_rejects_centered_coefficients(self, setup):
+        """A centered (negative) coefficient would sign-extend under the
+        digit mask and silently corrupt the relin fold — the guard must
+        raise instead. Canonical construction normally makes this
+        unreachable; ``from_canonical`` bypasses the ``% q`` re-mod, so
+        it can smuggle a centered value in."""
+        params, bfv, keys, _ = setup
+        centered = Polynomial.from_canonical(
+            bfv.ring, [-1] + [0] * (params.n - 1)
+        )
+        with pytest.raises(ValueError, match="canonical"):
+            bfv._decompose_digits(centered, keys.relin)
+
+    def test_decompose_digits_reconstructs_canonical_value(self, setup):
+        """The base-T digits weighted back together recover each
+        canonical coefficient exactly."""
+        params, bfv, keys, _ = setup
+        value = params.q - 12345
+        poly = Polynomial.from_canonical(
+            bfv.ring, [value] + [0] * (params.n - 1)
+        )
+        digits = bfv._decompose_digits(poly, keys.relin)
+        assert len(digits) == keys.relin.num_digits
+        base = 1 << keys.relin.digit_bits
+        recon = sum(
+            d.coeffs[0] * base**i for i, d in enumerate(digits)
+        )
+        assert recon == value
+        mask = base - 1
+        assert all(0 <= d.coeffs[0] <= mask for d in digits)
 
 
 class TestPlainOps:

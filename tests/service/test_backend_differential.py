@@ -148,13 +148,13 @@ class TestFidelityFlags:
         assert metrics.fidelity == "chip"
         assert len(metrics.tower_cycles) == towers
         assert all(c > 0 for c in metrics.tower_cycles)
-        assert metrics.relin_fidelity == "model"
+        assert metrics.relin_fidelity == "engine"
         assert metrics.cycles == sum(metrics.tower_cycles) + metrics.relin_cycles
         # Towers of one multiply really spread across *different* workers.
         assert len(set(metrics.tower_workers)) == towers
         fidelity = server.pool_report()["fidelity"]
         assert fidelity.get("chip") == 1
-        assert fidelity.get("relin_model") == 1
+        assert fidelity.get("relin_engine") == 1
 
     def test_square_runs_chip_path_too(self, world):
         """SQUARE shards like MULTIPLY: same tensor with a == b."""
@@ -166,7 +166,7 @@ class TestFidelityFlags:
         metrics = server.job_metrics(jids[0])
         assert metrics.fidelity == "chip"
         assert len(metrics.tower_cycles) == params.cofhee_tower_count
-        assert metrics.relin_fidelity == "model"
+        assert metrics.relin_fidelity == "engine"
 
     def test_add_is_model_priced(self, world):
         params, bfv, keys, encoder, fresh = world
@@ -231,9 +231,12 @@ class TestStrictFidelity:
         server.result(jid)
         metrics = server.job_metrics(jid)
         assert metrics.fidelity == "model"
-        assert metrics.relin_fidelity == "model"
+        # The functional relin still ran through the batched engine fold
+        # (the aux-basis multiplier is engine-capable even for a
+        # non-chip-native q); only the tensor pricing is modeled.
+        assert metrics.relin_fidelity == "engine"
         assert server.pool_report()["fidelity"] == {
-            "model": 1, "relin_model": 1,
+            "model": 1, "relin_engine": 1,
         }
 
     def test_strict_passes_on_native_towers(self):

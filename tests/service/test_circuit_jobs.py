@@ -128,7 +128,7 @@ class TestChipExpansion:
         server.result(jid)
         metrics = server.job_metrics(jid)
         assert metrics.fidelity == "chip"
-        assert metrics.relin_fidelity == "model"
+        assert metrics.relin_fidelity == "engine"
         towers = model.params.cofhee_tower_count
         assert len(metrics.tower_cycles) == towers
         assert all(c > 0 for c in metrics.tower_cycles)

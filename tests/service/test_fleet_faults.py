@@ -391,6 +391,47 @@ class TestDeadlines:
         assert stats.jobs_failed == 1
         assert stats.jobs_completed + stats.jobs_failed == stats.jobs_submitted
 
+    def test_follower_expiry_sheds_while_primary_in_flight(self, stack):
+        """A dedupe follower sits in no scheduler queue, so the batch-plan
+        shed never visits it: when its deadline lapses while the primary
+        is still working, the harvest sweep must fail it with the typed
+        ``deadline expired`` error — mapping to client kind ``deadline``
+        — instead of settling it late with the primary's result."""
+        server = FheServer(pool_size=2, max_batch=2)
+        sid = _open(server, stack)
+        bfv, keys, encoder = stack
+        # Fillers occupy the first batch so the primary is still queued
+        # (in flight, not done) at the first harvest sweep.
+        live_checks = _mult_jobs(server, sid, stack, 2, seed=11)
+        a = bfv.encrypt(encoder.encode([3] * PARAMS.n), keys.public)
+        operands = (serialize_ciphertext(a), serialize_ciphertext(a))
+        primary = server.submit(sid, JobKind.MULTIPLY, operands)
+        doomed = server.submit(
+            sid, JobKind.MULTIPLY, operands, deadline=0.001,
+        )
+        assert server.job_metrics(doomed).dedupe_of == primary
+        time.sleep(0.01)
+        server.tick()  # executes the filler batch, then sweeps followers
+        assert server.status(doomed) is JobStatus.FAILED
+        message = server.job_error(doomed)
+        assert message == "deadline expired awaiting deduped execution"
+        # The wire contract: this message classifies as a deadline kind,
+        # so retrying clients treat the failure as terminal-typed.
+        assert JobFailedError(doomed, message).kind == "deadline"
+        server.run()
+        assert server.status(primary) is JobStatus.DONE
+        _assert_bit_identical(server, stack, live_checks)
+        shed = server.metrics.counter(
+            "repro_deadline_shed_total",
+            "jobs failed past their deadline",
+            stage="follower", tenant="chaos",
+        ).value
+        assert shed == 1
+        stats = server.scheduler.stats
+        assert stats.dedupe_hits == 1
+        assert stats.jobs_failed == 1
+        assert stats.jobs_completed + stats.jobs_failed == stats.jobs_submitted
+
     def test_inflight_expiry_reaped_no_requeue_loop(self, stack):
         """A stalled worker hangs a job past its deadline: the fleet
         reaps it into a clean typed failure (no requeue loop), discards
@@ -676,9 +717,13 @@ class TestRetryingClient:
         TOTAL = 4
 
         async def scenario():
+            # Kill the *home* worker (the session digest routes to index
+            # 1 at fleet size 2): the first job deterministically lands
+            # there, so the armed kill always fires. Worker 0 only sees
+            # spill-over traffic, which is timing-dependent.
             fhe = FheServer(
                 fleet_size=2, fleet_mode="thread", default_backend="fleet",
-                fault_spec="kill:worker=0:job=1",
+                fault_spec="kill:worker=1:job=1",
                 fleet_options=dict(FAST_BEATS, spill_threshold=2),
             )
             async with FheTransportServer(fhe) as server:

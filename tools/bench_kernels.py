@@ -14,9 +14,10 @@ to PR:
 
 The script **fails** (exit 1) if the 3-tower n = 2^12 EvalMult speedup
 drops below ``GATE_EVALMULT_SPEEDUP`` — the acceptance gate that keeps
-the hot path from quietly regressing to per-butterfly Python — or if
-either end-to-end serving row falls under ``GATE_SERVE_SPEEDUP``, the
-floor that keeps serving-layer overhead (scheduling, telemetry,
+the hot path from quietly regressing to per-butterfly Python — or if an
+end-to-end serving row falls under its floor
+(``GATE_SERVE_SOFTWARE_SPEEDUP`` / ``GATE_SERVE_CHIP_POOL_SPEEDUP``),
+the gates that keep serving-layer overhead (scheduling, telemetry,
 serialization) from eating the kernel wins.
 
 Run via ``tools/run_checks.sh --bench`` (or directly with
@@ -52,13 +53,15 @@ from repro.service.server import FheServer  # noqa: E402
 #: Acceptance gate: engine vs pure-Python on the 3-tower n=2^12 EvalMult.
 GATE_EVALMULT_SPEEDUP = 10.0
 
-#: Acceptance gate on the end-to-end serving rows: with the engine on,
-#: ``serve_job_software`` and ``serve_job_chip_pool`` must each beat the
-#: ``REPRO_ENGINE=off`` path by this factor. Deliberately looser than
-#: the kernel gate — the serving path carries scheduling, cycle
-#: accounting, and serialization that the engine cannot touch (the
-#: Amdahl gap ``tools/profile_serve.py`` itemizes).
-GATE_SERVE_SPEEDUP = 1.3
+#: Acceptance gates on the end-to-end serving rows: with the engine on,
+#: each serving row must beat the ``REPRO_ENGINE=off`` path by its
+#: factor. The software row is pure host arithmetic, so batched tensors,
+#: the shared key-switch fold, and warm key-row NTT forms carry almost
+#: the whole job; the chip-pool gate is lower because the
+#: cycle-accounted chip simulation runs identically either way (the
+#: residual Amdahl gap ``tools/profile_serve.py`` itemizes).
+GATE_SERVE_SOFTWARE_SPEEDUP = 8.0
+GATE_SERVE_CHIP_POOL_SPEEDUP = 4.0
 
 #: Kernel benchmark scale (the paper's small configuration).
 KERNEL_N = 2**12
@@ -215,21 +218,33 @@ def bench_serving() -> list[dict]:
     return rows
 
 
+def _foreign_rows(rows: list[dict], path: Path) -> list[dict]:
+    """Rows in ``path`` that other benchmarks own, to carry forward.
+
+    The fleet paper-scale rows from
+    ``benchmarks/bench_service_throughput.py`` land in the same file.
+    Identity is the full ``(op, n, towers, engine)`` tuple — an op alone
+    is not unique (the fleet bench writes two rows per op, and a re-run
+    at a different configuration must only replace its own row).
+    """
+    owned = {(r["op"], r["n"], r["towers"], r["engine"]) for r in rows}
+    if not path.exists():
+        return []
+    try:
+        return [
+            r for r in json.loads(path.read_text())
+            if (r.get("op"), r.get("n"), r.get("towers"), r.get("engine"))
+            not in owned
+        ]
+    except (json.JSONDecodeError, OSError):
+        return []
+
+
 def main() -> int:
     rows = bench_kernels() + bench_serving()
-    # Preserve rows other benchmarks own (the fleet paper-scale row from
-    # benchmarks/bench_service_throughput.py lands in the same file).
-    owned = {r["op"] for r in rows}
-    foreign = []
-    if OUT_PATH.exists():
-        try:
-            foreign = [
-                r for r in json.loads(OUT_PATH.read_text())
-                if r.get("op") not in owned
-            ]
-        except (json.JSONDecodeError, OSError):
-            foreign = []
-    OUT_PATH.write_text(json.dumps(rows + foreign, indent=2) + "\n")
+    OUT_PATH.write_text(
+        json.dumps(rows + _foreign_rows(rows, OUT_PATH), indent=2) + "\n"
+    )
     width = max(len(r["op"]) for r in rows) + 2
     for r in rows:
         print(
@@ -240,8 +255,8 @@ def main() -> int:
     print(f"\nwrote {OUT_PATH}")
     gates = {
         "evalmult_tensor": GATE_EVALMULT_SPEEDUP,
-        "serve_job_software": GATE_SERVE_SPEEDUP,
-        "serve_job_chip_pool": GATE_SERVE_SPEEDUP,
+        "serve_job_software": GATE_SERVE_SOFTWARE_SPEEDUP,
+        "serve_job_chip_pool": GATE_SERVE_CHIP_POOL_SPEEDUP,
     }
     failed = False
     for r in rows:

@@ -21,6 +21,14 @@ percent — drops below ``GATE_COVERAGE_PERCENT`` for any profiled
 backend: an instrumentation gap (a phase nobody spans anymore) should
 break the build, not silently shrink the table.
 
+It also gates the chip-pool **relinearization share**: the combined
+``relin_tail`` + ``keyswitch`` percent of job latency must stay at or
+below the share recorded in the previous ``BENCH_serve_phases.json``
+(read *before* this run overwrites it), plus a small noise slack. The
+batched key-switch fold collapsed that share to well under a percent;
+this gate keeps a future change from quietly re-growing the tail the
+vectorization work paid down.
+
 Run via ``tools/run_checks.sh --obs`` (smoke scale) or directly with
 ``PYTHONPATH=src python tools/profile_serve.py``.
 """
@@ -50,6 +58,13 @@ from repro.service.server import FheServer  # noqa: E402
 #: Acceptance gate: the recorded phases must explain at least this much
 #: of the summed end-to-end job latency, per backend.
 GATE_COVERAGE_PERCENT = 90.0
+
+#: Relin-share regression slack, in absolute percentage points: the new
+#: chip-pool ``relin_tail + keyswitch`` share may exceed the baseline
+#: file's share by at most this much (the share itself is tiny, so a
+#: fixed absolute slack absorbs timer noise without hiding a real
+#: regression back toward per-digit Python folds).
+GATE_RELIN_SHARE_SLACK_POINTS = 1.0
 
 BACKENDS = ("software", "chip_pool")
 
@@ -115,6 +130,20 @@ def profile_backend(backend, params, keys, jobs, *, pool_size, max_batch):
     return server.phase_report(backend=backend), wall
 
 
+def _relin_share(rows, backend="chip_pool") -> float:
+    """Combined relin_tail + keyswitch percent of job latency.
+
+    ``rows`` may be per-backend rows (no ``backend`` key) or the flat
+    JSON rows the previous run wrote; phases that never ran count as 0.
+    """
+    return sum(
+        r["percent"]
+        for r in rows
+        if r.get("backend", backend) == backend
+        and r.get("phase") in ("relin_tail", "keyswitch")
+    )
+
+
 def print_table(backend, rows, wall):
     print(f"\n{backend} backend — phase attribution "
           f"({rows[-1]['spans']} spans, {wall * 1e3:.1f} ms end to end)")
@@ -154,6 +183,15 @@ def main(argv=None) -> int:
     jobs = _make_workload(params, keys, mults=mults, adds=adds,
                           circuits=circuits)
 
+    # Read the previous run's relin share BEFORE overwriting the file:
+    # it is the regression baseline for this run.
+    baseline_share = None
+    if not args.smoke and OUT_PATH.exists():
+        try:
+            baseline_share = _relin_share(json.loads(OUT_PATH.read_text()))
+        except (json.JSONDecodeError, OSError, KeyError, TypeError):
+            baseline_share = None
+
     all_rows = []
     failures = []
     for backend in BACKENDS:
@@ -167,16 +205,35 @@ def main(argv=None) -> int:
             failures.append((backend, coverage))
         all_rows.extend({"backend": backend, **r} for r in rows)
 
+    relin_failed = False
     if not args.smoke:
+        share = _relin_share(all_rows)
         OUT_PATH.write_text(json.dumps(all_rows, indent=2) + "\n")
         print(f"\nwrote {OUT_PATH}")
+        if baseline_share is not None:
+            ceiling = baseline_share + GATE_RELIN_SHARE_SLACK_POINTS
+            if share > ceiling:
+                print(
+                    f"RELIN SHARE GATE FAILED: chip_pool relin_tail + "
+                    f"keyswitch now {share:.2f}% of job latency > baseline "
+                    f"{baseline_share:.2f}% + {GATE_RELIN_SHARE_SLACK_POINTS}"
+                    " points slack",
+                    file=sys.stderr,
+                )
+                relin_failed = True
+            else:
+                print(
+                    f"relin share gate ok: chip_pool relin_tail + keyswitch "
+                    f"{share:.2f}% <= baseline {baseline_share:.2f}% "
+                    f"+ {GATE_RELIN_SHARE_SLACK_POINTS} points"
+                )
     for backend, coverage in failures:
         print(
             f"COVERAGE GATE FAILED: {backend} phases explain "
             f"{coverage:.1f}% < {GATE_COVERAGE_PERCENT}% of job latency",
             file=sys.stderr,
         )
-    if failures:
+    if failures or relin_failed:
         return 1
     print(
         f"coverage gate ok: all backends >= {GATE_COVERAGE_PERCENT}% "

@@ -14,7 +14,10 @@
 #   tools/run_checks.sh --bench      # also the kernel + serving micro-bench
 #                                    # (writes BENCH_kernels.json and enforces
 #                                    # the >= 10x EvalMult perf gate and the
-#                                    # >= 1.3x serving-row gates)
+#                                    # serving-row gates: >= 8x software,
+#                                    # >= 4x chip-pool), then the phase
+#                                    # profiler with the relin-tail share
+#                                    # regression gate
 #   tools/run_checks.sh --obs        # only the observability stage (when
 #                                    # given alone; it is already part of
 #                                    # the default pipeline): the telemetry
@@ -136,6 +139,9 @@ if [ "$RUN_BENCH" = 1 ]; then
   echo
   echo "== kernel + serving micro-benchmarks (BENCH_kernels.json) =="
   PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python tools/bench_kernels.py
+  echo
+  echo "== phase profiler (BENCH_serve_phases.json + relin-tail gate) =="
+  PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python tools/profile_serve.py
 fi
 
 if [ "$RUN_SLOW" = 1 ]; then
