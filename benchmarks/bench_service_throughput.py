@@ -287,6 +287,108 @@ def test_circuit_transport_throughput(benchmark):
 
 
 # ----------------------------------------------------------------------
+# Server-side circuit optimization: the same CryptoNets program served
+# twice through identical chip pools — once with the optimizer off and
+# once at level "lazy" (deferred relinearization). The work (executed
+# tensor + key-switch units) must shrink >= 15% and the pool makespan
+# must not regress; both servings must decode to the plaintext
+# reference scores.
+# ----------------------------------------------------------------------
+
+OPTIMIZER_UNIT_GATE = 0.85  # lazy units <= 85% of unoptimized units
+
+
+def _serve_cryptonets(level: str, cnn, circuit, inputs) -> tuple[dict, dict]:
+    """One CryptoNets inference at ``optimizer_level=level``; row + outputs."""
+    from repro.service.serialization import deserialize_circuit_outputs
+
+    server = FheServer(pool_size=4, max_batch=4, optimizer_level=level)
+    sid = server.open_session(
+        f"cnn-{level}", serialize_params(cnn.params),
+        relin_key=serialize_relin_key(cnn.keys.relin, cnn.params),
+    )
+    start = time.perf_counter()
+    jid = server.submit(sid, JobKind.CIRCUIT, inputs, payload=circuit)
+    payload = server.result(jid)
+    wall = time.perf_counter() - start
+    rewrite = server.job_metrics(jid).rewrite
+    report = server.pool_report()
+    row = {
+        "op": "serve_cryptonets_optimizer",
+        "n": cnn.params.n,
+        "towers": cnn.params.cofhee_tower_count,
+        "engine": f"chip-x4-opt-{level}",
+        "jobs": 1,
+        "wall_s": round(wall, 3),
+        "steps": rewrite["steps_after"],
+        "tensor_units": rewrite["tensor_units"],
+        "relin_units": rewrite["relin_units"],
+        "work_units": rewrite["tensor_units"] + rewrite["relin_units"],
+        "makespan_cycles": report["batch_makespan_cycles"],
+    }
+    return row, deserialize_circuit_outputs(payload, cnn.params)
+
+
+def test_cryptonets_optimizer_units():
+    """Optimized vs unoptimized CryptoNets on identical chip pools.
+
+    Level ``lazy`` turns the per-multiply eager key switches into
+    deferred batchable runs, so the served program must execute >= 15%
+    fewer tensor + relinearization units than the submitted one — and
+    the chip-pool makespan must not regress — while still decoding to
+    the plaintext reference scores.
+    """
+    from repro.apps.cryptonets import MiniCryptoNets
+    from repro.polymath.primes import ntt_friendly_prime
+
+    params = BfvParameters.toy_rns(
+        n=16, towers=4, tower_bits=30, t=ntt_friendly_prime(16, 20)
+    )
+    cnn = MiniCryptoNets(params=params, seed=7)
+    rng = random.Random(19)
+    images = [[rng.randint(-2, 2) for _ in range(36)] for _ in range(3)]
+    circuit = cnn.to_circuit()
+    inputs = tuple(
+        serialize_ciphertext(ct) for ct in cnn.encrypt_images(images)
+    )
+    expected = cnn.infer_plain(images)
+
+    eager, eager_outs = _serve_cryptonets("none", cnn, circuit, inputs)
+    lazy, lazy_outs = _serve_cryptonets("lazy", cnn, circuit, inputs)
+    for label, outs in (("unoptimized", eager_outs), ("lazy", lazy_outs)):
+        scores = cnn.scores_from_outputs(outs, len(images))
+        assert scores == expected, (
+            f"{label} CryptoNets serving diverged from plaintext reference"
+        )
+    saved = 1 - lazy["work_units"] / eager["work_units"]
+    lazy["units_saved_pct"] = round(100 * saved, 1)
+    print_table(
+        f"CryptoNets optimizer ({len(images)} images, "
+        f"{len(circuit.steps)} submitted steps)",
+        [eager, lazy],
+        ["engine", "steps", "tensor_units", "relin_units", "work_units",
+         "makespan_cycles", "wall_s"],
+    )
+    # The optimizer-off serving executes the submitted program verbatim.
+    assert eager["steps"] == len(circuit.steps), eager
+    # Lazy relinearization sheds >= 15% of the tensor + key-switch work…
+    assert (lazy["work_units"]
+            <= eager["work_units"] * OPTIMIZER_UNIT_GATE), (
+        f"lazy executed {lazy['work_units']} tensor+relin units, "
+        f"needed <= {OPTIMIZER_UNIT_GATE}x of eager "
+        f"{eager['work_units']}"
+    )
+    # …and never at the cost of the pool's critical path.
+    assert lazy["makespan_cycles"] <= eager["makespan_cycles"], (
+        f"lazy makespan {lazy['makespan_cycles']} regressed past "
+        f"unoptimized {eager['makespan_cycles']}"
+    )
+    _merge_bench_rows([eager, lazy])
+    print(f"\nlazy relinearization sheds {100 * saved:.0f}% of the "
+          f"tensor+relin units with no makespan regression ✓")
+
+
+# ----------------------------------------------------------------------
 # Paper-scale serving: n = 2^13 (the Section VI-B large configuration),
 # chip-native towers, tower-sharded across a pool of 4. Slow-marked; run
 # via ``tools/run_checks.sh --slow`` or ``pytest ... --slow``.

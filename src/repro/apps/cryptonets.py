@@ -202,7 +202,22 @@ class MiniCryptoNets:
 
     # -- wire circuit compilation --------------------------------------------
 
-    def to_circuit(self):
+    def packed_galois_exponents(self) -> list[int]:
+        """Galois-key exponents the ``packed_dense=True`` circuit needs.
+
+        The masked transpose aims values at arbitrary slots, so every
+        row-rotation exponent plus the column swap may appear; register
+        each returned exponent's key with the serving session.
+        """
+        from repro.bfv.rotation import RotationEngine
+
+        n = self.params.n
+        return [
+            pow(RotationEngine.GENERATOR, k, 2 * n)
+            for k in range(1, n // 2)
+        ] + [2 * n - 1]
+
+    def to_circuit(self, packed_dense: bool = False):
         """Compile the whole network into a servable wire circuit.
 
         The returned :class:`~repro.service.circuits.Circuit` performs
@@ -214,9 +229,23 @@ class MiniCryptoNets:
         Outputs are named ``"score0"`` … ``"score{classes-1}"``. The
         packed bias constants use the full SIMD batch width, as
         :meth:`infer` does, so one circuit serves any image batch.
+
+        With ``packed_dense=True`` the dense layers compile as packed
+        rotate-and-sum dot-products over a *single* image (batch of 1,
+        the ciphertexts from ``encrypt_images([img])``): the conv
+        activations are gathered into one slot-packed vector with a
+        masked transpose (mask slot 0, rotate the value to its dense
+        index), each dense row is one plaintext multiply by the
+        slot-packed weight vector followed by the log-depth all-slots
+        reduction, and the hidden activations re-pack the same way for
+        the output layer. The session needs Galois keys for
+        :meth:`packed_galois_exponents`; every slot of each
+        ``score{k}`` output holds that class's score.
         """
         from repro.service.circuits import CircuitBuilder
 
+        if packed_dense:
+            return self._to_circuit_packed_dense()
         s = self.spec
         builder = CircuitBuilder("cryptonets")
         pixels = [
@@ -267,6 +296,119 @@ class MiniCryptoNets:
                 dot(act2, self.fc2_w[k]), bias(self.fc2_b[k])
             )
             builder.output(f"score{k}", score)
+        return builder.build()
+
+    def _to_circuit_packed_dense(self):
+        """The rotate-and-sum lowering behind ``to_circuit(packed_dense=True)``.
+
+        Single-image layout: every conv input/output lives in slot 0 (the
+        other slots carry bias garbage the masks discard). ``_pack``
+        gathers a list of such registers into one slot-packed vector —
+        mask slot 0 (or the uniform value, post-reduction), rotate it to
+        its dense index via the group recipe, accumulate — after which a
+        dense layer is one ct*pt by the slot-packed weight row plus the
+        log-depth rotate-and-sum reduction.
+        """
+        from repro.bfv.rotation import rotation_plan, slot_permutation
+        from repro.service.circuits import CircuitBuilder
+
+        s = self.spec
+        n = self.params.n
+        flat = s.conv_maps * s.conv_out * s.conv_out
+        if flat > n or s.hidden > n:
+            raise ValueError(
+                f"packed dense layers need at most {n} units, have "
+                f"{max(flat, s.hidden)}"
+            )
+        builder = CircuitBuilder("cryptonets-packed")
+        pixels = [
+            builder.input(f"px{p}")
+            for p in range(s.image_size * s.image_size)
+        ]
+        # Step recipe moving slot ``src`` to slot ``dst``: the unique
+        # group element g with perm_g[dst] == src, then its row/column
+        # decomposition. Computed once from the encoder's points.
+        plan = rotation_plan(n)
+        perms = {g: slot_permutation(self.encoder, g) for g in plan}
+        to_slot = {}
+        for dst in range(n):
+            for g, perm in perms.items():
+                if perm[dst] == 0:
+                    to_slot[dst] = plan[g]
+                    break
+
+        def mask(slot: int) -> int:
+            one_hot = [0] * self.encoder.slot_count
+            one_hot[slot] = 1
+            return builder.plain(self.encoder.encode(one_hot).coeffs)
+
+        def rotate_to(reg: int, dst: int) -> int:
+            for kind, steps in to_slot[dst]:
+                reg = (builder.rotate_rows(reg, steps) if kind == "rows"
+                       else builder.rotate_columns(reg))
+            return reg
+
+        def pack(regs: list[int], mask_slot) -> int:
+            acc = None
+            for i, reg in enumerate(regs):
+                masked = builder.mul_const(reg, mask(mask_slot(i)))
+                moved = rotate_to(masked, i) if mask_slot(i) != i else masked
+                acc = moved if acc is None else builder.add(acc, moved)
+            return acc
+
+        def sum_all_slots(reg: int) -> int:
+            step = 1
+            while step < n // 2:
+                reg = builder.add(reg, builder.rotate_rows(reg, step))
+                step <<= 1
+            return builder.add(reg, builder.rotate_columns(reg))
+
+        def bias(value: int) -> int:
+            return builder.plain(
+                self.encoder.encode([value] * self.encoder.slot_count).coeffs
+            )
+
+        def packed_row(vec: int, weights: list[int], b: int) -> int:
+            row = builder.mul_const(
+                vec, builder.plain(self.encoder.encode(weights).coeffs)
+            )
+            return builder.add_const(sum_all_slots(row), bias(b))
+
+        conv_out = []
+        for m in range(s.conv_maps):
+            for oy in range(s.conv_out):
+                for ox in range(s.conv_out):
+                    acc = None
+                    for ky in range(s.conv_kernel):
+                        for kx in range(s.conv_kernel):
+                            p = ((oy * s.conv_stride + ky) * s.image_size
+                                 + ox * s.conv_stride + kx)
+                            w = self.conv_w[m][ky * s.conv_kernel + kx]
+                            if acc is None:
+                                acc = builder.mul_const(
+                                    pixels[p], builder.scalar(w)
+                                )
+                            else:
+                                acc = builder.mac_const(
+                                    acc, pixels[p], builder.scalar(w)
+                                )
+                    conv_out.append(
+                        builder.add_const(acc, bias(self.conv_b[m]))
+                    )
+        act1 = [builder.square_relin(c) for c in conv_out]
+        # Conv activations live in slot 0; gather them into slots 0..flat-1.
+        vec1 = pack(act1, lambda _i: 0)
+        hidden = [
+            builder.square_relin(packed_row(vec1, self.fc1_w[h], self.fc1_b[h]))
+            for h in range(s.hidden)
+        ]
+        # Hidden activations are uniform across slots (post-reduction), so
+        # the mask picks each value at its own dense index — no rotation.
+        vec2 = pack(hidden, lambda i: i)
+        for k in range(s.classes):
+            builder.output(
+                f"score{k}", packed_row(vec2, self.fc2_w[k], self.fc2_b[k])
+            )
         return builder.build()
 
     def scores_from_outputs(self, outputs: dict,

@@ -141,9 +141,48 @@ class MiniLogisticRegression:
             out.append(1 if v > 0 else 0)
         return out
 
+    # -- packed (rotate-and-sum) layout --------------------------------------
+
+    def encrypt_packed(self, samples: list[list[int]]) -> list[Ciphertext]:
+        """One ciphertext per sample: feature ``f`` in batching slot ``f``.
+
+        The transposed layout of :meth:`encrypt_features` — what the
+        ``packed=True`` circuit consumes. Unused slots pad with zero, so
+        the rotate-and-sum reduction sees only the true features.
+        """
+        if any(len(s) != self.num_features for s in samples):
+            raise ValueError(f"samples must have {self.num_features} features")
+        if self.num_features > self.encoder.slot_count:
+            raise ValueError(
+                f"{self.num_features} features exceed "
+                f"{self.encoder.slot_count} slots"
+            )
+        return [
+            self.bfv.encrypt(self.encoder.encode(s), self.keys.public)
+            for s in samples
+        ]
+
+    def packed_galois_exponents(self) -> list[int]:
+        """Galois-key exponents the ``packed=True`` circuit rotates with.
+
+        The rotate-and-sum reduction uses the power-of-two row rotations
+        plus the column swap; register each returned exponent's key with
+        the serving session before submitting.
+        """
+        from repro.bfv.rotation import RotationEngine
+
+        n = self.params.n
+        exponents, step = [], 1
+        while step < n // 2:
+            exponents.append(pow(RotationEngine.GENERATOR, step, 2 * n))
+            step <<= 1
+        exponents.append(2 * n - 1)
+        return exponents
+
     # -- wire circuit compilation ------------------------------------------
 
-    def to_circuit(self, batch: int, use_sigmoid: bool = True):
+    def to_circuit(self, batch: int, use_sigmoid: bool = True,
+                   packed: bool = False):
         """Compile one inference batch into a servable wire circuit.
 
         The returned :class:`~repro.service.circuits.Circuit` performs
@@ -155,12 +194,24 @@ class MiniLogisticRegression:
         :meth:`~repro.service.client.FheClient.submit_circuit`; the one
         named output is ``"score"``.
 
+        With ``packed=True`` the dense dot-product is compiled as a
+        rotate-and-sum instead: inputs are the per-sample ciphertexts of
+        :meth:`encrypt_packed` (``"s0"`` … ``"s{batch-1}"``), each is
+        scaled by the slot-packed weight vector, reduced with
+        ``log2(n/2)`` row rotations plus the column swap so every slot
+        holds ``w.x``, and the bias and cubic tail run per sample. The
+        session needs Galois keys for :meth:`packed_galois_exponents`;
+        outputs are ``"score0"`` … ``"score{batch-1}"`` (decode any slot).
+
         Args:
             batch: number of samples in the batch (fixes the packed bias
-                constant, exactly as :meth:`score` encodes it).
+                constant, exactly as :meth:`score` encodes it; with
+                ``packed=True``, the number of inputs/outputs).
         """
         from repro.service.circuits import CircuitBuilder
 
+        if packed:
+            return self._to_circuit_packed(batch, use_sigmoid)
         builder = CircuitBuilder("logreg")
         features = [builder.input(f"x{f}") for f in range(self.num_features)]
         acc = None
@@ -178,6 +229,54 @@ class MiniLogisticRegression:
             score = builder.add(tripled, cubed)
         builder.output("score", score)
         return builder.build()
+
+    def _to_circuit_packed(self, batch: int, use_sigmoid: bool):
+        """The rotate-and-sum lowering behind ``to_circuit(packed=True)``."""
+        from repro.service.circuits import CircuitBuilder
+
+        if batch < 1:
+            raise ValueError("packed circuits need at least one sample")
+        builder = CircuitBuilder("logreg-packed")
+        weights = builder.plain(self.encoder.encode(self.weights).coeffs)
+        bias = builder.plain(
+            self.encoder.encode(
+                [self.bias] * self.encoder.slot_count
+            ).coeffs
+        )
+        half = self.params.n // 2
+        inputs = [builder.input(f"s{i}") for i in range(batch)]
+        for i in range(batch):
+            acc = builder.mul_const(inputs[i], weights)
+            # Rotate-and-sum: after the power-of-two row rotations every
+            # slot holds its half-ring's sum; the column swap finishes
+            # the all-slots reduction, so w.x lands in every slot.
+            step = 1
+            while step < half:
+                acc = builder.add(acc, builder.rotate_rows(acc, step))
+                step <<= 1
+            score = builder.add(acc, builder.rotate_columns(acc))
+            score = builder.add_const(score, bias)
+            if use_sigmoid:
+                squared = builder.square_relin(score)
+                cubed = builder.mul_relin(squared, score)
+                tripled = builder.mul_const(score, builder.scalar(3))
+                score = builder.add(tripled, cubed)
+            builder.output(f"score{i}", score)
+        return builder.build()
+
+    def predictions_from_packed(self, outputs: dict, batch: int) -> list[int]:
+        """Decrypt ``packed=True`` outputs into 0/1 classes per sample.
+
+        Every slot of ``score{i}`` holds sample ``i``'s (post-surrogate)
+        score after the all-slots reduction; slot 0 is decoded.
+        """
+        out = []
+        for i in range(batch):
+            decoded = self.encoder.decode_signed(
+                self.bfv.decrypt(outputs[f"score{i}"], self.keys.secret)
+            )
+            out.append(1 if decoded[0] > 0 else 0)
+        return out
 
     def predictions_from_score(self, score_ct: Ciphertext,
                                batch: int) -> list[int]:

@@ -151,6 +151,45 @@ def apply_galois_with_key(bfv: Bfv, ct: Ciphertext, key: GaloisKey) -> Ciphertex
     return Ciphertext([new_c1, new_c2], bfv.params)
 
 
+def slot_permutation(encoder, exponent: int) -> list[int]:
+    """Where the automorphism ``x -> x^g`` moves each batching slot.
+
+    Returns ``perm`` with ``new_slots[i] == old_slots[perm[i]]``. Computed
+    purely from the encoder's evaluation points (no keys, no ciphertexts):
+    slot ``i`` evaluates the plaintext at point ``v_i`` (the decode of the
+    monomial ``x``), and ``p(x^g)`` evaluated at ``v_i`` is ``p(v_i^g)`` —
+    so the new slot ``i`` holds whichever old slot evaluated at
+    ``v_i^g mod t``. This is the plaintext ground truth the rotation tests
+    check the keyed ciphertext path against, and what the packed app
+    compilers use to aim a value at a specific slot.
+    """
+    t = encoder.params.t
+    points = encoder.decode(encoder.ring([0, 1]))  # v_i = slot i's point
+    index_of = {v: i for i, v in enumerate(points)}
+    return [index_of[pow(v, exponent, t)] for v in points]
+
+
+def rotation_plan(n: int) -> dict[int, tuple[tuple[str, int], ...]]:
+    """Circuit-step recipe for every reachable slot-permutation element.
+
+    The rotation group ``{±3^k mod 2n}`` acts simply transitively on the
+    ``n`` slots; circuits expose its generators as ``rotate_rows(k)``
+    (``g = 3^k``) and ``rotate_columns`` (``g = 2n-1``). Maps each group
+    element ``g`` to the step sequence realizing it: ``()`` for the
+    identity, one step for a pure row rotation or the column swap, two
+    for their composition. Used by the packed compilers to move a masked
+    value from slot 0 to an arbitrary target slot.
+    """
+    m = 2 * n
+    plan: dict[int, tuple[tuple[str, int], ...]] = {}
+    for k in range(n // 2):
+        g = pow(RotationEngine.GENERATOR, k, m)
+        rows: tuple[tuple[str, int], ...] = (("rows", k),) if k else ()
+        plan.setdefault(g, rows)
+        plan.setdefault((m - 1) * g % m, (("cols", 0),) + rows)
+    return plan
+
+
 def _as_relin(key: GaloisKey):
     """Adapter: reuse the scheme's digit decomposition via a RelinKey shim."""
     from repro.bfv.keys import RelinKey

@@ -47,9 +47,13 @@ from repro.service.circuits import (
     OP_ADD_CONST,
     OP_MAC_CONST,
     OP_MUL_CONST,
+    OP_ROTATE_ROWS,
+    OP_SPECS,
     OP_SUB,
+    ROTATION_OPS,
     TENSOR_OPS,
     evaluate_circuit,
+    rotation_exponent,
 )
 from repro.service.jobs import Job, JobKind
 from repro.service.registry import Session, SessionRegistry
@@ -108,6 +112,11 @@ class BatchReport:
     fidelity: dict[str, int] = field(default_factory=dict)
     overlap_cycles: int = 0
     pipelined_makespan_cycles: int = 0
+    #: List-scheduling simulation: how far the simulated per-worker
+    #: clocks advanced beyond the pool barrier under true producer-edge
+    #: ready times. ≤ ``makespan_cycles`` when dependency slack lets
+    #: consumers start before unrelated chains finish.
+    schedule_makespan_cycles: int = 0
 
 
 def default_app_params(kind: JobKind) -> BfvParameters:
@@ -331,8 +340,10 @@ class Backend:
             registry.check_compatible(session, ct)
         engine = self._engine(registry, session)
         relin = session.require_relin() if circuit.uses_relin else None
+        galois = session.require_galois if circuit.uses_rotations else None
         return evaluate_circuit(
-            engine, relin, circuit, job.operands, on_tensor=on_tensor
+            engine, relin, circuit, job.operands, on_tensor=on_tensor,
+            galois=galois,
         )
 
     @staticmethod
@@ -498,8 +509,11 @@ class _TensorUnit:
     A raw EvalMult/SQUARE job is a single level-0 unit; a circuit job
     contributes one unit per tensor step, with ``level`` its dependency
     depth (see :meth:`~repro.service.circuits.Circuit.tensor_levels`).
-    The dispatcher plans level by level, so a unit is never planned
-    before the units it depends on have cleared the gather barrier.
+    The dispatcher list-schedules on true producer edges
+    (:meth:`ChipPoolBackend._unit_dependencies`), so a unit is never
+    planned before the units whose outputs it consumes have cleared the
+    gather barrier — ``level`` remains the depth summary the planner's
+    wave ordering reduces to for a pure tensor chain.
     """
 
     unit: int  # gather key, unique within the batch
@@ -529,10 +543,12 @@ class ChipPoolBackend(Backend):
 
     App circuits expand at the same tower level: each
     ``mul_relin``/``square_relin`` step becomes its own
-    :class:`_TensorUnit`, dispatched level by level so a tensor that
-    consumes another tensor's output is never planned before its
-    producer clears the gather barrier; linear steps (adds, plaintext
-    multiply-accumulates) are pointwise-priced on the lead worker.
+    :class:`_TensorUnit`, list-scheduled on true producer edges so a
+    tensor that consumes another tensor's output is never planned before
+    its producer clears the gather barrier (and an independent tensor is
+    never held back by an unrelated chain); linear steps (adds,
+    plaintext multiply-accumulates) are pointwise-priced on the lead
+    worker.
 
     The pool's aggregate wall time is the makespan (max per-worker busy
     time), which is what shrinks as the pool grows. Cycles for non-native
@@ -569,6 +585,7 @@ class ChipPoolBackend(Backend):
         self._tensor_estimate: dict[int, int] = {}  # n -> per-tower cycles
         self._no_fast_engine: set[bytes] = set()  # digests that can't go fast
         self._overlap_cycles = 0  # cumulative cross-batch pipeline overlap
+        self._schedule_makespan = 0  # cumulative list-schedule makespans
 
     # -- accounting --------------------------------------------------------
 
@@ -767,14 +784,19 @@ class ChipPoolBackend(Backend):
         if model_path:
             sections.append(("execute", p3_start, time.perf_counter()))
 
-        # Phase 4 — tower fan-out, level by level: same-modulus items
-        # stay together on the least-loaded workers (reprogramming
-        # amortized per batch), and a level's units are only planned
-        # once every unit of the previous level has cleared the gather
-        # barrier — the dependency edges of circuit expansion. The
+        # Phase 4 — tower fan-out by list scheduling. True producer edges
+        # (register dataflow through the circuit, see _unit_dependencies)
+        # replace the old level-by-level pool barrier: a unit becomes
+        # plannable the moment its own producers have finished, and its
+        # start time is simulated against per-worker clocks — so a
+        # consumer of an early-finishing tensor no longer waits for an
+        # unrelated deep chain to clear a level. Work is still planned in
+        # ready waves through plan_tower_dispatch (same-modulus grouping
+        # and twiddle-reprogramming amortization are unchanged, and the
         # affinity hint only counts a worker's programmed modulus when
-        # its programmed degree matches this batch (same digest => one
-        # n), or ensure_programmed would reprogram despite the "hit".
+        # its programmed degree matches this batch), but start/finish
+        # bookkeeping is per unit: busy-cycle totals stay additive while
+        # the simulated clocks expose the true schedule makespan.
         batch_n = (
             next(iter(chip_jobs.values()))[1].params.n if chip_jobs else None
         )
@@ -783,23 +805,47 @@ class ChipPoolBackend(Backend):
             for u in units
         })
         failed: set[int] = set()  # job seqs with a failed unit
-        unit_by_id = {u.unit: u for u in units}
         unit_cycles: dict[int, dict[int, int]] = {}
         unit_workers: dict[int, dict[int, int]] = {}
-        # Cross-batch pipelining: per-worker cycles this batch's *first*
-        # tower level added. A worker below the pool barrier (the previous
-        # batch's makespan point) has idle headroom there, so its share of
-        # the first level starts inside the previous batch's gather window.
-        first_level = min({u.level for u in units}, default=None)
+        unit_deps = self._unit_dependencies(chip_jobs, job_units, traces)
+        unit_by_id = {u.unit: u for u in units}
+        # Simulated per-worker clocks (absolute cycles, origin shared
+        # with busy_cycles) drive ready-time bookkeeping; ``finish``
+        # records when each unit's last tower completes in the schedule.
+        clock: dict[int, int] = {w.index: w.busy_cycles for w in self.workers}
+        finish: dict[int, int] = {}
+        remaining: dict[int, _TensorUnit] = {u.unit: u for u in units}
+        # Cross-batch pipelining: per-worker cycles this batch's
+        # *dependency-free* units added (the level-0 analog). A worker
+        # below the pool barrier (the previous batch's makespan point)
+        # has idle headroom there, so its share of those units starts
+        # inside the previous batch's gather window.
+        dep_free = {u.unit for u in units if not unit_deps.get(u.unit)}
         level0_added: dict[int, int] = {}
-        for level in sorted({u.level for u in units}):
+        while remaining:
             t_plan = time.perf_counter()
-            level_units = [
-                u for u in units
-                if u.level == level and u.job_seq not in failed
+            # Units of failed jobs leave the schedule wholesale (their
+            # gather slots were discarded at failure time). Dependencies
+            # never cross jobs, so dropping them cannot starve the rest.
+            for uid in [
+                uid for uid, u in remaining.items() if u.job_seq in failed
+            ]:
+                del remaining[uid]
+            ready = [
+                u for uid, u in sorted(remaining.items())
+                if all(d in finish for d in unit_deps.get(uid, ()))
             ]
+            if not ready:
+                break
+            ready_at = {
+                u.unit: max(
+                    (finish[d] for d in unit_deps.get(u.unit, ())),
+                    default=0,
+                )
+                for u in ready
+            }
             items = []
-            for u in level_units:
+            for u in ready:
                 _job, session, _result, basis = chip_jobs[u.job_seq]
                 est = self._tensor_estimate_for(session.params.n)
                 items.extend(tower_items_for(u.unit, basis.moduli, est))
@@ -835,16 +881,26 @@ class ChipPoolBackend(Backend):
                     gather.put(item.job_seq, item.tower, outs)
                     unit_cycles.setdefault(u.unit, {})[item.tower] = cycles
                     unit_workers.setdefault(u.unit, {})[item.tower] = widx
-                    if level == first_level:
+                    # List-schedule clock: the item starts when both its
+                    # worker is free and the unit's producers are done.
+                    start = max(clock[widx], ready_at[u.unit])
+                    clock[widx] = start + cycles
+                    finish[u.unit] = max(
+                        finish.get(u.unit, 0), clock[widx]
+                    )
+                    if u.unit in dep_free:
                         level0_added[widx] = level0_added.get(widx, 0) + cycles
-            t_barrier = time.perf_counter()
-            sections.append(("worker_execute", t_run, t_barrier))
-            # Level barrier: every surviving unit of this level must have
-            # its full tower set before any dependent level is planned.
-            for u in level_units:
+            t_gather = time.perf_counter()
+            sections.append(("worker_execute", t_run, t_gather))
+            # Per-unit gather: every surviving ready unit must have its
+            # full tower set before its consumers are planned — the
+            # barrier is per producer edge now, not per pool level.
+            for u in ready:
                 if u.job_seq not in failed:
                     gather.towers(u.unit)
-            sections.append(("gather_barrier", t_barrier, time.perf_counter()))
+                remaining.pop(u.unit, None)
+            sections.append(("gather_barrier", t_gather, time.perf_counter()))
+        schedule_end = max(clock.values(), default=0)
 
         # Phase 5 — barrier settled. Sweep A (CRT recombination view):
         # aggregate per-tower cycles and worker sets across each job's
@@ -906,19 +962,49 @@ class ChipPoolBackend(Backend):
             per_tower, workers_used = recombined[seq]
             relin_cycles = 0
             finish_worker = lead
-            if session.relin is not None:
-                # The key-switch runs after each tensor's gather and is
-                # not tower-bound: each tail becomes a KeySwitchWorkItem
-                # charged to the then-least-loaded worker so it does not
-                # serialize on the lead. Raw jobs have one tensor;
-                # circuits one per tensor step.
-                est = self.workers[0].chip.timing.relinearization_cycles(
+            timing = self.workers[0].chip.timing
+            # Key-switch tails run after each unit's gather and are not
+            # tower-bound: each becomes a KeySwitchWorkItem charged to
+            # the then-least-loaded worker so it does not serialize on
+            # the lead. Raw jobs carry one relinearization; circuits one
+            # per relin *step* (a lazily optimized circuit relinearizes
+            # fewer times than it tensors) plus one per rotation step
+            # (the Galois key-switch, after the lead's automorphism
+            # copies).
+            n_relins = (
+                job.payload.op_counts()["relins"]
+                if job.kind is JobKind.CIRCUIT else 1
+            )
+            items = []
+            if session.relin is not None and n_relins:
+                est = timing.relinearization_cycles(
                     session.params.n, session.relin.num_digits, towers_n
                 )
-                items = [
+                items.extend(
                     KeySwitchWorkItem(job_seq=seq, est_cycles=est)
-                    for _ in job_units[seq]
-                ]
+                    for _ in range(n_relins)
+                )
+            if job.kind is JobKind.CIRCUIT and job.payload.uses_rotations:
+                for step in job.payload.steps:
+                    if step.op not in ROTATION_OPS:
+                        continue
+                    exponent = rotation_exponent(
+                        session.params, step.op,
+                        step.args[1] if step.op == OP_ROTATE_ROWS else 0,
+                    )
+                    key = session.require_galois(exponent)
+                    items.append(KeySwitchWorkItem(
+                        job_seq=seq,
+                        est_cycles=timing.relinearization_cycles(
+                            session.params.n, len(key.rows), towers_n
+                        ),
+                    ))
+                    # Automorphism = one copy pass per component, on the
+                    # lead before the key-switch fans out.
+                    copies = 2 * timing.memcpy_cycles(session.params.n)
+                    lead.busy_cycles += copies
+                    relin_cycles += copies
+            if items:
                 widxs = plan_keyswitch_dispatch(
                     items, [w.busy_cycles for w in self.workers]
                 )
@@ -926,6 +1012,7 @@ class ChipPoolBackend(Backend):
                     self.workers[widx].busy_cycles += item.est_cycles
                     relin_cycles += item.est_cycles
                 finish_worker = self.workers[widxs[-1]]
+            if session.relin is not None and n_relins:
                 capable = seq in ks_results or self._engine(
                     registry, session
                 ).can_batch_relinearize(session.relin)
@@ -1004,13 +1091,23 @@ class ChipPoolBackend(Backend):
             for w in self.workers
         )
         pipelined = max(w.busy_cycles for w in self.workers) - barrier_start
+        # List-schedule view of the same batch: how far the simulated
+        # clocks (which honor producer edges, not pool levels) ran past
+        # the barrier. Dependency slack makes this ≤ the additive share.
+        schedule_makespan = max(0, schedule_end - barrier_start)
         self._overlap_cycles += overlap
+        self._schedule_makespan += schedule_makespan
         if self.metrics is not None:
             self.metrics.gauge(
                 "repro_pipeline_overlap_cycles",
                 "cumulative tower cycles started inside a previous "
                 "batch's gather window",
             ).set(self._overlap_cycles)
+            self.metrics.gauge(
+                "repro_schedule_makespan_cycles",
+                "cumulative list-scheduling makespan (per-unit ready "
+                "times against simulated per-worker clocks)",
+            ).set(self._schedule_makespan)
             total = self.total_cycles
             for w in self.workers:
                 self.metrics.gauge(
@@ -1042,6 +1139,7 @@ class ChipPoolBackend(Backend):
             fidelity=fidelity,
             overlap_cycles=overlap,
             pipelined_makespan_cycles=pipelined,
+            schedule_makespan_cycles=schedule_makespan,
         )
 
     def _finish_job(
@@ -1080,6 +1178,51 @@ class ChipPoolBackend(Backend):
         if any((q - 1) % (2 * params.n) != 0 for q in basis.moduli):
             return None
         return basis
+
+    @staticmethod
+    def _unit_dependencies(
+        chip_jobs: dict[int, tuple],
+        job_units: dict[int, list[_TensorUnit]],
+        traces: dict[int, list[tuple[int, Ciphertext, Ciphertext]]],
+    ) -> dict[int, set[int]]:
+        """Per-unit producer edges from circuit register dataflow.
+
+        Walks each circuit's SSA steps tracking, per register, the set of
+        tensor units whose outputs flow into it (non-tensor steps pass
+        their operands' producer sets through). A unit's dependencies are
+        the producers feeding its own tensor step's operands — the true
+        edges the list scheduler honors, replacing the conservative
+        depth-level barrier. Raw EvalMult/SQUARE jobs have one unit and
+        no producers; dependencies never cross jobs.
+        """
+        deps: dict[int, set[int]] = {}
+        for seq, entry in chip_jobs.items():
+            job = entry[0]
+            units = job_units.get(seq, [])
+            if job.kind is not JobKind.CIRCUIT:
+                for u in units:
+                    deps[u.unit] = set()
+                continue
+            circuit: Circuit = job.payload
+            unit_by_step = {
+                step: u.unit
+                for (step, _a, _b), u in zip(traces[seq], units)
+            }
+            producers: list[set[int]] = [
+                set() for _ in range(len(circuit.inputs))
+            ]
+            for idx, step in enumerate(circuit.steps):
+                feeding: set[int] = set()
+                for arg, role in zip(step.args, OP_SPECS[step.op][1]):
+                    if role == "r":
+                        feeding |= producers[arg]
+                uid = unit_by_step.get(idx)
+                if uid is not None:
+                    deps[uid] = feeding
+                    producers.append({uid})
+                else:
+                    producers.append(feeding)
+        return deps
 
     def _run_tower_checked(
         self, worker: ChipWorker, session: Session, a: Ciphertext,
@@ -1121,14 +1264,31 @@ class ChipPoolBackend(Backend):
         n, towers = params.n, params.cofhee_tower_count
         if job.kind is JobKind.CIRCUIT:
             # Model path for a whole circuit: linear steps pointwise,
-            # each tensor step one Eq. 4 estimate (+ relin tail).
+            # each tensor step one Eq. 4 estimate, each relin step one
+            # key-switch tail (fewer than the tensors after lazy
+            # optimization), each rotation an automorphism copy pass
+            # plus a Galois key-switch.
             circuit: Circuit = job.payload
+            counts = circuit.op_counts()
             cycles = self._circuit_linear_cycles(session, circuit)
-            n_tensors = len(circuit.tensor_steps)
-            if n_tensors:
-                cycles += n_tensors * towers * self._tensor_estimate_for(n)
-                cycles += n_tensors * timing.relinearization_cycles(
+            if counts["ct_ct_mults"]:
+                cycles += (
+                    counts["ct_ct_mults"] * towers * self._tensor_estimate_for(n)
+                )
+            if counts["relins"]:
+                cycles += counts["relins"] * timing.relinearization_cycles(
                     n, session.require_relin().num_digits, towers
+                )
+            for step in circuit.steps:
+                if step.op not in ROTATION_OPS:
+                    continue
+                key = session.require_galois(rotation_exponent(
+                    params, step.op,
+                    step.args[1] if step.op == OP_ROTATE_ROWS else 0,
+                ))
+                cycles += 2 * timing.memcpy_cycles(n)
+                cycles += timing.relinearization_cycles(
+                    n, len(key.rows), towers
                 )
             return cycles
         if job.kind in (JobKind.ADD, JobKind.SUB):
@@ -1170,7 +1330,7 @@ class ChipPoolBackend(Backend):
         }
         return sum(
             passes[step.op] * pointwise
-            for step in circuit.steps if step.op not in TENSOR_OPS
+            for step in circuit.steps if step.op in passes
         )
 
     def _tensor_estimate_for(self, n: int) -> int:
@@ -1318,13 +1478,17 @@ class SoftwareBackend(Backend):
         if job.kind is JobKind.CIRCUIT:
             # Price the op mix from the same anchors the raw ops use:
             # adds and ct*pt from the SEAL microbenchmarks, each tensor
-            # step one ciphertext multiply plus its relinearization.
+            # step one ciphertext multiply, each relin/rotation one
+            # key-switch (identical to the fused pricing when every
+            # tensor carries its relin, cheaper after lazy optimization).
             counts = job.payload.op_counts()
             tensor = self.cost.ciphertext_mult_ms(params, self.threads) * 1e-3
             return (
                 counts["ct_ct_adds"] * CpuAppCost.ADD_US * 1e-6 * anchor_scale
                 + counts["ct_pt_mults"] * CpuAppCost.CT_PT_US * 1e-6 * anchor_scale
-                + counts["ct_ct_mults"] * tensor * (1.0 + self.RELIN_TENSOR_EQUIV)
+                + counts["ct_ct_mults"] * tensor
+                + (counts["relins"] + counts["rotations"])
+                * tensor * self.RELIN_TENSOR_EQUIV
             )
         if job.kind in (JobKind.ADD, JobKind.SUB):
             return CpuAppCost.ADD_US * 1e-6 * anchor_scale

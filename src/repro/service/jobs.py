@@ -105,6 +105,10 @@ class JobMetrics:
     fidelity: str = ""
     relin_fidelity: str = ""
     dedupe_of: str = ""
+    #: Circuit jobs only: the optimizer's per-pass rewrite report
+    #: (pass name -> steps eliminated, plus steps_before/steps_after and
+    #: the optimized unit counts). ``None`` for non-circuit jobs.
+    rewrite: dict | None = None
 
 
 _job_ids = itertools.count(1)

@@ -58,6 +58,8 @@ from repro.service.circuits import (
     CONST_PLAIN,
     CONST_SCALAR,
     OP_SPECS,
+    V1_OPS,
+    wire_version,
 )
 
 MAGIC = b"CFHE"
@@ -505,14 +507,21 @@ def deserialize_galois_key(data: bytes, params: BfvParameters) -> GaloisKey:
 # Layout (body of a TAG_CIRCUIT message; full spec in
 # docs/wire-protocol.md):
 #
-#   u8  circuit_version        (CIRCUIT_VERSION; unknown -> rejected)
+#   u8  circuit_version        (1 or 2; anything else -> rejected)
 #   str name
 #   u16 num_inputs  | str * inputs
 #   u16 num_consts  | per const: u8 kind
 #                     kind 0 (scalar): i64 value
 #                     kind 1 (plain):  u32 num_coeffs | bigint * coeffs
-#   u16 num_steps   | per step:  u8 op | u16 * args (arity fixed per op)
+#   u16 num_steps   | per step:  u8 op | u16 * args (arity fixed per op;
+#                     signed "s" immediates travel as two's-complement u16)
 #   u16 num_outputs | per output: str name | u16 register
+#
+# Encoders emit the lowest version whose op set covers the circuit
+# (version 1 for the original seven ops, version 2 once rotations or
+# split tensor steps appear), so old circuits keep their exact bytes —
+# and content addresses — across the format bump. Decoders accept both
+# versions but reject version-2 opcodes inside a version-1 body.
 #
 # Structural validation (register bounds, op codes, argument layouts)
 # is the same validate_circuit() the in-memory constructor runs, so a
@@ -523,7 +532,7 @@ def serialize_circuit(circuit: Circuit) -> bytes:
     # Register/constant/output counts are u16-representable by
     # construction: validate_circuit (run by the Circuit constructor)
     # bounds them all at 65535.
-    parts = [bytes((CIRCUIT_VERSION,)), _str(circuit.name),
+    parts = [bytes((wire_version(circuit),)), _str(circuit.name),
              _u16(len(circuit.inputs))]
     parts.extend(_str(name) for name in circuit.inputs)
     parts.append(_u16(len(circuit.consts)))
@@ -537,7 +546,11 @@ def serialize_circuit(circuit: Circuit) -> bytes:
     parts.append(_u16(len(circuit.steps)))
     for step in circuit.steps:
         parts.append(bytes((step.op,)))
-        parts.extend(_u16(arg) for arg in step.args)
+        layout = OP_SPECS[step.op][1]
+        parts.extend(
+            _u16(arg & 0xFFFF if role == "s" else arg)
+            for arg, role in zip(step.args, layout)
+        )
     parts.append(_u16(len(circuit.outputs)))
     for name, reg in circuit.outputs:
         parts.append(_str(name) + _u16(reg))
@@ -547,10 +560,10 @@ def serialize_circuit(circuit: Circuit) -> bytes:
 def deserialize_circuit(data: bytes) -> Circuit:
     reader = _unframe(data, TAG_CIRCUIT)
     version = reader.u8()
-    if version != CIRCUIT_VERSION:
+    if not 1 <= version <= CIRCUIT_VERSION:
         raise WireFormatError(
             f"unsupported circuit encoding version {version} (this build "
-            f"speaks {CIRCUIT_VERSION})"
+            f"speaks versions 1..{CIRCUIT_VERSION})"
         )
     name = reader.string()
     inputs = tuple(reader.string() for _ in range(reader.u16()))
@@ -570,8 +583,18 @@ def deserialize_circuit(data: bytes) -> Circuit:
         spec = OP_SPECS.get(op)
         if spec is None:
             raise WireFormatError(f"unknown circuit op code 0x{op:02x}")
-        args = tuple(reader.u16() for _ in range(len(spec[1])))
-        steps.append(CircuitStep(op=op, args=args))
+        if version == 1 and op not in V1_OPS:
+            raise WireFormatError(
+                f"circuit op code 0x{op:02x} ({spec[0]}) needs encoding "
+                "version 2, but the body declares version 1"
+            )
+        args = []
+        for role in spec[1]:
+            raw = reader.u16()
+            if role == "s" and raw >= 0x8000:  # two's-complement immediate
+                raw -= 0x10000
+            args.append(raw)
+        steps.append(CircuitStep(op=op, args=tuple(args)))
     outputs = tuple(
         (reader.string(), reader.u16()) for _ in range(reader.u16())
     )

@@ -32,8 +32,9 @@ from repro.service.backends import (
     _galois_exponent,
     default_app_params,
 )
-from repro.service.circuits import Circuit
+from repro.service.circuits import Circuit, CircuitError, rotation_exponents
 from repro.service.errors import QuotaExceededError
+from repro.service.optimizer import DEFAULT_LEVEL, LEVELS, optimize_circuit
 from repro.service.fleet import FleetBackend
 from repro.service.jobs import Job, JobKind, JobStatus
 from repro.service.registry import Session, SessionRegistry
@@ -113,6 +114,11 @@ class FheServer:
             over-quota submit raises the retryable
             :class:`~repro.service.errors.QuotaExceededError` before
             any decode or math.
+        optimizer_level: default circuit optimization level applied at
+            submit — ``"none"``, ``"exact"`` (byte-exact passes only;
+            the default), or ``"lazy"`` (adds deferred relinearization,
+            plaintext-equal but not byte-identical to the unoptimized
+            program). A per-submit ``optimizer=`` argument overrides it.
     """
 
     def __init__(self, pool_size: int = 4, max_batch: int = 8,
@@ -121,7 +127,14 @@ class FheServer:
                  result_cache_size: int = 256, fleet_size: int = 0,
                  fleet_mode: str = "process", fault_spec: str | None = None,
                  fleet_options: dict | None = None,
-                 quotas: dict[str, TenantQuota] | None = None):
+                 quotas: dict[str, TenantQuota] | None = None,
+                 optimizer_level: str = DEFAULT_LEVEL):
+        if optimizer_level not in LEVELS:
+            raise ValueError(
+                f"optimizer_level must be one of {sorted(LEVELS)}, "
+                f"got {optimizer_level!r}"
+            )
+        self.optimizer_level = optimizer_level
         self.registry = SessionRegistry()
         self.chip_pool = ChipPoolBackend(
             pool_size=pool_size, strict_fidelity=strict_fidelity,
@@ -253,6 +266,7 @@ class FheServer:
         payload: object = None,
         backend: str = "",
         deadline: float = 0.0,
+        optimizer: str | None = None,
     ) -> str:
         """Queue one job; operands may be wire bytes or Ciphertext objects.
 
@@ -274,6 +288,12 @@ class FheServer:
         expired in flight the fleet reaps it — either way it fails with
         the typed ``deadline expired`` message.
 
+        ``optimizer`` overrides the server's configured circuit
+        optimization level for this submit (``"none"``, ``"exact"``, or
+        ``"lazy"`` — see :mod:`repro.service.optimizer`); circuits are
+        rewritten server-side before queueing, and the per-pass rewrite
+        report lands in the job's metrics.
+
         Raises :class:`~repro.service.errors.QuotaExceededError`
         (retryable) when the tenant is over its admission quota — before
         any operand decode, so a rejected submit leaves no server state.
@@ -288,7 +308,7 @@ class FheServer:
             job_id = self._submit_traced(
                 trace, session_id, kind, operands,
                 steps=steps, payload=payload, backend=backend,
-                deadline=deadline,
+                deadline=deadline, optimizer=optimizer,
             )
         trace.stamp_queued()  # queue_wait origin for the scheduler's mark
         self._submit_hist.observe(time.perf_counter() - started)
@@ -339,8 +359,15 @@ class FheServer:
 
     def _submit_traced(
         self, trace, session_id, kind, operands, *, steps, payload, backend,
-        deadline=0.0,
+        deadline=0.0, optimizer=None,
     ) -> str:
+        opt_level = optimizer if optimizer is not None else self.optimizer_level
+        if opt_level not in LEVELS:
+            raise ValueError(
+                f"optimizer must be one of {sorted(LEVELS)}, "
+                f"got {opt_level!r}"
+            )
+        rewrite = None
         with trace.span("decode"):
             if isinstance(kind, str):
                 kind = JobKind(kind)
@@ -359,6 +386,26 @@ class FheServer:
                     circuit_digest = hashlib.sha256(
                         serialize_circuit(payload)
                     ).digest()
+                if isinstance(payload, Circuit):
+                    # Server-side optimization: the content address stays
+                    # the *submitted* program (so identical submits share
+                    # cache entries regardless of what the passes did),
+                    # while the queued job carries the rewritten circuit.
+                    with trace.span("optimize"):
+                        payload, rewrite = optimize_circuit(
+                            payload, level=opt_level
+                        )
+                    for pass_name in (
+                        "constant_fold", "cse", "dce", "relin_lazy"
+                    ):
+                        eliminated = rewrite.get(pass_name, 0)
+                        if eliminated:
+                            self.metrics.counter(
+                                "repro_circuit_steps_eliminated_total",
+                                "circuit steps eliminated by optimizer "
+                                "passes, by pass",
+                                **{"pass": pass_name},
+                            ).inc(eliminated)
             session = self.registry.get(session_id)
             decoded = [
                 self.registry.ingest_ciphertext(session, op)
@@ -390,13 +437,17 @@ class FheServer:
         )
         if deadline > 0:
             job.deadline = time.monotonic() + deadline
+        if rewrite is not None:
+            job.metrics.rewrite = rewrite
         self.metrics.counter(
             "repro_jobs_submitted_total", "jobs submitted",
             tenant=session.tenant,
         ).inc()
         stats = self.scheduler.stats
         with trace.span("cache_check"):
-            key = self._cache_key(session, job, operands, circuit_digest)
+            key = self._cache_key(
+                session, job, operands, circuit_digest, opt_level
+            )
             cached = key is not None and key in self._result_cache
             primary_id = self._dedupe.get(key) if key is not None else None
         if cached:
@@ -444,7 +495,8 @@ class FheServer:
     # ------------------------------------------------------------------
 
     def _cache_key(self, session: Session, job: Job, raw_operands: tuple,
-                   circuit_digest: bytes = b"") -> tuple | None:
+                   circuit_digest: bytes = b"",
+                   opt_level: str = "") -> tuple | None:
         """Content address of a raw-op or circuit job (``None`` otherwise).
 
         Legacy in-process app jobs are excluded (their payloads are
@@ -476,6 +528,11 @@ class FheServer:
             job.kind.value,
             job.steps,
             circuit_digest,
+            # The effective optimization level is part of a circuit's
+            # address: "lazy" serves different (plaintext-equal) bytes
+            # than "exact"/"none", so the levels must never share an
+            # entry. Raw ops are untouched by the optimizer.
+            opt_level if job.kind is JobKind.CIRCUIT else "",
             job.backend or self.scheduler.default,
             self._eval_key_digest(session, job),
             operands.digest(),
@@ -483,9 +540,32 @@ class FheServer:
 
     def _eval_key_digest(self, session: Session, job: Job) -> bytes:
         """Digest of the evaluation key material the job would use."""
-        if job.kind is JobKind.CIRCUIT and not job.payload.uses_relin:
-            return b""  # linear circuits use no key material
-        if job.kind in (JobKind.CIRCUIT, JobKind.MULTIPLY, JobKind.SQUARE,
+        if job.kind is JobKind.CIRCUIT:
+            parts = []
+            if job.payload.uses_relin:
+                key = session.relin
+                if key is None:
+                    return b"no-relin"  # the job will fail; never cached
+                parts.append(self._key_digest(
+                    key, lambda: serialize_relin_key(key, session.params)
+                ))
+            if job.payload.uses_rotations:
+                try:
+                    exponents = rotation_exponents(
+                        job.payload, session.params
+                    )
+                except CircuitError:
+                    return b"invalid-rotation"
+                for exponent in exponents:
+                    gkey = session.galois.get(exponent)
+                    if gkey is None:
+                        return b"no-galois"
+                    parts.append(self._key_digest(
+                        gkey,
+                        lambda k=gkey: serialize_galois_key(k, session.params),
+                    ))
+            return b"".join(parts)  # b"" for linear circuits: no key material
+        if job.kind in (JobKind.MULTIPLY, JobKind.SQUARE,
                         JobKind.RELINEARIZE):
             key = session.relin
             if key is None:

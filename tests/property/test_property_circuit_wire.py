@@ -27,8 +27,13 @@ from repro.service.circuits import (
     OP_ADD_CONST,
     OP_MAC_CONST,
     OP_MUL_CONST,
+    OP_MUL,
     OP_MUL_RELIN,
+    OP_RELINEARIZE,
+    OP_ROTATE_COLUMNS,
+    OP_ROTATE_ROWS,
     OP_SPECS,
+    OP_SQUARE,
     OP_SQUARE_RELIN,
     OP_SUB,
 )
@@ -260,4 +265,6 @@ class TestConstructorValidation:
         assert set(OP_SPECS) == {
             OP_ADD, OP_SUB, OP_ADD_CONST, OP_MUL_CONST, OP_MAC_CONST,
             OP_MUL_RELIN, OP_SQUARE_RELIN,
+            OP_ROTATE_ROWS, OP_ROTATE_COLUMNS, OP_MUL, OP_SQUARE,
+            OP_RELINEARIZE,
         }

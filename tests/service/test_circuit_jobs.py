@@ -180,6 +180,79 @@ class TestChipExpansion:
         )
 
 
+class TestTensorLevelsDiamond:
+    """Regression: level assignment lives in ONE place.
+
+    ``tensor_levels`` used to be recomputed independently by the
+    evaluator ordering and the chip-pool expansion; a diamond-shaped
+    DAG (two level-0 tensors joined by one consumer) is exactly the
+    shape where divergent walks disagree. It is now memoized on
+    :class:`Circuit` and both paths consume the same dict.
+    """
+
+    @staticmethod
+    def _diamond():
+        builder = CircuitBuilder("diamond")
+        x = builder.input("x")
+        left = builder.square_relin(x)  # step 0: level 0
+        right = builder.mul_relin(x, x)  # step 1: level 0
+        l_lin = builder.add(left, x)  # linear: passes depth through
+        r_lin = builder.mul_const(right, builder.scalar(2))
+        join = builder.mul_relin(l_lin, r_lin)  # step 4: level 1
+        bare = builder.mul(join, left)  # step 5: level 2 (degree 3)
+        relin = builder.relinearize(bare)  # key switch: depth unchanged
+        top = builder.square_relin(relin)  # step 7: level 3
+        builder.output("y", top)
+        return builder.build()
+
+    def test_diamond_levels_are_pinned(self):
+        """Both level-0 arms, the join, the bare tensor behind the
+        deferred relin, and the post-key-switch square — all exact."""
+        circuit = self._diamond()
+        assert circuit.tensor_levels() == {0: 0, 1: 0, 4: 1, 5: 2, 7: 3}
+
+    def test_memo_is_shared_and_defensive(self):
+        """Repeated calls hit one memo; callers get copies, so a
+        consumer mutating its view cannot skew another path's levels."""
+        circuit = self._diamond()
+        first = circuit.tensor_levels()
+        first[0] = 99  # a hostile consumer
+        assert circuit.tensor_levels() == {0: 0, 1: 0, 4: 1, 5: 2, 7: 3}
+
+    def test_diamond_serves_bit_identical_on_chip_and_software(self):
+        """The end-to-end symptom of divergent level walks: the chip
+        expansion would schedule the join before its operands and
+        diverge from the evaluator. Both paths must agree byte-wise."""
+        params = BfvParameters.toy_rns(
+            n=16, towers=5, tower_bits=28, t=ntt_friendly_prime(16, 21)
+        )
+        from repro.bfv import BatchEncoder, Bfv
+
+        bfv = Bfv(params, seed=8)
+        keys = bfv.keygen(relin_digit_bits=14)
+        encoder = BatchEncoder(params)
+        circuit = self._diamond()
+        ct = bfv.encrypt(encoder.encode([1, -1] * 8), keys.public)
+        server = FheServer(pool_size=3, result_cache_size=0)
+        sid = server.open_session(
+            "diamond", serialize_params(params),
+            relin_key=serialize_relin_key(keys.relin, params),
+        )
+        wires = {
+            backend: server.result(server.submit(
+                sid, JobKind.CIRCUIT, (serialize_ciphertext(ct),),
+                payload=circuit, backend=backend,
+            ))
+            for backend in ("chip_pool", "software")
+        }
+        assert wires["chip_pool"] == wires["software"]
+        reference = evaluate_circuit(bfv, keys.relin, circuit, [ct])
+        outs = deserialize_circuit_outputs(wires["chip_pool"], params)
+        assert serialize_ciphertext(outs["y"]) == serialize_ciphertext(
+            reference["y"]
+        )
+
+
 class TestCacheAndDedupe:
     def test_identical_circuit_hits_cache(self, logreg):
         model, _samples, circuit, inputs = logreg

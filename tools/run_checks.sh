@@ -37,6 +37,13 @@
 #                                    # (skewed hot tenant, >= 1.3x gate)
 #   tools/run_checks.sh --slow       # also the paper-scale suites
 #                                    # (n = 2^12 pool scaling, n = 2^13 serving)
+#   tools/run_checks.sh --cov        # also the line-coverage stage: the
+#                                    # service + property suites under
+#                                    # coverage.py with an 80% line floor
+#                                    # on src/repro/service/ (skipped with
+#                                    # a notice when coverage/pytest-cov
+#                                    # is not installed — nothing is
+#                                    # downloaded)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +51,7 @@ cd "$(dirname "$0")/.."
 RUN_SLOW=0
 RUN_BENCH=0
 RUN_TRANSPORT=0
+RUN_COV=0
 DOCS_ONLY=0
 OBS_ONLY=0
 FLEET_ONLY=0
@@ -52,12 +60,39 @@ for arg in "$@"; do
     --slow) RUN_SLOW=1 ;;
     --bench) RUN_BENCH=1 ;;
     --transport) RUN_TRANSPORT=1 ;;
+    --cov) RUN_COV=1 ;;
     --docs) DOCS_ONLY=1 ;;
     --obs) OBS_ONLY=1 ;;
     --fleet) FLEET_ONLY=1 ;;
-    *) echo "unknown option: $arg (supported: --slow, --bench, --transport, --docs, --obs, --fleet)" >&2; exit 2 ;;
+    *) echo "unknown option: $arg (supported: --slow, --bench, --transport, --cov, --docs, --obs, --fleet)" >&2; exit 2 ;;
   esac
 done
+
+#: Line-coverage floor (percent) for src/repro/service/ under --cov.
+#: Set just below the measured suite coverage so meaningful regressions
+#: (a new module landing untested, a test file going dark) fail the
+#: stage without flaking on single-line drift.
+COV_FLOOR=80
+
+run_cov() {
+  echo
+  echo "== line coverage (src/repro/service/, floor ${COV_FLOOR}%) =="
+  if ! python -c "import coverage" >/dev/null 2>&1; then
+    echo "coverage.py not installed; skipping the coverage stage" \
+         "(install 'coverage' to enable — this stage never downloads it)"
+    return 0
+  fi
+  if python -c "import pytest_cov" >/dev/null 2>&1; then
+    python -m pytest tests/service tests/property -q \
+      --cov=repro.service --cov-report=term --cov-fail-under="$COV_FLOOR"
+  else
+    # coverage.py without the pytest plugin: same floor, two commands.
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+      python -m coverage run --source=src/repro/service \
+      -m pytest tests/service tests/property -q
+    python -m coverage report --fail-under="$COV_FLOOR"
+  fi
+}
 
 run_docs() {
   echo
@@ -89,19 +124,19 @@ run_fleet() {
 # --docs / --obs / --fleet alone are fast paths; combined with other
 # flags every requested stage still runs (the default pipeline includes
 # all three).
-if [ "$DOCS_ONLY" = 1 ] && [ "$OBS_ONLY$FLEET_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "00000" ]; then
+if [ "$DOCS_ONLY" = 1 ] && [ "$OBS_ONLY$FLEET_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT$RUN_COV" = "000000" ]; then
   run_docs
   echo
   echo "docs stage passed"
   exit 0
 fi
-if [ "$OBS_ONLY" = 1 ] && [ "$DOCS_ONLY$FLEET_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "00000" ]; then
+if [ "$OBS_ONLY" = 1 ] && [ "$DOCS_ONLY$FLEET_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT$RUN_COV" = "000000" ]; then
   run_obs
   echo
   echo "observability stage passed"
   exit 0
 fi
-if [ "$FLEET_ONLY" = 1 ] && [ "$DOCS_ONLY$OBS_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT" = "00000" ]; then
+if [ "$FLEET_ONLY" = 1 ] && [ "$DOCS_ONLY$OBS_ONLY$RUN_SLOW$RUN_BENCH$RUN_TRANSPORT$RUN_COV" = "000000" ]; then
   run_fleet
   echo
   echo "fleet stage passed"
@@ -142,6 +177,10 @@ if [ "$RUN_BENCH" = 1 ]; then
   echo
   echo "== phase profiler (BENCH_serve_phases.json + relin-tail gate) =="
   PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python tools/profile_serve.py
+fi
+
+if [ "$RUN_COV" = 1 ]; then
+  run_cov
 fi
 
 if [ "$RUN_SLOW" = 1 ]; then
